@@ -1,0 +1,69 @@
+//! Criterion benches over the collective execution hot path: one
+//! all-reduce / all-to-all per endpoint engine on a 16-NPU torus.
+//!
+//! These guard the simulator's own performance (events/second), so the
+//! figure-regeneration binaries stay fast as the model grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ace_collectives::CollectiveOp;
+use ace_net::TorusShape;
+use ace_system::{run_single_collective, EngineKind};
+
+fn bench_all_reduce(c: &mut Criterion) {
+    let shape = TorusShape::new(4, 2, 2).expect("valid shape");
+    let mut group = c.benchmark_group("all_reduce_4MB_16npu");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("ideal", EngineKind::Ideal),
+        ("ace", EngineKind::Ace { dma_mem_gbps: 128.0 }),
+        ("baseline_comm_opt", EngineKind::Baseline { comm_mem_gbps: 450.0, comm_sms: 6 }),
+        ("baseline_comp_opt", EngineKind::Baseline { comm_mem_gbps: 128.0, comm_sms: 2 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
+            b.iter(|| {
+                run_single_collective(shape, kind, CollectiveOp::AllReduce, std::hint::black_box(4 << 20))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_to_all(c: &mut Criterion) {
+    let shape = TorusShape::new(4, 2, 2).expect("valid shape");
+    let mut group = c.benchmark_group("all_to_all_4MB_16npu");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("ideal", EngineKind::Ideal),
+        ("ace", EngineKind::Ace { dma_mem_gbps: 128.0 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
+            b.iter(|| {
+                run_single_collective(shape, kind, CollectiveOp::AllToAll, std::hint::black_box(4 << 20))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_payload_scaling(c: &mut Criterion) {
+    let shape = TorusShape::new(4, 2, 2).expect("valid shape");
+    let mut group = c.benchmark_group("ace_all_reduce_payload");
+    group.sample_size(10);
+    for mb in [1u64, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{mb}MB")), &mb, |b, &mb| {
+            b.iter(|| {
+                run_single_collective(
+                    shape,
+                    EngineKind::Ace { dma_mem_gbps: 128.0 },
+                    CollectiveOp::AllReduce,
+                    std::hint::black_box(mb << 20),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_reduce, bench_all_to_all, bench_payload_scaling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches over the fabric transport primitives: topology
+//! routing and per-link transmission.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ace_net::{Dim, Network, NetworkParams, NodeId, Port, TorusShape};
+use ace_simcore::SimTime;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xyz_routing");
+    for (l, v, h) in [(4, 2, 2), (4, 8, 4)] {
+        let shape = TorusShape::new(l, v, h).expect("valid shape");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{shape}")),
+            &shape,
+            |b, &shape| {
+                b.iter(|| {
+                    let mut hops = 0usize;
+                    for src in 0..shape.nodes() {
+                        let dst = (src * 7 + 3) % shape.nodes();
+                        hops += shape.route(NodeId(src), NodeId(dst)).len();
+                    }
+                    std::hint::black_box(hops)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_transmit(c: &mut Criterion) {
+    let shape = TorusShape::new(4, 8, 4).expect("valid shape");
+    c.bench_function("transmit_10k_messages", |b| {
+        b.iter(|| {
+            let mut net = Network::new(shape, NetworkParams::paper_default());
+            let mut t = SimTime::ZERO;
+            for i in 0..10_000u64 {
+                let node = NodeId((i % 128) as usize);
+                let port = Port::new(Dim::Local, i % 2 == 0);
+                let out = net.transmit(t, node, port, 8 * 1024);
+                if i % 64 == 0 {
+                    t = out.grant.start;
+                }
+            }
+            std::hint::black_box(net.total_bytes())
+        })
+    });
+}
+
+criterion_group!(benches, bench_routing, bench_transmit);
+criterion_main!(benches);

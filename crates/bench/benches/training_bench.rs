@@ -1,0 +1,54 @@
+//! Criterion benches over the full training-loop simulation (the Fig. 10
+//! / Fig. 11 workhorse) at the smallest paper size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ace_system::{SystemBuilder, SystemConfig};
+use ace_workloads::Workload;
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_2iter_16npu");
+    group.sample_size(10);
+    for config in [SystemConfig::BaselineCompOpt, SystemConfig::Ace, SystemConfig::Ideal] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(config.short_name()),
+            &config,
+            |b, &config| {
+                b.iter(|| {
+                    SystemBuilder::new()
+                        .topology(4, 2, 2)
+                        .config(config)
+                        .workload(Workload::resnet50())
+                        .build()
+                        .expect("valid system")
+                        .run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dlrm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dlrm_2iter_16npu");
+    group.sample_size(10);
+    for optimized in [false, true] {
+        let name = if optimized { "optimized" } else { "default" };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &optimized, |b, &opt| {
+            b.iter(|| {
+                SystemBuilder::new()
+                    .topology(4, 2, 2)
+                    .config(SystemConfig::Ace)
+                    .workload(Workload::dlrm(16))
+                    .optimized_embedding(opt)
+                    .build()
+                    .expect("valid system")
+                    .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_dlrm);
+criterion_main!(benches);

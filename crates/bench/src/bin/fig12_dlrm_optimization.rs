@@ -1,0 +1,61 @@
+//! Fig. 12 — the DLRM training-loop optimization enabled by ACE's
+//! reclaimed memory bandwidth (Section VI-D).
+//!
+//! The embedding lookup/update of the next/previous iteration runs in the
+//! background on a 1-SM / 80 GB/s carve-out, and the forward all-to-all
+//! is issued as soon as the lookup finishes — pulling the embedding
+//! pipeline off the critical path. BaselineCompOpt benefits little (its
+//! communication is the bottleneck); ACE converts the saved compute into
+//! iteration-time reduction.
+
+use ace_bench::{emit_tsv, header};
+use ace_system::{SystemBuilder, SystemConfig};
+use ace_workloads::Workload;
+
+fn main() {
+    header("Fig. 12: DLRM default vs optimized training loop (4x8x4, 128 NPUs)");
+    println!(
+        "{:>10} {:>10} | {:>12} {:>12} {:>12}",
+        "config", "loop", "compute us", "exposed us", "total us"
+    );
+    let mut totals = Vec::new();
+    for config in [SystemConfig::BaselineCompOpt, SystemConfig::Ace] {
+        for optimized in [false, true] {
+            let report = SystemBuilder::new()
+                .topology(4, 8, 4)
+                .config(config)
+                .workload(Workload::dlrm(128))
+                .optimized_embedding(optimized)
+                .build()
+                .expect("valid system")
+                .run();
+            let label = if optimized { "optimized" } else { "default" };
+            println!(
+                "{:>10} {:>10} | {:>12.0} {:>12.0} {:>12.0}",
+                report.config(),
+                label,
+                report.total_compute_us(),
+                report.exposed_comm_us(),
+                report.total_time_us()
+            );
+            emit_tsv(
+                "fig12",
+                &[
+                    ("config", report.config().to_string()),
+                    ("loop", label.to_string()),
+                    ("total_us", format!("{:.1}", report.total_time_us())),
+                ],
+            );
+            totals.push(report.total_time_us());
+        }
+    }
+    let base_gain = totals[0] / totals[1];
+    let ace_gain = totals[2] / totals[3];
+    println!();
+    println!("optimization gain: BaselineCompOpt {base_gain:.2}x, ACE {ace_gain:.2}x");
+    println!();
+    println!("Paper reference: the optimized loop buys BaselineCompOpt only 1.05x");
+    println!("(poor communication performance wastes the freed compute) but ACE");
+    println!("1.2x — the extra memory bandwidth ACE frees makes the optimization");
+    println!("worthwhile.");
+}

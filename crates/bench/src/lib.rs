@@ -1,0 +1,76 @@
+//! Shared support for the experiment harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (see `DESIGN.md` for the index); this library holds
+//! the formatting helpers they share. Passing `--tsv` to any binary emits
+//! machine-readable tab-separated rows alongside the human tables.
+
+/// Whether `--tsv` was passed on the command line.
+pub fn tsv_mode() -> bool {
+    std::env::args().any(|a| a == "--tsv")
+}
+
+/// Emits one machine-readable row when in TSV mode.
+pub fn emit_tsv(experiment: &str, fields: &[(&str, String)]) {
+    if tsv_mode() {
+        let cols: Vec<String> = std::iter::once(experiment.to_string())
+            .chain(fields.iter().map(|(k, v)| format!("{k}={v}")))
+            .collect();
+        println!("#TSV\t{}", cols.join("\t"));
+    }
+}
+
+/// Prints a boxed section header.
+pub fn header(title: &str) {
+    let line = "=".repeat(title.len() + 4);
+    println!("{line}\n  {title}\n{line}");
+}
+
+/// Prints a sub-header.
+pub fn subheader(title: &str) {
+    println!("\n--- {title} ---");
+}
+
+/// Renders a `[0, 1]` utilization series as a compact sparkline-style bar
+/// string for terminal figures (Fig. 10).
+pub fn sparkline(series: &[f64], width: usize) -> String {
+    const LEVELS: [char; 9] = [' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    if series.is_empty() || width == 0 {
+        return String::new();
+    }
+    let step = (series.len() as f64 / width as f64).max(1.0);
+    let mut out = String::with_capacity(width);
+    let mut i = 0.0;
+    while (i as usize) < series.len() && out.chars().count() < width {
+        let start = i as usize;
+        let end = ((i + step) as usize).min(series.len()).max(start + 1);
+        let avg: f64 = series[start..end].iter().sum::<f64>() / (end - start) as f64;
+        let idx = ((avg.clamp(0.0, 1.0)) * 8.0).round() as usize;
+        out.push(LEVELS[idx]);
+        i += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_has_requested_width() {
+        let s: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let line = sparkline(&s, 20);
+        assert_eq!(line.chars().count(), 20);
+    }
+
+    #[test]
+    fn sparkline_empty_input() {
+        assert_eq!(sparkline(&[], 10), "");
+    }
+
+    #[test]
+    fn sparkline_clamps_out_of_range() {
+        let line = sparkline(&[2.0, -1.0], 2);
+        assert_eq!(line.chars().count(), 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Data granularity at different levels of collective execution
+//! (paper Table III).
+
+/// The payload → chunk → message → packet decomposition (Table III and
+/// Table V).
+///
+/// * **Chunk** (64 kB): the pipelining unit; multiple chunks are in flight
+///   concurrently and each is scheduled independently.
+/// * **Message** (8 kB): the collective algorithm's unit; the number of
+///   messages per chunk step is a multiple of the ring size.
+/// * **Packet** (256 B): the network transfer unit (one flit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Granularity {
+    /// Chunk size in bytes.
+    pub chunk_bytes: u64,
+    /// Message size in bytes.
+    pub message_bytes: u64,
+    /// Packet size in bytes.
+    pub packet_bytes: u64,
+}
+
+impl Granularity {
+    /// Paper defaults: 64 kB chunks, 8 kB messages (Table V), 256 B packets.
+    pub fn paper_default() -> Granularity {
+        Granularity {
+            chunk_bytes: 64 * 1024,
+            message_bytes: 8 * 1024,
+            packet_bytes: 256,
+        }
+    }
+
+    /// Validates the hierarchy: chunk ≥ message ≥ packet, all nonzero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.packet_bytes == 0 || self.message_bytes == 0 || self.chunk_bytes == 0 {
+            return Err("granularity levels must be nonzero".into());
+        }
+        if self.message_bytes > self.chunk_bytes {
+            return Err("message must not exceed chunk".into());
+        }
+        if self.packet_bytes > self.message_bytes {
+            return Err("packet must not exceed message".into());
+        }
+        Ok(())
+    }
+
+    /// Splits a payload into chunk sizes (last chunk may be short).
+    pub fn chunks(&self, payload_bytes: u64) -> Vec<u64> {
+        split_into(payload_bytes, self.chunk_bytes)
+    }
+
+    /// Splits a shard into message sizes (last message may be short).
+    pub fn messages(&self, shard_bytes: u64) -> Vec<u64> {
+        split_into(shard_bytes, self.message_bytes)
+    }
+
+    /// Number of packets a transfer of `bytes` decomposes into.
+    pub fn packets(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.packet_bytes)
+    }
+}
+
+impl Default for Granularity {
+    fn default() -> Self {
+        Granularity::paper_default()
+    }
+}
+
+fn split_into(total: u64, unit: u64) -> Vec<u64> {
+    assert!(unit > 0, "split unit must be nonzero");
+    if total == 0 {
+        return Vec::new();
+    }
+    let full = total / unit;
+    let rem = total % unit;
+    let mut out = vec![unit; full as usize];
+    if rem > 0 {
+        out.push(rem);
+    }
+    out
+}
+
+/// Splits `total` bytes into `parts` near-even shares (ring shards): the
+/// first `total % parts` shares get one extra byte. Never returns a zero
+/// share unless `total < parts`, in which case trailing shares are zero —
+/// callers treat zero shares as no-op sends.
+///
+/// ```
+/// use ace_collectives::split_even;
+/// assert_eq!(split_even(10, 4), vec![3, 3, 2, 2]);
+/// assert_eq!(split_even(2, 4), vec![1, 1, 0, 0]);
+/// ```
+pub fn split_even(total: u64, parts: usize) -> Vec<u64> {
+    assert!(parts > 0, "cannot split into zero parts");
+    let base = total / parts as u64;
+    let extra = (total % parts as u64) as usize;
+    (0..parts)
+        .map(|i| base + u64::from(i < extra))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_tables() {
+        let g = Granularity::paper_default();
+        assert_eq!(g.chunk_bytes, 65536);
+        assert_eq!(g.message_bytes, 8192);
+        assert_eq!(g.packet_bytes, 256);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn chunking_covers_payload() {
+        let g = Granularity::paper_default();
+        let payload = 1_000_000u64;
+        let chunks = g.chunks(payload);
+        assert_eq!(chunks.iter().sum::<u64>(), payload);
+        assert!(chunks[..chunks.len() - 1].iter().all(|&c| c == g.chunk_bytes));
+        assert!(*chunks.last().unwrap() <= g.chunk_bytes);
+    }
+
+    #[test]
+    fn empty_payload_has_no_chunks() {
+        assert!(Granularity::paper_default().chunks(0).is_empty());
+    }
+
+    #[test]
+    fn message_split_covers_shard() {
+        let g = Granularity::paper_default();
+        let msgs = g.messages(20_000);
+        assert_eq!(msgs.iter().sum::<u64>(), 20_000);
+        assert_eq!(msgs.len(), 3);
+    }
+
+    #[test]
+    fn packet_count_rounds_up() {
+        let g = Granularity::paper_default();
+        assert_eq!(g.packets(256), 1);
+        assert_eq!(g.packets(257), 2);
+        assert_eq!(g.packets(8192), 32);
+    }
+
+    #[test]
+    fn validation_rejects_inverted_hierarchy() {
+        let mut g = Granularity::paper_default();
+        g.message_bytes = g.chunk_bytes * 2;
+        assert!(g.validate().is_err());
+        let mut g = Granularity::paper_default();
+        g.packet_bytes = 0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn split_even_conserves_and_balances() {
+        let parts = split_even(1001, 8);
+        assert_eq!(parts.iter().sum::<u64>(), 1001);
+        let max = *parts.iter().max().unwrap();
+        let min = *parts.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn split_even_small_total() {
+        assert_eq!(split_even(0, 3), vec![0, 0, 0]);
+        assert_eq!(split_even(2, 3), vec![1, 1, 0]);
+    }
+}

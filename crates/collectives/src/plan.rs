@@ -1,0 +1,392 @@
+//! Collective operations and their topology-aware execution plans.
+
+use std::fmt;
+
+use ace_net::{Dim, TorusShape};
+
+/// The four collective operations of DNN training (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveOp {
+    /// Sum-reduce all data so every node holds the full reduced payload.
+    /// Dominant in data-parallel training (weight-gradient exchange).
+    AllReduce,
+    /// Reduce all data, leaving each node one scattered share.
+    ReduceScatter,
+    /// Gather scattered shares so every node holds all data.
+    AllGather,
+    /// Each node sends a distinct slice to every other node. Used for
+    /// embedding exchange in recommendation models (DLRM).
+    AllToAll,
+}
+
+impl fmt::Display for CollectiveOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CollectiveOp::AllReduce => "all-reduce",
+            CollectiveOp::ReduceScatter => "reduce-scatter",
+            CollectiveOp::AllGather => "all-gather",
+            CollectiveOp::AllToAll => "all-to-all",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The algorithm run within one phase of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Ring reduce-scatter over the phase dimension.
+    ReduceScatter,
+    /// Ring all-gather over the phase dimension.
+    AllGather,
+    /// Ring all-reduce (reduce-scatter + all-gather) over the phase
+    /// dimension.
+    RingAllReduce,
+    /// Direct all-to-all across the whole fabric (single phase).
+    DirectAllToAll,
+}
+
+impl fmt::Display for PhaseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PhaseKind::ReduceScatter => "reduce-scatter",
+            PhaseKind::AllGather => "all-gather",
+            PhaseKind::RingAllReduce => "ring-all-reduce",
+            PhaseKind::DirectAllToAll => "direct-all-to-all",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One phase of a hierarchical collective plan.
+///
+/// `input_fraction` is the share of the *original per-node payload* this
+/// phase operates on (1.0 in the first phase; `1/L` for the inter-package
+/// phases of the torus all-reduce after the local reduce-scatter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSpec {
+    /// Algorithm run in this phase.
+    pub kind: PhaseKind,
+    /// Torus dimension the phase's ring lives on; `None` for the global
+    /// direct all-to-all.
+    pub dim: Option<Dim>,
+    /// Number of ring participants (or total nodes for all-to-all).
+    pub ring_size: usize,
+    /// Fraction of the original per-node payload entering this phase.
+    pub input_fraction: f64,
+}
+
+impl PhaseSpec {
+    /// Fraction of the original payload each node holds after this phase.
+    pub fn output_fraction(&self) -> f64 {
+        let k = self.ring_size as f64;
+        match self.kind {
+            PhaseKind::ReduceScatter => self.input_fraction / k,
+            PhaseKind::AllGather => self.input_fraction * k,
+            PhaseKind::RingAllReduce | PhaseKind::DirectAllToAll => self.input_fraction,
+        }
+    }
+
+    /// Fraction of the original payload each node *sends to the network*
+    /// during this phase (Section VI-A accounting).
+    pub fn send_fraction(&self) -> f64 {
+        let k = self.ring_size as f64;
+        let f = self.input_fraction;
+        match self.kind {
+            PhaseKind::ReduceScatter => f * (k - 1.0) / k,
+            PhaseKind::AllGather => f * (k - 1.0),
+            PhaseKind::RingAllReduce => 2.0 * f * (k - 1.0) / k,
+            PhaseKind::DirectAllToAll => f * (k - 1.0) / k,
+        }
+    }
+
+    /// Number of serial ring steps in this phase.
+    pub fn steps(&self) -> usize {
+        match self.kind {
+            PhaseKind::ReduceScatter | PhaseKind::AllGather => self.ring_size - 1,
+            PhaseKind::RingAllReduce => 2 * (self.ring_size - 1),
+            PhaseKind::DirectAllToAll => self.ring_size - 1,
+        }
+    }
+
+    /// Whether steps of this phase perform a reduction (consume ALU /
+    /// reduction memory traffic).
+    pub fn reduces(&self) -> bool {
+        matches!(self.kind, PhaseKind::ReduceScatter | PhaseKind::RingAllReduce)
+    }
+}
+
+impl fmt::Display for PhaseSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dim {
+            Some(d) => write!(f, "{} on {} ring (k={})", self.kind, d, self.ring_size),
+            None => write!(f, "{} (n={})", self.kind, self.ring_size),
+        }
+    }
+}
+
+/// A topology-aware execution plan: the ordered phases a collective runs
+/// through on a given torus.
+///
+/// For all-reduce this is the paper's 4-phase hierarchy (Section V):
+/// reduce-scatter (local) → ring all-reduce (vertical) → ring all-reduce
+/// (horizontal) → all-gather (local), skipping any dimension of size 1.
+/// The plan deliberately exercises the high-bandwidth intra-package links
+/// with the full payload and the slow inter-package links with only
+/// `1/L`-sized shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectivePlan {
+    op: CollectiveOp,
+    shape: TorusShape,
+    phases: Vec<PhaseSpec>,
+}
+
+impl CollectivePlan {
+    /// Builds the plan for `op` on `shape`.
+    pub fn for_op(op: CollectiveOp, shape: TorusShape) -> CollectivePlan {
+        let phases = match op {
+            CollectiveOp::AllReduce => Self::all_reduce_phases(shape),
+            CollectiveOp::ReduceScatter => Self::sweep_phases(shape, PhaseKind::ReduceScatter, false),
+            CollectiveOp::AllGather => Self::sweep_phases(shape, PhaseKind::AllGather, true),
+            CollectiveOp::AllToAll => vec![PhaseSpec {
+                kind: PhaseKind::DirectAllToAll,
+                dim: None,
+                ring_size: shape.nodes(),
+                input_fraction: 1.0,
+            }],
+        };
+        CollectivePlan { op, shape, phases }
+    }
+
+    fn all_reduce_phases(shape: TorusShape) -> Vec<PhaseSpec> {
+        let mut phases = Vec::new();
+        let mut frac = 1.0;
+        let l = shape.len(Dim::Local);
+        if l > 1 {
+            phases.push(PhaseSpec {
+                kind: PhaseKind::ReduceScatter,
+                dim: Some(Dim::Local),
+                ring_size: l,
+                input_fraction: frac,
+            });
+            frac /= l as f64;
+        }
+        for dim in [Dim::Vertical, Dim::Horizontal] {
+            let k = shape.len(dim);
+            if k > 1 {
+                phases.push(PhaseSpec {
+                    kind: PhaseKind::RingAllReduce,
+                    dim: Some(dim),
+                    ring_size: k,
+                    input_fraction: frac,
+                });
+            }
+        }
+        if l > 1 {
+            phases.push(PhaseSpec {
+                kind: PhaseKind::AllGather,
+                dim: Some(Dim::Local),
+                ring_size: l,
+                input_fraction: frac,
+            });
+        }
+        if phases.is_empty() {
+            // Degenerate 1-D shapes still need a ring all-reduce over
+            // whichever dimension exists.
+            let dim = Dim::ALL
+                .into_iter()
+                .find(|d| shape.len(*d) > 1)
+                .expect("torus has at least two nodes");
+            phases.push(PhaseSpec {
+                kind: PhaseKind::RingAllReduce,
+                dim: Some(dim),
+                ring_size: shape.len(dim),
+                input_fraction: 1.0,
+            });
+        }
+        phases
+    }
+
+    /// Dimension sweep for standalone reduce-scatter / all-gather.
+    /// All-gather sweeps dimensions in reverse so that it exactly mirrors
+    /// the reduce-scatter sweep.
+    fn sweep_phases(shape: TorusShape, kind: PhaseKind, reverse: bool) -> Vec<PhaseSpec> {
+        let mut dims: Vec<Dim> = Dim::ALL.into_iter().filter(|d| shape.len(*d) > 1).collect();
+        if reverse {
+            dims.reverse();
+        }
+        let mut phases = Vec::new();
+        let mut frac = 1.0;
+        for dim in dims {
+            let k = shape.len(dim);
+            phases.push(PhaseSpec {
+                kind,
+                dim: Some(dim),
+                ring_size: k,
+                input_fraction: frac,
+            });
+            frac = match kind {
+                PhaseKind::ReduceScatter => frac / k as f64,
+                PhaseKind::AllGather => frac * k as f64,
+                _ => frac,
+            };
+        }
+        phases
+    }
+
+    /// The collective this plan implements.
+    pub fn op(&self) -> CollectiveOp {
+        self.op
+    }
+
+    /// The torus the plan targets.
+    pub fn shape(&self) -> TorusShape {
+        self.shape
+    }
+
+    /// The ordered phases.
+    pub fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    /// Total bytes each node sends to the network for a per-node payload
+    /// of `payload_bytes` (Section VI-A: 2.25 N on a 4×4×4 torus).
+    pub fn bytes_sent_per_node(&self, payload_bytes: u64) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.send_fraction() * payload_bytes as f64)
+            .sum()
+    }
+
+    /// Total serial ring steps across all phases (a latency proxy).
+    pub fn total_steps(&self) -> usize {
+        self.phases.iter().map(PhaseSpec::steps).sum()
+    }
+}
+
+impl fmt::Display for CollectivePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}: ", self.op, self.shape)?;
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus444() -> TorusShape {
+        TorusShape::new(4, 4, 4).unwrap()
+    }
+
+    #[test]
+    fn all_reduce_plan_has_four_phases() {
+        let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, torus444());
+        let kinds: Vec<PhaseKind> = plan.phases().iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PhaseKind::ReduceScatter,
+                PhaseKind::RingAllReduce,
+                PhaseKind::RingAllReduce,
+                PhaseKind::AllGather,
+            ]
+        );
+        assert_eq!(plan.phases()[0].dim, Some(Dim::Local));
+        assert_eq!(plan.phases()[1].dim, Some(Dim::Vertical));
+        assert_eq!(plan.phases()[2].dim, Some(Dim::Horizontal));
+        assert_eq!(plan.phases()[3].dim, Some(Dim::Local));
+    }
+
+    #[test]
+    fn section_vi_a_send_fractions() {
+        // 4x4x4: 3/4 N + 6/16 N + 6/16 N + 3/4 N = 2.25 N.
+        let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, torus444());
+        let fr: Vec<f64> = plan.phases().iter().map(PhaseSpec::send_fraction).collect();
+        assert!((fr[0] - 0.75).abs() < 1e-12);
+        assert!((fr[1] - 6.0 / 16.0).abs() < 1e-12);
+        assert!((fr[2] - 6.0 / 16.0).abs() < 1e-12);
+        assert!((fr[3] - 0.75).abs() < 1e-12);
+        assert!((plan.bytes_sent_per_node(1 << 20) - 2.25 * (1u64 << 20) as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn inter_package_phases_shrink_after_local_rs() {
+        let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, torus444());
+        assert_eq!(plan.phases()[1].input_fraction, 0.25);
+        assert_eq!(plan.phases()[2].input_fraction, 0.25);
+        assert_eq!(plan.phases()[3].output_fraction(), 1.0);
+    }
+
+    #[test]
+    fn dimension_of_size_one_is_skipped() {
+        let shape = TorusShape::new(4, 1, 2).unwrap();
+        let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape);
+        assert!(plan.phases().iter().all(|p| p.dim != Some(Dim::Vertical)));
+        assert_eq!(plan.phases().len(), 3); // RS local, AR horizontal, AG local
+    }
+
+    #[test]
+    fn one_dimensional_ring_uses_single_ring_all_reduce() {
+        let shape = TorusShape::new(1, 8, 1).unwrap();
+        let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape);
+        assert_eq!(plan.phases().len(), 1);
+        assert_eq!(plan.phases()[0].kind, PhaseKind::RingAllReduce);
+        // Bandwidth-optimal ring all-reduce sends 2(k-1)/k of the payload.
+        let sent = plan.bytes_sent_per_node(1000);
+        assert!((sent - 2.0 * 7.0 / 8.0 * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_to_all_is_single_phase() {
+        let plan = CollectivePlan::for_op(CollectiveOp::AllToAll, torus444());
+        assert_eq!(plan.phases().len(), 1);
+        let p = plan.phases()[0];
+        assert_eq!(p.kind, PhaseKind::DirectAllToAll);
+        assert_eq!(p.ring_size, 64);
+        // Each node keeps 1/64 and sends 63/64.
+        assert!((p.send_fraction() - 63.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_scatter_and_all_gather_mirror() {
+        let rs = CollectivePlan::for_op(CollectiveOp::ReduceScatter, torus444());
+        let ag = CollectivePlan::for_op(CollectiveOp::AllGather, torus444());
+        assert_eq!(rs.phases().len(), 3);
+        assert_eq!(ag.phases().len(), 3);
+        // RS ends with 1/64 of the payload; AG ends with 64x.
+        let rs_out = rs.phases().last().unwrap().output_fraction();
+        assert!((rs_out - 1.0 / 64.0).abs() < 1e-12);
+        let ag_out = ag.phases().last().unwrap().output_fraction();
+        assert!((ag_out - 64.0).abs() < 1e-9);
+        // AG sweeps dimensions in reverse order of RS.
+        assert_eq!(rs.phases()[0].dim, ag.phases().last().unwrap().dim);
+    }
+
+    #[test]
+    fn ring_steps() {
+        let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, torus444());
+        // (4-1) + 2(4-1) + 2(4-1) + (4-1) = 18.
+        assert_eq!(plan.total_steps(), 18);
+    }
+
+    #[test]
+    fn reduces_flag() {
+        let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, torus444());
+        assert!(plan.phases()[0].reduces());
+        assert!(plan.phases()[1].reduces());
+        assert!(!plan.phases()[3].reduces());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, torus444());
+        let s = plan.to_string();
+        assert!(s.contains("all-reduce") && s.contains("->") && s.contains("local"));
+    }
+}

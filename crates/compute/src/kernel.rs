@@ -1,0 +1,117 @@
+//! Kernel descriptors: the unit of work the compute model times.
+
+use std::fmt;
+
+/// A compute kernel characterized by its arithmetic and memory demands.
+///
+/// Workload layers are lowered to one `KernelDesc` per pass (forward,
+/// input-gradient, weight-gradient) per layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesc {
+    name: String,
+    flops: f64,
+    mem_bytes: f64,
+}
+
+impl KernelDesc {
+    /// Creates a kernel with `flops` floating-point operations and
+    /// `mem_bytes` of main-memory traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either quantity is negative or non-finite.
+    pub fn new(name: impl Into<String>, flops: f64, mem_bytes: f64) -> KernelDesc {
+        assert!(flops.is_finite() && flops >= 0.0, "flops must be non-negative");
+        assert!(
+            mem_bytes.is_finite() && mem_bytes >= 0.0,
+            "mem_bytes must be non-negative"
+        );
+        KernelDesc {
+            name: name.into(),
+            flops,
+            mem_bytes,
+        }
+    }
+
+    /// The kernel's name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Floating-point operations.
+    pub fn flops(&self) -> f64 {
+        self.flops
+    }
+
+    /// Main-memory bytes moved.
+    pub fn mem_bytes(&self) -> f64 {
+        self.mem_bytes
+    }
+
+    /// Arithmetic intensity in flops/byte; `f64::INFINITY` for kernels with
+    /// no memory traffic.
+    pub fn intensity(&self) -> f64 {
+        if self.mem_bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.mem_bytes
+        }
+    }
+
+    /// Returns a copy scaled by `factor` in both flops and bytes (used for
+    /// batch-size scaling).
+    pub fn scaled(&self, factor: f64) -> KernelDesc {
+        KernelDesc::new(self.name.clone(), self.flops * factor, self.mem_bytes * factor)
+    }
+}
+
+impl fmt::Display for KernelDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:.2} GFLOP, {:.2} MB)",
+            self.name,
+            self.flops / 1e9,
+            self.mem_bytes / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_is_flops_per_byte() {
+        let k = KernelDesc::new("k", 100.0, 50.0);
+        assert_eq!(k.intensity(), 2.0);
+    }
+
+    #[test]
+    fn zero_byte_kernel_has_infinite_intensity() {
+        let k = KernelDesc::new("k", 100.0, 0.0);
+        assert!(k.intensity().is_infinite());
+    }
+
+    #[test]
+    fn scaling_preserves_intensity() {
+        let k = KernelDesc::new("k", 100.0, 50.0);
+        let s = k.scaled(4.0);
+        assert_eq!(s.flops(), 400.0);
+        assert_eq!(s.mem_bytes(), 200.0);
+        assert_eq!(s.intensity(), k.intensity());
+    }
+
+    #[test]
+    fn display_shows_units() {
+        let k = KernelDesc::new("gemm", 2.0e9, 40.0e6);
+        let s = k.to_string();
+        assert!(s.contains("gemm") && s.contains("GFLOP") && s.contains("MB"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_flops_rejected() {
+        let _ = KernelDesc::new("bad", -1.0, 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! GPU-like NPU compute model.
+//!
+//! The paper's compute substrate (SCALE-sim) reports per-layer forward,
+//! input-gradient, and weight-gradient times for an 80-SM, 1245 MHz,
+//! 120 TFLOPS-FP16 accelerator (Table V). We replace it with a roofline
+//! model: a kernel's duration is the maximum of its arithmetic time (flops
+//! over the SM pool's peak rate, scaled by the fraction of SMs allocated to
+//! compute) and its memory time (bytes over the memory bandwidth allocated
+//! to compute).
+//!
+//! The paper's own configuration table shows the compute model is memory-
+//! bandwidth-sensitive: moving from BaselineCommOpt (450 GB/s for compute)
+//! to BaselineCompOpt (772 GB/s) shrinks ResNet-50 compute time by 1.75×
+//! ≈ 772/450, which only happens when layers sit on the memory-bound side
+//! of the roofline. The workload crate calibrates per-layer byte counts
+//! accordingly.
+//!
+//! The crate also models the *communication-side* SM cost (Section III):
+//! each SM loaned to the communication library moves at most 64 bytes/cycle
+//! (≈80 GB/s at 1245 MHz), so ~6 SMs saturate a 450 GB/s memory partition —
+//! the Fig. 6 saturation point.
+//!
+//! # Example
+//!
+//! ```
+//! use ace_compute::{KernelDesc, NpuParams};
+//!
+//! let npu = NpuParams::paper_default();
+//! let k = KernelDesc::new("gemm", 2.0e9, 40.0e6);
+//! // All 80 SMs, full 900 GB/s: bounded by whichever side of the roofline.
+//! let cycles = npu.kernel_cycles(&k, 80, 900.0);
+//! assert!(cycles > 0);
+//! // Starving memory bandwidth slows a memory-bound kernel.
+//! assert!(npu.kernel_cycles(&k, 80, 128.0) > cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernel;
+mod npu;
+mod sm_drive;
+
+pub use kernel::KernelDesc;
+pub use npu::NpuParams;
+pub use sm_drive::SmDriveModel;

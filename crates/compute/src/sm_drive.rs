@@ -1,0 +1,100 @@
+//! The communication-side SM cost model.
+//!
+//! In the baseline endpoint, collective kernels run on NPU SMs: "SMs are
+//! used to read data from the main memory and inject it into the network.
+//! For the frequency of 1245 MHz and read/write BW of 64-bytes/cycle, the
+//! memory BW is ≈80 GB/s per SM" (Section III). This module turns an SM
+//! allocation into an aggregate drive bandwidth, the rate cap in front of
+//! every baseline network injection — the mechanism behind Fig. 6.
+
+use ace_simcore::Frequency;
+
+/// Per-SM read/write width in bytes per cycle (Section III).
+pub const SM_BYTES_PER_CYCLE: f64 = 64.0;
+
+/// Converts SM allocations into communication drive bandwidth.
+#[derive(Debug, Clone, Copy)]
+pub struct SmDriveModel {
+    freq: Frequency,
+}
+
+impl SmDriveModel {
+    /// Creates the model at clock `freq`.
+    pub fn new(freq: Frequency) -> SmDriveModel {
+        SmDriveModel { freq }
+    }
+
+    /// Model at the paper's 1245 MHz clock.
+    pub fn paper_default() -> SmDriveModel {
+        SmDriveModel::new(ace_simcore::npu_frequency())
+    }
+
+    /// Drive bandwidth of one SM, in GB/s (≈80 at 1245 MHz).
+    pub fn per_sm_gbps(&self) -> f64 {
+        self.freq.gbps(SM_BYTES_PER_CYCLE)
+    }
+
+    /// Aggregate drive bandwidth of `sms` SMs, in GB/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sms` is zero — the baseline cannot drive the network
+    /// without at least one SM.
+    pub fn drive_gbps(&self, sms: u32) -> f64 {
+        assert!(sms > 0, "baseline needs at least one communication SM");
+        self.per_sm_gbps() * sms as f64
+    }
+
+    /// Aggregate drive capacity in bytes per cycle.
+    pub fn drive_bytes_per_cycle(&self, sms: u32) -> f64 {
+        assert!(sms > 0, "baseline needs at least one communication SM");
+        SM_BYTES_PER_CYCLE * sms as f64
+    }
+
+    /// The minimum number of SMs whose aggregate drive bandwidth reaches
+    /// `target_gbps` — the Fig. 6 saturation point calculation.
+    pub fn sms_to_reach(&self, target_gbps: f64) -> u32 {
+        (target_gbps / self.per_sm_gbps()).ceil().max(1.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_sm_is_about_80_gbps() {
+        let m = SmDriveModel::paper_default();
+        // 64 B/cycle × 1.245 GHz = 79.68 GB/s.
+        assert!((m.per_sm_gbps() - 79.68).abs() < 0.01);
+    }
+
+    #[test]
+    fn six_sms_cover_450_gbps() {
+        // Section III: "6 SMs are enough to reach to the 450 GB/s memory BW".
+        let m = SmDriveModel::paper_default();
+        assert_eq!(m.sms_to_reach(450.0), 6);
+        assert!(m.drive_gbps(6) > 450.0);
+        assert!(m.drive_gbps(5) < 450.0);
+    }
+
+    #[test]
+    fn two_sms_cover_128_gbps() {
+        // Table VI BaselineCompOpt: 128 GB/s needs 2 SMs.
+        let m = SmDriveModel::paper_default();
+        assert_eq!(m.sms_to_reach(128.0), 2);
+    }
+
+    #[test]
+    fn drive_scales_linearly() {
+        let m = SmDriveModel::paper_default();
+        assert!((m.drive_gbps(4) - 4.0 * m.per_sm_gbps()).abs() < 1e-9);
+        assert!((m.drive_bytes_per_cycle(3) - 192.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_sms_rejected() {
+        let _ = SmDriveModel::paper_default().drive_gbps(0);
+    }
+}

@@ -1,0 +1,131 @@
+//! The programmable FSM pool (Section IV-F).
+//!
+//! Each FSM is programmed for one phase of one collective algorithm and
+//! holds a queue of chunks processed in order; FSMs assigned to the same
+//! phase give that phase intra-phase chunk parallelism. The pool spreads
+//! the configured FSM count across phases round-robin, guaranteeing every
+//! phase at least one FSM (matching the paper's observation that available
+//! parallelism "is only bounded by the number of available state machines
+//! ... for each phase").
+
+use ace_simcore::{Grant, SimTime, SlotServer};
+
+/// A pool of FSMs statically assigned to collective phases.
+#[derive(Debug, Clone)]
+pub struct FsmPool {
+    groups: Vec<SlotServer>,
+}
+
+impl FsmPool {
+    /// Distributes `num_fsms` FSMs over `phases` phases. When there are
+    /// fewer FSMs than phases, phases share FSM groups round-robin (an FSM
+    /// is then programmed to handle multiple phases, as the paper does for
+    /// all-to-all sharing all-reduce FSMs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_fsms` or `phases` is zero.
+    pub fn new(num_fsms: usize, phases: usize) -> FsmPool {
+        assert!(num_fsms > 0, "need at least one FSM");
+        assert!(phases > 0, "need at least one phase");
+        let mut counts = vec![num_fsms / phases; phases];
+        for item in counts.iter_mut().take(num_fsms % phases) {
+            *item += 1;
+        }
+        // Guarantee progress on every phase even with very few FSMs.
+        for c in counts.iter_mut() {
+            *c = (*c).max(1);
+        }
+        let groups = counts.into_iter().map(SlotServer::new).collect();
+        FsmPool { groups }
+    }
+
+    /// Number of phase groups.
+    pub fn phases(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of FSMs serving `phase`.
+    pub fn fsms_for(&self, phase: usize) -> usize {
+        self.groups[phase].slots()
+    }
+
+    /// Dispatches one chunk-step of `duration` cycles onto the earliest
+    /// free FSM of `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase` is out of range.
+    pub fn dispatch(&mut self, phase: usize, now: SimTime, duration: u64) -> Grant {
+        self.groups[phase].request(now, duration)
+    }
+
+    /// Earliest time a step for `phase` could begin at `now`.
+    pub fn next_free(&self, phase: usize, now: SimTime) -> SimTime {
+        self.groups[phase].next_free(now)
+    }
+
+    /// Aggregate FSM-busy cycles (for utilization reporting).
+    pub fn busy_cycles(&self) -> u64 {
+        self.groups.iter().map(SlotServer::busy_cycles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_fsms_over_four_phases() {
+        let pool = FsmPool::new(16, 4);
+        assert_eq!(pool.phases(), 4);
+        for phase in 0..4 {
+            assert_eq!(pool.fsms_for(phase), 4);
+        }
+    }
+
+    #[test]
+    fn uneven_split_favors_early_phases() {
+        let pool = FsmPool::new(10, 4);
+        assert_eq!(pool.fsms_for(0), 3);
+        assert_eq!(pool.fsms_for(1), 3);
+        assert_eq!(pool.fsms_for(2), 2);
+        assert_eq!(pool.fsms_for(3), 2);
+    }
+
+    #[test]
+    fn fewer_fsms_than_phases_still_progresses() {
+        let pool = FsmPool::new(2, 4);
+        for phase in 0..4 {
+            assert!(pool.fsms_for(phase) >= 1);
+        }
+    }
+
+    #[test]
+    fn dispatch_parallelism_matches_group_size() {
+        let mut pool = FsmPool::new(8, 4); // 2 FSMs per phase
+        let a = pool.dispatch(0, SimTime::ZERO, 100);
+        let b = pool.dispatch(0, SimTime::ZERO, 100);
+        let c = pool.dispatch(0, SimTime::ZERO, 100);
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(b.start, SimTime::ZERO);
+        assert_eq!(c.start.cycles(), 100);
+        // Phase 1's FSMs are independent.
+        let d = pool.dispatch(1, SimTime::ZERO, 100);
+        assert_eq!(d.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn next_free_reflects_load() {
+        let mut pool = FsmPool::new(4, 4); // 1 FSM per phase
+        pool.dispatch(2, SimTime::ZERO, 50);
+        assert_eq!(pool.next_free(2, SimTime::ZERO).cycles(), 50);
+        assert_eq!(pool.next_free(3, SimTime::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one FSM")]
+    fn zero_fsms_rejected() {
+        let _ = FsmPool::new(0, 4);
+    }
+}

@@ -1,0 +1,182 @@
+//! Area/power synthesis model (paper Table IV, 28 nm).
+//!
+//! The paper implements ACE in Verilog and synthesizes it with Synopsys
+//! Design Compiler at 28 nm. We reproduce Table IV as an analytical model:
+//! the default configuration returns the paper's exact component figures,
+//! and other design-space points scale linearly in the relevant capacity
+//! (SRAM area/power per MB, control area/power per FSM, ALU per unit).
+//! The small gap between Table IV's component rows and its "ACE (Total)"
+//! row is carried as a fixed integration overhead.
+
+use crate::config::AceConfig;
+
+/// Area (µm²) and power (mW) of one component or of the whole engine.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaPower {
+    /// Area in square micrometres.
+    pub area_um2: f64,
+    /// Power in milliwatts.
+    pub power_mw: f64,
+}
+
+impl AreaPower {
+    /// Component-wise sum.
+    pub fn plus(self, other: AreaPower) -> AreaPower {
+        AreaPower {
+            area_um2: self.area_um2 + other.area_um2,
+            power_mw: self.power_mw + other.power_mw,
+        }
+    }
+
+    /// Area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.area_um2 / 1e6
+    }
+
+    /// Power in watts.
+    pub fn power_w(&self) -> f64 {
+        self.power_mw / 1e3
+    }
+}
+
+/// Table IV reference point: 4 ALU units.
+const ALU_REF: AreaPower = AreaPower { area_um2: 16112.0, power_mw: 7.552 };
+const ALU_REF_UNITS: f64 = 4.0;
+
+/// Table IV reference point: control unit with 16 FSMs.
+const CONTROL_REF: AreaPower = AreaPower { area_um2: 159803.0, power_mw: 128.0 };
+const CONTROL_REF_FSMS: f64 = 16.0;
+
+/// Table IV reference point: 4 × 1 MB SRAM banks.
+const SRAM_REF: AreaPower = AreaPower { area_um2: 5_113_696.0, power_mw: 4096.0 };
+const SRAM_REF_MB: f64 = 4.0;
+
+/// Table IV: switch & interconnect.
+const SWITCH_REF: AreaPower = AreaPower { area_um2: 1084.0, power_mw: 0.329 };
+
+/// Residual between Table IV's total row and the sum of its components
+/// (integration/glue logic).
+const INTEGRATION: AreaPower = AreaPower {
+    area_um2: 5_339_031.0 - (16112.0 + 159803.0 + 5_113_696.0 + 1084.0),
+    power_mw: 4255.0 - (7.552 + 128.0 + 4096.0 + 0.329),
+};
+
+/// ALU array estimate for `config`.
+pub fn alu(config: &AceConfig) -> AreaPower {
+    let scale = config.alu_units as f64 / ALU_REF_UNITS;
+    AreaPower {
+        area_um2: ALU_REF.area_um2 * scale,
+        power_mw: ALU_REF.power_mw * scale,
+    }
+}
+
+/// Control-unit estimate for `config` (scales with FSM count).
+pub fn control(config: &AceConfig) -> AreaPower {
+    let scale = config.num_fsms as f64 / CONTROL_REF_FSMS;
+    AreaPower {
+        area_um2: CONTROL_REF.area_um2 * scale,
+        power_mw: CONTROL_REF.power_mw * scale,
+    }
+}
+
+/// SRAM estimate for `config` (scales with capacity).
+pub fn sram(config: &AceConfig) -> AreaPower {
+    let mb = config.sram_bytes as f64 / (1024.0 * 1024.0);
+    let scale = mb / SRAM_REF_MB;
+    AreaPower {
+        area_um2: SRAM_REF.area_um2 * scale,
+        power_mw: SRAM_REF.power_mw * scale,
+    }
+}
+
+/// Switch & interconnect estimate (constant).
+pub fn switch(_config: &AceConfig) -> AreaPower {
+    SWITCH_REF
+}
+
+/// Whole-engine estimate: components plus integration overhead.
+pub fn total(config: &AceConfig) -> AreaPower {
+    alu(config)
+        .plus(control(config))
+        .plus(sram(config))
+        .plus(switch(config))
+        .plus(INTEGRATION)
+}
+
+/// Reference high-end training accelerator for the "<2 % overhead" claim
+/// (Section IV-I cites TPU-class parts [25], [57]): ~331 mm², ~250 W.
+#[derive(Debug, Clone, Copy)]
+pub struct AcceleratorReference {
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// TDP in watts.
+    pub power_w: f64,
+}
+
+impl AcceleratorReference {
+    /// TPU-class reference point.
+    pub fn tpu_class() -> AcceleratorReference {
+        AcceleratorReference { area_mm2: 331.0, power_w: 250.0 }
+    }
+}
+
+/// ACE's area and power as fractions of the reference accelerator.
+pub fn overhead(config: &AceConfig, reference: AcceleratorReference) -> (f64, f64) {
+    let t = total(config);
+    (t.area_mm2() / reference.area_mm2, t.power_w() / reference.power_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_component_rows() {
+        let c = AceConfig::paper_default();
+        assert_eq!(alu(&c).area_um2, 16112.0);
+        assert!((alu(&c).power_mw - 7.552).abs() < 1e-9);
+        assert_eq!(control(&c).area_um2, 159803.0);
+        assert_eq!(control(&c).power_mw, 128.0);
+        assert_eq!(sram(&c).area_um2, 5_113_696.0);
+        assert_eq!(sram(&c).power_mw, 4096.0);
+        assert_eq!(switch(&c).area_um2, 1084.0);
+    }
+
+    #[test]
+    fn table_iv_total_row() {
+        let t = total(&AceConfig::paper_default());
+        assert!((t.area_um2 - 5_339_031.0).abs() < 1.0);
+        assert!((t.power_mw - 4255.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn overhead_is_under_two_percent() {
+        let (a, p) = overhead(&AceConfig::paper_default(), AcceleratorReference::tpu_class());
+        assert!(a < 0.02, "area overhead {a}");
+        assert!(p < 0.02, "power overhead {p}");
+    }
+
+    #[test]
+    fn sram_dominates_and_scales() {
+        let small = AceConfig::with_dse_point(1, 16);
+        let big = AceConfig::with_dse_point(8, 16);
+        assert!(sram(&big).area_um2 > 7.9 * sram(&small).area_um2);
+        // SRAM is > 90% of total area at the default point.
+        let c = AceConfig::paper_default();
+        assert!(sram(&c).area_um2 / total(&c).area_um2 > 0.9);
+    }
+
+    #[test]
+    fn control_scales_with_fsms() {
+        let a = control(&AceConfig::with_dse_point(4, 8));
+        let b = control(&AceConfig::with_dse_point(4, 16));
+        assert!((b.area_um2 / a.area_um2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let ap = AreaPower { area_um2: 2.5e6, power_mw: 1500.0 };
+        assert!((ap.area_mm2() - 2.5).abs() < 1e-12);
+        assert!((ap.power_w() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,40 @@
+//! Accelerator-fabric (AF) network simulator.
+//!
+//! Models the point-to-point 3D-torus fabrics used by the paper's target
+//! platforms (Section V): each package holds `L` NPUs on an intra-package
+//! ring built from silicon-interposer links, and packages are joined by
+//! vertical and horizontal inter-package rings (NVLink-class links). Every
+//! NPU therefore owns six unidirectional egress ports: local ±, vertical ±,
+//! and horizontal ±.
+//!
+//! Transfers are simulated at message granularity with per-link FIFO
+//! serialization (bytes ÷ effective link bandwidth) plus a per-hop
+//! propagation latency, reproducing the paper's Table V link parameters
+//! (200 GB/s / 90 cycles intra-package, 25 GB/s / 500 cycles inter-package,
+//! 94 % link efficiency). Multi-hop traffic follows XYZ routing: first the
+//! local dimension, then vertical, then horizontal.
+//!
+//! # Example
+//!
+//! ```
+//! use ace_net::{Network, NetworkParams, TorusShape};
+//! use ace_simcore::SimTime;
+//!
+//! let shape = TorusShape::new(4, 2, 2).unwrap();
+//! let mut net = Network::new(shape, NetworkParams::paper_default());
+//! let route = net.shape().route(0.into(), 5.into());
+//! assert!(!route.is_empty());
+//! let arrival = net.send_route(SimTime::ZERO, 0.into(), &route, 8 * 1024);
+//! assert!(arrival.cycles() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod link;
+mod network;
+mod topology;
+
+pub use link::{Link, LinkClass, LinkParams, Port};
+pub use network::{HopOutcome, Network, NetworkParams};
+pub use topology::{Coord, Dim, NodeId, Route, TorusShape};

@@ -1,0 +1,273 @@
+//! Link model: per-port FIFO serialization with propagation latency.
+
+use std::fmt;
+
+use ace_simcore::{BandwidthServer, Frequency, Grant, SimTime, UtilizationTracker};
+
+use crate::topology::Dim;
+
+/// The two physical link technologies in the platform (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Silicon-interposer intra-package link: 200 GB/s, 90-cycle latency.
+    IntraPackage,
+    /// NVLink-class inter-package link: 25 GB/s, 500-cycle latency.
+    InterPackage,
+}
+
+impl LinkClass {
+    /// The link class used for dimension `dim`.
+    pub fn for_dim(dim: Dim) -> LinkClass {
+        match dim {
+            Dim::Local => LinkClass::IntraPackage,
+            Dim::Vertical | Dim::Horizontal => LinkClass::InterPackage,
+        }
+    }
+}
+
+impl fmt::Display for LinkClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkClass::IntraPackage => f.write_str("intra-package"),
+            LinkClass::InterPackage => f.write_str("inter-package"),
+        }
+    }
+}
+
+/// Physical parameters of one link class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Peak bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Propagation latency in cycles.
+    pub latency_cycles: u64,
+    /// Achievable fraction of peak bandwidth (Table V: 94 %).
+    pub efficiency: f64,
+}
+
+impl LinkParams {
+    /// Table V parameters for `class`.
+    pub fn paper_default(class: LinkClass) -> LinkParams {
+        match class {
+            LinkClass::IntraPackage => LinkParams {
+                bandwidth_gbps: 200.0,
+                latency_cycles: 90,
+                efficiency: 0.94,
+            },
+            LinkClass::InterPackage => LinkParams {
+                bandwidth_gbps: 25.0,
+                latency_cycles: 500,
+                efficiency: 0.94,
+            },
+        }
+    }
+
+    /// Effective bandwidth after the efficiency derating, in GB/s.
+    pub fn effective_gbps(&self) -> f64 {
+        self.bandwidth_gbps * self.efficiency
+    }
+}
+
+/// One egress port of a node: a dimension and a ring direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Port {
+    dim: Dim,
+    plus: bool,
+}
+
+impl Port {
+    /// Creates a port for `dim` in the positive (`plus = true`) or negative
+    /// ring direction.
+    pub fn new(dim: Dim, plus: bool) -> Port {
+        Port { dim, plus }
+    }
+
+    /// All six ports in a fixed order.
+    pub const ALL: [Port; 6] = [
+        Port { dim: Dim::Local, plus: true },
+        Port { dim: Dim::Local, plus: false },
+        Port { dim: Dim::Vertical, plus: true },
+        Port { dim: Dim::Vertical, plus: false },
+        Port { dim: Dim::Horizontal, plus: true },
+        Port { dim: Dim::Horizontal, plus: false },
+    ];
+
+    /// The port's dimension.
+    pub fn dim(self) -> Dim {
+        self.dim
+    }
+
+    /// Whether the port points in the positive ring direction.
+    pub fn is_plus(self) -> bool {
+        self.plus
+    }
+
+    /// Dense index in `[0, 6)` for table lookups.
+    pub fn index(self) -> usize {
+        let d = match self.dim {
+            Dim::Local => 0,
+            Dim::Vertical => 1,
+            Dim::Horizontal => 2,
+        };
+        d * 2 + usize::from(!self.plus)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.dim, if self.plus { "+" } else { "-" })
+    }
+}
+
+/// A unidirectional link: a bandwidth server plus propagation latency.
+#[derive(Debug, Clone)]
+pub struct Link {
+    class: LinkClass,
+    params: LinkParams,
+    server: BandwidthServer,
+    util: UtilizationTracker,
+}
+
+impl Link {
+    /// Creates a link of `class` with `params` under NPU clock `freq`.
+    pub fn new(class: LinkClass, params: LinkParams, freq: Frequency) -> Link {
+        let bpc = freq.bytes_per_cycle(params.effective_gbps());
+        Link {
+            class,
+            params,
+            server: BandwidthServer::new(bpc),
+            util: UtilizationTracker::new(),
+        }
+    }
+
+    /// The link's class.
+    pub fn class(&self) -> LinkClass {
+        self.class
+    }
+
+    /// The link's physical parameters.
+    pub fn params(&self) -> &LinkParams {
+        &self.params
+    }
+
+    /// Serializes `bytes` onto the wire starting no earlier than `now`.
+    /// The returned grant covers wire occupancy; the message is available
+    /// at the downstream node at `grant.end + latency`.
+    pub fn transmit(&mut self, now: SimTime, bytes: u64) -> Grant {
+        let grant = self.server.request(now, bytes);
+        self.util.record(grant.start, grant.end);
+        grant
+    }
+
+    /// Arrival time at the downstream node for a transmission grant.
+    pub fn arrival(&self, grant: Grant) -> SimTime {
+        grant.end + self.params.latency_cycles
+    }
+
+    /// Earliest time the wire is free for a request issued at `now`.
+    pub fn next_free(&self, now: SimTime) -> SimTime {
+        self.server.next_free(now)
+    }
+
+    /// Total bytes carried.
+    pub fn bytes_carried(&self) -> u64 {
+        self.server.bytes_served()
+    }
+
+    /// Cycles the wire spent busy.
+    pub fn busy_cycles(&self) -> f64 {
+        self.server.busy_cycles()
+    }
+
+    /// Wire-busy fraction over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.server.utilization(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_simcore::npu_frequency;
+
+    #[test]
+    fn link_class_by_dimension() {
+        assert_eq!(LinkClass::for_dim(Dim::Local), LinkClass::IntraPackage);
+        assert_eq!(LinkClass::for_dim(Dim::Vertical), LinkClass::InterPackage);
+        assert_eq!(LinkClass::for_dim(Dim::Horizontal), LinkClass::InterPackage);
+    }
+
+    #[test]
+    fn paper_params_match_table_v() {
+        let intra = LinkParams::paper_default(LinkClass::IntraPackage);
+        assert_eq!(intra.bandwidth_gbps, 200.0);
+        assert_eq!(intra.latency_cycles, 90);
+        let inter = LinkParams::paper_default(LinkClass::InterPackage);
+        assert_eq!(inter.bandwidth_gbps, 25.0);
+        assert_eq!(inter.latency_cycles, 500);
+        assert!((inter.effective_gbps() - 23.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn port_indices_are_dense_and_unique() {
+        let mut seen = [false; 6];
+        for p in Port::ALL {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn port_display() {
+        assert_eq!(Port::new(Dim::Local, true).to_string(), "local+");
+        assert_eq!(Port::new(Dim::Horizontal, false).to_string(), "horizontal-");
+    }
+
+    #[test]
+    fn transmit_serializes_and_adds_latency() {
+        let freq = npu_frequency();
+        let params = LinkParams::paper_default(LinkClass::InterPackage);
+        let mut link = Link::new(LinkClass::InterPackage, params, freq);
+        let g1 = link.transmit(SimTime::ZERO, 8 * 1024);
+        let g2 = link.transmit(SimTime::ZERO, 8 * 1024);
+        // Second message queues behind the first.
+        assert!(g2.start >= g1.start);
+        assert!(g2.end.cycles() >= 2 * (g1.end.cycles() / 2));
+        // Arrival adds 500 cycles of propagation.
+        assert_eq!(link.arrival(g1), g1.end + 500);
+        assert_eq!(link.bytes_carried(), 16 * 1024);
+    }
+
+    #[test]
+    fn intra_link_is_faster_than_inter() {
+        let freq = npu_frequency();
+        let mut intra = Link::new(
+            LinkClass::IntraPackage,
+            LinkParams::paper_default(LinkClass::IntraPackage),
+            freq,
+        );
+        let mut inter = Link::new(
+            LinkClass::InterPackage,
+            LinkParams::paper_default(LinkClass::InterPackage),
+            freq,
+        );
+        let gi = intra.transmit(SimTime::ZERO, 64 * 1024);
+        let ge = inter.transmit(SimTime::ZERO, 64 * 1024);
+        assert!(gi.end < ge.end, "200 GB/s must beat 25 GB/s");
+    }
+
+    #[test]
+    fn utilization_reflects_busy_time() {
+        let freq = npu_frequency();
+        let mut link = Link::new(
+            LinkClass::IntraPackage,
+            LinkParams::paper_default(LinkClass::IntraPackage),
+            freq,
+        );
+        let g = link.transmit(SimTime::ZERO, 1 << 20);
+        let horizon = SimTime::from_cycles(g.end.cycles() * 2);
+        let u = link.utilization(horizon);
+        assert!(u > 0.4 && u <= 0.51, "utilization {u} should be ~0.5");
+    }
+}

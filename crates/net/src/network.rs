@@ -1,0 +1,311 @@
+//! The assembled fabric: one [`Link`] per node egress port, with
+//! message-granularity transport and utilization accounting.
+
+use ace_simcore::{Frequency, Grant, RateMeter, SimTime, TimeSeries};
+
+use crate::link::{Link, LinkClass, LinkParams, Port};
+use crate::topology::{NodeId, Route, TorusShape};
+
+/// Fabric-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkParams {
+    /// Intra-package link parameters.
+    pub intra: LinkParams,
+    /// Inter-package link parameters.
+    pub inter: LinkParams,
+    /// NPU clock used for GB/s → bytes/cycle conversion.
+    pub freq: Frequency,
+    /// Bucket width (cycles) for the utilization time series (Fig. 10 uses
+    /// 1 K-cycle windows).
+    pub util_bucket_cycles: u64,
+}
+
+impl NetworkParams {
+    /// Table V parameters at the paper's 1245 MHz clock.
+    pub fn paper_default() -> NetworkParams {
+        NetworkParams {
+            intra: LinkParams::paper_default(LinkClass::IntraPackage),
+            inter: LinkParams::paper_default(LinkClass::InterPackage),
+            freq: ace_simcore::npu_frequency(),
+            util_bucket_cycles: 1000,
+        }
+    }
+
+    /// Per-NPU aggregate egress bandwidth in GB/s (Table V: 400 + 50 + 50).
+    pub fn per_npu_total_gbps(&self, shape: TorusShape) -> f64 {
+        let mut total = 0.0;
+        for port in Port::ALL {
+            if shape.len(port.dim()) > 1 {
+                total += match LinkClass::for_dim(port.dim()) {
+                    LinkClass::IntraPackage => self.intra.bandwidth_gbps,
+                    LinkClass::InterPackage => self.inter.bandwidth_gbps,
+                };
+            }
+        }
+        total
+    }
+}
+
+/// The outcome of pushing a message across one hop.
+#[derive(Debug, Clone, Copy)]
+pub struct HopOutcome {
+    /// Wire-occupancy grant on the egress link.
+    pub grant: Grant,
+    /// When the message is fully available at the downstream node.
+    pub arrival: SimTime,
+}
+
+/// The accelerator-fabric network: every node's six egress links plus
+/// fabric-wide throughput/utilization meters.
+#[derive(Debug, Clone)]
+pub struct Network {
+    shape: TorusShape,
+    params: NetworkParams,
+    /// `links[node * 6 + port.index()]`; `None` for dimensions of size 1.
+    links: Vec<Option<Link>>,
+    meter: RateMeter,
+    util_series: TimeSeries,
+    active_links: usize,
+}
+
+impl Network {
+    /// Builds the fabric for `shape` with `params`.
+    pub fn new(shape: TorusShape, params: NetworkParams) -> Network {
+        let mut links = Vec::with_capacity(shape.nodes() * 6);
+        for _node in shape.iter_nodes() {
+            for port in Port::ALL {
+                if shape.len(port.dim()) > 1 {
+                    let class = LinkClass::for_dim(port.dim());
+                    let p = match class {
+                        LinkClass::IntraPackage => params.intra,
+                        LinkClass::InterPackage => params.inter,
+                    };
+                    links.push(Some(Link::new(class, p, params.freq)));
+                } else {
+                    links.push(None);
+                }
+            }
+        }
+        let active_links = links.iter().filter(|l| l.is_some()).count();
+        Network {
+            shape,
+            params,
+            links,
+            meter: RateMeter::new(),
+            util_series: TimeSeries::new(params.util_bucket_cycles),
+            active_links,
+        }
+    }
+
+    /// The fabric's topology.
+    pub fn shape(&self) -> TorusShape {
+        self.shape
+    }
+
+    /// The fabric's configuration.
+    pub fn params(&self) -> &NetworkParams {
+        &self.params
+    }
+
+    /// Number of live (size > 1 dimension) unidirectional links.
+    pub fn active_links(&self) -> usize {
+        self.active_links
+    }
+
+    fn link_index(node: NodeId, port: Port) -> usize {
+        node.index() * 6 + port.index()
+    }
+
+    /// Immutable access to the link at `node`/`port`, if that dimension
+    /// exists in this shape.
+    pub fn link(&self, node: NodeId, port: Port) -> Option<&Link> {
+        self.links[Self::link_index(node, port)].as_ref()
+    }
+
+    /// Pushes `bytes` out of `node` through `port`. Returns the wire grant
+    /// and downstream arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port's dimension has size 1 (no such link).
+    pub fn transmit(&mut self, now: SimTime, node: NodeId, port: Port, bytes: u64) -> HopOutcome {
+        let idx = Self::link_index(node, port);
+        let link = self.links[idx]
+            .as_mut()
+            .unwrap_or_else(|| panic!("no {port} link at {node}"));
+        let grant = link.transmit(now, bytes);
+        let arrival = link.arrival(grant);
+        self.meter.record(grant.end, bytes);
+        self.util_series.add_interval(grant.start, grant.end, (grant.end - grant.start) as f64);
+        HopOutcome { grant, arrival }
+    }
+
+    /// Earliest time the egress wire at `node`/`port` frees up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port's dimension has size 1.
+    pub fn next_free(&self, now: SimTime, node: NodeId, port: Port) -> SimTime {
+        self.links[Self::link_index(node, port)]
+            .as_ref()
+            .expect("link exists")
+            .next_free(now)
+    }
+
+    /// Sends a message along a multi-hop route with store-and-forward at
+    /// each hop, returning the final arrival time. Single-hop routes (ring
+    /// collectives) degenerate to one [`transmit`](Network::transmit).
+    ///
+    /// This helper does not model intermediate-endpoint memory bounce; the
+    /// baseline engine layers that on top by walking the route itself.
+    pub fn send_route(&mut self, now: SimTime, src: NodeId, route: &Route, bytes: u64) -> SimTime {
+        let mut t = now;
+        let mut cur = src;
+        for hop in route {
+            debug_assert_eq!(hop.from, cur);
+            let out = self.transmit(t, hop.from, hop.port, bytes);
+            t = out.arrival;
+            cur = hop.to;
+        }
+        t
+    }
+
+    /// Total bytes injected into the fabric.
+    pub fn total_bytes(&self) -> u64 {
+        self.meter.bytes()
+    }
+
+    /// Achieved fabric throughput in GB/s over the observation window,
+    /// summed across all links.
+    pub fn achieved_gbps(&self) -> f64 {
+        self.params.freq.gbps(self.meter.rate())
+    }
+
+    /// Achieved *per-NPU* network bandwidth in GB/s — the metric on the
+    /// y-axis of Fig. 5 and Fig. 6.
+    pub fn achieved_gbps_per_npu(&self) -> f64 {
+        self.achieved_gbps() / self.shape.nodes() as f64
+    }
+
+    /// End of the throughput observation window.
+    pub fn window_end(&self) -> SimTime {
+        self.meter.window_end()
+    }
+
+    /// Per-bucket fraction of links busy (Fig. 10's network-utilization
+    /// metric: the share of links scheduling a flit in a cycle).
+    pub fn utilization_series(&self) -> Vec<f64> {
+        let denom = self.active_links as f64 * self.params.util_bucket_cycles as f64;
+        self.util_series
+            .bucket_totals()
+            .iter()
+            .map(|busy| (busy / denom).min(1.0))
+            .collect()
+    }
+
+    /// Mean link utilization over `[0, horizon]`.
+    pub fn mean_utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.cycles() == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .links
+            .iter()
+            .flatten()
+            .map(|l| l.busy_cycles())
+            .sum();
+        (busy / (self.active_links as f64 * horizon.cycles() as f64)).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Dim;
+
+    fn small_net() -> Network {
+        Network::new(TorusShape::new(4, 2, 2).unwrap(), NetworkParams::paper_default())
+    }
+
+    #[test]
+    fn per_npu_bandwidth_matches_table_v() {
+        let net = small_net();
+        // 2 × 200 intra + 2 × 25 vertical + 2 × 25 horizontal = 500 GB/s.
+        assert!((net.params().per_npu_total_gbps(net.shape()) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_links_match_topology() {
+        let net = small_net();
+        assert_eq!(net.active_links(), net.shape().total_links());
+    }
+
+    #[test]
+    fn transmit_records_throughput() {
+        let mut net = small_net();
+        let out = net.transmit(SimTime::ZERO, NodeId(0), Port::new(Dim::Local, true), 4096);
+        assert!(out.arrival > out.grant.end);
+        assert_eq!(net.total_bytes(), 4096);
+        assert!(net.achieved_gbps() > 0.0);
+    }
+
+    #[test]
+    fn multi_hop_route_arrives_later_than_single_hop() {
+        let mut a = small_net();
+        let mut b = small_net();
+        let shape = a.shape();
+        let one_hop = shape.route(NodeId(0), NodeId(1));
+        let long = shape.route(NodeId(0), NodeId(15));
+        assert!(long.len() > one_hop.len());
+        let t1 = a.send_route(SimTime::ZERO, NodeId(0), &one_hop, 8192);
+        let t2 = b.send_route(SimTime::ZERO, NodeId(0), &long, 8192);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn contention_on_same_link_serializes() {
+        let mut net = small_net();
+        let p = Port::new(Dim::Vertical, true);
+        let first = net.transmit(SimTime::ZERO, NodeId(0), p, 64 * 1024);
+        let second = net.transmit(SimTime::ZERO, NodeId(0), p, 64 * 1024);
+        assert!(second.grant.start.cycles() + 1 >= first.grant.end.cycles());
+        // Different node's link does not contend.
+        let other = net.transmit(SimTime::ZERO, NodeId(1), p, 64 * 1024);
+        assert_eq!(other.grant.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn utilization_series_bounded_by_one() {
+        let mut net = small_net();
+        for node in 0..16 {
+            for port in Port::ALL {
+                net.transmit(SimTime::ZERO, NodeId(node), port, 1 << 20);
+            }
+        }
+        for u in net.utilization_series() {
+            assert!((0.0..=1.0).contains(&u));
+        }
+        assert!(net.mean_utilization(net.window_end()) > 0.0);
+    }
+
+    #[test]
+    fn empty_route_arrives_instantly() {
+        let mut net = small_net();
+        let t = net.send_route(SimTime::from_cycles(7), NodeId(3), &Vec::new(), 4096);
+        assert_eq!(t, SimTime::from_cycles(7));
+        assert_eq!(net.total_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_horizon_utilization_is_zero() {
+        let net = small_net();
+        assert_eq!(net.mean_utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ")]
+    fn missing_dimension_link_panics() {
+        let mut net = Network::new(TorusShape::new(4, 1, 1).unwrap(), NetworkParams::paper_default());
+        net.transmit(SimTime::ZERO, NodeId(0), Port::new(Dim::Vertical, true), 64);
+    }
+}

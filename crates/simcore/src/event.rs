@@ -1,0 +1,182 @@
+//! A deterministic discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// An event scheduled for a particular simulation time.
+///
+/// Events with equal timestamps are delivered in insertion order (FIFO),
+/// which keeps the simulation deterministic across runs.
+#[derive(Debug, Clone)]
+pub struct EventEntry<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotonic sequence number used to break timestamp ties.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for EventEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for EventEntry<E> {}
+
+impl<E> PartialOrd for EventEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for EventEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue driving the simulation forward.
+///
+/// ```
+/// use ace_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_cycles(20), "late");
+/// q.schedule(SimTime::from_cycles(10), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t.cycles(), e), (10, "early"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The timestamp of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the caller; the queue
+    /// tolerates it by delivering the event at the current time, but debug
+    /// builds assert.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        let entry = EventEntry {
+            time: at.max(self.now),
+            seq: self.next_seq,
+            event,
+        };
+        self.next_seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Schedules `event` to fire `delay` cycles from the current time.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the queue's clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|entry| {
+            self.now = entry.time;
+            (entry.time, entry.event)
+        })
+    }
+
+    /// Returns the time of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_cycles(30), 3);
+        q.schedule(SimTime::from_cycles(10), 1);
+        q.schedule(SimTime::from_cycles(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_cycles(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_cycles(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_cycles(7));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_cycles(10), "a");
+        q.pop();
+        q.schedule_in(5, "b");
+        assert_eq!(q.peek_time(), Some(SimTime::from_cycles(15)));
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_cycles(1), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

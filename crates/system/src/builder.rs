@@ -1,0 +1,174 @@
+//! Fluent construction of training simulations.
+
+use std::fmt;
+
+use ace_net::TorusShape;
+use ace_workloads::{Parallelism, Workload};
+
+use crate::config::SystemConfig;
+use crate::training::TrainingSim;
+
+/// Errors from [`SystemBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// No workload was supplied.
+    MissingWorkload,
+    /// The torus shape was invalid.
+    InvalidShape(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingWorkload => f.write_str("no workload was supplied"),
+            BuildError::InvalidShape(s) => write!(f, "invalid torus shape: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for [`TrainingSim`].
+///
+/// ```
+/// use ace_system::{SystemBuilder, SystemConfig};
+/// use ace_workloads::Workload;
+///
+/// let sim = SystemBuilder::new()
+///     .topology(4, 2, 2)
+///     .config(SystemConfig::BaselineCommOpt)
+///     .workload(Workload::gnmt())
+///     .build()
+///     .unwrap();
+/// let report = sim.run();
+/// assert_eq!(report.nodes(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    l: usize,
+    v: usize,
+    h: usize,
+    config: SystemConfig,
+    workload: Option<Workload>,
+    iterations: u32,
+    optimized_embedding: bool,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemBuilder {
+    /// Creates a builder with the paper defaults: a 4×2×2 torus, the ACE
+    /// configuration, and 2 training iterations.
+    pub fn new() -> SystemBuilder {
+        SystemBuilder {
+            l: 4,
+            v: 2,
+            h: 2,
+            config: SystemConfig::Ace,
+            workload: None,
+            iterations: 2,
+            optimized_embedding: false,
+        }
+    }
+
+    /// Sets the `LxVxH` torus shape (Section V notation).
+    pub fn topology(mut self, l: usize, v: usize, h: usize) -> SystemBuilder {
+        self.l = l;
+        self.v = v;
+        self.h = h;
+        self
+    }
+
+    /// Sets the endpoint configuration (Table VI).
+    pub fn config(mut self, config: SystemConfig) -> SystemBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Sets the workload.
+    pub fn workload(mut self, workload: Workload) -> SystemBuilder {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the number of simulated iterations (default 2, as in the
+    /// paper).
+    pub fn iterations(mut self, iterations: u32) -> SystemBuilder {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Enables the DLRM optimized training loop (Fig. 12): embedding
+    /// lookup/update of the next/previous iteration run in the background
+    /// on a 1-SM / 80 GB/s carve-out.
+    pub fn optimized_embedding(mut self, on: bool) -> SystemBuilder {
+        self.optimized_embedding = on;
+        self
+    }
+
+    /// Builds the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::MissingWorkload`] if no workload was set and
+    /// [`BuildError::InvalidShape`] for degenerate torus shapes.
+    pub fn build(self) -> Result<TrainingSim, BuildError> {
+        let shape = TorusShape::new(self.l, self.v, self.h)
+            .map_err(|e| BuildError::InvalidShape(e.to_string()))?;
+        let workload = self.workload.ok_or(BuildError::MissingWorkload)?;
+        // The embedding optimization only applies to hybrid workloads; it
+        // is a silent no-op otherwise, matching the paper's usage.
+        let optimized = self.optimized_embedding && workload.parallelism() == Parallelism::Hybrid;
+        Ok(TrainingSim::new(
+            self.config,
+            workload,
+            shape,
+            self.iterations,
+            optimized,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_workload_errors() {
+        assert_eq!(SystemBuilder::new().build().unwrap_err(), BuildError::MissingWorkload);
+    }
+
+    #[test]
+    fn invalid_shape_errors() {
+        let err = SystemBuilder::new()
+            .topology(0, 2, 2)
+            .workload(Workload::resnet50())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidShape(_)));
+        assert!(err.to_string().contains("invalid torus shape"));
+    }
+
+    #[test]
+    fn defaults_are_paper_defaults() {
+        let sim = SystemBuilder::new().workload(Workload::resnet50()).build().unwrap();
+        assert!(!sim.is_hybrid());
+    }
+
+    #[test]
+    fn optimized_embedding_ignored_for_data_parallel() {
+        // Should build and run without panicking even though ResNet-50 has
+        // no embedding stage.
+        let sim = SystemBuilder::new()
+            .optimized_embedding(true)
+            .workload(Workload::resnet50())
+            .iterations(1)
+            .build()
+            .unwrap();
+        assert!(!sim.is_hybrid());
+    }
+}

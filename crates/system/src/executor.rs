@@ -1,0 +1,1021 @@
+//! Event-driven, message-granularity collective execution across all
+//! nodes of the fabric.
+//!
+//! Each collective payload is split into chunks (Table III) that pipeline
+//! independently through the plan's phases (Section IV-E). Ring phases run
+//! the classic rotate-reduce chains: every node sends step 0 at phase
+//! start, and each arrival triggers the next step's send after the
+//! endpoint engine charges its resource costs. Direct all-to-all sends one
+//! flow per (source, destination) pair over XYZ routes with per-hop
+//! endpoint forwarding. Bidirectional rings are used by alternating chunk
+//! parity between the + and − ring directions.
+//!
+//! Chunk admission into ACE's SRAM partitions applies backpressure;
+//! baseline and ideal endpoints admit unconditionally. A global in-flight
+//! chunk cap bounds pipelining depth, and pending collectives are drained
+//! in LIFO issue order (Section V: "LIFO collective scheduling policy to
+//! give more priority to the collectives of first layers during
+//! back-propagation").
+
+use std::collections::BTreeMap;
+
+use ace_collectives::{CollectiveOp, CollectivePlan, Granularity, PhaseKind};
+use ace_endpoint::CollectiveEngine;
+use ace_net::{Dim, Network, NetworkParams, NodeId, Port, TorusShape};
+use ace_simcore::{EventQueue, SimTime};
+
+/// Identifies an issued collective within its executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CollHandle(pub(crate) usize);
+
+/// How pending collectives are drained when injecting chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingPolicy {
+    /// Most recently issued first (Section V: prioritizes the first
+    /// layers' collectives during back-propagation). The paper's default.
+    Lifo,
+    /// Oldest first — the ablation comparator.
+    Fifo,
+}
+
+/// Tunable executor knobs for ablation studies. The defaults reproduce
+/// the paper's configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorOptions {
+    /// Payload → chunk → message decomposition (Table III).
+    pub granularity: Granularity,
+    /// Collective drain order.
+    pub scheduling: SchedulingPolicy,
+    /// Whether ring chunks alternate between the two ring directions
+    /// (bidirectional rings); `false` sends everything the + way.
+    pub bidirectional_rings: bool,
+    /// Global cap on in-flight ring chunks.
+    pub max_inflight_chunks: usize,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        ExecutorOptions {
+            granularity: Granularity::paper_default(),
+            scheduling: SchedulingPolicy::Lifo,
+            bidirectional_rings: true,
+            max_inflight_chunks: MAX_INFLIGHT_CHUNKS,
+        }
+    }
+}
+
+/// Default cap on globally in-flight ring chunks.
+const MAX_INFLIGHT_CHUNKS: usize = 128;
+/// Sentinel: node has not started any phase of a chunk.
+const NOT_STARTED: u16 = u16::MAX;
+
+#[derive(Debug, Clone)]
+enum Ev {
+    /// Attempt to inject pending chunks (LIFO drain).
+    TryInject,
+    /// A chunk's TX DMA finished: charge the step-0 fetch and send.
+    StepZero { coll: u32, chunk: u32, node: u32, phase: u16 },
+    /// A ring message is ready at the egress port: transmit it.
+    ///
+    /// All link requests flow through this event so the FIFO link servers
+    /// see them in global time order — transmitting directly at an
+    /// engine-grant end would future-date reservations and serialize
+    /// unrelated traffic behind them.
+    Send { coll: u32, chunk: u32, node: u32, phase: u16, step: u16 },
+    /// Ring message arrival at `node` for `(coll, chunk)` phase `phase`,
+    /// step `step`.
+    RingArrive { coll: u32, chunk: u32, node: u32, phase: u16, step: u16 },
+    /// A node finished the final arrival processing of `phase`.
+    PhaseDone { coll: u32, chunk: u32, node: u32, phase: u16 },
+    /// Terminal RX-DMA drain finished at `node`.
+    DrainDone { coll: u32, chunk: u32, node: u32 },
+    /// An all-to-all message is ready to transmit hop `hop`.
+    A2aSend { coll: u32, chunk: u32, flow: u32, hop: u16 },
+    /// All-to-all flow arrived at hop `hop` of its route.
+    A2aHop { coll: u32, chunk: u32, flow: u32, hop: u16 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CollKind {
+    Ring,
+    AllToAll,
+}
+
+/// Per-chunk, per-node ring execution state.
+#[derive(Debug, Default)]
+struct ChunkState {
+    /// Current phase per node (`NOT_STARTED` before injection; `P` = in
+    /// terminal drain; `P + 1` = done).
+    node_phase: Vec<u16>,
+    /// Arrivals processed in the current phase, per node.
+    arr_count: Vec<u16>,
+    /// Buffered early arrivals `(phase, step, time)` per node.
+    pending: Vec<Vec<(u16, u16, SimTime)>>,
+    /// Nodes that finished the terminal drain.
+    nodes_done: usize,
+    /// All-to-all: flows completed.
+    flows_done: usize,
+    /// All-to-all: total flows.
+    flows_total: usize,
+}
+
+#[derive(Debug)]
+struct Coll {
+    plan: CollectivePlan,
+    kind: CollKind,
+    chunk_sizes: Vec<u64>,
+    issued_at: SimTime,
+    next_chunk: usize,
+    /// Global injection sequence per chunk (assigned at injection).
+    chunk_seq: Vec<u64>,
+    chunks: Vec<Option<ChunkState>>,
+    done_chunks: usize,
+    completed_at: Option<SimTime>,
+}
+
+impl Coll {
+    fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+}
+
+/// Waiting admission entry: chunk waiting for space in a phase partition.
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    coll: u32,
+    chunk: u32,
+    /// Phase whose partition is still held (released on success);
+    /// `NOT_STARTED` when nothing is held (initial injection).
+    held_phase: u16,
+}
+
+/// The executor: fabric + per-node engines + the event loop.
+pub struct CollectiveExecutor {
+    shape: TorusShape,
+    net: Network,
+    engines: Vec<Box<dyn CollectiveEngine>>,
+    options: ExecutorOptions,
+    queue: EventQueue<Ev>,
+    colls: Vec<Coll>,
+    /// LIFO stack of collectives with chunks left to inject.
+    lifo: Vec<usize>,
+    inflight: usize,
+    max_inflight: usize,
+    /// `admit_wait[node][phase]` — waiters ordered by global injection
+    /// sequence. Admission follows this order strictly on every node, so
+    /// all nodes keep *identical* resident chunk sets per partition —
+    /// divergent orders (even/odd chunks ride opposite ring directions
+    /// and skew arbitrarily) would let nodes hold disjoint sets that wait
+    /// on each other's ring messages: a distributed deadlock.
+    admit_wait: Vec<Vec<BTreeMap<u64, Waiter>>>,
+    /// Global injection sequence counter.
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl std::fmt::Debug for CollectiveExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectiveExecutor")
+            .field("shape", &self.shape)
+            .field("collectives", &self.colls.len())
+            .field("inflight", &self.inflight)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl CollectiveExecutor {
+    /// Builds an executor over `shape` with one engine per node produced
+    /// by `make_engine`.
+    pub fn new(
+        shape: TorusShape,
+        net_params: NetworkParams,
+        make_engine: impl Fn() -> Box<dyn CollectiveEngine>,
+    ) -> CollectiveExecutor {
+        Self::with_options(shape, net_params, ExecutorOptions::default(), make_engine)
+    }
+
+    /// Builds an executor with non-default [`ExecutorOptions`] (ablation
+    /// studies).
+    pub fn with_options(
+        shape: TorusShape,
+        net_params: NetworkParams,
+        options: ExecutorOptions,
+        make_engine: impl Fn() -> Box<dyn CollectiveEngine>,
+    ) -> CollectiveExecutor {
+        let engines = (0..shape.nodes()).map(|_| make_engine()).collect();
+        let max_inflight = options.max_inflight_chunks.max(1);
+        CollectiveExecutor {
+            shape,
+            net: Network::new(shape, net_params),
+            engines,
+            options,
+            queue: EventQueue::new(),
+            colls: Vec::new(),
+            lifo: Vec::new(),
+            inflight: 0,
+            max_inflight,
+            admit_wait: vec![Vec::new(); shape.nodes()],
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The fabric's topology.
+    pub fn shape(&self) -> TorusShape {
+        self.shape
+    }
+
+    /// The network (throughput/utilization meters).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Current simulation time (latest processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Per-phase SRAM-partition weights for a plan (Section IV-I:
+    /// bandwidth × chunk size). Used to size ACE endpoints.
+    pub fn phase_weights(plan: &CollectivePlan, net: &NetworkParams) -> Vec<f64> {
+        let raw: Vec<f64> = plan
+            .phases()
+            .iter()
+            .map(|p| {
+                let bw = match p.dim {
+                    Some(Dim::Local) => net.intra.bandwidth_gbps * 2.0,
+                    Some(_) => net.inter.bandwidth_gbps * 2.0,
+                    None => net.intra.bandwidth_gbps * 2.0 + net.inter.bandwidth_gbps * 4.0,
+                };
+                bw * p.input_fraction
+            })
+            .collect();
+        // Floor each phase at 15 % of the largest weight: latency-dominated
+        // inter-package phases need enough resident chunks to cover the
+        // 500-cycle link latency, which the raw bandwidth-proportional
+        // heuristic under-provisions on large tori.
+        let max = raw.iter().cloned().fold(f64::MIN, f64::max);
+        raw.into_iter().map(|w| w.max(0.15 * max)).collect()
+    }
+
+    /// Issues a collective of `op` with per-node `payload_bytes` at time
+    /// `at`. Returns a handle for completion queries.
+    pub fn issue(&mut self, op: CollectiveOp, payload_bytes: u64, at: SimTime) -> CollHandle {
+        let plan = CollectivePlan::for_op(op, self.shape);
+        let kind = match op {
+            CollectiveOp::AllToAll => CollKind::AllToAll,
+            _ => CollKind::Ring,
+        };
+        let chunk_sizes = match kind {
+            CollKind::Ring => self.options.granularity.chunks(payload_bytes),
+            CollKind::AllToAll => {
+                // Chunk the per-destination slice; flows are (dst, chunk).
+                let n = self.shape.nodes() as u64;
+                self.options.granularity.chunks(payload_bytes / n.max(1))
+            }
+        };
+        let id = self.colls.len();
+        let n_chunks = chunk_sizes.len();
+        self.colls.push(Coll {
+            plan,
+            kind,
+            chunk_sizes,
+            issued_at: at,
+            next_chunk: 0,
+            chunk_seq: vec![u64::MAX; n_chunks],
+            chunks: (0..n_chunks).map(|_| None).collect(),
+            done_chunks: 0,
+            completed_at: if n_chunks == 0 { Some(at) } else { None },
+        });
+        if n_chunks > 0 {
+            self.lifo.push(id);
+            let t = at.max(self.queue.now());
+            self.queue.schedule(t, Ev::TryInject);
+        }
+        CollHandle(id)
+    }
+
+    /// Whether `coll` has completed.
+    pub fn is_complete(&self, coll: CollHandle) -> bool {
+        self.colls[coll.0].is_complete()
+    }
+
+    /// Completion time, if completed.
+    pub fn completion_time(&self, coll: CollHandle) -> Option<SimTime> {
+        self.colls[coll.0].completed_at
+    }
+
+    /// Processes events up to and including time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            let (time, ev) = self.queue.pop().expect("peeked");
+            self.now = time;
+            self.handle(time, ev);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs until `coll` completes; returns its completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event queue drains without completing the collective
+    /// (a deadlock — indicates an internal invariant violation).
+    pub fn run_until_complete(&mut self, coll: CollHandle) -> SimTime {
+        while !self.colls[coll.0].is_complete() {
+            let (time, ev) = self
+                .queue
+                .pop()
+                .unwrap_or_else(|| panic!("executor deadlock waiting on collective {}", coll.0));
+            self.now = time;
+            self.handle(time, ev);
+        }
+        self.colls[coll.0].completed_at.expect("completed")
+    }
+
+    /// Drains every pending event; returns the final event time.
+    pub fn run_to_idle(&mut self) -> SimTime {
+        while let Some((time, ev)) = self.queue.pop() {
+            self.now = time;
+            self.handle(time, ev);
+        }
+        self.now
+    }
+
+    /// ACE utilization (node 0) over `[0, horizon]`, when the engine
+    /// tracks it.
+    pub fn ace_utilization(&self, horizon: SimTime) -> Option<f64> {
+        self.engines[0].utilization(horizon)
+    }
+
+    /// Per-node HBM traffic generated by communication (node 0).
+    pub fn comm_mem_traffic_bytes(&self) -> u64 {
+        self.engines[0].mem_traffic_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::TryInject => self.drain_lifo(now),
+            Ev::StepZero { coll, chunk, node, phase } => {
+                self.step_zero(now, coll as usize, chunk as usize, node as usize, phase);
+            }
+            Ev::Send { coll, chunk, node, phase, step } => {
+                self.ring_send(now, coll as usize, chunk as usize, node as usize, phase, step);
+            }
+            Ev::RingArrive { coll, chunk, node, phase, step } => {
+                self.ring_arrive(now, coll as usize, chunk as usize, node as usize, phase, step);
+            }
+            Ev::PhaseDone { coll, chunk, node, phase } => {
+                self.phase_done(now, coll as usize, chunk as usize, node as usize, phase);
+            }
+            Ev::DrainDone { coll, chunk, node } => {
+                self.drain_done(now, coll as usize, chunk as usize, node as usize);
+            }
+            Ev::A2aSend { coll, chunk, flow, hop } => {
+                self.a2a_send(now, coll as usize, chunk as usize, flow as usize, hop as usize);
+            }
+            Ev::A2aHop { coll, chunk, flow, hop } => {
+                self.a2a_hop(now, coll as usize, chunk as usize, flow as usize, hop as usize);
+            }
+        }
+    }
+
+    /// Injects chunks from the most recently issued pending collectives
+    /// while in-flight capacity remains.
+    fn drain_lifo(&mut self, now: SimTime) {
+        while self.inflight < self.max_inflight {
+            // Pick the next collective with chunks remaining per policy.
+            let pick = match self.options.scheduling {
+                SchedulingPolicy::Lifo => self.lifo.last().copied(),
+                SchedulingPolicy::Fifo => self.lifo.first().copied(),
+            };
+            let Some(cid) = pick else { break };
+            if self.colls[cid].next_chunk >= self.colls[cid].chunk_sizes.len() {
+                match self.options.scheduling {
+                    SchedulingPolicy::Lifo => {
+                        self.lifo.pop();
+                    }
+                    SchedulingPolicy::Fifo => {
+                        self.lifo.remove(0);
+                    }
+                }
+                continue;
+            }
+            let chunk = self.colls[cid].next_chunk;
+            self.colls[cid].next_chunk += 1;
+            self.colls[cid].chunk_seq[chunk] = self.next_seq;
+            self.next_seq += 1;
+            self.inflight += 1;
+            let start = now.max(self.colls[cid].issued_at);
+            match self.colls[cid].kind {
+                CollKind::Ring => self.inject_ring_chunk(start, cid, chunk),
+                CollKind::AllToAll => self.inject_a2a_chunk(start, cid, chunk),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ring collectives
+    // ------------------------------------------------------------------
+
+    fn ensure_chunk_state(&mut self, cid: usize, chunk: usize) {
+        let nodes = self.shape.nodes();
+        let coll = &mut self.colls[cid];
+        if coll.chunks[chunk].is_none() {
+            coll.chunks[chunk] = Some(ChunkState {
+                node_phase: vec![NOT_STARTED; nodes],
+                arr_count: vec![0; nodes],
+                pending: vec![Vec::new(); nodes],
+                nodes_done: 0,
+                flows_done: 0,
+                flows_total: 0,
+            });
+        }
+    }
+
+    /// Bytes a chunk occupies in the partition of `phase` (`P` = terminal).
+    fn admit_bytes(&self, cid: usize, chunk: usize, phase: u16) -> u64 {
+        let coll = &self.colls[cid];
+        let size = coll.chunk_sizes[chunk];
+        let phases = coll.plan.phases();
+        if (phase as usize) < phases.len() {
+            ((size as f64) * phases[phase as usize].input_fraction).ceil() as u64
+        } else {
+            // Terminal: the final result (full chunk for all-reduce).
+            ((size as f64) * phases.last().expect("plan nonempty").output_fraction()).ceil() as u64
+        }
+    }
+
+    fn inject_ring_chunk(&mut self, now: SimTime, cid: usize, chunk: usize) {
+        self.ensure_chunk_state(cid, chunk);
+        for node in 0..self.shape.nodes() {
+            self.request_phase(now, cid, chunk, node, 0, NOT_STARTED);
+        }
+    }
+
+    /// Requests admission into `phase` for `(cid, chunk)` at `node`,
+    /// releasing `held_phase` on success. Queues a waiter on failure or
+    /// when earlier-sequence chunks are already waiting for the same
+    /// partition (strict global admission order; see `admit_wait`).
+    fn request_phase(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16, held_phase: u16) {
+        let p = phase as usize;
+        if self.admit_wait[node].len() <= p {
+            self.admit_wait[node].resize_with(p + 1, BTreeMap::new);
+        }
+        let bytes = self.admit_bytes(cid, chunk, phase);
+        if self.admit_wait[node][p].is_empty() && self.engines[node].try_admit(p, bytes, now) {
+            if held_phase != NOT_STARTED {
+                let held_bytes = self.admit_bytes(cid, chunk, held_phase);
+                self.engines[node].release(held_phase as usize, held_bytes, now);
+                self.retry_waiters(now, node);
+            }
+            self.start_phase(now, cid, chunk, node, phase);
+        } else {
+            let seq = self.colls[cid].chunk_seq[chunk];
+            debug_assert_ne!(seq, u64::MAX, "chunk admitted before injection");
+            self.admit_wait[node][p].insert(
+                seq,
+                Waiter { coll: cid as u32, chunk: chunk as u32, held_phase },
+            );
+        }
+    }
+
+    /// Retries queued admissions at `node` after a partition release.
+    ///
+    /// Per phase, waiters are admitted strictly in global sequence order,
+    /// stopping at the first that does not fit. A successful waiter
+    /// releases the partition it held, which can unblock waiters of
+    /// another phase — passes repeat until no progress is made.
+    fn retry_waiters(&mut self, now: SimTime, node: usize) {
+        loop {
+            let mut progress = false;
+            for p in 0..self.admit_wait[node].len() {
+                while let Some((&seq, &w)) = self.admit_wait[node][p].iter().next() {
+                    let bytes = self.admit_bytes(w.coll as usize, w.chunk as usize, p as u16);
+                    if !self.engines[node].try_admit(p, bytes, now) {
+                        break;
+                    }
+                    self.admit_wait[node][p].remove(&seq);
+                    if w.held_phase != NOT_STARTED {
+                        let held = self.admit_bytes(w.coll as usize, w.chunk as usize, w.held_phase);
+                        self.engines[node].release(w.held_phase as usize, held, now);
+                    }
+                    progress = true;
+                    self.start_phase(now, w.coll as usize, w.chunk as usize, node, p as u16);
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Phase entry: run the TX DMA for phase 0, kick off the terminal
+    /// drain for phase `P`, otherwise send ring step 0.
+    fn start_phase(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
+        let n_phases = self.colls[cid].plan.phases().len() as u16;
+        {
+            let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
+            st.node_phase[node] = phase;
+            st.arr_count[node] = 0;
+        }
+        if phase == n_phases {
+            // Terminal drain: RX DMA back to HBM.
+            let bytes = self.admit_bytes(cid, chunk, phase);
+            let done = self.engines[node].chunk_complete(now, bytes);
+            self.queue.schedule(
+                done.max(now),
+                Ev::DrainDone { coll: cid as u32, chunk: chunk as u32, node: node as u32 },
+            );
+            return;
+        }
+        if phase == 0 {
+            // TX DMA stages the chunk into the engine; the step-0 send
+            // fires when the data is resident.
+            let size = self.colls[cid].chunk_sizes[chunk];
+            let staged = self.engines[node].chunk_inject(now, size);
+            self.queue.schedule(
+                staged.max(now),
+                Ev::StepZero { coll: cid as u32, chunk: chunk as u32, node: node as u32, phase },
+            );
+        } else {
+            self.step_zero(now, cid, chunk, node, phase);
+        }
+        // Replay any arrivals buffered for this phase.
+        self.replay_pending(now, cid, chunk, node, phase);
+    }
+
+    /// Charges the step-0 fetch and schedules its transmission.
+    fn step_zero(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
+        let shard = self.shard_bytes(cid, chunk, phase);
+        let ready = self.engines[node].fetch_and_send(now, shard, phase as usize);
+        self.queue.schedule(
+            ready.max(now),
+            Ev::Send { coll: cid as u32, chunk: chunk as u32, node: node as u32, phase, step: 0 },
+        );
+    }
+
+    fn replay_pending(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
+        let buffered: Vec<(u16, u16, SimTime)> = {
+            let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
+            let (ready, rest): (Vec<_>, Vec<_>) =
+                st.pending[node].drain(..).partition(|(p, _, _)| *p == phase);
+            st.pending[node] = rest;
+            ready
+        };
+        for (p, s, at) in buffered {
+            self.ring_arrive(now.max(at), cid, chunk, node, p, s);
+        }
+    }
+
+    /// Per-node shard size moved in one ring step of `phase`.
+    fn shard_bytes(&self, cid: usize, chunk: usize, phase: u16) -> u64 {
+        let coll = &self.colls[cid];
+        let spec = coll.plan.phases()[phase as usize];
+        let input = coll.chunk_sizes[chunk] as f64 * spec.input_fraction;
+        let k = spec.ring_size as f64;
+        let shard = match spec.kind {
+            // All-gather forwards the whole phase input each step.
+            PhaseKind::AllGather => input,
+            _ => input / k,
+        };
+        (shard.ceil() as u64).max(1)
+    }
+
+    /// Transmits a ring message for step `step` of `phase` from `node` to
+    /// its ring neighbor, scheduling the arrival event. Runs as the `Send`
+    /// event handler so link requests are issued in global time order.
+    fn ring_send(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16, step: u16) {
+        let bytes = self.shard_bytes(cid, chunk, phase);
+        let spec = self.colls[cid].plan.phases()[phase as usize];
+        let dim = spec.dim.expect("ring phases have a dimension");
+        // Bidirectional rings: alternate chunk parity across directions
+        // (unidirectional mode sends everything the + way — an ablation).
+        let plus = !self.options.bidirectional_rings || chunk.is_multiple_of(2);
+        let port = Port::new(dim, plus);
+        let dst = self.shape.neighbor(NodeId(node), dim, plus);
+        let out = self.net.transmit(now, NodeId(node), port, bytes);
+        self.queue.schedule(
+            out.arrival,
+            Ev::RingArrive {
+                coll: cid as u32,
+                chunk: chunk as u32,
+                node: dst.index() as u32,
+                phase,
+                step,
+            },
+        );
+    }
+
+    fn ring_arrive(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16, step: u16) {
+        // Buffer arrivals for phases the node has not entered yet.
+        {
+            let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
+            let np = st.node_phase[node];
+            if np == NOT_STARTED || np < phase {
+                st.pending[node].push((phase, step, now));
+                return;
+            }
+            debug_assert_eq!(np, phase, "arrival for a past phase");
+            st.arr_count[node] += 1;
+        }
+        let spec = self.colls[cid].plan.phases()[phase as usize];
+        let k = spec.ring_size as u16;
+        let final_step = match spec.kind {
+            PhaseKind::ReduceScatter | PhaseKind::AllGather => k - 2,
+            PhaseKind::RingAllReduce => 2 * k - 3,
+            PhaseKind::DirectAllToAll => unreachable!("all-to-all is not a ring phase"),
+        };
+        let shard = self.shard_bytes(cid, chunk, phase);
+        let engine = &mut self.engines[node];
+        // The landing write and the processing of the step pipeline
+        // through independent resources; both are charged at the arrival
+        // time and the step completes when the slowest finishes.
+        let landed = engine.receive(now, shard, phase as usize);
+        let reduces = match spec.kind {
+            PhaseKind::ReduceScatter => true,
+            PhaseKind::AllGather => false,
+            PhaseKind::RingAllReduce => step <= k - 2,
+            PhaseKind::DirectAllToAll => false,
+        };
+        if step < final_step {
+            let ready = if reduces {
+                engine.reduce_and_send(now, shard, phase as usize)
+            } else {
+                engine.fetch_and_send(now, shard, phase as usize)
+            };
+            self.queue.schedule(
+                ready.max(landed).max(now),
+                Ev::Send {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    node: node as u32,
+                    phase,
+                    step: step + 1,
+                },
+            );
+        } else {
+            // Final arrival of the phase.
+            let done = if reduces {
+                engine.reduce_and_store(now, shard, phase as usize)
+            } else {
+                landed
+            };
+            self.queue.schedule(
+                done.max(now),
+                Ev::PhaseDone { coll: cid as u32, chunk: chunk as u32, node: node as u32, phase },
+            );
+        }
+    }
+
+    fn phase_done(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
+        let next = phase + 1;
+        self.request_phase(now, cid, chunk, node, next, phase);
+    }
+
+    fn drain_done(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize) {
+        let n_phases = self.colls[cid].plan.phases().len() as u16;
+        let terminal_bytes = self.admit_bytes(cid, chunk, n_phases);
+        self.engines[node].release(n_phases as usize, terminal_bytes, now);
+        self.retry_waiters(now, node);
+        let all_done = {
+            let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
+            st.node_phase[node] = n_phases + 1;
+            st.nodes_done += 1;
+            st.nodes_done == self.shape.nodes()
+        };
+        if all_done {
+            self.chunk_complete(now, cid, chunk);
+        }
+    }
+
+    fn chunk_complete(&mut self, now: SimTime, cid: usize, chunk: usize) {
+        // Free the per-chunk state eagerly: large payloads create many
+        // chunks and keeping their vectors alive is wasteful.
+        self.colls[cid].chunks[chunk] = None;
+        self.colls[cid].done_chunks += 1;
+        self.inflight -= 1;
+        if self.colls[cid].done_chunks == self.colls[cid].chunk_sizes.len() {
+            self.colls[cid].completed_at = Some(now);
+        }
+        self.drain_lifo(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Direct all-to-all
+    // ------------------------------------------------------------------
+
+    /// Flow index encoding: `flow = src * (nodes - 1) + dst_offset` where
+    /// the destination is `(src + 1 + dst_offset) % nodes`.
+    fn a2a_flow_endpoints(&self, flow: usize) -> (usize, usize) {
+        let n = self.shape.nodes();
+        let src = flow / (n - 1);
+        let off = flow % (n - 1);
+        let dst = (src + 1 + off) % n;
+        (src, dst)
+    }
+
+    fn inject_a2a_chunk(&mut self, now: SimTime, cid: usize, chunk: usize) {
+        self.ensure_chunk_state(cid, chunk);
+        let n = self.shape.nodes();
+        let flows = n * (n - 1);
+        {
+            let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
+            st.flows_total = flows;
+        }
+        let bytes = self.colls[cid].chunk_sizes[chunk];
+        for flow in 0..flows {
+            let (src, _dst) = self.a2a_flow_endpoints(flow);
+            // Stage the source's slice buffer once per chunk. All-to-all
+            // is single-phase: it shares phase 0's partition and FSMs
+            // (Section V).
+            let staged = if flow % (n - 1) == 0 {
+                self.engines[src].chunk_inject(now, bytes)
+            } else {
+                now
+            };
+            let ready = self.engines[src].fetch_and_send(now, bytes, 0).max(staged);
+            self.queue.schedule(
+                ready.max(now),
+                Ev::A2aSend { coll: cid as u32, chunk: chunk as u32, flow: flow as u32, hop: 0 },
+            );
+        }
+    }
+
+    /// Transmits hop `hop` of an all-to-all flow at event time.
+    fn a2a_send(&mut self, now: SimTime, cid: usize, chunk: usize, flow: usize, hop: usize) {
+        let (src, dst) = self.a2a_flow_endpoints(flow);
+        let route = self.shape.route(NodeId(src), NodeId(dst));
+        let bytes = self.colls[cid].chunk_sizes[chunk];
+        let h = route[hop];
+        let out = self.net.transmit(now, h.from, h.port, bytes);
+        self.queue.schedule(
+            out.arrival,
+            Ev::A2aHop { coll: cid as u32, chunk: chunk as u32, flow: flow as u32, hop: hop as u16 + 1 },
+        );
+    }
+
+    fn a2a_hop(&mut self, now: SimTime, cid: usize, chunk: usize, flow: usize, hop: usize) {
+        let (src, dst) = self.a2a_flow_endpoints(flow);
+        let route = self.shape.route(NodeId(src), NodeId(dst));
+        let bytes = self.colls[cid].chunk_sizes[chunk];
+        if hop < route.len() {
+            // Intermediate endpoint: store-and-forward, then next hop.
+            let at = route[hop].from.index();
+            let ready = self.engines[at].store_and_forward(now, bytes, 0);
+            self.queue.schedule(
+                ready.max(now),
+                Ev::A2aSend { coll: cid as u32, chunk: chunk as u32, flow: flow as u32, hop: hop as u16 },
+            );
+        } else {
+            // Final arrival at the destination.
+            let landed = self.engines[dst].receive(now, bytes, 0);
+            let done = self.engines[dst].chunk_complete(landed, bytes);
+            let finished = {
+                let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
+                st.flows_done += 1;
+                st.flows_done == st.flows_total
+            };
+            if finished {
+                self.chunk_complete(done.max(now), cid, chunk);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn executor(config: SystemConfig, shape: TorusShape) -> CollectiveExecutor {
+        let params = NetworkParams::paper_default();
+        let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape);
+        let weights = CollectiveExecutor::phase_weights(&plan, &params);
+        CollectiveExecutor::new(shape, params, move || config.make_engine(&weights))
+    }
+
+    fn shape442() -> TorusShape {
+        TorusShape::new(4, 2, 2).unwrap()
+    }
+
+    #[test]
+    fn all_reduce_completes_on_all_configs() {
+        for config in SystemConfig::ALL {
+            let mut ex = executor(config, shape442());
+            let h = ex.issue(CollectiveOp::AllReduce, 1 << 20, SimTime::ZERO);
+            let t = ex.run_until_complete(h);
+            assert!(t.cycles() > 0, "{config}: zero completion time");
+            assert!(ex.is_complete(h));
+        }
+    }
+
+    #[test]
+    fn ideal_is_fastest_baseline_comm_opt_beats_comp_opt() {
+        let run = |config| {
+            let mut ex = executor(config, shape442());
+            let h = ex.issue(CollectiveOp::AllReduce, 16 << 20, SimTime::ZERO);
+            ex.run_until_complete(h).cycles()
+        };
+        let ideal = run(SystemConfig::Ideal);
+        let ace = run(SystemConfig::Ace);
+        let comm = run(SystemConfig::BaselineCommOpt);
+        let comp = run(SystemConfig::BaselineCompOpt);
+        assert!(ideal <= ace, "ideal {ideal} vs ace {ace}");
+        assert!(ace < comp, "ace {ace} vs comp-opt {comp}");
+        assert!(comm < comp, "comm-opt {comm} vs comp-opt {comp}");
+    }
+
+    #[test]
+    fn ace_is_close_to_ideal() {
+        // Fig. 5: ACE with 128 GB/s reaches ≈90 % of ideal performance.
+        let run = |config| {
+            let mut ex = executor(config, shape442());
+            let h = ex.issue(CollectiveOp::AllReduce, 16 << 20, SimTime::ZERO);
+            ex.run_until_complete(h).cycles() as f64
+        };
+        let ideal = run(SystemConfig::Ideal);
+        let ace = run(SystemConfig::Ace);
+        assert!(ace / ideal < 1.6, "ACE at {:.2}x ideal", ace / ideal);
+    }
+
+    #[test]
+    fn larger_payload_takes_longer() {
+        let mut ex = executor(SystemConfig::Ace, shape442());
+        let small = ex.issue(CollectiveOp::AllReduce, 1 << 20, SimTime::ZERO);
+        let ts = ex.run_until_complete(small);
+        let mut ex2 = executor(SystemConfig::Ace, shape442());
+        let large = ex2.issue(CollectiveOp::AllReduce, 8 << 20, SimTime::ZERO);
+        let tl = ex2.run_until_complete(large);
+        assert!(tl > ts);
+    }
+
+    #[test]
+    fn all_to_all_completes() {
+        for config in [SystemConfig::BaselineCommOpt, SystemConfig::Ace, SystemConfig::Ideal] {
+            let mut ex = executor(config, shape442());
+            let h = ex.issue(CollectiveOp::AllToAll, 1 << 20, SimTime::ZERO);
+            let t = ex.run_until_complete(h);
+            assert!(t.cycles() > 0, "{config}");
+        }
+    }
+
+    #[test]
+    fn lifo_priority_favors_later_issue() {
+        // Issue a huge collective, then a tiny one: LIFO lets the tiny
+        // late-comer finish long before the big early one.
+        let mut ex = executor(SystemConfig::Ace, shape442());
+        let big = ex.issue(CollectiveOp::AllReduce, 64 << 20, SimTime::ZERO);
+        let small = ex.issue(CollectiveOp::AllReduce, 256 << 10, SimTime::from_cycles(1));
+        let t_small = ex.run_until_complete(small);
+        let t_big = ex.run_until_complete(big);
+        assert!(t_small < t_big);
+    }
+
+    #[test]
+    fn zero_payload_all_to_all_completes_immediately() {
+        let mut ex = executor(SystemConfig::Ace, shape442());
+        let h = ex.issue(CollectiveOp::AllToAll, 0, SimTime::from_cycles(3));
+        assert!(ex.is_complete(h));
+    }
+
+    #[test]
+    fn issue_at_future_time_defers_start() {
+        let mut ex = executor(SystemConfig::Ideal, shape442());
+        let h = ex.issue(CollectiveOp::AllReduce, 1 << 20, SimTime::from_cycles(10_000));
+        let done = ex.run_until_complete(h);
+        assert!(done.cycles() > 10_000, "work cannot finish before it starts");
+    }
+
+    #[test]
+    fn zero_payload_completes_immediately() {
+        let mut ex = executor(SystemConfig::Ace, shape442());
+        let h = ex.issue(CollectiveOp::AllReduce, 0, SimTime::from_cycles(5));
+        assert!(ex.is_complete(h));
+        assert_eq!(ex.completion_time(h), Some(SimTime::from_cycles(5)));
+    }
+
+    #[test]
+    fn network_records_traffic() {
+        let mut ex = executor(SystemConfig::Ideal, shape442());
+        let h = ex.issue(CollectiveOp::AllReduce, 4 << 20, SimTime::ZERO);
+        ex.run_until_complete(h);
+        assert!(ex.network().total_bytes() > 0);
+        assert!(ex.network().achieved_gbps_per_npu() > 0.0);
+    }
+
+    #[test]
+    fn run_until_respects_time_bound() {
+        let mut ex = executor(SystemConfig::Ace, shape442());
+        let h = ex.issue(CollectiveOp::AllReduce, 16 << 20, SimTime::ZERO);
+        ex.run_until(SimTime::from_cycles(10));
+        assert!(!ex.is_complete(h));
+        assert!(ex.now() >= SimTime::from_cycles(10));
+    }
+
+    #[test]
+    fn mem_traffic_baseline_exceeds_ace() {
+        let mut base = executor(SystemConfig::BaselineCommOpt, shape442());
+        let h = base.issue(CollectiveOp::AllReduce, 4 << 20, SimTime::ZERO);
+        base.run_until_complete(h);
+        let mut ace = executor(SystemConfig::Ace, shape442());
+        let h = ace.issue(CollectiveOp::AllReduce, 4 << 20, SimTime::ZERO);
+        ace.run_until_complete(h);
+        let b = base.comm_mem_traffic_bytes();
+        let a = ace.comm_mem_traffic_bytes();
+        assert!(b > 2 * a, "baseline {b} vs ACE {a}");
+    }
+
+    #[test]
+    fn standalone_reduce_scatter_and_all_gather_complete() {
+        for op in [CollectiveOp::ReduceScatter, CollectiveOp::AllGather] {
+            for config in [SystemConfig::BaselineCommOpt, SystemConfig::Ace, SystemConfig::Ideal] {
+                let mut ex = executor(config, shape442());
+                let h = ex.issue(op, 4 << 20, SimTime::ZERO);
+                let t = ex.run_until_complete(h);
+                assert!(t.cycles() > 0, "{op:?} on {config}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_is_cheaper_than_all_reduce() {
+        // RS moves roughly half the bytes of AR (no all-gather half).
+        let mut rs = executor(SystemConfig::Ideal, shape442());
+        let h = rs.issue(CollectiveOp::ReduceScatter, 16 << 20, SimTime::ZERO);
+        let t_rs = rs.run_until_complete(h);
+        let mut ar = executor(SystemConfig::Ideal, shape442());
+        let h = ar.issue(CollectiveOp::AllReduce, 16 << 20, SimTime::ZERO);
+        let t_ar = ar.run_until_complete(h);
+        assert!(t_rs < t_ar, "RS {t_rs} vs AR {t_ar}");
+    }
+
+    #[test]
+    fn fifo_scheduling_starves_late_collectives() {
+        let opts = ExecutorOptions { scheduling: SchedulingPolicy::Fifo, ..Default::default() };
+        let params = NetworkParams::paper_default();
+        let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape442());
+        let weights = CollectiveExecutor::phase_weights(&plan, &params);
+        let mut ex = CollectiveExecutor::with_options(shape442(), params, opts, move || {
+            SystemConfig::Ace.make_engine(&weights)
+        });
+        let big = ex.issue(CollectiveOp::AllReduce, 32 << 20, SimTime::ZERO);
+        let small = ex.issue(CollectiveOp::AllReduce, 256 << 10, SimTime::from_cycles(1));
+        let t_small = ex.run_until_complete(small);
+        let t_big = ex.run_until_complete(big);
+        // Under FIFO the small late-comer drains after (or with) the big one.
+        assert!(t_small.cycles() + 1 >= t_big.cycles(), "small {t_small} big {t_big}");
+    }
+
+    #[test]
+    fn unidirectional_rings_are_slower() {
+        let run = |bidir: bool| {
+            let opts = ExecutorOptions { bidirectional_rings: bidir, ..Default::default() };
+            let params = NetworkParams::paper_default();
+            let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape442());
+            let weights = CollectiveExecutor::phase_weights(&plan, &params);
+            let mut ex = CollectiveExecutor::with_options(shape442(), params, opts, move || {
+                SystemConfig::Ideal.make_engine(&weights)
+            });
+            let h = ex.issue(CollectiveOp::AllReduce, 16 << 20, SimTime::ZERO);
+            ex.run_until_complete(h).cycles()
+        };
+        let bi = run(true);
+        let uni = run(false);
+        assert!(uni as f64 > bi as f64 * 1.5, "uni {uni} vs bi {bi}");
+    }
+
+    #[test]
+    fn tiny_inflight_cap_throttles() {
+        let run = |cap: usize| {
+            let opts = ExecutorOptions { max_inflight_chunks: cap, ..Default::default() };
+            let params = NetworkParams::paper_default();
+            let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape442());
+            let weights = CollectiveExecutor::phase_weights(&plan, &params);
+            let mut ex = CollectiveExecutor::with_options(shape442(), params, opts, move || {
+                SystemConfig::Ace.make_engine(&weights)
+            });
+            let h = ex.issue(CollectiveOp::AllReduce, 8 << 20, SimTime::ZERO);
+            ex.run_until_complete(h).cycles()
+        };
+        assert!(run(2) > run(64));
+    }
+
+    #[test]
+    fn ace_utilization_reported_only_for_ace() {
+        let mut ace = executor(SystemConfig::Ace, shape442());
+        let h = ace.issue(CollectiveOp::AllReduce, 4 << 20, SimTime::ZERO);
+        let t = ace.run_until_complete(h);
+        assert!(ace.ace_utilization(t).unwrap() > 0.0);
+        let base = executor(SystemConfig::BaselineCommOpt, shape442());
+        assert!(base.ace_utilization(SimTime::from_cycles(1)).is_none());
+    }
+}

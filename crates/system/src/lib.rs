@@ -1,0 +1,53 @@
+//! The distributed-training system simulator (ASTRA-sim analog).
+//!
+//! Ties every substrate together: the 3D-torus fabric ([`ace_net`]), the
+//! partitioned endpoint memory ([`ace_mem`]), the roofline NPU
+//! ([`ace_compute`]), the hierarchical collective plans
+//! ([`ace_collectives`]), the ACE engine ([`ace_engine`]) and the endpoint
+//! pipelines ([`ace_endpoint`]) — then runs the paper's two-iteration
+//! training loop with LIFO collective scheduling over them.
+//!
+//! * [`SystemConfig`] — the five evaluated endpoint configurations
+//!   (Table VI).
+//! * [`CollectiveExecutor`] — event-driven, message-granularity execution
+//!   of ring and all-to-all collectives across every node.
+//! * [`TrainingSim`] / [`SystemBuilder`] — the training loop: forward
+//!   passes that block on the previous iteration's all-reduces, backward
+//!   passes that emit LIFO-scheduled collectives, DLRM's blocking
+//!   all-to-alls, and exposed-communication accounting.
+//! * [`run_single_collective`] — the standalone harness behind Fig. 5 and
+//!   Fig. 6.
+//!
+//! # Example
+//!
+//! ```
+//! use ace_system::{SystemBuilder, SystemConfig};
+//! use ace_workloads::Workload;
+//!
+//! let report = SystemBuilder::new()
+//!     .topology(4, 2, 2)
+//!     .config(SystemConfig::Ace)
+//!     .workload(Workload::resnet50())
+//!     .build()
+//!     .unwrap()
+//!     .run();
+//! assert!(report.iteration_time_us() > 0.0);
+//! assert!(report.total_compute_us() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod collective_run;
+mod config;
+mod executor;
+mod report;
+mod training;
+
+pub use builder::{BuildError, SystemBuilder};
+pub use collective_run::{run_single_collective, CollectiveRunReport, EngineKind};
+pub use config::SystemConfig;
+pub use executor::{CollHandle, CollectiveExecutor, ExecutorOptions, SchedulingPolicy};
+pub use report::IterationReport;
+pub use training::TrainingSim;

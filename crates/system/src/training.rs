@@ -1,0 +1,308 @@
+//! The two-iteration training loop (Section V, "Target Workloads" /
+//! "Metric of Evaluation").
+//!
+//! Forward passes block per layer on the previous iteration's
+//! weight-gradient all-reduce ("for each layer we need to make sure the
+//! weight gradient communication of the previous iteration is completed");
+//! backward passes emit one collective per layer, scheduled LIFO. DLRM
+//! additionally blocks on the embedding all-to-all before its top MLP and
+//! on the backward all-to-all before the embedding update. Exposed
+//! communication is every cycle the compute timeline spends stalled on a
+//! collective.
+
+use ace_collectives::CollectiveOp;
+use ace_compute::{KernelDesc, NpuParams};
+use ace_net::{NetworkParams, TorusShape};
+use ace_simcore::{SimTime, TimeSeries};
+use ace_workloads::{Parallelism, Workload};
+
+use crate::config::SystemConfig;
+use crate::executor::{CollHandle, CollectiveExecutor};
+use crate::report::IterationReport;
+
+/// Simulates `iterations` training iterations of one workload on one
+/// system configuration.
+pub struct TrainingSim {
+    config: SystemConfig,
+    workload: Workload,
+    shape: TorusShape,
+    npu: NpuParams,
+    net_params: NetworkParams,
+    exec: CollectiveExecutor,
+    iterations: u32,
+    optimized_embedding: bool,
+    // running state
+    t: SimTime,
+    compute_busy: u64,
+    exposed: u64,
+    compute_series: TimeSeries,
+}
+
+impl std::fmt::Debug for TrainingSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainingSim")
+            .field("config", &self.config)
+            .field("workload", &self.workload.name())
+            .field("shape", &self.shape)
+            .finish()
+    }
+}
+
+impl TrainingSim {
+    /// Creates a simulator. `optimized_embedding` enables the Fig. 12 DLRM
+    /// training-loop optimization (embedding lookup/update of the
+    /// next/previous iteration overlapped with the current iteration's
+    /// compute).
+    pub fn new(
+        config: SystemConfig,
+        workload: Workload,
+        shape: TorusShape,
+        iterations: u32,
+        optimized_embedding: bool,
+    ) -> TrainingSim {
+        let net_params = NetworkParams::paper_default();
+        let plan = ace_collectives::CollectivePlan::for_op(CollectiveOp::AllReduce, shape);
+        let weights = CollectiveExecutor::phase_weights(&plan, &net_params);
+        let exec = CollectiveExecutor::new(shape, net_params, {
+            let weights = weights.clone();
+            move || config.make_engine(&weights)
+        });
+        TrainingSim {
+            config,
+            workload,
+            shape,
+            npu: NpuParams::paper_default(),
+            net_params,
+            exec,
+            iterations,
+            optimized_embedding,
+            t: SimTime::ZERO,
+            compute_busy: 0,
+            exposed: 0,
+            compute_series: TimeSeries::new(1000),
+        }
+    }
+
+    /// Runs the training loop and produces the report.
+    pub fn run(mut self) -> IterationReport {
+        let layers = self.workload.layers().len();
+        let mut prev_ar: Vec<Option<CollHandle>> = vec![None; layers];
+        let mut fwd_busy_windows: Vec<(u64, u64)> = Vec::new(); // (ace busy, window)
+        let mut fwd_cycles_total: u64 = 0;
+
+        // Optimized DLRM loop: iteration 0's lookup runs before training
+        // starts, so its all-to-all is already in flight at t = 0.
+        let mut carried_fwd_a2a: Option<CollHandle> = None;
+        if self.optimized_embedding {
+            if let Some(emb) = self.workload.embedding().cloned() {
+                carried_fwd_a2a =
+                    Some(self.exec.issue(CollectiveOp::AllToAll, emb.fwd_all_to_all_bytes, self.t));
+            }
+        }
+
+        for iter in 0..self.iterations {
+            // ---------------- forward pass ----------------
+            let fwd_start = self.t;
+            let ace_busy_at_start = self.ace_busy_cycles();
+
+            let mut fwd_a2a: Option<CollHandle> = None;
+            if let Some(emb) = self.workload.embedding().cloned() {
+                if self.optimized_embedding {
+                    // Lookup ran in the background during the previous
+                    // iteration (1 SM + 80 GB/s carve-out, Section VI-D)
+                    // and its all-to-all was issued as soon as it
+                    // finished — it has been transferring since then.
+                    fwd_a2a = carried_fwd_a2a.take();
+                } else {
+                    self.run_kernel(&emb.lookup);
+                    fwd_a2a = Some(self.exec.issue(
+                        CollectiveOp::AllToAll,
+                        emb.fwd_all_to_all_bytes,
+                        self.t,
+                    ));
+                }
+            }
+
+            for i in 0..layers {
+                if self.config.overlaps() && iter > 0 {
+                    if let Some(h) = prev_ar[i].take() {
+                        self.wait_on(h);
+                    }
+                }
+                if let Some(emb) = self.workload.embedding() {
+                    if i == emb.top_mlp_start {
+                        // "The only exception is DLRM fwd-pass all-to-all
+                        // where the training loop performs a blocking wait"
+                        // (Table VI footnote) — in every configuration.
+                        if let Some(h) = fwd_a2a.take() {
+                            self.wait_on(h);
+                        }
+                    }
+                }
+                let kernel = self.workload.layers()[i].fwd().clone();
+                self.run_kernel(&kernel);
+            }
+            let fwd_end = self.t;
+            self.exec.run_until(fwd_end);
+            fwd_busy_windows.push((
+                self.ace_busy_cycles().saturating_sub(ace_busy_at_start),
+                fwd_end - fwd_start,
+            ));
+            fwd_cycles_total += fwd_end - fwd_start;
+
+            // ---------------- backward pass ----------------
+            let mut deferred: Vec<(CollectiveOp, u64)> = Vec::new();
+            for i in (0..layers).rev() {
+                let (ig, wg, comm) = {
+                    let l = &self.workload.layers()[i];
+                    (l.input_grad().clone(), l.weight_grad().clone(), l.comm())
+                };
+                self.run_kernel(&ig);
+                self.run_kernel(&wg);
+                if let Some(c) = comm {
+                    if self.config.overlaps() {
+                        prev_ar[i] = Some(self.exec.issue(c.op, c.bytes, self.t));
+                    } else {
+                        deferred.push((c.op, c.bytes));
+                    }
+                }
+            }
+
+            if let Some(emb) = self.workload.embedding().cloned() {
+                // Optimized loop: the next iteration's background lookup
+                // finished partway through this backward pass, so its
+                // all-to-all is issued now and overlaps the remaining
+                // communication (Section VI-D: "we immediately issue
+                // communication once the lookup is finished").
+                if self.optimized_embedding && iter + 1 < self.iterations {
+                    carried_fwd_a2a = Some(self.exec.issue(
+                        CollectiveOp::AllToAll,
+                        emb.fwd_all_to_all_bytes,
+                        self.t,
+                    ));
+                }
+                // Embedding gradients return to their owner tables, then
+                // the tables are updated before the next iteration.
+                let h = self
+                    .exec
+                    .issue(CollectiveOp::AllToAll, emb.bwd_all_to_all_bytes, self.t);
+                self.wait_on(h);
+                if !self.optimized_embedding {
+                    self.run_kernel(&emb.update);
+                }
+            }
+
+            if !self.config.overlaps() {
+                // BaselineNoOverlap: one batched communication "kernel" at
+                // the end of back-propagation, blocking.
+                let handles: Vec<CollHandle> = deferred
+                    .into_iter()
+                    .map(|(op, bytes)| self.exec.issue(op, bytes, self.t))
+                    .collect();
+                for h in handles {
+                    self.wait_on(h);
+                }
+            }
+        }
+
+        // Drain the final iteration's outstanding collectives: the next
+        // forward pass could not start before they finish, so the stall is
+        // exposed communication.
+        let idle = self.exec.run_to_idle();
+        if idle > self.t {
+            self.exposed += idle - self.t;
+            self.t = idle;
+        }
+
+        // Fig. 9b: ACE utilization split into fwd and bwd windows.
+        let total = self.t;
+        let (ace_util_fwd, ace_util_bwd) = match self.exec.ace_utilization(total) {
+            Some(u_total) => {
+                let busy_total = (u_total * total.cycles() as f64) as u64;
+                let fwd_busy: u64 = fwd_busy_windows.iter().map(|(b, _)| *b).sum();
+                let bwd_busy = busy_total.saturating_sub(fwd_busy);
+                let bwd_cycles = total.cycles().saturating_sub(fwd_cycles_total);
+                let f = if fwd_cycles_total == 0 {
+                    0.0
+                } else {
+                    (fwd_busy as f64 / fwd_cycles_total as f64).min(1.0)
+                };
+                let b = if bwd_cycles == 0 {
+                    0.0
+                } else {
+                    (bwd_busy as f64 / bwd_cycles as f64).min(1.0)
+                };
+                (Some(f), Some(b))
+            }
+            None => (None, None),
+        };
+
+        let network_series = self.exec.network().utilization_series();
+        IterationReport {
+            workload: self.workload.name().to_string(),
+            config: self.config.short_name().to_string(),
+            nodes: self.shape.nodes(),
+            freq: self.net_params.freq,
+            iterations: self.iterations,
+            total_cycles: self.t.cycles(),
+            compute_cycles: self.compute_busy,
+            exposed_comm_cycles: self.exposed,
+            compute_series: self.compute_series.bucket_means(),
+            network_series,
+            ace_util_fwd,
+            ace_util_bwd,
+            comm_mem_traffic_bytes: self.exec.comm_mem_traffic_bytes(),
+            network_bytes: self.exec.network().total_bytes(),
+        }
+    }
+
+    /// Advances the compute timeline by one kernel.
+    ///
+    /// The optimized DLRM loop permanently loans 1 SM and 80 GB/s of HBM
+    /// to the background embedding pipeline (Section VI-D), so training
+    /// kernels see slightly reduced resources in that mode.
+    fn run_kernel(&mut self, kernel: &KernelDesc) {
+        let (sms, mem) = if self.optimized_embedding {
+            (
+                self.config.compute_sms().saturating_sub(1).max(1),
+                (self.config.compute_mem_gbps() - 80.0).max(1.0),
+            )
+        } else {
+            (self.config.compute_sms(), self.config.compute_mem_gbps())
+        };
+        let cycles = self.npu.kernel_cycles(kernel, sms, mem);
+        if cycles == 0 {
+            return;
+        }
+        let start = self.t;
+        let end = self.t + cycles;
+        self.compute_series.add_interval(start, end, cycles as f64);
+        self.compute_busy += cycles;
+        self.t = end;
+        self.exec.run_until(self.t);
+    }
+
+    /// Blocks the compute timeline on a collective; the stall is exposed
+    /// communication.
+    fn wait_on(&mut self, h: CollHandle) {
+        let tc = self.exec.run_until_complete(h);
+        if tc > self.t {
+            self.exposed += tc - self.t;
+            self.t = tc;
+        }
+    }
+
+    /// ACE cumulative busy cycles at the current frontier (0 for
+    /// non-ACE engines).
+    fn ace_busy_cycles(&self) -> u64 {
+        match self.exec.ace_utilization(self.t) {
+            Some(u) => (u * self.t.cycles() as f64) as u64,
+            None => 0,
+        }
+    }
+
+    /// Whether the workload is hybrid-parallel (DLRM).
+    pub fn is_hybrid(&self) -> bool {
+        self.workload.parallelism() == Parallelism::Hybrid
+    }
+}

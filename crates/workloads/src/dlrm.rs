@@ -1,0 +1,166 @@
+//! DLRM layer table (Naumov et al. [41], HOTI'20 case study [47]),
+//! mini-batch 512 per NPU, hybrid parallel.
+//!
+//! Production-class configuration: a 256-feature bottom MLP
+//! (256-2048-2048-1024), feature interaction, a top MLP
+//! (2048-4096-4096-1), and 128 model-parallel embedding tables of
+//! dimension 128. MLP weight gradients are all-reduced (data parallel);
+//! pooled embedding vectors are exchanged with a forward all-to-all before
+//! the top MLP and a backward all-to-all returns their gradients
+//! (Section V: "hybrid parallel (data-parallel across MLP layers, model
+//! parallel across embedding tables)").
+//!
+//! With weak scaling the per-node all-to-all payload is constant: each
+//! node owns `tables / N` tables and serves the global batch `512 · N`,
+//! so `512·N × (tables/N) × dim × 2 B` is independent of `N`.
+
+use ace_collectives::CollectiveOp;
+use ace_compute::KernelDesc;
+
+use crate::layer::{calibrated_bytes, grad_bytes, Layer, LayerComm, FP16};
+use crate::workload::{EmbeddingStage, Workload};
+
+const MAX_INTENSITY: f64 = 110.0;
+/// Total embedding tables across the platform (scales with very large
+/// fabrics so each node keeps at least one table).
+const BASE_TABLES: f64 = 128.0;
+/// Embedding vector dimension.
+const EMB_DIM: f64 = 128.0;
+/// Average table rows gathered per sample per table (multi-hot pooling;
+/// the paper's Fig. 4 embedding benchmark uses 28 look-ups per sample,
+/// production models pool tens of rows — we use 16 so the background
+/// lookup of the optimized loop fits inside one iteration at 80 GB/s).
+const POOLING: f64 = 16.0;
+
+fn mlp_layer(name: &str, cin: f64, cout: f64, batch: f64) -> Layer {
+    let params = cin * cout + cout;
+    let fwd_flops = 2.0 * params * batch;
+    let raw = (params + (cin + cout) * batch) * FP16;
+    Layer::from_fwd(
+        name,
+        fwd_flops,
+        calibrated_bytes(fwd_flops, raw, MAX_INTENSITY),
+        Some(LayerComm {
+            op: CollectiveOp::AllReduce,
+            bytes: grad_bytes(params),
+        }),
+    )
+}
+
+/// Builds DLRM for `batch` samples per NPU on an `nodes`-NPU fabric.
+pub(crate) fn build(batch: u32, nodes: usize) -> Workload {
+    assert!(nodes >= 1, "need at least one node");
+    let b = batch as f64;
+    let n = nodes as f64;
+    let tables = BASE_TABLES.max(n);
+
+    // Bottom MLP: 256-2048-2048-1024 (layers 0..3).
+    let mut layers = vec![
+        mlp_layer("bot_mlp_0", 256.0, 2048.0, b),
+        mlp_layer("bot_mlp_1", 2048.0, 2048.0, b),
+        mlp_layer("bot_mlp_2", 2048.0, 1024.0, b),
+    ];
+    // Top MLP: 2048-4096-4096-1 (layers 3..6); the forward pass blocks on
+    // the embedding all-to-all before layer index 3.
+    let top_mlp_start = layers.len();
+    layers.push(mlp_layer("top_mlp_0", 2048.0, 4096.0, b));
+    layers.push(mlp_layer("top_mlp_1", 4096.0, 4096.0, b));
+    layers.push(mlp_layer("top_mlp_2", 4096.0, 1.0, b));
+
+    // Embedding stage: each node owns tables/n tables and serves the
+    // global batch b*n. Output bytes per node are constant under weak
+    // scaling; lookups read `POOLING` rows per output vector.
+    let global_batch = b * n;
+    let tables_per_node = tables / n;
+    let out_bytes = global_batch * tables_per_node * EMB_DIM * FP16;
+    let lookup = KernelDesc::new(
+        "emb_lookup",
+        global_batch * tables_per_node * EMB_DIM, // pooling adds
+        (POOLING + 1.0) * out_bytes,
+    );
+    let update = KernelDesc::new(
+        "emb_update",
+        global_batch * tables_per_node * EMB_DIM,
+        (POOLING + 1.0) * out_bytes,
+    );
+
+    let embedding = EmbeddingStage {
+        lookup,
+        update,
+        fwd_all_to_all_bytes: out_bytes as u64,
+        bwd_all_to_all_bytes: out_bytes as u64,
+        top_mlp_start,
+    };
+
+    Workload::hybrid_parallel("DLRM", layers, batch, embedding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_is_bottom_plus_top() {
+        let w = build(512, 16);
+        assert_eq!(w.layers().len(), 6);
+        assert_eq!(w.embedding().unwrap().top_mlp_start, 3);
+    }
+
+    #[test]
+    fn all_to_all_payload_is_weak_scaling_invariant() {
+        let small = build(512, 16);
+        let large = build(512, 128);
+        assert_eq!(
+            small.embedding().unwrap().fwd_all_to_all_bytes,
+            large.embedding().unwrap().fwd_all_to_all_bytes
+        );
+        // 512·N × (128/N) × 128 × 2 = 16.78 MB.
+        let bytes = small.embedding().unwrap().fwd_all_to_all_bytes;
+        assert_eq!(bytes, (512.0 * 128.0 * 128.0 * 2.0) as u64);
+    }
+
+    #[test]
+    fn very_large_fabrics_keep_one_table_per_node() {
+        let w = build(512, 256);
+        // tables = max(128, 256) = 256 => payload scales accordingly but
+        // stays positive.
+        assert!(w.embedding().unwrap().fwd_all_to_all_bytes > 0);
+    }
+
+    #[test]
+    fn mlp_all_reduce_dominates_all_to_all() {
+        // Section VI-A: "compared to the all-reduce, all-to-all ... sizes
+        // are usually smaller".
+        let w = build(512, 64);
+        let ar_total = w.total_comm_bytes();
+        let a2a = w.embedding().unwrap().fwd_all_to_all_bytes;
+        assert!(ar_total > a2a, "AR {ar_total} vs A2A {a2a}");
+    }
+
+    #[test]
+    fn mlp_params_are_production_scale() {
+        let w = build(512, 16);
+        let params: f64 = w
+            .layers()
+            .iter()
+            .filter_map(|l| l.comm())
+            .map(|c| c.bytes as f64 / FP16)
+            .sum();
+        // bottom 6.8M + top 25.2M ≈ 32M.
+        assert!((28.0e6..36.0e6).contains(&params), "params {params:.3e}");
+    }
+
+    #[test]
+    fn embedding_kernels_are_memory_dominated() {
+        let w = build(512, 64);
+        let e = w.embedding().unwrap();
+        assert!(e.lookup.intensity() < 1.0);
+        assert!(e.update.intensity() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = build(512, 0);
+    }
+}

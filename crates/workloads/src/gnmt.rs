@@ -1,0 +1,151 @@
+//! GNMT layer table (Wu et al. [58]), mini-batch 128 per NPU.
+//!
+//! 8-layer encoder + 8-layer decoder LSTM stack with 1024 hidden units,
+//! additive attention, a shared 32 K-word embedding and the softmax
+//! projection. Each LSTM layer carries ≈8.4 M parameters (4 gates ×
+//! [x; h] → h), so back-prop emits few but **large** all-reduces —
+//! "in GNMT, communication sizes (per layer) are larger" (Section VI-B).
+//!
+//! The effective unrolled sequence length is 8 steps; this is the knob the
+//! compute substrate exposes (SCALE-sim in the paper), and it scales
+//! compute time without affecting communication sizes.
+
+use ace_collectives::CollectiveOp;
+
+use crate::layer::{calibrated_bytes, grad_bytes, Layer, LayerComm, FP16};
+use crate::workload::Workload;
+
+const MAX_INTENSITY: f64 = 100.0;
+/// Compute-time calibration matching the paper's SCALE-sim-derived GNMT
+/// compute times; scales flops and bytes together (see the ResNet-50
+/// module for the rationale).
+const COMPUTE_TIME_SCALE: f64 = 0.5;
+const HIDDEN: f64 = 1024.0;
+const VOCAB: f64 = 32_000.0;
+const SEQ: f64 = 8.0;
+
+fn lstm_layer(name: String, batch: f64) -> Layer {
+    // 4 gates, each [x; h] (2 x 1024) -> 1024.
+    let params = 4.0 * (2.0 * HIDDEN) * HIDDEN;
+    let fwd_flops = 2.0 * params * SEQ * batch * COMPUTE_TIME_SCALE;
+    let raw = (params + 2.0 * HIDDEN * SEQ * batch) * FP16 * COMPUTE_TIME_SCALE;
+    let bytes = calibrated_bytes(fwd_flops, raw, MAX_INTENSITY);
+    Layer::from_fwd(
+        name,
+        fwd_flops,
+        bytes,
+        Some(LayerComm {
+            op: CollectiveOp::AllReduce,
+            bytes: grad_bytes(params),
+        }),
+    )
+}
+
+/// Builds GNMT for `batch` samples per NPU.
+pub(crate) fn build(batch: u32) -> Workload {
+    let b = batch as f64;
+    let mut layers = Vec::new();
+
+    // Shared source/target embedding: 32K x 1024 (gradients all-reduced).
+    let emb_params = VOCAB * HIDDEN;
+    let emb_flops = 2.0 * HIDDEN * SEQ * b * COMPUTE_TIME_SCALE; // gather + scale
+    let emb_raw = (SEQ * b * HIDDEN * 2.0 + emb_params * 0.01) * FP16 * COMPUTE_TIME_SCALE;
+    // Embedding gradients are sparse (only the batch's tokens are
+    // touched) and exchanged sparsely in practice, so no dense per-layer
+    // all-reduce is attached here.
+    layers.push(Layer::from_fwd(
+        "embedding",
+        emb_flops,
+        calibrated_bytes(emb_flops, emb_raw, MAX_INTENSITY),
+        None,
+    ));
+
+    for i in 0..8 {
+        layers.push(lstm_layer(format!("encoder_l{i}"), b));
+    }
+
+    // Additive attention: query/key projections + score, ~2.1M params.
+    let attn_params = 2.0 * HIDDEN * HIDDEN + HIDDEN;
+    let attn_flops = (2.0 * attn_params * SEQ * b + 2.0 * SEQ * SEQ * HIDDEN * b) * COMPUTE_TIME_SCALE;
+    let attn_raw = (attn_params + 2.0 * SEQ * b * HIDDEN) * FP16 * COMPUTE_TIME_SCALE;
+    layers.push(Layer::from_fwd(
+        "attention",
+        attn_flops,
+        calibrated_bytes(attn_flops, attn_raw, MAX_INTENSITY),
+        Some(LayerComm {
+            op: CollectiveOp::AllReduce,
+            bytes: grad_bytes(attn_params),
+        }),
+    ));
+
+    for i in 0..8 {
+        layers.push(lstm_layer(format!("decoder_l{i}"), b));
+    }
+
+    // Softmax projection 1024 -> 32K (weights tied to the embedding in
+    // MLPerf GNMT; we keep its compute but attach no separate gradient
+    // all-reduce).
+    let proj_flops = 2.0 * HIDDEN * VOCAB * SEQ * b * COMPUTE_TIME_SCALE;
+    let proj_raw = (emb_params + SEQ * b * VOCAB) * FP16 * COMPUTE_TIME_SCALE;
+    layers.push(Layer::from_fwd(
+        "projection",
+        proj_flops,
+        calibrated_bytes(proj_flops, proj_raw, MAX_INTENSITY),
+        None,
+    ));
+
+    Workload::data_parallel("GNMT", layers, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_structure() {
+        let w = build(128);
+        // embedding + 8 enc + attention + 8 dec + projection = 19.
+        assert_eq!(w.layers().len(), 19);
+    }
+
+    #[test]
+    fn per_layer_collectives_are_large() {
+        // Section VI-B: GNMT per-layer comm sizes are larger than
+        // ResNet-50's.
+        let gnmt = build(128);
+        let resnet = crate::resnet::build(32);
+        let gnmt_max = gnmt.layers().iter().filter_map(|l| l.comm()).map(|c| c.bytes).max().unwrap();
+        let resnet_max = resnet.layers().iter().filter_map(|l| l.comm()).map(|c| c.bytes).max().unwrap();
+        assert!(gnmt_max > 2 * resnet_max);
+        // Each LSTM layer: 8.4M params => ~16.8 MB FP16.
+        let lstm = gnmt.layers()[1].comm().unwrap().bytes;
+        assert!((16 << 20..18 << 20).contains(&lstm), "lstm AR {lstm}");
+    }
+
+    #[test]
+    fn total_params_are_gnmt_scale() {
+        let w = build(128);
+        let params: f64 = w
+            .layers()
+            .iter()
+            .filter_map(|l| l.comm())
+            .map(|c| c.bytes as f64 / FP16)
+            .sum();
+        // 16 dense-gradient LSTM layers x 8.4M + attention ~2M ≈ 136M
+        // (embedding/projection gradients are sparse, not all-reduced).
+        assert!((120.0e6..150.0e6).contains(&params), "params {params:.3e}");
+    }
+
+    #[test]
+    fn gnmt_compute_exceeds_resnet() {
+        // Larger compute time => "more room to overlap communication".
+        assert!(build(128).total_flops() > crate::resnet::build(32).total_flops());
+    }
+
+    #[test]
+    fn memory_bound_calibration_holds() {
+        for l in build(128).layers() {
+            assert!(l.fwd().intensity() <= MAX_INTENSITY + 1e-6, "{}", l.name());
+        }
+    }
+}

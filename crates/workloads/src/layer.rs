@@ -1,0 +1,145 @@
+//! Layers: the unit of workload description.
+
+use ace_collectives::CollectiveOp;
+use ace_compute::KernelDesc;
+
+/// Bytes per element: all workloads use FP16 activations/gradients
+/// (Section V).
+pub(crate) const FP16: f64 = 2.0;
+
+/// The collective a layer emits during back-propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerComm {
+    /// The collective operation.
+    pub op: CollectiveOp,
+    /// Per-node payload in bytes.
+    pub bytes: u64,
+}
+
+/// One network layer with its three training-pass kernels and its
+/// backward-pass collective.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    name: String,
+    fwd: KernelDesc,
+    input_grad: KernelDesc,
+    weight_grad: KernelDesc,
+    comm: Option<LayerComm>,
+}
+
+impl Layer {
+    /// Creates a layer.
+    pub fn new(
+        name: impl Into<String>,
+        fwd: KernelDesc,
+        input_grad: KernelDesc,
+        weight_grad: KernelDesc,
+        comm: Option<LayerComm>,
+    ) -> Layer {
+        Layer {
+            name: name.into(),
+            fwd,
+            input_grad,
+            weight_grad,
+            comm,
+        }
+    }
+
+    /// Builds a dense/conv-style layer from aggregate figures: forward
+    /// flops and bytes, parameter count. The backward kernels follow the
+    /// usual convention: the input-gradient and weight-gradient passes
+    /// each cost about the same as the forward pass.
+    ///
+    /// `comm` attaches the back-prop collective (usually the FP16 weight
+    /// gradients: `params × 2` bytes all-reduce).
+    pub fn from_fwd(
+        name: impl Into<String>,
+        fwd_flops: f64,
+        fwd_bytes: f64,
+        comm: Option<LayerComm>,
+    ) -> Layer {
+        let name = name.into();
+        let fwd = KernelDesc::new(format!("{name}.fwd"), fwd_flops, fwd_bytes);
+        let ig = KernelDesc::new(format!("{name}.ig"), fwd_flops, fwd_bytes);
+        let wg = KernelDesc::new(format!("{name}.wg"), fwd_flops, fwd_bytes);
+        Layer::new(name, fwd, ig, wg, comm)
+    }
+
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Forward-pass kernel.
+    pub fn fwd(&self) -> &KernelDesc {
+        &self.fwd
+    }
+
+    /// Input-gradient kernel (skipped for the first layer in practice; we
+    /// keep it for uniformity, it is part of "total compute" either way).
+    pub fn input_grad(&self) -> &KernelDesc {
+        &self.input_grad
+    }
+
+    /// Weight-gradient kernel.
+    pub fn weight_grad(&self) -> &KernelDesc {
+        &self.weight_grad
+    }
+
+    /// The backward-pass collective, if any.
+    pub fn comm(&self) -> Option<LayerComm> {
+        self.comm
+    }
+}
+
+/// Helper: FP16 bytes for `params` parameters.
+pub(crate) fn grad_bytes(params: f64) -> u64 {
+    (params * FP16) as u64
+}
+
+/// Helper: memory bytes for a kernel calibrated to the memory-bound
+/// regime: raw tensor traffic, floored so arithmetic intensity stays at or
+/// below `max_intensity` flops/byte (the NPU ridge point is ≈133 at full
+/// resources; we use 110 to keep a clear margin, matching the paper's
+/// bandwidth-sensitive compute times).
+pub(crate) fn calibrated_bytes(flops: f64, raw_bytes: f64, max_intensity: f64) -> f64 {
+    raw_bytes.max(flops / max_intensity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fwd_builds_three_kernels() {
+        let l = Layer::from_fwd("conv1", 1e9, 1e7, None);
+        assert_eq!(l.fwd().flops(), 1e9);
+        assert_eq!(l.input_grad().flops(), 1e9);
+        assert_eq!(l.weight_grad().flops(), 1e9);
+        assert!(l.comm().is_none());
+        assert_eq!(l.name(), "conv1");
+        assert!(l.fwd().name().contains("fwd"));
+    }
+
+    #[test]
+    fn grad_bytes_is_two_per_param() {
+        assert_eq!(grad_bytes(1000.0), 2000);
+    }
+
+    #[test]
+    fn calibration_floors_bytes() {
+        // High-intensity kernel gets extra bytes to stay memory-bound.
+        let b = calibrated_bytes(1.1e9, 1e6, 110.0);
+        assert_eq!(b, 1e7);
+        // Already memory-bound kernels keep raw bytes.
+        let b = calibrated_bytes(1e6, 1e9, 110.0);
+        assert_eq!(b, 1e9);
+    }
+
+    #[test]
+    fn layer_comm_carries_payload() {
+        let c = LayerComm { op: ace_collectives::CollectiveOp::AllReduce, bytes: 4096 };
+        let l = Layer::from_fwd("fc", 1e6, 1e6, Some(c));
+        assert_eq!(l.comm().unwrap().bytes, 4096);
+    }
+}

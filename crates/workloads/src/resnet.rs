@@ -1,0 +1,178 @@
+//! ResNet-50 v1.5 layer table (He et al. [21]), mini-batch 32 per NPU.
+//!
+//! The architecture is encoded exactly: the 7×7 stem, four bottleneck
+//! stages of [3, 4, 6, 3] blocks (each 1×1 → 3×3 → 1×1 plus a projection
+//! shortcut on the first block of a stage), global pooling and the
+//! 2048→1000 classifier — 53 convolutions + 1 FC ≈ 25.5 M parameters.
+//! Every layer's FP16 weight gradients are all-reduced during back-prop,
+//! which is why ResNet-50 "issues many small-size collectives"
+//! (Section VI-B).
+
+use ace_collectives::CollectiveOp;
+
+use crate::layer::{calibrated_bytes, grad_bytes, Layer, LayerComm, FP16};
+use crate::workload::Workload;
+
+/// Memory-bound calibration ceiling (flops/byte); see crate docs.
+const MAX_INTENSITY: f64 = 110.0;
+
+/// Compute-time calibration: the paper's compute substrate (SCALE-sim)
+/// reports per-layer latencies several times shorter than an exact-flop
+/// roofline at batch 32 (its BaselineCommOpt iteration is ≈2.4 ms where
+/// exact fwd+2·bwd ResNet-50 flops alone need >6 ms at 111 TFLOPS). We
+/// scale flops and bytes together — preserving arithmetic intensity and
+/// the memory-bound calibration — so simulated compute times match the
+/// paper's regime and the compute/communication balance is faithful.
+const COMPUTE_TIME_SCALE: f64 = 0.15;
+
+/// One convolution's aggregate figures.
+struct Conv {
+    name: String,
+    params: f64,
+    fwd_flops: f64,
+    raw_bytes: f64,
+}
+
+fn conv(name: String, cin: f64, cout: f64, k: f64, out_hw: f64, batch: f64) -> Conv {
+    let params = k * k * cin * cout;
+    let out_elems = out_hw * out_hw * cout;
+    let in_elems = out_hw * out_hw * cin; // pre-stride approximation
+    let fwd_flops = 2.0 * params * out_hw * out_hw * batch;
+    let raw_bytes = (in_elems * batch + out_elems * batch + params) * FP16;
+    Conv { name, params, fwd_flops, raw_bytes }
+}
+
+fn layer_from(c: Conv) -> Layer {
+    let flops = c.fwd_flops * COMPUTE_TIME_SCALE;
+    let bytes = calibrated_bytes(flops, c.raw_bytes * COMPUTE_TIME_SCALE, MAX_INTENSITY);
+    Layer::from_fwd(
+        c.name,
+        flops,
+        bytes,
+        Some(LayerComm {
+            op: CollectiveOp::AllReduce,
+            bytes: grad_bytes(c.params),
+        }),
+    )
+}
+
+/// Builds ResNet-50 for `batch` samples per NPU.
+pub(crate) fn build(batch: u32) -> Workload {
+    let b = batch as f64;
+    let mut convs: Vec<Conv> = Vec::new();
+
+    // Stem: 7x7/2, 3 -> 64, output 112x112.
+    convs.push(conv("conv1".into(), 3.0, 64.0, 7.0, 112.0, b));
+
+    // (in_ch entering stage, mid channels, out channels, blocks, spatial)
+    let stages: [(f64, f64, f64, usize, f64); 4] = [
+        (64.0, 64.0, 256.0, 3, 56.0),
+        (256.0, 128.0, 512.0, 4, 28.0),
+        (512.0, 256.0, 1024.0, 6, 14.0),
+        (1024.0, 512.0, 2048.0, 3, 7.0),
+    ];
+
+    for (si, (cin_stage, mid, cout, blocks, hw)) in stages.into_iter().enumerate() {
+        for blk in 0..blocks {
+            let cin = if blk == 0 { cin_stage } else { cout };
+            let base = format!("res{}_{blk}", si + 2);
+            convs.push(conv(format!("{base}_1x1a"), cin, mid, 1.0, hw, b));
+            convs.push(conv(format!("{base}_3x3"), mid, mid, 3.0, hw, b));
+            convs.push(conv(format!("{base}_1x1b"), mid, cout, 1.0, hw, b));
+            if blk == 0 {
+                // Projection shortcut.
+                convs.push(conv(format!("{base}_proj"), cin, cout, 1.0, hw, b));
+            }
+        }
+    }
+
+    let mut layers: Vec<Layer> = convs.into_iter().map(layer_from).collect();
+
+    // Classifier: 2048 -> 1000.
+    let fc_params = 2048.0 * 1000.0 + 1000.0;
+    let fc_flops = 2.0 * fc_params * b * COMPUTE_TIME_SCALE;
+    let fc_bytes = calibrated_bytes(
+        fc_flops,
+        (2048.0 * b + 1000.0 * b + fc_params) * FP16 * COMPUTE_TIME_SCALE,
+        MAX_INTENSITY,
+    );
+    layers.push(Layer::from_fwd(
+        "fc1000",
+        fc_flops,
+        fc_bytes,
+        Some(LayerComm {
+            op: CollectiveOp::AllReduce,
+            bytes: grad_bytes(fc_params),
+        }),
+    ));
+
+    Workload::data_parallel("ResNet-50", layers, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_is_about_25_5m() {
+        let w = build(32);
+        let params: f64 = w
+            .layers()
+            .iter()
+            .filter_map(|l| l.comm())
+            .map(|c| c.bytes as f64 / FP16)
+            .sum();
+        assert!(
+            (24.0e6..27.0e6).contains(&params),
+            "params {params:.3e} outside ResNet-50 range"
+        );
+    }
+
+    #[test]
+    fn layer_count_is_53_convs_plus_fc() {
+        let w = build(32);
+        assert_eq!(w.layers().len(), 54);
+    }
+
+    #[test]
+    fn forward_flops_near_3_9_gmacs_per_image() {
+        // ResNet-50 is ≈3.86 GMACs per 224×224 image = ~7.7 GFLOPs when a
+        // multiply-add counts as two operations.
+        let w = build(1);
+        let fwd: f64 = w.layers().iter().map(|l| l.fwd().flops()).sum::<f64>() / COMPUTE_TIME_SCALE;
+        assert!(
+            (7.0e9..8.6e9).contains(&fwd),
+            "fwd flops/image {fwd:.3e}"
+        );
+    }
+
+    #[test]
+    fn collectives_are_many_and_small() {
+        // Section VI-B: "Resnet-50 issues many small-size collectives".
+        let w = build(32);
+        let sizes: Vec<u64> = w.layers().iter().filter_map(|l| l.comm()).map(|c| c.bytes).collect();
+        assert_eq!(sizes.len(), 54);
+        let max = *sizes.iter().max().unwrap();
+        assert!(max < 10 << 20, "largest AR {max} should be well under 10 MB");
+    }
+
+    #[test]
+    fn all_kernels_are_memory_bound_at_full_resources() {
+        let w = build(32);
+        for l in w.layers() {
+            assert!(
+                l.fwd().intensity() <= MAX_INTENSITY + 1e-6,
+                "{} intensity {}",
+                l.name(),
+                l.fwd().intensity()
+            );
+        }
+    }
+
+    #[test]
+    fn flops_scale_with_batch() {
+        let a = build(32).total_flops();
+        let b = build(64).total_flops();
+        assert!((b / a - 2.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,116 @@
+//! Transformer-LM (Megatron-LM-style [54]) — an extension workload.
+//!
+//! The paper uses Megatron-LM in its Section III motivation (overlapping
+//! communication degrades it ≈1.4×) but does not include it in the main
+//! evaluation; we provide it as a fourth workload so the motivation
+//! experiment can be rerun on the simulator. A GPT-2-class configuration:
+//! 24 layers, hidden 1024, 16 heads, data-parallel — each layer all-reduces
+//! its ≈12.6 M parameters (attention QKV/proj + 4x MLP) during back-prop,
+//! giving few very large collectives, an even heavier regime than GNMT.
+
+use ace_collectives::CollectiveOp;
+
+use crate::layer::{calibrated_bytes, grad_bytes, Layer, LayerComm, FP16};
+use crate::workload::Workload;
+
+const MAX_INTENSITY: f64 = 100.0;
+/// Compute-time calibration (see the ResNet-50 module for the rationale).
+const COMPUTE_TIME_SCALE: f64 = 0.5;
+const HIDDEN: f64 = 1024.0;
+const LAYERS: usize = 24;
+const SEQ: f64 = 64.0;
+const VOCAB: f64 = 32_000.0;
+
+fn transformer_layer(name: String, batch: f64) -> Layer {
+    // Attention: QKV (3 h x h) + output projection (h x h); MLP: h -> 4h -> h.
+    let attn_params = 4.0 * HIDDEN * HIDDEN;
+    let mlp_params = 8.0 * HIDDEN * HIDDEN;
+    let params = attn_params + mlp_params;
+    // Matmuls plus the seq^2 attention score/context products.
+    let fwd_flops =
+        (2.0 * params * SEQ * batch + 4.0 * SEQ * SEQ * HIDDEN * batch) * COMPUTE_TIME_SCALE;
+    let raw = (params + 4.0 * SEQ * batch * HIDDEN) * FP16 * COMPUTE_TIME_SCALE;
+    Layer::from_fwd(
+        name,
+        fwd_flops,
+        calibrated_bytes(fwd_flops, raw, MAX_INTENSITY),
+        Some(LayerComm {
+            op: CollectiveOp::AllReduce,
+            bytes: grad_bytes(params),
+        }),
+    )
+}
+
+/// Builds the Transformer-LM for `batch` sequences per NPU.
+pub(crate) fn build(batch: u32) -> Workload {
+    let b = batch as f64;
+    let mut layers = Vec::with_capacity(LAYERS + 2);
+
+    // Token + position embedding (sparse gradients: no dense all-reduce).
+    let emb_flops = 2.0 * HIDDEN * SEQ * b * COMPUTE_TIME_SCALE;
+    let emb_raw = (SEQ * b * HIDDEN * 2.0 + VOCAB * HIDDEN * 0.01) * FP16 * COMPUTE_TIME_SCALE;
+    layers.push(Layer::from_fwd(
+        "embedding",
+        emb_flops,
+        calibrated_bytes(emb_flops, emb_raw, MAX_INTENSITY),
+        None,
+    ));
+
+    for i in 0..LAYERS {
+        layers.push(transformer_layer(format!("block_{i}"), b));
+    }
+
+    // LM head (tied to the embedding).
+    let head_flops = 2.0 * HIDDEN * VOCAB * SEQ * b * COMPUTE_TIME_SCALE;
+    let head_raw = (VOCAB * HIDDEN + SEQ * b * VOCAB) * FP16 * COMPUTE_TIME_SCALE;
+    layers.push(Layer::from_fwd(
+        "lm_head",
+        head_flops,
+        calibrated_bytes(head_flops, head_raw, MAX_INTENSITY),
+        None,
+    ));
+
+    Workload::data_parallel("Transformer-LM", layers, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_is_blocks_plus_embedding_and_head() {
+        let w = build(16);
+        assert_eq!(w.layers().len(), LAYERS + 2);
+        assert_eq!(w.name(), "Transformer-LM");
+    }
+
+    #[test]
+    fn per_layer_collectives_are_the_largest_of_all_workloads() {
+        let t = build(16);
+        let gnmt = crate::gnmt::build(128);
+        let t_max = t.layers().iter().filter_map(|l| l.comm()).map(|c| c.bytes).max().unwrap();
+        let g_max = gnmt.layers().iter().filter_map(|l| l.comm()).map(|c| c.bytes).max().unwrap();
+        // 12.58M params ≈ 25.2 MB FP16 per block vs GNMT's 16.8 MB LSTMs.
+        assert!(t_max > g_max, "{t_max} vs {g_max}");
+    }
+
+    #[test]
+    fn total_params_are_gpt2_medium_scale() {
+        let w = build(16);
+        let params: f64 = w
+            .layers()
+            .iter()
+            .filter_map(|l| l.comm())
+            .map(|c| c.bytes as f64 / FP16)
+            .sum();
+        // 24 x 12.58M ≈ 302M dense-gradient params.
+        assert!((280.0e6..330.0e6).contains(&params), "params {params:.3e}");
+    }
+
+    #[test]
+    fn memory_bound_calibration_holds() {
+        for l in build(16).layers() {
+            assert!(l.fwd().intensity() <= MAX_INTENSITY + 1e-6, "{}", l.name());
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! The workload container and parallelization strategy.
+
+use std::fmt;
+
+use ace_compute::KernelDesc;
+
+use crate::layer::Layer;
+
+/// How the model is split across NPUs (Section II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Model replicated; weight gradients all-reduced (ResNet-50, GNMT).
+    Data,
+    /// Data-parallel MLPs + model-parallel embedding tables exchanged via
+    /// all-to-all (DLRM).
+    Hybrid,
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parallelism::Data => f.write_str("data-parallel"),
+            Parallelism::Hybrid => f.write_str("hybrid-parallel"),
+        }
+    }
+}
+
+/// DLRM's embedding pipeline stage: lookup/update kernels and the
+/// all-to-all payloads they produce (Section V, VI-D).
+#[derive(Debug, Clone)]
+pub struct EmbeddingStage {
+    /// Embedding lookup kernel (forward, memory-dominated).
+    pub lookup: KernelDesc,
+    /// Embedding update kernel (backward, memory-dominated).
+    pub update: KernelDesc,
+    /// Per-node forward all-to-all payload (bytes): pooled embedding
+    /// vectors exchanged before the top MLP.
+    pub fwd_all_to_all_bytes: u64,
+    /// Per-node backward all-to-all payload (bytes): embedding gradients
+    /// returned to their owner tables.
+    pub bwd_all_to_all_bytes: u64,
+    /// Index of the first top-MLP layer: the forward pass blocks on the
+    /// all-to-all before entering this layer.
+    pub top_mlp_start: usize,
+}
+
+/// A training workload: layers plus parallelization metadata.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    name: String,
+    layers: Vec<Layer>,
+    parallelism: Parallelism,
+    batch_per_npu: u32,
+    embedding: Option<EmbeddingStage>,
+}
+
+impl Workload {
+    /// Creates a data-parallel workload.
+    pub fn data_parallel(name: impl Into<String>, layers: Vec<Layer>, batch_per_npu: u32) -> Workload {
+        Workload {
+            name: name.into(),
+            layers,
+            parallelism: Parallelism::Data,
+            batch_per_npu,
+            embedding: None,
+        }
+    }
+
+    /// Creates a hybrid-parallel workload with an embedding stage.
+    pub fn hybrid_parallel(
+        name: impl Into<String>,
+        layers: Vec<Layer>,
+        batch_per_npu: u32,
+        embedding: EmbeddingStage,
+    ) -> Workload {
+        Workload {
+            name: name.into(),
+            layers,
+            parallelism: Parallelism::Hybrid,
+            batch_per_npu,
+            embedding: Some(embedding),
+        }
+    }
+
+    /// ResNet-50 v1.5 for vision, mini-batch 32 per NPU (Section V).
+    pub fn resnet50() -> Workload {
+        crate::resnet::build(32)
+    }
+
+    /// GNMT (8-layer encoder/decoder LSTM) for NLP, mini-batch 128.
+    pub fn gnmt() -> Workload {
+        crate::gnmt::build(128)
+    }
+
+    /// DLRM recommendation model, mini-batch 512, hybrid parallel. The
+    /// all-to-all payloads depend on the node count (model-parallel tables),
+    /// so the fabric size is a parameter.
+    pub fn dlrm(nodes: usize) -> Workload {
+        crate::dlrm::build(512, nodes)
+    }
+
+    /// Transformer-LM (Megatron-LM-style), mini-batch 16 sequences per
+    /// NPU — the paper's Section III motivation workload, provided as an
+    /// extension beyond the evaluated trio.
+    pub fn transformer_lm() -> Workload {
+        crate::transformer::build(16)
+    }
+
+    /// The paper's three workloads for a given fabric size.
+    pub fn paper_suite(nodes: usize) -> Vec<Workload> {
+        vec![Workload::resnet50(), Workload::gnmt(), Workload::dlrm(nodes)]
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in forward order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Parallelization strategy.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Mini-batch per NPU (weak scaling).
+    pub fn batch_per_npu(&self) -> u32 {
+        self.batch_per_npu
+    }
+
+    /// DLRM's embedding stage, if any.
+    pub fn embedding(&self) -> Option<&EmbeddingStage> {
+        self.embedding.as_ref()
+    }
+
+    /// Total per-node bytes of layer collectives per iteration (excludes
+    /// the embedding all-to-alls).
+    pub fn total_comm_bytes(&self) -> u64 {
+        self.layers.iter().filter_map(|l| l.comm()).map(|c| c.bytes).sum()
+    }
+
+    /// Total flops of one iteration (fwd + input-grad + weight-grad, plus
+    /// embedding kernels).
+    pub fn total_flops(&self) -> f64 {
+        let layers: f64 = self
+            .layers
+            .iter()
+            .map(|l| l.fwd().flops() + l.input_grad().flops() + l.weight_grad().flops())
+            .sum();
+        let emb = self
+            .embedding
+            .as_ref()
+            .map(|e| e.lookup.flops() + e.update.flops())
+            .unwrap_or(0.0);
+        layers + emb
+    }
+
+    /// Total memory bytes of one iteration's compute kernels.
+    pub fn total_mem_bytes(&self) -> f64 {
+        let layers: f64 = self
+            .layers
+            .iter()
+            .map(|l| l.fwd().mem_bytes() + l.input_grad().mem_bytes() + l.weight_grad().mem_bytes())
+            .sum();
+        let emb = self
+            .embedding
+            .as_ref()
+            .map(|e| e.lookup.mem_bytes() + e.update.mem_bytes())
+            .unwrap_or(0.0);
+        layers + emb
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} layers, batch {}/NPU)",
+            self.name,
+            self.parallelism,
+            self.layers.len(),
+            self.batch_per_npu
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_contains_three_workloads() {
+        let suite = Workload::paper_suite(16);
+        let names: Vec<&str> = suite.iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["ResNet-50", "GNMT", "DLRM"]);
+    }
+
+    #[test]
+    fn batch_sizes_match_section_v() {
+        assert_eq!(Workload::resnet50().batch_per_npu(), 32);
+        assert_eq!(Workload::gnmt().batch_per_npu(), 128);
+        assert_eq!(Workload::dlrm(16).batch_per_npu(), 512);
+    }
+
+    #[test]
+    fn parallelism_kinds() {
+        assert_eq!(Workload::resnet50().parallelism(), Parallelism::Data);
+        assert_eq!(Workload::gnmt().parallelism(), Parallelism::Data);
+        assert_eq!(Workload::dlrm(16).parallelism(), Parallelism::Hybrid);
+        assert!(Workload::dlrm(16).embedding().is_some());
+        assert!(Workload::resnet50().embedding().is_none());
+    }
+
+    #[test]
+    fn totals_are_positive() {
+        for w in Workload::paper_suite(64) {
+            assert!(w.total_flops() > 0.0, "{}", w.name());
+            assert!(w.total_mem_bytes() > 0.0);
+            assert!(w.total_comm_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn display_mentions_strategy() {
+        let s = Workload::dlrm(16).to_string();
+        assert!(s.contains("hybrid"));
+    }
+}

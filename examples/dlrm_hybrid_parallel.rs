@@ -1,0 +1,54 @@
+//! Hybrid-parallel DLRM: model-parallel embedding tables exchanged with
+//! all-to-all, data-parallel MLPs all-reduced — plus the Section VI-D
+//! optimized training loop that ACE's reclaimed memory bandwidth enables.
+//!
+//! ```text
+//! cargo run --release --example dlrm_hybrid_parallel
+//! ```
+
+use ace_platform::system::{SystemBuilder, SystemConfig};
+use ace_platform::workloads::Workload;
+
+fn main() {
+    let nodes = 64;
+    let workload = Workload::dlrm(nodes);
+    println!("workload: {workload}");
+    let emb = workload.embedding().expect("DLRM has an embedding stage");
+    println!(
+        "embedding: fwd all-to-all {:.1} MB/node, bwd {:.1} MB/node, lookup {}\n",
+        emb.fwd_all_to_all_bytes as f64 / 1e6,
+        emb.bwd_all_to_all_bytes as f64 / 1e6,
+        emb.lookup
+    );
+
+    println!(
+        "{:>10} {:>10} | {:>12} | {:>12} | {:>12}",
+        "config", "loop", "compute us", "exposed us", "total us"
+    );
+    for config in [SystemConfig::BaselineCompOpt, SystemConfig::Ace] {
+        for optimized in [false, true] {
+            let report = SystemBuilder::new()
+                .topology(4, 4, 4)
+                .config(config)
+                .workload(Workload::dlrm(nodes))
+                .optimized_embedding(optimized)
+                .build()
+                .expect("a valid system")
+                .run();
+            println!(
+                "{:>10} {:>10} | {:>12.0} | {:>12.0} | {:>12.0}",
+                report.config(),
+                if optimized { "optimized" } else { "default" },
+                report.total_compute_us(),
+                report.exposed_comm_us(),
+                report.total_time_us()
+            );
+        }
+    }
+
+    println!();
+    println!("The optimized loop pipelines the (memory-intensive) embedding");
+    println!("lookup/update of the next/previous iteration behind the current");
+    println!("iteration's compute on a 1-SM / 80 GB/s carve-out. Only ACE has");
+    println!("the spare memory bandwidth to profit from it (paper Fig. 12).");
+}

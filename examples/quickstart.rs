@@ -1,0 +1,48 @@
+//! Quickstart: simulate two ResNet-50 training iterations on a 16-NPU
+//! platform under every endpoint configuration and compare iteration
+//! times.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ace_platform::system::{SystemBuilder, SystemConfig};
+use ace_platform::workloads::Workload;
+
+fn main() {
+    println!("ACE quickstart: ResNet-50, 2 iterations, 4x2x2 torus (16 NPUs)\n");
+    println!(
+        "{:>10} | {:>12} | {:>12} | {:>12} | {:>8}",
+        "config", "compute us", "exposed us", "total us", "speedup"
+    );
+
+    let reports: Vec<_> = SystemConfig::ALL
+        .iter()
+        .map(|&config| {
+            SystemBuilder::new()
+                .topology(4, 2, 2)
+                .config(config)
+                .workload(Workload::resnet50())
+                .build()
+                .expect("a valid system")
+                .run()
+        })
+        .collect();
+    // Speedups are relative to BaselineCommOpt (index 1 in Table VI order).
+    let reference = reports[1].total_time_us();
+    for report in &reports {
+        println!(
+            "{:>10} | {:>12.0} | {:>12.0} | {:>12.0} | {:>7.2}x",
+            report.config(),
+            report.total_compute_us(),
+            report.exposed_comm_us(),
+            report.total_time_us(),
+            reference / report.total_time_us()
+        );
+    }
+
+    println!();
+    println!("ACE frees all 80 SMs and 772 GB/s of HBM for training compute while");
+    println!("driving the fabric from its own SRAM/ALU pipeline — it should land");
+    println!("within a few percent of the Ideal endpoint.");
+}

@@ -1,0 +1,52 @@
+//! # ace-platform
+//!
+//! A full Rust reproduction of **"Enabling Compute-Communication Overlap in
+//! Distributed Deep Learning Training Platforms"** (ACE, ISCA 2021,
+//! arXiv:2007.00156).
+//!
+//! ACE is a dedicated collective-communication accelerator that sits at the
+//! endpoint of a DL training platform, next to the Accelerator Fabric
+//! Interface. It frees NPU streaming multiprocessors and memory bandwidth
+//! from collective processing by caching gradients in a local SRAM, running
+//! reductions on local ALUs, and forwarding multi-hop traffic without
+//! bouncing through main memory.
+//!
+//! This crate re-exports the whole workspace as a single façade:
+//!
+//! * [`simcore`] — discrete-event primitives (time, events, servers, stats)
+//! * [`net`] — 3D-torus accelerator fabric with XYZ routing
+//! * [`mem`] — HBM bandwidth partitioning and the NPU-AFI bus
+//! * [`compute`] — roofline NPU compute model
+//! * [`collectives`] — topology-aware collective algorithms and planning
+//! * [`engine`] — the ACE microarchitecture (SRAM, FSMs, ALUs, DMAs)
+//! * [`endpoint`] — baseline / ACE / ideal endpoint resource pipelines
+//! * [`workloads`] — ResNet-50, GNMT and DLRM layer models
+//! * [`system`] — the training-loop simulator and the five system
+//!   configurations from Table VI
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ace_platform::system::{SystemBuilder, SystemConfig};
+//! use ace_platform::workloads::Workload;
+//!
+//! // Simulate 2 training iterations of ResNet-50 on a 16-NPU (4x2x2) torus.
+//! let report = SystemBuilder::new()
+//!     .topology(4, 2, 2)
+//!     .config(SystemConfig::Ace)
+//!     .workload(Workload::resnet50())
+//!     .build()
+//!     .expect("valid system")
+//!     .run();
+//! assert!(report.iteration_time_us() > 0.0);
+//! ```
+
+pub use ace_collectives as collectives;
+pub use ace_compute as compute;
+pub use ace_endpoint as endpoint;
+pub use ace_engine as engine;
+pub use ace_mem as mem;
+pub use ace_net as net;
+pub use ace_simcore as simcore;
+pub use ace_system as system;
+pub use ace_workloads as workloads;

