@@ -26,8 +26,9 @@ fn ace_executor(shape: TorusShape, options: ExecutorOptions) -> CollectiveExecut
     let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape);
     let weights = CollectiveExecutor::phase_weights(&plan, &params);
     CollectiveExecutor::with_options(shape, params, options, move || {
-        Box::new(AceEndpoint::new(AceEndpointParams::paper_default(weights.clone())))
-            as Box<dyn CollectiveEngine>
+        Box::new(AceEndpoint::new(AceEndpointParams::paper_default(
+            weights.clone(),
+        ))) as Box<dyn CollectiveEngine>
     })
 }
 
@@ -44,7 +45,13 @@ fn main() {
 
     subheader("1. LIFO vs FIFO (small late collective behind a large early one)");
     for policy in [SchedulingPolicy::Lifo, SchedulingPolicy::Fifo] {
-        let mut ex = ace_executor(shape, ExecutorOptions { scheduling: policy, ..base });
+        let mut ex = ace_executor(
+            shape,
+            ExecutorOptions {
+                scheduling: policy,
+                ..base
+            },
+        );
         let big = ex.issue(CollectiveOp::AllReduce, 64 << 20, SimTime::ZERO);
         let small = ex.issue(CollectiveOp::AllReduce, 1 << 20, SimTime::from_cycles(1));
         let t_small = ex.run_until_complete(small).cycles();
@@ -54,21 +61,37 @@ fn main() {
         );
         emit_tsv(
             "ablation_sched",
-            &[("policy", format!("{policy:?}")), ("small_done", t_small.to_string())],
+            &[
+                ("policy", format!("{policy:?}")),
+                ("small_done", t_small.to_string()),
+            ],
         );
     }
     println!("Expected: LIFO finishes the late (first-layer) collective far sooner.");
 
     subheader("2. Bidirectional vs unidirectional rings (32 MB all-reduce)");
     for bidir in [true, false] {
-        let t = run_single(shape, ExecutorOptions { bidirectional_rings: bidir, ..base });
+        let t = run_single(
+            shape,
+            ExecutorOptions {
+                bidirectional_rings: bidir,
+                ..base
+            },
+        );
         println!(
             "{}: {t:>9} cyc",
-            if bidir { "bidirectional (paper)" } else { "unidirectional      " }
+            if bidir {
+                "bidirectional (paper)"
+            } else {
+                "unidirectional      "
+            }
         );
         emit_tsv(
             "ablation_rings",
-            &[("bidirectional", bidir.to_string()), ("cycles", t.to_string())],
+            &[
+                ("bidirectional", bidir.to_string()),
+                ("cycles", t.to_string()),
+            ],
         );
     }
     println!("Expected: unidirectional roughly doubles ring serialization time.");
@@ -79,17 +102,35 @@ fn main() {
             chunk_bytes: kb * 1024,
             ..Granularity::paper_default()
         };
-        let t = run_single(shape, ExecutorOptions { granularity, ..base });
+        let t = run_single(
+            shape,
+            ExecutorOptions {
+                granularity,
+                ..base
+            },
+        );
         println!("{kb:>4} kB chunks: {t:>9} cyc");
-        emit_tsv("ablation_chunk", &[("chunk_kb", kb.to_string()), ("cycles", t.to_string())]);
+        emit_tsv(
+            "ablation_chunk",
+            &[("chunk_kb", kb.to_string()), ("cycles", t.to_string())],
+        );
     }
     println!("Expected: a broad sweet spot around the paper's 64 kB.");
 
     subheader("4. In-flight chunk cap (pipeline depth)");
     for cap in [4usize, 16, 64, 128, 256] {
-        let t = run_single(shape, ExecutorOptions { max_inflight_chunks: cap, ..base });
+        let t = run_single(
+            shape,
+            ExecutorOptions {
+                max_inflight_chunks: cap,
+                ..base
+            },
+        );
         println!("cap {cap:>4}: {t:>9} cyc");
-        emit_tsv("ablation_inflight", &[("cap", cap.to_string()), ("cycles", t.to_string())]);
+        emit_tsv(
+            "ablation_inflight",
+            &[("cap", cap.to_string()), ("cycles", t.to_string())],
+        );
     }
     println!("Expected: shallow pipelines cannot cover the inter-package");
     println!("bandwidth-delay product; returns diminish past ~64 chunks.");

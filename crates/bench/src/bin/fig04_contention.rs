@@ -26,7 +26,11 @@ fn main() {
     println!("Platform: 8 NPUs on one package ring (V100+NVSwitch stand-in)");
 
     // An unloaded communication kernel owns the node: all SMs, full HBM.
-    let unloaded = Scenario { name: "unloaded", comm_sms: 80, comm_mem_gbps: 900.0 };
+    let unloaded = Scenario {
+        name: "unloaded",
+        comm_sms: 80,
+        comm_mem_gbps: 900.0,
+    };
     // GEMM-N consumes SMs in proportion to N (the paper's dimension-1000
     // GEMM needs 44.8 warps/SM, i.e. nearly every SM).
     // EmbLookup-N consumes memory bandwidth (batch 10000 uses 429 GB/s).
@@ -34,11 +38,31 @@ fn main() {
     // CUDA scheduler leaves the collective kernel only its minimum grid;
     // EmbLookup-N streams the tables, eating HBM bandwidth.
     let scenarios = [
-        Scenario { name: "gemm-100 (light SM load)", comm_sms: 20, comm_mem_gbps: 850.0 },
-        Scenario { name: "gemm-1000 (44.8 warps/SM)", comm_sms: 3, comm_mem_gbps: 700.0 },
-        Scenario { name: "emblookup-1000 (light mem)", comm_sms: 80, comm_mem_gbps: 650.0 },
-        Scenario { name: "emblookup-10000 (429 GB/s)", comm_sms: 80, comm_mem_gbps: 300.0 },
-        Scenario { name: "gemm+emblookup (DLRM bwd)", comm_sms: 3, comm_mem_gbps: 300.0 },
+        Scenario {
+            name: "gemm-100 (light SM load)",
+            comm_sms: 20,
+            comm_mem_gbps: 850.0,
+        },
+        Scenario {
+            name: "gemm-1000 (44.8 warps/SM)",
+            comm_sms: 3,
+            comm_mem_gbps: 700.0,
+        },
+        Scenario {
+            name: "emblookup-1000 (light mem)",
+            comm_sms: 80,
+            comm_mem_gbps: 650.0,
+        },
+        Scenario {
+            name: "emblookup-10000 (429 GB/s)",
+            comm_sms: 80,
+            comm_mem_gbps: 300.0,
+        },
+        Scenario {
+            name: "gemm+emblookup (DLRM bwd)",
+            comm_sms: 3,
+            comm_mem_gbps: 300.0,
+        },
     ];
 
     let shape = TorusShape::new(8, 1, 1).expect("valid shape");
@@ -63,7 +87,10 @@ fn main() {
         for s in &scenarios {
             let r = run_single_collective(
                 shape,
-                EngineKind::Baseline { comm_mem_gbps: s.comm_mem_gbps, comm_sms: s.comm_sms },
+                EngineKind::Baseline {
+                    comm_mem_gbps: s.comm_mem_gbps,
+                    comm_sms: s.comm_sms,
+                },
                 CollectiveOp::AllReduce,
                 mb << 20,
             );

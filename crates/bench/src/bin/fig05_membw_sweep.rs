@@ -4,24 +4,61 @@
 //! Reproduces the paper's headline: the baseline needs ≈450 GB/s of
 //! memory bandwidth to reach ~90 % of the ideal endpoint's network
 //! performance, while ACE gets there with ≈128 GB/s — a ≈3.5× reduction.
+//!
+//! The sweep itself is a thin [`ace_sweep::Scenario`] (the same grid as
+//! `examples/scenarios/membw_sweep.toml`); this binary only does the
+//! figure-specific pivoting and commentary.
 
 use ace_bench::{emit_tsv, header, subheader};
-use ace_collectives::CollectiveOp;
 use ace_net::TorusShape;
-use ace_system::{run_single_collective, EngineKind};
+use ace_sweep::{
+    run_scenario, BaselineSpec, EngineFamily, EngineSpec, RunResult, RunnerOptions, Scenario,
+    SweepOutcome,
+};
 
 const PAYLOAD: u64 = 64 << 20;
+const SWEEPS: [f64; 10] = [
+    32.0, 64.0, 96.0, 128.0, 192.0, 256.0, 320.0, 450.0, 600.0, 900.0,
+];
+
+fn scenario() -> Scenario {
+    let mut sc = Scenario::collective("fig05-membw");
+    sc.topologies = vec![
+        TorusShape::new(4, 2, 2).expect("valid shape"),
+        TorusShape::new(4, 4, 4).expect("valid shape"),
+    ];
+    sc.engines = vec![
+        EngineFamily::Ideal,
+        EngineFamily::Baseline,
+        EngineFamily::Ace,
+    ];
+    sc.payload_bytes = vec![PAYLOAD];
+    sc.mem_gbps = SWEEPS.to_vec();
+    sc.comm_sms = vec![80];
+    sc.baseline = Some(BaselineSpec::Engine(EngineSpec::Ideal));
+    sc
+}
+
+/// The grid row for `spec` on `shape`.
+fn find(out: &SweepOutcome, shape: TorusShape, spec: EngineSpec) -> &RunResult {
+    out.find_collective(shape, spec)
+        .expect("point is in the grid")
+}
 
 fn main() {
     header("Fig. 5: network BW utilization vs comm memory bandwidth (64 MB all-reduce)");
 
-    let sweeps: [f64; 10] = [32.0, 64.0, 96.0, 128.0, 192.0, 256.0, 320.0, 450.0, 600.0, 900.0];
-    for (l, v, h) in [(4, 2, 2), (4, 4, 4)] {
-        let shape = TorusShape::new(l, v, h).expect("valid shape");
+    let sc = scenario();
+    let out = run_scenario(&sc, RunnerOptions::default()).expect("valid scenario");
+
+    for &shape in &sc.topologies {
         subheader(&format!("{} NPUs ({shape})", shape.nodes()));
 
-        let ideal = run_single_collective(shape, EngineKind::Ideal, CollectiveOp::AllReduce, PAYLOAD);
-        println!("ideal endpoint: {:.1} GB/s per NPU", ideal.achieved_gbps_per_npu);
+        let ideal = find(&out, shape, EngineSpec::Ideal);
+        println!(
+            "ideal endpoint: {:.1} GB/s per NPU",
+            ideal.metrics.gbps_per_npu
+        );
         println!(
             "{:>10} | {:>16} | {:>16} | {:>9} | {:>9}",
             "mem GB/s", "baseline GB/s", "ACE GB/s", "base/idl", "ace/idl"
@@ -29,21 +66,26 @@ fn main() {
 
         let mut base_90 = None;
         let mut ace_90 = None;
-        for &bw in &sweeps {
-            let base = run_single_collective(
+        for &bw in &SWEEPS {
+            let base = find(
+                &out,
                 shape,
-                EngineKind::Baseline { comm_mem_gbps: bw, comm_sms: 80 },
-                CollectiveOp::AllReduce,
-                PAYLOAD,
+                EngineSpec::Baseline {
+                    mem_gbps: bw,
+                    comm_sms: 80,
+                },
             );
-            let ace = run_single_collective(
+            let ace = find(
+                &out,
                 shape,
-                EngineKind::Ace { dma_mem_gbps: bw },
-                CollectiveOp::AllReduce,
-                PAYLOAD,
+                EngineSpec::Ace {
+                    dma_mem_gbps: bw,
+                    sram_mb: 4,
+                    fsms: 16,
+                },
             );
-            let bi = base.achieved_gbps_per_npu / ideal.achieved_gbps_per_npu;
-            let ai = ace.achieved_gbps_per_npu / ideal.achieved_gbps_per_npu;
+            let bi = base.speedup_vs_baseline.expect("baseline named");
+            let ai = ace.speedup_vs_baseline.expect("baseline named");
             if base_90.is_none() && bi >= 0.85 {
                 base_90 = Some(bw);
             }
@@ -53,8 +95,8 @@ fn main() {
             println!(
                 "{:>10.0} | {:>16.1} | {:>16.1} | {:>8.1}% | {:>8.1}%",
                 bw,
-                base.achieved_gbps_per_npu,
-                ace.achieved_gbps_per_npu,
+                base.metrics.gbps_per_npu,
+                ace.metrics.gbps_per_npu,
                 bi * 100.0,
                 ai * 100.0
             );
@@ -63,8 +105,8 @@ fn main() {
                 &[
                     ("nodes", shape.nodes().to_string()),
                     ("mem_gbps", format!("{bw:.0}")),
-                    ("baseline_gbps", format!("{:.2}", base.achieved_gbps_per_npu)),
-                    ("ace_gbps", format!("{:.2}", ace.achieved_gbps_per_npu)),
+                    ("baseline_gbps", format!("{:.2}", base.metrics.gbps_per_npu)),
+                    ("ace_gbps", format!("{:.2}", ace.metrics.gbps_per_npu)),
                 ],
             );
         }

@@ -5,47 +5,78 @@
 //! the 450 GB/s the endpoint pipeline can use — matching the core counts
 //! NCCL/oneCCL actually burn. ACE does not consume SMs, so this
 //! experiment is baseline-only (as in the paper).
+//!
+//! The sweep is a thin [`ace_sweep::Scenario`] over the `comm_sms` axis;
+//! percentage points that round to the same SM count (5 % and 6 % of 80)
+//! collapse into one cached simulation.
 
 use ace_bench::{emit_tsv, header, subheader};
-use ace_collectives::CollectiveOp;
 use ace_compute::SmDriveModel;
 use ace_net::TorusShape;
-use ace_system::{run_single_collective, EngineKind};
+use ace_sweep::{
+    run_scenario, EngineFamily, EngineSpec, RunResult, RunnerOptions, Scenario, SweepOutcome,
+};
 
 const PAYLOAD: u64 = 64 << 20;
+// The paper's x-axis is the % of the 80-SM pool: 1..6, 10, 20, 80 %.
+const SM_PERCENTS: [u32; 9] = [1, 2, 3, 4, 5, 6, 10, 20, 80];
+
+fn sms_for(pct: u32) -> u32 {
+    (80 * pct / 100).max(1)
+}
+
+fn scenario() -> Scenario {
+    let mut sc = Scenario::collective("fig06-sm-sweep");
+    sc.topologies = vec![
+        TorusShape::new(4, 2, 2).expect("valid shape"),
+        TorusShape::new(4, 4, 4).expect("valid shape"),
+    ];
+    sc.engines = vec![EngineFamily::Baseline];
+    sc.payload_bytes = vec![PAYLOAD];
+    sc.mem_gbps = vec![900.0];
+    sc.comm_sms = SM_PERCENTS.iter().map(|&p| sms_for(p)).collect();
+    sc
+}
+
+fn find(out: &SweepOutcome, shape: TorusShape, sms: u32) -> &RunResult {
+    let spec = EngineSpec::Baseline {
+        mem_gbps: 900.0,
+        comm_sms: sms,
+    };
+    out.find_collective(shape, spec)
+        .expect("point is in the grid")
+}
 
 fn main() {
     header("Fig. 6: network BW utilization vs # SMs for communication (64 MB all-reduce)");
     let drive = SmDriveModel::paper_default();
     println!("per-SM drive bandwidth: {:.1} GB/s", drive.per_sm_gbps());
 
-    // The paper's x-axis is the % of the 80-SM pool: 1..6, 10, 20, 80 %.
-    let sm_percents: [u32; 9] = [1, 2, 3, 4, 5, 6, 10, 20, 80];
-    for (l, v, h) in [(4, 2, 2), (4, 4, 4)] {
-        let shape = TorusShape::new(l, v, h).expect("valid shape");
+    let sc = scenario();
+    let out = run_scenario(&sc, RunnerOptions::default()).expect("valid scenario");
+
+    for &shape in &sc.topologies {
         subheader(&format!("{} NPUs ({shape}) baseline", shape.nodes()));
-        println!("{:>7} | {:>5} | {:>12} | {:>14}", "% SMs", "SMs", "drive GB/s", "achieved GB/s");
-        for &pct in &sm_percents {
-            let sms = (80 * pct / 100).max(1);
-            let r = run_single_collective(
-                shape,
-                EngineKind::Baseline { comm_mem_gbps: 900.0, comm_sms: sms },
-                CollectiveOp::AllReduce,
-                PAYLOAD,
-            );
+        println!(
+            "{:>7} | {:>5} | {:>12} | {:>14}",
+            "% SMs", "SMs", "drive GB/s", "achieved GB/s"
+        );
+        for &pct in &SM_PERCENTS {
+            let sms = sms_for(pct);
+            let r = find(&out, shape, sms);
             println!(
                 "{:>6}% | {:>5} | {:>12.1} | {:>14.1}",
                 pct,
                 sms,
                 drive.drive_gbps(sms),
-                r.achieved_gbps_per_npu
+                r.metrics.gbps_per_npu
             );
             emit_tsv(
                 "fig06",
                 &[
                     ("nodes", shape.nodes().to_string()),
                     ("sms", sms.to_string()),
-                    ("achieved_gbps", format!("{:.2}", r.achieved_gbps_per_npu)),
+                    ("achieved_gbps", format!("{:.2}", r.metrics.gbps_per_npu)),
                 ],
             );
         }

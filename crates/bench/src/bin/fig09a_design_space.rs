@@ -8,58 +8,75 @@
 //! pattern (64 MB all-reduce) on 16- and 64-NPU tori and report the
 //! geometric-mean completion time normalized to the chosen point, along
 //! with the area cost of each configuration from the Table IV model.
+//!
+//! The grid is the scenario checked in at
+//! `examples/scenarios/design_space.toml`, built here programmatically so
+//! the binary runs from any working directory; the per-point speedups vs
+//! the 4 MB / 16 FSM baseline geomean into exactly the old normalization.
 
 use ace_bench::{emit_tsv, header};
-use ace_collectives::{CollectiveOp, CollectivePlan};
-use ace_endpoint::{AceEndpoint, AceEndpointParams, CollectiveEngine};
 use ace_engine::{synthesis, AceConfig};
-use ace_mem::BusParams;
-use ace_net::{NetworkParams, TorusShape};
-use ace_simcore::SimTime;
-use ace_system::CollectiveExecutor;
+use ace_net::TorusShape;
+use ace_sweep::{
+    run_scenario, BaselineSpec, EngineFamily, EngineSpec, RunnerOptions, Scenario, SweepOutcome,
+};
 
 const PAYLOAD: u64 = 64 << 20;
+const SRAMS: [u64; 4] = [1, 2, 4, 8];
+const FSMS: [usize; 4] = [4, 8, 16, 20];
 
-fn run_point(shape: TorusShape, sram_mb: u64, fsms: usize) -> f64 {
-    let params = NetworkParams::paper_default();
-    let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape);
-    let weights = CollectiveExecutor::phase_weights(&plan, &params);
-    let mut ex = CollectiveExecutor::new(shape, params, move || {
-        Box::new(AceEndpoint::new(AceEndpointParams {
-            config: AceConfig::with_dse_point(sram_mb, fsms),
-            dma_mem_gbps: 128.0,
-            bus: BusParams::paper_default(),
-            phase_weights: weights.clone(),
-        })) as Box<dyn CollectiveEngine>
-    });
-    let h = ex.issue(CollectiveOp::AllReduce, PAYLOAD, SimTime::ZERO);
-    ex.run_until_complete(h).cycles() as f64
+/// The Fig. 9a grid — the programmatic twin of
+/// `examples/scenarios/design_space.toml`.
+fn scenario() -> Scenario {
+    let mut sc = Scenario::collective("fig09a-design-space");
+    sc.topologies = vec![
+        TorusShape::new(4, 2, 2).expect("valid shape"),
+        TorusShape::new(4, 4, 4).expect("valid shape"),
+    ];
+    sc.engines = vec![EngineFamily::Ace];
+    sc.payload_bytes = vec![PAYLOAD];
+    sc.mem_gbps = vec![128.0];
+    sc.sram_mb = SRAMS.to_vec();
+    sc.fsms = FSMS.to_vec();
+    sc.baseline = Some(BaselineSpec::Engine(EngineSpec::Ace {
+        dma_mem_gbps: 128.0,
+        sram_mb: 4,
+        fsms: 16,
+    }));
+    sc
+}
+
+/// Geometric-mean speedup vs the chosen point across both tori — the
+/// figure's normalized-performance cell.
+fn geomean_perf(out: &SweepOutcome, sram_mb: u64, fsms: usize) -> f64 {
+    let spec = EngineSpec::Ace {
+        dma_mem_gbps: 128.0,
+        sram_mb,
+        fsms,
+    };
+    let speedups: Vec<f64> = out
+        .collective_results(spec)
+        .map(|r| r.speedup_vs_baseline.expect("baseline named"))
+        .collect();
+    assert!(!speedups.is_empty(), "grid point missing");
+    (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp()
 }
 
 fn main() {
     header("Fig. 9a: ACE performance vs SRAM size and FSM count");
-    let shapes = [TorusShape::new(4, 2, 2).unwrap(), TorusShape::new(4, 4, 4).unwrap()];
-    let srams: [u64; 4] = [1, 2, 4, 8];
-    let fsms: [usize; 4] = [4, 8, 16, 20];
 
-    // Reference: the paper's chosen point.
-    let reference: f64 = shapes.iter().map(|&s| run_point(s, 4, 16).ln()).sum::<f64>();
-    let reference = (reference / shapes.len() as f64).exp();
+    let out = run_scenario(&scenario(), RunnerOptions::default()).expect("valid scenario");
 
-    println!(
-        "performance normalized to 4 MB / 16 FSMs (higher is better); area in mm^2\n"
-    );
+    println!("performance normalized to 4 MB / 16 FSMs (higher is better); area in mm^2\n");
     print!("{:>8}", "SRAM\\FSM");
-    for &f in &fsms {
+    for &f in &FSMS {
         print!(" | {f:>14}");
     }
     println!();
-    for &mb in &srams {
+    for &mb in &SRAMS {
         print!("{:>7}M", mb);
-        for &f in &fsms {
-            let gm: f64 = shapes.iter().map(|&s| run_point(s, mb, f).ln()).sum::<f64>();
-            let gm = (gm / shapes.len() as f64).exp();
-            let perf = reference / gm;
+        for &f in &FSMS {
+            let perf = geomean_perf(&out, mb, f);
             let area = synthesis::total(&AceConfig::with_dse_point(mb, f)).area_mm2();
             print!(" | {perf:>6.3}x {area:>5.2}mm");
             emit_tsv(

@@ -12,7 +12,10 @@ use ace_workloads::Workload;
 
 fn main() {
     header("Fig. 9b: ACE utilization, forward vs back-propagation (4x8x4, 128 NPUs)");
-    println!("{:>10} | {:>10} | {:>10}", "workload", "fwd util", "bwd util");
+    println!(
+        "{:>10} | {:>10} | {:>10}",
+        "workload", "fwd util", "bwd util"
+    );
     for workload in Workload::paper_suite(128) {
         let name = workload.name().to_string();
         let report = SystemBuilder::new()

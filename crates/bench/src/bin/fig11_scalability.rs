@@ -82,7 +82,8 @@ fn main() {
                 let s = reports[bi].total_time_us() / ace_total;
                 speedups[wi][bi].push(s);
                 best = best.min(reports[bi].total_time_us());
-                net_util_gains.push(ace_net / reports[bi].effective_network_gbps_per_npu().max(1e-9));
+                net_util_gains
+                    .push(ace_net / reports[bi].effective_network_gbps_per_npu().max(1e-9));
             }
             best_baseline_speedups[wi].push(best / ace_total);
         }
@@ -125,11 +126,17 @@ fn main() {
     }
     let gain_avg = net_util_gains.iter().sum::<f64>() / net_util_gains.len() as f64;
     let gain_max = net_util_gains.iter().cloned().fold(f64::MIN, f64::max);
-    println!("ACE effective network-BW gain over baselines: avg {gain_avg:.2}x, max {gain_max:.2}x");
+    println!(
+        "ACE effective network-BW gain over baselines: avg {gain_avg:.2}x, max {gain_max:.2}x"
+    );
     for (ci, c) in SystemConfig::ALL.iter().enumerate() {
         let f = &ideal_fractions[ci];
         let avg = f.iter().sum::<f64>() / f.len() as f64;
-        println!("{:>10}: {:.1}% of ideal on average", c.short_name(), avg * 100.0);
+        println!(
+            "{:>10}: {:.1}% of ideal on average",
+            c.short_name(),
+            avg * 100.0
+        );
     }
 
     println!();

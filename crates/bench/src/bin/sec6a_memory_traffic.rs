@@ -43,13 +43,18 @@ fn main() {
     let shape = TorusShape::new(4, 4, 4).expect("valid shape");
     let base = run_single_collective(
         shape,
-        EngineKind::Baseline { comm_mem_gbps: 450.0, comm_sms: 6 },
+        EngineKind::Baseline {
+            comm_mem_gbps: 450.0,
+            comm_sms: 6,
+        },
         CollectiveOp::AllReduce,
         payload,
     );
     let ace = run_single_collective(
         shape,
-        EngineKind::Ace { dma_mem_gbps: 128.0 },
+        EngineKind::Ace {
+            dma_mem_gbps: 128.0,
+        },
         CollectiveOp::AllReduce,
         payload,
     );

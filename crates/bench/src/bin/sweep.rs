@@ -1,0 +1,151 @@
+//! The unified design-space sweep driver.
+//!
+//! Loads a declarative TOML scenario (see `examples/scenarios/`), expands
+//! it into a cartesian grid, runs every point through the simulator on a
+//! parallel work-stealing executor, and emits a terminal table plus
+//! optional CSV/JSON reports.
+//!
+//! ```text
+//! sweep examples/scenarios/design_space.toml --csv out.csv --json out.json
+//! sweep scenario.toml --threads 1          # serial run (byte-identical output)
+//! ```
+
+use std::process::ExitCode;
+
+use ace_bench::{header, subheader};
+use ace_sweep::{report, RunnerOptions, Scenario, SweepRunner};
+
+struct Args {
+    scenario_path: String,
+    threads: usize,
+    csv: Option<String>,
+    json: Option<String>,
+    quiet: bool,
+}
+
+const USAGE: &str =
+    "usage: sweep <scenario.toml> [--threads N] [--csv PATH] [--json PATH] [--quiet]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut scenario_path = None;
+    let mut threads = 0usize;
+    let mut csv = None;
+    let mut json = None;
+    let mut quiet = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = argv.next().ok_or("--threads needs a value")?;
+                threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+            }
+            "--csv" => csv = Some(argv.next().ok_or("--csv needs a path")?),
+            "--json" => json = Some(argv.next().ok_or("--json needs a path")?),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                // Requested help is not an error: usage on stdout, exit 0.
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{USAGE}"))
+            }
+            other => {
+                if scenario_path.replace(other.to_string()).is_some() {
+                    return Err(format!("multiple scenario files given\n{USAGE}"));
+                }
+            }
+        }
+    }
+    let scenario_path = scenario_path.ok_or(USAGE.to_string())?;
+    Ok(Args {
+        scenario_path,
+        threads,
+        csv,
+        json,
+        quiet,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let text = std::fs::read_to_string(&args.scenario_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.scenario_path))?;
+    let scenario = Scenario::from_toml_str(&text).map_err(|e| e.to_string())?;
+
+    if !args.quiet {
+        header(&format!(
+            "sweep: {} ({} mode)",
+            scenario.name, scenario.mode
+        ));
+        println!(
+            "grid: {} points ({} topologies)",
+            ace_sweep::grid_len(&scenario),
+            scenario.topologies.len()
+        );
+    }
+
+    let runner = SweepRunner::new();
+    let outcome = runner.run(
+        &scenario,
+        RunnerOptions {
+            threads: args.threads,
+        },
+    )?;
+
+    if !args.quiet {
+        subheader("results");
+        println!(
+            "{:<52} {:>14} {:>10} {:>9} {:>6}",
+            "point", "time us", "GB/s/NPU", "speedup", "cache"
+        );
+        for r in &outcome.results {
+            println!(
+                "{:<52} {:>14.3} {:>10.3} {:>9} {:>6}",
+                r.point.label(),
+                r.metrics.time_us,
+                r.metrics.gbps_per_npu,
+                r.speedup_vs_baseline
+                    .map(|s| format!("{s:.3}x"))
+                    .unwrap_or_else(|| "-".to_string()),
+                if r.cache_hit { "hit" } else { "" },
+            );
+        }
+        println!(
+            "\n{} grid cells, {} simulated, {} cache hits",
+            outcome.results.len(),
+            outcome.executed,
+            outcome.cache_hits
+        );
+        let summaries = report::summarize(&outcome);
+        if !summaries.is_empty() {
+            subheader("per-axis speedup vs baseline");
+            print!("{}", report::summary_table(&summaries));
+        }
+    }
+
+    if let Some(path) = &args.csv {
+        std::fs::write(path, report::to_csv(&outcome)).map_err(|e| format!("write {path}: {e}"))?;
+        if !args.quiet {
+            println!("wrote {path}");
+        }
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(path, report::to_json(&outcome))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        if !args.quiet {
+            println!("wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -10,7 +10,10 @@ fn main() {
     g.validate().expect("paper defaults are consistent");
 
     println!("{:>10} | {:>12} | Determined by", "Level", "Size");
-    println!("{:>10} | {:>12} | training algorithm", "Payload", "(variable)");
+    println!(
+        "{:>10} | {:>12} | training algorithm",
+        "Payload", "(variable)"
+    );
     println!(
         "{:>10} | {:>12} | pipelining parameter / storage element size",
         "Chunk",

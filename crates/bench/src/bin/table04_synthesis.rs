@@ -15,7 +15,10 @@ fn main() {
         ("Switch & Interconnect", synthesis::switch(&config)),
         ("ACE (Total)", synthesis::total(&config)),
     ];
-    println!("{:>22} | {:>14} | {:>12}", "Component", "Area (um^2)", "Power (mW)");
+    println!(
+        "{:>22} | {:>14} | {:>12}",
+        "Component", "Area (um^2)", "Power (mW)"
+    );
     for (name, ap) in rows {
         println!("{name:>22} | {:>14.0} | {:>12.3}", ap.area_um2, ap.power_mw);
         emit_tsv(

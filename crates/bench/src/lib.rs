@@ -34,7 +34,10 @@ pub fn subheader(title: &str) {
 /// Renders a `[0, 1]` utilization series as a compact sparkline-style bar
 /// string for terminal figures (Fig. 10).
 pub fn sparkline(series: &[f64], width: usize) -> String {
-    const LEVELS: [char; 9] = [' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const LEVELS: [char; 9] = [
+        ' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     if series.is_empty() || width == 0 {
         return String::new();
     }

@@ -93,9 +93,7 @@ pub fn split_even(total: u64, parts: usize) -> Vec<u64> {
     assert!(parts > 0, "cannot split into zero parts");
     let base = total / parts as u64;
     let extra = (total % parts as u64) as usize;
-    (0..parts)
-        .map(|i| base + u64::from(i < extra))
-        .collect()
+    (0..parts).map(|i| base + u64::from(i < extra)).collect()
 }
 
 #[cfg(test)]
@@ -117,7 +115,9 @@ mod tests {
         let payload = 1_000_000u64;
         let chunks = g.chunks(payload);
         assert_eq!(chunks.iter().sum::<u64>(), payload);
-        assert!(chunks[..chunks.len() - 1].iter().all(|&c| c == g.chunk_bytes));
+        assert!(chunks[..chunks.len() - 1]
+            .iter()
+            .all(|&c| c == g.chunk_bytes));
         assert!(*chunks.last().unwrap() <= g.chunk_bytes);
     }
 

@@ -111,7 +111,10 @@ impl PhaseSpec {
     /// Whether steps of this phase perform a reduction (consume ALU /
     /// reduction memory traffic).
     pub fn reduces(&self) -> bool {
-        matches!(self.kind, PhaseKind::ReduceScatter | PhaseKind::RingAllReduce)
+        matches!(
+            self.kind,
+            PhaseKind::ReduceScatter | PhaseKind::RingAllReduce
+        )
     }
 }
 
@@ -145,7 +148,9 @@ impl CollectivePlan {
     pub fn for_op(op: CollectiveOp, shape: TorusShape) -> CollectivePlan {
         let phases = match op {
             CollectiveOp::AllReduce => Self::all_reduce_phases(shape),
-            CollectiveOp::ReduceScatter => Self::sweep_phases(shape, PhaseKind::ReduceScatter, false),
+            CollectiveOp::ReduceScatter => {
+                Self::sweep_phases(shape, PhaseKind::ReduceScatter, false)
+            }
             CollectiveOp::AllGather => Self::sweep_phases(shape, PhaseKind::AllGather, true),
             CollectiveOp::AllToAll => vec![PhaseSpec {
                 kind: PhaseKind::DirectAllToAll,

@@ -94,7 +94,10 @@ fn accumulate_ag(t: &mut MemTraffic, input: f64, k: f64) {
 /// the payload, independent of topology — the SRAM absorbs all reuse.
 pub fn ace_traffic(payload_bytes: u64) -> MemTraffic {
     let d = payload_bytes as f64;
-    MemTraffic { reads: d, writes: d }
+    MemTraffic {
+        reads: d,
+        writes: d,
+    }
 }
 
 /// Memory-read bytes per network byte for the baseline on `plan`

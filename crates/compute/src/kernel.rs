@@ -21,7 +21,10 @@ impl KernelDesc {
     ///
     /// Panics if either quantity is negative or non-finite.
     pub fn new(name: impl Into<String>, flops: f64, mem_bytes: f64) -> KernelDesc {
-        assert!(flops.is_finite() && flops >= 0.0, "flops must be non-negative");
+        assert!(
+            flops.is_finite() && flops >= 0.0,
+            "flops must be non-negative"
+        );
         assert!(
             mem_bytes.is_finite() && mem_bytes >= 0.0,
             "mem_bytes must be non-negative"
@@ -61,7 +64,11 @@ impl KernelDesc {
     /// Returns a copy scaled by `factor` in both flops and bytes (used for
     /// batch-size scaling).
     pub fn scaled(&self, factor: f64) -> KernelDesc {
-        KernelDesc::new(self.name.clone(), self.flops * factor, self.mem_bytes * factor)
+        KernelDesc::new(
+            self.name.clone(),
+            self.flops * factor,
+            self.mem_bytes * factor,
+        )
     }
 }
 

@@ -116,12 +116,18 @@ mod tests {
 
     #[test]
     fn empty_kernel_is_instant() {
-        assert_eq!(npu().kernel_cycles(&KernelDesc::new("nop", 0.0, 0.0), 80, 900.0), 0);
+        assert_eq!(
+            npu().kernel_cycles(&KernelDesc::new("nop", 0.0, 0.0), 80, 900.0),
+            0
+        );
     }
 
     #[test]
     fn tiny_kernel_takes_at_least_one_cycle() {
-        assert_eq!(npu().kernel_cycles(&KernelDesc::new("t", 1.0, 1.0), 80, 900.0), 1);
+        assert_eq!(
+            npu().kernel_cycles(&KernelDesc::new("t", 1.0, 1.0), 80, 900.0),
+            1
+        );
     }
 
     #[test]

@@ -40,19 +40,31 @@ impl AreaPower {
 }
 
 /// Table IV reference point: 4 ALU units.
-const ALU_REF: AreaPower = AreaPower { area_um2: 16112.0, power_mw: 7.552 };
+const ALU_REF: AreaPower = AreaPower {
+    area_um2: 16112.0,
+    power_mw: 7.552,
+};
 const ALU_REF_UNITS: f64 = 4.0;
 
 /// Table IV reference point: control unit with 16 FSMs.
-const CONTROL_REF: AreaPower = AreaPower { area_um2: 159803.0, power_mw: 128.0 };
+const CONTROL_REF: AreaPower = AreaPower {
+    area_um2: 159803.0,
+    power_mw: 128.0,
+};
 const CONTROL_REF_FSMS: f64 = 16.0;
 
 /// Table IV reference point: 4 × 1 MB SRAM banks.
-const SRAM_REF: AreaPower = AreaPower { area_um2: 5_113_696.0, power_mw: 4096.0 };
+const SRAM_REF: AreaPower = AreaPower {
+    area_um2: 5_113_696.0,
+    power_mw: 4096.0,
+};
 const SRAM_REF_MB: f64 = 4.0;
 
 /// Table IV: switch & interconnect.
-const SWITCH_REF: AreaPower = AreaPower { area_um2: 1084.0, power_mw: 0.329 };
+const SWITCH_REF: AreaPower = AreaPower {
+    area_um2: 1084.0,
+    power_mw: 0.329,
+};
 
 /// Residual between Table IV's total row and the sum of its components
 /// (integration/glue logic).
@@ -116,14 +128,20 @@ pub struct AcceleratorReference {
 impl AcceleratorReference {
     /// TPU-class reference point.
     pub fn tpu_class() -> AcceleratorReference {
-        AcceleratorReference { area_mm2: 331.0, power_w: 250.0 }
+        AcceleratorReference {
+            area_mm2: 331.0,
+            power_w: 250.0,
+        }
     }
 }
 
 /// ACE's area and power as fractions of the reference accelerator.
 pub fn overhead(config: &AceConfig, reference: AcceleratorReference) -> (f64, f64) {
     let t = total(config);
-    (t.area_mm2() / reference.area_mm2, t.power_w() / reference.power_w)
+    (
+        t.area_mm2() / reference.area_mm2,
+        t.power_w() / reference.power_w,
+    )
 }
 
 #[cfg(test)]
@@ -151,7 +169,10 @@ mod tests {
 
     #[test]
     fn overhead_is_under_two_percent() {
-        let (a, p) = overhead(&AceConfig::paper_default(), AcceleratorReference::tpu_class());
+        let (a, p) = overhead(
+            &AceConfig::paper_default(),
+            AcceleratorReference::tpu_class(),
+        );
         assert!(a < 0.02, "area overhead {a}");
         assert!(p < 0.02, "power overhead {p}");
     }
@@ -175,7 +196,10 @@ mod tests {
 
     #[test]
     fn unit_conversions() {
-        let ap = AreaPower { area_um2: 2.5e6, power_mw: 1500.0 };
+        let ap = AreaPower {
+            area_um2: 2.5e6,
+            power_mw: 1500.0,
+        };
         assert!((ap.area_mm2() - 2.5).abs() < 1e-12);
         assert!((ap.power_w() - 1.5).abs() < 1e-12);
     }

@@ -164,7 +164,9 @@ mod tests {
     use super::*;
 
     fn endpoint() -> AceEndpoint {
-        AceEndpoint::new(AceEndpointParams::paper_default(vec![0.75, 0.09375, 0.09375, 0.1875]))
+        AceEndpoint::new(AceEndpointParams::paper_default(vec![
+            0.75, 0.09375, 0.09375, 0.1875,
+        ]))
     }
 
     #[test]

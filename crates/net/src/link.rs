@@ -84,12 +84,30 @@ impl Port {
 
     /// All six ports in a fixed order.
     pub const ALL: [Port; 6] = [
-        Port { dim: Dim::Local, plus: true },
-        Port { dim: Dim::Local, plus: false },
-        Port { dim: Dim::Vertical, plus: true },
-        Port { dim: Dim::Vertical, plus: false },
-        Port { dim: Dim::Horizontal, plus: true },
-        Port { dim: Dim::Horizontal, plus: false },
+        Port {
+            dim: Dim::Local,
+            plus: true,
+        },
+        Port {
+            dim: Dim::Local,
+            plus: false,
+        },
+        Port {
+            dim: Dim::Vertical,
+            plus: true,
+        },
+        Port {
+            dim: Dim::Vertical,
+            plus: false,
+        },
+        Port {
+            dim: Dim::Horizontal,
+            plus: true,
+        },
+        Port {
+            dim: Dim::Horizontal,
+            plus: false,
+        },
     ];
 
     /// The port's dimension.

@@ -136,7 +136,8 @@ impl Network {
         let grant = link.transmit(now, bytes);
         let arrival = link.arrival(grant);
         self.meter.record(grant.end, bytes);
-        self.util_series.add_interval(grant.start, grant.end, (grant.end - grant.start) as f64);
+        self.util_series
+            .add_interval(grant.start, grant.end, (grant.end - grant.start) as f64);
         HopOutcome { grant, arrival }
     }
 
@@ -208,12 +209,7 @@ impl Network {
         if horizon.cycles() == 0 {
             return 0.0;
         }
-        let busy: f64 = self
-            .links
-            .iter()
-            .flatten()
-            .map(|l| l.busy_cycles())
-            .sum();
+        let busy: f64 = self.links.iter().flatten().map(|l| l.busy_cycles()).sum();
         (busy / (self.active_links as f64 * horizon.cycles() as f64)).min(1.0)
     }
 }
@@ -224,7 +220,10 @@ mod tests {
     use crate::topology::Dim;
 
     fn small_net() -> Network {
-        Network::new(TorusShape::new(4, 2, 2).unwrap(), NetworkParams::paper_default())
+        Network::new(
+            TorusShape::new(4, 2, 2).unwrap(),
+            NetworkParams::paper_default(),
+        )
     }
 
     #[test]
@@ -305,7 +304,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "no ")]
     fn missing_dimension_link_panics() {
-        let mut net = Network::new(TorusShape::new(4, 1, 1).unwrap(), NetworkParams::paper_default());
+        let mut net = Network::new(
+            TorusShape::new(4, 1, 1).unwrap(),
+            NetworkParams::paper_default(),
+        );
         net.transmit(SimTime::ZERO, NodeId(0), Port::new(Dim::Vertical, true), 64);
     }
 }

@@ -189,7 +189,10 @@ impl TorusShape {
     ///
     /// Panics if any component is out of range.
     pub fn node_at(&self, c: Coord) -> NodeId {
-        assert!(c.l < self.l && c.v < self.v && c.h < self.h, "coord out of range");
+        assert!(
+            c.l < self.l && c.v < self.v && c.h < self.h,
+            "coord out of range"
+        );
         NodeId(c.l + self.l * (c.v + self.v * c.h))
     }
 
@@ -199,7 +202,11 @@ impl TorusShape {
         let mut c = self.coord(node);
         let n = self.len(dim);
         let cur = c.along(dim);
-        let next = if plus { (cur + 1) % n } else { (cur + n - 1) % n };
+        let next = if plus {
+            (cur + 1) % n
+        } else {
+            (cur + n - 1) % n
+        };
         match dim {
             Dim::Local => c.l = next,
             Dim::Vertical => c.v = next,
@@ -311,7 +318,10 @@ mod tests {
 
     #[test]
     fn paper_sizes_match_section_v() {
-        let sizes: Vec<usize> = TorusShape::paper_sizes().iter().map(|s| s.nodes()).collect();
+        let sizes: Vec<usize> = TorusShape::paper_sizes()
+            .iter()
+            .map(|s| s.nodes())
+            .collect();
         assert_eq!(sizes, vec![16, 32, 64, 128]);
     }
 
@@ -415,7 +425,10 @@ mod tests {
 
     #[test]
     fn shape_errors() {
-        assert_eq!(TorusShape::new(0, 2, 2).unwrap_err(), ShapeError::ZeroDimension);
+        assert_eq!(
+            TorusShape::new(0, 2, 2).unwrap_err(),
+            ShapeError::ZeroDimension
+        );
         assert_eq!(TorusShape::new(1, 1, 1).unwrap_err(), ShapeError::TooSmall);
         assert_eq!(
             TorusShape::new(1, 1, 1).unwrap_err().to_string(),

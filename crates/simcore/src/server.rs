@@ -96,7 +96,10 @@ impl BandwidthServer {
     /// without occupying the server.
     pub fn request(&mut self, now: SimTime, bytes: u64) -> Grant {
         if bytes == 0 {
-            return Grant { start: now, end: now };
+            return Grant {
+                start: now,
+                end: now,
+            };
         }
         let start_f = self.busy_until.max(now.cycles() as f64);
         let duration = bytes as f64 / self.bytes_per_cycle;
@@ -259,7 +262,10 @@ mod tests {
     fn bandwidth_server_fractional_cycles_accumulate() {
         let mut s = BandwidthServer::new(3.0);
         // 100 requests of 1 byte each = 100/3 cycles total, not 100 cycles.
-        let mut last = Grant { start: SimTime::ZERO, end: SimTime::ZERO };
+        let mut last = Grant {
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+        };
         for _ in 0..100 {
             last = s.request(SimTime::ZERO, 1);
         }

@@ -197,7 +197,10 @@ mod tests {
 
     #[test]
     fn frequency_from_ghz_matches_mhz() {
-        assert_eq!(Frequency::from_ghz(1.245).hz(), Frequency::from_mhz(1245.0).hz());
+        assert_eq!(
+            Frequency::from_ghz(1.245).hz(),
+            Frequency::from_mhz(1245.0).hz()
+        );
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Cartesian expansion of a [`Scenario`] into run points.
+//!
+//! Expansion is **deterministic**: axes multiply out in declaration order
+//! (topology → op → payload → engine → mem → SMs → SRAM → FSMs for
+//! collective sweeps; topology → workload → config for training sweeps),
+//! so the same scenario always yields the same point list — the anchor
+//! for reproducible reports and the runner's determinism guarantee.
+//!
+//! Engine families drop the knobs they do not consume when resolving to
+//! an [`EngineSpec`], so the raw cartesian product contains *duplicate*
+//! points (e.g. `ideal` × a 10-value `mem_gbps` axis yields 10 identical
+//! points). Duplicates are preserved here — one row per grid cell — and
+//! collapsed by the runner's cache so each unique point simulates once.
+
+use ace_collectives::CollectiveOp;
+use ace_net::TorusShape;
+use ace_system::SystemConfig;
+
+use crate::scenario::{EngineFamily, EngineSpec, Scenario, SweepMode, WorkloadSpec};
+
+/// One cell of the expanded design-space grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunPoint {
+    /// The fabric the point simulates.
+    pub topology: TorusShape,
+    /// Mode-specific coordinates.
+    pub kind: PointKind,
+}
+
+/// Mode-specific coordinates of a [`RunPoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PointKind {
+    /// A standalone collective.
+    Collective {
+        /// Resolved endpoint engine.
+        engine: EngineSpec,
+        /// Operation issued.
+        op: CollectiveOp,
+        /// Per-node payload in bytes.
+        payload_bytes: u64,
+    },
+    /// A full training loop.
+    Training {
+        /// Table VI configuration.
+        config: SystemConfig,
+        /// Workload to train.
+        workload: WorkloadSpec,
+        /// Simulated iterations.
+        iterations: u32,
+        /// Fig. 12 embedding optimization.
+        optimized_embedding: bool,
+    },
+}
+
+impl RunPoint {
+    /// A short human-readable label: `4x2x2 ace[dma=128,sram=4MB,fsms=16] all-reduce 64MB`.
+    pub fn label(&self) -> String {
+        match &self.kind {
+            PointKind::Collective {
+                engine,
+                op,
+                payload_bytes,
+            } => format!(
+                "{} {engine} {op} {}",
+                self.topology,
+                crate::report::human_bytes(*payload_bytes)
+            ),
+            PointKind::Training {
+                config,
+                workload,
+                iterations,
+                ..
+            } => format!(
+                "{} {config} {} x{iterations}",
+                self.topology,
+                workload.name()
+            ),
+        }
+    }
+}
+
+/// Expands `scenario` into its full cartesian point list (duplicates
+/// from dropped knobs included). The scenario must be
+/// [valid](Scenario::validate).
+pub fn expand(scenario: &Scenario) -> Vec<RunPoint> {
+    let mut points = Vec::with_capacity(grid_len(scenario));
+    match scenario.mode {
+        SweepMode::Collective => {
+            for &topology in &scenario.topologies {
+                for &op in &scenario.ops {
+                    for &payload_bytes in &scenario.payload_bytes {
+                        for &family in &scenario.engines {
+                            for &mem in &scenario.mem_gbps {
+                                for &sms in &scenario.comm_sms {
+                                    for &sram in &scenario.sram_mb {
+                                        for &fsms in &scenario.fsms {
+                                            let engine = resolve(family, mem, sms, sram, fsms);
+                                            points.push(RunPoint {
+                                                topology,
+                                                kind: PointKind::Collective {
+                                                    engine,
+                                                    op,
+                                                    payload_bytes,
+                                                },
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        SweepMode::Training => {
+            for &topology in &scenario.topologies {
+                for &workload in &scenario.workloads {
+                    for &config in &scenario.configs {
+                        points.push(RunPoint {
+                            topology,
+                            kind: PointKind::Training {
+                                config,
+                                workload,
+                                iterations: scenario.iterations,
+                                optimized_embedding: scenario.optimized_embedding,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
+/// The size of the raw cartesian grid (including duplicate cells).
+pub fn grid_len(scenario: &Scenario) -> usize {
+    match scenario.mode {
+        SweepMode::Collective => {
+            scenario.topologies.len()
+                * scenario.ops.len()
+                * scenario.payload_bytes.len()
+                * scenario.engines.len()
+                * scenario.mem_gbps.len()
+                * scenario.comm_sms.len()
+                * scenario.sram_mb.len()
+                * scenario.fsms.len()
+        }
+        SweepMode::Training => {
+            scenario.topologies.len() * scenario.workloads.len() * scenario.configs.len()
+        }
+    }
+}
+
+/// Resolves an engine family against the knob axes, dropping knobs the
+/// family does not consume.
+fn resolve(family: EngineFamily, mem: f64, sms: u32, sram: u64, fsms: usize) -> EngineSpec {
+    match family {
+        EngineFamily::Ideal => EngineSpec::Ideal,
+        EngineFamily::Baseline => EngineSpec::Baseline {
+            mem_gbps: mem,
+            comm_sms: sms,
+        },
+        EngineFamily::Ace => EngineSpec::Ace {
+            dma_mem_gbps: mem,
+            sram_mb: sram,
+            fsms,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig05_like() -> Scenario {
+        let mut sc = Scenario::collective("fig05");
+        sc.topologies = vec![
+            TorusShape::new(4, 2, 2).unwrap(),
+            TorusShape::new(4, 4, 4).unwrap(),
+        ];
+        sc.mem_gbps = vec![64.0, 128.0, 450.0];
+        sc.comm_sms = vec![80];
+        sc
+    }
+
+    #[test]
+    fn expansion_count_is_axis_product() {
+        let sc = fig05_like();
+        let points = expand(&sc);
+        // 2 topologies x 1 op x 1 payload x 3 engines x 3 mem x 1 sms x 1 sram x 1 fsm.
+        assert_eq!(points.len(), 18);
+        assert_eq!(points.len(), grid_len(&sc));
+    }
+
+    #[test]
+    fn expansion_order_is_deterministic_and_axis_major() {
+        let sc = fig05_like();
+        let a = expand(&sc);
+        let b = expand(&sc);
+        assert_eq!(a, b);
+        // First topology fills the first half.
+        assert!(a[..9].iter().all(|p| p.topology.nodes() == 16));
+        assert!(a[9..].iter().all(|p| p.topology.nodes() == 64));
+        // Engine axis is outer to the mem axis: ideal, ideal, ideal, then baselines.
+        let fams: Vec<EngineFamily> = a[..9]
+            .iter()
+            .map(|p| match p.kind {
+                PointKind::Collective { engine, .. } => engine.family(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            fams,
+            vec![
+                EngineFamily::Ideal,
+                EngineFamily::Ideal,
+                EngineFamily::Ideal,
+                EngineFamily::Baseline,
+                EngineFamily::Baseline,
+                EngineFamily::Baseline,
+                EngineFamily::Ace,
+                EngineFamily::Ace,
+                EngineFamily::Ace,
+            ]
+        );
+    }
+
+    #[test]
+    fn dropped_knobs_produce_duplicate_points() {
+        let sc = fig05_like();
+        let points = expand(&sc);
+        // The three ideal points per topology are identical cells.
+        assert_eq!(points[0], points[1]);
+        assert_eq!(points[1], points[2]);
+        // Baseline points differ along the mem axis.
+        assert_ne!(points[3], points[4]);
+        // Unique count: per topology 1 ideal + 3 baseline + 3 ace = 7.
+        let unique: std::collections::HashSet<_> = points.iter().collect();
+        assert_eq!(unique.len(), 14);
+    }
+
+    #[test]
+    fn training_expansion() {
+        let mut sc = Scenario::training("fig11");
+        sc.workloads = vec![WorkloadSpec::Resnet50, WorkloadSpec::Gnmt];
+        let points = expand(&sc);
+        // 1 topology x 2 workloads x 5 configs.
+        assert_eq!(points.len(), 10);
+        let unique: std::collections::HashSet<_> = points.iter().collect();
+        assert_eq!(unique.len(), 10);
+        assert!(points[0].label().contains("resnet50"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Declarative scenario specs and a parallel design-space sweep engine.
+//!
+//! The ACE paper's evaluation (Figs. 4–12, Tables III–IV) is a family of
+//! sweeps over {torus shape × endpoint configuration × workload ×
+//! payload size × memory-bandwidth/SM knobs}. This crate turns those
+//! bespoke nested loops into data:
+//!
+//! * [`Scenario`] ([`scenario`]) — a declarative spec naming the axes,
+//!   deserializable from a small TOML subset ([`toml`]; the build
+//!   environment is std-only, so the parser is hand-rolled),
+//! * [`grid`] — deterministic cartesian expansion into [`RunPoint`]s,
+//! * [`runner`] — a work-stealing parallel executor over scoped threads
+//!   with a [`Cache`] keyed on [`RunPoint`], returning results in grid
+//!   order regardless of thread interleaving,
+//! * [`report`] — CSV/JSON emitters and per-axis min/mean/max speedup
+//!   summaries against a named baseline config.
+//!
+//! # Example
+//!
+//! ```
+//! use ace_sweep::{run_scenario, RunnerOptions, Scenario};
+//!
+//! let scenario = Scenario::from_toml_str(r#"
+//!     name = "quick"
+//!     mode = "collective"
+//!     topologies = ["2x1x1"]
+//!     engines = ["ideal", "baseline"]
+//!     ops = ["all-reduce"]
+//!     payloads = ["128KB"]
+//!     mem_gbps = [450]
+//!     comm_sms = [6]
+//!
+//!     [baseline]
+//!     engine = "ideal"
+//! "#).unwrap();
+//! let outcome = run_scenario(&scenario, RunnerOptions::default()).unwrap();
+//! assert_eq!(outcome.results.len(), 2);
+//! let csv = ace_sweep::report::to_csv(&outcome);
+//! assert!(csv.lines().count() == 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod toml;
+
+pub use grid::{expand, grid_len, PointKind, RunPoint};
+pub use report::{summarize, to_csv, to_json, AxisSummary};
+pub use runner::{
+    run_scenario, Cache, Metrics, RunResult, RunnerOptions, SweepOutcome, SweepRunner,
+};
+pub use scenario::{
+    BaselineSpec, EngineFamily, EngineSpec, Scenario, ScenarioError, SweepMode, WorkloadSpec,
+};

@@ -1,0 +1,437 @@
+//! Sweep reports: CSV and JSON emitters plus per-axis summary
+//! aggregation.
+//!
+//! All output is deterministic: fixed column order, fixed float
+//! formatting, rows in grid order. A parallel run therefore emits a CSV
+//! byte-identical to a single-threaded run of the same scenario.
+
+use crate::grid::{PointKind, RunPoint};
+use crate::runner::{RunResult, SweepOutcome};
+use crate::scenario::EngineSpec;
+
+/// The fixed CSV column set (a superset across both sweep modes;
+/// inapplicable cells are empty).
+pub const CSV_COLUMNS: [&str; 21] = [
+    "topology",
+    "nodes",
+    "engine",
+    "op",
+    "payload_bytes",
+    "mem_gbps",
+    "comm_sms",
+    "sram_mb",
+    "fsms",
+    "config",
+    "workload",
+    "iterations",
+    "time_us",
+    "completion_cycles",
+    "gbps_per_npu",
+    "mem_traffic_bytes",
+    "network_bytes",
+    "compute_us",
+    "exposed_comm_us",
+    "cache_hit",
+    "speedup_vs_baseline",
+];
+
+/// Formats `bytes` with a binary-power suffix when exact (`64MB`),
+/// falling back to raw bytes.
+pub fn human_bytes(bytes: u64) -> String {
+    for (shift, suffix) in [(30, "GB"), (20, "MB"), (10, "KB")] {
+        if bytes >= (1 << shift) && bytes.is_multiple_of(1 << shift) {
+            return format!("{}{suffix}", bytes >> shift);
+        }
+    }
+    format!("{bytes}B")
+}
+
+/// One row's cell values in [`CSV_COLUMNS`] order.
+fn row_cells(r: &RunResult) -> Vec<String> {
+    let mut engine = String::new();
+    let mut op = String::new();
+    let mut payload = String::new();
+    let mut mem = String::new();
+    let mut sms = String::new();
+    let mut sram = String::new();
+    let mut fsm = String::new();
+    let mut config = String::new();
+    let mut workload = String::new();
+    let mut iters = String::new();
+    match r.point.kind {
+        PointKind::Collective {
+            engine: spec,
+            op: o,
+            payload_bytes,
+        } => {
+            engine = spec.family().name().to_string();
+            op = o.to_string();
+            payload = payload_bytes.to_string();
+            match spec {
+                EngineSpec::Ideal => {}
+                EngineSpec::Baseline { mem_gbps, comm_sms } => {
+                    mem = format_f64(mem_gbps);
+                    sms = comm_sms.to_string();
+                }
+                EngineSpec::Ace {
+                    dma_mem_gbps,
+                    sram_mb,
+                    fsms,
+                } => {
+                    mem = format_f64(dma_mem_gbps);
+                    sram = sram_mb.to_string();
+                    fsm = fsms.to_string();
+                }
+            }
+        }
+        PointKind::Training {
+            config: c,
+            workload: w,
+            iterations,
+            ..
+        } => {
+            config = c.to_string();
+            workload = w.name().to_string();
+            iters = iterations.to_string();
+        }
+    }
+    let m = &r.metrics;
+    vec![
+        r.point.topology.to_string(),
+        r.point.topology.nodes().to_string(),
+        engine,
+        op,
+        payload,
+        mem,
+        sms,
+        sram,
+        fsm,
+        config,
+        workload,
+        iters,
+        format!("{:.3}", m.time_us),
+        m.completion_cycles.to_string(),
+        format!("{:.3}", m.gbps_per_npu),
+        m.mem_traffic_bytes.to_string(),
+        m.network_bytes.to_string(),
+        format!("{:.3}", m.compute_us),
+        format!("{:.3}", m.exposed_comm_us),
+        if r.cache_hit { "1" } else { "0" }.to_string(),
+        r.speedup_vs_baseline
+            .map(|s| format!("{s:.4}"))
+            .unwrap_or_default(),
+    ]
+}
+
+/// Renders the outcome as CSV (header + one row per grid cell).
+pub fn to_csv(outcome: &SweepOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&CSV_COLUMNS.join(","));
+    out.push('\n');
+    for r in &outcome.results {
+        out.push_str(&row_cells(r).join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn format_f64(v: f64) -> String {
+    // `Display` prints integral floats without a trailing `.0`, which is
+    // what scenario authors wrote ("128"), and is deterministic.
+    format!("{v}")
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the outcome (rows + per-axis summary) as JSON.
+pub fn to_json(outcome: &SweepOutcome) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"scenario\": \"{}\",\n",
+        json_escape(&outcome.scenario)
+    ));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", outcome.mode));
+    out.push_str(&format!("  \"points\": {},\n", outcome.results.len()));
+    out.push_str(&format!("  \"executed\": {},\n", outcome.executed));
+    out.push_str(&format!("  \"cache_hits\": {},\n", outcome.cache_hits));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in outcome.results.iter().enumerate() {
+        let cells = row_cells(r);
+        let mut fields: Vec<String> = Vec::with_capacity(CSV_COLUMNS.len());
+        for (name, cell) in CSV_COLUMNS.iter().zip(&cells) {
+            if cell.is_empty() {
+                continue;
+            }
+            // Numeric columns emit bare numbers; the rest are strings.
+            let is_string = matches!(*name, "topology" | "engine" | "op" | "config" | "workload");
+            if is_string {
+                fields.push(format!("\"{name}\": \"{}\"", json_escape(cell)));
+            } else if *name == "cache_hit" {
+                fields.push(format!("\"cache_hit\": {}", cell == "1"));
+            } else {
+                fields.push(format!("\"{name}\": {cell}"));
+            }
+        }
+        let sep = if i + 1 == outcome.results.len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!("    {{{}}}{sep}\n", fields.join(", ")));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"summary\": [\n");
+    let summaries = summarize(outcome);
+    for (i, s) in summaries.iter().enumerate() {
+        let sep = if i + 1 == summaries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"axis\": \"{}\", \"value\": \"{}\", \"count\": {}, \"min_speedup\": {}, \"mean_speedup\": {}, \"max_speedup\": {}}}{sep}\n",
+            json_escape(&s.axis),
+            json_escape(&s.value),
+            s.count,
+            json_num(s.min),
+            json_num(s.mean),
+            json_num(s.max),
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Speedup statistics of one axis value (e.g. `mem_gbps = 128`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisSummary {
+    /// Axis name (`topology`, `engine`, `mem_gbps`, `config`, ...).
+    pub axis: String,
+    /// The axis value this row aggregates.
+    pub value: String,
+    /// Number of grid cells at this value carrying a speedup.
+    pub count: usize,
+    /// Minimum speedup vs the scenario baseline.
+    pub min: f64,
+    /// Arithmetic mean speedup.
+    pub mean: f64,
+    /// Maximum speedup.
+    pub max: f64,
+}
+
+/// The (axis, value) coordinates a point contributes to.
+fn axis_values(point: &RunPoint) -> Vec<(&'static str, String)> {
+    let mut v = vec![("topology", point.topology.to_string())];
+    match point.kind {
+        PointKind::Collective {
+            engine,
+            op,
+            payload_bytes,
+        } => {
+            v.push(("engine", engine.family().name().to_string()));
+            v.push(("op", op.to_string()));
+            v.push(("payload", human_bytes(payload_bytes)));
+            match engine {
+                EngineSpec::Ideal => {}
+                EngineSpec::Baseline { mem_gbps, comm_sms } => {
+                    v.push(("mem_gbps", format_f64(mem_gbps)));
+                    v.push(("comm_sms", comm_sms.to_string()));
+                }
+                EngineSpec::Ace {
+                    dma_mem_gbps,
+                    sram_mb,
+                    fsms,
+                } => {
+                    v.push(("mem_gbps", format_f64(dma_mem_gbps)));
+                    v.push(("sram_mb", sram_mb.to_string()));
+                    v.push(("fsms", fsms.to_string()));
+                }
+            }
+        }
+        PointKind::Training {
+            config, workload, ..
+        } => {
+            v.push(("config", config.to_string()));
+            v.push(("workload", workload.name().to_string()));
+        }
+    }
+    v
+}
+
+/// Aggregates speedup-vs-baseline per axis value, for every axis with at
+/// least two distinct values among rows that carry a speedup. Axis and
+/// value order follow first appearance in the grid, so the summary is
+/// deterministic.
+pub fn summarize(outcome: &SweepOutcome) -> Vec<AxisSummary> {
+    // axis -> ordered (value, speedups)
+    type ValueSamples = Vec<(String, Vec<f64>)>;
+    let mut axes: Vec<(&'static str, ValueSamples)> = Vec::new();
+    for r in &outcome.results {
+        let Some(speedup) = r.speedup_vs_baseline else {
+            continue;
+        };
+        for (axis, value) in axis_values(&r.point) {
+            let entry = match axes.iter_mut().find(|(a, _)| *a == axis) {
+                Some(e) => e,
+                None => {
+                    axes.push((axis, Vec::new()));
+                    axes.last_mut().expect("just pushed")
+                }
+            };
+            match entry.1.iter_mut().find(|(v, _)| *v == value) {
+                Some((_, samples)) => samples.push(speedup),
+                None => entry.1.push((value, vec![speedup])),
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (axis, values) in axes {
+        if values.len() < 2 {
+            continue;
+        }
+        for (value, samples) in values {
+            let count = samples.len();
+            let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mean = samples.iter().sum::<f64>() / count as f64;
+            out.push(AxisSummary {
+                axis: axis.to_string(),
+                value,
+                count,
+                min,
+                mean,
+                max,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the axis summary as an aligned text table for terminals.
+pub fn summary_table(summaries: &[AxisSummary]) -> String {
+    if summaries.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>20} {:>6} {:>10} {:>10} {:>10}\n",
+        "axis", "value", "count", "min", "mean", "max"
+    ));
+    for s in summaries {
+        out.push_str(&format!(
+            "{:<12} {:>20} {:>6} {:>9.3}x {:>9.3}x {:>9.3}x\n",
+            s.axis, s.value, s.count, s.min, s.mean, s.max
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_scenario, RunnerOptions};
+    use crate::scenario::{BaselineSpec, EngineFamily, Scenario};
+    use ace_net::TorusShape;
+
+    fn outcome() -> SweepOutcome {
+        let mut sc = Scenario::collective("report-test");
+        sc.topologies = vec![TorusShape::new(2, 1, 1).unwrap()];
+        sc.engines = vec![EngineFamily::Ideal, EngineFamily::Baseline];
+        sc.payload_bytes = vec![128 * 1024];
+        sc.mem_gbps = vec![128.0, 450.0];
+        sc.comm_sms = vec![6];
+        sc.baseline = Some(BaselineSpec::Engine(EngineSpec::Ideal));
+        run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap()
+    }
+
+    #[test]
+    fn csv_shape_and_header() {
+        let out = outcome();
+        let csv = to_csv(&out);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + out.results.len());
+        assert!(lines[0].starts_with("topology,nodes,engine,"));
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), CSV_COLUMNS.len());
+        }
+        // Ideal rows leave the knob columns empty.
+        assert!(lines[1].contains("ideal"));
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let json = to_json(&outcome());
+        // Cheap structural checks (no JSON parser in a std-only build):
+        // balanced braces/brackets and the expected top-level keys.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "\"scenario\"",
+            "\"results\"",
+            "\"summary\"",
+            "\"cache_hits\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn summary_covers_multi_valued_axes_only() {
+        let out = outcome();
+        let sums = summarize(&out);
+        // engine has 2 values; mem_gbps has 2 (only baseline rows carry it);
+        // topology/op/payload have 1 value each and are dropped.
+        assert!(sums.iter().any(|s| s.axis == "engine"));
+        assert!(sums.iter().any(|s| s.axis == "mem_gbps"));
+        assert!(!sums.iter().any(|s| s.axis == "topology"));
+        for s in &sums {
+            assert!(s.min <= s.mean && s.mean <= s.max);
+            assert!(s.count > 0);
+        }
+        let table = summary_table(&sums);
+        assert!(table.contains("engine"));
+    }
+
+    #[test]
+    fn human_bytes_suffixes() {
+        assert_eq!(human_bytes(64 << 20), "64MB");
+        assert_eq!(human_bytes(8 << 10), "8KB");
+        assert_eq!(human_bytes(1 << 30), "1GB");
+        assert_eq!(human_bytes(1000), "1000B");
+        assert_eq!(human_bytes(3 << 19), "1536KB");
+    }
+
+    #[test]
+    fn parallel_csv_is_byte_identical_to_serial() {
+        let mut sc = Scenario::collective("determinism");
+        sc.topologies = vec![TorusShape::new(2, 1, 1).unwrap()];
+        sc.engines = vec![EngineFamily::Baseline];
+        sc.payload_bytes = vec![128 * 1024];
+        sc.mem_gbps = vec![64.0, 128.0, 450.0];
+        sc.comm_sms = vec![2, 6];
+        let serial = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let parallel = run_scenario(&sc, RunnerOptions { threads: 8 }).unwrap();
+        assert_eq!(to_csv(&serial), to_csv(&parallel));
+        assert_eq!(to_json(&serial), to_json(&parallel));
+    }
+}

@@ -1,0 +1,506 @@
+//! Parallel sweep execution.
+//!
+//! [`SweepRunner::run`] expands a scenario, dedupes its grid against a
+//! [`Cache`] keyed on [`RunPoint`], executes the remaining unique points
+//! on a pool of scoped worker threads (work-stealing over a shared atomic
+//! index), and assembles results **in grid order** — so the output is
+//! byte-identical whether the sweep ran on one thread or sixteen.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ace_system::{run_single_collective, SystemBuilder};
+
+use crate::grid::{self, PointKind, RunPoint};
+use crate::scenario::{BaselineSpec, Scenario, SweepMode};
+
+/// Simulation metrics of one run point. Collective points report zero
+/// compute/exposed time; training points report the full breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// End-to-end simulated time in microseconds — the primary metric
+    /// speedups are computed from (lower is better).
+    pub time_us: f64,
+    /// End-to-end simulated time in cycles.
+    pub completion_cycles: u64,
+    /// Achieved network bandwidth per NPU, GB/s.
+    pub gbps_per_npu: f64,
+    /// Per-node HBM bytes consumed by communication.
+    pub mem_traffic_bytes: u64,
+    /// Total bytes the fabric carried.
+    pub network_bytes: u64,
+    /// Training only: total compute time in microseconds.
+    pub compute_us: f64,
+    /// Training only: exposed (non-overlapped) communication, microseconds.
+    pub exposed_comm_us: f64,
+}
+
+/// One grid row with its metrics.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The grid cell.
+    pub point: RunPoint,
+    /// Simulated metrics.
+    pub metrics: Metrics,
+    /// Whether this row reused a result computed earlier — either a
+    /// duplicate cell in the same grid or a prior run through the same
+    /// [`Cache`].
+    pub cache_hit: bool,
+    /// `baseline_time / this_time` when the scenario names a baseline.
+    pub speedup_vs_baseline: Option<f64>,
+}
+
+/// The outcome of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// Sweep mode.
+    pub mode: SweepMode,
+    /// One result per grid cell, in deterministic grid order.
+    pub results: Vec<RunResult>,
+    /// Unique points actually simulated during this run.
+    pub executed: usize,
+    /// Grid rows served from the cache (duplicates + prior runs).
+    pub cache_hits: usize,
+}
+
+impl SweepOutcome {
+    /// All collective-mode rows running exactly `engine`, in grid order.
+    pub fn collective_results(
+        &self,
+        engine: crate::scenario::EngineSpec,
+    ) -> impl Iterator<Item = &RunResult> {
+        self.results.iter().filter(
+            move |r| matches!(r.point.kind, PointKind::Collective { engine: e, .. } if e == engine),
+        )
+    }
+
+    /// The first collective-mode row on `topology` running exactly
+    /// `engine` — the pivot lookup figure binaries use to re-shape a
+    /// sweep into a table.
+    pub fn find_collective(
+        &self,
+        topology: ace_net::TorusShape,
+        engine: crate::scenario::EngineSpec,
+    ) -> Option<&RunResult> {
+        self.collective_results(engine)
+            .find(|r| r.point.topology == topology)
+    }
+}
+
+/// Result cache keyed on [`RunPoint`]. Identical points simulate
+/// identically (the simulator is deterministic), so a sweep never runs
+/// the same point twice — within a grid or across grids sharing a
+/// runner.
+#[derive(Debug, Default)]
+pub struct Cache {
+    map: Mutex<HashMap<RunPoint, Metrics>>,
+}
+
+impl Cache {
+    /// An empty cache.
+    pub fn new() -> Cache {
+        Cache::default()
+    }
+
+    /// Cached metrics for `point`, if present.
+    pub fn get(&self, point: &RunPoint) -> Option<Metrics> {
+        self.map.lock().expect("cache lock").get(point).copied()
+    }
+
+    /// Stores metrics for `point`.
+    pub fn insert(&self, point: RunPoint, metrics: Metrics) {
+        self.map.lock().expect("cache lock").insert(point, metrics);
+    }
+
+    /// Number of cached points.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunnerOptions {
+    /// Worker threads; `0` uses the machine's available parallelism.
+    pub threads: usize,
+}
+
+/// A sweep executor owning a [`Cache`] that persists across runs.
+#[derive(Debug, Default)]
+pub struct SweepRunner {
+    cache: Cache,
+}
+
+impl SweepRunner {
+    /// A runner with an empty cache.
+    pub fn new() -> SweepRunner {
+        SweepRunner::default()
+    }
+
+    /// The runner's cache.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Runs `scenario` and returns results in deterministic grid order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message if the scenario is inconsistent.
+    pub fn run(&self, scenario: &Scenario, opts: RunnerOptions) -> Result<SweepOutcome, String> {
+        scenario.validate()?;
+        let points = grid::expand(scenario);
+        let baseline_points = baseline_points(scenario);
+
+        // Work list: every unique point not already cached, in first-seen
+        // order (grid first, then any baseline points outside the grid).
+        let mut queued: HashSet<RunPoint> = HashSet::new();
+        let mut work: Vec<RunPoint> = Vec::new();
+        for p in points.iter().chain(baseline_points.iter()) {
+            if self.cache.get(p).is_none() && queued.insert(*p) {
+                work.push(*p);
+            }
+        }
+
+        self.execute_parallel(&work, opts);
+
+        // Assemble rows in grid order; flag rows that reused a result.
+        let mut seen: HashSet<RunPoint> = HashSet::new();
+        let mut cache_hits = 0usize;
+        let mut results: Vec<RunResult> = points
+            .iter()
+            .map(|p| {
+                let metrics = self.cache.get(p).expect("every grid point was executed");
+                let fresh_here = queued.contains(p) && seen.insert(*p);
+                let cache_hit = !fresh_here;
+                if cache_hit {
+                    cache_hits += 1;
+                }
+                RunResult {
+                    point: *p,
+                    metrics,
+                    cache_hit,
+                    speedup_vs_baseline: None,
+                }
+            })
+            .collect();
+
+        if scenario.baseline.is_some() {
+            for r in &mut results {
+                let bp = baseline_point_for(scenario, &r.point);
+                let base = self.cache.get(&bp).expect("baseline point was executed");
+                if r.metrics.time_us > 0.0 {
+                    r.speedup_vs_baseline = Some(base.time_us / r.metrics.time_us);
+                }
+            }
+        }
+
+        Ok(SweepOutcome {
+            scenario: scenario.name.clone(),
+            mode: scenario.mode,
+            results,
+            executed: work.len(),
+            cache_hits,
+        })
+    }
+
+    /// Runs `work` on a scoped thread pool, storing metrics in the cache.
+    fn execute_parallel(&self, work: &[RunPoint], opts: RunnerOptions) {
+        if work.is_empty() {
+            return;
+        }
+        let threads = if opts.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            opts.threads
+        }
+        .min(work.len())
+        .max(1);
+
+        if threads == 1 {
+            for p in work {
+                self.cache.insert(*p, execute(p));
+            }
+            return;
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Metrics>>> = work.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let m = execute(&work[i]);
+                    *slots[i].lock().expect("slot lock") = Some(m);
+                });
+            }
+        });
+        for (p, slot) in work.iter().zip(slots) {
+            let m = slot
+                .into_inner()
+                .expect("slot lock")
+                .expect("worker filled slot");
+            self.cache.insert(*p, m);
+        }
+    }
+}
+
+/// Convenience: run a scenario once with a fresh cache.
+pub fn run_scenario(scenario: &Scenario, opts: RunnerOptions) -> Result<SweepOutcome, String> {
+    SweepRunner::new().run(scenario, opts)
+}
+
+/// Simulates one point. Pure and deterministic: the same point always
+/// produces the same metrics.
+pub fn execute(point: &RunPoint) -> Metrics {
+    match point.kind {
+        PointKind::Collective {
+            engine,
+            op,
+            payload_bytes,
+        } => {
+            let r =
+                run_single_collective(point.topology, engine.to_engine_kind(), op, payload_bytes);
+            let freq = ace_simcore::npu_frequency();
+            Metrics {
+                time_us: r.completion.cycles() as f64 / freq.hz() * 1e6,
+                completion_cycles: r.completion.cycles(),
+                gbps_per_npu: r.achieved_gbps_per_npu,
+                mem_traffic_bytes: r.mem_traffic_bytes,
+                network_bytes: r.network_bytes,
+                compute_us: 0.0,
+                exposed_comm_us: 0.0,
+            }
+        }
+        PointKind::Training {
+            config,
+            workload,
+            iterations,
+            optimized_embedding,
+        } => {
+            let shape = point.topology;
+            let report = SystemBuilder::new()
+                .topology(shape.local(), shape.vertical(), shape.horizontal())
+                .config(config)
+                .workload(workload.instantiate(shape.nodes()))
+                .iterations(iterations)
+                .optimized_embedding(optimized_embedding)
+                .build()
+                .expect("expanded point is buildable")
+                .run();
+            Metrics {
+                time_us: report.total_time_us(),
+                completion_cycles: report.total_cycles(),
+                gbps_per_npu: report.effective_network_gbps_per_npu(),
+                mem_traffic_bytes: report.comm_mem_traffic_bytes(),
+                network_bytes: report.network_bytes(),
+                compute_us: report.total_compute_us(),
+                exposed_comm_us: report.exposed_comm_us(),
+            }
+        }
+    }
+}
+
+/// The baseline point a grid row is compared against: the row's
+/// coordinates with the engine/config swapped for the scenario baseline.
+fn baseline_point_for(scenario: &Scenario, point: &RunPoint) -> RunPoint {
+    match (scenario.baseline, point.kind) {
+        (
+            Some(BaselineSpec::Engine(spec)),
+            PointKind::Collective {
+                op, payload_bytes, ..
+            },
+        ) => RunPoint {
+            topology: point.topology,
+            kind: PointKind::Collective {
+                engine: spec,
+                op,
+                payload_bytes,
+            },
+        },
+        (
+            Some(BaselineSpec::Config(cfg)),
+            PointKind::Training {
+                workload,
+                iterations,
+                optimized_embedding,
+                ..
+            },
+        ) => RunPoint {
+            topology: point.topology,
+            kind: PointKind::Training {
+                config: cfg,
+                workload,
+                iterations,
+                optimized_embedding,
+            },
+        },
+        _ => *point,
+    }
+}
+
+/// All baseline points a scenario needs (one per cross-product of the
+/// non-config axes); empty when no baseline is named.
+fn baseline_points(scenario: &Scenario) -> Vec<RunPoint> {
+    let Some(baseline) = scenario.baseline else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    match (baseline, scenario.mode) {
+        (BaselineSpec::Engine(spec), SweepMode::Collective) => {
+            for &topology in &scenario.topologies {
+                for &op in &scenario.ops {
+                    for &payload_bytes in &scenario.payload_bytes {
+                        out.push(RunPoint {
+                            topology,
+                            kind: PointKind::Collective {
+                                engine: spec,
+                                op,
+                                payload_bytes,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        (BaselineSpec::Config(cfg), SweepMode::Training) => {
+            for &topology in &scenario.topologies {
+                for &workload in &scenario.workloads {
+                    out.push(RunPoint {
+                        topology,
+                        kind: PointKind::Training {
+                            config: cfg,
+                            workload,
+                            iterations: scenario.iterations,
+                            optimized_embedding: scenario.optimized_embedding,
+                        },
+                    });
+                }
+            }
+        }
+        // validate() rejects mismatched baseline kinds.
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{EngineFamily, EngineSpec};
+    use ace_net::TorusShape;
+
+    /// A scenario small enough to simulate quickly in tests.
+    fn tiny() -> Scenario {
+        let mut sc = Scenario::collective("tiny");
+        sc.topologies = vec![TorusShape::new(2, 1, 1).unwrap()];
+        sc.engines = vec![EngineFamily::Ideal, EngineFamily::Baseline];
+        sc.payload_bytes = vec![256 * 1024];
+        sc.mem_gbps = vec![128.0, 450.0];
+        sc.comm_sms = vec![6];
+        sc
+    }
+
+    #[test]
+    fn duplicates_collapse_into_cache_hits() {
+        let sc = tiny();
+        let out = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        // Grid: 2 engines x 2 mem = 4 rows; ideal's two cells are one
+        // unique point, so 3 unique simulations and 1 cache hit.
+        assert_eq!(out.results.len(), 4);
+        assert_eq!(out.executed, 3);
+        assert_eq!(out.cache_hits, 1);
+        assert!(!out.results[0].cache_hit);
+        assert!(out.results[1].cache_hit);
+        assert_eq!(out.results[0].metrics, out.results[1].metrics);
+    }
+
+    #[test]
+    fn second_run_is_fully_cached() {
+        let sc = tiny();
+        let runner = SweepRunner::new();
+        let first = runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        assert_eq!(first.executed, 3);
+        let second = runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.cache_hits, second.results.len());
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn baseline_speedups_are_attached() {
+        let mut sc = tiny();
+        sc.baseline = Some(BaselineSpec::Engine(EngineSpec::Ideal));
+        let out = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        for r in &out.results {
+            let s = r.speedup_vs_baseline.expect("speedup present");
+            assert!(s > 0.0);
+            if let PointKind::Collective {
+                engine: EngineSpec::Ideal,
+                ..
+            } = r.point.kind
+            {
+                assert!((s - 1.0).abs() < 1e-12, "ideal vs itself must be 1.0");
+            } else {
+                // The ideal endpoint is an upper bound (modulo pacing noise).
+                assert!(s <= 1.05, "baseline should not beat ideal: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_outside_grid_is_executed() {
+        let mut sc = tiny();
+        // Baseline engine not in the grid: ACE.
+        sc.baseline = Some(BaselineSpec::Engine(EngineSpec::Ace {
+            dma_mem_gbps: 128.0,
+            sram_mb: 4,
+            fsms: 16,
+        }));
+        let out = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        // 3 unique grid points + 1 baseline point.
+        assert_eq!(out.executed, 4);
+        assert!(out.results.iter().all(|r| r.speedup_vs_baseline.is_some()));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let sc = tiny();
+        let serial = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let parallel = run_scenario(&sc, RunnerOptions { threads: 4 }).unwrap();
+        assert_eq!(serial.results.len(), parallel.results.len());
+        for (a, b) in serial.results.iter().zip(&parallel.results) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.cache_hit, b.cache_hit);
+        }
+    }
+
+    #[test]
+    fn training_points_execute() {
+        let mut sc = Scenario::training("t");
+        sc.topologies = vec![TorusShape::new(2, 1, 1).unwrap()];
+        sc.configs = vec![ace_system::SystemConfig::Ace];
+        sc.iterations = 1;
+        let out = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        assert_eq!(out.results.len(), 1);
+        let m = out.results[0].metrics;
+        assert!(m.time_us > 0.0);
+        assert!(m.compute_us > 0.0);
+    }
+}

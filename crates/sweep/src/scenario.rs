@@ -1,0 +1,903 @@
+//! Declarative sweep scenarios.
+//!
+//! A [`Scenario`] names the axes of a design-space exploration — torus
+//! shapes, endpoint engines / system configurations, workloads,
+//! collective ops, payload sizes, and the memory-bandwidth / SM / SRAM /
+//! FSM knobs of Figs. 4–12 — and deserializes from the TOML subset in
+//! [`crate::toml`]. [`crate::grid::expand`] turns it into a deterministic
+//! cartesian list of run points.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use ace_collectives::CollectiveOp;
+use ace_net::TorusShape;
+use ace_system::{EngineKind, SystemConfig};
+use ace_workloads::Workload;
+
+use crate::toml::{self, Value};
+
+/// What each run point simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepMode {
+    /// One standalone collective per point ([`ace_system::run_single_collective`]):
+    /// the Fig. 5 / Fig. 6 / Fig. 9a harness.
+    Collective,
+    /// A full training loop per point ([`ace_system::SystemBuilder`]):
+    /// the Fig. 11 / Fig. 12 harness.
+    Training,
+}
+
+impl fmt::Display for SweepMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepMode::Collective => f.write_str("collective"),
+            SweepMode::Training => f.write_str("training"),
+        }
+    }
+}
+
+/// The engine families a collective-mode scenario can sweep. Families are
+/// resolved against the knob axes into concrete [`EngineSpec`]s; knobs a
+/// family does not consume are dropped, so e.g. `ideal` collapses to a
+/// single point regardless of the `mem_gbps` axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineFamily {
+    /// One-cycle ideal endpoint — ignores every knob.
+    Ideal,
+    /// SM-driven baseline — consumes `mem_gbps` and `comm_sms`.
+    Baseline,
+    /// ACE — consumes `mem_gbps` (as the DMA carve-out), `sram_mb`, `fsms`.
+    Ace,
+}
+
+impl EngineFamily {
+    /// Scenario-file name of the family.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineFamily::Ideal => "ideal",
+            EngineFamily::Baseline => "baseline",
+            EngineFamily::Ace => "ace",
+        }
+    }
+}
+
+impl std::str::FromStr for EngineFamily {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ideal" => Ok(EngineFamily::Ideal),
+            "baseline" => Ok(EngineFamily::Baseline),
+            "ace" => Ok(EngineFamily::Ace),
+            other => Err(format!(
+                "unknown engine '{other}' (expected ideal, baseline, or ace)"
+            )),
+        }
+    }
+}
+
+/// A fully resolved endpoint engine: an [`EngineFamily`] with every knob
+/// it consumes pinned. Two points with equal specs simulate identically,
+/// which is what the runner's cache keys on.
+#[derive(Debug, Clone, Copy)]
+pub enum EngineSpec {
+    /// One-cycle ideal endpoint.
+    Ideal,
+    /// Baseline with a (memory GB/s, SM count) communication allocation.
+    Baseline {
+        /// HBM bandwidth available to communication, GB/s.
+        mem_gbps: f64,
+        /// SMs loaned to communication.
+        comm_sms: u32,
+    },
+    /// ACE at a design-space point.
+    Ace {
+        /// HBM bandwidth available to the DMA engines, GB/s.
+        dma_mem_gbps: f64,
+        /// Scratchpad SRAM in MB.
+        sram_mb: u64,
+        /// Programmable FSM count.
+        fsms: usize,
+    },
+}
+
+impl EngineSpec {
+    /// The family this spec resolves.
+    pub fn family(&self) -> EngineFamily {
+        match self {
+            EngineSpec::Ideal => EngineFamily::Ideal,
+            EngineSpec::Baseline { .. } => EngineFamily::Baseline,
+            EngineSpec::Ace { .. } => EngineFamily::Ace,
+        }
+    }
+
+    /// Converts to the system harness's engine selector.
+    pub fn to_engine_kind(&self) -> EngineKind {
+        match *self {
+            EngineSpec::Ideal => EngineKind::Ideal,
+            EngineSpec::Baseline { mem_gbps, comm_sms } => EngineKind::Baseline {
+                comm_mem_gbps: mem_gbps,
+                comm_sms,
+            },
+            EngineSpec::Ace {
+                dma_mem_gbps,
+                sram_mb,
+                fsms,
+            } => EngineKind::AceDse {
+                dma_mem_gbps,
+                sram_mb,
+                fsms,
+            },
+        }
+    }
+}
+
+impl PartialEq for EngineSpec {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (EngineSpec::Ideal, EngineSpec::Ideal) => true,
+            (
+                EngineSpec::Baseline {
+                    mem_gbps: a,
+                    comm_sms: b,
+                },
+                EngineSpec::Baseline {
+                    mem_gbps: c,
+                    comm_sms: d,
+                },
+            ) => a.to_bits() == c.to_bits() && b == d,
+            (
+                EngineSpec::Ace {
+                    dma_mem_gbps: a,
+                    sram_mb: b,
+                    fsms: c,
+                },
+                EngineSpec::Ace {
+                    dma_mem_gbps: d,
+                    sram_mb: e,
+                    fsms: f,
+                },
+            ) => a.to_bits() == d.to_bits() && b == e && c == f,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for EngineSpec {}
+
+impl Hash for EngineSpec {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            EngineSpec::Ideal => 0u8.hash(state),
+            EngineSpec::Baseline { mem_gbps, comm_sms } => {
+                1u8.hash(state);
+                mem_gbps.to_bits().hash(state);
+                comm_sms.hash(state);
+            }
+            EngineSpec::Ace {
+                dma_mem_gbps,
+                sram_mb,
+                fsms,
+            } => {
+                2u8.hash(state);
+                dma_mem_gbps.to_bits().hash(state);
+                sram_mb.hash(state);
+                fsms.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for EngineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineSpec::Ideal => f.write_str("ideal"),
+            EngineSpec::Baseline { mem_gbps, comm_sms } => {
+                write!(f, "baseline[mem={mem_gbps},sms={comm_sms}]")
+            }
+            EngineSpec::Ace {
+                dma_mem_gbps,
+                sram_mb,
+                fsms,
+            } => {
+                write!(f, "ace[dma={dma_mem_gbps},sram={sram_mb}MB,fsms={fsms}]")
+            }
+        }
+    }
+}
+
+/// The workloads a training-mode scenario can sweep. DLRM's all-to-all
+/// payloads depend on the fabric size, so instantiation takes the node
+/// count of the point's topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadSpec {
+    /// ResNet-50 v1.5, mini-batch 32 per NPU.
+    Resnet50,
+    /// GNMT, mini-batch 128 per NPU.
+    Gnmt,
+    /// DLRM, mini-batch 512 per NPU, hybrid-parallel.
+    Dlrm,
+    /// Megatron-style Transformer-LM, mini-batch 16 per NPU.
+    TransformerLm,
+}
+
+impl WorkloadSpec {
+    /// Scenario-file name of the workload.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadSpec::Resnet50 => "resnet50",
+            WorkloadSpec::Gnmt => "gnmt",
+            WorkloadSpec::Dlrm => "dlrm",
+            WorkloadSpec::TransformerLm => "transformer",
+        }
+    }
+
+    /// Builds the concrete workload for a fabric of `nodes` NPUs.
+    pub fn instantiate(self, nodes: usize) -> Workload {
+        match self {
+            WorkloadSpec::Resnet50 => Workload::resnet50(),
+            WorkloadSpec::Gnmt => Workload::gnmt(),
+            WorkloadSpec::Dlrm => Workload::dlrm(nodes),
+            WorkloadSpec::TransformerLm => Workload::transformer_lm(),
+        }
+    }
+}
+
+impl std::str::FromStr for WorkloadSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+            "resnet50" | "resnet" => Ok(WorkloadSpec::Resnet50),
+            "gnmt" => Ok(WorkloadSpec::Gnmt),
+            "dlrm" => Ok(WorkloadSpec::Dlrm),
+            "transformer" | "transformerlm" | "megatron" => Ok(WorkloadSpec::TransformerLm),
+            other => Err(format!(
+                "unknown workload '{other}' (expected resnet50, gnmt, dlrm, or transformer)"
+            )),
+        }
+    }
+}
+
+/// The reference point speedups are computed against: a single resolved
+/// engine (collective mode) or system configuration (training mode),
+/// matched per (topology × op × payload) / (topology × workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineSpec {
+    /// Collective mode: a resolved engine.
+    Engine(EngineSpec),
+    /// Training mode: one of the Table VI configurations.
+    Config(SystemConfig),
+}
+
+/// A declarative sweep: axes plus fixed parameters. Every `Vec` field is
+/// one cartesian axis; [`crate::grid::expand`] multiplies them out in
+/// declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (used in report headers and output files).
+    pub name: String,
+    /// What each point simulates.
+    pub mode: SweepMode,
+    /// Torus shapes (`LxVxH`).
+    pub topologies: Vec<TorusShape>,
+    /// Collective mode: engine families to resolve against the knob axes.
+    pub engines: Vec<EngineFamily>,
+    /// Collective mode: operations to issue.
+    pub ops: Vec<CollectiveOp>,
+    /// Collective mode: per-node payload sizes in bytes.
+    pub payload_bytes: Vec<u64>,
+    /// Knob axis: HBM GB/s for communication (baseline) or the DMA
+    /// carve-out (ACE).
+    pub mem_gbps: Vec<f64>,
+    /// Knob axis: SMs loaned to communication (baseline only).
+    pub comm_sms: Vec<u32>,
+    /// Knob axis: ACE SRAM size in MB (Fig. 9a).
+    pub sram_mb: Vec<u64>,
+    /// Knob axis: ACE FSM count (Fig. 9a).
+    pub fsms: Vec<usize>,
+    /// Training mode: Table VI system configurations.
+    pub configs: Vec<SystemConfig>,
+    /// Training mode: workloads.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Training mode: simulated iterations per point (paper default 2).
+    pub iterations: u32,
+    /// Training mode: enable the Fig. 12 DLRM embedding optimization.
+    pub optimized_embedding: bool,
+    /// Optional reference config for speedup columns and axis summaries.
+    pub baseline: Option<BaselineSpec>,
+}
+
+impl Scenario {
+    /// An empty collective-mode scenario with paper-default knobs; callers
+    /// fill in the axes they sweep.
+    pub fn collective(name: impl Into<String>) -> Scenario {
+        Scenario {
+            name: name.into(),
+            mode: SweepMode::Collective,
+            topologies: vec![TorusShape::new(4, 2, 2).expect("valid shape")],
+            engines: vec![
+                EngineFamily::Ideal,
+                EngineFamily::Baseline,
+                EngineFamily::Ace,
+            ],
+            ops: vec![CollectiveOp::AllReduce],
+            payload_bytes: vec![64 << 20],
+            mem_gbps: vec![128.0],
+            comm_sms: vec![6],
+            sram_mb: vec![4],
+            fsms: vec![16],
+            configs: Vec::new(),
+            workloads: Vec::new(),
+            iterations: 2,
+            optimized_embedding: false,
+            baseline: None,
+        }
+    }
+
+    /// An empty training-mode scenario over the five Table VI configs;
+    /// callers fill in topologies and workloads.
+    pub fn training(name: impl Into<String>) -> Scenario {
+        Scenario {
+            name: name.into(),
+            mode: SweepMode::Training,
+            topologies: vec![TorusShape::new(4, 2, 2).expect("valid shape")],
+            engines: Vec::new(),
+            ops: Vec::new(),
+            payload_bytes: Vec::new(),
+            mem_gbps: Vec::new(),
+            comm_sms: Vec::new(),
+            sram_mb: Vec::new(),
+            fsms: Vec::new(),
+            configs: SystemConfig::ALL.to_vec(),
+            workloads: vec![WorkloadSpec::Resnet50],
+            iterations: 2,
+            optimized_embedding: false,
+            baseline: None,
+        }
+    }
+
+    /// Parses a scenario from TOML text. See the crate docs and
+    /// `examples/scenarios/` for the format.
+    pub fn from_toml_str(text: &str) -> Result<Scenario, ScenarioError> {
+        let doc = toml::parse(text).map_err(ScenarioError::Parse)?;
+        Scenario::from_toml(&doc)
+    }
+
+    fn from_toml(doc: &BTreeMap<String, Value>) -> Result<Scenario, ScenarioError> {
+        let invalid = |msg: String| ScenarioError::Invalid(msg);
+
+        // Reject misspelled keys loudly: a typoed axis name silently
+        // falling back to its default would run the wrong sweep.
+        const KNOWN_KEYS: [&str; 15] = [
+            "name",
+            "mode",
+            "topologies",
+            "engines",
+            "ops",
+            "payloads",
+            "mem_gbps",
+            "comm_sms",
+            "sram_mb",
+            "fsms",
+            "configs",
+            "workloads",
+            "iterations",
+            "optimized_embedding",
+            "baseline",
+        ];
+        for key in doc.keys() {
+            if !KNOWN_KEYS.contains(&key.as_str()) {
+                return Err(invalid(format!(
+                    "unknown key '{key}' (known keys: {})",
+                    KNOWN_KEYS.join(", ")
+                )));
+            }
+        }
+
+        let name = match doc.get("name") {
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| invalid("'name' must be a string".into()))?
+                .to_string(),
+            None => "sweep".to_string(),
+        };
+        let mode = match doc.get("mode").map(|v| v.as_str()) {
+            None => SweepMode::Collective,
+            Some(Some("collective")) => SweepMode::Collective,
+            Some(Some("training")) => SweepMode::Training,
+            Some(other) => {
+                return Err(invalid(format!(
+                    "'mode' must be \"collective\" or \"training\", got {other:?}"
+                )))
+            }
+        };
+
+        let mut sc = match mode {
+            SweepMode::Collective => Scenario::collective(name),
+            SweepMode::Training => Scenario::training(name),
+        };
+
+        if let Some(v) = doc.get("topologies") {
+            sc.topologies = parse_list(v, "topologies", parse_topology)?;
+        }
+        if let Some(v) = doc.get("engines") {
+            sc.engines = parse_list(v, "engines", |s, _| {
+                s.as_str()
+                    .ok_or_else(|| "expected string".to_string())
+                    .and_then(|s| s.parse::<EngineFamily>())
+            })?;
+        }
+        if let Some(v) = doc.get("ops") {
+            sc.ops = parse_list(v, "ops", |s, _| {
+                s.as_str()
+                    .ok_or_else(|| "expected string".to_string())
+                    .and_then(parse_op)
+            })?;
+        }
+        if let Some(v) = doc.get("payloads") {
+            sc.payload_bytes = parse_list(v, "payloads", |s, _| parse_bytes(s))?;
+        }
+        if let Some(v) = doc.get("mem_gbps") {
+            sc.mem_gbps = parse_list(v, "mem_gbps", |s, _| {
+                s.as_f64()
+                    .filter(|g| g.is_finite() && *g > 0.0)
+                    .ok_or_else(|| "expected a positive number of GB/s".to_string())
+            })?;
+        }
+        if let Some(v) = doc.get("comm_sms") {
+            sc.comm_sms = parse_list(v, "comm_sms", |s, _| parse_uint(s).map(|u| u as u32))?;
+        }
+        if let Some(v) = doc.get("sram_mb") {
+            sc.sram_mb = parse_list(v, "sram_mb", |s, _| parse_uint(s))?;
+        }
+        if let Some(v) = doc.get("fsms") {
+            sc.fsms = parse_list(v, "fsms", |s, _| parse_uint(s).map(|u| u as usize))?;
+        }
+        if let Some(v) = doc.get("configs") {
+            sc.configs = parse_list(v, "configs", |s, _| {
+                s.as_str()
+                    .ok_or_else(|| "expected string".to_string())
+                    .and_then(|s| s.parse::<SystemConfig>())
+            })?;
+        }
+        if let Some(v) = doc.get("workloads") {
+            sc.workloads = parse_list(v, "workloads", |s, _| {
+                s.as_str()
+                    .ok_or_else(|| "expected string".to_string())
+                    .and_then(|s| s.parse::<WorkloadSpec>())
+            })?;
+        }
+        if let Some(v) = doc.get("iterations") {
+            sc.iterations = v
+                .as_i64()
+                .filter(|&i| i >= 1)
+                .ok_or_else(|| invalid("'iterations' must be a positive integer".into()))?
+                as u32;
+        }
+        if let Some(v) = doc.get("optimized_embedding") {
+            sc.optimized_embedding = v
+                .as_bool()
+                .ok_or_else(|| invalid("'optimized_embedding' must be a bool".into()))?;
+        }
+        if let Some(v) = doc.get("baseline") {
+            let table = v
+                .as_table()
+                .ok_or_else(|| invalid("[baseline] must be a table".into()))?;
+            sc.baseline = Some(parse_baseline(table, mode)?);
+        }
+
+        sc.validate().map_err(ScenarioError::Invalid)?;
+        Ok(sc)
+    }
+
+    /// Checks axis consistency for the scenario's mode.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.topologies.is_empty() {
+            return Err("at least one topology is required".into());
+        }
+        match self.mode {
+            SweepMode::Collective => {
+                for (axis, empty) in [
+                    ("engines", self.engines.is_empty()),
+                    ("ops", self.ops.is_empty()),
+                    ("payloads", self.payload_bytes.is_empty()),
+                    ("mem_gbps", self.mem_gbps.is_empty()),
+                    ("comm_sms", self.comm_sms.is_empty()),
+                    ("sram_mb", self.sram_mb.is_empty()),
+                    ("fsms", self.fsms.is_empty()),
+                ] {
+                    if empty {
+                        return Err(format!("collective mode requires a nonempty '{axis}' axis"));
+                    }
+                }
+                // Out-of-range knobs panic deep in the simulator's
+                // asserting constructors; reject them here instead.
+                if let Some(g) = self.mem_gbps.iter().find(|g| !g.is_finite() || **g <= 0.0) {
+                    return Err(format!(
+                        "mem_gbps values must be positive and finite, got {g}"
+                    ));
+                }
+                if self.comm_sms.contains(&0) {
+                    return Err("comm_sms values must be at least 1".into());
+                }
+                if self.sram_mb.contains(&0) {
+                    return Err("sram_mb values must be at least 1".into());
+                }
+                if self.fsms.contains(&0) {
+                    return Err("fsms values must be at least 1".into());
+                }
+                if let Some(BaselineSpec::Config(_)) = self.baseline {
+                    return Err("collective mode baseline must name an engine, not a config".into());
+                }
+            }
+            SweepMode::Training => {
+                if self.configs.is_empty() {
+                    return Err("training mode requires a nonempty 'configs' axis".into());
+                }
+                if self.workloads.is_empty() {
+                    return Err("training mode requires a nonempty 'workloads' axis".into());
+                }
+                if let Some(BaselineSpec::Engine(_)) = self.baseline {
+                    return Err("training mode baseline must name a config, not an engine".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors loading a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The TOML text failed to parse.
+    Parse(toml::ParseError),
+    /// The document parsed but the scenario is inconsistent.
+    Invalid(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse(e) => write!(f, "{e}"),
+            ScenarioError::Invalid(m) => write!(f, "invalid scenario: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn parse_list<T>(
+    v: &Value,
+    key: &str,
+    f: impl Fn(&Value, usize) -> Result<T, String>,
+) -> Result<Vec<T>, ScenarioError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| ScenarioError::Invalid(format!("'{key}' must be an array")))?;
+    if items.is_empty() {
+        return Err(ScenarioError::Invalid(format!("'{key}' must not be empty")));
+    }
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| f(item, i).map_err(|e| ScenarioError::Invalid(format!("{key}[{i}]: {e}"))))
+        .collect()
+}
+
+fn parse_topology(v: &Value, _i: usize) -> Result<TorusShape, String> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| "expected a string like \"4x2x2\"".to_string())?;
+    let dims: Vec<&str> = s.split(['x', 'X']).collect();
+    if dims.len() != 3 {
+        return Err(format!("topology '{s}' must have the form LxVxH"));
+    }
+    let parse = |d: &str| {
+        d.trim()
+            .parse::<usize>()
+            .map_err(|_| format!("bad dimension '{d}'"))
+    };
+    let (l, v_, h) = (parse(dims[0])?, parse(dims[1])?, parse(dims[2])?);
+    TorusShape::new(l, v_, h).map_err(|e| format!("topology '{s}': {e}"))
+}
+
+/// Parses a collective-op name, tolerating hyphens/underscores.
+pub fn parse_op(s: &str) -> Result<CollectiveOp, String> {
+    match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+        "allreduce" => Ok(CollectiveOp::AllReduce),
+        "reducescatter" => Ok(CollectiveOp::ReduceScatter),
+        "allgather" => Ok(CollectiveOp::AllGather),
+        "alltoall" => Ok(CollectiveOp::AllToAll),
+        other => Err(format!(
+            "unknown op '{other}' (expected all-reduce, reduce-scatter, all-gather, or all-to-all)"
+        )),
+    }
+}
+
+/// Parses a byte count: a plain integer, or a string with a `KB`/`MB`/`GB`
+/// binary-power suffix (e.g. `"64MB"`).
+pub fn parse_bytes(v: &Value) -> Result<u64, String> {
+    if let Some(i) = v.as_i64() {
+        return u64::try_from(i).map_err(|_| format!("negative byte count {i}"));
+    }
+    let s = v
+        .as_str()
+        .ok_or_else(|| "expected an integer or a string like \"64MB\"".to_string())?
+        .trim()
+        .to_ascii_uppercase();
+    let (digits, shift) = if let Some(d) = s.strip_suffix("GB") {
+        (d, 30)
+    } else if let Some(d) = s.strip_suffix("MB") {
+        (d, 20)
+    } else if let Some(d) = s.strip_suffix("KB") {
+        (d, 10)
+    } else if let Some(d) = s.strip_suffix('B') {
+        (d, 0)
+    } else {
+        (s.as_str(), 0)
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("cannot parse byte count '{s}'"))?;
+    n.checked_shl(shift)
+        .filter(|&b| b >> shift == n)
+        .ok_or_else(|| format!("byte count '{s}' overflows"))
+}
+
+fn parse_uint(v: &Value) -> Result<u64, String> {
+    v.as_i64()
+        .filter(|&i| i >= 1)
+        .map(|i| i as u64)
+        .ok_or_else(|| "expected a positive integer".to_string())
+}
+
+fn parse_baseline(
+    table: &BTreeMap<String, Value>,
+    mode: SweepMode,
+) -> Result<BaselineSpec, ScenarioError> {
+    let invalid = |m: String| ScenarioError::Invalid(m);
+    const KNOWN_KEYS: [&str; 6] = [
+        "engine", "config", "mem_gbps", "comm_sms", "sram_mb", "fsms",
+    ];
+    for key in table.keys() {
+        if !KNOWN_KEYS.contains(&key.as_str()) {
+            return Err(invalid(format!(
+                "[baseline] unknown key '{key}' (known keys: {})",
+                KNOWN_KEYS.join(", ")
+            )));
+        }
+    }
+    match mode {
+        SweepMode::Training => {
+            let cfg = table
+                .get("config")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| {
+                    invalid("[baseline] needs config = \"<name>\" in training mode".into())
+                })?;
+            Ok(BaselineSpec::Config(cfg.parse().map_err(invalid)?))
+        }
+        SweepMode::Collective => {
+            let family: EngineFamily = table
+                .get("engine")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| {
+                    invalid("[baseline] needs engine = \"<name>\" in collective mode".into())
+                })?
+                .parse()
+                .map_err(invalid)?;
+            let gbps = |key: &str, default: f64| -> Result<f64, ScenarioError> {
+                match table.get(key) {
+                    None => Ok(default),
+                    Some(v) => v
+                        .as_f64()
+                        .filter(|g| g.is_finite() && *g > 0.0)
+                        .ok_or_else(|| {
+                            invalid(format!("[baseline] {key} must be a positive number"))
+                        }),
+                }
+            };
+            let posint = |key: &str, default: u64| -> Result<u64, ScenarioError> {
+                match table.get(key) {
+                    None => Ok(default),
+                    Some(v) => v
+                        .as_i64()
+                        .filter(|&i| i >= 1)
+                        .map(|i| i as u64)
+                        .ok_or_else(|| {
+                            invalid(format!("[baseline] {key} must be a positive integer"))
+                        }),
+                }
+            };
+            let spec = match family {
+                EngineFamily::Ideal => EngineSpec::Ideal,
+                EngineFamily::Baseline => EngineSpec::Baseline {
+                    mem_gbps: gbps("mem_gbps", 450.0)?,
+                    comm_sms: posint("comm_sms", 6)? as u32,
+                },
+                EngineFamily::Ace => EngineSpec::Ace {
+                    dma_mem_gbps: gbps("mem_gbps", 128.0)?,
+                    sram_mb: posint("sram_mb", 4)?,
+                    fsms: posint("fsms", 16)? as usize,
+                },
+            };
+            Ok(BaselineSpec::Engine(spec))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collective_scenario_parses() {
+        let sc = Scenario::from_toml_str(
+            r#"
+            name = "fig05"
+            mode = "collective"
+            topologies = ["4x2x2", "4x4x4"]
+            engines = ["ideal", "baseline", "ace"]
+            ops = ["all-reduce"]
+            payloads = ["64MB"]
+            mem_gbps = [32, 64, 128, 450]
+            comm_sms = [80]
+
+            [baseline]
+            engine = "ideal"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(sc.name, "fig05");
+        assert_eq!(sc.mode, SweepMode::Collective);
+        assert_eq!(sc.topologies.len(), 2);
+        assert_eq!(sc.engines.len(), 3);
+        assert_eq!(sc.payload_bytes, vec![64 << 20]);
+        assert_eq!(sc.mem_gbps, vec![32.0, 64.0, 128.0, 450.0]);
+        assert_eq!(sc.baseline, Some(BaselineSpec::Engine(EngineSpec::Ideal)));
+    }
+
+    #[test]
+    fn training_scenario_parses() {
+        let sc = Scenario::from_toml_str(
+            r#"
+            name = "fig11"
+            mode = "training"
+            topologies = ["4x2x2", "4x4x2"]
+            configs = ["NoOverlap", "CommOpt", "ACE", "Ideal"]
+            workloads = ["resnet50", "dlrm"]
+            iterations = 1
+
+            [baseline]
+            config = "NoOverlap"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(sc.mode, SweepMode::Training);
+        assert_eq!(sc.configs.len(), 4);
+        assert_eq!(
+            sc.workloads,
+            vec![WorkloadSpec::Resnet50, WorkloadSpec::Dlrm]
+        );
+        assert_eq!(sc.iterations, 1);
+        assert_eq!(
+            sc.baseline,
+            Some(BaselineSpec::Config(SystemConfig::BaselineNoOverlap))
+        );
+    }
+
+    #[test]
+    fn defaults_fill_unswept_axes() {
+        let sc = Scenario::from_toml_str("topologies = [\"4x2x2\"]\n").unwrap();
+        assert_eq!(sc.mode, SweepMode::Collective);
+        assert_eq!(sc.sram_mb, vec![4]);
+        assert_eq!(sc.fsms, vec![16]);
+        assert_eq!(sc.iterations, 2);
+        assert!(sc.baseline.is_none());
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(Scenario::from_toml_str("topologies = [\"4x2\"]").is_err());
+        assert!(Scenario::from_toml_str("topologies = [\"0x2x2\"]").is_err());
+        assert!(Scenario::from_toml_str("engines = [\"warp-drive\"]").is_err());
+        assert!(Scenario::from_toml_str("mode = \"quantum\"").is_err());
+        assert!(Scenario::from_toml_str("payloads = [-5]").is_err());
+        assert!(
+            Scenario::from_toml_str("mode = \"training\"\nconfigs = [\"NotAConfig\"]").is_err()
+        );
+        // Baseline kind must match the mode.
+        assert!(Scenario::from_toml_str("[baseline]\nconfig = \"ACE\"").is_err());
+        assert!(
+            Scenario::from_toml_str("mode = \"training\"\n[baseline]\nengine = \"ace\"").is_err()
+        );
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        // A typoed axis silently falling back to defaults would run the
+        // wrong sweep.
+        let e = Scenario::from_toml_str("payload = [\"1MB\"]").unwrap_err();
+        assert!(e.to_string().contains("unknown key 'payload'"), "{e}");
+        assert!(Scenario::from_toml_str("memgbps = [128]").is_err());
+        let e = Scenario::from_toml_str("[baseline]\nengine = \"ideal\"\nsms = 6").unwrap_err();
+        assert!(e.to_string().contains("unknown key 'sms'"), "{e}");
+    }
+
+    #[test]
+    fn out_of_range_knobs_are_rejected() {
+        // These values would otherwise panic inside the simulator's
+        // asserting constructors.
+        assert!(Scenario::from_toml_str("mem_gbps = [0]").is_err());
+        assert!(Scenario::from_toml_str("mem_gbps = [-128]").is_err());
+        assert!(Scenario::from_toml_str("comm_sms = [0]").is_err());
+        assert!(Scenario::from_toml_str("sram_mb = [0]").is_err());
+        assert!(Scenario::from_toml_str("fsms = [0]").is_err());
+        assert!(
+            Scenario::from_toml_str("[baseline]\nengine = \"baseline\"\ncomm_sms = 0").is_err()
+        );
+        assert!(Scenario::from_toml_str("[baseline]\nengine = \"ace\"\nmem_gbps = -1").is_err());
+        assert!(Scenario::from_toml_str("[baseline]\nengine = \"ace\"\nsram_mb = -4").is_err());
+        // Programmatic construction is validated by the runner too.
+        let mut sc = Scenario::collective("bad");
+        sc.mem_gbps = vec![0.0];
+        assert!(sc.validate().is_err());
+    }
+
+    #[test]
+    fn payload_suffixes() {
+        let b = |s: &str| parse_bytes(&Value::Str(s.into())).unwrap();
+        assert_eq!(b("64MB"), 64 << 20);
+        assert_eq!(b("8 KB"), 8 << 10);
+        assert_eq!(b("1GB"), 1 << 30);
+        assert_eq!(b("512B"), 512);
+        assert_eq!(b("4096"), 4096);
+        assert_eq!(parse_bytes(&Value::Int(1024)).unwrap(), 1024);
+        assert!(parse_bytes(&Value::Str("64XB".into())).is_err());
+    }
+
+    #[test]
+    fn engine_spec_identity_ignores_nan_pitfalls() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(EngineSpec::Baseline {
+            mem_gbps: 450.0,
+            comm_sms: 6,
+        });
+        assert!(set.contains(&EngineSpec::Baseline {
+            mem_gbps: 450.0,
+            comm_sms: 6
+        }));
+        assert!(!set.contains(&EngineSpec::Baseline {
+            mem_gbps: 450.0,
+            comm_sms: 7
+        }));
+        assert!(!set.contains(&EngineSpec::Ideal));
+    }
+
+    #[test]
+    fn engine_spec_display() {
+        assert_eq!(EngineSpec::Ideal.to_string(), "ideal");
+        assert_eq!(
+            EngineSpec::Baseline {
+                mem_gbps: 450.0,
+                comm_sms: 6
+            }
+            .to_string(),
+            "baseline[mem=450,sms=6]"
+        );
+        assert_eq!(
+            EngineSpec::Ace {
+                dma_mem_gbps: 128.0,
+                sram_mb: 4,
+                fsms: 16
+            }
+            .to_string(),
+            "ace[dma=128,sram=4MB,fsms=16]"
+        );
+    }
+}

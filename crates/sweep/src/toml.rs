@@ -1,0 +1,433 @@
+//! A minimal TOML subset parser for scenario files.
+//!
+//! The build environment has no network registry, so the workspace is
+//! std-only and scenario files are parsed by this small hand-rolled
+//! reader instead of the `toml`/`serde` crates. The supported subset is
+//! exactly what sweep scenarios need:
+//!
+//! * top-level `key = value` pairs and `[table]` sections (one level),
+//! * strings (`"..."`), integers, floats, booleans,
+//! * homogeneous single- or multi-line arrays of those scalars,
+//! * `#` comments and blank lines.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An array of scalars.
+    Array(Vec<Value>),
+    /// A `[section]` table of key/value pairs.
+    Table(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A numeric payload widened to `f64` (ints coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// An integer payload (floats with zero fraction coerce).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The key/value map, if this is a table.
+    pub fn as_table(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure with a 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Line the error was detected on (1-based).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TOML parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Tracks string context while scanning a line, honoring `\"` escapes so
+/// an escaped quote never closes a string.
+#[derive(Default)]
+struct StrState {
+    in_str: bool,
+    escaped: bool,
+}
+
+impl StrState {
+    /// Feeds one character and reports whether it sits inside a string
+    /// literal (the delimiting quotes count as inside, so `#`, `,`, `[`
+    /// and `]` are only structural strictly outside strings).
+    fn feed(&mut self, c: char) -> bool {
+        if self.in_str {
+            if self.escaped {
+                self.escaped = false;
+            } else if c == '\\' {
+                self.escaped = true;
+            } else if c == '"' {
+                self.in_str = false;
+            }
+            true
+        } else {
+            if c == '"' {
+                self.in_str = true;
+            }
+            self.in_str
+        }
+    }
+}
+
+/// Strips a trailing `#` comment that is not inside a string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut st = StrState::default();
+    for (i, c) in line.char_indices() {
+        if !st.feed(c) && c == '#' {
+            return &line[..i];
+        }
+    }
+    line
+}
+
+/// Parses one scalar token (string, bool, int, or float).
+fn parse_scalar(tok: &str, line: usize) -> Result<Value, ParseError> {
+    let tok = tok.trim();
+    if let Some(body) = tok.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| err(line, format!("unterminated string: {tok}")))?;
+        // Minimal escapes: \" \\ \n \t
+        let mut out = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    other => return Err(err(line, format!("unsupported escape \\{other:?}"))),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(Value::Str(out));
+    }
+    match tok {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        "" => return Err(err(line, "empty value")),
+        _ => {}
+    }
+    if let Ok(i) = tok.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = tok.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(err(line, format!("cannot parse value: {tok}")))
+}
+
+/// Splits an array body on top-level commas (strings may contain commas).
+fn split_elements(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut st = StrState::default();
+    for c in body.chars() {
+        if !st.feed(c) && c == ',' {
+            parts.push(cur.trim().to_string());
+            cur = String::new();
+        } else {
+            cur.push(c);
+        }
+    }
+    let last = cur.trim().to_string();
+    if !last.is_empty() {
+        parts.push(last);
+    }
+    parts
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value, ParseError> {
+    let raw = raw.trim();
+    if let Some(body) = raw.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| err(line, "unterminated array"))?;
+        let mut vals = Vec::new();
+        for el in split_elements(body) {
+            vals.push(parse_scalar(&el, line)?);
+        }
+        return Ok(Value::Array(vals));
+    }
+    parse_scalar(raw, line)
+}
+
+/// Parses a TOML document into a root table.
+///
+/// ```
+/// let doc = ace_sweep::toml::parse(r#"
+/// name = "demo"
+/// sizes = [1, 2, 4]
+/// [baseline]
+/// engine = "ideal"
+/// "#).unwrap();
+/// assert_eq!(doc.get("name").and_then(|v| v.as_str()), Some("demo"));
+/// assert_eq!(doc.get("sizes").and_then(|v| v.as_array()).unwrap().len(), 3);
+/// assert!(doc.get("baseline").and_then(|v| v.as_table()).is_some());
+/// ```
+pub fn parse(text: &str) -> Result<BTreeMap<String, Value>, ParseError> {
+    let mut root: BTreeMap<String, Value> = BTreeMap::new();
+    // `None` = top level; `Some(name)` = inside `[name]`.
+    let mut section: Option<String> = None;
+    // Multi-line array accumulation: (key, buffer, start line).
+    let mut pending: Option<(String, String, usize)> = None;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some((key, mut buf, start)) = pending.take() {
+            buf.push(' ');
+            buf.push_str(line);
+            if balanced(&buf) {
+                let value = parse_value(&buf, start)?;
+                insert(&mut root, &section, key, value, start)?;
+            } else {
+                pending = Some((key, buf, start));
+            }
+            continue;
+        }
+
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated section header"))?
+                .trim();
+            if name.is_empty() || name.contains('[') {
+                return Err(err(lineno, "invalid section header"));
+            }
+            root.entry(name.to_string())
+                .or_insert_with(|| Value::Table(BTreeMap::new()));
+            section = Some(name.to_string());
+            continue;
+        }
+
+        let (key, value_src) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, format!("expected key = value, got: {line}")))?;
+        let key = key.trim().to_string();
+        if key.is_empty() {
+            return Err(err(lineno, "empty key"));
+        }
+        let value_src = value_src.trim();
+        if value_src.starts_with('[') && !balanced(value_src) {
+            pending = Some((key, value_src.to_string(), lineno));
+            continue;
+        }
+        let value = parse_value(value_src, lineno)?;
+        insert(&mut root, &section, key, value, lineno)?;
+    }
+
+    if let Some((key, _, start)) = pending {
+        return Err(err(
+            start,
+            format!("unterminated multi-line array for key '{key}'"),
+        ));
+    }
+    Ok(root)
+}
+
+/// Whether every `[` in `s` (outside strings) is closed.
+fn balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut st = StrState::default();
+    for c in s.chars() {
+        if st.feed(c) {
+            continue;
+        }
+        match c {
+            '[' => depth += 1,
+            ']' => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn insert(
+    root: &mut BTreeMap<String, Value>,
+    section: &Option<String>,
+    key: String,
+    value: Value,
+    line: usize,
+) -> Result<(), ParseError> {
+    let table = match section {
+        None => root,
+        Some(name) => match root.get_mut(name) {
+            Some(Value::Table(t)) => t,
+            _ => return Err(err(line, format!("section [{name}] vanished"))),
+        },
+    };
+    if table.insert(key.clone(), value).is_some() {
+        return Err(err(line, format!("duplicate key '{key}'")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_sections() {
+        let doc = parse(
+            r#"
+            # a comment
+            name = "fig05"   # trailing comment
+            threads = 8
+            scale = 1.5
+            fast = true
+
+            [baseline]
+            engine = "ideal"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc["name"].as_str(), Some("fig05"));
+        assert_eq!(doc["threads"].as_i64(), Some(8));
+        assert_eq!(doc["scale"].as_f64(), Some(1.5));
+        assert_eq!(doc["fast"].as_bool(), Some(true));
+        let base = doc["baseline"].as_table().unwrap();
+        assert_eq!(base["engine"].as_str(), Some("ideal"));
+    }
+
+    #[test]
+    fn arrays_single_and_multi_line() {
+        let doc = parse("mem = [32, 64, 128]\nnames = [\n  \"a, b\",\n  \"c\",\n]\n").unwrap();
+        let mem: Vec<i64> = doc["mem"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        assert_eq!(mem, vec![32, 64, 128]);
+        let names: Vec<&str> = doc["names"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert_eq!(names, vec!["a, b", "c"]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let doc = parse(r#"s = "a\"b\\c\nd""#).unwrap();
+        assert_eq!(doc["s"].as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_confuse_structure() {
+        // An escaped quote must not end the string: the `#`, `,`, `[`
+        // and `]` that follow are all still inside it.
+        let doc = parse(r##"s = "a\" # b""##).unwrap();
+        assert_eq!(doc["s"].as_str(), Some("a\" # b"));
+        let doc = parse(r#"a = ["x\",y", "z"]"#).unwrap();
+        let items: Vec<&str> = doc["a"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert_eq!(items, vec!["x\",y", "z"]);
+        let doc = parse("b = [\n  \"w\\\"]\",\n]\n").unwrap();
+        assert_eq!(doc["b"].as_array().unwrap()[0].as_str(), Some("w\"]"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = 1\nbroken").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+        assert!(parse("x = [1, 2").is_err());
+        assert!(parse("x = 1\nx = 2").is_err());
+        assert!(parse("[unclosed").is_err());
+        assert!(parse("x = @").is_err());
+    }
+
+    #[test]
+    fn int_float_coercion() {
+        let doc = parse("a = 2\nb = 2.0\nc = 2.5").unwrap();
+        assert_eq!(doc["a"].as_f64(), Some(2.0));
+        assert_eq!(doc["b"].as_i64(), Some(2));
+        assert_eq!(doc["c"].as_i64(), None);
+    }
+}

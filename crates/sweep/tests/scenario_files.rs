@@ -1,0 +1,59 @@
+//! The scenario files checked in under `examples/scenarios/` must parse,
+//! validate, and expand to the grids their figures expect.
+
+use std::path::PathBuf;
+
+use ace_sweep::{grid_len, BaselineSpec, EngineSpec, Scenario, SweepMode};
+
+fn load(name: &str) -> Scenario {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/scenarios")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Scenario::from_toml_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn design_space_scenario_matches_fig09a_grid() {
+    let sc = load("design_space.toml");
+    assert_eq!(sc.mode, SweepMode::Collective);
+    assert_eq!(sc.topologies.len(), 2);
+    assert_eq!(sc.sram_mb, vec![1, 2, 4, 8]);
+    assert_eq!(sc.fsms, vec![4, 8, 16, 20]);
+    // 2 topologies x 4 SRAM x 4 FSM (x 1 everything else).
+    assert_eq!(grid_len(&sc), 32);
+    assert_eq!(
+        sc.baseline,
+        Some(BaselineSpec::Engine(EngineSpec::Ace {
+            dma_mem_gbps: 128.0,
+            sram_mb: 4,
+            fsms: 16
+        }))
+    );
+}
+
+#[test]
+fn membw_scenario_matches_fig05_grid() {
+    let sc = load("membw_sweep.toml");
+    assert_eq!(sc.mode, SweepMode::Collective);
+    assert_eq!(sc.mem_gbps.len(), 10);
+    assert_eq!(sc.engines.len(), 3);
+    // 2 topologies x 3 engines x 10 mem points.
+    assert_eq!(grid_len(&sc), 60);
+    assert_eq!(sc.baseline, Some(BaselineSpec::Engine(EngineSpec::Ideal)));
+    // The expansion dedupes to 2 x (1 ideal + 10 baseline + 10 ace).
+    let points = ace_sweep::expand(&sc);
+    let unique: std::collections::HashSet<_> = points.iter().collect();
+    assert_eq!(unique.len(), 42);
+}
+
+#[test]
+fn training_suite_scenario_parses() {
+    let sc = load("training_suite.toml");
+    assert_eq!(sc.mode, SweepMode::Training);
+    assert_eq!(sc.configs.len(), 5);
+    assert_eq!(sc.workloads.len(), 3);
+    assert_eq!(grid_len(&sc), 15);
+    assert_eq!(sc.iterations, 2);
+}

@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn missing_workload_errors() {
-        assert_eq!(SystemBuilder::new().build().unwrap_err(), BuildError::MissingWorkload);
+        assert_eq!(
+            SystemBuilder::new().build().unwrap_err(),
+            BuildError::MissingWorkload
+        );
     }
 
     #[test]
@@ -155,7 +158,10 @@ mod tests {
 
     #[test]
     fn defaults_are_paper_defaults() {
-        let sim = SystemBuilder::new().workload(Workload::resnet50()).build().unwrap();
+        let sim = SystemBuilder::new()
+            .workload(Workload::resnet50())
+            .build()
+            .unwrap();
         assert!(!sim.is_hybrid());
     }
 

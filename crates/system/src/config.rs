@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use ace_endpoint::{AceEndpoint, AceEndpointParams, BaselineEngine, BaselineParams, CollectiveEngine, IdealEndpoint};
+use ace_endpoint::{
+    AceEndpoint, AceEndpointParams, BaselineEngine, BaselineParams, CollectiveEngine, IdealEndpoint,
+};
 
 /// The endpoint configurations compared throughout Section VI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,6 +104,26 @@ impl fmt::Display for SystemConfig {
     }
 }
 
+impl std::str::FromStr for SystemConfig {
+    type Err = String;
+
+    /// Parses a configuration from its [`short_name`](SystemConfig::short_name)
+    /// (case-insensitive), as used by sweep scenario files.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        SystemConfig::ALL
+            .into_iter()
+            .find(|c| c.short_name().to_ascii_lowercase() == lower)
+            .ok_or_else(|| {
+                let names: Vec<&str> = SystemConfig::ALL.iter().map(|c| c.short_name()).collect();
+                format!(
+                    "unknown system config '{s}' (expected one of {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +152,21 @@ mod tests {
             let mut e = c.make_engine(&[1.0, 0.5, 0.5, 1.0]);
             assert!(e.try_admit(0, 1024, ace_simcore::SimTime::ZERO));
         }
+    }
+
+    #[test]
+    fn short_names_roundtrip_through_from_str() {
+        for c in SystemConfig::ALL {
+            assert_eq!(c.short_name().parse::<SystemConfig>().unwrap(), c);
+            assert_eq!(
+                c.short_name()
+                    .to_lowercase()
+                    .parse::<SystemConfig>()
+                    .unwrap(),
+                c
+            );
+        }
+        assert!("NotAConfig".parse::<SystemConfig>().is_err());
     }
 
     #[test]

@@ -74,25 +74,57 @@ enum Ev {
     /// Attempt to inject pending chunks (LIFO drain).
     TryInject,
     /// A chunk's TX DMA finished: charge the step-0 fetch and send.
-    StepZero { coll: u32, chunk: u32, node: u32, phase: u16 },
+    StepZero {
+        coll: u32,
+        chunk: u32,
+        node: u32,
+        phase: u16,
+    },
     /// A ring message is ready at the egress port: transmit it.
     ///
     /// All link requests flow through this event so the FIFO link servers
     /// see them in global time order — transmitting directly at an
     /// engine-grant end would future-date reservations and serialize
     /// unrelated traffic behind them.
-    Send { coll: u32, chunk: u32, node: u32, phase: u16, step: u16 },
+    Send {
+        coll: u32,
+        chunk: u32,
+        node: u32,
+        phase: u16,
+        step: u16,
+    },
     /// Ring message arrival at `node` for `(coll, chunk)` phase `phase`,
     /// step `step`.
-    RingArrive { coll: u32, chunk: u32, node: u32, phase: u16, step: u16 },
+    RingArrive {
+        coll: u32,
+        chunk: u32,
+        node: u32,
+        phase: u16,
+        step: u16,
+    },
     /// A node finished the final arrival processing of `phase`.
-    PhaseDone { coll: u32, chunk: u32, node: u32, phase: u16 },
+    PhaseDone {
+        coll: u32,
+        chunk: u32,
+        node: u32,
+        phase: u16,
+    },
     /// Terminal RX-DMA drain finished at `node`.
     DrainDone { coll: u32, chunk: u32, node: u32 },
     /// An all-to-all message is ready to transmit hop `hop`.
-    A2aSend { coll: u32, chunk: u32, flow: u32, hop: u16 },
+    A2aSend {
+        coll: u32,
+        chunk: u32,
+        flow: u32,
+        hop: u16,
+    },
     /// All-to-all flow arrived at hop `hop` of its route.
-    A2aHop { coll: u32, chunk: u32, flow: u32, hop: u16 },
+    A2aHop {
+        coll: u32,
+        chunk: u32,
+        flow: u32,
+        hop: u16,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -364,26 +396,84 @@ impl CollectiveExecutor {
     fn handle(&mut self, now: SimTime, ev: Ev) {
         match ev {
             Ev::TryInject => self.drain_lifo(now),
-            Ev::StepZero { coll, chunk, node, phase } => {
+            Ev::StepZero {
+                coll,
+                chunk,
+                node,
+                phase,
+            } => {
                 self.step_zero(now, coll as usize, chunk as usize, node as usize, phase);
             }
-            Ev::Send { coll, chunk, node, phase, step } => {
-                self.ring_send(now, coll as usize, chunk as usize, node as usize, phase, step);
+            Ev::Send {
+                coll,
+                chunk,
+                node,
+                phase,
+                step,
+            } => {
+                self.ring_send(
+                    now,
+                    coll as usize,
+                    chunk as usize,
+                    node as usize,
+                    phase,
+                    step,
+                );
             }
-            Ev::RingArrive { coll, chunk, node, phase, step } => {
-                self.ring_arrive(now, coll as usize, chunk as usize, node as usize, phase, step);
+            Ev::RingArrive {
+                coll,
+                chunk,
+                node,
+                phase,
+                step,
+            } => {
+                self.ring_arrive(
+                    now,
+                    coll as usize,
+                    chunk as usize,
+                    node as usize,
+                    phase,
+                    step,
+                );
             }
-            Ev::PhaseDone { coll, chunk, node, phase } => {
+            Ev::PhaseDone {
+                coll,
+                chunk,
+                node,
+                phase,
+            } => {
                 self.phase_done(now, coll as usize, chunk as usize, node as usize, phase);
             }
             Ev::DrainDone { coll, chunk, node } => {
                 self.drain_done(now, coll as usize, chunk as usize, node as usize);
             }
-            Ev::A2aSend { coll, chunk, flow, hop } => {
-                self.a2a_send(now, coll as usize, chunk as usize, flow as usize, hop as usize);
+            Ev::A2aSend {
+                coll,
+                chunk,
+                flow,
+                hop,
+            } => {
+                self.a2a_send(
+                    now,
+                    coll as usize,
+                    chunk as usize,
+                    flow as usize,
+                    hop as usize,
+                );
             }
-            Ev::A2aHop { coll, chunk, flow, hop } => {
-                self.a2a_hop(now, coll as usize, chunk as usize, flow as usize, hop as usize);
+            Ev::A2aHop {
+                coll,
+                chunk,
+                flow,
+                hop,
+            } => {
+                self.a2a_hop(
+                    now,
+                    coll as usize,
+                    chunk as usize,
+                    flow as usize,
+                    hop as usize,
+                );
             }
         }
     }
@@ -465,7 +555,15 @@ impl CollectiveExecutor {
     /// releasing `held_phase` on success. Queues a waiter on failure or
     /// when earlier-sequence chunks are already waiting for the same
     /// partition (strict global admission order; see `admit_wait`).
-    fn request_phase(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16, held_phase: u16) {
+    fn request_phase(
+        &mut self,
+        now: SimTime,
+        cid: usize,
+        chunk: usize,
+        node: usize,
+        phase: u16,
+        held_phase: u16,
+    ) {
         let p = phase as usize;
         if self.admit_wait[node].len() <= p {
             self.admit_wait[node].resize_with(p + 1, BTreeMap::new);
@@ -483,7 +581,11 @@ impl CollectiveExecutor {
             debug_assert_ne!(seq, u64::MAX, "chunk admitted before injection");
             self.admit_wait[node][p].insert(
                 seq,
-                Waiter { coll: cid as u32, chunk: chunk as u32, held_phase },
+                Waiter {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    held_phase,
+                },
             );
         }
     }
@@ -505,7 +607,8 @@ impl CollectiveExecutor {
                     }
                     self.admit_wait[node][p].remove(&seq);
                     if w.held_phase != NOT_STARTED {
-                        let held = self.admit_bytes(w.coll as usize, w.chunk as usize, w.held_phase);
+                        let held =
+                            self.admit_bytes(w.coll as usize, w.chunk as usize, w.held_phase);
                         self.engines[node].release(w.held_phase as usize, held, now);
                     }
                     progress = true;
@@ -533,7 +636,11 @@ impl CollectiveExecutor {
             let done = self.engines[node].chunk_complete(now, bytes);
             self.queue.schedule(
                 done.max(now),
-                Ev::DrainDone { coll: cid as u32, chunk: chunk as u32, node: node as u32 },
+                Ev::DrainDone {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    node: node as u32,
+                },
             );
             return;
         }
@@ -544,7 +651,12 @@ impl CollectiveExecutor {
             let staged = self.engines[node].chunk_inject(now, size);
             self.queue.schedule(
                 staged.max(now),
-                Ev::StepZero { coll: cid as u32, chunk: chunk as u32, node: node as u32, phase },
+                Ev::StepZero {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    node: node as u32,
+                    phase,
+                },
             );
         } else {
             self.step_zero(now, cid, chunk, node, phase);
@@ -559,15 +671,22 @@ impl CollectiveExecutor {
         let ready = self.engines[node].fetch_and_send(now, shard, phase as usize);
         self.queue.schedule(
             ready.max(now),
-            Ev::Send { coll: cid as u32, chunk: chunk as u32, node: node as u32, phase, step: 0 },
+            Ev::Send {
+                coll: cid as u32,
+                chunk: chunk as u32,
+                node: node as u32,
+                phase,
+                step: 0,
+            },
         );
     }
 
     fn replay_pending(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
         let buffered: Vec<(u16, u16, SimTime)> = {
             let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
-            let (ready, rest): (Vec<_>, Vec<_>) =
-                st.pending[node].drain(..).partition(|(p, _, _)| *p == phase);
+            let (ready, rest): (Vec<_>, Vec<_>) = st.pending[node]
+                .drain(..)
+                .partition(|(p, _, _)| *p == phase);
             st.pending[node] = rest;
             ready
         };
@@ -593,7 +712,15 @@ impl CollectiveExecutor {
     /// Transmits a ring message for step `step` of `phase` from `node` to
     /// its ring neighbor, scheduling the arrival event. Runs as the `Send`
     /// event handler so link requests are issued in global time order.
-    fn ring_send(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16, step: u16) {
+    fn ring_send(
+        &mut self,
+        now: SimTime,
+        cid: usize,
+        chunk: usize,
+        node: usize,
+        phase: u16,
+        step: u16,
+    ) {
         let bytes = self.shard_bytes(cid, chunk, phase);
         let spec = self.colls[cid].plan.phases()[phase as usize];
         let dim = spec.dim.expect("ring phases have a dimension");
@@ -615,7 +742,15 @@ impl CollectiveExecutor {
         );
     }
 
-    fn ring_arrive(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16, step: u16) {
+    fn ring_arrive(
+        &mut self,
+        now: SimTime,
+        cid: usize,
+        chunk: usize,
+        node: usize,
+        phase: u16,
+        step: u16,
+    ) {
         // Buffer arrivals for phases the node has not entered yet.
         {
             let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
@@ -671,7 +806,12 @@ impl CollectiveExecutor {
             };
             self.queue.schedule(
                 done.max(now),
-                Ev::PhaseDone { coll: cid as u32, chunk: chunk as u32, node: node as u32, phase },
+                Ev::PhaseDone {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    node: node as u32,
+                    phase,
+                },
             );
         }
     }
@@ -745,7 +885,12 @@ impl CollectiveExecutor {
             let ready = self.engines[src].fetch_and_send(now, bytes, 0).max(staged);
             self.queue.schedule(
                 ready.max(now),
-                Ev::A2aSend { coll: cid as u32, chunk: chunk as u32, flow: flow as u32, hop: 0 },
+                Ev::A2aSend {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    flow: flow as u32,
+                    hop: 0,
+                },
             );
         }
     }
@@ -759,7 +904,12 @@ impl CollectiveExecutor {
         let out = self.net.transmit(now, h.from, h.port, bytes);
         self.queue.schedule(
             out.arrival,
-            Ev::A2aHop { coll: cid as u32, chunk: chunk as u32, flow: flow as u32, hop: hop as u16 + 1 },
+            Ev::A2aHop {
+                coll: cid as u32,
+                chunk: chunk as u32,
+                flow: flow as u32,
+                hop: hop as u16 + 1,
+            },
         );
     }
 
@@ -773,7 +923,12 @@ impl CollectiveExecutor {
             let ready = self.engines[at].store_and_forward(now, bytes, 0);
             self.queue.schedule(
                 ready.max(now),
-                Ev::A2aSend { coll: cid as u32, chunk: chunk as u32, flow: flow as u32, hop: hop as u16 },
+                Ev::A2aSend {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    flow: flow as u32,
+                    hop: hop as u16,
+                },
             );
         } else {
             // Final arrival at the destination.
@@ -860,7 +1015,11 @@ mod tests {
 
     #[test]
     fn all_to_all_completes() {
-        for config in [SystemConfig::BaselineCommOpt, SystemConfig::Ace, SystemConfig::Ideal] {
+        for config in [
+            SystemConfig::BaselineCommOpt,
+            SystemConfig::Ace,
+            SystemConfig::Ideal,
+        ] {
             let mut ex = executor(config, shape442());
             let h = ex.issue(CollectiveOp::AllToAll, 1 << 20, SimTime::ZERO);
             let t = ex.run_until_complete(h);
@@ -890,9 +1049,16 @@ mod tests {
     #[test]
     fn issue_at_future_time_defers_start() {
         let mut ex = executor(SystemConfig::Ideal, shape442());
-        let h = ex.issue(CollectiveOp::AllReduce, 1 << 20, SimTime::from_cycles(10_000));
+        let h = ex.issue(
+            CollectiveOp::AllReduce,
+            1 << 20,
+            SimTime::from_cycles(10_000),
+        );
         let done = ex.run_until_complete(h);
-        assert!(done.cycles() > 10_000, "work cannot finish before it starts");
+        assert!(
+            done.cycles() > 10_000,
+            "work cannot finish before it starts"
+        );
     }
 
     #[test]
@@ -937,7 +1103,11 @@ mod tests {
     #[test]
     fn standalone_reduce_scatter_and_all_gather_complete() {
         for op in [CollectiveOp::ReduceScatter, CollectiveOp::AllGather] {
-            for config in [SystemConfig::BaselineCommOpt, SystemConfig::Ace, SystemConfig::Ideal] {
+            for config in [
+                SystemConfig::BaselineCommOpt,
+                SystemConfig::Ace,
+                SystemConfig::Ideal,
+            ] {
                 let mut ex = executor(config, shape442());
                 let h = ex.issue(op, 4 << 20, SimTime::ZERO);
                 let t = ex.run_until_complete(h);
@@ -960,7 +1130,10 @@ mod tests {
 
     #[test]
     fn fifo_scheduling_starves_late_collectives() {
-        let opts = ExecutorOptions { scheduling: SchedulingPolicy::Fifo, ..Default::default() };
+        let opts = ExecutorOptions {
+            scheduling: SchedulingPolicy::Fifo,
+            ..Default::default()
+        };
         let params = NetworkParams::paper_default();
         let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape442());
         let weights = CollectiveExecutor::phase_weights(&plan, &params);
@@ -972,13 +1145,19 @@ mod tests {
         let t_small = ex.run_until_complete(small);
         let t_big = ex.run_until_complete(big);
         // Under FIFO the small late-comer drains after (or with) the big one.
-        assert!(t_small.cycles() + 1 >= t_big.cycles(), "small {t_small} big {t_big}");
+        assert!(
+            t_small.cycles() + 1 >= t_big.cycles(),
+            "small {t_small} big {t_big}"
+        );
     }
 
     #[test]
     fn unidirectional_rings_are_slower() {
         let run = |bidir: bool| {
-            let opts = ExecutorOptions { bidirectional_rings: bidir, ..Default::default() };
+            let opts = ExecutorOptions {
+                bidirectional_rings: bidir,
+                ..Default::default()
+            };
             let params = NetworkParams::paper_default();
             let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape442());
             let weights = CollectiveExecutor::phase_weights(&plan, &params);
@@ -996,7 +1175,10 @@ mod tests {
     #[test]
     fn tiny_inflight_cap_throttles() {
         let run = |cap: usize| {
-            let opts = ExecutorOptions { max_inflight_chunks: cap, ..Default::default() };
+            let opts = ExecutorOptions {
+                max_inflight_chunks: cap,
+                ..Default::default()
+            };
             let params = NetworkParams::paper_default();
             let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape442());
             let weights = CollectiveExecutor::phase_weights(&plan, &params);

@@ -95,8 +95,11 @@ impl TrainingSim {
         let mut carried_fwd_a2a: Option<CollHandle> = None;
         if self.optimized_embedding {
             if let Some(emb) = self.workload.embedding().cloned() {
-                carried_fwd_a2a =
-                    Some(self.exec.issue(CollectiveOp::AllToAll, emb.fwd_all_to_all_bytes, self.t));
+                carried_fwd_a2a = Some(self.exec.issue(
+                    CollectiveOp::AllToAll,
+                    emb.fwd_all_to_all_bytes,
+                    self.t,
+                ));
             }
         }
 
@@ -123,9 +126,9 @@ impl TrainingSim {
                 }
             }
 
-            for i in 0..layers {
+            for (i, prev) in prev_ar.iter_mut().enumerate() {
                 if self.config.overlaps() && iter > 0 {
-                    if let Some(h) = prev_ar[i].take() {
+                    if let Some(h) = prev.take() {
                         self.wait_on(h);
                     }
                 }

@@ -66,7 +66,8 @@ pub(crate) fn build(batch: u32) -> Workload {
 
     // Additive attention: query/key projections + score, ~2.1M params.
     let attn_params = 2.0 * HIDDEN * HIDDEN + HIDDEN;
-    let attn_flops = (2.0 * attn_params * SEQ * b + 2.0 * SEQ * SEQ * HIDDEN * b) * COMPUTE_TIME_SCALE;
+    let attn_flops =
+        (2.0 * attn_params * SEQ * b + 2.0 * SEQ * SEQ * HIDDEN * b) * COMPUTE_TIME_SCALE;
     let attn_raw = (attn_params + 2.0 * SEQ * b * HIDDEN) * FP16 * COMPUTE_TIME_SCALE;
     layers.push(Layer::from_fwd(
         "attention",
@@ -114,8 +115,20 @@ mod tests {
         // ResNet-50's.
         let gnmt = build(128);
         let resnet = crate::resnet::build(32);
-        let gnmt_max = gnmt.layers().iter().filter_map(|l| l.comm()).map(|c| c.bytes).max().unwrap();
-        let resnet_max = resnet.layers().iter().filter_map(|l| l.comm()).map(|c| c.bytes).max().unwrap();
+        let gnmt_max = gnmt
+            .layers()
+            .iter()
+            .filter_map(|l| l.comm())
+            .map(|c| c.bytes)
+            .max()
+            .unwrap();
+        let resnet_max = resnet
+            .layers()
+            .iter()
+            .filter_map(|l| l.comm())
+            .map(|c| c.bytes)
+            .max()
+            .unwrap();
         assert!(gnmt_max > 2 * resnet_max);
         // Each LSTM layer: 8.4M params => ~16.8 MB FP16.
         let lstm = gnmt.layers()[1].comm().unwrap().bytes;

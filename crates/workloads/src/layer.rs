@@ -138,7 +138,10 @@ mod tests {
 
     #[test]
     fn layer_comm_carries_payload() {
-        let c = LayerComm { op: ace_collectives::CollectiveOp::AllReduce, bytes: 4096 };
+        let c = LayerComm {
+            op: ace_collectives::CollectiveOp::AllReduce,
+            bytes: 4096,
+        };
         let l = Layer::from_fwd("fc", 1e6, 1e6, Some(c));
         assert_eq!(l.comm().unwrap().bytes, 4096);
     }

@@ -39,7 +39,12 @@ fn conv(name: String, cin: f64, cout: f64, k: f64, out_hw: f64, batch: f64) -> C
     let in_elems = out_hw * out_hw * cin; // pre-stride approximation
     let fwd_flops = 2.0 * params * out_hw * out_hw * batch;
     let raw_bytes = (in_elems * batch + out_elems * batch + params) * FP16;
-    Conv { name, params, fwd_flops, raw_bytes }
+    Conv {
+        name,
+        params,
+        fwd_flops,
+        raw_bytes,
+    }
 }
 
 fn layer_from(c: Conv) -> Layer {
@@ -140,20 +145,25 @@ mod tests {
         // multiply-add counts as two operations.
         let w = build(1);
         let fwd: f64 = w.layers().iter().map(|l| l.fwd().flops()).sum::<f64>() / COMPUTE_TIME_SCALE;
-        assert!(
-            (7.0e9..8.6e9).contains(&fwd),
-            "fwd flops/image {fwd:.3e}"
-        );
+        assert!((7.0e9..8.6e9).contains(&fwd), "fwd flops/image {fwd:.3e}");
     }
 
     #[test]
     fn collectives_are_many_and_small() {
         // Section VI-B: "Resnet-50 issues many small-size collectives".
         let w = build(32);
-        let sizes: Vec<u64> = w.layers().iter().filter_map(|l| l.comm()).map(|c| c.bytes).collect();
+        let sizes: Vec<u64> = w
+            .layers()
+            .iter()
+            .filter_map(|l| l.comm())
+            .map(|c| c.bytes)
+            .collect();
         assert_eq!(sizes.len(), 54);
         let max = *sizes.iter().max().unwrap();
-        assert!(max < 10 << 20, "largest AR {max} should be well under 10 MB");
+        assert!(
+            max < 10 << 20,
+            "largest AR {max} should be well under 10 MB"
+        );
     }
 
     #[test]

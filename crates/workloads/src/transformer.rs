@@ -88,8 +88,20 @@ mod tests {
     fn per_layer_collectives_are_the_largest_of_all_workloads() {
         let t = build(16);
         let gnmt = crate::gnmt::build(128);
-        let t_max = t.layers().iter().filter_map(|l| l.comm()).map(|c| c.bytes).max().unwrap();
-        let g_max = gnmt.layers().iter().filter_map(|l| l.comm()).map(|c| c.bytes).max().unwrap();
+        let t_max = t
+            .layers()
+            .iter()
+            .filter_map(|l| l.comm())
+            .map(|c| c.bytes)
+            .max()
+            .unwrap();
+        let g_max = gnmt
+            .layers()
+            .iter()
+            .filter_map(|l| l.comm())
+            .map(|c| c.bytes)
+            .max()
+            .unwrap();
         // 12.58M params ≈ 25.2 MB FP16 per block vs GNMT's 16.8 MB LSTMs.
         assert!(t_max > g_max, "{t_max} vs {g_max}");
     }

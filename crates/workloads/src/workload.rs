@@ -56,7 +56,11 @@ pub struct Workload {
 
 impl Workload {
     /// Creates a data-parallel workload.
-    pub fn data_parallel(name: impl Into<String>, layers: Vec<Layer>, batch_per_npu: u32) -> Workload {
+    pub fn data_parallel(
+        name: impl Into<String>,
+        layers: Vec<Layer>,
+        batch_per_npu: u32,
+    ) -> Workload {
         Workload {
             name: name.into(),
             layers,
@@ -108,7 +112,11 @@ impl Workload {
 
     /// The paper's three workloads for a given fabric size.
     pub fn paper_suite(nodes: usize) -> Vec<Workload> {
-        vec![Workload::resnet50(), Workload::gnmt(), Workload::dlrm(nodes)]
+        vec![
+            Workload::resnet50(),
+            Workload::gnmt(),
+            Workload::dlrm(nodes),
+        ]
     }
 
     /// Workload name.
@@ -139,7 +147,11 @@ impl Workload {
     /// Total per-node bytes of layer collectives per iteration (excludes
     /// the embedding all-to-alls).
     pub fn total_comm_bytes(&self) -> u64 {
-        self.layers.iter().filter_map(|l| l.comm()).map(|c| c.bytes).sum()
+        self.layers
+            .iter()
+            .filter_map(|l| l.comm())
+            .map(|c| c.bytes)
+            .sum()
     }
 
     /// Total flops of one iteration (fwd + input-grad + weight-grad, plus

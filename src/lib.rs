@@ -23,6 +23,8 @@
 //! * [`workloads`] — ResNet-50, GNMT and DLRM layer models
 //! * [`system`] — the training-loop simulator and the five system
 //!   configurations from Table VI
+//! * [`sweep`] — declarative scenario specs and the parallel design-space
+//!   sweep engine behind the `sweep` CLI
 //!
 //! # Quickstart
 //!
@@ -48,5 +50,6 @@ pub use ace_engine as engine;
 pub use ace_mem as mem;
 pub use ace_net as net;
 pub use ace_simcore as simcore;
+pub use ace_sweep as sweep;
 pub use ace_system as system;
 pub use ace_workloads as workloads;

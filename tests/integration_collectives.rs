@@ -13,8 +13,13 @@ fn two_node_torus_all_reduce_works() {
     let shape = TorusShape::new(2, 1, 1).expect("valid shape");
     for kind in [
         EngineKind::Ideal,
-        EngineKind::Ace { dma_mem_gbps: 128.0 },
-        EngineKind::Baseline { comm_mem_gbps: 450.0, comm_sms: 6 },
+        EngineKind::Ace {
+            dma_mem_gbps: 128.0,
+        },
+        EngineKind::Baseline {
+            comm_mem_gbps: 450.0,
+            comm_sms: 6,
+        },
     ] {
         let r = run_single_collective(shape, kind, CollectiveOp::AllReduce, 1 << 20);
         assert!(r.completion.cycles() > 0, "{kind:?}");
@@ -51,13 +56,17 @@ fn all_to_all_scales_with_node_count() {
     // Direct all-to-all crosses more links and hops on larger tori.
     let small = run_single_collective(
         TorusShape::new(4, 2, 2).expect("valid shape"),
-        EngineKind::Ace { dma_mem_gbps: 128.0 },
+        EngineKind::Ace {
+            dma_mem_gbps: 128.0,
+        },
         CollectiveOp::AllToAll,
         4 << 20,
     );
     let large = run_single_collective(
         TorusShape::new(4, 4, 4).expect("valid shape"),
-        EngineKind::Ace { dma_mem_gbps: 128.0 },
+        EngineKind::Ace {
+            dma_mem_gbps: 128.0,
+        },
         CollectiveOp::AllToAll,
         4 << 20,
     );
@@ -69,8 +78,13 @@ fn achieved_bandwidth_is_within_physical_limits() {
     // No engine may exceed the per-NPU fabric bandwidth (500 GB/s).
     for kind in [
         EngineKind::Ideal,
-        EngineKind::Ace { dma_mem_gbps: 900.0 },
-        EngineKind::Baseline { comm_mem_gbps: 900.0, comm_sms: 80 },
+        EngineKind::Ace {
+            dma_mem_gbps: 900.0,
+        },
+        EngineKind::Baseline {
+            comm_mem_gbps: 900.0,
+            comm_sms: 80,
+        },
     ] {
         let r = run_single_collective(
             TorusShape::new(4, 2, 2).expect("valid shape"),

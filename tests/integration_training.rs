@@ -107,7 +107,13 @@ fn exposed_communication_grows_with_system_size() {
 
 #[test]
 fn no_overlap_exposes_all_communication() {
-    let r = run(SystemConfig::BaselineNoOverlap, Workload::resnet50(), 4, 2, 2);
+    let r = run(
+        SystemConfig::BaselineNoOverlap,
+        Workload::resnet50(),
+        4,
+        2,
+        2,
+    );
     // With no overlap, the deferred batch wait must expose real time.
     assert!(r.exposed_comm_us() > 0.0);
 }
@@ -157,6 +163,9 @@ fn dlrm_optimized_loop_helps_ace_more_than_baseline() {
     let ace_gain = mk(SystemConfig::Ace, false) / mk(SystemConfig::Ace, true);
     let base_gain =
         mk(SystemConfig::BaselineCompOpt, false) / mk(SystemConfig::BaselineCompOpt, true);
-    assert!(ace_gain > base_gain, "ACE {ace_gain:.3} vs baseline {base_gain:.3}");
+    assert!(
+        ace_gain > base_gain,
+        "ACE {ace_gain:.3} vs baseline {base_gain:.3}"
+    );
     assert!(ace_gain > 1.0, "optimization must help ACE");
 }
