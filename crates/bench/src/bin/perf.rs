@@ -1,0 +1,280 @@
+//! Simulator wall-clock benchmark — the repo's persistent performance
+//! harness.
+//!
+//! Times representative sweeps (the Fig. 9a collective design-space grid
+//! and the training suite) with `std::time::Instant` and emits a
+//! `BENCH_executor.json` at the repo root so every PR has a points/sec
+//! trajectory to beat. Each scenario runs `--runs` times on a cold cache
+//! and the minimum wall time is reported (the minimum is robust against
+//! background machine noise).
+//!
+//! ```text
+//! perf                                  # full grids, writes BENCH_executor.json
+//! perf --smoke                          # tiny grids (CI)
+//! perf --out bench.json --threads 1 --runs 5
+//! perf --baseline-pps 4.2 --baseline-label "seed @ db69ea8"
+//! ```
+//!
+//! Output schema (`version` 1):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "mode": "full",
+//!   "threads": 1,
+//!   "runs": 3,
+//!   "entries": [
+//!     {"scenario": "fig09a-design-space", "points": 32,
+//!      "wall_ms": 5541.2, "points_per_sec": 5.77, "threads": 1}
+//!   ],
+//!   "baseline": {"label": "…", "points_per_sec": 4.2, "speedup": 1.37}
+//! }
+//! ```
+//!
+//! The optional `baseline` block records the points/sec of a reference
+//! build for the *first* entry (the Fig. 9a grid) and the resulting
+//! speedup, so the before/after comparison is checked in next to the
+//! fresh numbers.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ace_bench::header;
+use ace_sweep::{RunnerOptions, Scenario, SweepRunner};
+
+/// The Fig. 9a design-space scenario (kept in sync with the sweep CLI's
+/// example file by `include_str!`).
+const DESIGN_SPACE_TOML: &str = include_str!("../../../../examples/scenarios/design_space.toml");
+/// The training-suite scenario.
+const TRAINING_SUITE_TOML: &str =
+    include_str!("../../../../examples/scenarios/training_suite.toml");
+
+/// Tiny grids for CI smoke runs: same shape as the real scenarios, a few
+/// seconds of work instead of minutes.
+const SMOKE_DESIGN_SPACE_TOML: &str = r#"
+name = "fig09a-design-space-smoke"
+mode = "collective"
+topologies = ["4x2x2"]
+engines = ["ace"]
+ops = ["all-reduce"]
+payloads = ["4MB"]
+mem_gbps = [128]
+comm_sms = [6]
+sram_mb = [1, 4]
+fsms = [4, 16]
+"#;
+const SMOKE_TRAINING_TOML: &str = r#"
+name = "training-suite-smoke"
+mode = "training"
+topologies = ["2x1x1"]
+configs = ["CommOpt", "ACE"]
+workloads = ["resnet50"]
+iterations = 1
+"#;
+
+struct Args {
+    out: String,
+    threads: usize,
+    runs: usize,
+    smoke: bool,
+    baseline_pps: Option<f64>,
+    baseline_label: Option<String>,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: perf [--out PATH] [--threads N] [--runs N] [--smoke] \
+                     [--baseline-pps X] [--baseline-label S] [--quiet]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_executor.json".to_string(),
+        threads: 1,
+        runs: 3,
+        smoke: false,
+        baseline_pps: None,
+        baseline_label: None,
+        quiet: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out" => args.out = argv.next().ok_or("--out needs a path")?,
+            "--threads" => {
+                let v = argv.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+            }
+            "--runs" => {
+                let v = argv.next().ok_or("--runs needs a value")?;
+                args.runs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&r| r >= 1)
+                    .ok_or(format!("bad run count '{v}'"))?;
+            }
+            "--smoke" => args.smoke = true,
+            "--baseline-pps" => {
+                let v = argv.next().ok_or("--baseline-pps needs a value")?;
+                args.baseline_pps = Some(v.parse().map_err(|_| format!("bad baseline pps '{v}'"))?);
+            }
+            "--baseline-label" => {
+                args.baseline_label = Some(argv.next().ok_or("--baseline-label needs a value")?);
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+struct BenchEntry {
+    scenario: String,
+    points: usize,
+    wall_ms: f64,
+    points_per_sec: f64,
+}
+
+/// Minimal JSON string escaping for interpolated names/labels.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs `scenario` `runs` times on a cold cache each time; returns the
+/// minimum-wall-time entry.
+fn bench_scenario(scenario: &Scenario, runs: usize, threads: usize) -> BenchEntry {
+    let opts = RunnerOptions { threads };
+    let mut best_ms = f64::INFINITY;
+    let mut points = 0;
+    for _ in 0..runs {
+        let runner = SweepRunner::new();
+        let start = Instant::now();
+        let outcome = runner.run(scenario, opts).expect("scenario is valid");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        points = outcome.results.len();
+        best_ms = best_ms.min(ms);
+    }
+    BenchEntry {
+        scenario: scenario.name.clone(),
+        points,
+        wall_ms: best_ms,
+        points_per_sec: points as f64 / (best_ms / 1e3),
+    }
+}
+
+fn to_json(args: &Args, entries: &[BenchEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if args.smoke { "smoke" } else { "full" }
+    ));
+    out.push_str(&format!("  \"threads\": {},\n", args.threads));
+    out.push_str(&format!("  \"runs\": {},\n", args.runs));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"points\": {}, \"wall_ms\": {:.1}, \
+             \"points_per_sec\": {:.3}, \"threads\": {}}}{sep}\n",
+            json_escape(&e.scenario),
+            e.points,
+            e.wall_ms,
+            e.points_per_sec,
+            args.threads
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(pps) = args.baseline_pps {
+        let speedup = entries
+            .first()
+            .map(|e| e.points_per_sec / pps)
+            .unwrap_or(f64::NAN);
+        out.push_str(",\n  \"baseline\": {");
+        if let Some(label) = &args.baseline_label {
+            out.push_str(&format!("\"label\": \"{}\", ", json_escape(label)));
+        }
+        out.push_str(&format!(
+            "\"points_per_sec\": {pps:.3}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let (ds_toml, tr_toml) = if args.smoke {
+        (SMOKE_DESIGN_SPACE_TOML, SMOKE_TRAINING_TOML)
+    } else {
+        (DESIGN_SPACE_TOML, TRAINING_SUITE_TOML)
+    };
+    let scenarios = [
+        Scenario::from_toml_str(ds_toml).map_err(|e| e.to_string())?,
+        Scenario::from_toml_str(tr_toml).map_err(|e| e.to_string())?,
+    ];
+
+    if !args.quiet {
+        header(&format!(
+            "perf: simulator wall-clock benchmark ({} mode, {} runs, {} threads)",
+            if args.smoke { "smoke" } else { "full" },
+            args.runs,
+            if args.threads == 0 {
+                "auto".to_string()
+            } else {
+                args.threads.to_string()
+            }
+        ));
+    }
+
+    let mut entries = Vec::new();
+    for sc in &scenarios {
+        let entry = bench_scenario(sc, args.runs, args.threads);
+        if !args.quiet {
+            println!(
+                "{:<28} {:>5} points  {:>10.1} ms  {:>9.3} points/sec",
+                entry.scenario, entry.points, entry.wall_ms, entry.points_per_sec
+            );
+        }
+        entries.push(entry);
+    }
+
+    let json = to_json(&args, &entries);
+    std::fs::write(&args.out, &json).map_err(|e| format!("write {}: {e}", args.out))?;
+    if !args.quiet {
+        println!("wrote {}", args.out);
+        if let (Some(pps), Some(first)) = (args.baseline_pps, entries.first()) {
+            println!(
+                "speedup vs baseline on {}: {:.3}x",
+                first.scenario,
+                first.points_per_sec / pps
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

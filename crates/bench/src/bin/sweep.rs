@@ -8,29 +8,32 @@
 //! ```text
 //! sweep examples/scenarios/design_space.toml --csv out.csv --json out.json
 //! sweep scenario.toml --threads 1          # serial run (byte-identical output)
+//! sweep scenario.toml --cache-file sweep.cache   # reuse results across processes
 //! ```
 
 use std::process::ExitCode;
 
 use ace_bench::{header, subheader};
-use ace_sweep::{report, RunnerOptions, Scenario, SweepRunner};
+use ace_sweep::{persist, report, RunnerOptions, Scenario, SweepRunner};
 
 struct Args {
     scenario_path: String,
     threads: usize,
     csv: Option<String>,
     json: Option<String>,
+    cache_file: Option<String>,
     quiet: bool,
 }
 
-const USAGE: &str =
-    "usage: sweep <scenario.toml> [--threads N] [--csv PATH] [--json PATH] [--quiet]";
+const USAGE: &str = "usage: sweep <scenario.toml> [--threads N] [--csv PATH] [--json PATH] \
+                     [--cache-file PATH] [--quiet]";
 
 fn parse_args() -> Result<Args, String> {
     let mut scenario_path = None;
     let mut threads = 0usize;
     let mut csv = None;
     let mut json = None;
+    let mut cache_file = None;
     let mut quiet = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -41,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--csv" => csv = Some(argv.next().ok_or("--csv needs a path")?),
             "--json" => json = Some(argv.next().ok_or("--json needs a path")?),
+            "--cache-file" => cache_file = Some(argv.next().ok_or("--cache-file needs a path")?),
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 // Requested help is not an error: usage on stdout, exit 0.
@@ -63,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         threads,
         csv,
         json,
+        cache_file,
         quiet,
     })
 }
@@ -85,13 +90,30 @@ fn run() -> Result<(), String> {
         );
     }
 
-    let runner = SweepRunner::new();
+    // A persistent cache makes repeated sweeps across processes reuse
+    // results: a missing file starts empty, anything else must parse.
+    let runner = match &args.cache_file {
+        Some(path) => {
+            let cache = persist::load_cache(path)?;
+            if !args.quiet && !cache.is_empty() {
+                println!("cache: {} points loaded from {path}", cache.len());
+            }
+            SweepRunner::with_cache(cache)
+        }
+        None => SweepRunner::new(),
+    };
     let outcome = runner.run(
         &scenario,
         RunnerOptions {
             threads: args.threads,
         },
     )?;
+    if let Some(path) = &args.cache_file {
+        persist::save_cache(runner.cache(), path)?;
+        if !args.quiet {
+            println!("cache: {} points saved to {path}", runner.cache().len());
+        }
+    }
 
     if !args.quiet {
         subheader("results");

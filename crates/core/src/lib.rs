@@ -161,19 +161,28 @@ impl AceState {
         self.sram_port.request(now, 2 * bytes)
     }
 
-    /// Engine-busy fraction over `[0, horizon]` — Fig. 9b's utilization
-    /// metric ("ACE is considered utilized when it has assigned at least
-    /// one chunk for processing").
-    pub fn utilization(&self, horizon: SimTime) -> f64 {
+    /// Exact engine-busy cycles over `[0, horizon]` ("ACE is considered
+    /// utilized when it has assigned at least one chunk for processing").
+    /// This is the integer ground truth behind Fig. 9b; reports must
+    /// consume it directly rather than reconstructing cycles from the
+    /// [`utilization`](AceState::utilization) ratio.
+    pub fn busy_cycles(&self, horizon: SimTime) -> u64 {
         // An open busy interval extends to the horizon.
         let mut busy = self.busy.busy_cycles();
         if let Some(since) = self.busy_since {
             busy += horizon.saturating_since(since);
         }
+        busy
+    }
+
+    /// Engine-busy fraction over `[0, horizon]` — Fig. 9b's utilization
+    /// metric, derived from the exact [`busy_cycles`](AceState::busy_cycles)
+    /// counter.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
         if horizon.cycles() == 0 {
             0.0
         } else {
-            (busy as f64 / horizon.cycles() as f64).min(1.0)
+            (self.busy_cycles(horizon) as f64 / horizon.cycles() as f64).min(1.0)
         }
     }
 }

@@ -47,6 +47,9 @@ pub struct AceEndpoint {
     bus: AfiBus,
     tx_dma: DmaEngine,
     rx_dma: DmaEngine,
+    /// `log2(bus_width_bytes)` when the width is a power of two: lets the
+    /// per-step FSM-cycle computation shift instead of divide.
+    bus_width_shift: Option<u32>,
 }
 
 impl AceEndpoint {
@@ -55,12 +58,15 @@ impl AceEndpoint {
         let ace = AceState::new(params.config, &params.phase_weights);
         let mem = EndpointMemory::new(MemoryParams::paper_default(params.dma_mem_gbps));
         let bus = AfiBus::new(params.bus);
+        let width = ace.config().bus_width_bytes;
+        let bus_width_shift = width.is_power_of_two().then(|| width.trailing_zeros());
         AceEndpoint {
             ace,
             mem,
             bus,
             tx_dma: DmaEngine::paper_default(),
             rx_dma: DmaEngine::paper_default(),
+            bus_width_shift,
         }
     }
 
@@ -71,7 +77,10 @@ impl AceEndpoint {
     /// available state machines"). This is the knob behind Fig. 9a's FSM
     /// axis.
     fn fsm_cycles(&self, bytes: u64) -> u64 {
-        bytes / self.ace.config().bus_width_bytes + 4
+        match self.bus_width_shift {
+            Some(shift) => (bytes >> shift) + 4,
+            None => bytes / self.ace.config().bus_width_bytes + 4,
+        }
     }
 
     /// Immutable view of the engine state.
@@ -152,6 +161,10 @@ impl CollectiveEngine for AceEndpoint {
 
     fn utilization(&self, horizon: SimTime) -> Option<f64> {
         Some(self.ace.utilization(horizon))
+    }
+
+    fn busy_cycles(&self, horizon: SimTime) -> Option<u64> {
+        Some(self.ace.busy_cycles(horizon))
     }
 
     fn mem_traffic_bytes(&self) -> u64 {

@@ -1,7 +1,7 @@
 //! The assembled fabric: one [`Link`] per node egress port, with
 //! message-granularity transport and utilization accounting.
 
-use ace_simcore::{Frequency, Grant, RateMeter, SimTime, TimeSeries};
+use ace_simcore::{BucketCursor, Frequency, Grant, RateMeter, SimTime, TimeSeries};
 
 use crate::link::{Link, LinkClass, LinkParams, Port};
 use crate::topology::{NodeId, Route, TorusShape};
@@ -63,6 +63,10 @@ pub struct Network {
     params: NetworkParams,
     /// `links[node * 6 + port.index()]`; `None` for dimensions of size 1.
     links: Vec<Option<Link>>,
+    /// Per-link bucket cursor into `util_series`: each link's grants are
+    /// monotone in time, so the series write is division-free in the
+    /// common same-bucket case.
+    util_cursors: Vec<BucketCursor>,
     meter: RateMeter,
     util_series: TimeSeries,
     active_links: usize,
@@ -90,6 +94,7 @@ impl Network {
         Network {
             shape,
             params,
+            util_cursors: vec![BucketCursor::default(); links.len()],
             links,
             meter: RateMeter::new(),
             util_series: TimeSeries::new(params.util_bucket_cycles),
@@ -137,7 +142,7 @@ impl Network {
         let arrival = link.arrival(grant);
         self.meter.record(grant.end, bytes);
         self.util_series
-            .add_interval(grant.start, grant.end, (grant.end - grant.start) as f64);
+            .add_busy_at(&mut self.util_cursors[idx], grant.start, grant.end);
         HopOutcome { grant, arrival }
     }
 

@@ -1,49 +1,19 @@
 //! A deterministic discrete-event queue.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use crate::SimTime;
 
-/// An event scheduled for a particular simulation time.
+/// A time-ordered event queue driving the simulation forward.
+///
+/// The queue is popped once per simulated event — tens of millions of
+/// times per design-space point — so the heap is tuned for that load:
+/// a 4-ary min-heap in structure-of-arrays layout (ordering keys in one
+/// dense array, payloads in another) with hole-based sifting. Probing the
+/// four children of a node touches a single cache line of keys, and the
+/// packed `time << 64 | seq` key makes each probe one scalar comparison.
+/// Payloads must be `Copy`, which every event type in the simulator is.
 ///
 /// Events with equal timestamps are delivered in insertion order (FIFO),
 /// which keeps the simulation deterministic across runs.
-#[derive(Debug, Clone)]
-pub struct EventEntry<E> {
-    /// When the event fires.
-    pub time: SimTime,
-    /// Monotonic sequence number used to break timestamp ties.
-    pub seq: u64,
-    /// The event payload.
-    pub event: E,
-}
-
-impl<E> PartialEq for EventEntry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for EventEntry<E> {}
-
-impl<E> PartialOrd for EventEntry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for EventEntry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// A time-ordered event queue driving the simulation forward.
 ///
 /// ```
 /// use ace_simcore::{EventQueue, SimTime};
@@ -56,9 +26,21 @@ impl<E> Ord for EventEntry<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<EventEntry<E>>,
+    /// Packed `time << 64 | seq` ordering keys, heap-ordered.
+    keys: Vec<u128>,
+    /// Event payloads, parallel to `keys`.
+    events: Vec<E>,
     next_seq: u64,
     now: SimTime,
+    past_schedules: u64,
+}
+
+/// Heap arity: the four children of a node occupy one 64-byte cache line
+/// of the key array, and the tree is half as deep as a binary heap's.
+const ARITY: usize = 4;
+
+fn key_time(key: u128) -> SimTime {
+    SimTime::from_cycles((key >> 64) as u64)
 }
 
 impl<E> Default for EventQueue<E> {
@@ -71,9 +53,11 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            keys: Vec::new(),
+            events: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            past_schedules: 0,
         }
     }
 
@@ -82,20 +66,60 @@ impl<E> EventQueue<E> {
         self.now
     }
 
+    /// Number of events that were scheduled in the past and clamped to the
+    /// queue's current time — always zero in a correct simulation.
+    pub fn past_schedules(&self) -> u64 {
+        self.past_schedules
+    }
+
+    /// Returns the time of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.keys.first().map(|&k| key_time(k))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+impl<E: Copy> EventQueue<E> {
     /// Schedules `event` to fire at absolute time `at`.
     ///
     /// Scheduling in the past is a logic error in the caller; the queue
     /// tolerates it by delivering the event at the current time, but debug
-    /// builds assert.
+    /// builds assert and every build counts the violation in
+    /// [`past_schedules`](EventQueue::past_schedules) so release-mode
+    /// sweeps can surface it in reports.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         debug_assert!(at >= self.now, "event scheduled in the past");
-        let entry = EventEntry {
-            time: at.max(self.now),
-            seq: self.next_seq,
-            event,
-        };
+        if at < self.now {
+            self.past_schedules += 1;
+        }
+        let time = at.max(self.now);
+        let key = (time.cycles() as u128) << 64 | self.next_seq as u128;
         self.next_seq += 1;
-        self.heap.push(entry);
+        // Hole-based sift-up: walk ancestors down into the hole and place
+        // the new entry once, instead of swapping at every level.
+        let mut hole = self.keys.len();
+        self.keys.push(key);
+        self.events.push(event);
+        while hole > 0 {
+            let parent = (hole - 1) / ARITY;
+            if self.keys[parent] <= key {
+                break;
+            }
+            self.keys[hole] = self.keys[parent];
+            self.events[hole] = self.events[parent];
+            hole = parent;
+        }
+        self.keys[hole] = key;
+        self.events[hole] = event;
     }
 
     /// Schedules `event` to fire `delay` cycles from the current time.
@@ -105,25 +129,41 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest event, advancing the queue's clock to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|entry| {
-            self.now = entry.time;
-            (entry.time, entry.event)
-        })
-    }
-
-    /// Returns the time of the next pending event without popping it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
-    }
-
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// Whether the queue has no pending events.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        let key = *self.keys.first()?;
+        let event = self.events[0];
+        let last_key = self.keys.pop().expect("nonempty");
+        let last_event = self.events.pop().expect("nonempty");
+        let len = self.keys.len();
+        if len > 0 {
+            // Hole-based sift-down of the displaced last entry.
+            let mut hole = 0;
+            loop {
+                let first_child = hole * ARITY + 1;
+                if first_child >= len {
+                    break;
+                }
+                let mut best = first_child;
+                let mut best_key = self.keys[first_child];
+                let child_end = (first_child + ARITY).min(len);
+                for c in first_child + 1..child_end {
+                    if self.keys[c] < best_key {
+                        best = c;
+                        best_key = self.keys[c];
+                    }
+                }
+                if last_key <= best_key {
+                    break;
+                }
+                self.keys[hole] = best_key;
+                self.events[hole] = self.events[best];
+                hole = best;
+            }
+            self.keys[hole] = last_key;
+            self.events[hole] = last_event;
+        }
+        let time = key_time(key);
+        self.now = time;
+        Some((time, event))
     }
 }
 
@@ -153,6 +193,32 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_schedule_and_pop_stay_ordered() {
+        // Exercise the 4-ary sift paths with a deterministic shuffle.
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.schedule(SimTime::from_cycles(x % 10_000), x);
+        }
+        let mut popped = Vec::new();
+        for _ in 0..250 {
+            popped.push(q.pop().unwrap().0.cycles());
+        }
+        // Everything scheduled from here on lands at/after `now`.
+        for i in 0..250u64 {
+            q.schedule(SimTime::from_cycles(q.now().cycles() + i * 7), i);
+        }
+        while let Some((t, _)) = q.pop() {
+            popped.push(t.cycles());
+        }
+        assert_eq!(popped.len(), 750);
+        assert!(popped.windows(2).all(|w| w[0] <= w[1]), "pops out of order");
+    }
+
+    #[test]
     fn clock_advances_with_pops() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_cycles(7), ());
@@ -168,6 +234,28 @@ mod tests {
         q.pop();
         q.schedule_in(5, "b");
         assert_eq!(q.peek_time(), Some(SimTime::from_cycles(15)));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn past_schedules_are_counted_in_release() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_cycles(10), "a");
+        q.pop();
+        assert_eq!(q.past_schedules(), 0);
+        q.schedule(SimTime::from_cycles(3), "late");
+        assert_eq!(q.past_schedules(), 1);
+        // The clamped event still delivers at the current time.
+        assert_eq!(q.pop().unwrap().0, SimTime::from_cycles(10));
+    }
+
+    #[test]
+    fn on_time_schedules_do_not_count() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_cycles(5), ());
+        q.pop();
+        q.schedule(SimTime::from_cycles(5), ());
+        assert_eq!(q.past_schedules(), 0);
     }
 
     #[test]

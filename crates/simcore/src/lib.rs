@@ -34,9 +34,9 @@ mod server;
 mod stats;
 mod time;
 
-pub use event::{EventEntry, EventQueue};
+pub use event::EventQueue;
 pub use server::{BandwidthServer, Grant, SlotServer};
-pub use stats::{RateMeter, Summary, TimeSeries, UtilizationTracker};
+pub use stats::{BucketCursor, RateMeter, Summary, TimeSeries, UtilizationTracker};
 pub use time::{Frequency, SimTime};
 
 /// The paper's NPU clock frequency: 1245 MHz (Section V).

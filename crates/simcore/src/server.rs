@@ -102,6 +102,11 @@ impl BandwidthServer {
             };
         }
         let start_f = self.busy_until.max(now.cycles() as f64);
+        // A true division, not a precomputed-reciprocal multiply: the
+        // extra rounding of `bytes * (1/capacity)` lands above the exact
+        // quotient at exact-cycle points (e.g. 26606 B at 20.08 B/cycle),
+        // padding transfers with a spurious cycle and compounding through
+        // `busy_until`.
         let duration = bytes as f64 / self.bytes_per_cycle;
         let end_f = start_f + duration;
         self.busy_until = end_f;
@@ -190,12 +195,16 @@ impl SlotServer {
     /// Requests one slot for `duration` cycles starting no earlier than
     /// `now`. Returns the grant for the earliest-available slot.
     pub fn request(&mut self, now: SimTime, duration: u64) -> Grant {
-        let (idx, &free_at) = self
-            .slots
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &t)| t)
-            .expect("slot server has at least one slot");
+        // Manual scan: the pool is tiny (FSM groups hold ~4 slots) and
+        // this runs once per chunk step.
+        let mut idx = 0;
+        let mut free_at = self.slots[0];
+        for (i, &t) in self.slots.iter().enumerate().skip(1) {
+            if t < free_at {
+                idx = i;
+                free_at = t;
+            }
+        }
         let start = free_at.max(now);
         let end = start + duration;
         self.slots[idx] = end;

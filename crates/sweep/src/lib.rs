@@ -43,12 +43,14 @@
 #![warn(missing_docs)]
 
 pub mod grid;
+pub mod persist;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod toml;
 
 pub use grid::{expand, grid_len, PointKind, RunPoint};
+pub use persist::{cache_from_str, cache_to_string, load_cache, save_cache, CACHE_HEADER};
 pub use report::{summarize, to_csv, to_json, AxisSummary};
 pub use runner::{
     run_scenario, Cache, Metrics, RunResult, RunnerOptions, SweepOutcome, SweepRunner,

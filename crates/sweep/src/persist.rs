@@ -1,0 +1,393 @@
+//! Persistent sweep caches.
+//!
+//! A [`Cache`] serializes to a versioned, line-oriented CSV file so
+//! results survive the process: `sweep … --cache-file sweep.cache` loads
+//! the file before running and saves it back afterwards, and any point
+//! already present is served without re-simulating. The simulator is
+//! deterministic, so a cached row is exactly what a fresh run would
+//! produce.
+//!
+//! Format (`v1`; the header also pins the simulator version that wrote
+//! the file — see [`CACHE_HEADER`]):
+//!
+//! ```text
+//! # ace-sweep-cache v1 sim-0.1.0
+//! kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,op,payload_bytes,config,workload,iterations,optimized_embedding,time_us,completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,exposed_comm_us,past_schedules
+//! collective,4x2x2,ace,128,,4,16,all-reduce,67108864,,,,,12.3,15314,…
+//! training,4x2x2,,,,,,,,ACE,resnet50,2,0,…
+//! ```
+//!
+//! Floats are written with Rust's shortest round-trip `Display`, so a
+//! load → save cycle is lossless. Rows are sorted by their serialized
+//! key: saving the same cache twice produces byte-identical files.
+
+use std::path::Path;
+
+use ace_net::TorusShape;
+use ace_system::SystemConfig;
+
+use crate::grid::{PointKind, RunPoint};
+use crate::runner::{Cache, Metrics};
+use crate::scenario::{parse_op, EngineSpec, WorkloadSpec};
+
+/// Magic + version header of the cache file format. The simulator
+/// version is part of the header: cached rows are only "exactly what a
+/// fresh run would produce" for the build that wrote them, so a cache
+/// from a different simulator version is rejected instead of silently
+/// serving stale results. Bump the workspace version whenever a change
+/// alters simulation results.
+pub const CACHE_HEADER: &str = concat!("# ace-sweep-cache v1 sim-", env!("CARGO_PKG_VERSION"));
+
+/// Column names of the cache file (documentation line 2 of the file).
+const COLUMNS: &str = "kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,op,payload_bytes,\
+                       config,workload,iterations,optimized_embedding,time_us,completion_cycles,\
+                       gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,exposed_comm_us,\
+                       past_schedules";
+
+/// Serializes `cache` to the versioned file format, rows sorted for
+/// byte-identical output across runs.
+pub fn cache_to_string(cache: &Cache) -> String {
+    let mut rows: Vec<String> = cache
+        .entries()
+        .iter()
+        .map(|(p, m)| {
+            let mut cells = point_cells(p);
+            cells.extend(metric_cells(m));
+            cells.join(",")
+        })
+        .collect();
+    rows.sort_unstable();
+    let mut out = String::new();
+    out.push_str(CACHE_HEADER);
+    out.push('\n');
+    out.push_str("# ");
+    out.push_str(COLUMNS);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a cache file produced by [`cache_to_string`].
+///
+/// # Errors
+///
+/// Returns a message when the header/version does not match or any row is
+/// malformed — a corrupt cache must fail loudly rather than silently
+/// re-simulating (or worse, serving garbage).
+pub fn cache_from_str(text: &str) -> Result<Cache, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(first) if first.trim() == CACHE_HEADER => {}
+        Some(first) => {
+            return Err(format!(
+                "unsupported cache header '{first}' (expected '{CACHE_HEADER}')"
+            ))
+        }
+        None => return Err("empty cache file".into()),
+    }
+    let cache = Cache::new();
+    for (no, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (point, metrics) =
+            parse_row(line).map_err(|e| format!("cache line {}: {e}", no + 2))?;
+        cache.insert(point, metrics);
+    }
+    Ok(cache)
+}
+
+/// Saves `cache` to `path`.
+///
+/// # Errors
+///
+/// Returns the I/O error message on failure.
+pub fn save_cache(cache: &Cache, path: impl AsRef<Path>) -> Result<(), String> {
+    let path = path.as_ref();
+    std::fs::write(path, cache_to_string(cache))
+        .map_err(|e| format!("cannot write cache {}: {e}", path.display()))
+}
+
+/// Loads a cache from `path`. A missing file yields an empty cache (the
+/// first run of a fresh cache file); any other error is reported.
+///
+/// # Errors
+///
+/// Returns a message when the file exists but cannot be read or parsed.
+pub fn load_cache(path: impl AsRef<Path>) -> Result<Cache, String> {
+    let path = path.as_ref();
+    match std::fs::read_to_string(path) {
+        Ok(text) => cache_from_str(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Cache::new()),
+        Err(e) => Err(format!("cannot read cache {}: {e}", path.display())),
+    }
+}
+
+/// The point-identity cells (first 13 columns).
+fn point_cells(p: &RunPoint) -> Vec<String> {
+    let mut c = vec![String::new(); 13];
+    c[1] = p.topology.to_string();
+    match p.kind {
+        PointKind::Collective {
+            engine,
+            op,
+            payload_bytes,
+        } => {
+            c[0] = "collective".into();
+            match engine {
+                EngineSpec::Ideal => c[2] = "ideal".into(),
+                EngineSpec::Baseline { mem_gbps, comm_sms } => {
+                    c[2] = "baseline".into();
+                    c[3] = format!("{mem_gbps}");
+                    c[4] = comm_sms.to_string();
+                }
+                EngineSpec::Ace {
+                    dma_mem_gbps,
+                    sram_mb,
+                    fsms,
+                } => {
+                    c[2] = "ace".into();
+                    c[3] = format!("{dma_mem_gbps}");
+                    c[5] = sram_mb.to_string();
+                    c[6] = fsms.to_string();
+                }
+            }
+            c[7] = op.to_string();
+            c[8] = payload_bytes.to_string();
+        }
+        PointKind::Training {
+            config,
+            workload,
+            iterations,
+            optimized_embedding,
+        } => {
+            c[0] = "training".into();
+            c[9] = config.to_string();
+            c[10] = workload.name().into();
+            c[11] = iterations.to_string();
+            c[12] = if optimized_embedding { "1" } else { "0" }.into();
+        }
+    }
+    c
+}
+
+/// The metric cells (last 8 columns).
+fn metric_cells(m: &Metrics) -> Vec<String> {
+    vec![
+        format!("{}", m.time_us),
+        m.completion_cycles.to_string(),
+        format!("{}", m.gbps_per_npu),
+        m.mem_traffic_bytes.to_string(),
+        m.network_bytes.to_string(),
+        format!("{}", m.compute_us),
+        format!("{}", m.exposed_comm_us),
+        m.past_schedules.to_string(),
+    ]
+}
+
+fn parse_row(line: &str) -> Result<(RunPoint, Metrics), String> {
+    let cells: Vec<&str> = line.split(',').collect();
+    if cells.len() != 21 {
+        return Err(format!("expected 21 cells, found {}", cells.len()));
+    }
+    let topology = parse_topology(cells[1])?;
+    let kind = match cells[0] {
+        "collective" => {
+            let engine = match cells[2] {
+                "ideal" => EngineSpec::Ideal,
+                "baseline" => EngineSpec::Baseline {
+                    mem_gbps: parse_f64(cells[3], "mem_gbps")?,
+                    comm_sms: parse_int(cells[4], "comm_sms")? as u32,
+                },
+                "ace" => EngineSpec::Ace {
+                    dma_mem_gbps: parse_f64(cells[3], "mem_gbps")?,
+                    sram_mb: parse_int(cells[5], "sram_mb")?,
+                    fsms: parse_int(cells[6], "fsms")? as usize,
+                },
+                other => return Err(format!("unknown engine '{other}'")),
+            };
+            PointKind::Collective {
+                engine,
+                op: parse_op(cells[7])?,
+                payload_bytes: parse_int(cells[8], "payload_bytes")?,
+            }
+        }
+        "training" => PointKind::Training {
+            config: cells[9].parse::<SystemConfig>()?,
+            workload: cells[10].parse::<WorkloadSpec>()?,
+            iterations: parse_int(cells[11], "iterations")? as u32,
+            optimized_embedding: match cells[12] {
+                "1" => true,
+                "0" => false,
+                other => return Err(format!("bad optimized_embedding '{other}'")),
+            },
+        },
+        other => return Err(format!("unknown point kind '{other}'")),
+    };
+    let metrics = Metrics {
+        time_us: parse_f64(cells[13], "time_us")?,
+        completion_cycles: parse_int(cells[14], "completion_cycles")?,
+        gbps_per_npu: parse_f64(cells[15], "gbps_per_npu")?,
+        mem_traffic_bytes: parse_int(cells[16], "mem_traffic_bytes")?,
+        network_bytes: parse_int(cells[17], "network_bytes")?,
+        compute_us: parse_f64(cells[18], "compute_us")?,
+        exposed_comm_us: parse_f64(cells[19], "exposed_comm_us")?,
+        past_schedules: parse_int(cells[20], "past_schedules")?,
+    };
+    Ok((RunPoint { topology, kind }, metrics))
+}
+
+fn parse_topology(s: &str) -> Result<TorusShape, String> {
+    let dims: Vec<&str> = s.split('x').collect();
+    if dims.len() != 3 {
+        return Err(format!("bad topology '{s}'"));
+    }
+    let d = |i: usize| {
+        dims[i]
+            .parse::<usize>()
+            .map_err(|_| format!("bad topology '{s}'"))
+    };
+    TorusShape::new(d(0)?, d(1)?, d(2)?).map_err(|e| format!("topology '{s}': {e}"))
+}
+
+fn parse_f64(s: &str, what: &str) -> Result<f64, String> {
+    s.parse::<f64>()
+        .map_err(|_| format!("bad {what} '{s}'"))
+        .and_then(|v| {
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(format!("non-finite {what} '{s}'"))
+            }
+        })
+}
+
+fn parse_int(s: &str, what: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("bad {what} '{s}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_scenario, RunnerOptions, SweepRunner};
+    use crate::scenario::{EngineFamily, Scenario};
+
+    fn tiny_collective() -> Scenario {
+        let mut sc = Scenario::collective("persist-test");
+        sc.topologies = vec![TorusShape::new(2, 1, 1).unwrap()];
+        sc.engines = vec![EngineFamily::Ideal, EngineFamily::Baseline];
+        sc.payload_bytes = vec![256 * 1024];
+        sc.mem_gbps = vec![128.0, 450.0];
+        sc.comm_sms = vec![6];
+        sc
+    }
+
+    #[test]
+    fn cache_round_trips_byte_exactly() {
+        let runner = SweepRunner::new();
+        let sc = tiny_collective();
+        runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let text = cache_to_string(runner.cache());
+        let reloaded = cache_from_str(&text).unwrap();
+        assert_eq!(reloaded.len(), runner.cache().len());
+        // Every metric (f64s included) survives the text round-trip.
+        for (p, m) in runner.cache().entries() {
+            assert_eq!(reloaded.get(&p), Some(m), "lost {p:?}");
+        }
+        // Save → load → save is byte-identical (sorted rows, shortest
+        // round-trip floats).
+        assert_eq!(cache_to_string(&reloaded), text);
+    }
+
+    #[test]
+    fn training_points_round_trip() {
+        let mut sc = Scenario::training("persist-training");
+        sc.topologies = vec![TorusShape::new(2, 1, 1).unwrap()];
+        sc.configs = vec![ace_system::SystemConfig::Ace];
+        sc.workloads = vec![WorkloadSpec::Resnet50];
+        sc.iterations = 1;
+        let runner = SweepRunner::new();
+        runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let text = cache_to_string(runner.cache());
+        let reloaded = cache_from_str(&text).unwrap();
+        for (p, m) in runner.cache().entries() {
+            assert_eq!(reloaded.get(&p), Some(m));
+        }
+    }
+
+    #[test]
+    fn reloaded_cache_serves_every_point() {
+        // The cross-process scenario: run → save → (new process) load →
+        // run again; the second run simulates nothing.
+        let first = SweepRunner::new();
+        let sc = tiny_collective();
+        let out1 = first.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        assert!(out1.executed > 0);
+        let text = cache_to_string(first.cache());
+
+        let second = SweepRunner::with_cache(cache_from_str(&text).unwrap());
+        let out2 = second.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        assert_eq!(out2.executed, 0, "warm cache must serve every point");
+        assert!(out2.results.iter().all(|r| r.cache_hit));
+        for (a, b) in out1.results.iter().zip(&out2.results) {
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn version_and_corruption_are_rejected() {
+        assert!(cache_from_str("").is_err());
+        assert!(cache_from_str("# ace-sweep-cache v999\n").is_err());
+        // A cache written by a different simulator version must not be
+        // served: results are only reproducible within one build.
+        assert!(cache_from_str("# ace-sweep-cache v1 sim-0.0.0\n").is_err());
+        let bad_row = format!("{CACHE_HEADER}\nnot-a-row\n");
+        assert!(cache_from_str(&bad_row).is_err());
+        let short_row = format!("{CACHE_HEADER}\ncollective,2x1x1,ideal\n");
+        assert!(cache_from_str(&short_row).is_err());
+        // Valid header + comments + blank lines parse as empty.
+        let empty = format!("{CACHE_HEADER}\n# comment\n\n");
+        assert_eq!(cache_from_str(&empty).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn file_round_trip_via_paths() {
+        let dir = std::env::temp_dir().join("ace-sweep-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.csv");
+        let _ = std::fs::remove_file(&path);
+        // Missing file loads as empty.
+        assert!(load_cache(&path).unwrap().is_empty());
+        let runner = SweepRunner::new();
+        runner
+            .run(&tiny_collective(), RunnerOptions { threads: 1 })
+            .unwrap();
+        save_cache(runner.cache(), &path).unwrap();
+        let loaded = load_cache(&path).unwrap();
+        assert_eq!(loaded.len(), runner.cache().len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn warm_outcome_matches_cold_except_cache_flags() {
+        let sc = tiny_collective();
+        let cold = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let runner = SweepRunner::new();
+        let _ = runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let text = cache_to_string(runner.cache());
+        let warm = SweepRunner::with_cache(cache_from_str(&text).unwrap())
+            .run(&sc, RunnerOptions { threads: 1 })
+            .unwrap();
+        assert_eq!(cold.results.len(), warm.results.len());
+        for (c, w) in cold.results.iter().zip(&warm.results) {
+            assert_eq!(c.point, w.point);
+            assert_eq!(c.metrics, w.metrics);
+            assert_eq!(c.speedup_vs_baseline, w.speedup_vs_baseline);
+            assert!(w.cache_hit, "warm rows must be served from the cache");
+        }
+    }
+}

@@ -11,7 +11,7 @@ use crate::scenario::EngineSpec;
 
 /// The fixed CSV column set (a superset across both sweep modes;
 /// inapplicable cells are empty).
-pub const CSV_COLUMNS: [&str; 21] = [
+pub const CSV_COLUMNS: [&str; 22] = [
     "topology",
     "nodes",
     "engine",
@@ -31,6 +31,7 @@ pub const CSV_COLUMNS: [&str; 21] = [
     "network_bytes",
     "compute_us",
     "exposed_comm_us",
+    "past_schedules",
     "cache_hit",
     "speedup_vs_baseline",
 ];
@@ -116,6 +117,7 @@ fn row_cells(r: &RunResult) -> Vec<String> {
         m.network_bytes.to_string(),
         format!("{:.3}", m.compute_us),
         format!("{:.3}", m.exposed_comm_us),
+        m.past_schedules.to_string(),
         if r.cache_hit { "1" } else { "0" }.to_string(),
         r.speedup_vs_baseline
             .map(|s| format!("{s:.4}"))

@@ -34,6 +34,10 @@ pub struct Metrics {
     pub compute_us: f64,
     /// Training only: exposed (non-overlapped) communication, microseconds.
     pub exposed_comm_us: f64,
+    /// Events the simulator scheduled in the past (clamped by the event
+    /// queue) — always zero in a correct run; surfaced so release-mode
+    /// sweeps can flag the invariant violation.
+    pub past_schedules: u64,
 }
 
 /// One grid row with its metrics.
@@ -124,6 +128,17 @@ impl Cache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Snapshot of every cached `(point, metrics)` pair, in unspecified
+    /// order. The persistence layer sorts before writing.
+    pub fn entries(&self) -> Vec<(RunPoint, Metrics)> {
+        self.map
+            .lock()
+            .expect("cache lock")
+            .iter()
+            .map(|(p, m)| (*p, *m))
+            .collect()
+    }
 }
 
 /// Execution options.
@@ -143,6 +158,13 @@ impl SweepRunner {
     /// A runner with an empty cache.
     pub fn new() -> SweepRunner {
         SweepRunner::default()
+    }
+
+    /// A runner seeded with a pre-populated cache — e.g. one loaded from
+    /// a [`--cache-file`](crate::persist) of an earlier process, so
+    /// repeated sweeps across processes reuse results.
+    pub fn with_cache(cache: Cache) -> SweepRunner {
+        SweepRunner { cache }
     }
 
     /// The runner's cache.
@@ -283,6 +305,7 @@ pub fn execute(point: &RunPoint) -> Metrics {
                 network_bytes: r.network_bytes,
                 compute_us: 0.0,
                 exposed_comm_us: 0.0,
+                past_schedules: r.past_schedules,
             }
         }
         PointKind::Training {
@@ -309,6 +332,7 @@ pub fn execute(point: &RunPoint) -> Metrics {
                 network_bytes: report.network_bytes(),
                 compute_us: report.total_compute_us(),
                 exposed_comm_us: report.exposed_comm_us(),
+                past_schedules: report.past_schedules(),
             }
         }
     }

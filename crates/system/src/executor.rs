@@ -16,12 +16,23 @@
 //! in LIFO issue order (Section V: "LIFO collective scheduling policy to
 //! give more priority to the collectives of first layers during
 //! back-propagation").
+//!
+//! # Hot-path layout
+//!
+//! The event loop processes tens of millions of events per design-space
+//! point, so the per-event state is kept allocation-free: chunk execution
+//! state lives in a preallocated arena of reusable slots (the in-flight
+//! cap bounds how many are live), per-chunk shard/admission byte sizes
+//! are precomputed per phase at issue time, ring neighbors and all-to-all
+//! routes are table lookups, and admission waiters queue in sequence-
+//! ordered `VecDeque`s. `TryInject` events are coalesced so at most one
+//! is pending for any timestamp.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
-use ace_collectives::{CollectiveOp, CollectivePlan, Granularity, PhaseKind};
+use ace_collectives::{CollectiveOp, CollectivePlan, Granularity, PhaseKind, PhaseSpec};
 use ace_endpoint::CollectiveEngine;
-use ace_net::{Dim, Network, NetworkParams, NodeId, Port, TorusShape};
+use ace_net::{Dim, Network, NetworkParams, NodeId, Port, Route, TorusShape};
 use ace_simcore::{EventQueue, SimTime};
 
 /// Identifies an issued collective within its executor.
@@ -68,8 +79,10 @@ impl Default for ExecutorOptions {
 const MAX_INFLIGHT_CHUNKS: usize = 128;
 /// Sentinel: node has not started any phase of a chunk.
 const NOT_STARTED: u16 = u16::MAX;
+/// Sentinel: chunk has no arena slot assigned.
+const NO_SLOT: u32 = u32::MAX;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Ev {
     /// Attempt to inject pending chunks (LIFO drain).
     TryInject,
@@ -133,7 +146,9 @@ enum CollKind {
     AllToAll,
 }
 
-/// Per-chunk, per-node ring execution state.
+/// Per-chunk, per-node ring execution state. Instances live in the
+/// executor's arena and are reused across chunks — the backing vectors
+/// are cleared, not reallocated, when a slot is recycled.
 #[derive(Debug, Default)]
 struct ChunkState {
     /// Current phase per node (`NOT_STARTED` before injection; `P` = in
@@ -151,6 +166,43 @@ struct ChunkState {
     flows_total: usize,
 }
 
+impl ChunkState {
+    /// Resets the slot for a fresh chunk over `nodes` nodes, keeping the
+    /// vectors' capacity.
+    fn reset(&mut self, nodes: usize) {
+        self.node_phase.clear();
+        self.node_phase.resize(nodes, NOT_STARTED);
+        self.arr_count.clear();
+        self.arr_count.resize(nodes, 0);
+        if self.pending.len() < nodes {
+            self.pending.resize_with(nodes, Vec::new);
+        }
+        for p in self.pending.iter_mut() {
+            p.clear();
+        }
+        self.nodes_done = 0;
+        self.flows_done = 0;
+        self.flows_total = 0;
+    }
+}
+
+/// Per-phase constants consulted on every ring event, precomputed at
+/// issue time so the event handlers do table lookups instead of
+/// re-deriving them from the plan's `PhaseSpec`.
+#[derive(Debug, Clone, Copy)]
+struct PhaseHot {
+    /// Algorithm of the phase.
+    kind: PhaseKind,
+    /// Ring participant count.
+    ring_k: u16,
+    /// Last step index of the phase's rotate chain.
+    final_step: u16,
+    /// Egress port index (`Port::index()`) for even (+) chunks.
+    port_idx_plus: u8,
+    /// Egress port index for odd (−) chunks.
+    port_idx_minus: u8,
+}
+
 #[derive(Debug)]
 struct Coll {
     plan: CollectivePlan,
@@ -160,14 +212,33 @@ struct Coll {
     next_chunk: usize,
     /// Global injection sequence per chunk (assigned at injection).
     chunk_seq: Vec<u64>,
-    chunks: Vec<Option<ChunkState>>,
+    /// Arena slot per chunk (`NO_SLOT` when the chunk is not in flight).
+    chunk_slot: Vec<u32>,
     done_chunks: usize,
     completed_at: Option<SimTime>,
+    /// Whether the trailing chunk is shorter than the others (selects the
+    /// second column of the byte caches).
+    short_last: bool,
+    /// Per-phase event-handler constants (ring phases only).
+    phase_hot: Vec<PhaseHot>,
+    /// Per-phase ring shard bytes, laid out `phase * 2 + short`.
+    shard_cache: Vec<u64>,
+    /// Per-phase admission bytes (incl. the terminal partition at index
+    /// `phases * 2 + short`), same layout.
+    admit_cache: Vec<u64>,
+    /// All-to-all: number of leading destination offsets carrying one
+    /// extra payload byte (`payload % nodes` remainder distribution).
+    a2a_extra: u64,
 }
 
 impl Coll {
     fn is_complete(&self) -> bool {
         self.completed_at.is_some()
+    }
+
+    /// Byte-cache column for `chunk`: 1 for the short trailing chunk.
+    fn short_idx(&self, chunk: usize) -> usize {
+        usize::from(self.short_last && chunk + 1 == self.chunk_sizes.len())
     }
 }
 
@@ -182,30 +253,50 @@ struct Waiter {
 }
 
 /// The executor: fabric + per-node engines + the event loop.
-pub struct CollectiveExecutor {
+///
+/// Generic over the engine type: monomorphizing over a concrete engine
+/// (e.g. `AceEndpoint`) devirtualizes and inlines the per-event resource
+/// charges, which matters at tens of millions of events per run. The
+/// default `Box<dyn CollectiveEngine>` keeps runtime engine selection
+/// (training loops mixing configurations) working unchanged.
+pub struct CollectiveExecutor<E: CollectiveEngine = Box<dyn CollectiveEngine>> {
     shape: TorusShape,
     net: Network,
-    engines: Vec<Box<dyn CollectiveEngine>>,
+    engines: Vec<E>,
     options: ExecutorOptions,
     queue: EventQueue<Ev>,
     colls: Vec<Coll>,
-    /// LIFO stack of collectives with chunks left to inject.
-    lifo: Vec<usize>,
+    /// Collectives with chunks left to inject: LIFO drains the back,
+    /// FIFO the front.
+    pending_colls: VecDeque<usize>,
     inflight: usize,
     max_inflight: usize,
+    /// Reusable per-chunk state slots; the in-flight cap bounds how many
+    /// are live at once.
+    arena: Vec<ChunkState>,
+    free_slots: Vec<u32>,
     /// `admit_wait[node][phase]` — waiters ordered by global injection
     /// sequence. Admission follows this order strictly on every node, so
     /// all nodes keep *identical* resident chunk sets per partition —
     /// divergent orders (even/odd chunks ride opposite ring directions
     /// and skew arbitrarily) would let nodes hold disjoint sets that wait
     /// on each other's ring messages: a distributed deadlock.
-    admit_wait: Vec<Vec<BTreeMap<u64, Waiter>>>,
+    admit_wait: Vec<Vec<VecDeque<(u64, Waiter)>>>,
     /// Global injection sequence counter.
     next_seq: u64,
+    /// Earliest pending `TryInject` timestamp; later duplicates are not
+    /// scheduled (the earlier drain subsumes them).
+    inject_at: Option<SimTime>,
+    /// `neighbors[node * 6 + port.index()]` ring-neighbor table.
+    neighbors: Vec<NodeId>,
+    /// XYZ route per all-to-all flow index (built on first all-to-all).
+    a2a_routes: Vec<Route>,
+    /// Scratch buffer for replaying buffered arrivals.
+    replay_scratch: Vec<(u16, u16, SimTime)>,
     now: SimTime,
 }
 
-impl std::fmt::Debug for CollectiveExecutor {
+impl<E: CollectiveEngine> std::fmt::Debug for CollectiveExecutor<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CollectiveExecutor")
             .field("shape", &self.shape)
@@ -217,59 +308,11 @@ impl std::fmt::Debug for CollectiveExecutor {
 }
 
 impl CollectiveExecutor {
-    /// Builds an executor over `shape` with one engine per node produced
-    /// by `make_engine`.
-    pub fn new(
-        shape: TorusShape,
-        net_params: NetworkParams,
-        make_engine: impl Fn() -> Box<dyn CollectiveEngine>,
-    ) -> CollectiveExecutor {
-        Self::with_options(shape, net_params, ExecutorOptions::default(), make_engine)
-    }
-
-    /// Builds an executor with non-default [`ExecutorOptions`] (ablation
-    /// studies).
-    pub fn with_options(
-        shape: TorusShape,
-        net_params: NetworkParams,
-        options: ExecutorOptions,
-        make_engine: impl Fn() -> Box<dyn CollectiveEngine>,
-    ) -> CollectiveExecutor {
-        let engines = (0..shape.nodes()).map(|_| make_engine()).collect();
-        let max_inflight = options.max_inflight_chunks.max(1);
-        CollectiveExecutor {
-            shape,
-            net: Network::new(shape, net_params),
-            engines,
-            options,
-            queue: EventQueue::new(),
-            colls: Vec::new(),
-            lifo: Vec::new(),
-            inflight: 0,
-            max_inflight,
-            admit_wait: vec![Vec::new(); shape.nodes()],
-            next_seq: 0,
-            now: SimTime::ZERO,
-        }
-    }
-
-    /// The fabric's topology.
-    pub fn shape(&self) -> TorusShape {
-        self.shape
-    }
-
-    /// The network (throughput/utilization meters).
-    pub fn network(&self) -> &Network {
-        &self.net
-    }
-
-    /// Current simulation time (latest processed event).
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
     /// Per-phase SRAM-partition weights for a plan (Section IV-I:
     /// bandwidth × chunk size). Used to size ACE endpoints.
+    ///
+    /// Engine-independent; lives in the default (boxed-engine) impl so
+    /// callers can keep writing `CollectiveExecutor::phase_weights(..)`.
     pub fn phase_weights(plan: &CollectivePlan, net: &NetworkParams) -> Vec<f64> {
         let raw: Vec<f64> = plan
             .phases()
@@ -290,6 +333,76 @@ impl CollectiveExecutor {
         let max = raw.iter().cloned().fold(f64::MIN, f64::max);
         raw.into_iter().map(|w| w.max(0.15 * max)).collect()
     }
+}
+
+impl<E: CollectiveEngine> CollectiveExecutor<E> {
+    /// Builds an executor over `shape` with one engine per node produced
+    /// by `make_engine`.
+    pub fn new(
+        shape: TorusShape,
+        net_params: NetworkParams,
+        make_engine: impl Fn() -> E,
+    ) -> CollectiveExecutor<E> {
+        Self::with_options(shape, net_params, ExecutorOptions::default(), make_engine)
+    }
+
+    /// Builds an executor with non-default [`ExecutorOptions`] (ablation
+    /// studies).
+    pub fn with_options(
+        shape: TorusShape,
+        net_params: NetworkParams,
+        options: ExecutorOptions,
+        make_engine: impl Fn() -> E,
+    ) -> CollectiveExecutor<E> {
+        let engines = (0..shape.nodes()).map(|_| make_engine()).collect();
+        let max_inflight = options.max_inflight_chunks.max(1);
+        let neighbors = (0..shape.nodes())
+            .flat_map(|node| {
+                Port::ALL.map(|port| {
+                    if shape.len(port.dim()) > 1 {
+                        shape.neighbor(NodeId(node), port.dim(), port.is_plus())
+                    } else {
+                        NodeId(node)
+                    }
+                })
+            })
+            .collect();
+        CollectiveExecutor {
+            shape,
+            net: Network::new(shape, net_params),
+            engines,
+            options,
+            queue: EventQueue::new(),
+            colls: Vec::new(),
+            pending_colls: VecDeque::new(),
+            inflight: 0,
+            max_inflight,
+            arena: Vec::new(),
+            free_slots: Vec::new(),
+            admit_wait: vec![Vec::new(); shape.nodes()],
+            next_seq: 0,
+            inject_at: None,
+            neighbors,
+            a2a_routes: Vec::new(),
+            replay_scratch: Vec::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The fabric's topology.
+    pub fn shape(&self) -> TorusShape {
+        self.shape
+    }
+
+    /// The network (throughput/utilization meters).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Current simulation time (latest processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
 
     /// Issues a collective of `op` with per-node `payload_bytes` at time
     /// `at`. Returns a handle for completion queries.
@@ -299,16 +412,30 @@ impl CollectiveExecutor {
             CollectiveOp::AllToAll => CollKind::AllToAll,
             _ => CollKind::Ring,
         };
+        let mut a2a_extra = 0;
         let chunk_sizes = match kind {
             CollKind::Ring => self.options.granularity.chunks(payload_bytes),
             CollKind::AllToAll => {
                 // Chunk the per-destination slice; flows are (dst, chunk).
+                // The division remainder is distributed one byte per
+                // destination offset (see `a2a_flow_bytes`) so total
+                // traffic is conserved instead of shrinking with the node
+                // count.
                 let n = self.shape.nodes() as u64;
-                self.options.granularity.chunks(payload_bytes / n.max(1))
+                a2a_extra = payload_bytes % n.max(1);
+                let mut sizes = self.options.granularity.chunks(payload_bytes / n.max(1));
+                if sizes.is_empty() && a2a_extra > 0 {
+                    // Payload smaller than the node count: the per-slice
+                    // base is zero but the remainder bytes still travel.
+                    sizes.push(0);
+                }
+                sizes
             }
         };
         let id = self.colls.len();
         let n_chunks = chunk_sizes.len();
+        let (short_last, shard_cache, admit_cache) = byte_caches(&plan, &chunk_sizes);
+        let phase_hot = phase_hot_table(&plan, kind);
         self.colls.push(Coll {
             plan,
             kind,
@@ -316,14 +443,36 @@ impl CollectiveExecutor {
             issued_at: at,
             next_chunk: 0,
             chunk_seq: vec![u64::MAX; n_chunks],
-            chunks: (0..n_chunks).map(|_| None).collect(),
+            chunk_slot: vec![NO_SLOT; n_chunks],
             done_chunks: 0,
             completed_at: if n_chunks == 0 { Some(at) } else { None },
+            short_last,
+            phase_hot,
+            shard_cache,
+            admit_cache,
+            a2a_extra,
         });
+        if kind == CollKind::AllToAll && n_chunks > 0 {
+            // Byte conservation: per source, the n-1 flows carry
+            // (n-1)·base + remainder bytes and the local (self) slice
+            // keeps base, which must add up to the original payload.
+            let n = self.shape.nodes() as u64;
+            let base: u64 = self.colls[id].chunk_sizes.iter().sum();
+            debug_assert_eq!(
+                n * base + a2a_extra,
+                payload_bytes,
+                "all-to-all flows must conserve payload bytes"
+            );
+        }
         if n_chunks > 0 {
-            self.lifo.push(id);
+            self.pending_colls.push_back(id);
             let t = at.max(self.queue.now());
-            self.queue.schedule(t, Ev::TryInject);
+            // Coalesce: an already-pending TryInject at an earlier (or
+            // equal) time drains this collective too.
+            if self.inject_at.is_none_or(|s| t < s) {
+                self.queue.schedule(t, Ev::TryInject);
+                self.inject_at = Some(t);
+            }
         }
         CollHandle(id)
     }
@@ -384,9 +533,24 @@ impl CollectiveExecutor {
         self.engines[0].utilization(horizon)
     }
 
+    /// Exact ACE busy cycles (node 0) over `[0, horizon]`, when the
+    /// engine tracks them — the integer counter behind
+    /// [`ace_utilization`](CollectiveExecutor::ace_utilization).
+    pub fn ace_busy_cycles(&self, horizon: SimTime) -> Option<u64> {
+        self.engines[0].busy_cycles(horizon)
+    }
+
     /// Per-node HBM traffic generated by communication (node 0).
     pub fn comm_mem_traffic_bytes(&self) -> u64 {
         self.engines[0].mem_traffic_bytes()
+    }
+
+    /// Number of events that were scheduled in the past and clamped to
+    /// the current time — always zero in a correct simulation. Reports
+    /// surface this so release-mode sweeps can flag the invariant
+    /// violation that `debug_assert` only catches in debug builds.
+    pub fn past_schedules(&self) -> u64 {
+        self.queue.past_schedules()
     }
 
     // ------------------------------------------------------------------
@@ -395,7 +559,10 @@ impl CollectiveExecutor {
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
         match ev {
-            Ev::TryInject => self.drain_lifo(now),
+            Ev::TryInject => {
+                self.inject_at = None;
+                self.drain_lifo(now);
+            }
             Ev::StepZero {
                 coll,
                 chunk,
@@ -484,17 +651,17 @@ impl CollectiveExecutor {
         while self.inflight < self.max_inflight {
             // Pick the next collective with chunks remaining per policy.
             let pick = match self.options.scheduling {
-                SchedulingPolicy::Lifo => self.lifo.last().copied(),
-                SchedulingPolicy::Fifo => self.lifo.first().copied(),
+                SchedulingPolicy::Lifo => self.pending_colls.back().copied(),
+                SchedulingPolicy::Fifo => self.pending_colls.front().copied(),
             };
             let Some(cid) = pick else { break };
             if self.colls[cid].next_chunk >= self.colls[cid].chunk_sizes.len() {
                 match self.options.scheduling {
                     SchedulingPolicy::Lifo => {
-                        self.lifo.pop();
+                        self.pending_colls.pop_back();
                     }
                     SchedulingPolicy::Fifo => {
-                        self.lifo.remove(0);
+                        self.pending_colls.pop_front();
                     }
                 }
                 continue;
@@ -516,36 +683,37 @@ impl CollectiveExecutor {
     // Ring collectives
     // ------------------------------------------------------------------
 
-    fn ensure_chunk_state(&mut self, cid: usize, chunk: usize) {
-        let nodes = self.shape.nodes();
-        let coll = &mut self.colls[cid];
-        if coll.chunks[chunk].is_none() {
-            coll.chunks[chunk] = Some(ChunkState {
-                node_phase: vec![NOT_STARTED; nodes],
-                arr_count: vec![0; nodes],
-                pending: vec![Vec::new(); nodes],
-                nodes_done: 0,
-                flows_done: 0,
-                flows_total: 0,
-            });
+    /// Assigns an arena slot to `(cid, chunk)`, recycling a free one.
+    fn acquire_chunk_slot(&mut self, cid: usize, chunk: usize) {
+        if self.colls[cid].chunk_slot[chunk] != NO_SLOT {
+            return;
         }
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.arena.push(ChunkState::default());
+                (self.arena.len() - 1) as u32
+            }
+        };
+        self.arena[slot as usize].reset(self.shape.nodes());
+        self.colls[cid].chunk_slot[chunk] = slot;
+    }
+
+    /// The live chunk state of `(cid, chunk)`.
+    fn chunk_state_mut(&mut self, cid: usize, chunk: usize) -> &mut ChunkState {
+        let slot = self.colls[cid].chunk_slot[chunk];
+        debug_assert_ne!(slot, NO_SLOT, "chunk state accessed outside its lifetime");
+        &mut self.arena[slot as usize]
     }
 
     /// Bytes a chunk occupies in the partition of `phase` (`P` = terminal).
     fn admit_bytes(&self, cid: usize, chunk: usize, phase: u16) -> u64 {
         let coll = &self.colls[cid];
-        let size = coll.chunk_sizes[chunk];
-        let phases = coll.plan.phases();
-        if (phase as usize) < phases.len() {
-            ((size as f64) * phases[phase as usize].input_fraction).ceil() as u64
-        } else {
-            // Terminal: the final result (full chunk for all-reduce).
-            ((size as f64) * phases.last().expect("plan nonempty").output_fraction()).ceil() as u64
-        }
+        coll.admit_cache[phase as usize * 2 + coll.short_idx(chunk)]
     }
 
     fn inject_ring_chunk(&mut self, now: SimTime, cid: usize, chunk: usize) {
-        self.ensure_chunk_state(cid, chunk);
+        self.acquire_chunk_slot(cid, chunk);
         for node in 0..self.shape.nodes() {
             self.request_phase(now, cid, chunk, node, 0, NOT_STARTED);
         }
@@ -566,7 +734,7 @@ impl CollectiveExecutor {
     ) {
         let p = phase as usize;
         if self.admit_wait[node].len() <= p {
-            self.admit_wait[node].resize_with(p + 1, BTreeMap::new);
+            self.admit_wait[node].resize_with(p + 1, VecDeque::new);
         }
         let bytes = self.admit_bytes(cid, chunk, phase);
         if self.admit_wait[node][p].is_empty() && self.engines[node].try_admit(p, bytes, now) {
@@ -579,14 +747,20 @@ impl CollectiveExecutor {
         } else {
             let seq = self.colls[cid].chunk_seq[chunk];
             debug_assert_ne!(seq, u64::MAX, "chunk admitted before injection");
-            self.admit_wait[node][p].insert(
-                seq,
-                Waiter {
-                    coll: cid as u32,
-                    chunk: chunk as u32,
-                    held_phase,
-                },
-            );
+            let w = Waiter {
+                coll: cid as u32,
+                chunk: chunk as u32,
+                held_phase,
+            };
+            let q = &mut self.admit_wait[node][p];
+            // Waiters almost always arrive in sequence order; fall back to
+            // a sorted insert for the cross-phase stragglers.
+            if q.back().is_none_or(|&(s, _)| s < seq) {
+                q.push_back((seq, w));
+            } else {
+                let pos = q.partition_point(|&(s, _)| s < seq);
+                q.insert(pos, (seq, w));
+            }
         }
     }
 
@@ -600,12 +774,12 @@ impl CollectiveExecutor {
         loop {
             let mut progress = false;
             for p in 0..self.admit_wait[node].len() {
-                while let Some((&seq, &w)) = self.admit_wait[node][p].iter().next() {
+                while let Some(&(_, w)) = self.admit_wait[node][p].front() {
                     let bytes = self.admit_bytes(w.coll as usize, w.chunk as usize, p as u16);
                     if !self.engines[node].try_admit(p, bytes, now) {
                         break;
                     }
-                    self.admit_wait[node][p].remove(&seq);
+                    self.admit_wait[node][p].pop_front();
                     if w.held_phase != NOT_STARTED {
                         let held =
                             self.admit_bytes(w.coll as usize, w.chunk as usize, w.held_phase);
@@ -626,7 +800,7 @@ impl CollectiveExecutor {
     fn start_phase(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
         let n_phases = self.colls[cid].plan.phases().len() as u16;
         {
-            let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
+            let st = self.chunk_state_mut(cid, chunk);
             st.node_phase[node] = phase;
             st.arr_count[node] = 0;
         }
@@ -682,31 +856,34 @@ impl CollectiveExecutor {
     }
 
     fn replay_pending(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
-        let buffered: Vec<(u16, u16, SimTime)> = {
-            let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
-            let (ready, rest): (Vec<_>, Vec<_>) = st.pending[node]
-                .drain(..)
-                .partition(|(p, _, _)| *p == phase);
-            st.pending[node] = rest;
-            ready
-        };
-        for (p, s, at) in buffered {
+        let mut scratch = std::mem::take(&mut self.replay_scratch);
+        scratch.clear();
+        {
+            let st = self.chunk_state_mut(cid, chunk);
+            if st.pending[node].is_empty() {
+                self.replay_scratch = scratch;
+                return;
+            }
+            st.pending[node].retain(|&(p, s, at)| {
+                if p == phase {
+                    scratch.push((p, s, at));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        for &(p, s, at) in &scratch {
             self.ring_arrive(now.max(at), cid, chunk, node, p, s);
         }
+        scratch.clear();
+        self.replay_scratch = scratch;
     }
 
     /// Per-node shard size moved in one ring step of `phase`.
     fn shard_bytes(&self, cid: usize, chunk: usize, phase: u16) -> u64 {
         let coll = &self.colls[cid];
-        let spec = coll.plan.phases()[phase as usize];
-        let input = coll.chunk_sizes[chunk] as f64 * spec.input_fraction;
-        let k = spec.ring_size as f64;
-        let shard = match spec.kind {
-            // All-gather forwards the whole phase input each step.
-            PhaseKind::AllGather => input,
-            _ => input / k,
-        };
-        (shard.ceil() as u64).max(1)
+        coll.shard_cache[phase as usize * 2 + coll.short_idx(chunk)]
     }
 
     /// Transmits a ring message for step `step` of `phase` from `node` to
@@ -722,13 +899,17 @@ impl CollectiveExecutor {
         step: u16,
     ) {
         let bytes = self.shard_bytes(cid, chunk, phase);
-        let spec = self.colls[cid].plan.phases()[phase as usize];
-        let dim = spec.dim.expect("ring phases have a dimension");
+        let hot = self.colls[cid].phase_hot[phase as usize];
         // Bidirectional rings: alternate chunk parity across directions
         // (unidirectional mode sends everything the + way — an ablation).
         let plus = !self.options.bidirectional_rings || chunk.is_multiple_of(2);
-        let port = Port::new(dim, plus);
-        let dst = self.shape.neighbor(NodeId(node), dim, plus);
+        let port_idx = if plus {
+            hot.port_idx_plus
+        } else {
+            hot.port_idx_minus
+        } as usize;
+        let port = Port::ALL[port_idx];
+        let dst = self.neighbors[node * 6 + port_idx];
         let out = self.net.transmit(now, NodeId(node), port, bytes);
         self.queue.schedule(
             out.arrival,
@@ -753,7 +934,7 @@ impl CollectiveExecutor {
     ) {
         // Buffer arrivals for phases the node has not entered yet.
         {
-            let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
+            let st = self.chunk_state_mut(cid, chunk);
             let np = st.node_phase[node];
             if np == NOT_STARTED || np < phase {
                 st.pending[node].push((phase, step, now));
@@ -762,20 +943,16 @@ impl CollectiveExecutor {
             debug_assert_eq!(np, phase, "arrival for a past phase");
             st.arr_count[node] += 1;
         }
-        let spec = self.colls[cid].plan.phases()[phase as usize];
-        let k = spec.ring_size as u16;
-        let final_step = match spec.kind {
-            PhaseKind::ReduceScatter | PhaseKind::AllGather => k - 2,
-            PhaseKind::RingAllReduce => 2 * k - 3,
-            PhaseKind::DirectAllToAll => unreachable!("all-to-all is not a ring phase"),
-        };
+        let hot = self.colls[cid].phase_hot[phase as usize];
+        let k = hot.ring_k;
+        let final_step = hot.final_step;
         let shard = self.shard_bytes(cid, chunk, phase);
         let engine = &mut self.engines[node];
         // The landing write and the processing of the step pipeline
         // through independent resources; both are charged at the arrival
         // time and the step completes when the slowest finishes.
         let landed = engine.receive(now, shard, phase as usize);
-        let reduces = match spec.kind {
+        let reduces = match hot.kind {
             PhaseKind::ReduceScatter => true,
             PhaseKind::AllGather => false,
             PhaseKind::RingAllReduce => step <= k - 2,
@@ -827,10 +1004,11 @@ impl CollectiveExecutor {
         self.engines[node].release(n_phases as usize, terminal_bytes, now);
         self.retry_waiters(now, node);
         let all_done = {
-            let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
+            let nodes = self.shape.nodes();
+            let st = self.chunk_state_mut(cid, chunk);
             st.node_phase[node] = n_phases + 1;
             st.nodes_done += 1;
-            st.nodes_done == self.shape.nodes()
+            st.nodes_done == nodes
         };
         if all_done {
             self.chunk_complete(now, cid, chunk);
@@ -838,9 +1016,12 @@ impl CollectiveExecutor {
     }
 
     fn chunk_complete(&mut self, now: SimTime, cid: usize, chunk: usize) {
-        // Free the per-chunk state eagerly: large payloads create many
-        // chunks and keeping their vectors alive is wasteful.
-        self.colls[cid].chunks[chunk] = None;
+        // Recycle the per-chunk state slot: large payloads create many
+        // chunks and the arena keeps their vectors' capacity alive for
+        // the next chunk instead of reallocating.
+        let slot = std::mem::replace(&mut self.colls[cid].chunk_slot[chunk], NO_SLOT);
+        debug_assert_ne!(slot, NO_SLOT, "chunk completed twice");
+        self.free_slots.push(slot);
         self.colls[cid].done_chunks += 1;
         self.inflight -= 1;
         if self.colls[cid].done_chunks == self.colls[cid].chunk_sizes.len() {
@@ -863,17 +1044,42 @@ impl CollectiveExecutor {
         (src, dst)
     }
 
+    /// Bytes flow `flow` carries for `chunk`: the chunk's share of the
+    /// per-destination slice, plus one remainder byte on the last chunk of
+    /// the first `payload % nodes` destination offsets. Summed over a
+    /// source's flows and its local slice this reproduces the original
+    /// payload exactly (byte conservation).
+    fn a2a_flow_bytes(&self, cid: usize, chunk: usize, flow: usize) -> u64 {
+        let coll = &self.colls[cid];
+        let off = (flow % (self.shape.nodes() - 1)) as u64;
+        let last = chunk + 1 == coll.chunk_sizes.len();
+        coll.chunk_sizes[chunk] + u64::from(last && off < coll.a2a_extra)
+    }
+
+    /// Builds the per-flow XYZ route table on first use.
+    fn ensure_a2a_routes(&mut self) {
+        if !self.a2a_routes.is_empty() {
+            return;
+        }
+        let n = self.shape.nodes();
+        let routes: Vec<Route> = (0..n * (n - 1))
+            .map(|flow| {
+                let (src, dst) = self.a2a_flow_endpoints(flow);
+                self.shape.route(NodeId(src), NodeId(dst))
+            })
+            .collect();
+        self.a2a_routes = routes;
+    }
+
     fn inject_a2a_chunk(&mut self, now: SimTime, cid: usize, chunk: usize) {
-        self.ensure_chunk_state(cid, chunk);
+        self.acquire_chunk_slot(cid, chunk);
+        self.ensure_a2a_routes();
         let n = self.shape.nodes();
         let flows = n * (n - 1);
-        {
-            let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
-            st.flows_total = flows;
-        }
-        let bytes = self.colls[cid].chunk_sizes[chunk];
+        self.chunk_state_mut(cid, chunk).flows_total = flows;
         for flow in 0..flows {
-            let (src, _dst) = self.a2a_flow_endpoints(flow);
+            let src = flow / (n - 1);
+            let bytes = self.a2a_flow_bytes(cid, chunk, flow);
             // Stage the source's slice buffer once per chunk. All-to-all
             // is single-phase: it shares phase 0's partition and FSMs
             // (Section V).
@@ -897,10 +1103,8 @@ impl CollectiveExecutor {
 
     /// Transmits hop `hop` of an all-to-all flow at event time.
     fn a2a_send(&mut self, now: SimTime, cid: usize, chunk: usize, flow: usize, hop: usize) {
-        let (src, dst) = self.a2a_flow_endpoints(flow);
-        let route = self.shape.route(NodeId(src), NodeId(dst));
-        let bytes = self.colls[cid].chunk_sizes[chunk];
-        let h = route[hop];
+        let bytes = self.a2a_flow_bytes(cid, chunk, flow);
+        let h = self.a2a_routes[flow][hop];
         let out = self.net.transmit(now, h.from, h.port, bytes);
         self.queue.schedule(
             out.arrival,
@@ -914,9 +1118,8 @@ impl CollectiveExecutor {
     }
 
     fn a2a_hop(&mut self, now: SimTime, cid: usize, chunk: usize, flow: usize, hop: usize) {
-        let (src, dst) = self.a2a_flow_endpoints(flow);
-        let route = self.shape.route(NodeId(src), NodeId(dst));
-        let bytes = self.colls[cid].chunk_sizes[chunk];
+        let bytes = self.a2a_flow_bytes(cid, chunk, flow);
+        let route = &self.a2a_routes[flow];
         if hop < route.len() {
             // Intermediate endpoint: store-and-forward, then next hop.
             let at = route[hop].from.index();
@@ -932,10 +1135,11 @@ impl CollectiveExecutor {
             );
         } else {
             // Final arrival at the destination.
+            let dst = route.last().expect("route nonempty").to.index();
             let landed = self.engines[dst].receive(now, bytes, 0);
             let done = self.engines[dst].chunk_complete(landed, bytes);
             let finished = {
-                let st = self.colls[cid].chunks[chunk].as_mut().expect("chunk state");
+                let st = self.chunk_state_mut(cid, chunk);
                 st.flows_done += 1;
                 st.flows_done == st.flows_total
             };
@@ -944,6 +1148,75 @@ impl CollectiveExecutor {
             }
         }
     }
+}
+
+/// Precomputes the per-phase event-handler constants for ring plans (an
+/// all-to-all plan gets an empty table — its single phase never reaches
+/// the ring handlers).
+fn phase_hot_table(plan: &CollectivePlan, kind: CollKind) -> Vec<PhaseHot> {
+    if kind != CollKind::Ring {
+        return Vec::new();
+    }
+    plan.phases()
+        .iter()
+        .map(|spec| {
+            let k = spec.ring_size as u16;
+            let dim = spec.dim.expect("ring phases have a dimension");
+            PhaseHot {
+                kind: spec.kind,
+                ring_k: k,
+                final_step: match spec.kind {
+                    PhaseKind::ReduceScatter | PhaseKind::AllGather => k - 2,
+                    PhaseKind::RingAllReduce => 2 * k - 3,
+                    PhaseKind::DirectAllToAll => {
+                        unreachable!("all-to-all is not a ring phase")
+                    }
+                },
+                port_idx_plus: Port::new(dim, true).index() as u8,
+                port_idx_minus: Port::new(dim, false).index() as u8,
+            }
+        })
+        .collect()
+}
+
+/// Precomputes the per-phase shard and admission byte tables for a plan
+/// over `chunk_sizes` (column 0: leading full chunks; column 1: the short
+/// trailing chunk, when present).
+fn byte_caches(plan: &CollectivePlan, chunk_sizes: &[u64]) -> (bool, Vec<u64>, Vec<u64>) {
+    let phases = plan.phases();
+    let first = chunk_sizes.first().copied().unwrap_or(0);
+    let last = chunk_sizes.last().copied().unwrap_or(0);
+    let short_last = chunk_sizes.len() > 1 && last != first;
+    let sizes = [first, last];
+    let mut shard_cache = vec![0u64; phases.len() * 2];
+    let mut admit_cache = vec![0u64; (phases.len() + 1) * 2];
+    for (p, spec) in phases.iter().enumerate() {
+        for (col, &size) in sizes.iter().enumerate() {
+            shard_cache[p * 2 + col] = shard_of(spec, size);
+            admit_cache[p * 2 + col] = ((size as f64) * spec.input_fraction).ceil() as u64;
+        }
+    }
+    if let Some(spec) = phases.last() {
+        // Terminal partition: the final result (full chunk for all-reduce).
+        let out = spec.output_fraction();
+        for (col, &size) in sizes.iter().enumerate() {
+            admit_cache[phases.len() * 2 + col] = ((size as f64) * out).ceil() as u64;
+        }
+    }
+    (short_last, shard_cache, admit_cache)
+}
+
+/// Per-node shard size moved in one ring step of a phase, for a chunk of
+/// `size` bytes.
+fn shard_of(spec: &PhaseSpec, size: u64) -> u64 {
+    let input = size as f64 * spec.input_fraction;
+    let k = spec.ring_size as f64;
+    let shard = match spec.kind {
+        // All-gather forwards the whole phase input each step.
+        PhaseKind::AllGather => input,
+        _ => input / k,
+    };
+    (shard.ceil() as u64).max(1)
 }
 
 #[cfg(test)]
@@ -1199,5 +1472,87 @@ mod tests {
         assert!(ace.ace_utilization(t).unwrap() > 0.0);
         let base = executor(SystemConfig::BaselineCommOpt, shape442());
         assert!(base.ace_utilization(SimTime::from_cycles(1)).is_none());
+    }
+
+    #[test]
+    fn ace_busy_cycles_back_the_utilization_ratio() {
+        let mut ace = executor(SystemConfig::Ace, shape442());
+        let h = ace.issue(CollectiveOp::AllReduce, 4 << 20, SimTime::ZERO);
+        let t = ace.run_until_complete(h);
+        let busy = ace.ace_busy_cycles(t).expect("ACE tracks busy cycles");
+        assert!(busy > 0 && busy <= t.cycles());
+        let util = ace.ace_utilization(t).unwrap();
+        assert_eq!(util, busy as f64 / t.cycles() as f64);
+        let base = executor(SystemConfig::BaselineCommOpt, shape442());
+        assert!(base.ace_busy_cycles(SimTime::from_cycles(1)).is_none());
+    }
+
+    #[test]
+    fn no_past_schedules_in_a_clean_run() {
+        let mut ex = executor(SystemConfig::Ace, shape442());
+        let h = ex.issue(CollectiveOp::AllReduce, 8 << 20, SimTime::ZERO);
+        ex.run_until_complete(h);
+        assert_eq!(ex.past_schedules(), 0);
+    }
+
+    /// Total bytes one source's flows carry for a payload, plus its local
+    /// slice — must reproduce the payload exactly.
+    fn a2a_src_bytes(ex: &CollectiveExecutor, cid: usize, payload: u64) -> u64 {
+        let n = ex.shape.nodes();
+        let n_chunks = ex.colls[cid].chunk_sizes.len();
+        let mut sent = 0;
+        for flow in 0..(n - 1) {
+            for chunk in 0..n_chunks {
+                sent += ex.a2a_flow_bytes(cid, chunk, flow);
+            }
+        }
+        sent + payload / n as u64
+    }
+
+    #[test]
+    fn a2a_flow_bytes_conserve_payload() {
+        // The old per-destination `payload / n` chunking silently dropped
+        // up to n-1 remainder bytes per collective.
+        for (l, v, hh) in [(2, 1, 1), (4, 2, 2), (4, 4, 4)] {
+            let shape = TorusShape::new(l, v, hh).unwrap();
+            for payload in [1u64, 7, 1000, 64 * 1024 + 13, (1 << 20) + 1] {
+                let mut ex = executor(SystemConfig::Ideal, shape);
+                let h = ex.issue(CollectiveOp::AllToAll, payload, SimTime::ZERO);
+                let total = a2a_src_bytes(&ex, h.0, payload);
+                assert_eq!(
+                    total, payload,
+                    "payload {payload} on {l}x{v}x{hh}: flows carry {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a2a_sub_node_count_payload_still_travels() {
+        // payload < nodes: the per-slice base is zero, but the remainder
+        // bytes must still move (previously the collective completed
+        // instantly, dropping them).
+        let mut ex = executor(SystemConfig::Ideal, shape442());
+        let h = ex.issue(CollectiveOp::AllToAll, 7, SimTime::ZERO);
+        assert!(!ex.is_complete(h));
+        let t = ex.run_until_complete(h);
+        assert!(t.cycles() > 0);
+        assert!(ex.network().total_bytes() >= 7);
+    }
+
+    #[test]
+    fn a2a_network_traffic_grows_with_payload_not_truncates() {
+        // With conservation, an odd payload must carry at least as many
+        // bytes as the truncated even payload below it.
+        let run = |payload| {
+            let mut ex = executor(SystemConfig::Ideal, shape442());
+            let h = ex.issue(CollectiveOp::AllToAll, payload, SimTime::ZERO);
+            ex.run_until_complete(h);
+            ex.network().total_bytes()
+        };
+        let n = shape442().nodes() as u64;
+        let base = run(1 << 20);
+        let odd = run((1 << 20) + (n - 1));
+        assert!(odd > base, "remainder bytes must reach the network");
     }
 }

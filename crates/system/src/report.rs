@@ -19,8 +19,10 @@ pub struct IterationReport {
     pub(crate) network_series: Vec<f64>,
     pub(crate) ace_util_fwd: Option<f64>,
     pub(crate) ace_util_bwd: Option<f64>,
+    pub(crate) ace_busy_cycles: Option<u64>,
     pub(crate) comm_mem_traffic_bytes: u64,
     pub(crate) network_bytes: u64,
+    pub(crate) past_schedules: u64,
 }
 
 impl IterationReport {
@@ -110,6 +112,19 @@ impl IterationReport {
         self.ace_util_bwd
     }
 
+    /// Exact ACE engine-busy cycles over the whole run, if ACE — the
+    /// integer counter the Fig. 9b ratios are derived from.
+    pub fn ace_busy_cycles(&self) -> Option<u64> {
+        self.ace_busy_cycles
+    }
+
+    /// Events scheduled in the past and clamped by the event queue —
+    /// always zero in a correct simulation; surfaced so release-mode
+    /// sweeps can flag the invariant violation.
+    pub fn past_schedules(&self) -> u64 {
+        self.past_schedules
+    }
+
     /// Per-node HBM bytes consumed by communication.
     pub fn comm_mem_traffic_bytes(&self) -> u64 {
         self.comm_mem_traffic_bytes
@@ -165,8 +180,10 @@ mod tests {
             network_series: vec![0.2, 0.8],
             ace_util_fwd: Some(0.1),
             ace_util_bwd: Some(0.9),
+            ace_busy_cycles: Some(230_000),
             comm_mem_traffic_bytes: 1 << 20,
             network_bytes: 64 << 20,
+            past_schedules: 0,
         }
     }
 
@@ -189,6 +206,8 @@ mod tests {
         assert_eq!(r.compute_series().len(), 2);
         assert_eq!(r.network_series().len(), 2);
         assert_eq!(r.ace_util_bwd(), Some(0.9));
+        assert_eq!(r.ace_busy_cycles(), Some(230_000));
+        assert_eq!(r.past_schedules(), 0);
     }
 
     #[test]
