@@ -10,7 +10,7 @@
 //! figure-specific pivoting and commentary.
 
 use ace_bench::{emit_tsv, header, subheader};
-use ace_net::TorusShape;
+use ace_net::{TopologySpec, TorusShape};
 use ace_sweep::{
     run_scenario, BaselineSpec, EngineFamily, EngineSpec, RunResult, RunnerOptions, Scenario,
     SweepOutcome,
@@ -24,8 +24,8 @@ const SWEEPS: [f64; 10] = [
 fn scenario() -> Scenario {
     let mut sc = Scenario::collective("fig05-membw");
     sc.topologies = vec![
-        TorusShape::new(4, 2, 2).expect("valid shape"),
-        TorusShape::new(4, 4, 4).expect("valid shape"),
+        TorusShape::new(4, 2, 2).expect("valid shape").into(),
+        TorusShape::new(4, 4, 4).expect("valid shape").into(),
     ];
     sc.engines = vec![
         EngineFamily::Ideal,
@@ -40,7 +40,7 @@ fn scenario() -> Scenario {
 }
 
 /// The grid row for `spec` on `shape`.
-fn find(out: &SweepOutcome, shape: TorusShape, spec: EngineSpec) -> &RunResult {
+fn find(out: &SweepOutcome, shape: TopologySpec, spec: EngineSpec) -> &RunResult {
     out.find_collective(shape, spec)
         .expect("point is in the grid")
 }

@@ -12,7 +12,7 @@
 
 use ace_bench::{emit_tsv, header, subheader};
 use ace_compute::SmDriveModel;
-use ace_net::TorusShape;
+use ace_net::{TopologySpec, TorusShape};
 use ace_sweep::{
     run_scenario, EngineFamily, EngineSpec, RunResult, RunnerOptions, Scenario, SweepOutcome,
 };
@@ -28,8 +28,8 @@ fn sms_for(pct: u32) -> u32 {
 fn scenario() -> Scenario {
     let mut sc = Scenario::collective("fig06-sm-sweep");
     sc.topologies = vec![
-        TorusShape::new(4, 2, 2).expect("valid shape"),
-        TorusShape::new(4, 4, 4).expect("valid shape"),
+        TorusShape::new(4, 2, 2).expect("valid shape").into(),
+        TorusShape::new(4, 4, 4).expect("valid shape").into(),
     ];
     sc.engines = vec![EngineFamily::Baseline];
     sc.payload_bytes = vec![PAYLOAD];
@@ -38,7 +38,7 @@ fn scenario() -> Scenario {
     sc
 }
 
-fn find(out: &SweepOutcome, shape: TorusShape, sms: u32) -> &RunResult {
+fn find(out: &SweepOutcome, shape: TopologySpec, sms: u32) -> &RunResult {
     let spec = EngineSpec::Baseline {
         mem_gbps: 900.0,
         comm_sms: sms,

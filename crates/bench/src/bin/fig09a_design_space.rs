@@ -30,8 +30,8 @@ const FSMS: [usize; 4] = [4, 8, 16, 20];
 fn scenario() -> Scenario {
     let mut sc = Scenario::collective("fig09a-design-space");
     sc.topologies = vec![
-        TorusShape::new(4, 2, 2).expect("valid shape"),
-        TorusShape::new(4, 4, 4).expect("valid shape"),
+        TorusShape::new(4, 2, 2).expect("valid shape").into(),
+        TorusShape::new(4, 4, 4).expect("valid shape").into(),
     ];
     sc.engines = vec![EngineFamily::Ace];
     sc.payload_bytes = vec![PAYLOAD];

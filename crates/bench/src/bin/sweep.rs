@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! sweep examples/scenarios/design_space.toml --csv out.csv --json out.json
+//! sweep examples/scenarios/topology_sweep.toml   # tori vs switches vs hierarchical
 //! sweep scenario.toml --threads 1          # serial run (byte-identical output)
 //! sweep scenario.toml --cache-file sweep.cache   # reuse results across processes
 //! ```
@@ -26,7 +27,11 @@ struct Args {
 }
 
 const USAGE: &str = "usage: sweep <scenario.toml> [--threads N] [--csv PATH] [--json PATH] \
-                     [--cache-file PATH] [--quiet]";
+                     [--cache-file PATH] [--quiet]\n\
+                     \n\
+                     The scenario's `topologies` axis accepts tori (\"4x2x2\", \"4x8\"),\n\
+                     switches (\"switch:16\", \"switch:16@100\"), and hierarchical fabrics\n\
+                     (\"hier:4x8\"); see examples/scenarios/topology_sweep.toml.";
 
 fn parse_args() -> Result<Args, String> {
     let mut scenario_path = None;

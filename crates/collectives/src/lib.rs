@@ -42,4 +42,4 @@ mod plan;
 pub mod traffic;
 
 pub use granularity::{split_even, Granularity};
-pub use plan::{CollectiveOp, CollectivePlan, PhaseKind, PhaseSpec};
+pub use plan::{CollectiveOp, CollectivePlan, PhaseKind, PhaseLink, PhaseSpec};

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use ace_net::{Dim, TorusShape};
+use ace_net::{LinkClass, Topology, TopologySpec, TorusShape};
 
 /// The four collective operations of DNN training (paper Fig. 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,9 +34,12 @@ impl fmt::Display for CollectiveOp {
 /// The algorithm run within one phase of a plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PhaseKind {
-    /// Ring reduce-scatter over the phase dimension.
+    /// Ring reduce-scatter over the phase dimension. On a ring of size 2
+    /// this is one halving exchange — the building block of
+    /// halving-doubling on switch topologies.
     ReduceScatter,
-    /// Ring all-gather over the phase dimension.
+    /// Ring all-gather over the phase dimension (a doubling exchange on
+    /// rings of size 2).
     AllGather,
     /// Ring all-reduce (reduce-scatter + all-gather) over the phase
     /// dimension.
@@ -57,6 +60,29 @@ impl fmt::Display for PhaseKind {
     }
 }
 
+/// The fabric footprint of one phase: either a single topology dimension
+/// (ring phases) or every port at once (global phases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseLink {
+    /// A ring phase over topology dimension `index`, riding links of
+    /// `class`.
+    Dim {
+        /// Index into [`Topology::dims`].
+        index: u8,
+        /// Link technology of the dimension.
+        class: LinkClass,
+    },
+    /// A global phase (direct all-to-all) spanning every egress port;
+    /// the per-node port counts drive the SRAM-partition weight
+    /// heuristic.
+    Global {
+        /// Intra-package egress ports per node.
+        intra_ports: u8,
+        /// Inter-package egress ports per node.
+        inter_ports: u8,
+    },
+}
+
 /// One phase of a hierarchical collective plan.
 ///
 /// `input_fraction` is the share of the *original per-node payload* this
@@ -66,9 +92,8 @@ impl fmt::Display for PhaseKind {
 pub struct PhaseSpec {
     /// Algorithm run in this phase.
     pub kind: PhaseKind,
-    /// Torus dimension the phase's ring lives on; `None` for the global
-    /// direct all-to-all.
-    pub dim: Option<Dim>,
+    /// The dimension (or global footprint) the phase runs over.
+    pub link: PhaseLink,
     /// Number of ring participants (or total nodes for all-to-all).
     pub ring_size: usize,
     /// Fraction of the original per-node payload entering this phase.
@@ -76,6 +101,23 @@ pub struct PhaseSpec {
 }
 
 impl PhaseSpec {
+    /// The topology dimension this phase rings over; `None` for global
+    /// phases.
+    pub fn dim_index(&self) -> Option<usize> {
+        match self.link {
+            PhaseLink::Dim { index, .. } => Some(index as usize),
+            PhaseLink::Global { .. } => None,
+        }
+    }
+
+    /// Link class of the phase's dimension; `None` for global phases.
+    pub fn link_class(&self) -> Option<LinkClass> {
+        match self.link {
+            PhaseLink::Dim { class, .. } => Some(class),
+            PhaseLink::Global { .. } => None,
+        }
+    }
+
     /// Fraction of the original payload each node holds after this phase.
     pub fn output_fraction(&self) -> f64 {
         let k = self.ring_size as f64;
@@ -120,93 +162,118 @@ impl PhaseSpec {
 
 impl fmt::Display for PhaseSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.dim {
-            Some(d) => write!(f, "{} on {} ring (k={})", self.kind, d, self.ring_size),
-            None => write!(f, "{} (n={})", self.kind, self.ring_size),
+        match self.link {
+            PhaseLink::Dim { index, .. } => {
+                write!(f, "{} on d{} ring (k={})", self.kind, index, self.ring_size)
+            }
+            PhaseLink::Global { .. } => write!(f, "{} (n={})", self.kind, self.ring_size),
         }
     }
 }
 
 /// A topology-aware execution plan: the ordered phases a collective runs
-/// through on a given torus.
+/// through on a given fabric.
 ///
-/// For all-reduce this is the paper's 4-phase hierarchy (Section V):
-/// reduce-scatter (local) → ring all-reduce (vertical) → ring all-reduce
-/// (horizontal) → all-gather (local), skipping any dimension of size 1.
-/// The plan deliberately exercises the high-bandwidth intra-package links
-/// with the full payload and the slow inter-package links with only
-/// `1/L`-sized shards.
+/// For all-reduce on the paper's torus this is the 4-phase hierarchy
+/// (Section V): reduce-scatter (local) → ring all-reduce (vertical) →
+/// ring all-reduce (horizontal) → all-gather (local), skipping any
+/// dimension of size 1. The plan deliberately exercises the
+/// high-bandwidth intra-package links with the full payload and the slow
+/// inter-package links with only `1/L`-sized shards.
+///
+/// The same machinery plans every [`Topology`]: the leading
+/// [`sandwich_dims`](Topology::sandwich_dims) dimensions reduce-scatter
+/// on the way in and all-gather (in reverse order) on the way out, while
+/// the remaining dimensions run ring all-reduces on the shrunken shards.
+/// On a power-of-two [`Switch`](ace_net::Switch), whose dimensions are
+/// all pairwise exchanges, this degenerates to recursive
+/// halving-doubling; on a [`Hierarchical`](ace_net::Hierarchical) fabric
+/// the scale-up crossbar takes the sandwich and the scale-out ring the
+/// middle.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CollectivePlan {
     op: CollectiveOp,
-    shape: TorusShape,
+    spec: TopologySpec,
     phases: Vec<PhaseSpec>,
 }
 
 impl CollectivePlan {
-    /// Builds the plan for `op` on `shape`.
+    /// Builds the plan for `op` on the legacy 3-dimension torus `shape`.
     pub fn for_op(op: CollectiveOp, shape: TorusShape) -> CollectivePlan {
-        let phases = match op {
-            CollectiveOp::AllReduce => Self::all_reduce_phases(shape),
-            CollectiveOp::ReduceScatter => {
-                Self::sweep_phases(shape, PhaseKind::ReduceScatter, false)
-            }
-            CollectiveOp::AllGather => Self::sweep_phases(shape, PhaseKind::AllGather, true),
-            CollectiveOp::AllToAll => vec![PhaseSpec {
-                kind: PhaseKind::DirectAllToAll,
-                dim: None,
-                ring_size: shape.nodes(),
-                input_fraction: 1.0,
-            }],
-        };
-        CollectivePlan { op, shape, phases }
+        CollectivePlan::for_spec(op, shape.into())
     }
 
-    fn all_reduce_phases(shape: TorusShape) -> Vec<PhaseSpec> {
+    /// Builds the plan for `op` on the topology identified by `spec`.
+    pub fn for_spec(op: CollectiveOp, spec: TopologySpec) -> CollectivePlan {
+        CollectivePlan::for_topology(op, spec.build().as_ref())
+    }
+
+    /// Builds the plan for `op` on `topo`.
+    pub fn for_topology(op: CollectiveOp, topo: &dyn Topology) -> CollectivePlan {
+        let phases = match op {
+            CollectiveOp::AllReduce => Self::all_reduce_phases(topo),
+            CollectiveOp::ReduceScatter => {
+                Self::sweep_phases(topo, PhaseKind::ReduceScatter, false)
+            }
+            CollectiveOp::AllGather => Self::sweep_phases(topo, PhaseKind::AllGather, true),
+            CollectiveOp::AllToAll => {
+                let (intra_ports, inter_ports) = topo.global_port_profile();
+                vec![PhaseSpec {
+                    kind: PhaseKind::DirectAllToAll,
+                    link: PhaseLink::Global {
+                        intra_ports,
+                        inter_ports,
+                    },
+                    ring_size: topo.nodes(),
+                    input_fraction: 1.0,
+                }]
+            }
+        };
+        assert!(
+            !phases.is_empty(),
+            "a {}-node topology must plan at least one phase",
+            topo.nodes()
+        );
+        CollectivePlan {
+            op,
+            spec: topo.spec(),
+            phases,
+        }
+    }
+
+    fn dim_phase(topo: &dyn Topology, kind: PhaseKind, dim: usize, frac: f64) -> PhaseSpec {
+        let info = topo.dims()[dim];
+        PhaseSpec {
+            kind,
+            link: PhaseLink::Dim {
+                index: dim as u8,
+                class: info.class,
+            },
+            ring_size: info.len,
+            input_fraction: frac,
+        }
+    }
+
+    /// The all-reduce hierarchy: reduce-scatter over the sandwich
+    /// dimensions, ring all-reduce over the rest, all-gather back out.
+    fn all_reduce_phases(topo: &dyn Topology) -> Vec<PhaseSpec> {
+        let dims = topo.dims();
+        let s = topo.sandwich_dims().min(dims.len());
+        let sandwich: Vec<usize> = (0..s).filter(|&d| dims[d].len > 1).collect();
         let mut phases = Vec::new();
         let mut frac = 1.0;
-        let l = shape.len(Dim::Local);
-        if l > 1 {
-            phases.push(PhaseSpec {
-                kind: PhaseKind::ReduceScatter,
-                dim: Some(Dim::Local),
-                ring_size: l,
-                input_fraction: frac,
-            });
-            frac /= l as f64;
+        for &d in &sandwich {
+            phases.push(Self::dim_phase(topo, PhaseKind::ReduceScatter, d, frac));
+            frac /= dims[d].len as f64;
         }
-        for dim in [Dim::Vertical, Dim::Horizontal] {
-            let k = shape.len(dim);
-            if k > 1 {
-                phases.push(PhaseSpec {
-                    kind: PhaseKind::RingAllReduce,
-                    dim: Some(dim),
-                    ring_size: k,
-                    input_fraction: frac,
-                });
+        for (d, info) in dims.iter().enumerate().skip(s) {
+            if info.len > 1 {
+                phases.push(Self::dim_phase(topo, PhaseKind::RingAllReduce, d, frac));
             }
         }
-        if l > 1 {
-            phases.push(PhaseSpec {
-                kind: PhaseKind::AllGather,
-                dim: Some(Dim::Local),
-                ring_size: l,
-                input_fraction: frac,
-            });
-        }
-        if phases.is_empty() {
-            // Degenerate 1-D shapes still need a ring all-reduce over
-            // whichever dimension exists.
-            let dim = Dim::ALL
-                .into_iter()
-                .find(|d| shape.len(*d) > 1)
-                .expect("torus has at least two nodes");
-            phases.push(PhaseSpec {
-                kind: PhaseKind::RingAllReduce,
-                dim: Some(dim),
-                ring_size: shape.len(dim),
-                input_fraction: 1.0,
-            });
+        for &d in sandwich.iter().rev() {
+            phases.push(Self::dim_phase(topo, PhaseKind::AllGather, d, frac));
+            frac *= dims[d].len as f64;
         }
         phases
     }
@@ -214,21 +281,17 @@ impl CollectivePlan {
     /// Dimension sweep for standalone reduce-scatter / all-gather.
     /// All-gather sweeps dimensions in reverse so that it exactly mirrors
     /// the reduce-scatter sweep.
-    fn sweep_phases(shape: TorusShape, kind: PhaseKind, reverse: bool) -> Vec<PhaseSpec> {
-        let mut dims: Vec<Dim> = Dim::ALL.into_iter().filter(|d| shape.len(*d) > 1).collect();
+    fn sweep_phases(topo: &dyn Topology, kind: PhaseKind, reverse: bool) -> Vec<PhaseSpec> {
+        let dims = topo.dims();
+        let mut order: Vec<usize> = (0..dims.len()).filter(|&d| dims[d].len > 1).collect();
         if reverse {
-            dims.reverse();
+            order.reverse();
         }
         let mut phases = Vec::new();
         let mut frac = 1.0;
-        for dim in dims {
-            let k = shape.len(dim);
-            phases.push(PhaseSpec {
-                kind,
-                dim: Some(dim),
-                ring_size: k,
-                input_fraction: frac,
-            });
+        for d in order {
+            let k = dims[d].len;
+            phases.push(Self::dim_phase(topo, kind, d, frac));
             frac = match kind {
                 PhaseKind::ReduceScatter => frac / k as f64,
                 PhaseKind::AllGather => frac * k as f64,
@@ -243,9 +306,9 @@ impl CollectivePlan {
         self.op
     }
 
-    /// The torus the plan targets.
-    pub fn shape(&self) -> TorusShape {
-        self.shape
+    /// The topology the plan targets.
+    pub fn spec(&self) -> TopologySpec {
+        self.spec
     }
 
     /// The ordered phases.
@@ -270,12 +333,21 @@ impl CollectivePlan {
 
 impl fmt::Display for CollectivePlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} on {}: ", self.op, self.shape)?;
+        write!(f, "{} on {}: ", self.op, self.spec)?;
         for (i, p) in self.phases.iter().enumerate() {
             if i > 0 {
                 write!(f, " -> ")?;
             }
-            write!(f, "{p}")?;
+            match p.link {
+                PhaseLink::Dim { index, .. } => write!(
+                    f,
+                    "{} on {} ring (k={})",
+                    p.kind,
+                    self.spec.dim_name(index as usize),
+                    p.ring_size
+                )?,
+                PhaseLink::Global { .. } => write!(f, "{} (n={})", p.kind, p.ring_size)?,
+            }
         }
         Ok(())
     }
@@ -302,10 +374,12 @@ mod tests {
                 PhaseKind::AllGather,
             ]
         );
-        assert_eq!(plan.phases()[0].dim, Some(Dim::Local));
-        assert_eq!(plan.phases()[1].dim, Some(Dim::Vertical));
-        assert_eq!(plan.phases()[2].dim, Some(Dim::Horizontal));
-        assert_eq!(plan.phases()[3].dim, Some(Dim::Local));
+        assert_eq!(plan.phases()[0].dim_index(), Some(0));
+        assert_eq!(plan.phases()[1].dim_index(), Some(1));
+        assert_eq!(plan.phases()[2].dim_index(), Some(2));
+        assert_eq!(plan.phases()[3].dim_index(), Some(0));
+        assert_eq!(plan.phases()[0].link_class(), Some(LinkClass::IntraPackage));
+        assert_eq!(plan.phases()[1].link_class(), Some(LinkClass::InterPackage));
     }
 
     #[test]
@@ -332,7 +406,7 @@ mod tests {
     fn dimension_of_size_one_is_skipped() {
         let shape = TorusShape::new(4, 1, 2).unwrap();
         let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape);
-        assert!(plan.phases().iter().all(|p| p.dim != Some(Dim::Vertical)));
+        assert!(plan.phases().iter().all(|p| p.dim_index() != Some(1)));
         assert_eq!(plan.phases().len(), 3); // RS local, AR horizontal, AG local
     }
 
@@ -354,6 +428,13 @@ mod tests {
         let p = plan.phases()[0];
         assert_eq!(p.kind, PhaseKind::DirectAllToAll);
         assert_eq!(p.ring_size, 64);
+        assert_eq!(
+            p.link,
+            PhaseLink::Global {
+                intra_ports: 2,
+                inter_ports: 4
+            }
+        );
         // Each node keeps 1/64 and sends 63/64.
         assert!((p.send_fraction() - 63.0 / 64.0).abs() < 1e-12);
     }
@@ -370,7 +451,10 @@ mod tests {
         let ag_out = ag.phases().last().unwrap().output_fraction();
         assert!((ag_out - 64.0).abs() < 1e-9);
         // AG sweeps dimensions in reverse order of RS.
-        assert_eq!(rs.phases()[0].dim, ag.phases().last().unwrap().dim);
+        assert_eq!(
+            rs.phases()[0].dim_index(),
+            ag.phases().last().unwrap().dim_index()
+        );
     }
 
     #[test]
@@ -393,5 +477,74 @@ mod tests {
         let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, torus444());
         let s = plan.to_string();
         assert!(s.contains("all-reduce") && s.contains("->") && s.contains("local"));
+    }
+
+    #[test]
+    fn switch_all_reduce_is_halving_doubling() {
+        let spec: TopologySpec = "switch:16".parse().unwrap();
+        let plan = CollectivePlan::for_spec(CollectiveOp::AllReduce, spec);
+        let kinds: Vec<PhaseKind> = plan.phases().iter().map(|p| p.kind).collect();
+        // 4 halving exchanges then 4 doubling exchanges.
+        assert_eq!(kinds[..4], [PhaseKind::ReduceScatter; 4]);
+        assert_eq!(kinds[4..], [PhaseKind::AllGather; 4]);
+        assert!(plan.phases().iter().all(|p| p.ring_size == 2));
+        // Fractions halve on the way in and double back out.
+        assert_eq!(plan.phases()[3].input_fraction, 0.125);
+        assert_eq!(plan.phases()[4].input_fraction, 1.0 / 16.0);
+        assert_eq!(plan.phases()[7].output_fraction(), 1.0);
+        // Halving-doubling is bandwidth-optimal: 2(n-1)/n of the payload.
+        let sent = plan.bytes_sent_per_node(1 << 20);
+        let optimal = 2.0 * 15.0 / 16.0 * (1u64 << 20) as f64;
+        assert!((sent - optimal).abs() < 1e-6, "sent {sent} vs {optimal}");
+        // And takes log2(n) exchanges each way.
+        assert_eq!(plan.total_steps(), 8);
+    }
+
+    #[test]
+    fn non_power_of_two_switch_falls_back_to_a_ring() {
+        let spec: TopologySpec = "switch:6".parse().unwrap();
+        let plan = CollectivePlan::for_spec(CollectiveOp::AllReduce, spec);
+        assert_eq!(plan.phases().len(), 1);
+        assert_eq!(plan.phases()[0].kind, PhaseKind::RingAllReduce);
+        assert_eq!(plan.phases()[0].ring_size, 6);
+    }
+
+    #[test]
+    fn hierarchical_plan_sandwiches_the_crossbar() {
+        let spec: TopologySpec = "hier:4x8".parse().unwrap();
+        let plan = CollectivePlan::for_spec(CollectiveOp::AllReduce, spec);
+        let kinds: Vec<PhaseKind> = plan.phases().iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PhaseKind::ReduceScatter,
+                PhaseKind::ReduceScatter,
+                PhaseKind::RingAllReduce,
+                PhaseKind::AllGather,
+                PhaseKind::AllGather,
+            ]
+        );
+        // The scale-out ring works on 1/4-sized shards.
+        assert_eq!(plan.phases()[2].input_fraction, 0.25);
+        assert_eq!(plan.phases()[2].link_class(), Some(LinkClass::InterPackage));
+        assert_eq!(plan.phases()[0].link_class(), Some(LinkClass::IntraPackage));
+        assert_eq!(plan.phases().last().unwrap().output_fraction(), 1.0);
+    }
+
+    #[test]
+    fn two_dim_torus_plans_like_a_torus() {
+        let spec: TopologySpec = "4x8".parse().unwrap();
+        let plan = CollectivePlan::for_spec(CollectiveOp::AllReduce, spec);
+        let kinds: Vec<PhaseKind> = plan.phases().iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PhaseKind::ReduceScatter,
+                PhaseKind::RingAllReduce,
+                PhaseKind::AllGather,
+            ]
+        );
+        assert_eq!(plan.phases()[1].ring_size, 8);
+        assert_eq!(plan.phases()[1].input_fraction, 0.25);
     }
 }

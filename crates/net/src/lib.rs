@@ -1,18 +1,22 @@
 //! Accelerator-fabric (AF) network simulator.
 //!
-//! Models the point-to-point 3D-torus fabrics used by the paper's target
-//! platforms (Section V): each package holds `L` NPUs on an intra-package
-//! ring built from silicon-interposer links, and packages are joined by
-//! vertical and horizontal inter-package rings (NVLink-class links). Every
-//! NPU therefore owns six unidirectional egress ports: local ±, vertical ±,
-//! and horizontal ±.
+//! Models the fabrics of the paper's target platforms behind one
+//! [`Topology`] abstraction. The paper's platform (Section V) is the
+//! 3D torus: each package holds `L` NPUs on an intra-package ring built
+//! from silicon-interposer links, and packages are joined by vertical and
+//! horizontal inter-package rings (NVLink-class links), giving every NPU
+//! six unidirectional egress ports. [`TopologySpec`] also describes
+//! arbitrary-dimension tori (`4x8`), central crossbars (`switch:16`,
+//! optionally `switch:16@100` with a 100 GB/s uplink), and hierarchical
+//! scale-up/scale-out fabrics (`hier:4x8`).
 //!
 //! Transfers are simulated at message granularity with per-link FIFO
 //! serialization (bytes ÷ effective link bandwidth) plus a per-hop
 //! propagation latency, reproducing the paper's Table V link parameters
 //! (200 GB/s / 90 cycles intra-package, 25 GB/s / 500 cycles inter-package,
-//! 94 % link efficiency). Multi-hop traffic follows XYZ routing: first the
-//! local dimension, then vertical, then horizontal.
+//! 94 % link efficiency). Multi-hop torus traffic follows XYZ routing:
+//! first the local dimension, then vertical, then horizontal; crossbar
+//! traffic is one hop through the source uplink.
 //!
 //! # Example
 //!
@@ -22,7 +26,7 @@
 //!
 //! let shape = TorusShape::new(4, 2, 2).unwrap();
 //! let mut net = Network::new(shape, NetworkParams::paper_default());
-//! let route = net.shape().route(0.into(), 5.into());
+//! let route = net.topology().route(0.into(), 5.into());
 //! assert!(!route.is_empty());
 //! let arrival = net.send_route(SimTime::ZERO, 0.into(), &route, 8 * 1024);
 //! assert!(arrival.cycles() > 0);
@@ -33,8 +37,12 @@
 
 mod link;
 mod network;
+mod topo;
 mod topology;
 
 pub use link::{Link, LinkClass, LinkParams, Port};
 pub use network::{HopOutcome, Network, NetworkParams};
-pub use topology::{Coord, Dim, NodeId, Route, TorusShape};
+pub use topo::{
+    did_you_mean, DimInfo, Hierarchical, Switch, Topology, TopologySpec, Torus, MAX_TORUS_DIMS,
+};
+pub use topology::{Coord, Dim, Hop, NodeId, Route, ShapeError, TorusShape};

@@ -68,72 +68,91 @@ impl LinkParams {
     }
 }
 
-/// One egress port of a node: a dimension and a ring direction.
+/// One egress port of a node, identified by its dense per-node index.
+///
+/// On a torus, dimension `d`'s positive-direction port is index `2d` and
+/// its negative-direction port `2d + 1` — so on the 3-dimension torus the
+/// six ports are `local±`, `vertical±`, `horizontal±` in the paper's
+/// order. Other topologies lay out their own ports (a switch has a single
+/// uplink at index 0).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Port {
-    dim: Dim,
-    plus: bool,
+    idx: u8,
 }
 
 impl Port {
-    /// Creates a port for `dim` in the positive (`plus = true`) or negative
-    /// ring direction.
+    /// Creates a 3-dimension-torus port for `dim` in the positive
+    /// (`plus = true`) or negative ring direction.
     pub fn new(dim: Dim, plus: bool) -> Port {
-        Port { dim, plus }
-    }
-
-    /// All six ports in a fixed order.
-    pub const ALL: [Port; 6] = [
-        Port {
-            dim: Dim::Local,
-            plus: true,
-        },
-        Port {
-            dim: Dim::Local,
-            plus: false,
-        },
-        Port {
-            dim: Dim::Vertical,
-            plus: true,
-        },
-        Port {
-            dim: Dim::Vertical,
-            plus: false,
-        },
-        Port {
-            dim: Dim::Horizontal,
-            plus: true,
-        },
-        Port {
-            dim: Dim::Horizontal,
-            plus: false,
-        },
-    ];
-
-    /// The port's dimension.
-    pub fn dim(self) -> Dim {
-        self.dim
-    }
-
-    /// Whether the port points in the positive ring direction.
-    pub fn is_plus(self) -> bool {
-        self.plus
-    }
-
-    /// Dense index in `[0, 6)` for table lookups.
-    pub fn index(self) -> usize {
-        let d = match self.dim {
+        let d = match dim {
             Dim::Local => 0,
             Dim::Vertical => 1,
             Dim::Horizontal => 2,
         };
-        d * 2 + usize::from(!self.plus)
+        Port {
+            idx: (d * 2 + u8::from(!plus)),
+        }
+    }
+
+    /// The port at dense index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` does not fit the index width.
+    pub fn from_index(idx: usize) -> Port {
+        assert!(idx <= u8::MAX as usize, "port index {idx} out of range");
+        Port { idx: idx as u8 }
+    }
+
+    /// The six 3-dimension-torus ports in index order.
+    pub const ALL: [Port; 6] = [
+        Port { idx: 0 },
+        Port { idx: 1 },
+        Port { idx: 2 },
+        Port { idx: 3 },
+        Port { idx: 4 },
+        Port { idx: 5 },
+    ];
+
+    /// The port's dimension, for ports of the 3-dimension torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics for port indices beyond the torus's six.
+    pub fn dim(self) -> Dim {
+        match self.idx / 2 {
+            0 => Dim::Local,
+            1 => Dim::Vertical,
+            2 => Dim::Horizontal,
+            _ => panic!("port {} has no 3-dim-torus dimension", self.idx),
+        }
+    }
+
+    /// Whether the port points in the positive ring direction (even
+    /// index). Crossbar-backed topologies use one port for both
+    /// directions, so this is only meaningful on tori.
+    pub fn is_plus(self) -> bool {
+        self.idx.is_multiple_of(2)
+    }
+
+    /// Dense per-node index for table lookups.
+    pub fn index(self) -> usize {
+        self.idx as usize
     }
 }
 
 impl fmt::Display for Port {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", self.dim, if self.plus { "+" } else { "-" })
+        if self.idx < 6 {
+            write!(
+                f,
+                "{}{}",
+                self.dim(),
+                if self.is_plus() { "+" } else { "-" }
+            )
+        } else {
+            write!(f, "p{}", self.idx)
+        }
     }
 }
 

@@ -1,10 +1,11 @@
-//! The assembled fabric: one [`Link`] per node egress port, with
+//! The assembled fabric: one [`Link`] per live node egress port, with
 //! message-granularity transport and utilization accounting.
 
 use ace_simcore::{BucketCursor, Frequency, Grant, RateMeter, SimTime, TimeSeries};
 
 use crate::link::{Link, LinkClass, LinkParams, Port};
-use crate::topology::{NodeId, Route, TorusShape};
+use crate::topo::{Topology, TopologySpec};
+use crate::topology::{NodeId, Route};
 
 /// Fabric-wide configuration.
 #[derive(Debug, Clone, Copy)]
@@ -31,18 +32,13 @@ impl NetworkParams {
         }
     }
 
-    /// Per-NPU aggregate egress bandwidth in GB/s (Table V: 400 + 50 + 50).
-    pub fn per_npu_total_gbps(&self, shape: TorusShape) -> f64 {
-        let mut total = 0.0;
-        for port in Port::ALL {
-            if shape.len(port.dim()) > 1 {
-                total += match LinkClass::for_dim(port.dim()) {
-                    LinkClass::IntraPackage => self.intra.bandwidth_gbps,
-                    LinkClass::InterPackage => self.inter.bandwidth_gbps,
-                };
-            }
-        }
-        total
+    /// Per-NPU aggregate egress bandwidth in GB/s, summed over the
+    /// topology's live ports (Table V: 400 + 50 + 50 on the 3-dim torus).
+    pub fn per_npu_total_gbps(&self, topo: &dyn Topology) -> f64 {
+        (0..topo.ports_per_node())
+            .filter_map(|idx| topo.link_params_for(Port::from_index(idx), self))
+            .map(|p| p.bandwidth_gbps)
+            .sum()
     }
 }
 
@@ -55,13 +51,17 @@ pub struct HopOutcome {
     pub arrival: SimTime,
 }
 
-/// The accelerator-fabric network: every node's six egress links plus
-/// fabric-wide throughput/utilization meters.
-#[derive(Debug, Clone)]
+/// The accelerator-fabric network: every node's egress links plus
+/// fabric-wide throughput/utilization meters. The link layout comes from
+/// the [`Topology`]: `links[node * ports_per_node + port.index()]`, with
+/// `None` for ports the topology leaves dead (e.g. size-1 torus
+/// dimensions).
+#[derive(Debug)]
 pub struct Network {
-    shape: TorusShape,
+    topo: Box<dyn Topology>,
     params: NetworkParams,
-    /// `links[node * 6 + port.index()]`; `None` for dimensions of size 1.
+    nodes: usize,
+    ports_per_node: usize,
     links: Vec<Option<Link>>,
     /// Per-link bucket cursor into `util_series`: each link's grants are
     /// monotone in time, so the series write is division-free in the
@@ -73,27 +73,37 @@ pub struct Network {
 }
 
 impl Network {
-    /// Builds the fabric for `shape` with `params`.
-    pub fn new(shape: TorusShape, params: NetworkParams) -> Network {
-        let mut links = Vec::with_capacity(shape.nodes() * 6);
-        for _node in shape.iter_nodes() {
-            for port in Port::ALL {
-                if shape.len(port.dim()) > 1 {
-                    let class = LinkClass::for_dim(port.dim());
-                    let p = match class {
-                        LinkClass::IntraPackage => params.intra,
-                        LinkClass::InterPackage => params.inter,
-                    };
-                    links.push(Some(Link::new(class, p, params.freq)));
-                } else {
-                    links.push(None);
-                }
+    /// Builds the fabric for `spec` with `params`. Accepts anything
+    /// convertible to a [`TopologySpec`] — in particular the legacy
+    /// [`TorusShape`](crate::TorusShape).
+    pub fn new(spec: impl Into<TopologySpec>, params: NetworkParams) -> Network {
+        Network::for_topology(spec.into().build(), params)
+    }
+
+    /// Builds the fabric around an already-constructed topology.
+    pub fn for_topology(topo: Box<dyn Topology>, params: NetworkParams) -> Network {
+        let nodes = topo.nodes();
+        let ports_per_node = topo.ports_per_node();
+        let mut links = Vec::with_capacity(nodes * ports_per_node);
+        for _node in 0..nodes {
+            for idx in 0..ports_per_node {
+                links.push(
+                    topo.link_params_for(Port::from_index(idx), &params)
+                        .map(|p| {
+                            let class = topo
+                                .port_class(Port::from_index(idx))
+                                .expect("params imply a class");
+                            Link::new(class, p, params.freq)
+                        }),
+                );
             }
         }
         let active_links = links.iter().filter(|l| l.is_some()).count();
         Network {
-            shape,
+            topo,
             params,
+            nodes,
+            ports_per_node,
             util_cursors: vec![BucketCursor::default(); links.len()],
             links,
             meter: RateMeter::new(),
@@ -103,8 +113,18 @@ impl Network {
     }
 
     /// The fabric's topology.
-    pub fn shape(&self) -> TorusShape {
-        self.shape
+    pub fn topology(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// The topology's identity.
+    pub fn spec(&self) -> TopologySpec {
+        self.topo.spec()
+    }
+
+    /// Number of NPUs in the fabric.
+    pub fn nodes(&self) -> usize {
+        self.nodes
     }
 
     /// The fabric's configuration.
@@ -112,19 +132,19 @@ impl Network {
         &self.params
     }
 
-    /// Number of live (size > 1 dimension) unidirectional links.
+    /// Number of live unidirectional links.
     pub fn active_links(&self) -> usize {
         self.active_links
     }
 
-    fn link_index(node: NodeId, port: Port) -> usize {
-        node.index() * 6 + port.index()
+    fn link_index(&self, node: NodeId, port: Port) -> usize {
+        node.index() * self.ports_per_node + port.index()
     }
 
-    /// Immutable access to the link at `node`/`port`, if that dimension
-    /// exists in this shape.
+    /// Immutable access to the link at `node`/`port`, if the topology
+    /// wires one there.
     pub fn link(&self, node: NodeId, port: Port) -> Option<&Link> {
-        self.links[Self::link_index(node, port)].as_ref()
+        self.links[self.link_index(node, port)].as_ref()
     }
 
     /// Pushes `bytes` out of `node` through `port`. Returns the wire grant
@@ -132,9 +152,9 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if the port's dimension has size 1 (no such link).
+    /// Panics if the topology has no link at that port.
     pub fn transmit(&mut self, now: SimTime, node: NodeId, port: Port, bytes: u64) -> HopOutcome {
-        let idx = Self::link_index(node, port);
+        let idx = self.link_index(node, port);
         let link = self.links[idx]
             .as_mut()
             .unwrap_or_else(|| panic!("no {port} link at {node}"));
@@ -150,9 +170,9 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if the port's dimension has size 1.
+    /// Panics if the topology has no link at that port.
     pub fn next_free(&self, now: SimTime, node: NodeId, port: Port) -> SimTime {
-        self.links[Self::link_index(node, port)]
+        self.links[self.link_index(node, port)]
             .as_ref()
             .expect("link exists")
             .next_free(now)
@@ -190,7 +210,7 @@ impl Network {
     /// Achieved *per-NPU* network bandwidth in GB/s — the metric on the
     /// y-axis of Fig. 5 and Fig. 6.
     pub fn achieved_gbps_per_npu(&self) -> f64 {
-        self.achieved_gbps() / self.shape.nodes() as f64
+        self.achieved_gbps() / self.nodes as f64
     }
 
     /// End of the throughput observation window.
@@ -222,7 +242,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::Dim;
+    use crate::topology::{Dim, TorusShape};
 
     fn small_net() -> Network {
         Network::new(
@@ -235,13 +255,17 @@ mod tests {
     fn per_npu_bandwidth_matches_table_v() {
         let net = small_net();
         // 2 × 200 intra + 2 × 25 vertical + 2 × 25 horizontal = 500 GB/s.
-        assert!((net.params().per_npu_total_gbps(net.shape()) - 500.0).abs() < 1e-9);
+        assert!((net.params().per_npu_total_gbps(net.topology()) - 500.0).abs() < 1e-9);
     }
 
     #[test]
     fn active_links_match_topology() {
         let net = small_net();
-        assert_eq!(net.active_links(), net.shape().total_links());
+        assert_eq!(net.active_links(), net.topology().total_links());
+        assert_eq!(
+            net.active_links(),
+            TorusShape::new(4, 2, 2).unwrap().total_links()
+        );
     }
 
     #[test]
@@ -257,9 +281,8 @@ mod tests {
     fn multi_hop_route_arrives_later_than_single_hop() {
         let mut a = small_net();
         let mut b = small_net();
-        let shape = a.shape();
-        let one_hop = shape.route(NodeId(0), NodeId(1));
-        let long = shape.route(NodeId(0), NodeId(15));
+        let one_hop = a.topology().route(NodeId(0), NodeId(1));
+        let long = a.topology().route(NodeId(0), NodeId(15));
         assert!(long.len() > one_hop.len());
         let t1 = a.send_route(SimTime::ZERO, NodeId(0), &one_hop, 8192);
         let t2 = b.send_route(SimTime::ZERO, NodeId(0), &long, 8192);
@@ -314,5 +337,36 @@ mod tests {
             NetworkParams::paper_default(),
         );
         net.transmit(SimTime::ZERO, NodeId(0), Port::new(Dim::Vertical, true), 64);
+    }
+
+    #[test]
+    fn switch_network_has_one_uplink_per_node() {
+        let spec: TopologySpec = "switch:8@100".parse().unwrap();
+        let mut net = Network::new(spec, NetworkParams::paper_default());
+        assert_eq!(net.active_links(), 8);
+        // The uplink runs at the overridden 100 GB/s.
+        let link = net.link(NodeId(0), Port::from_index(0)).unwrap();
+        assert_eq!(link.params().bandwidth_gbps, 100.0);
+        // Any pair is one crossbar hop apart.
+        let route = net.topology().route(NodeId(2), NodeId(7));
+        let t = net.send_route(SimTime::ZERO, NodeId(2), &route, 4096);
+        assert!(t.cycles() > 0);
+        assert_eq!(net.total_bytes(), 4096);
+    }
+
+    #[test]
+    fn hierarchical_network_wires_crossbar_and_ring() {
+        let spec: TopologySpec = "hier:4x4".parse().unwrap();
+        let net = Network::new(spec, NetworkParams::paper_default());
+        // 16 uplinks + 2 ring ports per node.
+        assert_eq!(net.active_links(), 16 + 32);
+        assert_eq!(
+            net.link(NodeId(0), Port::from_index(0)).unwrap().class(),
+            LinkClass::IntraPackage
+        );
+        assert_eq!(
+            net.link(NodeId(0), Port::from_index(1)).unwrap().class(),
+            LinkClass::InterPackage
+        );
     }
 }

@@ -292,13 +292,21 @@ impl fmt::Display for TorusShape {
     }
 }
 
-/// Errors constructing a [`TorusShape`].
+/// Errors constructing a [`TorusShape`] or a
+/// [`TopologySpec`](crate::TopologySpec).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShapeError {
     /// A dimension was zero.
     ZeroDimension,
-    /// The torus has fewer than two nodes.
+    /// The topology has fewer than two nodes.
     TooSmall,
+    /// A torus needs between 1 and [`MAX_TORUS_DIMS`](crate::MAX_TORUS_DIMS)
+    /// dimensions; this many were given.
+    BadDimensionCount(usize),
+    /// A dimension length exceeds the spec's storage width.
+    DimensionTooLarge(usize),
+    /// The topology's total node count overflows the address space.
+    TooManyNodes,
 }
 
 impl fmt::Display for ShapeError {
@@ -306,6 +314,11 @@ impl fmt::Display for ShapeError {
         match self {
             ShapeError::ZeroDimension => f.write_str("torus dimensions must be nonzero"),
             ShapeError::TooSmall => f.write_str("torus must contain at least two nodes"),
+            ShapeError::BadDimensionCount(n) => {
+                write!(f, "torus needs 1..=6 dimensions, got {n}")
+            }
+            ShapeError::DimensionTooLarge(n) => write!(f, "dimension {n} is too large"),
+            ShapeError::TooManyNodes => f.write_str("topology node count overflows"),
         }
     }
 }

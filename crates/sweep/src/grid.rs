@@ -13,7 +13,7 @@
 //! collapsed by the runner's cache so each unique point simulates once.
 
 use ace_collectives::CollectiveOp;
-use ace_net::TorusShape;
+use ace_net::TopologySpec;
 use ace_system::SystemConfig;
 
 use crate::scenario::{EngineFamily, EngineSpec, Scenario, SweepMode, WorkloadSpec};
@@ -22,7 +22,7 @@ use crate::scenario::{EngineFamily, EngineSpec, Scenario, SweepMode, WorkloadSpe
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RunPoint {
     /// The fabric the point simulates.
-    pub topology: TorusShape,
+    pub topology: TopologySpec,
     /// Mode-specific coordinates.
     pub kind: PointKind,
 }
@@ -176,8 +176,8 @@ mod tests {
     fn fig05_like() -> Scenario {
         let mut sc = Scenario::collective("fig05");
         sc.topologies = vec![
-            TorusShape::new(4, 2, 2).unwrap(),
-            TorusShape::new(4, 4, 4).unwrap(),
+            TopologySpec::torus3(4, 2, 2).unwrap(),
+            TopologySpec::torus3(4, 4, 4).unwrap(),
         ];
         sc.mem_gbps = vec![64.0, 128.0, 450.0];
         sc.comm_sms = vec![80];

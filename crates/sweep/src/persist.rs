@@ -23,7 +23,7 @@
 
 use std::path::Path;
 
-use ace_net::TorusShape;
+use ace_net::TopologySpec;
 use ace_system::SystemConfig;
 
 use crate::grid::{PointKind, RunPoint};
@@ -241,17 +241,8 @@ fn parse_row(line: &str) -> Result<(RunPoint, Metrics), String> {
     Ok((RunPoint { topology, kind }, metrics))
 }
 
-fn parse_topology(s: &str) -> Result<TorusShape, String> {
-    let dims: Vec<&str> = s.split('x').collect();
-    if dims.len() != 3 {
-        return Err(format!("bad topology '{s}'"));
-    }
-    let d = |i: usize| {
-        dims[i]
-            .parse::<usize>()
-            .map_err(|_| format!("bad topology '{s}'"))
-    };
-    TorusShape::new(d(0)?, d(1)?, d(2)?).map_err(|e| format!("topology '{s}': {e}"))
+fn parse_topology(s: &str) -> Result<TopologySpec, String> {
+    s.parse::<TopologySpec>()
 }
 
 fn parse_f64(s: &str, what: &str) -> Result<f64, String> {
@@ -278,7 +269,7 @@ mod tests {
 
     fn tiny_collective() -> Scenario {
         let mut sc = Scenario::collective("persist-test");
-        sc.topologies = vec![TorusShape::new(2, 1, 1).unwrap()];
+        sc.topologies = vec![TopologySpec::torus3(2, 1, 1).unwrap()];
         sc.engines = vec![EngineFamily::Ideal, EngineFamily::Baseline];
         sc.payload_bytes = vec![256 * 1024];
         sc.mem_gbps = vec![128.0, 450.0];
@@ -306,7 +297,7 @@ mod tests {
     #[test]
     fn training_points_round_trip() {
         let mut sc = Scenario::training("persist-training");
-        sc.topologies = vec![TorusShape::new(2, 1, 1).unwrap()];
+        sc.topologies = vec![TopologySpec::torus3(2, 1, 1).unwrap()];
         sc.configs = vec![ace_system::SystemConfig::Ace];
         sc.workloads = vec![WorkloadSpec::Resnet50];
         sc.iterations = 1;
@@ -336,6 +327,60 @@ mod tests {
         for (a, b) in out1.results.iter().zip(&out2.results) {
             assert_eq!(a.metrics, b.metrics);
         }
+    }
+
+    #[test]
+    fn cross_topology_cache_round_trip() {
+        // Cache keys must incorporate the topology axis: a 16-node
+        // switch, a 16-node torus and a 16-node hierarchical fabric are
+        // distinct points even with every other coordinate equal, and a
+        // `switch` row must never be served for a `torus` query.
+        let mut sc = Scenario::collective("cross-topology");
+        sc.topologies = vec![
+            TopologySpec::torus3(4, 2, 2).unwrap(),
+            "4x4".parse().unwrap(),
+            "switch:16".parse().unwrap(),
+            "switch:16@100".parse().unwrap(),
+            "hier:4x4".parse().unwrap(),
+        ];
+        sc.engines = vec![EngineFamily::Ideal];
+        sc.payload_bytes = vec![64 * 1024];
+        let runner = SweepRunner::new();
+        let out = runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        // Five same-size fabrics, five distinct simulations.
+        assert_eq!(out.executed, 5);
+        let times: std::collections::HashSet<u64> = out
+            .results
+            .iter()
+            .map(|r| r.metrics.completion_cycles)
+            .collect();
+        assert!(times.len() >= 4, "topologies must simulate differently");
+
+        // Round-trip through the text format preserves every key exactly.
+        let text = cache_to_string(runner.cache());
+        for spelling in ["4x2x2", "4x4", "switch:16", "switch:16@100", "hier:4x4"] {
+            assert!(text.contains(spelling), "cache file lost '{spelling}'");
+        }
+        let reloaded = cache_from_str(&text).unwrap();
+        assert_eq!(reloaded.len(), runner.cache().len());
+        for (p, m) in runner.cache().entries() {
+            assert_eq!(reloaded.get(&p), Some(m), "lost {p:?}");
+        }
+        // A switch point never hits a torus entry: querying the reloaded
+        // cache with the same coordinates but a different topology misses.
+        let torus_point = out.results[0].point;
+        let mut cross = torus_point;
+        cross.topology = "switch:16".parse().unwrap();
+        assert_ne!(reloaded.get(&torus_point), None);
+        assert_ne!(
+            reloaded.get(&torus_point),
+            reloaded.get(&cross),
+            "switch and torus rows must not alias"
+        );
+        // And a warm rerun of the full grid simulates nothing.
+        let warm = SweepRunner::with_cache(reloaded);
+        let again = warm.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        assert_eq!(again.executed, 0);
     }
 
     #[test]

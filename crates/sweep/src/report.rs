@@ -353,11 +353,11 @@ mod tests {
     use super::*;
     use crate::runner::{run_scenario, RunnerOptions};
     use crate::scenario::{BaselineSpec, EngineFamily, Scenario};
-    use ace_net::TorusShape;
+    use ace_net::TopologySpec;
 
     fn outcome() -> SweepOutcome {
         let mut sc = Scenario::collective("report-test");
-        sc.topologies = vec![TorusShape::new(2, 1, 1).unwrap()];
+        sc.topologies = vec![TopologySpec::torus3(2, 1, 1).unwrap()];
         sc.engines = vec![EngineFamily::Ideal, EngineFamily::Baseline];
         sc.payload_bytes = vec![128 * 1024];
         sc.mem_gbps = vec![128.0, 450.0];
@@ -426,7 +426,7 @@ mod tests {
     #[test]
     fn parallel_csv_is_byte_identical_to_serial() {
         let mut sc = Scenario::collective("determinism");
-        sc.topologies = vec![TorusShape::new(2, 1, 1).unwrap()];
+        sc.topologies = vec![TopologySpec::torus3(2, 1, 1).unwrap()];
         sc.engines = vec![EngineFamily::Baseline];
         sc.payload_bytes = vec![128 * 1024];
         sc.mem_gbps = vec![64.0, 128.0, 450.0];

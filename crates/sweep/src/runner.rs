@@ -86,11 +86,12 @@ impl SweepOutcome {
     /// sweep into a table.
     pub fn find_collective(
         &self,
-        topology: ace_net::TorusShape,
+        topology: impl Into<ace_net::TopologySpec>,
         engine: crate::scenario::EngineSpec,
     ) -> Option<&RunResult> {
+        let spec = topology.into();
         self.collective_results(engine)
-            .find(|r| r.point.topology == topology)
+            .find(move |r| r.point.topology == spec)
     }
 }
 
@@ -314,11 +315,11 @@ pub fn execute(point: &RunPoint) -> Metrics {
             iterations,
             optimized_embedding,
         } => {
-            let shape = point.topology;
+            let spec = point.topology;
             let report = SystemBuilder::new()
-                .topology(shape.local(), shape.vertical(), shape.horizontal())
+                .topology_spec(spec)
                 .config(config)
-                .workload(workload.instantiate(shape.nodes()))
+                .workload(workload.instantiate(spec.nodes()))
                 .iterations(iterations)
                 .optimized_embedding(optimized_embedding)
                 .build()
@@ -425,12 +426,12 @@ fn baseline_points(scenario: &Scenario) -> Vec<RunPoint> {
 mod tests {
     use super::*;
     use crate::scenario::{EngineFamily, EngineSpec};
-    use ace_net::TorusShape;
+    use ace_net::TopologySpec;
 
     /// A scenario small enough to simulate quickly in tests.
     fn tiny() -> Scenario {
         let mut sc = Scenario::collective("tiny");
-        sc.topologies = vec![TorusShape::new(2, 1, 1).unwrap()];
+        sc.topologies = vec![TopologySpec::torus3(2, 1, 1).unwrap()];
         sc.engines = vec![EngineFamily::Ideal, EngineFamily::Baseline];
         sc.payload_bytes = vec![256 * 1024];
         sc.mem_gbps = vec![128.0, 450.0];
@@ -518,7 +519,7 @@ mod tests {
     #[test]
     fn training_points_execute() {
         let mut sc = Scenario::training("t");
-        sc.topologies = vec![TorusShape::new(2, 1, 1).unwrap()];
+        sc.topologies = vec![TopologySpec::torus3(2, 1, 1).unwrap()];
         sc.configs = vec![ace_system::SystemConfig::Ace];
         sc.iterations = 1;
         let out = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();

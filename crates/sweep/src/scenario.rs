@@ -12,7 +12,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 
 use ace_collectives::CollectiveOp;
-use ace_net::TorusShape;
+use ace_net::TopologySpec;
 use ace_system::{EngineKind, SystemConfig};
 use ace_workloads::Workload;
 
@@ -281,8 +281,10 @@ pub struct Scenario {
     pub name: String,
     /// What each point simulates.
     pub mode: SweepMode,
-    /// Torus shapes (`LxVxH`).
-    pub topologies: Vec<TorusShape>,
+    /// Fabric topologies: tori (`LxVxH`, `4x8`), switches
+    /// (`switch:16`, `switch:16@100`), or hierarchical fabrics
+    /// (`hier:4x8`).
+    pub topologies: Vec<TopologySpec>,
     /// Collective mode: engine families to resolve against the knob axes.
     pub engines: Vec<EngineFamily>,
     /// Collective mode: operations to issue.
@@ -317,7 +319,7 @@ impl Scenario {
         Scenario {
             name: name.into(),
             mode: SweepMode::Collective,
-            topologies: vec![TorusShape::new(4, 2, 2).expect("valid shape")],
+            topologies: vec![TopologySpec::torus3(4, 2, 2).expect("valid shape")],
             engines: vec![
                 EngineFamily::Ideal,
                 EngineFamily::Baseline,
@@ -343,7 +345,7 @@ impl Scenario {
         Scenario {
             name: name.into(),
             mode: SweepMode::Training,
-            topologies: vec![TorusShape::new(4, 2, 2).expect("valid shape")],
+            topologies: vec![TopologySpec::torus3(4, 2, 2).expect("valid shape")],
             engines: Vec::new(),
             ops: Vec::new(),
             payload_bytes: Vec::new(),
@@ -587,21 +589,11 @@ fn parse_list<T>(
         .collect()
 }
 
-fn parse_topology(v: &Value, _i: usize) -> Result<TorusShape, String> {
+fn parse_topology(v: &Value, _i: usize) -> Result<TopologySpec, String> {
     let s = v
         .as_str()
-        .ok_or_else(|| "expected a string like \"4x2x2\"".to_string())?;
-    let dims: Vec<&str> = s.split(['x', 'X']).collect();
-    if dims.len() != 3 {
-        return Err(format!("topology '{s}' must have the form LxVxH"));
-    }
-    let parse = |d: &str| {
-        d.trim()
-            .parse::<usize>()
-            .map_err(|_| format!("bad dimension '{d}'"))
-    };
-    let (l, v_, h) = (parse(dims[0])?, parse(dims[1])?, parse(dims[2])?);
-    TorusShape::new(l, v_, h).map_err(|e| format!("topology '{s}': {e}"))
+        .ok_or_else(|| format!("expected a string naming {}", TopologySpec::spellings()))?;
+    s.parse::<TopologySpec>()
 }
 
 /// Parses a collective-op name, tolerating hyphens/underscores.
@@ -801,9 +793,47 @@ mod tests {
     }
 
     #[test]
+    fn non_torus_topologies_parse() {
+        let sc = Scenario::from_toml_str(
+            "topologies = [\"4x2\", \"switch:16\", \"switch:8@100\", \"hier:4x8\"]\n",
+        )
+        .unwrap();
+        assert_eq!(sc.topologies.len(), 4);
+        assert_eq!(sc.topologies[0].nodes(), 8);
+        assert_eq!(sc.topologies[1], TopologySpec::switch(16).unwrap());
+        assert_eq!(
+            sc.topologies[2],
+            TopologySpec::switch_with_gbps(8, 100).unwrap()
+        );
+        assert_eq!(sc.topologies[3].nodes(), 32);
+    }
+
+    #[test]
+    fn misspelled_topologies_get_a_hint() {
+        let e = Scenario::from_toml_str("topologies = [\"swich:16\"]").unwrap_err();
+        assert!(e.to_string().contains("did you mean 'switch'"), "{e}");
+        let e = Scenario::from_toml_str("topologies = [\"blob\"]").unwrap_err();
+        assert!(e.to_string().contains("switch:N"), "{e}");
+    }
+
+    #[test]
+    fn config_typos_surface_hints_through_the_toml_layer() {
+        // Regression: malformed names used to surface as opaque errors;
+        // the parse hints must survive the scenario layer intact.
+        let e = Scenario::from_toml_str("mode = \"training\"\nconfigs = [\"AEC\"]").unwrap_err();
+        assert!(e.to_string().contains("did you mean 'ACE'"), "{e}");
+        let e = Scenario::from_toml_str("topologies = [\"heir:2x4\"]").unwrap_err();
+        assert!(e.to_string().contains("did you mean 'hier'"), "{e}");
+        // Structural topology errors name the valid spellings.
+        let e = Scenario::from_toml_str("topologies = [\"1x1x1\"]").unwrap_err();
+        assert!(e.to_string().contains("at least two nodes"), "{e}");
+    }
+
+    #[test]
     fn bad_inputs_are_rejected() {
-        assert!(Scenario::from_toml_str("topologies = [\"4x2\"]").is_err());
+        assert!(Scenario::from_toml_str("topologies = [\"4x\"]").is_err());
         assert!(Scenario::from_toml_str("topologies = [\"0x2x2\"]").is_err());
+        assert!(Scenario::from_toml_str("topologies = [\"switch:1\"]").is_err());
         assert!(Scenario::from_toml_str("engines = [\"warp-drive\"]").is_err());
         assert!(Scenario::from_toml_str("mode = \"quantum\"").is_err());
         assert!(Scenario::from_toml_str("payloads = [-5]").is_err());

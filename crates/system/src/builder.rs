@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use ace_net::TorusShape;
+use ace_net::{TopologySpec, TorusShape};
 use ace_workloads::{Parallelism, Workload};
 
 use crate::config::SystemConfig;
@@ -13,7 +13,7 @@ use crate::training::TrainingSim;
 pub enum BuildError {
     /// No workload was supplied.
     MissingWorkload,
-    /// The torus shape was invalid.
+    /// The topology was invalid.
     InvalidShape(String),
 }
 
@@ -48,6 +48,8 @@ pub struct SystemBuilder {
     l: usize,
     v: usize,
     h: usize,
+    /// When set, overrides the `LxVxH` fields with an arbitrary topology.
+    spec: Option<TopologySpec>,
     config: SystemConfig,
     workload: Option<Workload>,
     iterations: u32,
@@ -68,6 +70,7 @@ impl SystemBuilder {
             l: 4,
             v: 2,
             h: 2,
+            spec: None,
             config: SystemConfig::Ace,
             workload: None,
             iterations: 2,
@@ -75,11 +78,21 @@ impl SystemBuilder {
         }
     }
 
-    /// Sets the `LxVxH` torus shape (Section V notation).
+    /// Sets the `LxVxH` torus shape (Section V notation). Validation is
+    /// deferred to [`build`](SystemBuilder::build).
     pub fn topology(mut self, l: usize, v: usize, h: usize) -> SystemBuilder {
         self.l = l;
         self.v = v;
         self.h = h;
+        self.spec = None;
+        self
+    }
+
+    /// Sets an arbitrary topology (any [`TopologySpec`]: an N-dimension
+    /// torus, a switch, or a hierarchical fabric), overriding
+    /// [`topology`](SystemBuilder::topology).
+    pub fn topology_spec(mut self, spec: impl Into<TopologySpec>) -> SystemBuilder {
+        self.spec = Some(spec.into());
         self
     }
 
@@ -117,8 +130,12 @@ impl SystemBuilder {
     /// Returns [`BuildError::MissingWorkload`] if no workload was set and
     /// [`BuildError::InvalidShape`] for degenerate torus shapes.
     pub fn build(self) -> Result<TrainingSim, BuildError> {
-        let shape = TorusShape::new(self.l, self.v, self.h)
-            .map_err(|e| BuildError::InvalidShape(e.to_string()))?;
+        let spec = match self.spec {
+            Some(spec) => spec,
+            None => TorusShape::new(self.l, self.v, self.h)
+                .map_err(|e| BuildError::InvalidShape(e.to_string()))?
+                .into(),
+        };
         let workload = self.workload.ok_or(BuildError::MissingWorkload)?;
         // The embedding optimization only applies to hybrid workloads; it
         // is a silent no-op otherwise, matching the paper's usage.
@@ -126,7 +143,7 @@ impl SystemBuilder {
         Ok(TrainingSim::new(
             self.config,
             workload,
-            shape,
+            spec,
             self.iterations,
             optimized,
         ))

@@ -108,7 +108,10 @@ impl std::str::FromStr for SystemConfig {
     type Err = String;
 
     /// Parses a configuration from its [`short_name`](SystemConfig::short_name)
-    /// (case-insensitive), as used by sweep scenario files.
+    /// (case-insensitive), as used by sweep scenario files. Unknown names
+    /// list every valid spelling and suggest the closest one, so a typo
+    /// in a TOML scenario surfaces as an actionable message instead of an
+    /// opaque failure.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let lower = s.to_ascii_lowercase();
         SystemConfig::ALL
@@ -116,8 +119,9 @@ impl std::str::FromStr for SystemConfig {
             .find(|c| c.short_name().to_ascii_lowercase() == lower)
             .ok_or_else(|| {
                 let names: Vec<&str> = SystemConfig::ALL.iter().map(|c| c.short_name()).collect();
+                let hint = ace_net::did_you_mean(s, &names);
                 format!(
-                    "unknown system config '{s}' (expected one of {})",
+                    "unknown system config '{s}' (expected one of {}){hint}",
                     names.join(", ")
                 )
             })
@@ -167,6 +171,22 @@ mod tests {
             );
         }
         assert!("NotAConfig".parse::<SystemConfig>().is_err());
+    }
+
+    #[test]
+    fn unknown_config_errors_carry_hints() {
+        // A near-miss gets a did-you-mean suggestion...
+        let e = "AEC".parse::<SystemConfig>().unwrap_err();
+        assert!(e.contains("did you mean 'ACE'"), "{e}");
+        let e = "CommOpts".parse::<SystemConfig>().unwrap_err();
+        assert!(e.contains("did you mean 'CommOpt'"), "{e}");
+        let e = "ideel".parse::<SystemConfig>().unwrap_err();
+        assert!(e.contains("did you mean 'Ideal'"), "{e}");
+        // ...every error lists the valid spellings...
+        let e = "NotAConfig".parse::<SystemConfig>().unwrap_err();
+        assert!(e.contains("NoOverlap") && e.contains("Ideal"), "{e}");
+        // ...and a wild miss gets no bogus suggestion.
+        assert!(!e.contains("did you mean"), "{e}");
     }
 
     #[test]

@@ -30,9 +30,9 @@
 
 use std::collections::VecDeque;
 
-use ace_collectives::{CollectiveOp, CollectivePlan, Granularity, PhaseKind, PhaseSpec};
+use ace_collectives::{CollectiveOp, CollectivePlan, Granularity, PhaseKind, PhaseLink, PhaseSpec};
 use ace_endpoint::CollectiveEngine;
-use ace_net::{Dim, Network, NetworkParams, NodeId, Port, Route, TorusShape};
+use ace_net::{LinkClass, Network, NetworkParams, NodeId, Port, Route, Topology, TopologySpec};
 use ace_simcore::{EventQueue, SimTime};
 
 /// Identifies an issued collective within its executor.
@@ -197,6 +197,9 @@ struct PhaseHot {
     ring_k: u16,
     /// Last step index of the phase's rotate chain.
     final_step: u16,
+    /// Topology dimension the phase rings over (indexes the executor's
+    /// neighbor table).
+    dim: u16,
     /// Egress port index (`Port::index()`) for even (+) chunks.
     port_idx_plus: u8,
     /// Egress port index for odd (−) chunks.
@@ -260,7 +263,8 @@ struct Waiter {
 /// default `Box<dyn CollectiveEngine>` keeps runtime engine selection
 /// (training loops mixing configurations) working unchanged.
 pub struct CollectiveExecutor<E: CollectiveEngine = Box<dyn CollectiveEngine>> {
-    shape: TorusShape,
+    spec: TopologySpec,
+    nodes: usize,
     net: Network,
     engines: Vec<E>,
     options: ExecutorOptions,
@@ -287,9 +291,11 @@ pub struct CollectiveExecutor<E: CollectiveEngine = Box<dyn CollectiveEngine>> {
     /// Earliest pending `TryInject` timestamp; later duplicates are not
     /// scheduled (the earlier drain subsumes them).
     inject_at: Option<SimTime>,
-    /// `neighbors[node * 6 + port.index()]` ring-neighbor table.
-    neighbors: Vec<NodeId>,
-    /// XYZ route per all-to-all flow index (built on first all-to-all).
+    /// `dim_nbrs[(dim * 2 + dir) * nodes + node]` neighbor table, `dir`
+    /// 0 = positive, 1 = negative — the flat form of
+    /// [`Topology::neighbor`] the ring hot path reads.
+    dim_nbrs: Vec<NodeId>,
+    /// Route per all-to-all flow index (built on first all-to-all).
     a2a_routes: Vec<Route>,
     /// Scratch buffer for replaying buffered arrivals.
     replay_scratch: Vec<(u16, u16, SimTime)>,
@@ -299,7 +305,7 @@ pub struct CollectiveExecutor<E: CollectiveEngine = Box<dyn CollectiveEngine>> {
 impl<E: CollectiveEngine> std::fmt::Debug for CollectiveExecutor<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CollectiveExecutor")
-            .field("shape", &self.shape)
+            .field("topology", &self.spec)
             .field("collectives", &self.colls.len())
             .field("inflight", &self.inflight)
             .field("now", &self.now)
@@ -318,10 +324,22 @@ impl CollectiveExecutor {
             .phases()
             .iter()
             .map(|p| {
-                let bw = match p.dim {
-                    Some(Dim::Local) => net.intra.bandwidth_gbps * 2.0,
-                    Some(_) => net.inter.bandwidth_gbps * 2.0,
-                    None => net.intra.bandwidth_gbps * 2.0 + net.inter.bandwidth_gbps * 4.0,
+                let bw = match p.link {
+                    PhaseLink::Dim {
+                        class: LinkClass::IntraPackage,
+                        ..
+                    } => net.intra.bandwidth_gbps * 2.0,
+                    PhaseLink::Dim {
+                        class: LinkClass::InterPackage,
+                        ..
+                    } => net.inter.bandwidth_gbps * 2.0,
+                    PhaseLink::Global {
+                        intra_ports,
+                        inter_ports,
+                    } => {
+                        net.intra.bandwidth_gbps * f64::from(intra_ports)
+                            + net.inter.bandwidth_gbps * f64::from(inter_ports)
+                    }
                 };
                 bw * p.input_fraction
             })
@@ -336,40 +354,54 @@ impl CollectiveExecutor {
 }
 
 impl<E: CollectiveEngine> CollectiveExecutor<E> {
-    /// Builds an executor over `shape` with one engine per node produced
-    /// by `make_engine`.
+    /// Builds an executor over `topology` with one engine per node
+    /// produced by `make_engine`. Accepts anything convertible to a
+    /// [`TopologySpec`] — in particular the legacy `TorusShape`.
     pub fn new(
-        shape: TorusShape,
+        topology: impl Into<TopologySpec>,
         net_params: NetworkParams,
         make_engine: impl Fn() -> E,
     ) -> CollectiveExecutor<E> {
-        Self::with_options(shape, net_params, ExecutorOptions::default(), make_engine)
+        Self::with_options(
+            topology,
+            net_params,
+            ExecutorOptions::default(),
+            make_engine,
+        )
     }
 
     /// Builds an executor with non-default [`ExecutorOptions`] (ablation
     /// studies).
     pub fn with_options(
-        shape: TorusShape,
+        topology: impl Into<TopologySpec>,
         net_params: NetworkParams,
         options: ExecutorOptions,
         make_engine: impl Fn() -> E,
     ) -> CollectiveExecutor<E> {
-        let engines = (0..shape.nodes()).map(|_| make_engine()).collect();
+        let spec = topology.into();
+        let net = Network::new(spec, net_params);
+        let topo = net.topology();
+        let nodes = topo.nodes();
+        let engines = (0..nodes).map(|_| make_engine()).collect();
         let max_inflight = options.max_inflight_chunks.max(1);
-        let neighbors = (0..shape.nodes())
-            .flat_map(|node| {
-                Port::ALL.map(|port| {
-                    if shape.len(port.dim()) > 1 {
-                        shape.neighbor(NodeId(node), port.dim(), port.is_plus())
+        // Flatten the topology's neighbor function into the table the
+        // ring hot path indexes: `(dim * 2 + dir) * nodes + node`.
+        let mut dim_nbrs = Vec::with_capacity(topo.dims().len() * 2 * nodes);
+        for (d, info) in topo.dims().iter().enumerate() {
+            for plus in [true, false] {
+                for node in 0..nodes {
+                    dim_nbrs.push(if info.len > 1 {
+                        topo.neighbor(NodeId(node), d, plus)
                     } else {
                         NodeId(node)
-                    }
-                })
-            })
-            .collect();
+                    });
+                }
+            }
+        }
         CollectiveExecutor {
-            shape,
-            net: Network::new(shape, net_params),
+            spec,
+            nodes,
+            net,
             engines,
             options,
             queue: EventQueue::new(),
@@ -379,19 +411,24 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
             max_inflight,
             arena: Vec::new(),
             free_slots: Vec::new(),
-            admit_wait: vec![Vec::new(); shape.nodes()],
+            admit_wait: vec![Vec::new(); nodes],
             next_seq: 0,
             inject_at: None,
-            neighbors,
+            dim_nbrs,
             a2a_routes: Vec::new(),
             replay_scratch: Vec::new(),
             now: SimTime::ZERO,
         }
     }
 
-    /// The fabric's topology.
-    pub fn shape(&self) -> TorusShape {
-        self.shape
+    /// The fabric's topology identity.
+    pub fn spec(&self) -> TopologySpec {
+        self.spec
+    }
+
+    /// Number of NPUs in the fabric.
+    pub fn nodes(&self) -> usize {
+        self.nodes
     }
 
     /// The network (throughput/utilization meters).
@@ -407,7 +444,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
     /// Issues a collective of `op` with per-node `payload_bytes` at time
     /// `at`. Returns a handle for completion queries.
     pub fn issue(&mut self, op: CollectiveOp, payload_bytes: u64, at: SimTime) -> CollHandle {
-        let plan = CollectivePlan::for_op(op, self.shape);
+        let plan = CollectivePlan::for_topology(op, self.net.topology());
         let kind = match op {
             CollectiveOp::AllToAll => CollKind::AllToAll,
             _ => CollKind::Ring,
@@ -421,7 +458,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
                 // destination offset (see `a2a_flow_bytes`) so total
                 // traffic is conserved instead of shrinking with the node
                 // count.
-                let n = self.shape.nodes() as u64;
+                let n = self.nodes as u64;
                 a2a_extra = payload_bytes % n.max(1);
                 let mut sizes = self.options.granularity.chunks(payload_bytes / n.max(1));
                 if sizes.is_empty() && a2a_extra > 0 {
@@ -435,7 +472,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
         let id = self.colls.len();
         let n_chunks = chunk_sizes.len();
         let (short_last, shard_cache, admit_cache) = byte_caches(&plan, &chunk_sizes);
-        let phase_hot = phase_hot_table(&plan, kind);
+        let phase_hot = phase_hot_table(&plan, kind, self.net.topology());
         self.colls.push(Coll {
             plan,
             kind,
@@ -456,7 +493,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
             // Byte conservation: per source, the n-1 flows carry
             // (n-1)·base + remainder bytes and the local (self) slice
             // keeps base, which must add up to the original payload.
-            let n = self.shape.nodes() as u64;
+            let n = self.nodes as u64;
             let base: u64 = self.colls[id].chunk_sizes.iter().sum();
             debug_assert_eq!(
                 n * base + a2a_extra,
@@ -695,7 +732,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
                 (self.arena.len() - 1) as u32
             }
         };
-        self.arena[slot as usize].reset(self.shape.nodes());
+        self.arena[slot as usize].reset(self.nodes);
         self.colls[cid].chunk_slot[chunk] = slot;
     }
 
@@ -714,7 +751,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
 
     fn inject_ring_chunk(&mut self, now: SimTime, cid: usize, chunk: usize) {
         self.acquire_chunk_slot(cid, chunk);
-        for node in 0..self.shape.nodes() {
+        for node in 0..self.nodes {
             self.request_phase(now, cid, chunk, node, 0, NOT_STARTED);
         }
     }
@@ -903,14 +940,15 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
         // Bidirectional rings: alternate chunk parity across directions
         // (unidirectional mode sends everything the + way — an ablation).
         let plus = !self.options.bidirectional_rings || chunk.is_multiple_of(2);
-        let port_idx = if plus {
-            hot.port_idx_plus
+        let (port_idx, dir) = if plus {
+            (hot.port_idx_plus as usize, 0)
         } else {
-            hot.port_idx_minus
-        } as usize;
-        let port = Port::ALL[port_idx];
-        let dst = self.neighbors[node * 6 + port_idx];
-        let out = self.net.transmit(now, NodeId(node), port, bytes);
+            (hot.port_idx_minus as usize, 1)
+        };
+        let dst = self.dim_nbrs[(hot.dim as usize * 2 + dir) * self.nodes + node];
+        let out = self
+            .net
+            .transmit(now, NodeId(node), Port::from_index(port_idx), bytes);
         self.queue.schedule(
             out.arrival,
             Ev::RingArrive {
@@ -1004,7 +1042,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
         self.engines[node].release(n_phases as usize, terminal_bytes, now);
         self.retry_waiters(now, node);
         let all_done = {
-            let nodes = self.shape.nodes();
+            let nodes = self.nodes;
             let st = self.chunk_state_mut(cid, chunk);
             st.node_phase[node] = n_phases + 1;
             st.nodes_done += 1;
@@ -1037,7 +1075,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
     /// Flow index encoding: `flow = src * (nodes - 1) + dst_offset` where
     /// the destination is `(src + 1 + dst_offset) % nodes`.
     fn a2a_flow_endpoints(&self, flow: usize) -> (usize, usize) {
-        let n = self.shape.nodes();
+        let n = self.nodes;
         let src = flow / (n - 1);
         let off = flow % (n - 1);
         let dst = (src + 1 + off) % n;
@@ -1051,7 +1089,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
     /// payload exactly (byte conservation).
     fn a2a_flow_bytes(&self, cid: usize, chunk: usize, flow: usize) -> u64 {
         let coll = &self.colls[cid];
-        let off = (flow % (self.shape.nodes() - 1)) as u64;
+        let off = (flow % (self.nodes - 1)) as u64;
         let last = chunk + 1 == coll.chunk_sizes.len();
         coll.chunk_sizes[chunk] + u64::from(last && off < coll.a2a_extra)
     }
@@ -1061,11 +1099,11 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
         if !self.a2a_routes.is_empty() {
             return;
         }
-        let n = self.shape.nodes();
+        let n = self.nodes;
         let routes: Vec<Route> = (0..n * (n - 1))
             .map(|flow| {
                 let (src, dst) = self.a2a_flow_endpoints(flow);
-                self.shape.route(NodeId(src), NodeId(dst))
+                self.net.topology().route(NodeId(src), NodeId(dst))
             })
             .collect();
         self.a2a_routes = routes;
@@ -1074,7 +1112,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
     fn inject_a2a_chunk(&mut self, now: SimTime, cid: usize, chunk: usize) {
         self.acquire_chunk_slot(cid, chunk);
         self.ensure_a2a_routes();
-        let n = self.shape.nodes();
+        let n = self.nodes;
         let flows = n * (n - 1);
         self.chunk_state_mut(cid, chunk).flows_total = flows;
         for flow in 0..flows {
@@ -1153,7 +1191,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
 /// Precomputes the per-phase event-handler constants for ring plans (an
 /// all-to-all plan gets an empty table — its single phase never reaches
 /// the ring handlers).
-fn phase_hot_table(plan: &CollectivePlan, kind: CollKind) -> Vec<PhaseHot> {
+fn phase_hot_table(plan: &CollectivePlan, kind: CollKind, topo: &dyn Topology) -> Vec<PhaseHot> {
     if kind != CollKind::Ring {
         return Vec::new();
     }
@@ -1161,7 +1199,8 @@ fn phase_hot_table(plan: &CollectivePlan, kind: CollKind) -> Vec<PhaseHot> {
         .iter()
         .map(|spec| {
             let k = spec.ring_size as u16;
-            let dim = spec.dim.expect("ring phases have a dimension");
+            let dim = spec.dim_index().expect("ring phases have a dimension");
+            let info = topo.dims()[dim];
             PhaseHot {
                 kind: spec.kind,
                 ring_k: k,
@@ -1172,8 +1211,9 @@ fn phase_hot_table(plan: &CollectivePlan, kind: CollKind) -> Vec<PhaseHot> {
                         unreachable!("all-to-all is not a ring phase")
                     }
                 },
-                port_idx_plus: Port::new(dim, true).index() as u8,
-                port_idx_minus: Port::new(dim, false).index() as u8,
+                dim: dim as u16,
+                port_idx_plus: info.port_plus.index() as u8,
+                port_idx_minus: info.port_minus.index() as u8,
             }
         })
         .collect()
@@ -1223,6 +1263,7 @@ fn shard_of(spec: &PhaseSpec, size: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::config::SystemConfig;
+    use ace_net::TorusShape;
 
     fn executor(config: SystemConfig, shape: TorusShape) -> CollectiveExecutor {
         let params = NetworkParams::paper_default();
@@ -1498,7 +1539,7 @@ mod tests {
     /// Total bytes one source's flows carry for a payload, plus its local
     /// slice — must reproduce the payload exactly.
     fn a2a_src_bytes(ex: &CollectiveExecutor, cid: usize, payload: u64) -> u64 {
-        let n = ex.shape.nodes();
+        let n = ex.nodes;
         let n_chunks = ex.colls[cid].chunk_sizes.len();
         let mut sent = 0;
         for flow in 0..(n - 1) {

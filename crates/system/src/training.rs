@@ -12,7 +12,7 @@
 
 use ace_collectives::CollectiveOp;
 use ace_compute::{KernelDesc, NpuParams};
-use ace_net::{NetworkParams, TorusShape};
+use ace_net::{NetworkParams, TopologySpec};
 use ace_simcore::{SimTime, TimeSeries};
 use ace_workloads::{Parallelism, Workload};
 
@@ -25,7 +25,7 @@ use crate::report::IterationReport;
 pub struct TrainingSim {
     config: SystemConfig,
     workload: Workload,
-    shape: TorusShape,
+    spec: TopologySpec,
     npu: NpuParams,
     net_params: NetworkParams,
     exec: CollectiveExecutor,
@@ -43,7 +43,7 @@ impl std::fmt::Debug for TrainingSim {
         f.debug_struct("TrainingSim")
             .field("config", &self.config)
             .field("workload", &self.workload.name())
-            .field("shape", &self.shape)
+            .field("topology", &self.spec)
             .finish()
     }
 }
@@ -56,21 +56,22 @@ impl TrainingSim {
     pub fn new(
         config: SystemConfig,
         workload: Workload,
-        shape: TorusShape,
+        topology: impl Into<TopologySpec>,
         iterations: u32,
         optimized_embedding: bool,
     ) -> TrainingSim {
+        let spec = topology.into();
         let net_params = NetworkParams::paper_default();
-        let plan = ace_collectives::CollectivePlan::for_op(CollectiveOp::AllReduce, shape);
+        let plan = ace_collectives::CollectivePlan::for_spec(CollectiveOp::AllReduce, spec);
         let weights = CollectiveExecutor::phase_weights(&plan, &net_params);
-        let exec = CollectiveExecutor::new(shape, net_params, {
+        let exec = CollectiveExecutor::new(spec, net_params, {
             let weights = weights.clone();
             move || config.make_engine(&weights)
         });
         TrainingSim {
             config,
             workload,
-            shape,
+            spec,
             npu: NpuParams::paper_default(),
             net_params,
             exec,
@@ -253,7 +254,7 @@ impl TrainingSim {
         IterationReport {
             workload: self.workload.name().to_string(),
             config: self.config.short_name().to_string(),
-            nodes: self.shape.nodes(),
+            nodes: self.spec.nodes(),
             freq: self.net_params.freq,
             iterations: self.iterations,
             total_cycles: self.t.cycles(),
@@ -322,6 +323,7 @@ impl TrainingSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ace_net::TorusShape;
     use ace_workloads::{Layer, LayerComm};
 
     /// A hand-computable workload: one layer = two kernel groups (the

@@ -14,7 +14,9 @@
 //! This crate re-exports the whole workspace as a single façade:
 //!
 //! * [`simcore`] — discrete-event primitives (time, events, servers, stats)
-//! * [`net`] — 3D-torus accelerator fabric with XYZ routing
+//! * [`net`] — accelerator fabrics behind one `Topology` abstraction:
+//!   tori of any dimension (the paper's 3D torus with XYZ routing),
+//!   central crossbars, and hierarchical scale-up/scale-out fabrics
 //! * [`mem`] — HBM bandwidth partitioning and the NPU-AFI bus
 //! * [`compute`] — roofline NPU compute model
 //! * [`collectives`] — topology-aware collective algorithms and planning
