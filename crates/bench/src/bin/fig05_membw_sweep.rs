@@ -67,23 +67,8 @@ fn main() {
         let mut base_90 = None;
         let mut ace_90 = None;
         for &bw in &SWEEPS {
-            let base = find(
-                &out,
-                shape,
-                EngineSpec::Baseline {
-                    mem_gbps: bw,
-                    comm_sms: 80,
-                },
-            );
-            let ace = find(
-                &out,
-                shape,
-                EngineSpec::Ace {
-                    dma_mem_gbps: bw,
-                    sram_mb: 4,
-                    fsms: 16,
-                },
-            );
+            let base = find(&out, shape, EngineSpec::baseline(bw, 80));
+            let ace = find(&out, shape, EngineSpec::ace(bw));
             let bi = base.speedup_vs_baseline.expect("baseline named");
             let ai = ace.speedup_vs_baseline.expect("baseline named");
             if base_90.is_none() && bi >= 0.85 {

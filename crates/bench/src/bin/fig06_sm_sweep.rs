@@ -39,11 +39,7 @@ fn scenario() -> Scenario {
 }
 
 fn find(out: &SweepOutcome, shape: TopologySpec, sms: u32) -> &RunResult {
-    let spec = EngineSpec::Baseline {
-        mem_gbps: 900.0,
-        comm_sms: sms,
-    };
-    out.find_collective(shape, spec)
+    out.find_collective(shape, EngineSpec::baseline(900.0, sms))
         .expect("point is in the grid")
 }
 

@@ -31,7 +31,12 @@ const USAGE: &str = "usage: sweep <scenario.toml> [--threads N] [--csv PATH] [--
                      \n\
                      The scenario's `topologies` axis accepts tori (\"4x2x2\", \"4x8\"),\n\
                      switches (\"switch:16\", \"switch:16@100\"), and hierarchical fabrics\n\
-                     (\"hier:4x8\"); see examples/scenarios/topology_sweep.toml.";
+                     (\"hier:4x8\"); see examples/scenarios/topology_sweep.toml.\n\
+                     The training-mode `workloads` axis accepts builtins (\"resnet50\",\n\
+                     \"gnmt\", \"dlrm\", \"transformer\"), re-parallelized builtins\n\
+                     (\"transformer@model\"), and custom TOML models\n\
+                     (\"file:my_model.toml\", relative to the scenario file); see\n\
+                     examples/scenarios/custom_workload.toml.";
 
 fn parse_args() -> Result<Args, String> {
     let mut scenario_path = None;
@@ -79,9 +84,9 @@ fn parse_args() -> Result<Args, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let text = std::fs::read_to_string(&args.scenario_path)
-        .map_err(|e| format!("cannot read {}: {e}", args.scenario_path))?;
-    let scenario = Scenario::from_toml_str(&text).map_err(|e| e.to_string())?;
+    // Relative `file:` workload references resolve against the scenario
+    // file's directory, so scenarios ship next to the models they use.
+    let scenario = Scenario::from_toml_path(&args.scenario_path).map_err(|e| e.to_string())?;
 
     if !args.quiet {
         header(&format!(

@@ -31,6 +31,47 @@ impl fmt::Display for CollectiveOp {
     }
 }
 
+impl std::str::FromStr for CollectiveOp {
+    type Err = String;
+
+    /// Parses a spec-file op name, tolerating hyphens/underscores
+    /// (`all-reduce`, `all_reduce`, `allreduce` all work). Unknown names
+    /// get a did-you-mean hint.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s
+            .trim()
+            .to_ascii_lowercase()
+            .replace(['-', '_'], "")
+            .as_str()
+        {
+            "allreduce" => Ok(CollectiveOp::AllReduce),
+            "reducescatter" => Ok(CollectiveOp::ReduceScatter),
+            "allgather" => Ok(CollectiveOp::AllGather),
+            "alltoall" => Ok(CollectiveOp::AllToAll),
+            other => {
+                // `other` is hyphen-stripped, so match against the
+                // normalized spellings and hint with the display name.
+                const OPS: [(&str, &str); 4] = [
+                    ("allreduce", "all-reduce"),
+                    ("reducescatter", "reduce-scatter"),
+                    ("allgather", "all-gather"),
+                    ("alltoall", "all-to-all"),
+                ];
+                let mut hint =
+                    ace_toml::did_you_mean(other, &OPS.map(|(normalized, _)| normalized));
+                for (normalized, display) in OPS {
+                    hint = hint.replace(&format!("'{normalized}'"), &format!("'{display}'"));
+                }
+                let names: Vec<&str> = OPS.iter().map(|&(_, display)| display).collect();
+                Err(format!(
+                    "unknown op '{other}' (expected {}){hint}",
+                    names.join(", ")
+                ))
+            }
+        }
+    }
+}
+
 /// The algorithm run within one phase of a plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PhaseKind {

@@ -116,7 +116,7 @@ pub fn total(config: &AceConfig) -> AreaPower {
 }
 
 /// Reference high-end training accelerator for the "<2 % overhead" claim
-/// (Section IV-I cites TPU-class parts [25], [57]): ~331 mm², ~250 W.
+/// (Section IV-I cites TPU-class parts \[25\], \[57\]): ~331 mm², ~250 W.
 #[derive(Debug, Clone, Copy)]
 pub struct AcceleratorReference {
     /// Die area in mm².

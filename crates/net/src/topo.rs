@@ -248,35 +248,10 @@ impl fmt::Display for TopologySpec {
     }
 }
 
-/// Levenshtein distance, for did-you-mean hints.
-fn edit_distance(a: &str, b: &str) -> usize {
-    let b: Vec<char> = b.chars().collect();
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    for (i, ca) in a.chars().enumerate() {
-        let mut cur = vec![i + 1];
-        for (j, &cb) in b.iter().enumerate() {
-            let cost = usize::from(ca != cb);
-            cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
-        }
-        prev = cur;
-    }
-    prev[b.len()]
-}
-
-/// A `; did you mean '...'?` suffix when `word` is within edit distance
-/// 2 (case-insensitive) of a candidate; empty otherwise. Shared by every
-/// parser that wants typo hints (topology spellings here, system-config
-/// names in `ace-system`).
-pub fn did_you_mean(word: &str, candidates: &[&str]) -> String {
-    let lower = word.to_ascii_lowercase();
-    candidates
-        .iter()
-        .map(|c| (edit_distance(&lower, &c.to_ascii_lowercase()), *c))
-        .filter(|&(d, c)| d <= 2.min(c.len().saturating_sub(1)))
-        .min_by_key(|&(d, _)| d)
-        .map(|(_, c)| format!("; did you mean '{c}'?"))
-        .unwrap_or_default()
-}
+/// A `; did you mean '...'?` suffix for near-miss spellings — hoisted to
+/// the shared `ace-toml` spec toolkit (workload and scenario parsers use
+/// it too); re-exported here for the topology/system-config parsers.
+pub use ace_toml::did_you_mean;
 
 impl std::str::FromStr for TopologySpec {
     type Err = String;

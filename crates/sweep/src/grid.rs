@@ -16,10 +16,12 @@ use ace_collectives::CollectiveOp;
 use ace_net::TopologySpec;
 use ace_system::SystemConfig;
 
-use crate::scenario::{EngineFamily, EngineSpec, Scenario, SweepMode, WorkloadSpec};
+use crate::scenario::{EngineFamily, EngineSpec, Scenario, SweepMode, WorkloadSel};
 
-/// One cell of the expanded design-space grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// One cell of the expanded design-space grid. Not `Copy`: training
+/// points carry a [`WorkloadSel`], which may reference a custom
+/// TOML-defined model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RunPoint {
     /// The fabric the point simulates.
     pub topology: TopologySpec,
@@ -28,7 +30,7 @@ pub struct RunPoint {
 }
 
 /// Mode-specific coordinates of a [`RunPoint`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PointKind {
     /// A standalone collective.
     Collective {
@@ -44,7 +46,7 @@ pub enum PointKind {
         /// Table VI configuration.
         config: SystemConfig,
         /// Workload to train.
-        workload: WorkloadSpec,
+        workload: WorkloadSel,
         /// Simulated iterations.
         iterations: u32,
         /// Fig. 12 embedding optimization.
@@ -70,11 +72,7 @@ impl RunPoint {
                 workload,
                 iterations,
                 ..
-            } => format!(
-                "{} {config} {} x{iterations}",
-                self.topology,
-                workload.name()
-            ),
+            } => format!("{} {config} {workload} x{iterations}", self.topology),
         }
     }
 }
@@ -114,13 +112,13 @@ pub fn expand(scenario: &Scenario) -> Vec<RunPoint> {
         }
         SweepMode::Training => {
             for &topology in &scenario.topologies {
-                for &workload in &scenario.workloads {
+                for workload in &scenario.workloads {
                     for &config in &scenario.configs {
                         points.push(RunPoint {
                             topology,
                             kind: PointKind::Training {
                                 config,
-                                workload,
+                                workload: workload.clone(),
                                 iterations: scenario.iterations,
                                 optimized_embedding: scenario.optimized_embedding,
                             },
@@ -242,8 +240,12 @@ mod tests {
 
     #[test]
     fn training_expansion() {
+        use ace_workloads::BuiltinWorkload;
         let mut sc = Scenario::training("fig11");
-        sc.workloads = vec![WorkloadSpec::Resnet50, WorkloadSpec::Gnmt];
+        sc.workloads = vec![
+            WorkloadSel::builtin(BuiltinWorkload::Resnet50),
+            WorkloadSel::builtin(BuiltinWorkload::Gnmt),
+        ];
         let points = expand(&sc);
         // 1 topology x 2 workloads x 5 configs.
         assert_eq!(points.len(), 10);

@@ -47,7 +47,10 @@ pub mod persist;
 pub mod report;
 pub mod runner;
 pub mod scenario;
-pub mod toml;
+/// The TOML-subset parser, hoisted to the `ace-toml` crate so workload
+/// specs can use it without depending on the sweep engine; re-exported
+/// here so `ace_sweep::toml::parse` keeps working.
+pub use ace_toml as toml;
 
 pub use grid::{expand, grid_len, PointKind, RunPoint};
 pub use persist::{cache_from_str, cache_to_string, load_cache, save_cache, CACHE_HEADER};
@@ -56,5 +59,6 @@ pub use runner::{
     run_scenario, Cache, Metrics, RunResult, RunnerOptions, SweepOutcome, SweepRunner,
 };
 pub use scenario::{
-    BaselineSpec, EngineFamily, EngineSpec, Scenario, ScenarioError, SweepMode, WorkloadSpec,
+    BaselineSpec, CustomWorkload, EngineFamily, EngineSpec, Scenario, ScenarioError, SweepMode,
+    WorkloadSel,
 };

@@ -28,7 +28,7 @@ use ace_system::SystemConfig;
 
 use crate::grid::{PointKind, RunPoint};
 use crate::runner::{Cache, Metrics};
-use crate::scenario::{parse_op, EngineSpec, WorkloadSpec};
+use crate::scenario::{parse_op, EngineSpec, WorkloadSel};
 
 /// Magic + version header of the cache file format. The simulator
 /// version is part of the header: cached rows are only "exactly what a
@@ -131,14 +131,14 @@ pub fn load_cache(path: impl AsRef<Path>) -> Result<Cache, String> {
 fn point_cells(p: &RunPoint) -> Vec<String> {
     let mut c = vec![String::new(); 13];
     c[1] = p.topology.to_string();
-    match p.kind {
+    match &p.kind {
         PointKind::Collective {
             engine,
             op,
             payload_bytes,
         } => {
             c[0] = "collective".into();
-            match engine {
+            match *engine {
                 EngineSpec::Ideal => c[2] = "ideal".into(),
                 EngineSpec::Baseline { mem_gbps, comm_sms } => {
                     c[2] = "baseline".into();
@@ -167,9 +167,9 @@ fn point_cells(p: &RunPoint) -> Vec<String> {
         } => {
             c[0] = "training".into();
             c[9] = config.to_string();
-            c[10] = workload.name().into();
+            c[10] = workload.to_string();
             c[11] = iterations.to_string();
-            c[12] = if optimized_embedding { "1" } else { "0" }.into();
+            c[12] = if *optimized_embedding { "1" } else { "0" }.into();
         }
     }
     c
@@ -218,7 +218,7 @@ fn parse_row(line: &str) -> Result<(RunPoint, Metrics), String> {
         }
         "training" => PointKind::Training {
             config: cells[9].parse::<SystemConfig>()?,
-            workload: cells[10].parse::<WorkloadSpec>()?,
+            workload: WorkloadSel::from_cache_key(cells[10])?,
             iterations: parse_int(cells[11], "iterations")? as u32,
             optimized_embedding: match cells[12] {
                 "1" => true,
@@ -299,7 +299,9 @@ mod tests {
         let mut sc = Scenario::training("persist-training");
         sc.topologies = vec![TopologySpec::torus3(2, 1, 1).unwrap()];
         sc.configs = vec![ace_system::SystemConfig::Ace];
-        sc.workloads = vec![WorkloadSpec::Resnet50];
+        sc.workloads = vec![WorkloadSel::builtin(
+            ace_workloads::BuiltinWorkload::Resnet50,
+        )];
         sc.iterations = 1;
         let runner = SweepRunner::new();
         runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
@@ -368,8 +370,8 @@ mod tests {
         }
         // A switch point never hits a torus entry: querying the reloaded
         // cache with the same coordinates but a different topology misses.
-        let torus_point = out.results[0].point;
-        let mut cross = torus_point;
+        let torus_point = out.results[0].point.clone();
+        let mut cross = torus_point.clone();
         cross.topology = "switch:16".parse().unwrap();
         assert_ne!(reloaded.get(&torus_point), None);
         assert_ne!(

@@ -59,7 +59,7 @@ fn row_cells(r: &RunResult) -> Vec<String> {
     let mut config = String::new();
     let mut workload = String::new();
     let mut iters = String::new();
-    match r.point.kind {
+    match &r.point.kind {
         PointKind::Collective {
             engine: spec,
             op: o,
@@ -68,7 +68,7 @@ fn row_cells(r: &RunResult) -> Vec<String> {
             engine = spec.family().name().to_string();
             op = o.to_string();
             payload = payload_bytes.to_string();
-            match spec {
+            match *spec {
                 EngineSpec::Ideal => {}
                 EngineSpec::Baseline { mem_gbps, comm_sms } => {
                     mem = format_f64(mem_gbps);
@@ -92,7 +92,7 @@ fn row_cells(r: &RunResult) -> Vec<String> {
             ..
         } => {
             config = c.to_string();
-            workload = w.name().to_string();
+            workload = w.to_string();
             iters = iterations.to_string();
         }
     }
@@ -244,7 +244,7 @@ pub struct AxisSummary {
 /// The (axis, value) coordinates a point contributes to.
 fn axis_values(point: &RunPoint) -> Vec<(&'static str, String)> {
     let mut v = vec![("topology", point.topology.to_string())];
-    match point.kind {
+    match &point.kind {
         PointKind::Collective {
             engine,
             op,
@@ -252,8 +252,8 @@ fn axis_values(point: &RunPoint) -> Vec<(&'static str, String)> {
         } => {
             v.push(("engine", engine.family().name().to_string()));
             v.push(("op", op.to_string()));
-            v.push(("payload", human_bytes(payload_bytes)));
-            match engine {
+            v.push(("payload", human_bytes(*payload_bytes)));
+            match *engine {
                 EngineSpec::Ideal => {}
                 EngineSpec::Baseline { mem_gbps, comm_sms } => {
                     v.push(("mem_gbps", format_f64(mem_gbps)));
@@ -274,7 +274,7 @@ fn axis_values(point: &RunPoint) -> Vec<(&'static str, String)> {
             config, workload, ..
         } => {
             v.push(("config", config.to_string()));
-            v.push(("workload", workload.name().to_string()));
+            v.push(("workload", workload.to_string()));
         }
     }
     v

@@ -115,6 +115,11 @@ impl Cache {
         self.map.lock().expect("cache lock").get(point).copied()
     }
 
+    /// Whether `point` is cached.
+    pub fn contains(&self, point: &RunPoint) -> bool {
+        self.map.lock().expect("cache lock").contains_key(point)
+    }
+
     /// Stores metrics for `point`.
     pub fn insert(&self, point: RunPoint, metrics: Metrics) {
         self.map.lock().expect("cache lock").insert(point, metrics);
@@ -137,7 +142,7 @@ impl Cache {
             .lock()
             .expect("cache lock")
             .iter()
-            .map(|(p, m)| (*p, *m))
+            .map(|(p, m)| (p.clone(), *m))
             .collect()
     }
 }
@@ -188,8 +193,8 @@ impl SweepRunner {
         let mut queued: HashSet<RunPoint> = HashSet::new();
         let mut work: Vec<RunPoint> = Vec::new();
         for p in points.iter().chain(baseline_points.iter()) {
-            if self.cache.get(p).is_none() && queued.insert(*p) {
-                work.push(*p);
+            if !self.cache.contains(p) && queued.insert(p.clone()) {
+                work.push(p.clone());
             }
         }
 
@@ -199,16 +204,16 @@ impl SweepRunner {
         let mut seen: HashSet<RunPoint> = HashSet::new();
         let mut cache_hits = 0usize;
         let mut results: Vec<RunResult> = points
-            .iter()
+            .into_iter()
             .map(|p| {
-                let metrics = self.cache.get(p).expect("every grid point was executed");
-                let fresh_here = queued.contains(p) && seen.insert(*p);
+                let metrics = self.cache.get(&p).expect("every grid point was executed");
+                let fresh_here = queued.contains(&p) && seen.insert(p.clone());
                 let cache_hit = !fresh_here;
                 if cache_hit {
                     cache_hits += 1;
                 }
                 RunResult {
-                    point: *p,
+                    point: p,
                     metrics,
                     cache_hit,
                     speedup_vs_baseline: None,
@@ -252,7 +257,7 @@ impl SweepRunner {
 
         if threads == 1 {
             for p in work {
-                self.cache.insert(*p, execute(p));
+                self.cache.insert(p.clone(), execute(p));
             }
             return;
         }
@@ -276,7 +281,7 @@ impl SweepRunner {
                 .into_inner()
                 .expect("slot lock")
                 .expect("worker filled slot");
-            self.cache.insert(*p, m);
+            self.cache.insert(p.clone(), m);
         }
     }
 }
@@ -289,14 +294,14 @@ pub fn run_scenario(scenario: &Scenario, opts: RunnerOptions) -> Result<SweepOut
 /// Simulates one point. Pure and deterministic: the same point always
 /// produces the same metrics.
 pub fn execute(point: &RunPoint) -> Metrics {
-    match point.kind {
+    match &point.kind {
         PointKind::Collective {
             engine,
             op,
             payload_bytes,
         } => {
             let r =
-                run_single_collective(point.topology, engine.to_engine_kind(), op, payload_bytes);
+                run_single_collective(point.topology, engine.to_engine_kind(), *op, *payload_bytes);
             let freq = ace_simcore::npu_frequency();
             Metrics {
                 time_us: r.completion.cycles() as f64 / freq.hz() * 1e6,
@@ -318,10 +323,10 @@ pub fn execute(point: &RunPoint) -> Metrics {
             let spec = point.topology;
             let report = SystemBuilder::new()
                 .topology_spec(spec)
-                .config(config)
+                .config(*config)
                 .workload(workload.instantiate(spec.nodes()))
-                .iterations(iterations)
-                .optimized_embedding(optimized_embedding)
+                .iterations(*iterations)
+                .optimized_embedding(*optimized_embedding)
                 .build()
                 .expect("expanded point is buildable")
                 .run();
@@ -342,7 +347,7 @@ pub fn execute(point: &RunPoint) -> Metrics {
 /// The baseline point a grid row is compared against: the row's
 /// coordinates with the engine/config swapped for the scenario baseline.
 fn baseline_point_for(scenario: &Scenario, point: &RunPoint) -> RunPoint {
-    match (scenario.baseline, point.kind) {
+    match (scenario.baseline, &point.kind) {
         (
             Some(BaselineSpec::Engine(spec)),
             PointKind::Collective {
@@ -352,8 +357,8 @@ fn baseline_point_for(scenario: &Scenario, point: &RunPoint) -> RunPoint {
             topology: point.topology,
             kind: PointKind::Collective {
                 engine: spec,
-                op,
-                payload_bytes,
+                op: *op,
+                payload_bytes: *payload_bytes,
             },
         },
         (
@@ -368,12 +373,12 @@ fn baseline_point_for(scenario: &Scenario, point: &RunPoint) -> RunPoint {
             topology: point.topology,
             kind: PointKind::Training {
                 config: cfg,
-                workload,
-                iterations,
-                optimized_embedding,
+                workload: workload.clone(),
+                iterations: *iterations,
+                optimized_embedding: *optimized_embedding,
             },
         },
-        _ => *point,
+        _ => point.clone(),
     }
 }
 
@@ -403,12 +408,12 @@ fn baseline_points(scenario: &Scenario) -> Vec<RunPoint> {
         }
         (BaselineSpec::Config(cfg), SweepMode::Training) => {
             for &topology in &scenario.topologies {
-                for &workload in &scenario.workloads {
+                for workload in &scenario.workloads {
                     out.push(RunPoint {
                         topology,
                         kind: PointKind::Training {
                             config: cfg,
-                            workload,
+                            workload: workload.clone(),
                             iterations: scenario.iterations,
                             optimized_embedding: scenario.optimized_embedding,
                         },

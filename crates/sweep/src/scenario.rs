@@ -10,11 +10,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::path::Path;
+use std::sync::Arc;
 
 use ace_collectives::CollectiveOp;
 use ace_net::TopologySpec;
 use ace_system::{EngineKind, SystemConfig};
-use ace_workloads::Workload;
+use ace_workloads::{BuiltinWorkload, Parallelism, Workload};
 
 use crate::toml::{self, Value};
 
@@ -104,6 +106,32 @@ pub enum EngineSpec {
 }
 
 impl EngineSpec {
+    /// A baseline engine with a `(memory GB/s, SM count)` communication
+    /// allocation — the public spelling the figure binaries use instead
+    /// of struct-literal plumbing.
+    pub fn baseline(mem_gbps: f64, comm_sms: u32) -> EngineSpec {
+        EngineSpec::Baseline { mem_gbps, comm_sms }
+    }
+
+    /// ACE at the paper's chosen design point (4 MB SRAM, 16 FSMs) with
+    /// a custom DMA memory carve-out.
+    pub fn ace(dma_mem_gbps: f64) -> EngineSpec {
+        EngineSpec::Ace {
+            dma_mem_gbps,
+            sram_mb: 4,
+            fsms: 16,
+        }
+    }
+
+    /// ACE at an arbitrary Fig. 9a design-space point.
+    pub fn ace_dse(dma_mem_gbps: f64, sram_mb: u64, fsms: usize) -> EngineSpec {
+        EngineSpec::Ace {
+            dma_mem_gbps,
+            sram_mb,
+            fsms,
+        }
+    }
+
     /// The family this spec resolves.
     pub fn family(&self) -> EngineFamily {
         match self {
@@ -208,55 +236,229 @@ impl fmt::Display for EngineSpec {
     }
 }
 
-/// The workloads a training-mode scenario can sweep. DLRM's all-to-all
-/// payloads depend on the fabric size, so instantiation takes the node
-/// count of the point's topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum WorkloadSpec {
-    /// ResNet-50 v1.5, mini-batch 32 per NPU.
-    Resnet50,
-    /// GNMT, mini-batch 128 per NPU.
-    Gnmt,
-    /// DLRM, mini-batch 512 per NPU, hybrid-parallel.
-    Dlrm,
-    /// Megatron-style Transformer-LM, mini-batch 16 per NPU.
-    TransformerLm,
+/// One entry of the training-mode `workloads` axis: a builtin (with an
+/// optional parallelism override, `transformer@model`) or a custom
+/// TOML-defined model (`file:my_model.toml`). DLRM's all-to-all payloads
+/// depend on the fabric size, so instantiation takes the node count of
+/// the point's topology.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WorkloadSel {
+    /// A builtin model, optionally re-parallelized (`name@strategy`).
+    Builtin {
+        /// Which builtin.
+        kind: BuiltinWorkload,
+        /// Lowering-strategy override; `None` uses the model's native
+        /// strategy.
+        parallelism: Option<Parallelism>,
+    },
+    /// A user-authored [`ace_workloads::WorkloadSpec`] loaded from a
+    /// TOML file.
+    File(CustomWorkload),
 }
 
-impl WorkloadSpec {
-    /// Scenario-file name of the workload.
-    pub fn name(self) -> &'static str {
-        match self {
-            WorkloadSpec::Resnet50 => "resnet50",
-            WorkloadSpec::Gnmt => "gnmt",
-            WorkloadSpec::Dlrm => "dlrm",
-            WorkloadSpec::TransformerLm => "transformer",
+/// A custom workload reference: the spec plus its cache identity. Two
+/// references are the same point iff path *and* content fingerprint
+/// match, so editing the TOML invalidates persisted cache rows instead
+/// of silently serving stale results.
+#[derive(Debug, Clone)]
+pub struct CustomWorkload {
+    /// The path as written in the scenario (also the cache-key spelling).
+    path: String,
+    /// FNV-1a hash of the file contents.
+    fingerprint: u64,
+    /// The parsed spec; `None` for references deserialized from a
+    /// persisted cache (those rows are only ever served, never
+    /// re-simulated — a changed file changes the fingerprint and misses).
+    spec: Option<Arc<ace_workloads::WorkloadSpec>>,
+}
+
+impl PartialEq for CustomWorkload {
+    fn eq(&self, other: &Self) -> bool {
+        self.path == other.path && self.fingerprint == other.fingerprint
+    }
+}
+
+impl Eq for CustomWorkload {}
+
+impl Hash for CustomWorkload {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.path.hash(state);
+        self.fingerprint.hash(state);
+    }
+}
+
+impl CustomWorkload {
+    /// The path as written in the scenario file.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The parsed spec, when this reference was loaded from disk.
+    pub fn spec(&self) -> Option<&ace_workloads::WorkloadSpec> {
+        self.spec.as_deref()
+    }
+}
+
+/// FNV-1a, the custom-workload content fingerprint.
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl WorkloadSel {
+    /// A builtin under its native parallelization strategy.
+    pub fn builtin(kind: BuiltinWorkload) -> WorkloadSel {
+        WorkloadSel::Builtin {
+            kind,
+            parallelism: None,
         }
+    }
+
+    /// Parses an axis entry. Builtins spell `name` or
+    /// `name@parallelism` (`transformer@model`); custom models spell
+    /// `file:<path>.toml`, resolved relative to `base` (the scenario
+    /// file's directory) when the path is relative.
+    pub fn parse(s: &str, base: Option<&Path>) -> Result<WorkloadSel, String> {
+        let s = s.trim();
+        if let Some(path) = s.strip_prefix("file:") {
+            let path = path.trim();
+            if path.is_empty() {
+                return Err("'file:' needs a path to a workload TOML".into());
+            }
+            if path.contains(',') || path.contains('#') {
+                return Err(format!(
+                    "workload path '{path}' must not contain ',' or '#' (cache-key syntax)"
+                ));
+            }
+            let resolved = match base {
+                Some(dir) if Path::new(path).is_relative() => dir.join(path),
+                _ => Path::new(path).to_path_buf(),
+            };
+            let text = std::fs::read_to_string(&resolved)
+                .map_err(|e| format!("cannot read workload file {}: {e}", resolved.display()))?;
+            let spec = ace_workloads::WorkloadSpec::from_toml_str(&text)
+                .map_err(|e| format!("workload file {}: {e}", resolved.display()))?;
+            return Ok(WorkloadSel::File(CustomWorkload {
+                path: path.to_string(),
+                fingerprint: fnv1a(&text),
+                spec: Some(Arc::new(spec)),
+            }));
+        }
+        let (name, par) = match s.split_once('@') {
+            None => (s, None),
+            Some((n, p)) => (n, Some(p.parse::<Parallelism>()?)),
+        };
+        let sel = WorkloadSel::Builtin {
+            kind: name.parse::<BuiltinWorkload>()?,
+            parallelism: par,
+        };
+        sel.check()?;
+        Ok(sel)
+    }
+
+    /// Checks that the selector can instantiate — the parallelism
+    /// override is compatible with the builtin (delegating to
+    /// [`Workload::with_parallelism`], the single source of truth) and a
+    /// custom spec is internally consistent. Run by
+    /// [`parse`](WorkloadSel::parse) and by [`Scenario::validate`], so
+    /// hand-constructed selectors fail the sweep cleanly instead of
+    /// panicking a worker.
+    pub fn check(&self) -> Result<(), String> {
+        match self {
+            WorkloadSel::Builtin {
+                parallelism: None, ..
+            } => Ok(()),
+            WorkloadSel::Builtin {
+                kind,
+                parallelism: Some(p),
+            } => kind.instantiate(2).with_parallelism(*p).map(drop),
+            WorkloadSel::File(custom) => match &custom.spec {
+                // Cache-deserialized references are only ever served by
+                // identity, never instantiated.
+                None => Ok(()),
+                Some(spec) => spec.validate(),
+            },
+        }
+    }
+
+    /// Parses the persisted cache-key spelling: like
+    /// [`parse`](WorkloadSel::parse), except custom workloads appear as
+    /// `file:<path>#<fingerprint>` and are *not* re-read from disk (a
+    /// cached row is served by identity, never re-simulated).
+    pub fn from_cache_key(s: &str) -> Result<WorkloadSel, String> {
+        if let Some(rest) = s.strip_prefix("file:") {
+            let (path, fp) = rest
+                .rsplit_once('#')
+                .ok_or_else(|| format!("custom workload key '{s}' is missing '#<fingerprint>'"))?;
+            let fingerprint = u64::from_str_radix(fp, 16)
+                .map_err(|_| format!("bad workload fingerprint '{fp}'"))?;
+            return Ok(WorkloadSel::File(CustomWorkload {
+                path: path.to_string(),
+                fingerprint,
+                spec: None,
+            }));
+        }
+        Self::parse(s, None)
     }
 
     /// Builds the concrete workload for a fabric of `nodes` NPUs.
-    pub fn instantiate(self, nodes: usize) -> Workload {
+    ///
+    /// # Panics
+    ///
+    /// Panics for a cache-deserialized custom reference (no spec to
+    /// instantiate) — such points are always served from the cache.
+    pub fn instantiate(&self, nodes: usize) -> Workload {
         match self {
-            WorkloadSpec::Resnet50 => Workload::resnet50(),
-            WorkloadSpec::Gnmt => Workload::gnmt(),
-            WorkloadSpec::Dlrm => Workload::dlrm(nodes),
-            WorkloadSpec::TransformerLm => Workload::transformer_lm(),
+            WorkloadSel::Builtin { kind, parallelism } => {
+                let w = kind.instantiate(nodes);
+                match parallelism {
+                    None => w,
+                    Some(p) => w
+                        .with_parallelism(*p)
+                        .expect("overrides are validated by WorkloadSel::check"),
+                }
+            }
+            WorkloadSel::File(custom) => custom
+                .spec
+                .as_ref()
+                .expect("cache-only custom workload references cannot be instantiated")
+                .instantiate(nodes),
+        }
+    }
+
+    /// The axis / cache-key / CSV spelling of the selector. Builtins
+    /// round-trip through [`parse`](WorkloadSel::parse); custom models
+    /// through [`from_cache_key`](WorkloadSel::from_cache_key).
+    pub fn name(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl From<BuiltinWorkload> for WorkloadSel {
+    fn from(kind: BuiltinWorkload) -> WorkloadSel {
+        WorkloadSel::Builtin {
+            kind,
+            parallelism: None,
         }
     }
 }
 
-impl std::str::FromStr for WorkloadSpec {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
-            "resnet50" | "resnet" => Ok(WorkloadSpec::Resnet50),
-            "gnmt" => Ok(WorkloadSpec::Gnmt),
-            "dlrm" => Ok(WorkloadSpec::Dlrm),
-            "transformer" | "transformerlm" | "megatron" => Ok(WorkloadSpec::TransformerLm),
-            other => Err(format!(
-                "unknown workload '{other}' (expected resnet50, gnmt, dlrm, or transformer)"
-            )),
+impl fmt::Display for WorkloadSel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadSel::Builtin {
+                kind,
+                parallelism: None,
+            } => f.write_str(kind.name()),
+            WorkloadSel::Builtin {
+                kind,
+                parallelism: Some(p),
+            } => write!(f, "{}@{}", kind.name(), p.name()),
+            WorkloadSel::File(c) => write!(f, "file:{}#{:016x}", c.path, c.fingerprint),
         }
     }
 }
@@ -302,8 +504,10 @@ pub struct Scenario {
     pub fsms: Vec<usize>,
     /// Training mode: Table VI system configurations.
     pub configs: Vec<SystemConfig>,
-    /// Training mode: workloads.
-    pub workloads: Vec<WorkloadSpec>,
+    /// Training mode: workloads — builtins (`"dlrm"`), re-parallelized
+    /// builtins (`"transformer@model"`), or custom TOML models
+    /// (`"file:my_model.toml"`).
+    pub workloads: Vec<WorkloadSel>,
     /// Training mode: simulated iterations per point (paper default 2).
     pub iterations: u32,
     /// Training mode: enable the Fig. 12 DLRM embedding optimization.
@@ -354,7 +558,7 @@ impl Scenario {
             sram_mb: Vec::new(),
             fsms: Vec::new(),
             configs: SystemConfig::ALL.to_vec(),
-            workloads: vec![WorkloadSpec::Resnet50],
+            workloads: vec![WorkloadSel::builtin(BuiltinWorkload::Resnet50)],
             iterations: 2,
             optimized_embedding: false,
             baseline: None,
@@ -362,13 +566,36 @@ impl Scenario {
     }
 
     /// Parses a scenario from TOML text. See the crate docs and
-    /// `examples/scenarios/` for the format.
+    /// `examples/scenarios/` for the format. Relative `file:` workload
+    /// paths resolve against the current directory; prefer
+    /// [`from_toml_path`](Scenario::from_toml_path) for scenario files
+    /// on disk.
     pub fn from_toml_str(text: &str) -> Result<Scenario, ScenarioError> {
-        let doc = toml::parse(text).map_err(ScenarioError::Parse)?;
-        Scenario::from_toml(&doc)
+        Self::from_toml_str_at(text, None)
     }
 
-    fn from_toml(doc: &BTreeMap<String, Value>) -> Result<Scenario, ScenarioError> {
+    /// Reads and parses a scenario file. Relative `file:` workload
+    /// paths resolve against the scenario file's directory, so scenarios
+    /// can ship next to the models they reference.
+    pub fn from_toml_path(path: impl AsRef<Path>) -> Result<Scenario, ScenarioError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            ScenarioError::Invalid(format!("cannot read scenario {}: {e}", path.display()))
+        })?;
+        Self::from_toml_str_at(&text, path.parent())
+    }
+
+    /// Parses scenario text with an explicit base directory for relative
+    /// `file:` workload paths.
+    pub fn from_toml_str_at(text: &str, base: Option<&Path>) -> Result<Scenario, ScenarioError> {
+        let doc = toml::parse(text).map_err(ScenarioError::Parse)?;
+        Scenario::from_toml(&doc, base)
+    }
+
+    fn from_toml(
+        doc: &BTreeMap<String, Value>,
+        base: Option<&Path>,
+    ) -> Result<Scenario, ScenarioError> {
         let invalid = |msg: String| ScenarioError::Invalid(msg);
 
         // Reject misspelled keys loudly: a typoed axis name silently
@@ -469,13 +696,13 @@ impl Scenario {
             sc.workloads = parse_list(v, "workloads", |s, _| {
                 s.as_str()
                     .ok_or_else(|| "expected string".to_string())
-                    .and_then(|s| s.parse::<WorkloadSpec>())
+                    .and_then(|s| WorkloadSel::parse(s, base))
             })?;
         }
         if let Some(v) = doc.get("iterations") {
             sc.iterations = v
                 .as_i64()
-                .filter(|&i| i >= 1)
+                .filter(|&i| i >= 1 && i <= i64::from(u32::MAX))
                 .ok_or_else(|| invalid("'iterations' must be a positive integer".into()))?
                 as u32;
         }
@@ -542,6 +769,9 @@ impl Scenario {
                 if self.workloads.is_empty() {
                     return Err("training mode requires a nonempty 'workloads' axis".into());
                 }
+                for (i, w) in self.workloads.iter().enumerate() {
+                    w.check().map_err(|e| format!("workloads[{i}]: {e}"))?;
+                }
                 if let Some(BaselineSpec::Engine(_)) = self.baseline {
                     return Err("training mode baseline must name a config, not an engine".into());
                 }
@@ -596,49 +826,17 @@ fn parse_topology(v: &Value, _i: usize) -> Result<TopologySpec, String> {
     s.parse::<TopologySpec>()
 }
 
-/// Parses a collective-op name, tolerating hyphens/underscores.
+/// Parses a collective-op name, tolerating hyphens/underscores — a
+/// compatibility wrapper over the single parser in `ace-collectives`
+/// (which also supplies the did-you-mean hints).
 pub fn parse_op(s: &str) -> Result<CollectiveOp, String> {
-    match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
-        "allreduce" => Ok(CollectiveOp::AllReduce),
-        "reducescatter" => Ok(CollectiveOp::ReduceScatter),
-        "allgather" => Ok(CollectiveOp::AllGather),
-        "alltoall" => Ok(CollectiveOp::AllToAll),
-        other => Err(format!(
-            "unknown op '{other}' (expected all-reduce, reduce-scatter, all-gather, or all-to-all)"
-        )),
-    }
+    s.parse::<CollectiveOp>()
 }
 
 /// Parses a byte count: a plain integer, or a string with a `KB`/`MB`/`GB`
-/// binary-power suffix (e.g. `"64MB"`).
-pub fn parse_bytes(v: &Value) -> Result<u64, String> {
-    if let Some(i) = v.as_i64() {
-        return u64::try_from(i).map_err(|_| format!("negative byte count {i}"));
-    }
-    let s = v
-        .as_str()
-        .ok_or_else(|| "expected an integer or a string like \"64MB\"".to_string())?
-        .trim()
-        .to_ascii_uppercase();
-    let (digits, shift) = if let Some(d) = s.strip_suffix("GB") {
-        (d, 30)
-    } else if let Some(d) = s.strip_suffix("MB") {
-        (d, 20)
-    } else if let Some(d) = s.strip_suffix("KB") {
-        (d, 10)
-    } else if let Some(d) = s.strip_suffix('B') {
-        (d, 0)
-    } else {
-        (s.as_str(), 0)
-    };
-    let n: u64 = digits
-        .trim()
-        .parse()
-        .map_err(|_| format!("cannot parse byte count '{s}'"))?;
-    n.checked_shl(shift)
-        .filter(|&b| b >> shift == n)
-        .ok_or_else(|| format!("byte count '{s}' overflows"))
-}
+/// binary-power suffix (e.g. `"64MB"`) — hoisted to `ace-toml` so the
+/// workload-spec parser shares it; re-exported for compatibility.
+pub use ace_toml::parse_bytes;
 
 fn parse_uint(v: &Value) -> Result<u64, String> {
     v.as_i64()
@@ -773,7 +971,10 @@ mod tests {
         assert_eq!(sc.configs.len(), 4);
         assert_eq!(
             sc.workloads,
-            vec![WorkloadSpec::Resnet50, WorkloadSpec::Dlrm]
+            vec![
+                WorkloadSel::builtin(BuiltinWorkload::Resnet50),
+                WorkloadSel::builtin(BuiltinWorkload::Dlrm)
+            ]
         );
         assert_eq!(sc.iterations, 1);
         assert_eq!(
@@ -806,6 +1007,90 @@ mod tests {
             TopologySpec::switch_with_gbps(8, 100).unwrap()
         );
         assert_eq!(sc.topologies[3].nodes(), 32);
+    }
+
+    #[test]
+    fn workload_axis_accepts_parallelism_overrides() {
+        let sc = Scenario::from_toml_str(
+            "mode = \"training\"\nworkloads = [\"transformer@model\", \"dlrm\", \"gnmt@data\"]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            sc.workloads[0],
+            WorkloadSel::Builtin {
+                kind: BuiltinWorkload::TransformerLm,
+                parallelism: Some(Parallelism::Model),
+            }
+        );
+        assert_eq!(sc.workloads[0].to_string(), "transformer@model");
+        assert_eq!(sc.workloads[1].to_string(), "dlrm");
+        let w = sc.workloads[0].instantiate(16);
+        assert_eq!(w.parallelism(), Parallelism::Model);
+    }
+
+    #[test]
+    fn misspelled_workloads_get_hints_through_the_toml_layer() {
+        // The old parser emitted a bare "unknown workload" message; the
+        // hints must survive the scenario layer intact.
+        let e =
+            Scenario::from_toml_str("mode = \"training\"\nworkloads = [\"resent50\"]").unwrap_err();
+        assert!(e.to_string().contains("did you mean 'resnet50'"), "{e}");
+        let e = Scenario::from_toml_str("mode = \"training\"\nworkloads = [\"dlmr\"]").unwrap_err();
+        assert!(e.to_string().contains("did you mean 'dlrm'"), "{e}");
+        let e = Scenario::from_toml_str("mode = \"training\"\nworkloads = [\"gnmt@modell\"]")
+            .unwrap_err();
+        assert!(e.to_string().contains("did you mean 'model'"), "{e}");
+        // Structurally impossible overrides are rejected at parse time.
+        let e = Scenario::from_toml_str("mode = \"training\"\nworkloads = [\"resnet50@hybrid\"]")
+            .unwrap_err();
+        assert!(e.to_string().contains("embedding"), "{e}");
+        // Missing custom files are reported with their path.
+        let e = Scenario::from_toml_str(
+            "mode = \"training\"\nworkloads = [\"file:does_not_exist.toml\"]",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("does_not_exist.toml"), "{e}");
+    }
+
+    #[test]
+    fn custom_workloads_load_relative_to_the_scenario_file() {
+        let dir = std::env::temp_dir().join("ace-sweep-custom-workload-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("model.toml"),
+            "name = \"tiny\"\nbatch_per_npu = 4\n[[layer]]\nfwd_flops = 1e9\nfwd_bytes = 1e7\n\
+             comm = \"all-reduce\"\ncomm_bytes = \"1MB\"\n",
+        )
+        .unwrap();
+        let scenario_path = dir.join("scenario.toml");
+        std::fs::write(
+            &scenario_path,
+            "mode = \"training\"\ntopologies = [\"2x1x1\"]\nworkloads = [\"file:model.toml\"]\n",
+        )
+        .unwrap();
+        let sc = Scenario::from_toml_path(&scenario_path).unwrap();
+        let WorkloadSel::File(custom) = &sc.workloads[0] else {
+            panic!("expected a custom workload");
+        };
+        assert_eq!(custom.path(), "model.toml");
+        assert_eq!(custom.spec().unwrap().name, "tiny");
+        let w = sc.workloads[0].instantiate(2);
+        assert_eq!(w.name(), "tiny");
+        // Cache-key round trip: display → from_cache_key preserves
+        // identity (path + fingerprint) without touching the filesystem.
+        let key = sc.workloads[0].to_string();
+        assert!(key.starts_with("file:model.toml#"), "{key}");
+        let reparsed = WorkloadSel::from_cache_key(&key).unwrap();
+        assert_eq!(reparsed, sc.workloads[0]);
+        // Editing the file changes the fingerprint: stale cache rows miss.
+        std::fs::write(
+            dir.join("model.toml"),
+            "name = \"tiny\"\nbatch_per_npu = 8\n[[layer]]\nfwd_flops = 1e9\nfwd_bytes = 1e7\n",
+        )
+        .unwrap();
+        let sc2 = Scenario::from_toml_path(&scenario_path).unwrap();
+        assert_ne!(sc2.workloads[0], sc.workloads[0]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

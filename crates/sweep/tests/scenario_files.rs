@@ -57,3 +57,19 @@ fn training_suite_scenario_parses() {
     assert_eq!(grid_len(&sc), 15);
     assert_eq!(sc.iterations, 2);
 }
+
+#[test]
+fn custom_workload_scenario_loads_its_model_next_to_itself() {
+    // `file:` paths resolve relative to the scenario file, so this must
+    // go through `from_toml_path` (the sweep CLI's entry point).
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/scenarios/custom_workload.toml");
+    let sc = Scenario::from_toml_path(&path).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(sc.mode, SweepMode::Training);
+    assert_eq!(sc.workloads.len(), 2);
+    assert_eq!(grid_len(&sc), 16);
+    let w = sc.workloads[0].instantiate(16);
+    assert_eq!(w.name(), "wide-mlp");
+    assert_eq!(w.layers().len(), 14, "embed + 12 blocks + head");
+    assert_eq!(sc.workloads[1].to_string(), "transformer@model");
+}

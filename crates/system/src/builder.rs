@@ -2,8 +2,9 @@
 
 use std::fmt;
 
-use ace_net::{TopologySpec, TorusShape};
-use ace_workloads::{Parallelism, Workload};
+use ace_compute::NpuParams;
+use ace_net::{NetworkParams, TopologySpec, TorusShape};
+use ace_workloads::{LoweringOptions, Parallelism, Program, Workload, WorkloadSpec};
 
 use crate::config::SystemConfig;
 use crate::training::TrainingSim;
@@ -11,10 +12,14 @@ use crate::training::TrainingSim;
 /// Errors from [`SystemBuilder::build`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BuildError {
-    /// No workload was supplied.
+    /// No workload (or program) was supplied.
     MissingWorkload,
     /// The topology was invalid.
     InvalidShape(String),
+    /// The workload (or a parallelism override) was inconsistent.
+    InvalidWorkload(String),
+    /// A user-supplied program failed [`Program::validate`].
+    InvalidProgram(String),
 }
 
 impl fmt::Display for BuildError {
@@ -22,11 +27,22 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::MissingWorkload => f.write_str("no workload was supplied"),
             BuildError::InvalidShape(s) => write!(f, "invalid torus shape: {s}"),
+            BuildError::InvalidWorkload(s) => write!(f, "invalid workload: {s}"),
+            BuildError::InvalidProgram(s) => write!(f, "invalid program: {s}"),
         }
     }
 }
 
 impl std::error::Error for BuildError {}
+
+/// What the simulation runs: a concrete workload, a declarative spec
+/// instantiated at build time, or an explicit task graph.
+#[derive(Debug, Clone)]
+enum WorkSource {
+    Workload(Workload),
+    Spec(WorkloadSpec),
+    Program(Program),
+}
 
 /// Builder for [`TrainingSim`].
 ///
@@ -43,6 +59,41 @@ impl std::error::Error for BuildError {}
 /// let report = sim.run();
 /// assert_eq!(report.nodes(), 16);
 /// ```
+///
+/// NPU and network parameters default to the paper's platform and can be
+/// overridden; workloads can come from a TOML [`WorkloadSpec`] or as a
+/// pre-lowered [`Program`]:
+///
+/// ```
+/// use ace_compute::NpuParams;
+/// use ace_net::NetworkParams;
+/// use ace_system::{SystemBuilder, SystemConfig};
+/// use ace_workloads::WorkloadSpec;
+///
+/// let spec = WorkloadSpec::from_toml_str(r#"
+///     name = "tiny-mlp"
+///     batch_per_npu = 8
+///     [[layer]]
+///     fwd_flops = 1.0e9
+///     fwd_bytes = 1.0e7
+///     comm = "all-reduce"
+///     comm_bytes = "2MB"
+/// "#).unwrap();
+///
+/// let mut net = NetworkParams::paper_default();
+/// net.inter.bandwidth_gbps = 50.0;   // double the scale-out links
+/// let report = SystemBuilder::new()
+///     .topology(2, 2, 1)
+///     .config(SystemConfig::Ace)
+///     .workload_spec(spec)
+///     .npu_params(NpuParams::paper_default())
+///     .net_params(net)
+///     .iterations(1)
+///     .build()
+///     .unwrap()
+///     .run();
+/// assert_eq!(report.workload(), "tiny-mlp");
+/// ```
 #[derive(Debug, Clone)]
 pub struct SystemBuilder {
     l: usize,
@@ -51,9 +102,12 @@ pub struct SystemBuilder {
     /// When set, overrides the `LxVxH` fields with an arbitrary topology.
     spec: Option<TopologySpec>,
     config: SystemConfig,
-    workload: Option<Workload>,
+    source: Option<WorkSource>,
+    parallelism: Option<Parallelism>,
     iterations: u32,
     optimized_embedding: bool,
+    npu_params: Option<NpuParams>,
+    net_params: Option<NetworkParams>,
 }
 
 impl Default for SystemBuilder {
@@ -64,7 +118,8 @@ impl Default for SystemBuilder {
 
 impl SystemBuilder {
     /// Creates a builder with the paper defaults: a 4×2×2 torus, the ACE
-    /// configuration, and 2 training iterations.
+    /// configuration, 2 training iterations, and the paper's NPU and
+    /// network parameters.
     pub fn new() -> SystemBuilder {
         SystemBuilder {
             l: 4,
@@ -72,9 +127,12 @@ impl SystemBuilder {
             h: 2,
             spec: None,
             config: SystemConfig::Ace,
-            workload: None,
+            source: None,
+            parallelism: None,
             iterations: 2,
             optimized_embedding: false,
+            npu_params: None,
+            net_params: None,
         }
     }
 
@@ -102,9 +160,52 @@ impl SystemBuilder {
         self
     }
 
-    /// Sets the workload.
+    /// Sets the workload (replacing any earlier workload, spec, or
+    /// program).
     pub fn workload(mut self, workload: Workload) -> SystemBuilder {
-        self.workload = Some(workload);
+        self.source = Some(WorkSource::Workload(workload));
+        self
+    }
+
+    /// Sets a declarative workload spec, instantiated for the built
+    /// topology's node count (replacing any earlier workload, spec, or
+    /// program).
+    pub fn workload_spec(mut self, spec: WorkloadSpec) -> SystemBuilder {
+        self.source = Some(WorkSource::Spec(spec));
+        self
+    }
+
+    /// Sets an explicit task graph, bypassing lowering entirely
+    /// (replacing any earlier workload, spec, or program). The program
+    /// is [validated](Program::validate) at build time; the
+    /// [`iterations`](SystemBuilder::iterations),
+    /// [`parallelism`](SystemBuilder::parallelism) and
+    /// [`optimized_embedding`](SystemBuilder::optimized_embedding)
+    /// settings do not apply to it.
+    pub fn program(mut self, program: Program) -> SystemBuilder {
+        self.source = Some(WorkSource::Program(program));
+        self
+    }
+
+    /// Overrides the parallelization strategy the workload is lowered
+    /// under (e.g. Megatron-style [`Parallelism::Model`] for the
+    /// Transformer-LM). Defaults to the workload's native strategy.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> SystemBuilder {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// Overrides the NPU compute parameters (default:
+    /// [`NpuParams::paper_default`]).
+    pub fn npu_params(mut self, npu: NpuParams) -> SystemBuilder {
+        self.npu_params = Some(npu);
+        self
+    }
+
+    /// Overrides the network link parameters (default:
+    /// [`NetworkParams::paper_default`]).
+    pub fn net_params(mut self, net: NetworkParams) -> SystemBuilder {
+        self.net_params = Some(net);
         self
     }
 
@@ -117,7 +218,8 @@ impl SystemBuilder {
 
     /// Enables the DLRM optimized training loop (Fig. 12): embedding
     /// lookup/update of the next/previous iteration run in the background
-    /// on a 1-SM / 80 GB/s carve-out.
+    /// on a 1-SM / 80 GB/s carve-out — the
+    /// [`Program::optimize_embedding`] graph transform.
     pub fn optimized_embedding(mut self, on: bool) -> SystemBuilder {
         self.optimized_embedding = on;
         self
@@ -127,8 +229,11 @@ impl SystemBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`BuildError::MissingWorkload`] if no workload was set and
-    /// [`BuildError::InvalidShape`] for degenerate torus shapes.
+    /// [`BuildError::MissingWorkload`] if nothing runnable was set,
+    /// [`BuildError::InvalidShape`] for degenerate torus shapes,
+    /// [`BuildError::InvalidWorkload`] for inconsistent specs or
+    /// parallelism overrides, and [`BuildError::InvalidProgram`] when a
+    /// user program fails validation.
     pub fn build(self) -> Result<TrainingSim, BuildError> {
         let spec = match self.spec {
             Some(spec) => spec,
@@ -136,16 +241,50 @@ impl SystemBuilder {
                 .map_err(|e| BuildError::InvalidShape(e.to_string()))?
                 .into(),
         };
-        let workload = self.workload.ok_or(BuildError::MissingWorkload)?;
-        // The embedding optimization only applies to hybrid workloads; it
-        // is a silent no-op otherwise, matching the paper's usage.
-        let optimized = self.optimized_embedding && workload.parallelism() == Parallelism::Hybrid;
-        Ok(TrainingSim::new(
+        let npu = self.npu_params.unwrap_or_else(NpuParams::paper_default);
+        let net = self.net_params.unwrap_or_else(NetworkParams::paper_default);
+        let workload = match self.source {
+            None => return Err(BuildError::MissingWorkload),
+            Some(WorkSource::Program(program)) => {
+                program.validate().map_err(BuildError::InvalidProgram)?;
+                return Ok(TrainingSim::from_program(
+                    self.config,
+                    program,
+                    spec,
+                    npu,
+                    net,
+                ));
+            }
+            Some(WorkSource::Workload(w)) => w,
+            Some(WorkSource::Spec(s)) => {
+                s.validate().map_err(BuildError::InvalidWorkload)?;
+                s.instantiate(spec.nodes())
+            }
+        };
+        let workload = match self.parallelism {
+            Some(p) => workload
+                .with_parallelism(p)
+                .map_err(BuildError::InvalidWorkload)?,
+            None => workload,
+        };
+        let opts = LoweringOptions {
+            iterations: self.iterations,
+            overlap: self.config.overlaps(),
+        };
+        let mut program = Program::lower(&workload, workload.parallelism(), &opts);
+        // The embedding optimization only matters for workloads with an
+        // embedding stage; for the rest the transform is a silent no-op
+        // (matching the paper's usage) — so gate the resource carve-out
+        // on an embedding being present.
+        if self.optimized_embedding && workload.embedding().is_some() {
+            program.optimize_embedding();
+        }
+        Ok(TrainingSim::from_program(
             self.config,
-            workload,
+            program,
             spec,
-            self.iterations,
-            optimized,
+            npu,
+            net,
         ))
     }
 }
@@ -184,8 +323,8 @@ mod tests {
 
     #[test]
     fn optimized_embedding_ignored_for_data_parallel() {
-        // Should build and run without panicking even though ResNet-50 has
-        // no embedding stage.
+        // Should build and run without the carve-out even though the
+        // flag is set: ResNet-50 has no embedding stage.
         let sim = SystemBuilder::new()
             .optimized_embedding(true)
             .workload(Workload::resnet50())
@@ -193,5 +332,110 @@ mod tests {
             .build()
             .unwrap();
         assert!(!sim.is_hybrid());
+        assert!(sim.program().carveout().is_none());
+    }
+
+    #[test]
+    fn parallelism_override_is_applied_and_validated() {
+        let sim = SystemBuilder::new()
+            .workload(Workload::transformer_lm())
+            .parallelism(Parallelism::Model)
+            .build()
+            .unwrap();
+        assert_eq!(sim.program().parallelism(), Parallelism::Model);
+
+        let err = SystemBuilder::new()
+            .workload(Workload::resnet50())
+            .parallelism(Parallelism::Hybrid)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidWorkload(_)), "{err}");
+        assert!(err.to_string().contains("embedding"));
+    }
+
+    #[test]
+    fn npu_and_net_params_are_no_longer_baked_in() {
+        // Halving the NPU's peak memory bandwidth must slow compute; the
+        // old API hard-coded paper defaults inside the simulator.
+        let run = |npu: NpuParams| {
+            SystemBuilder::new()
+                .topology(2, 2, 1)
+                .workload(Workload::resnet50())
+                .npu_params(npu)
+                .iterations(1)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let paper = run(NpuParams::paper_default());
+        let mut slow = NpuParams::paper_default();
+        slow.peak_tflops /= 4.0;
+        let slowed = run(slow);
+        assert!(
+            slowed.total_compute_us() >= paper.total_compute_us(),
+            "weaker NPU cannot compute faster"
+        );
+
+        // Slower inter-package links stretch the network side.
+        let mut net = NetworkParams::paper_default();
+        net.inter.bandwidth_gbps /= 8.0;
+        let throttled = SystemBuilder::new()
+            .topology(2, 2, 1)
+            .workload(Workload::resnet50())
+            .net_params(net)
+            .iterations(1)
+            .build()
+            .unwrap()
+            .run();
+        let baseline = SystemBuilder::new()
+            .topology(2, 2, 1)
+            .workload(Workload::resnet50())
+            .iterations(1)
+            .build()
+            .unwrap()
+            .run();
+        assert!(throttled.total_time_us() >= baseline.total_time_us());
+    }
+
+    #[test]
+    fn invalid_program_is_rejected() {
+        use ace_collectives::CollectiveOp;
+        use ace_workloads::TaskPhase;
+        let mut p = Program::new("bad", Parallelism::Data, 1);
+        let ar = p.add_collective(
+            CollectiveOp::AllReduce,
+            1 << 20,
+            TaskPhase::Backward,
+            0,
+            vec![],
+        );
+        let ar2 = p.add_collective(
+            CollectiveOp::AllReduce,
+            1 << 20,
+            TaskPhase::Backward,
+            0,
+            vec![ar],
+        );
+        let _ = ar2; // collective-on-collective dependency is invalid
+        let err = SystemBuilder::new().program(p).build().unwrap_err();
+        assert!(matches!(err, BuildError::InvalidProgram(_)), "{err}");
+    }
+
+    #[test]
+    fn workload_spec_instantiates_at_build_time() {
+        let spec = WorkloadSpec::from_toml_str(
+            "name = \"tiny\"\nbatch_per_npu = 4\n[[layer]]\nfwd_flops = 1e9\nfwd_bytes = 1e7\n\
+             comm = \"all-reduce\"\ncomm_bytes = \"1MB\"\n",
+        )
+        .unwrap();
+        let report = SystemBuilder::new()
+            .topology(2, 1, 1)
+            .workload_spec(spec)
+            .iterations(1)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(report.workload(), "tiny");
+        assert!(report.total_cycles() > 0);
     }
 }

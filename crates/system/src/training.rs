@@ -1,36 +1,40 @@
-//! The two-iteration training loop (Section V, "Target Workloads" /
-//! "Metric of Evaluation").
+//! The training-loop simulator: a generic task-graph scheduler.
 //!
-//! Forward passes block per layer on the previous iteration's
-//! weight-gradient all-reduce ("for each layer we need to make sure the
-//! weight gradient communication of the previous iteration is completed");
-//! backward passes emit one collective per layer, scheduled LIFO. DLRM
-//! additionally blocks on the embedding all-to-all before its top MLP and
-//! on the backward all-to-all before the embedding update. Exposed
-//! communication is every cycle the compute timeline spends stalled on a
-//! collective.
+//! [`TrainingSim`] executes any acyclic [`Program`] against the
+//! [`CollectiveExecutor`]: it walks the program's schedule (a topological
+//! linearization of the dependency DAG), advancing one serial NPU compute
+//! timeline. Compute and barrier tasks block on the collectives among
+//! their dependencies — every cycle the timeline spends stalled on a
+//! collective is **exposed communication** — and collective tasks are
+//! issued non-blocking at the current instant (the executor drains them
+//! LIFO, Section V).
+//!
+//! The paper's two-iteration training loop is no longer hard-coded here:
+//! [`Program::lower`] compiles `(workload, parallelism, iterations)` into
+//! the graph — forward passes blocking per layer on the previous
+//! iteration's weight-gradient all-reduce, backward passes emitting one
+//! collective per layer, DLRM's blocking all-to-alls — and the Fig. 12
+//! optimized embedding loop is the [`Program::optimize_embedding`] graph
+//! transform.
 
 use ace_collectives::CollectiveOp;
 use ace_compute::{KernelDesc, NpuParams};
 use ace_net::{NetworkParams, TopologySpec};
 use ace_simcore::{SimTime, TimeSeries};
-use ace_workloads::{Parallelism, Workload};
+use ace_workloads::{LoweringOptions, Parallelism, Program, TaskId, TaskKind, TaskPhase, Workload};
 
 use crate::config::SystemConfig;
 use crate::executor::{CollHandle, CollectiveExecutor};
 use crate::report::IterationReport;
 
-/// Simulates `iterations` training iterations of one workload on one
-/// system configuration.
+/// Simulates a training [`Program`] on one system configuration.
 pub struct TrainingSim {
     config: SystemConfig,
-    workload: Workload,
+    program: Program,
     spec: TopologySpec,
     npu: NpuParams,
     net_params: NetworkParams,
     exec: CollectiveExecutor,
-    iterations: u32,
-    optimized_embedding: bool,
     // running state
     t: SimTime,
     compute_busy: u64,
@@ -42,17 +46,17 @@ impl std::fmt::Debug for TrainingSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TrainingSim")
             .field("config", &self.config)
-            .field("workload", &self.workload.name())
+            .field("program", &self.program.name())
             .field("topology", &self.spec)
             .finish()
     }
 }
 
 impl TrainingSim {
-    /// Creates a simulator. `optimized_embedding` enables the Fig. 12 DLRM
-    /// training-loop optimization (embedding lookup/update of the
-    /// next/previous iteration overlapped with the current iteration's
-    /// compute).
+    /// Creates a simulator by lowering `workload` under its native
+    /// parallelization strategy with the paper-default NPU and network
+    /// parameters. `optimized_embedding` applies the Fig. 12 graph
+    /// transform ([`Program::optimize_embedding`]).
     pub fn new(
         config: SystemConfig,
         workload: Workload,
@@ -60,8 +64,37 @@ impl TrainingSim {
         iterations: u32,
         optimized_embedding: bool,
     ) -> TrainingSim {
+        let opts = LoweringOptions {
+            iterations,
+            overlap: config.overlaps(),
+        };
+        let mut program = Program::lower(&workload, workload.parallelism(), &opts);
+        if optimized_embedding {
+            program.optimize_embedding();
+        }
+        Self::from_program(
+            config,
+            program,
+            topology,
+            NpuParams::paper_default(),
+            NetworkParams::paper_default(),
+        )
+    }
+
+    /// Creates a simulator for an already-lowered (or user-authored)
+    /// program with explicit NPU and network parameters. The program
+    /// should be [valid](Program::validate); [`SystemBuilder`] checks
+    /// this for you.
+    ///
+    /// [`SystemBuilder`]: crate::SystemBuilder
+    pub fn from_program(
+        config: SystemConfig,
+        program: Program,
+        topology: impl Into<TopologySpec>,
+        npu: NpuParams,
+        net_params: NetworkParams,
+    ) -> TrainingSim {
         let spec = topology.into();
-        let net_params = NetworkParams::paper_default();
         let plan = ace_collectives::CollectivePlan::for_spec(CollectiveOp::AllReduce, spec);
         let weights = CollectiveExecutor::phase_weights(&plan, &net_params);
         let exec = CollectiveExecutor::new(spec, net_params, {
@@ -70,13 +103,11 @@ impl TrainingSim {
         });
         TrainingSim {
             config,
-            workload,
+            program,
             spec,
-            npu: NpuParams::paper_default(),
+            npu,
             net_params,
             exec,
-            iterations,
-            optimized_embedding,
             t: SimTime::ZERO,
             compute_busy: 0,
             exposed: 0,
@@ -84,134 +115,80 @@ impl TrainingSim {
         }
     }
 
-    /// Runs the training loop and produces the report.
+    /// The program about to run.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Executes the program's schedule and produces the report.
     pub fn run(mut self) -> IterationReport {
-        let layers = self.workload.layers().len();
-        let mut prev_ar: Vec<Option<CollHandle>> = vec![None; layers];
-        let mut fwd_busy_windows: Vec<(u64, u64)> = Vec::new(); // (ace busy, window)
+        let mut handles: Vec<Option<CollHandle>> = vec![None; self.program.task_slots()];
+        // Fig. 9b forward/backward split: one (ace-busy, window) pair per
+        // contiguous run of forward-phase timeline tasks.
+        let mut fwd_busy_windows: Vec<(u64, u64)> = Vec::new();
         let mut fwd_cycles_total: u64 = 0;
+        let mut window: Option<(SimTime, u64)> = None; // (start, busy at start)
 
-        // Optimized DLRM loop: iteration 0's lookup runs before training
-        // starts, so its all-to-all is already in flight at t = 0.
-        let mut carried_fwd_a2a: Option<CollHandle> = None;
-        if self.optimized_embedding {
-            if let Some(emb) = self.workload.embedding().cloned() {
-                carried_fwd_a2a = Some(self.exec.issue(
-                    CollectiveOp::AllToAll,
-                    emb.fwd_all_to_all_bytes,
-                    self.t,
-                ));
-            }
-        }
-
-        for iter in 0..self.iterations {
-            // ---------------- forward pass ----------------
-            let fwd_start = self.t;
-            let ace_busy_at_start = self.ace_busy_cycles();
-
-            let mut fwd_a2a: Option<CollHandle> = None;
-            if let Some(emb) = self.workload.embedding().cloned() {
-                if self.optimized_embedding {
-                    // Lookup ran in the background during the previous
-                    // iteration (1 SM + 80 GB/s carve-out, Section VI-D)
-                    // and its all-to-all was issued as soon as it
-                    // finished — it has been transferring since then.
-                    fwd_a2a = carried_fwd_a2a.take();
-                } else {
-                    self.run_kernel(&emb.lookup);
-                    fwd_a2a = Some(self.exec.issue(
-                        CollectiveOp::AllToAll,
-                        emb.fwd_all_to_all_bytes,
-                        self.t,
-                    ));
+        let schedule: Vec<TaskId> = self.program.schedule().to_vec();
+        for id in schedule {
+            let task = self.program.task(id);
+            match task.kind() {
+                TaskKind::Collective { op, bytes } => {
+                    // Non-blocking issue at the current timeline instant;
+                    // schedule order fixes the executor's LIFO priority.
+                    handles[id.index()] = Some(self.exec.issue(*op, *bytes, self.t));
                 }
-            }
-
-            for (i, prev) in prev_ar.iter_mut().enumerate() {
-                if self.config.overlaps() && iter > 0 {
-                    if let Some(h) = prev.take() {
-                        self.wait_on(h);
-                    }
-                }
-                if let Some(emb) = self.workload.embedding() {
-                    if i == emb.top_mlp_start {
-                        // "The only exception is DLRM fwd-pass all-to-all
-                        // where the training loop performs a blocking wait"
-                        // (Table VI footnote) — in every configuration.
-                        if let Some(h) = fwd_a2a.take() {
-                            self.wait_on(h);
+                TaskKind::Compute(_) | TaskKind::Barrier => {
+                    // Forward-window bookkeeping keys on timeline tasks
+                    // only: a collective issued for the *next* iteration
+                    // during this backward pass must not open a window.
+                    match task.phase() {
+                        TaskPhase::Forward => {
+                            if window.is_none() {
+                                window = Some((self.t, self.ace_busy_cycles()));
+                            }
+                        }
+                        TaskPhase::Backward => {
+                            if let Some((start, busy_start)) = window.take() {
+                                fwd_busy_windows.push((
+                                    self.ace_busy_cycles().saturating_sub(busy_start),
+                                    self.t - start,
+                                ));
+                                fwd_cycles_total += self.t - start;
+                            }
                         }
                     }
-                }
-                let kernel = self.workload.layers()[i].fwd().clone();
-                self.run_kernel(&kernel);
-            }
-            let fwd_end = self.t;
-            self.exec.run_until(fwd_end);
-            fwd_busy_windows.push((
-                self.ace_busy_cycles().saturating_sub(ace_busy_at_start),
-                fwd_end - fwd_start,
-            ));
-            fwd_cycles_total += fwd_end - fwd_start;
-
-            // ---------------- backward pass ----------------
-            let mut deferred: Vec<(CollectiveOp, u64)> = Vec::new();
-            for i in (0..layers).rev() {
-                let (ig, wg, comm) = {
-                    let l = &self.workload.layers()[i];
-                    (l.input_grad().clone(), l.weight_grad().clone(), l.comm())
-                };
-                self.run_kernel(&ig);
-                self.run_kernel(&wg);
-                if let Some(c) = comm {
-                    if self.config.overlaps() {
-                        prev_ar[i] = Some(self.exec.issue(c.op, c.bytes, self.t));
-                    } else {
-                        deferred.push((c.op, c.bytes));
+                    // Block on the collective dependencies, in order.
+                    let waits: Vec<CollHandle> = task
+                        .deps()
+                        .iter()
+                        .filter_map(|dep| handles[dep.index()])
+                        .collect();
+                    let kernel = match task.kind() {
+                        TaskKind::Compute(k) => Some(k.clone()),
+                        _ => None,
+                    };
+                    for h in waits {
+                        self.wait_on(h);
+                    }
+                    if let Some(kernel) = kernel {
+                        self.run_kernel(&kernel);
                     }
                 }
             }
-
-            if let Some(emb) = self.workload.embedding().cloned() {
-                // Optimized loop: the next iteration's background lookup
-                // finished partway through this backward pass, so its
-                // all-to-all is issued now and overlaps the remaining
-                // communication (Section VI-D: "we immediately issue
-                // communication once the lookup is finished").
-                if self.optimized_embedding && iter + 1 < self.iterations {
-                    carried_fwd_a2a = Some(self.exec.issue(
-                        CollectiveOp::AllToAll,
-                        emb.fwd_all_to_all_bytes,
-                        self.t,
-                    ));
-                }
-                // Embedding gradients return to their owner tables, then
-                // the tables are updated before the next iteration.
-                let h = self
-                    .exec
-                    .issue(CollectiveOp::AllToAll, emb.bwd_all_to_all_bytes, self.t);
-                self.wait_on(h);
-                if !self.optimized_embedding {
-                    self.run_kernel(&emb.update);
-                }
-            }
-
-            if !self.config.overlaps() {
-                // BaselineNoOverlap: one batched communication "kernel" at
-                // the end of back-propagation, blocking.
-                let handles: Vec<CollHandle> = deferred
-                    .into_iter()
-                    .map(|(op, bytes)| self.exec.issue(op, bytes, self.t))
-                    .collect();
-                for h in handles {
-                    self.wait_on(h);
-                }
-            }
+        }
+        if let Some((start, busy_start)) = window.take() {
+            // A program ending mid-forward still closes its window.
+            fwd_busy_windows.push((
+                self.ace_busy_cycles().saturating_sub(busy_start),
+                self.t - start,
+            ));
+            fwd_cycles_total += self.t - start;
         }
 
-        // Drain the final iteration's outstanding collectives: the next
-        // forward pass could not start before they finish, so the stall is
-        // exposed communication.
+        // Drain the outstanding collectives: the next forward pass could
+        // not start before they finish, so the stall is exposed
+        // communication.
         let idle = self.exec.run_to_idle();
         if idle > self.t {
             self.exposed += idle - self.t;
@@ -252,11 +229,11 @@ impl TrainingSim {
 
         let network_series = self.exec.network().utilization_series();
         IterationReport {
-            workload: self.workload.name().to_string(),
+            workload: self.program.name().to_string(),
             config: self.config.short_name().to_string(),
             nodes: self.spec.nodes(),
             freq: self.net_params.freq,
-            iterations: self.iterations,
+            iterations: self.program.iterations(),
             total_cycles: self.t.cycles(),
             compute_cycles: self.compute_busy,
             exposed_comm_cycles: self.exposed,
@@ -273,17 +250,16 @@ impl TrainingSim {
 
     /// Advances the compute timeline by one kernel.
     ///
-    /// The optimized DLRM loop permanently loans 1 SM and 80 GB/s of HBM
-    /// to the background embedding pipeline (Section VI-D), so training
-    /// kernels see slightly reduced resources in that mode.
+    /// A program carve-out (the optimized DLRM loop permanently loans
+    /// 1 SM and 80 GB/s of HBM to the background embedding pipeline,
+    /// Section VI-D) reduces the resources every training kernel sees.
     fn run_kernel(&mut self, kernel: &KernelDesc) {
-        let (sms, mem) = if self.optimized_embedding {
-            (
-                self.config.compute_sms().saturating_sub(1).max(1),
-                (self.config.compute_mem_gbps() - 80.0).max(1.0),
-            )
-        } else {
-            (self.config.compute_sms(), self.config.compute_mem_gbps())
+        let (sms, mem) = match self.program.carveout() {
+            Some(c) => (
+                self.config.compute_sms().saturating_sub(c.sms).max(1),
+                (self.config.compute_mem_gbps() - c.mem_gbps).max(1.0),
+            ),
+            None => (self.config.compute_sms(), self.config.compute_mem_gbps()),
         };
         let cycles = self.npu.kernel_cycles(kernel, sms, mem);
         if cycles == 0 {
@@ -314,9 +290,9 @@ impl TrainingSim {
         self.exec.ace_busy_cycles(self.t).unwrap_or(0)
     }
 
-    /// Whether the workload is hybrid-parallel (DLRM).
+    /// Whether the program trains hybrid-parallel (DLRM).
     pub fn is_hybrid(&self) -> bool {
-        self.workload.parallelism() == Parallelism::Hybrid
+        self.program.parallelism() == Parallelism::Hybrid
     }
 }
 
@@ -324,7 +300,7 @@ impl TrainingSim {
 mod tests {
     use super::*;
     use ace_net::TorusShape;
-    use ace_workloads::{Layer, LayerComm};
+    use ace_workloads::{Layer, LayerComm, TaskRole};
 
     /// A hand-computable workload: one layer = two kernel groups (the
     /// forward kernel and the backward ig/wg pair) plus one backward
@@ -392,5 +368,93 @@ mod tests {
         assert_eq!(report.ace_util_fwd(), None);
         assert_eq!(report.ace_util_bwd(), None);
         assert_eq!(report.past_schedules(), 0);
+    }
+
+    #[test]
+    fn exposed_comm_equals_scheduler_stall_by_construction() {
+        // The timeline only advances through kernels (compute) and waits
+        // (exposed), so the identity holds exactly for any program.
+        for config in SystemConfig::ALL {
+            let shape = TorusShape::new(2, 2, 1).unwrap();
+            let report = TrainingSim::new(config, two_kernel_workload(), shape, 2, false).run();
+            assert_eq!(
+                report.total_cycles(),
+                report.compute_cycles() + report.exposed_comm_cycles(),
+                "{config}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_program_runs_end_to_end() {
+        use ace_workloads::TaskPhase;
+        let mut p = Program::new("hand-rolled", Parallelism::Data, 1);
+        let k = KernelDesc::new("k", 2.0e9, 1.0e8);
+        let c = p.add_compute(k.clone(), TaskPhase::Forward, 0, vec![]);
+        let ar = p.add_collective(
+            CollectiveOp::AllReduce,
+            4 << 20,
+            TaskPhase::Backward,
+            0,
+            vec![c],
+        );
+        let c2 = p.add_compute(k, TaskPhase::Backward, 0, vec![]);
+        let _sync = p.add_barrier(TaskPhase::Backward, 0, vec![ar]);
+        let _ = c2;
+        p.validate().unwrap();
+        let shape = TorusShape::new(2, 2, 1).unwrap();
+        let report = TrainingSim::from_program(
+            SystemConfig::Ace,
+            p,
+            shape,
+            NpuParams::paper_default(),
+            NetworkParams::paper_default(),
+        )
+        .run();
+        assert_eq!(report.workload(), "hand-rolled");
+        assert!(report.total_cycles() > 0);
+        assert_eq!(
+            report.total_cycles(),
+            report.compute_cycles() + report.exposed_comm_cycles()
+        );
+    }
+
+    #[test]
+    fn model_parallelism_exposes_more_communication_than_data() {
+        // Tensor-parallel collectives sit on the critical path in both
+        // passes, so their exposed share must exceed data parallelism's
+        // on the same layer table.
+        let shape = TorusShape::new(4, 2, 2).unwrap();
+        let w = Workload::transformer_lm();
+        let data = TrainingSim::new(SystemConfig::Ace, w.clone(), shape, 2, false).run();
+        let model = TrainingSim::new(
+            SystemConfig::Ace,
+            w.with_parallelism(Parallelism::Model).unwrap(),
+            shape,
+            2,
+            false,
+        )
+        .run();
+        assert!(
+            model.exposed_fraction() > data.exposed_fraction(),
+            "model {} vs data {}",
+            model.exposed_fraction(),
+            data.exposed_fraction()
+        );
+    }
+
+    #[test]
+    fn lowered_program_is_visible_and_tagged() {
+        let shape = TorusShape::new(2, 1, 1).unwrap();
+        let sim = TrainingSim::new(SystemConfig::Ace, Workload::dlrm(2), shape, 2, true);
+        let p = sim.program();
+        p.validate().unwrap();
+        assert!(p.carveout().is_some(), "optimized loop loans resources");
+        assert_eq!(
+            p.task(p.schedule()[0]).role(),
+            TaskRole::EmbeddingFwdA2a,
+            "iteration 0's exchange is in flight at t = 0"
+        );
+        assert!(sim.is_hybrid());
     }
 }

@@ -1,14 +1,22 @@
-//! A minimal TOML subset parser for scenario files.
+//! A minimal TOML subset parser for spec files, plus shared helpers for
+//! the parsers built on top of it (did-you-mean hints, byte-size
+//! suffixes).
 //!
 //! The build environment has no network registry, so the workspace is
-//! std-only and scenario files are parsed by this small hand-rolled
-//! reader instead of the `toml`/`serde` crates. The supported subset is
-//! exactly what sweep scenarios need:
+//! std-only and spec files — sweep scenarios and workload definitions —
+//! are parsed by this small hand-rolled reader instead of the
+//! `toml`/`serde` crates. The supported subset is exactly what those
+//! specs need:
 //!
 //! * top-level `key = value` pairs and `[table]` sections (one level),
+//! * `[[table]]` arrays of tables (one level, e.g. repeated `[[layer]]`
+//!   blocks in a workload definition),
 //! * strings (`"..."`), integers, floats, booleans,
 //! * homogeneous single- or multi-line arrays of those scalars,
 //! * `#` comments and blank lines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -24,7 +32,7 @@ pub enum Value {
     Float(f64),
     /// `true` / `false`.
     Bool(bool),
-    /// An array of scalars.
+    /// An array of scalars, or of tables (`[[section]]` blocks).
     Array(Vec<Value>),
     /// A `[section]` table of key/value pairs.
     Table(BTreeMap<String, Value>),
@@ -227,23 +235,37 @@ fn parse_value(raw: &str, line: usize) -> Result<Value, ParseError> {
     parse_scalar(raw, line)
 }
 
+/// Where subsequent `key = value` lines land.
+enum Section {
+    /// Top level.
+    Root,
+    /// Inside `[name]`.
+    Table(String),
+    /// Inside the latest `[[name]]` block.
+    ArrayEntry(String),
+}
+
 /// Parses a TOML document into a root table.
 ///
 /// ```
-/// let doc = ace_sweep::toml::parse(r#"
+/// let doc = ace_toml::parse(r#"
 /// name = "demo"
 /// sizes = [1, 2, 4]
 /// [baseline]
 /// engine = "ideal"
+/// [[layer]]
+/// fwd_flops = 1.0e9
+/// [[layer]]
+/// fwd_flops = 2.0e9
 /// "#).unwrap();
 /// assert_eq!(doc.get("name").and_then(|v| v.as_str()), Some("demo"));
 /// assert_eq!(doc.get("sizes").and_then(|v| v.as_array()).unwrap().len(), 3);
 /// assert!(doc.get("baseline").and_then(|v| v.as_table()).is_some());
+/// assert_eq!(doc.get("layer").and_then(|v| v.as_array()).unwrap().len(), 2);
 /// ```
 pub fn parse(text: &str) -> Result<BTreeMap<String, Value>, ParseError> {
     let mut root: BTreeMap<String, Value> = BTreeMap::new();
-    // `None` = top level; `Some(name)` = inside `[name]`.
-    let mut section: Option<String> = None;
+    let mut section = Section::Root;
     // Multi-line array accumulation: (key, buffer, start line).
     let mut pending: Option<(String, String, usize)> = None;
 
@@ -266,6 +288,38 @@ pub fn parse(text: &str) -> Result<BTreeMap<String, Value>, ParseError> {
             continue;
         }
 
+        if let Some(name) = line.strip_prefix("[[") {
+            let name = name
+                .strip_suffix("]]")
+                .ok_or_else(|| err(lineno, "unterminated array-of-tables header"))?
+                .trim();
+            if name.is_empty() || name.contains('[') || name.contains(']') {
+                return Err(err(lineno, "invalid array-of-tables header"));
+            }
+            match root
+                .entry(name.to_string())
+                .or_insert_with(|| Value::Array(Vec::new()))
+            {
+                Value::Array(entries) => {
+                    if entries.iter().any(|e| e.as_table().is_none()) {
+                        return Err(err(
+                            lineno,
+                            format!("[[{name}]] conflicts with a scalar array of the same name"),
+                        ));
+                    }
+                    entries.push(Value::Table(BTreeMap::new()));
+                }
+                _ => {
+                    return Err(err(
+                        lineno,
+                        format!("[[{name}]] conflicts with an earlier non-array '{name}'"),
+                    ))
+                }
+            }
+            section = Section::ArrayEntry(name.to_string());
+            continue;
+        }
+
         if let Some(name) = line.strip_prefix('[') {
             let name = name
                 .strip_suffix(']')
@@ -274,9 +328,19 @@ pub fn parse(text: &str) -> Result<BTreeMap<String, Value>, ParseError> {
             if name.is_empty() || name.contains('[') {
                 return Err(err(lineno, "invalid section header"));
             }
-            root.entry(name.to_string())
-                .or_insert_with(|| Value::Table(BTreeMap::new()));
-            section = Some(name.to_string());
+            match root
+                .entry(name.to_string())
+                .or_insert_with(|| Value::Table(BTreeMap::new()))
+            {
+                Value::Table(_) => {}
+                _ => {
+                    return Err(err(
+                        lineno,
+                        format!("[{name}] conflicts with an earlier non-table '{name}'"),
+                    ))
+                }
+            }
+            section = Section::Table(name.to_string());
             continue;
         }
 
@@ -324,22 +388,94 @@ fn balanced(s: &str) -> bool {
 
 fn insert(
     root: &mut BTreeMap<String, Value>,
-    section: &Option<String>,
+    section: &Section,
     key: String,
     value: Value,
     line: usize,
 ) -> Result<(), ParseError> {
     let table = match section {
-        None => root,
-        Some(name) => match root.get_mut(name) {
+        Section::Root => root,
+        Section::Table(name) => match root.get_mut(name) {
             Some(Value::Table(t)) => t,
             _ => return Err(err(line, format!("section [{name}] vanished"))),
+        },
+        Section::ArrayEntry(name) => match root.get_mut(name) {
+            Some(Value::Array(entries)) => match entries.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return Err(err(line, format!("array section [[{name}]] vanished"))),
+            },
+            _ => return Err(err(line, format!("array section [[{name}]] vanished"))),
         },
     };
     if table.insert(key.clone(), value).is_some() {
         return Err(err(line, format!("duplicate key '{key}'")));
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Shared spec-parsing helpers
+// ---------------------------------------------------------------------
+
+/// Levenshtein distance, for did-you-mean hints.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.chars().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// A `; did you mean '...'?` suffix when `word` is within edit distance
+/// 2 (case-insensitive) of a candidate; empty otherwise. Shared by every
+/// parser that wants typo hints: topology spellings and system-config
+/// names (via the `ace-net` re-export), workload and scenario keys.
+pub fn did_you_mean(word: &str, candidates: &[&str]) -> String {
+    let lower = word.to_ascii_lowercase();
+    candidates
+        .iter()
+        .map(|c| (edit_distance(&lower, &c.to_ascii_lowercase()), *c))
+        .filter(|&(d, c)| d <= 2.min(c.len().saturating_sub(1)))
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| format!("; did you mean '{c}'?"))
+        .unwrap_or_default()
+}
+
+/// Parses a byte count: a plain integer, or a string with a `KB`/`MB`/`GB`
+/// binary-power suffix (e.g. `"64MB"`).
+pub fn parse_bytes(v: &Value) -> Result<u64, String> {
+    if let Some(i) = v.as_i64() {
+        return u64::try_from(i).map_err(|_| format!("negative byte count {i}"));
+    }
+    let s = v
+        .as_str()
+        .ok_or_else(|| "expected an integer or a string like \"64MB\"".to_string())?
+        .trim()
+        .to_ascii_uppercase();
+    let (digits, shift) = if let Some(d) = s.strip_suffix("GB") {
+        (d, 30)
+    } else if let Some(d) = s.strip_suffix("MB") {
+        (d, 20)
+    } else if let Some(d) = s.strip_suffix("KB") {
+        (d, 10)
+    } else if let Some(d) = s.strip_suffix('B') {
+        (d, 0)
+    } else {
+        (s.as_str(), 0)
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("cannot parse byte count '{s}'"))?;
+    n.checked_shl(shift)
+        .filter(|&b| b >> shift == n)
+        .ok_or_else(|| format!("byte count '{s}' overflows"))
 }
 
 #[cfg(test)]
@@ -429,5 +565,63 @@ mod tests {
         assert_eq!(doc["a"].as_f64(), Some(2.0));
         assert_eq!(doc["b"].as_i64(), Some(2));
         assert_eq!(doc["c"].as_i64(), None);
+    }
+
+    #[test]
+    fn arrays_of_tables() {
+        let doc = parse(
+            r#"
+            name = "model"
+            [[layer]]
+            name = "a"
+            fwd_flops = 1.0e9
+            [[layer]]
+            name = "b"
+            repeat = 4
+            "#,
+        )
+        .unwrap();
+        let layers = doc["layer"].as_array().unwrap();
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].as_table().unwrap()["name"].as_str(), Some("a"));
+        assert_eq!(layers[1].as_table().unwrap()["repeat"].as_i64(), Some(4));
+    }
+
+    #[test]
+    fn array_of_tables_conflicts_are_rejected() {
+        assert!(parse("x = 1\n[[x]]\n").is_err());
+        assert!(parse("x = [1, 2]\n[[x]]\n").is_err());
+        assert!(parse("[x]\na = 1\n[[x]]\n").is_err());
+        assert!(parse("[[x]]\na = 1\n[x]\n").is_err());
+        assert!(parse("[[x]\n").is_err());
+        assert!(parse("[[ ]]\n").is_err());
+    }
+
+    #[test]
+    fn array_of_tables_duplicate_keys_rejected_per_entry() {
+        assert!(parse("[[l]]\na = 1\na = 2\n").is_err());
+        // Same key in *different* entries is fine.
+        assert!(parse("[[l]]\na = 1\n[[l]]\na = 2\n").is_ok());
+    }
+
+    #[test]
+    fn did_you_mean_hints() {
+        assert_eq!(
+            did_you_mean("swich", &["switch", "hier", "torus"]),
+            "; did you mean 'switch'?"
+        );
+        assert_eq!(did_you_mean("zzz", &["switch", "hier"]), "");
+    }
+
+    #[test]
+    fn payload_suffixes() {
+        let b = |s: &str| parse_bytes(&Value::Str(s.into())).unwrap();
+        assert_eq!(b("64MB"), 64 << 20);
+        assert_eq!(b("8 KB"), 8 << 10);
+        assert_eq!(b("1GB"), 1 << 30);
+        assert_eq!(b("512B"), 512);
+        assert_eq!(b("4096"), 4096);
+        assert_eq!(parse_bytes(&Value::Int(1024)).unwrap(), 1024);
+        assert!(parse_bytes(&Value::Str("64XB".into())).is_err());
     }
 }

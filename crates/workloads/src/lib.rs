@@ -6,7 +6,7 @@
 //! back-propagation. ResNet-50 and GNMT train data-parallel (per-layer
 //! weight-gradient all-reduce); DLRM trains hybrid-parallel — data-parallel
 //! MLPs with all-reduce, model-parallel embedding tables with all-to-all
-//! (Section V, [41], [47]).
+//! (Section V, refs \[41\], \[47\]).
 //!
 //! # Calibration
 //!
@@ -37,9 +37,15 @@
 mod dlrm;
 mod gnmt;
 mod layer;
+pub mod program;
 mod resnet;
+mod spec;
 mod transformer;
 mod workload;
 
 pub use layer::{Layer, LayerComm};
+pub use program::{
+    ComputeCarveout, LoweringOptions, Program, Task, TaskId, TaskKind, TaskPhase, TaskRole,
+};
+pub use spec::{BuiltinWorkload, EmbeddingSpec, LayerSpec, WorkloadSpec};
 pub use workload::{EmbeddingStage, Parallelism, Workload};

@@ -1,0 +1,1015 @@
+//! The task-graph workload IR.
+//!
+//! A [`Program`] is an acyclic graph of compute kernels, collectives and
+//! synchronization barriers with explicit precedence edges, plus a
+//! deterministic *schedule* — a topological linearization that fixes the
+//! order in which the single NPU compute timeline executes its tasks and
+//! the order in which collectives are issued (the LIFO scheduling policy
+//! of the collective executor makes issue order meaningful).
+//!
+//! Workloads no longer hard-code control flow in the simulator: the
+//! training loop of the paper (forward passes blocking on the previous
+//! iteration's weight-gradient all-reduces, backward passes emitting one
+//! collective per layer, DLRM's blocking all-to-alls) is *lowered* onto
+//! this IR by [`Program::lower`], one lowering rule per
+//! [`Parallelism`] strategy, and the simulator executes any valid
+//! program. The Fig. 12 DLRM optimization is a graph transform
+//! ([`Program::optimize_embedding`]) instead of a special-cased branch.
+//!
+//! # Execution model
+//!
+//! The schedule is executed in order by a scheduler owning one compute
+//! timeline and a collective executor:
+//!
+//! * a **compute** task first blocks on every *collective* among its
+//!   dependencies (in dependency order — the stall is exposed
+//!   communication), then advances the timeline by its kernel;
+//! * a **collective** task is issued (non-blocking) at the current
+//!   timeline instant;
+//! * a **barrier** blocks on its collective dependencies without running
+//!   any kernel.
+//!
+//! Dependencies between two timeline tasks (compute/barrier) are
+//! serialization edges — already satisfied by schedule order, which
+//! [`Program::validate`] enforces is topological.
+
+use std::fmt;
+
+use ace_collectives::CollectiveOp;
+use ace_compute::KernelDesc;
+
+use crate::workload::{Parallelism, Workload};
+
+/// Identifies a task within its [`Program`]. Stable across graph
+/// transforms (removing a task from the schedule does not renumber the
+/// others).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(usize);
+
+impl TaskId {
+    /// The dense index of this task in [`Program::task`] space.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// What a task does when the scheduler reaches it.
+#[derive(Debug, Clone)]
+pub enum TaskKind {
+    /// Advance the compute timeline by one kernel.
+    Compute(KernelDesc),
+    /// Issue a collective at the current timeline instant (non-blocking;
+    /// completion is consumed by dependent compute/barrier tasks).
+    Collective {
+        /// The collective operation.
+        op: CollectiveOp,
+        /// Per-node payload in bytes.
+        bytes: u64,
+    },
+    /// Block on the collective dependencies without running a kernel.
+    Barrier,
+}
+
+/// Which training pass a task belongs to — drives the Fig. 9b
+/// forward/backward ACE-utilization split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskPhase {
+    /// Forward pass of its iteration.
+    Forward,
+    /// Back-propagation (and everything after it) of its iteration.
+    Backward,
+}
+
+/// Structural tags graph transforms and analyses key on. Purely
+/// descriptive: the scheduler never branches on a role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskRole {
+    /// Forward kernel of layer `layer`.
+    Forward {
+        /// Layer index in forward order.
+        layer: usize,
+    },
+    /// Input-gradient kernel of layer `layer`.
+    InputGrad {
+        /// Layer index in forward order.
+        layer: usize,
+    },
+    /// Weight-gradient kernel of layer `layer`.
+    WeightGrad {
+        /// Layer index in forward order.
+        layer: usize,
+    },
+    /// Back-propagation collective of layer `layer` (weight gradients
+    /// under data parallelism, input-gradient exchange under model
+    /// parallelism).
+    GradCollective {
+        /// Layer index in forward order.
+        layer: usize,
+    },
+    /// Model parallelism: forward activation all-reduce of layer `layer`.
+    FwdCollective {
+        /// Layer index in forward order.
+        layer: usize,
+    },
+    /// DLRM embedding lookup kernel.
+    EmbeddingLookup,
+    /// DLRM embedding update kernel.
+    EmbeddingUpdate,
+    /// DLRM forward all-to-all (pooled embedding vectors).
+    EmbeddingFwdA2a,
+    /// DLRM backward all-to-all (embedding gradients).
+    EmbeddingBwdA2a,
+    /// Synchronization barrier.
+    Sync,
+    /// User-authored task with no structural meaning.
+    Custom,
+}
+
+/// One node of the task graph.
+#[derive(Debug, Clone)]
+pub struct Task {
+    kind: TaskKind,
+    deps: Vec<TaskId>,
+    phase: TaskPhase,
+    iter: u32,
+    role: TaskRole,
+}
+
+impl Task {
+    /// What the task does.
+    pub fn kind(&self) -> &TaskKind {
+        &self.kind
+    }
+
+    /// Precedence edges: tasks that must complete before this one
+    /// starts. For a compute/barrier task, collective dependencies are
+    /// blocked on in this order.
+    pub fn deps(&self) -> &[TaskId] {
+        &self.deps
+    }
+
+    /// Training pass of the task.
+    pub fn phase(&self) -> TaskPhase {
+        self.phase
+    }
+
+    /// Iteration the task belongs to.
+    pub fn iter(&self) -> u32 {
+        self.iter
+    }
+
+    /// Structural tag.
+    pub fn role(&self) -> TaskRole {
+        self.role
+    }
+
+    /// Whether the task occupies the compute timeline (compute or
+    /// barrier, as opposed to a non-blocking collective issue).
+    pub fn is_timeline(&self) -> bool {
+        !matches!(self.kind, TaskKind::Collective { .. })
+    }
+}
+
+/// Resources permanently loaned away from training compute — the
+/// Section VI-D background embedding pipeline carve-out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeCarveout {
+    /// SMs loaned away (the paper loans 1).
+    pub sms: u32,
+    /// HBM bandwidth loaned away, GB/s (the paper loans 80).
+    pub mem_gbps: f64,
+}
+
+impl ComputeCarveout {
+    /// The Section VI-D carve-out: 1 SM and 80 GB/s for the background
+    /// embedding pipeline.
+    pub fn embedding_default() -> ComputeCarveout {
+        ComputeCarveout {
+            sms: 1,
+            mem_gbps: 80.0,
+        }
+    }
+}
+
+/// Options for [`Program::lower`].
+#[derive(Debug, Clone, Copy)]
+pub struct LoweringOptions {
+    /// Training iterations to unroll (the paper simulates 2).
+    pub iterations: u32,
+    /// Whether the endpoint configuration overlaps communication with
+    /// compute. `false` (BaselineNoOverlap) batches every non-blocking
+    /// collective at the end of back-propagation behind a barrier.
+    pub overlap: bool,
+}
+
+impl Default for LoweringOptions {
+    fn default() -> Self {
+        LoweringOptions {
+            iterations: 2,
+            overlap: true,
+        }
+    }
+}
+
+/// A declarative training program: the task DAG plus its deterministic
+/// schedule. See the [module docs](self) for the execution model.
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: String,
+    parallelism: Parallelism,
+    iterations: u32,
+    /// All tasks ever created, indexed by `TaskId`. Tasks removed by a
+    /// transform stay here (ids are stable) but leave the schedule.
+    tasks: Vec<Task>,
+    /// Execution order — a topological linearization of the dep DAG.
+    schedule: Vec<TaskId>,
+    carveout: Option<ComputeCarveout>,
+}
+
+impl Program {
+    /// An empty program. `iterations` is descriptive metadata for
+    /// reports; the actual work is whatever tasks are added.
+    pub fn new(name: impl Into<String>, parallelism: Parallelism, iterations: u32) -> Program {
+        Program {
+            name: name.into(),
+            parallelism,
+            iterations: iterations.max(1),
+            tasks: Vec::new(),
+            schedule: Vec::new(),
+            carveout: None,
+        }
+    }
+
+    /// Program (workload) name, used in reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parallelization strategy the program was lowered under.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Iterations the program unrolls.
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// The resource carve-out applied to every compute kernel, if any.
+    pub fn carveout(&self) -> Option<ComputeCarveout> {
+        self.carveout
+    }
+
+    /// Sets the compute carve-out (see [`ComputeCarveout`]).
+    pub fn set_carveout(&mut self, carveout: Option<ComputeCarveout>) {
+        self.carveout = carveout;
+    }
+
+    /// Number of scheduled tasks.
+    pub fn len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    /// The execution order.
+    pub fn schedule(&self) -> &[TaskId] {
+        &self.schedule
+    }
+
+    /// The task behind `id`.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Total number of task slots (scheduled or removed) — the exclusive
+    /// upper bound of [`TaskId::index`].
+    pub fn task_slots(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Scheduled tasks in execution order.
+    pub fn iter_scheduled(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.schedule.iter().map(move |&id| (id, &self.tasks[id.0]))
+    }
+
+    // ------------------------------------------------------------------
+    // Graph construction
+    // ------------------------------------------------------------------
+
+    /// Appends a compute task. The previous timeline task is added as an
+    /// implicit serialization dependency (the NPU runs kernels serially);
+    /// `waits` lists the collectives (or other tasks) it must block on,
+    /// in blocking order.
+    pub fn add_compute(
+        &mut self,
+        kernel: KernelDesc,
+        phase: TaskPhase,
+        iter: u32,
+        waits: Vec<TaskId>,
+    ) -> TaskId {
+        self.push(
+            TaskKind::Compute(kernel),
+            phase,
+            iter,
+            TaskRole::Custom,
+            waits,
+            true,
+        )
+    }
+
+    /// Appends a collective issued after `after` completes (pass the
+    /// producing compute task; an empty list issues it as soon as the
+    /// schedule reaches it).
+    pub fn add_collective(
+        &mut self,
+        op: CollectiveOp,
+        bytes: u64,
+        phase: TaskPhase,
+        iter: u32,
+        after: Vec<TaskId>,
+    ) -> TaskId {
+        self.push(
+            TaskKind::Collective { op, bytes },
+            phase,
+            iter,
+            TaskRole::Custom,
+            after,
+            false,
+        )
+    }
+
+    /// Appends a barrier blocking on `waits` (in order).
+    pub fn add_barrier(&mut self, phase: TaskPhase, iter: u32, waits: Vec<TaskId>) -> TaskId {
+        self.push(TaskKind::Barrier, phase, iter, TaskRole::Sync, waits, true)
+    }
+
+    /// Core task append. `chain` adds the previous timeline task as a
+    /// leading serialization dependency.
+    fn push(
+        &mut self,
+        kind: TaskKind,
+        phase: TaskPhase,
+        iter: u32,
+        role: TaskRole,
+        mut deps: Vec<TaskId>,
+        chain: bool,
+    ) -> TaskId {
+        if chain {
+            if let Some(prev) = self.last_timeline() {
+                if !deps.contains(&prev) {
+                    deps.insert(0, prev);
+                }
+            }
+        }
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            kind,
+            deps,
+            phase,
+            iter,
+            role,
+        });
+        self.schedule.push(id);
+        id
+    }
+
+    /// The most recently scheduled timeline (compute/barrier) task.
+    fn last_timeline(&self) -> Option<TaskId> {
+        self.schedule
+            .iter()
+            .rev()
+            .find(|&&id| self.tasks[id.0].is_timeline())
+            .copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Validation
+    // ------------------------------------------------------------------
+
+    /// Checks that the program is executable: the schedule holds no
+    /// duplicates, every dependency of a scheduled task is itself
+    /// scheduled *earlier* (which makes the scheduled subgraph acyclic
+    /// and the schedule a topological order), and collectives only
+    /// depend on timeline tasks.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut position = vec![usize::MAX; self.tasks.len()];
+        for (pos, &id) in self.schedule.iter().enumerate() {
+            if id.0 >= self.tasks.len() {
+                return Err(format!("schedule references unknown task {id}"));
+            }
+            if position[id.0] != usize::MAX {
+                return Err(format!("task {id} is scheduled twice"));
+            }
+            position[id.0] = pos;
+        }
+        for (pos, &id) in self.schedule.iter().enumerate() {
+            let task = &self.tasks[id.0];
+            for &dep in &task.deps {
+                if dep.0 >= self.tasks.len() || position[dep.0] == usize::MAX {
+                    return Err(format!(
+                        "task {id} depends on {dep}, which is not scheduled"
+                    ));
+                }
+                if position[dep.0] >= pos {
+                    return Err(format!(
+                        "task {id} depends on {dep}, which is scheduled at or after it \
+                         (the schedule must be a topological order)"
+                    ));
+                }
+                if matches!(task.kind, TaskKind::Collective { .. })
+                    && !self.tasks[dep.0].is_timeline()
+                {
+                    return Err(format!(
+                        "collective task {id} depends on collective {dep}; collectives may \
+                         only be anchored to compute or barrier tasks"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Analyses
+    // ------------------------------------------------------------------
+
+    /// Per-node bytes of the layer gradient collectives scheduled for
+    /// `iter` — for builtin lowerings under their native strategy this
+    /// equals [`Workload::total_comm_bytes`].
+    pub fn grad_collective_bytes(&self, iter: u32) -> u64 {
+        self.iter_scheduled()
+            .filter(|(_, t)| t.iter == iter && matches!(t.role, TaskRole::GradCollective { .. }))
+            .map(|(_, t)| match t.kind {
+                TaskKind::Collective { bytes, .. } => bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Per-node bytes of every scheduled collective (all iterations,
+    /// embedding exchanges included).
+    pub fn total_collective_bytes(&self) -> u64 {
+        self.iter_scheduled()
+            .map(|(_, t)| match t.kind {
+                TaskKind::Collective { bytes, .. } => bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The first scheduled task of `iter` with role `role`.
+    pub fn find_role(&self, iter: u32, role: TaskRole) -> Option<TaskId> {
+        self.iter_scheduled()
+            .find(|(_, t)| t.iter == iter && t.role == role)
+            .map(|(id, _)| id)
+    }
+
+    // ------------------------------------------------------------------
+    // Lowering
+    // ------------------------------------------------------------------
+
+    /// Compiles `(workload, parallelism, options)` into a task graph.
+    ///
+    /// Lowering rules (Section V training loop):
+    ///
+    /// * **Data parallelism** — per layer, back-propagation emits the
+    ///   layer's weight-gradient collective right after its
+    ///   weight-gradient kernel. Overlapping configurations let the next
+    ///   iteration's forward pass block per layer on the previous
+    ///   iteration's collective; `overlap = false` defers every
+    ///   collective to a blocking batch behind a barrier at the end of
+    ///   back-propagation.
+    /// * **Hybrid parallelism** — data parallelism plus the embedding
+    ///   pipeline: lookup kernel and forward all-to-all before the
+    ///   layers, a blocking wait on that all-to-all before the top-MLP
+    ///   layer *in every configuration* (Table VI footnote), and the
+    ///   backward all-to-all + embedding update after back-propagation.
+    /// * **Model parallelism** (Megatron-style tensor parallel, the
+    ///   Section III motivation) — each layer's activation all-reduce
+    ///   blocks the *next* forward layer, and each backward layer's
+    ///   input-gradient all-reduce blocks the *previous* layer's
+    ///   backward kernels. These exchanges sit on the critical path by
+    ///   construction, in every configuration; there are no
+    ///   weight-gradient collectives (weights are sharded).
+    pub fn lower(workload: &Workload, parallelism: Parallelism, opts: &LoweringOptions) -> Program {
+        let mut p = Program::new(workload.name(), parallelism, opts.iterations);
+        let layers = workload.layers();
+        let model = parallelism == Parallelism::Model;
+        // Data/hybrid: the backward collectives the next iteration's
+        // forward pass blocks on, per layer.
+        let mut prev_ar: Vec<Option<TaskId>> = vec![None; layers.len()];
+
+        for iter in 0..opts.iterations {
+            // ---------------- forward pass ----------------
+            let mut fwd_a2a = None;
+            if let Some(emb) = workload.embedding() {
+                let lookup = p.push(
+                    TaskKind::Compute(emb.lookup.clone()),
+                    TaskPhase::Forward,
+                    iter,
+                    TaskRole::EmbeddingLookup,
+                    Vec::new(),
+                    true,
+                );
+                fwd_a2a = Some(p.push(
+                    TaskKind::Collective {
+                        op: CollectiveOp::AllToAll,
+                        bytes: emb.fwd_all_to_all_bytes,
+                    },
+                    TaskPhase::Forward,
+                    iter,
+                    TaskRole::EmbeddingFwdA2a,
+                    vec![lookup],
+                    false,
+                ));
+            }
+
+            // Model parallelism: the activation all-reduce the next
+            // forward layer blocks on.
+            let mut fwd_ar: Option<TaskId> = None;
+            for (i, layer) in layers.iter().enumerate() {
+                let mut waits = Vec::new();
+                if model {
+                    if let Some(ar) = fwd_ar.take() {
+                        waits.push(ar);
+                    }
+                } else if opts.overlap && iter > 0 {
+                    if let Some(ar) = prev_ar[i].take() {
+                        waits.push(ar);
+                    }
+                }
+                if let Some(emb) = workload.embedding() {
+                    if i == emb.top_mlp_start {
+                        // "The only exception is DLRM fwd-pass all-to-all
+                        // where the training loop performs a blocking
+                        // wait" (Table VI footnote) — in every
+                        // configuration.
+                        if let Some(a2a) = fwd_a2a.take() {
+                            waits.push(a2a);
+                        }
+                    }
+                }
+                let fwd = p.push(
+                    TaskKind::Compute(layer.fwd().clone()),
+                    TaskPhase::Forward,
+                    iter,
+                    TaskRole::Forward { layer: i },
+                    waits,
+                    true,
+                );
+                if model {
+                    if let Some(c) = layer.comm() {
+                        fwd_ar = Some(p.push(
+                            TaskKind::Collective {
+                                op: c.op,
+                                bytes: c.bytes,
+                            },
+                            TaskPhase::Forward,
+                            iter,
+                            TaskRole::FwdCollective { layer: i },
+                            vec![fwd],
+                            false,
+                        ));
+                    }
+                }
+            }
+
+            // ---------------- backward pass ----------------
+            // Model parallelism: a trailing forward all-reduce (last
+            // layer sharded) blocks the first backward kernel; then each
+            // layer's backward all-reduce blocks the previous layer.
+            let mut bwd_ar: Option<TaskId> = fwd_ar.take();
+            let mut deferred: Vec<(usize, TaskId)> = Vec::new();
+            for i in (0..layers.len()).rev() {
+                let layer = &layers[i];
+                let mut waits = Vec::new();
+                if let Some(ar) = bwd_ar.take() {
+                    waits.push(ar);
+                }
+                p.push(
+                    TaskKind::Compute(layer.input_grad().clone()),
+                    TaskPhase::Backward,
+                    iter,
+                    TaskRole::InputGrad { layer: i },
+                    waits,
+                    true,
+                );
+                let wg = p.push(
+                    TaskKind::Compute(layer.weight_grad().clone()),
+                    TaskPhase::Backward,
+                    iter,
+                    TaskRole::WeightGrad { layer: i },
+                    Vec::new(),
+                    true,
+                );
+                if let Some(c) = layer.comm() {
+                    if model || opts.overlap {
+                        let ar = p.push(
+                            TaskKind::Collective {
+                                op: c.op,
+                                bytes: c.bytes,
+                            },
+                            TaskPhase::Backward,
+                            iter,
+                            TaskRole::GradCollective { layer: i },
+                            vec![wg],
+                            false,
+                        );
+                        if model {
+                            bwd_ar = Some(ar);
+                        } else {
+                            prev_ar[i] = Some(ar);
+                        }
+                    } else {
+                        deferred.push((i, wg));
+                    }
+                }
+            }
+
+            if let Some(emb) = workload.embedding() {
+                // Embedding gradients return to their owner tables
+                // (blocking), then the tables are updated before the next
+                // iteration. `optimize_embedding` re-anchors the *next*
+                // iteration's forward all-to-all here and removes the
+                // lookup/update kernels from the timeline.
+                let anchor = p.last_timeline().expect("backward kernels precede");
+                let bwd_a2a = p.push(
+                    TaskKind::Collective {
+                        op: CollectiveOp::AllToAll,
+                        bytes: emb.bwd_all_to_all_bytes,
+                    },
+                    TaskPhase::Backward,
+                    iter,
+                    TaskRole::EmbeddingBwdA2a,
+                    vec![anchor],
+                    false,
+                );
+                p.push(
+                    TaskKind::Barrier,
+                    TaskPhase::Backward,
+                    iter,
+                    TaskRole::Sync,
+                    vec![bwd_a2a],
+                    true,
+                );
+                p.push(
+                    TaskKind::Compute(emb.update.clone()),
+                    TaskPhase::Backward,
+                    iter,
+                    TaskRole::EmbeddingUpdate,
+                    Vec::new(),
+                    true,
+                );
+            }
+
+            if !deferred.is_empty() {
+                // BaselineNoOverlap: one batched communication "kernel"
+                // at the end of back-propagation, blocking. Collectives
+                // are issued in back-propagation (reverse layer) order
+                // and waited in the same order.
+                let ars: Vec<TaskId> = deferred
+                    .into_iter()
+                    .map(|(i, wg)| {
+                        let c = layers[i].comm().expect("deferred layers have comm");
+                        p.push(
+                            TaskKind::Collective {
+                                op: c.op,
+                                bytes: c.bytes,
+                            },
+                            TaskPhase::Backward,
+                            iter,
+                            TaskRole::GradCollective { layer: i },
+                            vec![wg],
+                            false,
+                        )
+                    })
+                    .collect();
+                p.push(
+                    TaskKind::Barrier,
+                    TaskPhase::Backward,
+                    iter,
+                    TaskRole::Sync,
+                    ars,
+                    true,
+                );
+            }
+        }
+
+        debug_assert!(p.validate().is_ok(), "lowered programs are valid");
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // Transforms
+    // ------------------------------------------------------------------
+
+    /// The Fig. 12 / Section VI-D DLRM training-loop optimization as a
+    /// graph transform: the embedding lookup/update of the next/previous
+    /// iteration run in the background on a permanent 1-SM / 80 GB/s
+    /// carve-out, and each iteration's forward all-to-all is issued as
+    /// soon as the background lookup finishes — iteration 0's before
+    /// training starts, iteration `k+1`'s right after iteration `k`'s
+    /// last backward kernel.
+    ///
+    /// Programs without an embedding stage only receive the carve-out
+    /// (mirroring the legacy simulator flag, which loaned the resources
+    /// whenever the optimization was requested).
+    pub fn optimize_embedding(&mut self) {
+        self.carveout = Some(ComputeCarveout::embedding_default());
+        for iter in 0..self.iterations {
+            if let Some(lookup) = self.find_role(iter, TaskRole::EmbeddingLookup) {
+                self.remove_task(lookup);
+            }
+            if let Some(update) = self.find_role(iter, TaskRole::EmbeddingUpdate) {
+                self.remove_task(update);
+            }
+            let Some(a2a) = self.find_role(iter, TaskRole::EmbeddingFwdA2a) else {
+                continue;
+            };
+            if iter == 0 {
+                // Iteration 0's lookup ran before training starts, so its
+                // all-to-all is already in flight at t = 0.
+                self.tasks[a2a.0].deps.clear();
+                self.schedule.retain(|&t| t != a2a);
+                self.schedule.insert(0, a2a);
+            } else {
+                // The background lookup finished partway through the
+                // previous backward pass; its all-to-all is issued right
+                // after the last backward kernel, before the previous
+                // iteration's backward all-to-all.
+                let anchor = self
+                    .find_role(iter - 1, TaskRole::EmbeddingBwdA2a)
+                    .expect("hybrid iterations carry a backward all-to-all");
+                self.tasks[a2a.0].deps = self.tasks[anchor.0].deps.clone();
+                self.schedule.retain(|&t| t != a2a);
+                let pos = self
+                    .schedule
+                    .iter()
+                    .position(|&t| t == anchor)
+                    .expect("anchor is scheduled");
+                self.schedule.insert(pos, a2a);
+            }
+        }
+        debug_assert!(self.validate().is_ok(), "transformed programs stay valid");
+    }
+
+    /// Removes `id` from the schedule, splicing its dependencies into
+    /// every dependent (so serialization chains stay intact).
+    fn remove_task(&mut self, id: TaskId) {
+        let inherited = self.tasks[id.0].deps.clone();
+        self.schedule.retain(|&t| t != id);
+        for task in &mut self.tasks {
+            if let Some(pos) = task.deps.iter().position(|&d| d == id) {
+                task.deps.remove(pos);
+                let mut at = pos;
+                for &d in &inherited {
+                    if !task.deps.contains(&d) {
+                        task.deps.insert(at, d);
+                        at += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} tasks, {} iterations)",
+            self.name,
+            self.parallelism,
+            self.schedule.len(),
+            self.iterations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_role(p: &Program, pred: impl Fn(TaskRole) -> bool) -> usize {
+        p.iter_scheduled().filter(|(_, t)| pred(t.role())).count()
+    }
+
+    #[test]
+    fn data_parallel_lowering_matches_loop_structure() {
+        let w = Workload::resnet50();
+        let iters = 2;
+        let p = Program::lower(
+            &w,
+            Parallelism::Data,
+            &LoweringOptions {
+                iterations: iters,
+                overlap: true,
+            },
+        );
+        p.validate().unwrap();
+        let l = w.layers().len();
+        // Per iteration: fwd + ig + wg per layer, one AR per comm layer.
+        assert_eq!(
+            count_role(&p, |r| matches!(r, TaskRole::Forward { .. })),
+            l * 2
+        );
+        assert_eq!(
+            count_role(&p, |r| matches!(r, TaskRole::GradCollective { .. })),
+            l * 2
+        );
+        assert_eq!(p.grad_collective_bytes(0), w.total_comm_bytes());
+        assert_eq!(p.grad_collective_bytes(1), w.total_comm_bytes());
+        // Iteration 1's forward layers block on iteration 0's ARs.
+        let fwd1 = p.find_role(1, TaskRole::Forward { layer: 0 }).unwrap();
+        let blocks: Vec<TaskRole> = p
+            .task(fwd1)
+            .deps()
+            .iter()
+            .map(|&d| p.task(d).role())
+            .collect();
+        assert!(blocks.contains(&TaskRole::GradCollective { layer: 0 }));
+    }
+
+    #[test]
+    fn no_overlap_lowering_defers_behind_a_barrier() {
+        let w = Workload::gnmt();
+        let p = Program::lower(
+            &w,
+            Parallelism::Data,
+            &LoweringOptions {
+                iterations: 1,
+                overlap: false,
+            },
+        );
+        p.validate().unwrap();
+        // Forward tasks have no collective waits.
+        for (_, t) in p.iter_scheduled() {
+            if matches!(t.role(), TaskRole::Forward { .. }) {
+                for &d in t.deps() {
+                    assert!(p.task(d).is_timeline(), "no-overlap fwd must not block");
+                }
+            }
+        }
+        // One barrier waits every AR in back-propagation order.
+        let barrier = p.find_role(0, TaskRole::Sync).unwrap();
+        let ars: Vec<usize> = p
+            .task(barrier)
+            .deps()
+            .iter()
+            .filter_map(|&d| match p.task(d).role() {
+                TaskRole::GradCollective { layer } => Some(layer),
+                _ => None,
+            })
+            .collect();
+        let mut rev = ars.clone();
+        rev.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(ars, rev, "waits follow reverse-layer issue order");
+        assert!(!ars.is_empty());
+    }
+
+    #[test]
+    fn hybrid_lowering_wires_the_embedding_pipeline() {
+        let w = Workload::dlrm(16);
+        let p = Program::lower(&w, Parallelism::Hybrid, &LoweringOptions::default());
+        p.validate().unwrap();
+        let top = w.embedding().unwrap().top_mlp_start;
+        let top_task = p.find_role(0, TaskRole::Forward { layer: top }).unwrap();
+        let waits: Vec<TaskRole> = p
+            .task(top_task)
+            .deps()
+            .iter()
+            .map(|&d| p.task(d).role())
+            .collect();
+        assert!(waits.contains(&TaskRole::EmbeddingFwdA2a));
+        // The backward all-to-all is waited by a barrier, then the update
+        // runs.
+        assert!(p.find_role(0, TaskRole::EmbeddingBwdA2a).is_some());
+        assert!(p.find_role(0, TaskRole::EmbeddingUpdate).is_some());
+    }
+
+    #[test]
+    fn optimize_embedding_moves_the_exchanges_and_drops_the_kernels() {
+        let w = Workload::dlrm(16);
+        let mut p = Program::lower(&w, Parallelism::Hybrid, &LoweringOptions::default());
+        p.optimize_embedding();
+        p.validate().unwrap();
+        assert_eq!(p.carveout(), Some(ComputeCarveout::embedding_default()));
+        // Lookup/update kernels left the schedule.
+        assert_eq!(count_role(&p, |r| r == TaskRole::EmbeddingLookup), 0);
+        assert_eq!(count_role(&p, |r| r == TaskRole::EmbeddingUpdate), 0);
+        // Iteration 0's forward all-to-all is the very first task, with
+        // no dependencies (in flight at t = 0).
+        let first = p.schedule()[0];
+        assert_eq!(p.task(first).role(), TaskRole::EmbeddingFwdA2a);
+        assert!(p.task(first).deps().is_empty());
+        // Iteration 1's forward all-to-all is issued during iteration
+        // 0's backward pass, right before the backward all-to-all.
+        let a2a1 = p.find_role(1, TaskRole::EmbeddingFwdA2a).unwrap();
+        let bwd0 = p.find_role(0, TaskRole::EmbeddingBwdA2a).unwrap();
+        let pos = |id| p.schedule().iter().position(|&t| t == id).unwrap();
+        assert_eq!(pos(a2a1) + 1, pos(bwd0));
+    }
+
+    #[test]
+    fn optimize_embedding_without_embedding_only_sets_the_carveout() {
+        let w = Workload::resnet50();
+        let mut p = Program::lower(&w, Parallelism::Data, &LoweringOptions::default());
+        let n = p.len();
+        p.optimize_embedding();
+        p.validate().unwrap();
+        assert_eq!(p.len(), n);
+        assert!(p.carveout().is_some());
+    }
+
+    #[test]
+    fn model_parallel_lowering_blocks_both_passes() {
+        let w = Workload::transformer_lm();
+        let p = Program::lower(
+            &w,
+            Parallelism::Model,
+            &LoweringOptions {
+                iterations: 1,
+                overlap: true,
+            },
+        );
+        p.validate().unwrap();
+        // Forward collectives exist and block the next forward layer.
+        let ar1 = p
+            .find_role(0, TaskRole::FwdCollective { layer: 1 })
+            .unwrap();
+        let fwd2 = p.find_role(0, TaskRole::Forward { layer: 2 }).unwrap();
+        assert!(p.task(fwd2).deps().contains(&ar1));
+        // Backward collectives block the previous layer's input-gradient.
+        let bar2 = p
+            .find_role(0, TaskRole::GradCollective { layer: 2 })
+            .unwrap();
+        let ig1 = p.find_role(0, TaskRole::InputGrad { layer: 1 }).unwrap();
+        assert!(p.task(ig1).deps().contains(&bar2));
+        // No weight-gradient collectives under tensor parallelism: the
+        // grad collectives are input-gradient exchanges anchored on wg,
+        // and fwd+bwd bytes double the data-parallel per-iteration total.
+        assert_eq!(
+            p.total_collective_bytes(),
+            2 * w.total_comm_bytes(),
+            "fwd + bwd activation exchanges"
+        );
+    }
+
+    #[test]
+    fn custom_programs_validate_and_reject_bad_schedules() {
+        use ace_compute::KernelDesc;
+        let mut p = Program::new("custom", Parallelism::Data, 1);
+        let k = KernelDesc::new("k", 1.0e9, 1.0e7);
+        let c0 = p.add_compute(k.clone(), TaskPhase::Forward, 0, vec![]);
+        let ar = p.add_collective(
+            CollectiveOp::AllReduce,
+            1 << 20,
+            TaskPhase::Backward,
+            0,
+            vec![c0],
+        );
+        let _b = p.add_barrier(TaskPhase::Backward, 0, vec![ar]);
+        p.validate().unwrap();
+        assert_eq!(p.len(), 3);
+
+        // A forward reference breaks topological order.
+        let mut bad = p.clone();
+        bad.schedule.swap(0, 2);
+        assert!(bad.validate().is_err());
+        // Duplicate scheduling is rejected.
+        let mut dup = p.clone();
+        dup.schedule.push(c0);
+        assert!(dup.validate().is_err());
+    }
+
+    #[test]
+    fn chain_deps_serialize_the_timeline() {
+        let w = Workload::gnmt();
+        let p = Program::lower(&w, Parallelism::Data, &LoweringOptions::default());
+        // Every timeline task except the first depends on the previous
+        // timeline task.
+        let timeline: Vec<TaskId> = p
+            .iter_scheduled()
+            .filter(|(_, t)| t.is_timeline())
+            .map(|(id, _)| id)
+            .collect();
+        for pair in timeline.windows(2) {
+            assert!(
+                p.task(pair[1]).deps().contains(&pair[0]),
+                "{} must chain to {}",
+                pair[1],
+                pair[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! Declarative, TOML-loadable workload specifications.
+//!
+//! A [`WorkloadSpec`] describes a training model as *data* — layer
+//! shapes, collectives, parallelization strategy, optionally a DLRM-style
+//! embedding stage — and instantiates into a [`Workload`] that lowers
+//! onto the task-graph IR like any builtin. New models need a TOML file,
+//! not new Rust code:
+//!
+//! ```toml
+//! name = "wide-mlp"
+//! parallelism = "data"        # data | model | hybrid
+//! batch_per_npu = 32
+//!
+//! [[layer]]
+//! name = "fc"
+//! repeat = 4                  # expands into fc_0 .. fc_3
+//! fwd_flops = 1.0e9           # forward-pass flops
+//! fwd_bytes = 6.4e7           # forward-pass HBM bytes
+//! comm = "all-reduce"         # back-prop collective (omit for none)
+//! comm_bytes = "8MB"          # per-node payload
+//! ```
+//!
+//! The backward kernels follow the builtin convention: input-gradient
+//! and weight-gradient passes each cost the same as the forward pass
+//! ([`Layer::from_fwd`]). Hybrid-parallel specs add an `[embedding]`
+//! table (lookup/update kernels, the two all-to-all payloads, and the
+//! index of the first top-MLP layer).
+//!
+//! [`BuiltinWorkload`] names the four models that ship with the
+//! simulator; both parsers attach did-you-mean hints to unknown
+//! spellings.
+
+use std::collections::BTreeMap;
+
+use ace_collectives::CollectiveOp;
+use ace_compute::KernelDesc;
+use ace_toml::{did_you_mean, parse_bytes, Value};
+
+use crate::layer::{Layer, LayerComm};
+use crate::workload::{EmbeddingStage, Parallelism, Workload};
+
+/// The four workloads that ship with the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuiltinWorkload {
+    /// ResNet-50 v1.5, mini-batch 32 per NPU.
+    Resnet50,
+    /// GNMT, mini-batch 128 per NPU.
+    Gnmt,
+    /// DLRM, mini-batch 512 per NPU, hybrid-parallel.
+    Dlrm,
+    /// Megatron-style Transformer-LM, mini-batch 16 per NPU.
+    TransformerLm,
+}
+
+impl BuiltinWorkload {
+    /// All builtins in paper order.
+    pub const ALL: [BuiltinWorkload; 4] = [
+        BuiltinWorkload::Resnet50,
+        BuiltinWorkload::Gnmt,
+        BuiltinWorkload::Dlrm,
+        BuiltinWorkload::TransformerLm,
+    ];
+
+    /// Spec-file name of the workload.
+    pub fn name(self) -> &'static str {
+        match self {
+            BuiltinWorkload::Resnet50 => "resnet50",
+            BuiltinWorkload::Gnmt => "gnmt",
+            BuiltinWorkload::Dlrm => "dlrm",
+            BuiltinWorkload::TransformerLm => "transformer",
+        }
+    }
+
+    /// Builds the concrete workload for a fabric of `nodes` NPUs (only
+    /// DLRM's all-to-all payloads depend on the fabric size).
+    pub fn instantiate(self, nodes: usize) -> Workload {
+        match self {
+            BuiltinWorkload::Resnet50 => Workload::resnet50(),
+            BuiltinWorkload::Gnmt => Workload::gnmt(),
+            BuiltinWorkload::Dlrm => Workload::dlrm(nodes),
+            BuiltinWorkload::TransformerLm => Workload::transformer_lm(),
+        }
+    }
+}
+
+impl std::str::FromStr for BuiltinWorkload {
+    type Err = String;
+
+    /// Parses a spec-file workload name, tolerating hyphens/underscores.
+    /// Unknown names get a did-you-mean hint.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s
+            .trim()
+            .to_ascii_lowercase()
+            .replace(['-', '_'], "")
+            .as_str()
+        {
+            "resnet50" | "resnet" => Ok(BuiltinWorkload::Resnet50),
+            "gnmt" => Ok(BuiltinWorkload::Gnmt),
+            "dlrm" => Ok(BuiltinWorkload::Dlrm),
+            "transformer" | "transformerlm" | "megatron" => Ok(BuiltinWorkload::TransformerLm),
+            other => {
+                let names: Vec<&str> = BuiltinWorkload::ALL.iter().map(|w| w.name()).collect();
+                let hint = did_you_mean(other, &names);
+                Err(format!(
+                    "unknown workload '{other}' (expected {}){hint}",
+                    names.join(", ")
+                ))
+            }
+        }
+    }
+}
+
+/// One layer block of a [`WorkloadSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSpec {
+    /// Layer name (expanded layers get `_<k>` suffixes).
+    pub name: String,
+    /// How many copies of the layer to instantiate.
+    pub repeat: u32,
+    /// Forward-pass flops per copy.
+    pub fwd_flops: f64,
+    /// Forward-pass HBM bytes per copy.
+    pub fwd_bytes: f64,
+    /// Back-propagation collective, if any.
+    pub comm: Option<CollectiveOp>,
+    /// Per-node payload of the collective, bytes.
+    pub comm_bytes: u64,
+}
+
+/// The embedding stage of a hybrid-parallel [`WorkloadSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingSpec {
+    /// Lookup kernel flops.
+    pub lookup_flops: f64,
+    /// Lookup kernel HBM bytes.
+    pub lookup_bytes: f64,
+    /// Update kernel flops.
+    pub update_flops: f64,
+    /// Update kernel HBM bytes.
+    pub update_bytes: f64,
+    /// Per-node forward all-to-all payload, bytes.
+    pub fwd_all_to_all_bytes: u64,
+    /// Per-node backward all-to-all payload, bytes.
+    pub bwd_all_to_all_bytes: u64,
+    /// Index (after `repeat` expansion) of the first top-MLP layer: the
+    /// forward pass blocks on the all-to-all before entering it.
+    pub top_mlp_start: usize,
+}
+
+/// A declarative workload: TOML in, [`Workload`] out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Model name (used in reports).
+    pub name: String,
+    /// Parallelization strategy.
+    pub parallelism: Parallelism,
+    /// Mini-batch per NPU (weak scaling).
+    pub batch_per_npu: u32,
+    /// Layer blocks in forward order.
+    pub layers: Vec<LayerSpec>,
+    /// Embedding stage (required for hybrid parallelism).
+    pub embedding: Option<EmbeddingSpec>,
+}
+
+impl WorkloadSpec {
+    /// Parses a workload definition from TOML text. See the module docs
+    /// for the format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending key/value; misspelled keys
+    /// get did-you-mean hints.
+    pub fn from_toml_str(text: &str) -> Result<WorkloadSpec, String> {
+        let doc = ace_toml::parse(text).map_err(|e| e.to_string())?;
+        Self::from_toml(&doc)
+    }
+
+    fn from_toml(doc: &BTreeMap<String, Value>) -> Result<WorkloadSpec, String> {
+        const KNOWN_KEYS: [&str; 5] =
+            ["name", "parallelism", "batch_per_npu", "layer", "embedding"];
+        for key in doc.keys() {
+            if !KNOWN_KEYS.contains(&key.as_str()) {
+                let hint = did_you_mean(key, &KNOWN_KEYS);
+                return Err(format!(
+                    "unknown key '{key}' (known keys: {}){hint}",
+                    KNOWN_KEYS.join(", ")
+                ));
+            }
+        }
+        let name = doc
+            .get("name")
+            .ok_or("workload needs a 'name'")?
+            .as_str()
+            .ok_or("'name' must be a string")?
+            .to_string();
+        if name.is_empty() {
+            return Err("'name' must not be empty".into());
+        }
+        let parallelism = match doc.get("parallelism") {
+            None => Parallelism::Data,
+            Some(v) => v
+                .as_str()
+                .ok_or("'parallelism' must be a string")?
+                .parse::<Parallelism>()?,
+        };
+        let batch_per_npu =
+            doc.get("batch_per_npu")
+                .ok_or("workload needs 'batch_per_npu'")?
+                .as_i64()
+                .filter(|&b| b >= 1 && b <= i64::from(u32::MAX))
+                .ok_or("'batch_per_npu' must be a positive integer")? as u32;
+        let layer_blocks = doc
+            .get("layer")
+            .and_then(|v| v.as_array())
+            .ok_or("workload needs at least one [[layer]] block")?;
+        if layer_blocks.is_empty() {
+            return Err("workload needs at least one [[layer]] block".into());
+        }
+        let layers: Vec<LayerSpec> = layer_blocks
+            .iter()
+            .enumerate()
+            .map(|(i, block)| {
+                let table = block
+                    .as_table()
+                    .ok_or_else(|| format!("layer[{i}] must be a [[layer]] table"))?;
+                parse_layer(table, i).map_err(|e| format!("layer[{i}]: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        let embedding = match doc.get("embedding") {
+            None => None,
+            Some(v) => {
+                let table = v.as_table().ok_or("[embedding] must be a table")?;
+                Some(parse_embedding(table).map_err(|e| format!("[embedding]: {e}"))?)
+            }
+        };
+        let spec = WorkloadSpec {
+            name,
+            parallelism,
+            batch_per_npu,
+            layers,
+            embedding,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks internal consistency (also run by
+    /// [`from_toml_str`](WorkloadSpec::from_toml_str)).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.parallelism == Parallelism::Hybrid && self.embedding.is_none() {
+            return Err("hybrid parallelism needs an [embedding] table".into());
+        }
+        let total: u64 = self.layers.iter().map(|l| u64::from(l.repeat)).sum();
+        if total == 0 {
+            return Err("workload needs at least one layer".into());
+        }
+        if let Some(emb) = &self.embedding {
+            if emb.top_mlp_start as u64 >= total {
+                return Err(format!(
+                    "embedding top_mlp_start {} is out of range (the workload expands to \
+                     {total} layers)",
+                    emb.top_mlp_start
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The number of layers after `repeat` expansion.
+    pub fn expanded_layers(&self) -> usize {
+        self.layers.iter().map(|l| l.repeat as usize).sum()
+    }
+
+    /// Builds the concrete [`Workload`]. Custom specs carry explicit
+    /// payloads, so unlike builtin DLRM the fabric size does not change
+    /// them; `_nodes` is accepted for interface symmetry with
+    /// [`BuiltinWorkload::instantiate`].
+    pub fn instantiate(&self, _nodes: usize) -> Workload {
+        let mut layers = Vec::with_capacity(self.expanded_layers());
+        for spec in &self.layers {
+            for k in 0..spec.repeat {
+                let name = if spec.repeat > 1 {
+                    format!("{}_{k}", spec.name)
+                } else {
+                    spec.name.clone()
+                };
+                let comm = spec.comm.map(|op| LayerComm {
+                    op,
+                    bytes: spec.comm_bytes,
+                });
+                layers.push(Layer::from_fwd(name, spec.fwd_flops, spec.fwd_bytes, comm));
+            }
+        }
+        match &self.embedding {
+            None => {
+                let w = Workload::data_parallel(&self.name, layers, self.batch_per_npu);
+                w.with_parallelism(self.parallelism)
+                    .expect("non-hybrid strategies never fail")
+            }
+            Some(emb) => {
+                let stage = EmbeddingStage {
+                    lookup: KernelDesc::new(
+                        format!("{}.emb_lookup", self.name),
+                        emb.lookup_flops,
+                        emb.lookup_bytes,
+                    ),
+                    update: KernelDesc::new(
+                        format!("{}.emb_update", self.name),
+                        emb.update_flops,
+                        emb.update_bytes,
+                    ),
+                    fwd_all_to_all_bytes: emb.fwd_all_to_all_bytes,
+                    bwd_all_to_all_bytes: emb.bwd_all_to_all_bytes,
+                    top_mlp_start: emb.top_mlp_start,
+                };
+                let w = Workload::hybrid_parallel(&self.name, layers, self.batch_per_npu, stage);
+                w.with_parallelism(self.parallelism)
+                    .expect("the embedding stage satisfies every strategy")
+            }
+        }
+    }
+}
+
+/// A positive, finite f64 field.
+fn parse_flops(table: &BTreeMap<String, Value>, key: &str) -> Result<f64, String> {
+    table
+        .get(key)
+        .ok_or_else(|| format!("missing '{key}'"))?
+        .as_f64()
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .ok_or_else(|| format!("'{key}' must be a non-negative number"))
+}
+
+fn parse_layer(table: &BTreeMap<String, Value>, index: usize) -> Result<LayerSpec, String> {
+    const KNOWN_KEYS: [&str; 6] = [
+        "name",
+        "repeat",
+        "fwd_flops",
+        "fwd_bytes",
+        "comm",
+        "comm_bytes",
+    ];
+    for key in table.keys() {
+        if !KNOWN_KEYS.contains(&key.as_str()) {
+            let hint = did_you_mean(key, &KNOWN_KEYS);
+            return Err(format!(
+                "unknown key '{key}' (known keys: {}){hint}",
+                KNOWN_KEYS.join(", ")
+            ));
+        }
+    }
+    let name = match table.get("name") {
+        None => format!("layer{index}"),
+        Some(v) => v
+            .as_str()
+            .filter(|s| !s.is_empty())
+            .ok_or("'name' must be a non-empty string")?
+            .to_string(),
+    };
+    let repeat = match table.get("repeat") {
+        None => 1,
+        Some(v) => v
+            .as_i64()
+            .filter(|&r| r >= 1 && r <= i64::from(u32::MAX))
+            .ok_or("'repeat' must be a positive integer")? as u32,
+    };
+    let fwd_flops = parse_flops(table, "fwd_flops")?;
+    let fwd_bytes = parse_flops(table, "fwd_bytes")?;
+    let comm = match table.get("comm") {
+        None => None,
+        Some(v) => {
+            let s = v.as_str().ok_or("'comm' must be a string op name")?;
+            if s.eq_ignore_ascii_case("none") {
+                None
+            } else {
+                Some(s.parse::<CollectiveOp>()?)
+            }
+        }
+    };
+    let comm_bytes = match (comm, table.get("comm_bytes")) {
+        (None, None) => 0,
+        (None, Some(_)) => {
+            return Err("'comm_bytes' without 'comm' (set comm = \"all-reduce\" etc.)".into())
+        }
+        (Some(_), None) => return Err("'comm' needs 'comm_bytes'".into()),
+        (Some(_), Some(v)) => {
+            let b = parse_bytes(v)?;
+            if b == 0 {
+                return Err("'comm_bytes' must be positive".into());
+            }
+            b
+        }
+    };
+    Ok(LayerSpec {
+        name,
+        repeat,
+        fwd_flops,
+        fwd_bytes,
+        comm,
+        comm_bytes,
+    })
+}
+
+fn parse_embedding(table: &BTreeMap<String, Value>) -> Result<EmbeddingSpec, String> {
+    const KNOWN_KEYS: [&str; 7] = [
+        "lookup_flops",
+        "lookup_bytes",
+        "update_flops",
+        "update_bytes",
+        "fwd_all_to_all",
+        "bwd_all_to_all",
+        "top_mlp_start",
+    ];
+    for key in table.keys() {
+        if !KNOWN_KEYS.contains(&key.as_str()) {
+            let hint = did_you_mean(key, &KNOWN_KEYS);
+            return Err(format!(
+                "unknown key '{key}' (known keys: {}){hint}",
+                KNOWN_KEYS.join(", ")
+            ));
+        }
+    }
+    let a2a = |key: &str| -> Result<u64, String> {
+        let b = parse_bytes(table.get(key).ok_or_else(|| format!("missing '{key}'"))?)?;
+        if b == 0 {
+            return Err(format!("'{key}' must be positive"));
+        }
+        Ok(b)
+    };
+    Ok(EmbeddingSpec {
+        lookup_flops: parse_flops(table, "lookup_flops")?,
+        lookup_bytes: parse_flops(table, "lookup_bytes")?,
+        update_flops: parse_flops(table, "update_flops")?,
+        update_bytes: parse_flops(table, "update_bytes")?,
+        fwd_all_to_all_bytes: a2a("fwd_all_to_all")?,
+        bwd_all_to_all_bytes: a2a("bwd_all_to_all")?,
+        top_mlp_start: table
+            .get("top_mlp_start")
+            .ok_or("missing 'top_mlp_start'")?
+            .as_i64()
+            .filter(|&i| i >= 0)
+            .ok_or("'top_mlp_start' must be a non-negative integer")?
+            as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIDE_MLP: &str = r#"
+        name = "wide-mlp"
+        parallelism = "data"
+        batch_per_npu = 32
+
+        [[layer]]
+        name = "fc"
+        repeat = 4
+        fwd_flops = 1.0e9
+        fwd_bytes = 6.4e7
+        comm = "all-reduce"
+        comm_bytes = "8MB"
+
+        [[layer]]
+        name = "head"
+        fwd_flops = 2.0e8
+        fwd_bytes = 1.0e7
+    "#;
+
+    #[test]
+    fn spec_parses_and_instantiates() {
+        let spec = WorkloadSpec::from_toml_str(WIDE_MLP).unwrap();
+        assert_eq!(spec.name, "wide-mlp");
+        assert_eq!(spec.expanded_layers(), 5);
+        let w = spec.instantiate(16);
+        assert_eq!(w.name(), "wide-mlp");
+        assert_eq!(w.layers().len(), 5);
+        assert_eq!(w.batch_per_npu(), 32);
+        assert_eq!(w.parallelism(), Parallelism::Data);
+        // 4 repeated fc layers, 8 MB each; the head has no collective.
+        assert_eq!(w.total_comm_bytes(), 4 * (8 << 20));
+        assert_eq!(w.layers()[0].name(), "fc_0");
+        assert_eq!(w.layers()[4].name(), "head");
+        assert!(w.layers()[4].comm().is_none());
+    }
+
+    #[test]
+    fn model_parallel_spec() {
+        let text = WIDE_MLP.replace("\"data\"", "\"model\"");
+        let w = WorkloadSpec::from_toml_str(&text).unwrap().instantiate(16);
+        assert_eq!(w.parallelism(), Parallelism::Model);
+    }
+
+    #[test]
+    fn hybrid_spec_needs_and_uses_embedding() {
+        let e =
+            WorkloadSpec::from_toml_str(&WIDE_MLP.replace("\"data\"", "\"hybrid\"")).unwrap_err();
+        assert!(e.contains("[embedding]"), "{e}");
+
+        let text = format!(
+            "{}\n[embedding]\nlookup_flops = 1e8\nlookup_bytes = 1e9\nupdate_flops = 1e8\n\
+             update_bytes = 1e9\nfwd_all_to_all = \"16MB\"\nbwd_all_to_all = \"16MB\"\n\
+             top_mlp_start = 4\n",
+            WIDE_MLP.replace("\"data\"", "\"hybrid\"")
+        );
+        let w = WorkloadSpec::from_toml_str(&text).unwrap().instantiate(16);
+        assert_eq!(w.parallelism(), Parallelism::Hybrid);
+        let emb = w.embedding().unwrap();
+        assert_eq!(emb.fwd_all_to_all_bytes, 16 << 20);
+        assert_eq!(emb.top_mlp_start, 4);
+    }
+
+    #[test]
+    fn misspelled_keys_get_hints_through_the_toml_layer() {
+        let e = WorkloadSpec::from_toml_str(
+            "name = \"x\"\nbatch_per_npu = 1\nparalelism = \"data\"\n[[layer]]\nfwd_flops = 1e9\nfwd_bytes = 1e7\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("did you mean 'parallelism'"), "{e}");
+        let e = WorkloadSpec::from_toml_str(
+            "name = \"x\"\nbatch_per_npu = 1\n[[layer]]\nfwd_flop = 1e9\nfwd_bytes = 1e7\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("did you mean 'fwd_flops'"), "{e}");
+        let e = WorkloadSpec::from_toml_str(
+            "name = \"x\"\nbatch_per_npu = 1\nparallelism = \"modell\"\n[[layer]]\nfwd_flops = 1e9\nfwd_bytes = 1e7\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("did you mean 'model'"), "{e}");
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        // No layers.
+        assert!(WorkloadSpec::from_toml_str("name = \"x\"\nbatch_per_npu = 1\n").is_err());
+        // comm without bytes and vice versa.
+        let base = "name = \"x\"\nbatch_per_npu = 1\n[[layer]]\nfwd_flops = 1e9\nfwd_bytes = 1e7\n";
+        assert!(WorkloadSpec::from_toml_str(&format!("{base}comm = \"all-reduce\"\n")).is_err());
+        assert!(WorkloadSpec::from_toml_str(&format!("{base}comm_bytes = \"1MB\"\n")).is_err());
+        // Bad numbers.
+        assert!(WorkloadSpec::from_toml_str(
+            "name = \"x\"\nbatch_per_npu = 0\n[[layer]]\nfwd_flops = 1e9\nfwd_bytes = 1e7\n"
+        )
+        .is_err());
+        assert!(WorkloadSpec::from_toml_str(
+            "name = \"x\"\nbatch_per_npu = 1\n[[layer]]\nfwd_flops = -1\nfwd_bytes = 1e7\n"
+        )
+        .is_err());
+        // top_mlp_start out of range.
+        let e = WorkloadSpec::from_toml_str(
+            "name = \"x\"\nparallelism = \"hybrid\"\nbatch_per_npu = 1\n\
+             [[layer]]\nfwd_flops = 1e9\nfwd_bytes = 1e7\n\
+             [embedding]\nlookup_flops = 1\nlookup_bytes = 1\nupdate_flops = 1\n\
+             update_bytes = 1\nfwd_all_to_all = 1024\nbwd_all_to_all = 1024\ntop_mlp_start = 5\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn builtin_names_round_trip_with_hints() {
+        for b in BuiltinWorkload::ALL {
+            assert_eq!(b.name().parse::<BuiltinWorkload>().unwrap(), b);
+        }
+        assert_eq!(
+            "Megatron".parse::<BuiltinWorkload>().unwrap(),
+            BuiltinWorkload::TransformerLm
+        );
+        let e = "resent50".parse::<BuiltinWorkload>().unwrap_err();
+        assert!(e.contains("did you mean 'resnet50'"), "{e}");
+        let e = "dlmr".parse::<BuiltinWorkload>().unwrap_err();
+        assert!(e.contains("did you mean 'dlrm'"), "{e}");
+    }
+
+    #[test]
+    fn comm_none_is_accepted() {
+        let w = WorkloadSpec::from_toml_str(
+            "name = \"x\"\nbatch_per_npu = 1\n[[layer]]\nfwd_flops = 1e9\nfwd_bytes = 1e7\ncomm = \"none\"\n",
+        )
+        .unwrap();
+        assert!(w.layers[0].comm.is_none());
+    }
+}

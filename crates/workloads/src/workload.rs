@@ -7,13 +7,29 @@ use ace_compute::KernelDesc;
 use crate::layer::Layer;
 
 /// How the model is split across NPUs (Section II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Parallelism {
     /// Model replicated; weight gradients all-reduced (ResNet-50, GNMT).
     Data,
     /// Data-parallel MLPs + model-parallel embedding tables exchanged via
     /// all-to-all (DLRM).
     Hybrid,
+    /// Megatron-style tensor parallelism (the paper's Section III
+    /// motivation): every layer all-reduces activations in the forward
+    /// pass and input gradients in the backward pass, both blocking; no
+    /// weight-gradient collectives (weights are sharded).
+    Model,
+}
+
+impl Parallelism {
+    /// Spec-file name of the strategy.
+    pub fn name(self) -> &'static str {
+        match self {
+            Parallelism::Data => "data",
+            Parallelism::Hybrid => "hybrid",
+            Parallelism::Model => "model",
+        }
+    }
 }
 
 impl fmt::Display for Parallelism {
@@ -21,6 +37,28 @@ impl fmt::Display for Parallelism {
         match self {
             Parallelism::Data => f.write_str("data-parallel"),
             Parallelism::Hybrid => f.write_str("hybrid-parallel"),
+            Parallelism::Model => f.write_str("model-parallel"),
+        }
+    }
+}
+
+impl std::str::FromStr for Parallelism {
+    type Err = String;
+
+    /// Parses the spec-file spelling (`data`, `hybrid`, `model`;
+    /// `tensor` is accepted as a Megatron-familiar alias of `model`).
+    /// Unknown spellings get a did-you-mean hint.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "data" => Ok(Parallelism::Data),
+            "hybrid" => Ok(Parallelism::Hybrid),
+            "model" | "tensor" => Ok(Parallelism::Model),
+            other => {
+                let hint = ace_toml::did_you_mean(other, &["data", "hybrid", "model"]);
+                Err(format!(
+                    "unknown parallelism '{other}' (expected data, hybrid, or model){hint}"
+                ))
+            }
         }
     }
 }
@@ -117,6 +155,25 @@ impl Workload {
             Workload::gnmt(),
             Workload::dlrm(nodes),
         ]
+    }
+
+    /// Re-parallelizes the workload: the same layer table trained under
+    /// a different strategy (e.g. the Transformer-LM under Megatron-style
+    /// [`Parallelism::Model`]). An embedding stage, when present, keeps
+    /// its all-to-all pipeline under any strategy.
+    ///
+    /// # Errors
+    ///
+    /// [`Parallelism::Hybrid`] requires an embedding stage.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Result<Workload, String> {
+        if parallelism == Parallelism::Hybrid && self.embedding.is_none() {
+            return Err(format!(
+                "workload '{}' has no embedding stage; hybrid parallelism needs one",
+                self.name
+            ));
+        }
+        self.parallelism = parallelism;
+        Ok(self)
     }
 
     /// Workload name.

@@ -22,11 +22,14 @@
 //! * [`collectives`] — topology-aware collective algorithms and planning
 //! * [`engine`] — the ACE microarchitecture (SRAM, FSMs, ALUs, DMAs)
 //! * [`endpoint`] — baseline / ACE / ideal endpoint resource pipelines
-//! * [`workloads`] — ResNet-50, GNMT and DLRM layer models
-//! * [`system`] — the training-loop simulator and the five system
-//!   configurations from Table VI
+//! * [`workloads`] — the task-graph workload IR (`Program`), the
+//!   builtin ResNet-50 / GNMT / DLRM / Transformer-LM layer models, and
+//!   TOML-loadable custom `WorkloadSpec`s
+//! * [`system`] — the graph-scheduler training simulator and the five
+//!   system configurations from Table VI
 //! * [`sweep`] — declarative scenario specs and the parallel design-space
 //!   sweep engine behind the `sweep` CLI
+//! * [`toml`] — the std-only TOML-subset parser those specs share
 //!
 //! # Quickstart
 //!
@@ -54,4 +57,5 @@ pub use ace_net as net;
 pub use ace_simcore as simcore;
 pub use ace_sweep as sweep;
 pub use ace_system as system;
+pub use ace_toml as toml;
 pub use ace_workloads as workloads;
