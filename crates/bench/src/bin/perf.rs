@@ -13,33 +13,23 @@
 //! perf --smoke                          # tiny grids (CI)
 //! perf --out bench.json --threads 1 --runs 5
 //! perf --baseline-pps 4.2 --baseline-label "seed @ db69ea8"
+//! perf --smoke --check-against BENCH_executor.json --check-tolerance 0.30
 //! ```
 //!
-//! Output schema (`version` 1):
-//!
-//! ```json
-//! {
-//!   "version": 1,
-//!   "mode": "full",
-//!   "threads": 1,
-//!   "runs": 3,
-//!   "entries": [
-//!     {"scenario": "fig09a-design-space", "points": 32,
-//!      "wall_ms": 5541.2, "points_per_sec": 5.77, "threads": 1}
-//!   ],
-//!   "baseline": {"label": "…", "points_per_sec": 4.2, "speedup": 1.37}
-//! }
-//! ```
-//!
-//! The optional `baseline` block records the points/sec of a reference
-//! build for the *first* entry (the Fig. 9a grid) and the resulting
-//! speedup, so the before/after comparison is checked in next to the
-//! fresh numbers.
+//! The JSON schema lives in [`ace_bench::perf_json`] (emitter + reader +
+//! unit tests). `--check-against` is the CI perf-regression gate: the
+//! fresh run's points/sec are compared entry-by-entry (matched on
+//! scenario name) against the checked-in baseline file and the process
+//! exits nonzero when any overlapping entry is slower by more than the
+//! tolerance (default 30 %, noise-tolerant). Setting `PERF_GATE_SKIP=1`
+//! downgrades a gate failure to a warning — the escape hatch CI wires to
+//! the `perf-regression-ok` PR label for known-slow changes.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use ace_bench::header;
+use ace_bench::perf_json::{self, BenchBaseline, BenchEntry, BenchMode};
 use ace_sweep::{RunnerOptions, Scenario, SweepRunner};
 
 /// The Fig. 9a design-space scenario (kept in sync with the sweep CLI's
@@ -57,7 +47,7 @@ mode = "collective"
 topologies = ["4x2x2"]
 engines = ["ace"]
 ops = ["all-reduce"]
-payloads = ["4MB"]
+payloads = ["16MB"]
 mem_gbps = [128]
 comm_sms = [6]
 sram_mb = [1, 4]
@@ -66,7 +56,7 @@ fsms = [4, 16]
 const SMOKE_TRAINING_TOML: &str = r#"
 name = "training-suite-smoke"
 mode = "training"
-topologies = ["2x1x1"]
+topologies = ["2x2x1"]
 configs = ["CommOpt", "ACE"]
 workloads = ["resnet50"]
 iterations = 1
@@ -79,11 +69,14 @@ struct Args {
     smoke: bool,
     baseline_pps: Option<f64>,
     baseline_label: Option<String>,
+    check_against: Option<String>,
+    check_tolerance: f64,
     quiet: bool,
 }
 
 const USAGE: &str = "usage: perf [--out PATH] [--threads N] [--runs N] [--smoke] \
-                     [--baseline-pps X] [--baseline-label S] [--quiet]";
+                     [--baseline-pps X] [--baseline-label S] \
+                     [--check-against PATH] [--check-tolerance FRAC] [--quiet]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -93,6 +86,8 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         baseline_pps: None,
         baseline_label: None,
+        check_against: None,
+        check_tolerance: 0.30,
         quiet: false,
     };
     let mut argv = std::env::args().skip(1);
@@ -119,6 +114,19 @@ fn parse_args() -> Result<Args, String> {
             "--baseline-label" => {
                 args.baseline_label = Some(argv.next().ok_or("--baseline-label needs a value")?);
             }
+            "--check-against" => {
+                args.check_against = Some(argv.next().ok_or("--check-against needs a path")?);
+            }
+            "--check-tolerance" => {
+                let v = argv.next().ok_or("--check-tolerance needs a value")?;
+                args.check_tolerance = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .ok_or(format!(
+                        "bad tolerance '{v}' (expected a fraction in [0,1))"
+                    ))?;
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -128,30 +136,6 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
-}
-
-struct BenchEntry {
-    scenario: String,
-    points: usize,
-    wall_ms: f64,
-    points_per_sec: f64,
-}
-
-/// Minimal JSON string escaping for interpolated names/labels.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// Runs `scenario` `runs` times on a cold cache each time; returns the
@@ -176,63 +160,34 @@ fn bench_scenario(scenario: &Scenario, runs: usize, threads: usize) -> BenchEntr
     }
 }
 
-fn to_json(args: &Args, entries: &[BenchEntry]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"version\": 1,\n");
-    out.push_str(&format!(
-        "  \"mode\": \"{}\",\n",
-        if args.smoke { "smoke" } else { "full" }
-    ));
-    out.push_str(&format!("  \"threads\": {},\n", args.threads));
-    out.push_str(&format!("  \"runs\": {},\n", args.runs));
-    out.push_str("  \"entries\": [\n");
-    for (i, e) in entries.iter().enumerate() {
-        let sep = if i + 1 == entries.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"points\": {}, \"wall_ms\": {:.1}, \
-             \"points_per_sec\": {:.3}, \"threads\": {}}}{sep}\n",
-            json_escape(&e.scenario),
-            e.points,
-            e.wall_ms,
-            e.points_per_sec,
-            args.threads
-        ));
-    }
-    out.push_str("  ]");
-    if let Some(pps) = args.baseline_pps {
-        let speedup = entries
-            .first()
-            .map(|e| e.points_per_sec / pps)
-            .unwrap_or(f64::NAN);
-        out.push_str(",\n  \"baseline\": {");
-        if let Some(label) = &args.baseline_label {
-            out.push_str(&format!("\"label\": \"{}\", ", json_escape(label)));
-        }
-        out.push_str(&format!(
-            "\"points_per_sec\": {pps:.3}, \"speedup\": {speedup:.3}}}"
-        ));
-    }
-    out.push_str("\n}\n");
-    out
-}
-
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let (ds_toml, tr_toml) = if args.smoke {
-        (SMOKE_DESIGN_SPACE_TOML, SMOKE_TRAINING_TOML)
+    let mode = if args.smoke {
+        BenchMode::Smoke
     } else {
-        (DESIGN_SPACE_TOML, TRAINING_SUITE_TOML)
+        BenchMode::Full
     };
-    let scenarios = [
-        Scenario::from_toml_str(ds_toml).map_err(|e| e.to_string())?,
-        Scenario::from_toml_str(tr_toml).map_err(|e| e.to_string())?,
-    ];
+    // Full mode also times the smoke grids (they cost milliseconds):
+    // the emitted file then carries every entry the CI regression gate
+    // matches against, so re-running `perf` to refresh
+    // BENCH_executor.json can never silently drop the smoke baselines.
+    let mut scenario_tomls = vec![SMOKE_DESIGN_SPACE_TOML, SMOKE_TRAINING_TOML];
+    if !args.smoke {
+        scenario_tomls = vec![
+            DESIGN_SPACE_TOML,
+            TRAINING_SUITE_TOML,
+            SMOKE_DESIGN_SPACE_TOML,
+            SMOKE_TRAINING_TOML,
+        ];
+    }
+    let scenarios = scenario_tomls
+        .into_iter()
+        .map(|t| Scenario::from_toml_str(t).map_err(|e| e.to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
 
     if !args.quiet {
         header(&format!(
-            "perf: simulator wall-clock benchmark ({} mode, {} runs, {} threads)",
-            if args.smoke { "smoke" } else { "full" },
+            "perf: simulator wall-clock benchmark ({mode} mode, {} runs, {} threads)",
             args.runs,
             if args.threads == 0 {
                 "auto".to_string()
@@ -254,7 +209,11 @@ fn run() -> Result<(), String> {
         entries.push(entry);
     }
 
-    let json = to_json(&args, &entries);
+    let baseline = args.baseline_pps.map(|pps| BenchBaseline {
+        label: args.baseline_label.clone(),
+        points_per_sec: pps,
+    });
+    let json = perf_json::to_json(mode, args.threads, args.runs, &entries, baseline.as_ref());
     std::fs::write(&args.out, &json).map_err(|e| format!("write {}: {e}", args.out))?;
     if !args.quiet {
         println!("wrote {}", args.out);
@@ -264,6 +223,40 @@ fn run() -> Result<(), String> {
                 first.scenario,
                 first.points_per_sec / pps
             );
+        }
+    }
+
+    if let Some(path) = &args.check_against {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        let base = perf_json::read_entries(&text).map_err(|e| format!("{path}: {e}"))?;
+        let fresh: Vec<(String, f64)> = entries
+            .iter()
+            .map(|e| (e.scenario.clone(), e.points_per_sec))
+            .collect();
+        let skip = std::env::var("PERF_GATE_SKIP").is_ok_and(|v| v == "1");
+        match perf_json::check_regression(&fresh, &base, args.check_tolerance) {
+            Ok(report) => {
+                if !args.quiet {
+                    println!(
+                        "perf gate vs {path} (tolerance {:.0}%):\n{report}",
+                        args.check_tolerance * 100.0
+                    );
+                }
+            }
+            Err(report) if skip => {
+                eprintln!(
+                    "perf gate: regression beyond {:.0}% tolerance, but PERF_GATE_SKIP=1:\n{report}",
+                    args.check_tolerance * 100.0
+                );
+            }
+            Err(report) => {
+                return Err(format!(
+                    "perf gate: points/sec regressed beyond {:.0}% vs {path}:\n{report}\
+                     (set PERF_GATE_SKIP=1 or apply the perf-regression-ok PR label to override)",
+                    args.check_tolerance * 100.0
+                ));
+            }
         }
     }
     Ok(())

@@ -15,7 +15,7 @@
 use std::process::ExitCode;
 
 use ace_bench::{header, subheader};
-use ace_sweep::{persist, report, RunnerOptions, Scenario, SweepRunner};
+use ace_sweep::{persist, report, Fidelity, RunnerOptions, Scenario, SweepRunner};
 
 struct Args {
     scenario_path: String,
@@ -23,11 +23,21 @@ struct Args {
     csv: Option<String>,
     json: Option<String>,
     cache_file: Option<String>,
+    fidelity: Option<Fidelity>,
     quiet: bool,
 }
 
 const USAGE: &str = "usage: sweep <scenario.toml> [--threads N] [--csv PATH] [--json PATH] \
-                     [--cache-file PATH] [--quiet]\n\
+                     [--cache-file PATH] [--fidelity exact|analytic|hybrid] [--quiet]\n\
+                     \n\
+                     --fidelity (or the scenario key `fidelity`) picks the simulation\n\
+                     tier: `exact` runs the event-driven executor for every cell (the\n\
+                     default), `analytic` the closed-form alpha-beta estimator, and\n\
+                     `hybrid` triages the grid analytically and re-simulates only the\n\
+                     Pareto frontier plus the top-K% fastest cells per group exactly\n\
+                     (scenario key `hybrid_top_pct`, default 10). The CLI flag\n\
+                     overrides the scenario. Cache files key rows by fidelity tier, so\n\
+                     analytic estimates never alias exact results.\n\
                      \n\
                      The scenario's `topologies` axis accepts tori (\"4x2x2\", \"4x8\"),\n\
                      switches (\"switch:16\", \"switch:16@100\"), and hierarchical fabrics\n\
@@ -44,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
     let mut csv = None;
     let mut json = None;
     let mut cache_file = None;
+    let mut fidelity = None;
     let mut quiet = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -55,6 +66,10 @@ fn parse_args() -> Result<Args, String> {
             "--csv" => csv = Some(argv.next().ok_or("--csv needs a path")?),
             "--json" => json = Some(argv.next().ok_or("--json needs a path")?),
             "--cache-file" => cache_file = Some(argv.next().ok_or("--cache-file needs a path")?),
+            "--fidelity" => {
+                let v = argv.next().ok_or("--fidelity needs a value")?;
+                fidelity = Some(v.parse::<Fidelity>()?);
+            }
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 // Requested help is not an error: usage on stdout, exit 0.
@@ -78,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         csv,
         json,
         cache_file,
+        fidelity,
         quiet,
     })
 }
@@ -86,12 +102,15 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     // Relative `file:` workload references resolve against the scenario
     // file's directory, so scenarios ship next to the models they use.
-    let scenario = Scenario::from_toml_path(&args.scenario_path).map_err(|e| e.to_string())?;
+    let mut scenario = Scenario::from_toml_path(&args.scenario_path).map_err(|e| e.to_string())?;
+    if let Some(f) = args.fidelity {
+        scenario.fidelity = f;
+    }
 
     if !args.quiet {
         header(&format!(
-            "sweep: {} ({} mode)",
-            scenario.name, scenario.mode
+            "sweep: {} ({} mode, {} fidelity)",
+            scenario.name, scenario.mode, scenario.fidelity
         ));
         println!(
             "grid: {} points ({} topologies)",
@@ -149,6 +168,20 @@ fn run() -> Result<(), String> {
             outcome.executed,
             outcome.cache_hits
         );
+        if outcome.fidelity == Fidelity::Hybrid {
+            println!(
+                "hybrid prefilter: {} cells triaged analytically, {} re-simulated exactly \
+                 ({} exact simulations avoided)",
+                outcome.analytic_executed,
+                outcome.executed,
+                outcome.results.len().saturating_sub(outcome.exact_rows()),
+            );
+        } else if outcome.fidelity == Fidelity::Analytic {
+            println!(
+                "analytic tier: {} cells estimated, 0 event-driven simulations",
+                outcome.analytic_executed
+            );
+        }
         let summaries = report::summarize(&outcome);
         if !summaries.is_empty() {
             subheader("per-axis speedup vs baseline");

@@ -5,6 +5,8 @@
 //! the formatting helpers they share. Passing `--tsv` to any binary emits
 //! machine-readable tab-separated rows alongside the human tables.
 
+pub mod perf_json;
+
 /// Whether `--tsv` was passed on the command line.
 pub fn tsv_mode() -> bool {
     std::env::args().any(|a| a == "--tsv")

@@ -37,9 +37,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 mod granularity;
 mod plan;
 pub mod traffic;
 
+pub use analytic::{estimate_collective, estimate_on_spec, AnalyticEstimate, EndpointModel};
 pub use granularity::{split_even, Granularity};
 pub use plan::{CollectiveOp, CollectivePlan, PhaseKind, PhaseLink, PhaseSpec};

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fidelity;
 pub mod grid;
 pub mod persist;
 pub mod report;
@@ -52,11 +53,13 @@ pub mod scenario;
 /// here so `ace_sweep::toml::parse` keeps working.
 pub use ace_toml as toml;
 
+pub use fidelity::{Fidelity, Tier};
 pub use grid::{expand, grid_len, PointKind, RunPoint};
 pub use persist::{cache_from_str, cache_to_string, load_cache, save_cache, CACHE_HEADER};
 pub use report::{summarize, to_csv, to_json, AxisSummary};
 pub use runner::{
-    run_scenario, Cache, Metrics, RunResult, RunnerOptions, SweepOutcome, SweepRunner,
+    execute, execute_analytic, execute_tier, run_scenario, Cache, Metrics, RunResult,
+    RunnerOptions, SweepOutcome, SweepRunner,
 };
 pub use scenario::{
     BaselineSpec, CustomWorkload, EngineFamily, EngineSpec, Scenario, ScenarioError, SweepMode,

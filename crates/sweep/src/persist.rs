@@ -7,14 +7,16 @@
 //! deterministic, so a cached row is exactly what a fresh run would
 //! produce.
 //!
-//! Format (`v1`; the header also pins the simulator version that wrote
-//! the file — see [`CACHE_HEADER`]):
+//! Format (`v2`; the header also pins the simulator version that wrote
+//! the file — see [`CACHE_HEADER`]). The leading `fidelity` cell keys the
+//! row to its execution tier, so an α–β estimate can never be served
+//! where an event-driven result is expected:
 //!
 //! ```text
-//! # ace-sweep-cache v1 sim-0.1.0
-//! kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,op,payload_bytes,config,workload,iterations,optimized_embedding,time_us,completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,exposed_comm_us,past_schedules
-//! collective,4x2x2,ace,128,,4,16,all-reduce,67108864,,,,,12.3,15314,…
-//! training,4x2x2,,,,,,,,ACE,resnet50,2,0,…
+//! # ace-sweep-cache v2 sim-0.1.0
+//! fidelity,kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,op,payload_bytes,config,workload,iterations,optimized_embedding,time_us,completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,exposed_comm_us,past_schedules
+//! exact,collective,4x2x2,ace,128,,4,16,all-reduce,67108864,,,,,12.3,15314,…
+//! analytic,training,4x2x2,,,,,,,,ACE,resnet50,2,0,…
 //! ```
 //!
 //! Floats are written with Rust's shortest round-trip `Display`, so a
@@ -26,6 +28,7 @@ use std::path::Path;
 use ace_net::TopologySpec;
 use ace_system::SystemConfig;
 
+use crate::fidelity::Tier;
 use crate::grid::{PointKind, RunPoint};
 use crate::runner::{Cache, Metrics};
 use crate::scenario::{parse_op, EngineSpec, WorkloadSel};
@@ -36,13 +39,13 @@ use crate::scenario::{parse_op, EngineSpec, WorkloadSel};
 /// from a different simulator version is rejected instead of silently
 /// serving stale results. Bump the workspace version whenever a change
 /// alters simulation results.
-pub const CACHE_HEADER: &str = concat!("# ace-sweep-cache v1 sim-", env!("CARGO_PKG_VERSION"));
+pub const CACHE_HEADER: &str = concat!("# ace-sweep-cache v2 sim-", env!("CARGO_PKG_VERSION"));
 
 /// Column names of the cache file (documentation line 2 of the file).
-const COLUMNS: &str = "kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,op,payload_bytes,\
-                       config,workload,iterations,optimized_embedding,time_us,completion_cycles,\
-                       gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,exposed_comm_us,\
-                       past_schedules";
+const COLUMNS: &str = "fidelity,kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,\
+                       op,payload_bytes,config,workload,iterations,optimized_embedding,time_us,\
+                       completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,\
+                       exposed_comm_us,past_schedules";
 
 /// Serializes `cache` to the versioned file format, rows sorted for
 /// byte-identical output across runs.
@@ -50,8 +53,9 @@ pub fn cache_to_string(cache: &Cache) -> String {
     let mut rows: Vec<String> = cache
         .entries()
         .iter()
-        .map(|(p, m)| {
-            let mut cells = point_cells(p);
+        .map(|(tier, p, m)| {
+            let mut cells = vec![tier.to_string()];
+            cells.extend(point_cells(p));
             cells.extend(metric_cells(m));
             cells.join(",")
         })
@@ -94,9 +98,9 @@ pub fn cache_from_str(text: &str) -> Result<Cache, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (point, metrics) =
+        let (tier, point, metrics) =
             parse_row(line).map_err(|e| format!("cache line {}: {e}", no + 2))?;
-        cache.insert(point, metrics);
+        cache.insert_tier(tier, point, metrics);
     }
     Ok(cache)
 }
@@ -189,11 +193,13 @@ fn metric_cells(m: &Metrics) -> Vec<String> {
     ]
 }
 
-fn parse_row(line: &str) -> Result<(RunPoint, Metrics), String> {
+fn parse_row(line: &str) -> Result<(Tier, RunPoint, Metrics), String> {
     let cells: Vec<&str> = line.split(',').collect();
-    if cells.len() != 21 {
-        return Err(format!("expected 21 cells, found {}", cells.len()));
+    if cells.len() != 22 {
+        return Err(format!("expected 22 cells, found {}", cells.len()));
     }
+    let tier = cells[0].parse::<Tier>()?;
+    let cells = &cells[1..];
     let topology = parse_topology(cells[1])?;
     let kind = match cells[0] {
         "collective" => {
@@ -238,7 +244,7 @@ fn parse_row(line: &str) -> Result<(RunPoint, Metrics), String> {
         exposed_comm_us: parse_f64(cells[19], "exposed_comm_us")?,
         past_schedules: parse_int(cells[20], "past_schedules")?,
     };
-    Ok((RunPoint { topology, kind }, metrics))
+    Ok((tier, RunPoint { topology, kind }, metrics))
 }
 
 fn parse_topology(s: &str) -> Result<TopologySpec, String> {
@@ -286,8 +292,8 @@ mod tests {
         let reloaded = cache_from_str(&text).unwrap();
         assert_eq!(reloaded.len(), runner.cache().len());
         // Every metric (f64s included) survives the text round-trip.
-        for (p, m) in runner.cache().entries() {
-            assert_eq!(reloaded.get(&p), Some(m), "lost {p:?}");
+        for (t, p, m) in runner.cache().entries() {
+            assert_eq!(reloaded.get_tier(t, &p), Some(m), "lost {p:?}");
         }
         // Save → load → save is byte-identical (sorted rows, shortest
         // round-trip floats).
@@ -307,8 +313,8 @@ mod tests {
         runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
         let text = cache_to_string(runner.cache());
         let reloaded = cache_from_str(&text).unwrap();
-        for (p, m) in runner.cache().entries() {
-            assert_eq!(reloaded.get(&p), Some(m));
+        for (t, p, m) in runner.cache().entries() {
+            assert_eq!(reloaded.get_tier(t, &p), Some(m));
         }
     }
 
@@ -365,8 +371,8 @@ mod tests {
         }
         let reloaded = cache_from_str(&text).unwrap();
         assert_eq!(reloaded.len(), runner.cache().len());
-        for (p, m) in runner.cache().entries() {
-            assert_eq!(reloaded.get(&p), Some(m), "lost {p:?}");
+        for (t, p, m) in runner.cache().entries() {
+            assert_eq!(reloaded.get_tier(t, &p), Some(m), "lost {p:?}");
         }
         // A switch point never hits a torus entry: querying the reloaded
         // cache with the same coordinates but a different topology misses.
@@ -389,12 +395,14 @@ mod tests {
     fn version_and_corruption_are_rejected() {
         assert!(cache_from_str("").is_err());
         assert!(cache_from_str("# ace-sweep-cache v999\n").is_err());
+        // The v1 (pre-fidelity) format is a different schema: rejected.
+        assert!(cache_from_str("# ace-sweep-cache v1 sim-0.1.0\n").is_err());
         // A cache written by a different simulator version must not be
         // served: results are only reproducible within one build.
         assert!(cache_from_str("# ace-sweep-cache v1 sim-0.0.0\n").is_err());
         let bad_row = format!("{CACHE_HEADER}\nnot-a-row\n");
         assert!(cache_from_str(&bad_row).is_err());
-        let short_row = format!("{CACHE_HEADER}\ncollective,2x1x1,ideal\n");
+        let short_row = format!("{CACHE_HEADER}\nexact,collective,2x1x1,ideal\n");
         assert!(cache_from_str(&short_row).is_err());
         // Valid header + comments + blank lines parse as empty.
         let empty = format!("{CACHE_HEADER}\n# comment\n\n");

@@ -11,7 +11,7 @@ use crate::scenario::EngineSpec;
 
 /// The fixed CSV column set (a superset across both sweep modes;
 /// inapplicable cells are empty).
-pub const CSV_COLUMNS: [&str; 22] = [
+pub const CSV_COLUMNS: [&str; 23] = [
     "topology",
     "nodes",
     "engine",
@@ -32,6 +32,7 @@ pub const CSV_COLUMNS: [&str; 22] = [
     "compute_us",
     "exposed_comm_us",
     "past_schedules",
+    "fidelity",
     "cache_hit",
     "speedup_vs_baseline",
 ];
@@ -118,6 +119,7 @@ fn row_cells(r: &RunResult) -> Vec<String> {
         format!("{:.3}", m.compute_us),
         format!("{:.3}", m.exposed_comm_us),
         m.past_schedules.to_string(),
+        r.fidelity.to_string(),
         if r.cache_hit { "1" } else { "0" }.to_string(),
         r.speedup_vs_baseline
             .map(|s| format!("{s:.4}"))
@@ -176,8 +178,13 @@ pub fn to_json(outcome: &SweepOutcome) -> String {
         json_escape(&outcome.scenario)
     ));
     out.push_str(&format!("  \"mode\": \"{}\",\n", outcome.mode));
+    out.push_str(&format!("  \"fidelity\": \"{}\",\n", outcome.fidelity));
     out.push_str(&format!("  \"points\": {},\n", outcome.results.len()));
     out.push_str(&format!("  \"executed\": {},\n", outcome.executed));
+    out.push_str(&format!(
+        "  \"analytic_executed\": {},\n",
+        outcome.analytic_executed
+    ));
     out.push_str(&format!("  \"cache_hits\": {},\n", outcome.cache_hits));
     out.push_str("  \"results\": [\n");
     for (i, r) in outcome.results.iter().enumerate() {
@@ -188,7 +195,10 @@ pub fn to_json(outcome: &SweepOutcome) -> String {
                 continue;
             }
             // Numeric columns emit bare numbers; the rest are strings.
-            let is_string = matches!(*name, "topology" | "engine" | "op" | "config" | "workload");
+            let is_string = matches!(
+                *name,
+                "topology" | "engine" | "op" | "config" | "workload" | "fidelity"
+            );
             if is_string {
                 fields.push(format!("\"{name}\": \"{}\"", json_escape(cell)));
             } else if *name == "cache_hit" {

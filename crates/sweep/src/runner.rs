@@ -1,17 +1,25 @@
 //! Parallel sweep execution.
 //!
 //! [`SweepRunner::run`] expands a scenario, dedupes its grid against a
-//! [`Cache`] keyed on [`RunPoint`], executes the remaining unique points
-//! on a pool of scoped worker threads (work-stealing over a shared atomic
-//! index), and assembles results **in grid order** — so the output is
-//! byte-identical whether the sweep ran on one thread or sixteen.
+//! [`Cache`] keyed on `(tier, point)`, executes the remaining unique
+//! points on a pool of scoped worker threads (work-stealing over a shared
+//! atomic index), and assembles results **in grid order** — so the output
+//! is byte-identical whether the sweep ran on one thread or sixteen.
+//!
+//! The scenario's [`Fidelity`] picks the execution tier: `exact` runs the
+//! event-driven executor, `analytic` the closed-form α–β estimator, and
+//! `hybrid` triages the whole grid analytically before re-simulating only
+//! the Pareto frontier + top-K % cells exactly (see [`crate::fidelity`]).
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use ace_system::{run_single_collective, SystemBuilder};
+use ace_system::{
+    analytic_collective_run, analytic_training_run, run_single_collective, SystemBuilder,
+};
 
+use crate::fidelity::{select_exact_cells, Fidelity, Tier};
 use crate::grid::{self, PointKind, RunPoint};
 use crate::scenario::{BaselineSpec, Scenario, SweepMode};
 
@@ -36,7 +44,8 @@ pub struct Metrics {
     pub exposed_comm_us: f64,
     /// Events the simulator scheduled in the past (clamped by the event
     /// queue) — always zero in a correct run; surfaced so release-mode
-    /// sweeps can flag the invariant violation.
+    /// sweeps can flag the invariant violation. Always zero for analytic
+    /// rows (there is no event queue to violate).
     pub past_schedules: u64,
 }
 
@@ -45,13 +54,17 @@ pub struct Metrics {
 pub struct RunResult {
     /// The grid cell.
     pub point: RunPoint,
-    /// Simulated metrics.
+    /// Simulated (or estimated) metrics.
     pub metrics: Metrics,
+    /// The tier that produced `metrics`: event-driven simulation or the
+    /// α–β estimator.
+    pub fidelity: Tier,
     /// Whether this row reused a result computed earlier — either a
     /// duplicate cell in the same grid or a prior run through the same
     /// [`Cache`].
     pub cache_hit: bool,
-    /// `baseline_time / this_time` when the scenario names a baseline.
+    /// `baseline_time / this_time` when the scenario names a baseline
+    /// (always compared within the row's own tier).
     pub speedup_vs_baseline: Option<f64>,
 }
 
@@ -62,10 +75,14 @@ pub struct SweepOutcome {
     pub scenario: String,
     /// Sweep mode.
     pub mode: SweepMode,
+    /// The fidelity the sweep ran at.
+    pub fidelity: Fidelity,
     /// One result per grid cell, in deterministic grid order.
     pub results: Vec<RunResult>,
-    /// Unique points actually simulated during this run.
+    /// Unique points run through the event-driven executor this run.
     pub executed: usize,
+    /// Unique points estimated by the α–β model this run.
+    pub analytic_executed: usize,
     /// Grid rows served from the cache (duplicates + prior runs).
     pub cache_hits: usize,
 }
@@ -93,15 +110,29 @@ impl SweepOutcome {
         self.collective_results(engine)
             .find(move |r| r.point.topology == spec)
     }
+
+    /// Rows produced by the exact tier (hybrid's re-simulated cells).
+    pub fn exact_rows(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.fidelity == Tier::Exact)
+            .count()
+    }
+
+    /// Rows carrying α–β estimates.
+    pub fn analytic_rows(&self) -> usize {
+        self.results.len() - self.exact_rows()
+    }
 }
 
-/// Result cache keyed on [`RunPoint`]. Identical points simulate
-/// identically (the simulator is deterministic), so a sweep never runs
-/// the same point twice — within a grid or across grids sharing a
-/// runner.
+/// Result cache keyed on `(tier, point)`. Identical points simulate
+/// identically within a tier (both tiers are deterministic), so a sweep
+/// never runs the same point twice — within a grid or across grids
+/// sharing a runner. The tier is part of the key: an analytic estimate
+/// must never be served where an exact result is expected.
 #[derive(Debug, Default)]
 pub struct Cache {
-    map: Mutex<HashMap<RunPoint, Metrics>>,
+    map: Mutex<HashMap<(Tier, RunPoint), Metrics>>,
 }
 
 impl Cache {
@@ -110,22 +141,47 @@ impl Cache {
         Cache::default()
     }
 
-    /// Cached metrics for `point`, if present.
+    /// Cached metrics for `point` in `tier`, if present.
+    pub fn get_tier(&self, tier: Tier, point: &RunPoint) -> Option<Metrics> {
+        self.map
+            .lock()
+            .expect("cache lock")
+            .get(&(tier, point.clone()))
+            .copied()
+    }
+
+    /// Cached **exact** metrics for `point` (the historical accessor).
     pub fn get(&self, point: &RunPoint) -> Option<Metrics> {
-        self.map.lock().expect("cache lock").get(point).copied()
+        self.get_tier(Tier::Exact, point)
     }
 
-    /// Whether `point` is cached.
+    /// Whether `point` is cached in `tier`.
+    pub fn contains_tier(&self, tier: Tier, point: &RunPoint) -> bool {
+        self.map
+            .lock()
+            .expect("cache lock")
+            .contains_key(&(tier, point.clone()))
+    }
+
+    /// Whether `point` is cached in the exact tier.
     pub fn contains(&self, point: &RunPoint) -> bool {
-        self.map.lock().expect("cache lock").contains_key(point)
+        self.contains_tier(Tier::Exact, point)
     }
 
-    /// Stores metrics for `point`.
+    /// Stores metrics for `point` in `tier`.
+    pub fn insert_tier(&self, tier: Tier, point: RunPoint, metrics: Metrics) {
+        self.map
+            .lock()
+            .expect("cache lock")
+            .insert((tier, point), metrics);
+    }
+
+    /// Stores **exact** metrics for `point`.
     pub fn insert(&self, point: RunPoint, metrics: Metrics) {
-        self.map.lock().expect("cache lock").insert(point, metrics);
+        self.insert_tier(Tier::Exact, point, metrics);
     }
 
-    /// Number of cached points.
+    /// Number of cached points (all tiers).
     pub fn len(&self) -> usize {
         self.map.lock().expect("cache lock").len()
     }
@@ -135,14 +191,14 @@ impl Cache {
         self.len() == 0
     }
 
-    /// Snapshot of every cached `(point, metrics)` pair, in unspecified
-    /// order. The persistence layer sorts before writing.
-    pub fn entries(&self) -> Vec<(RunPoint, Metrics)> {
+    /// Snapshot of every cached `(tier, point, metrics)` triple, in
+    /// unspecified order. The persistence layer sorts before writing.
+    pub fn entries(&self) -> Vec<(Tier, RunPoint, Metrics)> {
         self.map
             .lock()
             .expect("cache lock")
             .iter()
-            .map(|(p, m)| (p.clone(), *m))
+            .map(|((t, p), m)| (*t, p.clone(), *m))
             .collect()
     }
 }
@@ -178,43 +234,161 @@ impl SweepRunner {
         &self.cache
     }
 
-    /// Runs `scenario` and returns results in deterministic grid order.
+    /// Runs `scenario` at its configured [`Fidelity`] and returns results
+    /// in deterministic grid order.
     ///
     /// # Errors
     ///
     /// Returns the validation message if the scenario is inconsistent.
     pub fn run(&self, scenario: &Scenario, opts: RunnerOptions) -> Result<SweepOutcome, String> {
         scenario.validate()?;
+        match scenario.fidelity {
+            Fidelity::Exact => self.run_tier(scenario, opts, Tier::Exact),
+            Fidelity::Analytic => self.run_tier(scenario, opts, Tier::Analytic),
+            Fidelity::Hybrid => self.run_hybrid(scenario, opts),
+        }
+    }
+
+    /// Single-tier sweep: every grid cell through one execution tier.
+    fn run_tier(
+        &self,
+        scenario: &Scenario,
+        opts: RunnerOptions,
+        tier: Tier,
+    ) -> Result<SweepOutcome, String> {
         let points = grid::expand(scenario);
         let baseline_points = baseline_points(scenario);
+        let work = self.queue_work(points.iter().chain(baseline_points.iter()), tier);
+        self.execute_parallel(&work, opts, tier);
 
-        // Work list: every unique point not already cached, in first-seen
-        // order (grid first, then any baseline points outside the grid).
-        let mut queued: HashSet<RunPoint> = HashSet::new();
+        let tiers = vec![tier; points.len()];
+        let queued: HashSet<RunPoint> = work.iter().cloned().collect();
+        let (results, cache_hits) = self.assemble(scenario, &points, &tiers, |t, p| {
+            t == tier && queued.contains(p)
+        });
+
+        let (executed, analytic_executed) = match tier {
+            Tier::Exact => (work.len(), 0),
+            Tier::Analytic => (0, work.len()),
+        };
+        Ok(SweepOutcome {
+            scenario: scenario.name.clone(),
+            mode: scenario.mode,
+            fidelity: match tier {
+                Tier::Exact => Fidelity::Exact,
+                Tier::Analytic => Fidelity::Analytic,
+            },
+            results,
+            executed,
+            analytic_executed,
+            cache_hits,
+        })
+    }
+
+    /// Hybrid sweep: α–β triage over the whole grid, exact re-simulation
+    /// of the analytic Pareto frontier + top-K % cells + the baseline.
+    fn run_hybrid(&self, scenario: &Scenario, opts: RunnerOptions) -> Result<SweepOutcome, String> {
+        let points = grid::expand(scenario);
+        let baseline_pts = baseline_points(scenario);
+
+        // ---- Tier 1: analytic triage of every unique point. ----------
+        let work_a = self.queue_work(points.iter().chain(baseline_pts.iter()), Tier::Analytic);
+        self.execute_parallel(&work_a, opts, Tier::Analytic);
+
+        let triage: Vec<(RunPoint, Metrics)> = points
+            .iter()
+            .map(|p| {
+                let m = self
+                    .cache
+                    .get_tier(Tier::Analytic, p)
+                    .expect("triage covered the grid");
+                (p.clone(), m)
+            })
+            .collect();
+
+        // ---- Select the cells worth exact simulation. ----------------
+        let probe = |p: &RunPoint| execute_analytic(p).time_us;
+        let keep = select_exact_cells(&triage, scenario.hybrid_top_pct, &probe);
+        let tiers: Vec<Tier> = keep
+            .iter()
+            .map(|&k| if k { Tier::Exact } else { Tier::Analytic })
+            .collect();
+
+        let selected = points
+            .iter()
+            .zip(&keep)
+            .filter_map(|(p, &k)| k.then_some(p));
+        let work_e = self.queue_work(selected.chain(baseline_pts.iter()), Tier::Exact);
+        self.execute_parallel(&work_e, opts, Tier::Exact);
+
+        // ---- Assemble: exact rows where selected, analytic elsewhere. -
+        let queued_a: HashSet<RunPoint> = work_a.iter().cloned().collect();
+        let queued_e: HashSet<RunPoint> = work_e.iter().cloned().collect();
+        let (results, cache_hits) = self.assemble(scenario, &points, &tiers, |t, p| match t {
+            Tier::Exact => queued_e.contains(p),
+            Tier::Analytic => queued_a.contains(p),
+        });
+
+        Ok(SweepOutcome {
+            scenario: scenario.name.clone(),
+            mode: scenario.mode,
+            fidelity: Fidelity::Hybrid,
+            results,
+            executed: work_e.len(),
+            analytic_executed: work_a.len(),
+            cache_hits,
+        })
+    }
+
+    /// The work list for one tier: every unique point of `wanted` not
+    /// already cached, in first-seen order (grid first, then any
+    /// baseline points outside the grid).
+    fn queue_work<'a>(
+        &self,
+        wanted: impl Iterator<Item = &'a RunPoint>,
+        tier: Tier,
+    ) -> Vec<RunPoint> {
+        let mut queued: HashSet<&RunPoint> = HashSet::new();
         let mut work: Vec<RunPoint> = Vec::new();
-        for p in points.iter().chain(baseline_points.iter()) {
-            if !self.cache.contains(p) && queued.insert(p.clone()) {
+        for p in wanted {
+            if !self.cache.contains_tier(tier, p) && queued.insert(p) {
                 work.push(p.clone());
             }
         }
+        work
+    }
 
-        self.execute_parallel(&work, opts);
-
-        // Assemble rows in grid order; flag rows that reused a result.
-        let mut seen: HashSet<RunPoint> = HashSet::new();
+    /// Assembles grid-order rows: each point's metrics from its tier's
+    /// cache, cache-hit bookkeeping (the first occurrence of a point
+    /// freshly executed this run is the one non-hit row), and baseline
+    /// speedups compared within each row's own tier — an analytic
+    /// estimate is never divided by an event-driven baseline.
+    fn assemble(
+        &self,
+        scenario: &Scenario,
+        points: &[RunPoint],
+        tiers: &[Tier],
+        freshly_executed: impl Fn(Tier, &RunPoint) -> bool,
+    ) -> (Vec<RunResult>, usize) {
+        let mut seen: HashSet<(Tier, &RunPoint)> = HashSet::new();
         let mut cache_hits = 0usize;
         let mut results: Vec<RunResult> = points
-            .into_iter()
-            .map(|p| {
-                let metrics = self.cache.get(&p).expect("every grid point was executed");
-                let fresh_here = queued.contains(&p) && seen.insert(p.clone());
-                let cache_hit = !fresh_here;
+            .iter()
+            .zip(tiers)
+            .map(|(p, &tier)| {
+                let metrics = self
+                    .cache
+                    .get_tier(tier, p)
+                    .expect("every grid point was executed in its tier");
+                let fresh = freshly_executed(tier, p) && seen.insert((tier, p));
+                let cache_hit = !fresh;
                 if cache_hit {
                     cache_hits += 1;
                 }
                 RunResult {
-                    point: p,
+                    point: p.clone(),
                     metrics,
+                    fidelity: tier,
                     cache_hit,
                     speedup_vs_baseline: None,
                 }
@@ -224,24 +398,21 @@ impl SweepRunner {
         if scenario.baseline.is_some() {
             for r in &mut results {
                 let bp = baseline_point_for(scenario, &r.point);
-                let base = self.cache.get(&bp).expect("baseline point was executed");
+                let base = self
+                    .cache
+                    .get_tier(r.fidelity, &bp)
+                    .expect("baseline point was executed in the row's tier");
                 if r.metrics.time_us > 0.0 {
                     r.speedup_vs_baseline = Some(base.time_us / r.metrics.time_us);
                 }
             }
         }
-
-        Ok(SweepOutcome {
-            scenario: scenario.name.clone(),
-            mode: scenario.mode,
-            results,
-            executed: work.len(),
-            cache_hits,
-        })
+        (results, cache_hits)
     }
 
-    /// Runs `work` on a scoped thread pool, storing metrics in the cache.
-    fn execute_parallel(&self, work: &[RunPoint], opts: RunnerOptions) {
+    /// Runs `work` on a scoped thread pool, storing metrics in the cache
+    /// under `tier`.
+    fn execute_parallel(&self, work: &[RunPoint], opts: RunnerOptions, tier: Tier) {
         if work.is_empty() {
             return;
         }
@@ -257,7 +428,8 @@ impl SweepRunner {
 
         if threads == 1 {
             for p in work {
-                self.cache.insert(p.clone(), execute(p));
+                self.cache
+                    .insert_tier(tier, p.clone(), execute_tier(p, tier));
             }
             return;
         }
@@ -271,7 +443,7 @@ impl SweepRunner {
                     if i >= work.len() {
                         break;
                     }
-                    let m = execute(&work[i]);
+                    let m = execute_tier(&work[i], tier);
                     *slots[i].lock().expect("slot lock") = Some(m);
                 });
             }
@@ -281,7 +453,7 @@ impl SweepRunner {
                 .into_inner()
                 .expect("slot lock")
                 .expect("worker filled slot");
-            self.cache.insert(p.clone(), m);
+            self.cache.insert_tier(tier, p.clone(), m);
         }
     }
 }
@@ -291,8 +463,16 @@ pub fn run_scenario(scenario: &Scenario, opts: RunnerOptions) -> Result<SweepOut
     SweepRunner::new().run(scenario, opts)
 }
 
-/// Simulates one point. Pure and deterministic: the same point always
-/// produces the same metrics.
+/// Executes one point in the given tier. Pure and deterministic within a
+/// tier: the same `(tier, point)` always produces the same metrics.
+pub fn execute_tier(point: &RunPoint, tier: Tier) -> Metrics {
+    match tier {
+        Tier::Exact => execute(point),
+        Tier::Analytic => execute_analytic(point),
+    }
+}
+
+/// Simulates one point with the event-driven executor.
 pub fn execute(point: &RunPoint) -> Metrics {
     match &point.kind {
         PointKind::Collective {
@@ -339,6 +519,66 @@ pub fn execute(point: &RunPoint) -> Metrics {
                 compute_us: report.total_compute_us(),
                 exposed_comm_us: report.exposed_comm_us(),
                 past_schedules: report.past_schedules(),
+            }
+        }
+    }
+}
+
+/// Estimates one point with the closed-form α–β model.
+pub fn execute_analytic(point: &RunPoint) -> Metrics {
+    let freq = ace_simcore::npu_frequency();
+    match &point.kind {
+        PointKind::Collective {
+            engine,
+            op,
+            payload_bytes,
+        } => {
+            let r = analytic_collective_run(
+                point.topology,
+                engine.to_engine_kind(),
+                *op,
+                *payload_bytes,
+            );
+            Metrics {
+                time_us: r.cycles / freq.hz() * 1e6,
+                completion_cycles: r.cycles.round() as u64,
+                gbps_per_npu: r.achieved_gbps_per_npu,
+                mem_traffic_bytes: r.mem_traffic_bytes,
+                network_bytes: r.network_bytes,
+                compute_us: 0.0,
+                exposed_comm_us: 0.0,
+                past_schedules: 0,
+            }
+        }
+        PointKind::Training {
+            config,
+            workload,
+            iterations,
+            optimized_embedding,
+        } => {
+            let spec = point.topology;
+            let r = analytic_training_run(
+                *config,
+                workload.instantiate(spec.nodes()),
+                spec,
+                *iterations,
+                *optimized_embedding,
+            );
+            let to_us = |cycles: f64| cycles / freq.hz() * 1e6;
+            let gbps = if r.total_cycles > 0.0 {
+                freq.gbps(r.network_bytes as f64 / spec.nodes() as f64 / r.total_cycles)
+            } else {
+                0.0
+            };
+            Metrics {
+                time_us: to_us(r.total_cycles),
+                completion_cycles: r.total_cycles.round() as u64,
+                gbps_per_npu: gbps,
+                mem_traffic_bytes: r.mem_traffic_bytes,
+                network_bytes: r.network_bytes,
+                compute_us: to_us(r.compute_cycles),
+                exposed_comm_us: to_us(r.exposed_cycles),
+                past_schedules: 0,
             }
         }
     }
@@ -456,6 +696,7 @@ mod tests {
         assert!(!out.results[0].cache_hit);
         assert!(out.results[1].cache_hit);
         assert_eq!(out.results[0].metrics, out.results[1].metrics);
+        assert!(out.results.iter().all(|r| r.fidelity == Tier::Exact));
     }
 
     #[test]
@@ -532,5 +773,125 @@ mod tests {
         let m = out.results[0].metrics;
         assert!(m.time_us > 0.0);
         assert!(m.compute_us > 0.0);
+    }
+
+    #[test]
+    fn analytic_fidelity_runs_without_the_executor() {
+        let mut sc = tiny();
+        sc.fidelity = Fidelity::Analytic;
+        let out = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        assert_eq!(out.fidelity, Fidelity::Analytic);
+        assert_eq!(out.executed, 0);
+        assert_eq!(out.analytic_executed, 3);
+        for r in &out.results {
+            assert_eq!(r.fidelity, Tier::Analytic);
+            assert!(r.metrics.time_us > 0.0);
+            assert_eq!(r.metrics.past_schedules, 0);
+        }
+    }
+
+    #[test]
+    fn analytic_and_exact_never_alias_in_the_cache() {
+        let sc = tiny();
+        let runner = SweepRunner::new();
+        let exact = runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let mut sca = sc.clone();
+        sca.fidelity = Fidelity::Analytic;
+        let analytic = runner.run(&sca, RunnerOptions { threads: 1 }).unwrap();
+        // Both tiers executed fresh — the exact rows did not satisfy the
+        // analytic query or vice versa.
+        assert_eq!(analytic.analytic_executed, 3);
+        // And the per-tier lookups disagree on the metrics (the α–β
+        // estimate is not the event-driven result).
+        let p = &exact.results[2].point; // a baseline-engine cell
+        let e = runner.cache().get_tier(Tier::Exact, p).unwrap();
+        let a = runner.cache().get_tier(Tier::Analytic, p).unwrap();
+        assert_ne!(
+            e.completion_cycles, a.completion_cycles,
+            "tiers should differ on {p:?}"
+        );
+    }
+
+    #[test]
+    fn hybrid_reduces_exact_simulations_and_pins_the_frontier() {
+        // A design-space-like grid: one engine family, SRAM x FSM axes.
+        let mut sc = Scenario::collective("hybrid-test");
+        sc.topologies = vec![TopologySpec::torus3(2, 1, 1).unwrap()];
+        sc.engines = vec![EngineFamily::Ace];
+        sc.payload_bytes = vec![1 << 20];
+        sc.mem_gbps = vec![128.0];
+        sc.sram_mb = vec![1, 2, 4, 8];
+        sc.fsms = vec![4, 16];
+        sc.baseline = Some(BaselineSpec::Engine(EngineSpec::Ace {
+            dma_mem_gbps: 128.0,
+            sram_mb: 4,
+            fsms: 16,
+        }));
+
+        let exact = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let mut sch = sc.clone();
+        sch.fidelity = Fidelity::Hybrid;
+        let hybrid = run_scenario(&sch, RunnerOptions { threads: 2 }).unwrap();
+
+        assert_eq!(hybrid.fidelity, Fidelity::Hybrid);
+        assert_eq!(hybrid.results.len(), exact.results.len());
+        // The prefilter must actually prune.
+        assert!(
+            hybrid.executed < exact.executed,
+            "hybrid executed {} >= exact {}",
+            hybrid.executed,
+            exact.executed
+        );
+        assert!(hybrid.analytic_executed > 0);
+        // Exact-tier rows are byte-identical to the full exact run.
+        for (h, e) in hybrid.results.iter().zip(&exact.results) {
+            assert_eq!(h.point, e.point);
+            if h.fidelity == Tier::Exact {
+                assert_eq!(
+                    h.metrics, e.metrics,
+                    "re-simulated cell moved: {:?}",
+                    h.point
+                );
+            }
+        }
+        // The exact run's Pareto frontier survives: every frontier cell
+        // of the exact outcome was re-simulated exactly by hybrid.
+        let rows: Vec<(&RunPoint, f64)> = exact
+            .results
+            .iter()
+            .map(|r| (&r.point, r.metrics.time_us))
+            .collect();
+        let frontier = crate::fidelity::pareto_frontier(&rows);
+        for (i, &f) in frontier.iter().enumerate() {
+            if f {
+                assert_eq!(
+                    hybrid.results[i].fidelity,
+                    Tier::Exact,
+                    "frontier cell {:?} was left analytic",
+                    hybrid.results[i].point
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_is_thread_deterministic() {
+        let mut sc = Scenario::collective("hybrid-det");
+        sc.topologies = vec![TopologySpec::torus3(2, 1, 1).unwrap()];
+        sc.engines = vec![EngineFamily::Ace, EngineFamily::Baseline];
+        sc.payload_bytes = vec![512 * 1024];
+        sc.mem_gbps = vec![64.0, 128.0];
+        sc.sram_mb = vec![1, 4];
+        sc.fidelity = Fidelity::Hybrid;
+        let a = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let b = run_scenario(&sc, RunnerOptions { threads: 4 }).unwrap();
+        assert_eq!(a.results.len(), b.results.len());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.point, y.point);
+            assert_eq!(x.metrics, y.metrics);
+            assert_eq!(x.fidelity, y.fidelity);
+            assert_eq!(x.cache_hit, y.cache_hit);
+            assert_eq!(x.speedup_vs_baseline, y.speedup_vs_baseline);
+        }
     }
 }

@@ -18,6 +18,7 @@ use ace_net::TopologySpec;
 use ace_system::{EngineKind, SystemConfig};
 use ace_workloads::{BuiltinWorkload, Parallelism, Workload};
 
+use crate::fidelity::Fidelity;
 use crate::toml::{self, Value};
 
 /// What each run point simulates.
@@ -514,6 +515,15 @@ pub struct Scenario {
     pub optimized_embedding: bool,
     /// Optional reference config for speedup columns and axis summaries.
     pub baseline: Option<BaselineSpec>,
+    /// Simulation fidelity: `exact` (event-driven, the default),
+    /// `analytic` (closed-form α–β model), or `hybrid` (analytic triage,
+    /// exact re-simulation of the interesting cells). Overridable on the
+    /// `sweep` CLI with `--fidelity`.
+    pub fidelity: Fidelity,
+    /// Hybrid fidelity: percentage of each cell group's fastest cells
+    /// (by analytic time) re-simulated exactly, on top of the Pareto
+    /// frontier. Default 10.
+    pub hybrid_top_pct: f64,
 }
 
 impl Scenario {
@@ -540,6 +550,8 @@ impl Scenario {
             iterations: 2,
             optimized_embedding: false,
             baseline: None,
+            fidelity: Fidelity::Exact,
+            hybrid_top_pct: 10.0,
         }
     }
 
@@ -562,6 +574,8 @@ impl Scenario {
             iterations: 2,
             optimized_embedding: false,
             baseline: None,
+            fidelity: Fidelity::Exact,
+            hybrid_top_pct: 10.0,
         }
     }
 
@@ -600,7 +614,7 @@ impl Scenario {
 
         // Reject misspelled keys loudly: a typoed axis name silently
         // falling back to its default would run the wrong sweep.
-        const KNOWN_KEYS: [&str; 15] = [
+        const KNOWN_KEYS: [&str; 17] = [
             "name",
             "mode",
             "topologies",
@@ -616,6 +630,8 @@ impl Scenario {
             "iterations",
             "optimized_embedding",
             "baseline",
+            "fidelity",
+            "hybrid_top_pct",
         ];
         for key in doc.keys() {
             if !KNOWN_KEYS.contains(&key.as_str()) {
@@ -711,6 +727,19 @@ impl Scenario {
                 .as_bool()
                 .ok_or_else(|| invalid("'optimized_embedding' must be a bool".into()))?;
         }
+        if let Some(v) = doc.get("fidelity") {
+            sc.fidelity = v
+                .as_str()
+                .ok_or_else(|| invalid("'fidelity' must be a string".into()))?
+                .parse::<Fidelity>()
+                .map_err(invalid)?;
+        }
+        if let Some(v) = doc.get("hybrid_top_pct") {
+            sc.hybrid_top_pct = v
+                .as_f64()
+                .filter(|p| p.is_finite() && *p > 0.0 && *p <= 100.0)
+                .ok_or_else(|| invalid("'hybrid_top_pct' must be in (0, 100]".into()))?;
+        }
         if let Some(v) = doc.get("baseline") {
             let table = v
                 .as_table()
@@ -726,6 +755,15 @@ impl Scenario {
     pub fn validate(&self) -> Result<(), String> {
         if self.topologies.is_empty() {
             return Err("at least one topology is required".into());
+        }
+        if !self.hybrid_top_pct.is_finite()
+            || self.hybrid_top_pct <= 0.0
+            || self.hybrid_top_pct > 100.0
+        {
+            return Err(format!(
+                "hybrid_top_pct must be in (0, 100], got {}",
+                self.hybrid_top_pct
+            ));
         }
         match self.mode {
             SweepMode::Collective => {

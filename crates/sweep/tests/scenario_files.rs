@@ -73,3 +73,29 @@ fn custom_workload_scenario_loads_its_model_next_to_itself() {
     assert_eq!(w.layers().len(), 14, "embed + 12 blocks + head");
     assert_eq!(sc.workloads[1].to_string(), "transformer@model");
 }
+
+#[test]
+fn scaling_scenario_is_analytic_and_huge() {
+    let sc = load("scaling_analytic.toml");
+    assert_eq!(sc.mode, SweepMode::Collective);
+    assert_eq!(sc.fidelity, ace_sweep::Fidelity::Analytic);
+    // 7 topologies x 2 ops x 3 payloads x 3 engines x 3 mem x 2 sms x
+    // 3 sram x 2 fsms — a grid the exact tier could not sweep in CI.
+    assert_eq!(grid_len(&sc), 4536);
+    assert!(sc.topologies.iter().any(|t| t.nodes() == 512));
+}
+
+#[test]
+fn design_space_defaults_to_exact_fidelity() {
+    // The checked-in paper grids must keep regenerating through the
+    // event-driven executor unless a fidelity is requested explicitly.
+    for name in [
+        "design_space.toml",
+        "membw_sweep.toml",
+        "training_suite.toml",
+    ] {
+        let sc = load(name);
+        assert_eq!(sc.fidelity, ace_sweep::Fidelity::Exact, "{name}");
+        assert!((sc.hybrid_top_pct - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,361 @@
+//! The analytic fidelity tier: engine overheads + closed-form runs.
+//!
+//! This module is the bridge between the event-driven simulator and the
+//! α–β model in [`ace_collectives::analytic`]: it derives each engine's
+//! [`EndpointModel`] **from the same parameter structs the event-driven
+//! endpoints consume** (Table V/VI resource splits — `BaselineParams`,
+//! `AceEndpointParams`, `MemoryParams`, `BusParams`, `SmDriveModel`,
+//! `AceConfig`), so a change to the simulated hardware automatically
+//! moves the analytic tier too, and offers drop-in analytic counterparts
+//! of [`run_single_collective`](crate::run_single_collective) and the
+//! training simulator.
+//!
+//! Accuracy is tracked by the `validate` binary, which runs both tiers
+//! over the Fig. 9a grid and the training suite and checks the error
+//! table into `BENCH_analytic.json`.
+
+use ace_collectives::analytic::{estimate_collective, AnalyticEstimate, EndpointModel};
+use ace_collectives::{CollectiveOp, CollectivePlan};
+use ace_compute::{NpuParams, SmDriveModel};
+use ace_engine::AceConfig;
+use ace_mem::{BusParams, MemoryParams};
+use ace_net::{NetworkParams, TopologySpec};
+use ace_workloads::{AnalyticWalk, LoweringOptions, Program, Workload};
+
+use crate::collective_run::EngineKind;
+use crate::config::SystemConfig;
+
+/// Derives the α–β endpoint constants for a collective-mode engine.
+///
+/// This is where the simulator's engine overhead constants surface for
+/// the analytic tier: HBM channel widths, SM drive bandwidth, the
+/// NPU-AFI bus, the ACE DMA carve-out and SRAM/FSM design point.
+pub fn endpoint_model(engine: EngineKind) -> EndpointModel {
+    let freq = ace_simcore::npu_frequency();
+    let bus = BusParams::paper_default();
+    let bus_bpc = freq.bytes_per_cycle(bus.bandwidth_gbps);
+    match engine {
+        EngineKind::Ideal => EndpointModel::Ideal,
+        EngineKind::Baseline {
+            comm_mem_gbps,
+            comm_sms,
+        } => {
+            let mem = MemoryParams::paper_default(comm_mem_gbps);
+            let drive = SmDriveModel::paper_default();
+            EndpointModel::Baseline {
+                mem_bytes_per_cycle: freq.bytes_per_cycle(mem.comm_gbps),
+                drive_bytes_per_cycle: drive.drive_bytes_per_cycle(comm_sms),
+                bus_bytes_per_cycle: bus_bpc,
+            }
+        }
+        EngineKind::Ace { dma_mem_gbps } => ace_model(dma_mem_gbps, AceConfig::paper_default()),
+        EngineKind::AceDse {
+            dma_mem_gbps,
+            sram_mb,
+            fsms,
+        } => ace_model(dma_mem_gbps, AceConfig::with_dse_point(sram_mb, fsms)),
+    }
+}
+
+/// Derives the endpoint constants for a training-mode [`SystemConfig`]
+/// (the Table VI resource splits).
+pub fn config_endpoint_model(config: SystemConfig) -> EndpointModel {
+    match config {
+        SystemConfig::BaselineNoOverlap => endpoint_model(EngineKind::Baseline {
+            comm_mem_gbps: 900.0,
+            comm_sms: 80,
+        }),
+        SystemConfig::BaselineCommOpt => endpoint_model(EngineKind::Baseline {
+            comm_mem_gbps: 450.0,
+            comm_sms: 6,
+        }),
+        SystemConfig::BaselineCompOpt => endpoint_model(EngineKind::Baseline {
+            comm_mem_gbps: 128.0,
+            comm_sms: 2,
+        }),
+        SystemConfig::Ace => endpoint_model(EngineKind::Ace {
+            dma_mem_gbps: 128.0,
+        }),
+        SystemConfig::Ideal => EndpointModel::Ideal,
+    }
+}
+
+fn ace_model(dma_mem_gbps: f64, config: AceConfig) -> EndpointModel {
+    let freq = ace_simcore::npu_frequency();
+    let bus = BusParams::paper_default();
+    EndpointModel::Ace {
+        dma_bytes_per_cycle: freq.bytes_per_cycle(dma_mem_gbps),
+        bus_bytes_per_cycle: freq.bytes_per_cycle(bus.bandwidth_gbps),
+        sram_bytes: config.sram_bytes,
+        fsms: config.num_fsms,
+        fsm_bus_bytes: config.bus_width_bytes,
+    }
+}
+
+/// The analytic counterpart of a [`CollectiveRunReport`]
+/// (fractional-cycle precision; the sweep layer rounds).
+///
+/// [`CollectiveRunReport`]: crate::CollectiveRunReport
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticCollectiveReport {
+    /// Predicted completion time in cycles.
+    pub cycles: f64,
+    /// Predicted achieved per-NPU network bandwidth, GB/s.
+    pub achieved_gbps_per_npu: f64,
+    /// Predicted per-node HBM communication traffic, bytes.
+    pub mem_traffic_bytes: u64,
+    /// Predicted total fabric bytes.
+    pub network_bytes: u64,
+}
+
+/// Analytic estimate of one standalone collective — the α–β counterpart
+/// of [`run_single_collective`](crate::run_single_collective).
+pub fn analytic_collective_run(
+    topology: impl Into<TopologySpec>,
+    engine: EngineKind,
+    op: CollectiveOp,
+    payload_bytes: u64,
+) -> AnalyticCollectiveReport {
+    let spec = topology.into();
+    let net = NetworkParams::paper_default();
+    let plan = CollectivePlan::for_spec(op, spec);
+    let model = endpoint_model(engine);
+    let est = estimate_collective(&plan, &net, payload_bytes, &model);
+    report_from_estimate(&est, spec, &net)
+}
+
+fn report_from_estimate(
+    est: &AnalyticEstimate,
+    spec: TopologySpec,
+    net: &NetworkParams,
+) -> AnalyticCollectiveReport {
+    AnalyticCollectiveReport {
+        cycles: est.cycles,
+        achieved_gbps_per_npu: est.gbps_per_npu(net),
+        mem_traffic_bytes: est.mem_traffic_bytes_per_node.round() as u64,
+        network_bytes: (est.network_bytes_per_node * spec.nodes() as f64).round() as u64,
+    }
+}
+
+/// The analytic counterpart of an [`IterationReport`]
+/// (critical-path walk over the lowered [`Program`]).
+///
+/// [`IterationReport`]: crate::IterationReport
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticTrainingReport {
+    /// Predicted end-to-end time in cycles.
+    pub total_cycles: f64,
+    /// Predicted compute-busy cycles.
+    pub compute_cycles: f64,
+    /// Predicted exposed-communication cycles.
+    pub exposed_cycles: f64,
+    /// Predicted per-node HBM communication traffic, bytes.
+    pub mem_traffic_bytes: u64,
+    /// Predicted total fabric bytes.
+    pub network_bytes: u64,
+}
+
+/// Analytic estimate of a training run: lowers `workload` exactly like
+/// [`TrainingSim::new`](crate::TrainingSim::new) (same
+/// [`LoweringOptions`], same Fig. 12 graph transform, same carve-out and
+/// roofline kernel model), then walks the program's critical path with
+/// α–β collective durations instead of event-driven execution.
+pub fn analytic_training_run(
+    config: SystemConfig,
+    workload: Workload,
+    topology: impl Into<TopologySpec>,
+    iterations: u32,
+    optimized_embedding: bool,
+) -> AnalyticTrainingReport {
+    let spec = topology.into();
+    let opts = LoweringOptions {
+        iterations,
+        overlap: config.overlaps(),
+    };
+    let mut program = Program::lower(&workload, workload.parallelism(), &opts);
+    if optimized_embedding {
+        program.optimize_embedding();
+    }
+    analytic_program_run(config, &program, spec)
+}
+
+/// Analytic estimate of an already-lowered program (the critical-path
+/// scheduler behind [`analytic_training_run`]).
+pub fn analytic_program_run(
+    config: SystemConfig,
+    program: &Program,
+    topology: impl Into<TopologySpec>,
+) -> AnalyticTrainingReport {
+    let spec = topology.into();
+    let net = NetworkParams::paper_default();
+    let npu = NpuParams::paper_default();
+    let model = config_endpoint_model(config);
+    let (sms, mem_gbps) = match program.carveout() {
+        Some(c) => (
+            config.compute_sms().saturating_sub(c.sms).max(1),
+            (config.compute_mem_gbps() - c.mem_gbps).max(1.0),
+        ),
+        None => (config.compute_sms(), config.compute_mem_gbps()),
+    };
+
+    // Lowered programs repeat identical collectives (per-layer backward
+    // all-reduces × iterations); the estimate is a pure function of
+    // (op, bytes) for the fixed spec/model, so memoize instead of
+    // re-planning and re-enumerating routes per task.
+    let mut memo: std::collections::HashMap<(CollectiveOp, u64), AnalyticEstimate> =
+        std::collections::HashMap::new();
+    let mut mem_traffic = 0.0f64;
+    let mut network = 0.0f64;
+    let walk: AnalyticWalk = program.analytic_walk(
+        |kernel| npu.kernel_cycles(kernel, sms, mem_gbps),
+        |op, bytes| {
+            let est = *memo.entry((op, bytes)).or_insert_with(|| {
+                let plan = CollectivePlan::for_spec(op, spec);
+                estimate_collective(&plan, &net, bytes, &model)
+            });
+            mem_traffic += est.mem_traffic_bytes_per_node;
+            network += est.network_bytes_per_node * spec.nodes() as f64;
+            est.cycles
+        },
+    );
+    AnalyticTrainingReport {
+        total_cycles: walk.total_cycles,
+        compute_cycles: walk.compute_cycles,
+        exposed_cycles: walk.exposed_cycles,
+        mem_traffic_bytes: mem_traffic.round() as u64,
+        network_bytes: network.round() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_single_collective;
+    use ace_net::TorusShape;
+
+    const MB64: u64 = 64 << 20;
+
+    #[test]
+    fn engine_models_track_simulator_constants() {
+        let freq = ace_simcore::npu_frequency();
+        match endpoint_model(EngineKind::Baseline {
+            comm_mem_gbps: 450.0,
+            comm_sms: 6,
+        }) {
+            EndpointModel::Baseline {
+                mem_bytes_per_cycle,
+                drive_bytes_per_cycle,
+                ..
+            } => {
+                assert!((mem_bytes_per_cycle - freq.bytes_per_cycle(450.0)).abs() < 1e-9);
+                assert!((drive_bytes_per_cycle - 6.0 * 64.0).abs() < 1e-9);
+            }
+            other => panic!("wrong model {other:?}"),
+        }
+        match endpoint_model(EngineKind::AceDse {
+            dma_mem_gbps: 128.0,
+            sram_mb: 2,
+            fsms: 8,
+        }) {
+            EndpointModel::Ace {
+                sram_bytes, fsms, ..
+            } => {
+                assert_eq!(sram_bytes, 2 << 20);
+                assert_eq!(fsms, 8);
+            }
+            other => panic!("wrong model {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_models_match_table_vi() {
+        for config in SystemConfig::ALL {
+            let m = config_endpoint_model(config);
+            match config {
+                SystemConfig::Ideal => assert_eq!(m, EndpointModel::Ideal),
+                SystemConfig::Ace => assert!(matches!(m, EndpointModel::Ace { .. })),
+                _ => assert!(matches!(m, EndpointModel::Baseline { .. })),
+            }
+        }
+    }
+
+    #[test]
+    fn fig09a_grid_error_is_within_tolerance() {
+        // The headline acceptance bound, in-miniature: the analytic tier
+        // lands within 25 % of the exact executor on design-space points.
+        let shape = TorusShape::new(4, 2, 2).unwrap();
+        for (sram, fsms) in [(1, 16), (2, 8), (4, 16), (4, 4), (8, 20)] {
+            let engine = EngineKind::AceDse {
+                dma_mem_gbps: 128.0,
+                sram_mb: sram,
+                fsms,
+            };
+            let exact =
+                run_single_collective(shape, engine, CollectiveOp::AllReduce, MB64).completion;
+            let analytic =
+                analytic_collective_run(shape, engine, CollectiveOp::AllReduce, MB64).cycles;
+            let err = (analytic - exact.cycles() as f64).abs() / exact.cycles() as f64;
+            assert!(
+                err < 0.25,
+                "sram={sram} fsms={fsms}: {analytic} vs {} ({:.1}% off)",
+                exact.cycles(),
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn training_estimate_tracks_the_simulator() {
+        use crate::TrainingSim;
+        let shape = TorusShape::new(4, 2, 2).unwrap();
+        for config in [SystemConfig::Ace, SystemConfig::BaselineNoOverlap] {
+            let exact = TrainingSim::new(config, Workload::resnet50(), shape, 1, false).run();
+            let est = analytic_training_run(config, Workload::resnet50(), shape, 1, false);
+            // Compute is the shared roofline model: must agree exactly.
+            assert_eq!(
+                est.compute_cycles,
+                exact.compute_cycles() as f64,
+                "{config}"
+            );
+            let err = (est.total_cycles - exact.total_cycles() as f64).abs()
+                / exact.total_cycles() as f64;
+            assert!(
+                err < 0.35,
+                "{config}: analytic {} vs exact {} ({:.1}% off)",
+                est.total_cycles,
+                exact.total_cycles(),
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn no_communication_matches_exactly() {
+        // Degenerate case: a program without collectives is pure
+        // roofline compute, identical in both tiers.
+        use crate::TrainingSim;
+        use ace_compute::KernelDesc;
+        use ace_workloads::{Parallelism, TaskPhase};
+        let mut p = Program::new("compute-only", Parallelism::Data, 1);
+        for i in 0..4 {
+            p.add_compute(
+                KernelDesc::new(format!("k{i}"), 2.0e9, 1.0e8),
+                TaskPhase::Forward,
+                0,
+                vec![],
+            );
+        }
+        let shape = TorusShape::new(2, 1, 1).unwrap();
+        let exact = TrainingSim::from_program(
+            SystemConfig::Ace,
+            p.clone(),
+            shape,
+            NpuParams::paper_default(),
+            NetworkParams::paper_default(),
+        )
+        .run();
+        let est = analytic_program_run(SystemConfig::Ace, &p, shape);
+        assert_eq!(est.total_cycles, exact.total_cycles() as f64);
+        assert_eq!(est.exposed_cycles, 0.0);
+    }
+}

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 mod builder;
 mod collective_run;
 mod config;
@@ -45,6 +46,10 @@ mod executor;
 mod report;
 mod training;
 
+pub use analytic::{
+    analytic_collective_run, analytic_program_run, analytic_training_run, config_endpoint_model,
+    endpoint_model, AnalyticCollectiveReport, AnalyticTrainingReport,
+};
 pub use builder::{BuildError, SystemBuilder};
 pub use collective_run::{run_single_collective, CollectiveRunReport, EngineKind};
 pub use config::SystemConfig;

@@ -45,7 +45,8 @@ mod workload;
 
 pub use layer::{Layer, LayerComm};
 pub use program::{
-    ComputeCarveout, LoweringOptions, Program, Task, TaskId, TaskKind, TaskPhase, TaskRole,
+    AnalyticWalk, ComputeCarveout, LoweringOptions, Program, Task, TaskId, TaskKind, TaskPhase,
+    TaskRole,
 };
 pub use spec::{BuiltinWorkload, EmbeddingSpec, LayerSpec, WorkloadSpec};
 pub use workload::{EmbeddingStage, Parallelism, Workload};

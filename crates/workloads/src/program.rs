@@ -783,6 +783,79 @@ impl Program {
     }
 }
 
+/// The outcome of an [analytic walk](Program::analytic_walk): the same
+/// total = compute + exposed identity the event-driven scheduler reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AnalyticWalk {
+    /// End-to-end time in cycles (critical-path length).
+    pub total_cycles: f64,
+    /// Cycles the compute timeline spent in kernels.
+    pub compute_cycles: f64,
+    /// Cycles the timeline stalled on collectives (exposed communication).
+    pub exposed_cycles: f64,
+    /// Per-node bytes issued to the fabric across all collectives.
+    pub collective_bytes: u64,
+}
+
+impl Program {
+    /// Walks the schedule with closed-form task durations — the analytic
+    /// tier's critical-path scheduler. Mirrors the event-driven
+    /// scheduler's execution model exactly (one serial compute timeline;
+    /// collectives issued non-blocking at the current instant; compute
+    /// and barriers stalling on their collective dependencies) but
+    /// replaces the collective executor with `collective_cycles` and the
+    /// NPU roofline with `compute_cycles`, and approximates the shared
+    /// fabric as a single serializing resource: a collective issued while
+    /// an earlier one is still draining starts after it.
+    ///
+    /// The walk therefore computes the critical path of the DAG under
+    /// those durations, in one pass over the schedule.
+    pub fn analytic_walk(
+        &self,
+        mut compute_cycles: impl FnMut(&KernelDesc) -> u64,
+        mut collective_cycles: impl FnMut(CollectiveOp, u64) -> f64,
+    ) -> AnalyticWalk {
+        let mut finish: Vec<f64> = vec![0.0; self.tasks.len()];
+        let mut t: f64 = 0.0; // compute-timeline frontier
+        let mut net_free: f64 = 0.0; // fabric single-server frontier
+        let mut walk = AnalyticWalk::default();
+        for (id, task) in self.iter_scheduled() {
+            match task.kind() {
+                TaskKind::Collective { op, bytes } => {
+                    let start = t.max(net_free);
+                    let done = start + collective_cycles(*op, *bytes);
+                    finish[id.index()] = done;
+                    net_free = done;
+                    walk.collective_bytes += bytes;
+                }
+                TaskKind::Compute(_) | TaskKind::Barrier => {
+                    for &dep in task.deps() {
+                        let done = finish[dep.index()];
+                        if done > t {
+                            walk.exposed_cycles += done - t;
+                            t = done;
+                        }
+                    }
+                    if let TaskKind::Compute(kernel) = task.kind() {
+                        let cycles = compute_cycles(kernel) as f64;
+                        walk.compute_cycles += cycles;
+                        t += cycles;
+                    }
+                    finish[id.index()] = t;
+                }
+            }
+        }
+        // Drain outstanding collectives: the next iteration could not
+        // start before they finish, so the tail stall is exposed.
+        if net_free > t {
+            walk.exposed_cycles += net_free - t;
+            t = net_free;
+        }
+        walk.total_cycles = t;
+        walk
+    }
+}
+
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -990,6 +1063,70 @@ mod tests {
         let mut dup = p.clone();
         dup.schedule.push(c0);
         assert!(dup.validate().is_err());
+    }
+
+    #[test]
+    fn analytic_walk_holds_the_total_identity() {
+        // total = compute + exposed, exactly, for every lowering.
+        for (w, par) in [
+            (Workload::resnet50(), Parallelism::Data),
+            (Workload::dlrm(16), Parallelism::Hybrid),
+            (Workload::transformer_lm(), Parallelism::Model),
+        ] {
+            let p = Program::lower(&w, par, &LoweringOptions::default());
+            let walk = p.analytic_walk(
+                |k| (k.flops() / 1e6).ceil() as u64 + 1,
+                |_, bytes| bytes as f64 / 20.0,
+            );
+            let sum = walk.compute_cycles + walk.exposed_cycles;
+            assert!(
+                (walk.total_cycles - sum).abs() < 1e-6,
+                "{par:?}: total {} != compute+exposed {sum}",
+                walk.total_cycles
+            );
+            assert_eq!(walk.collective_bytes, p.total_collective_bytes());
+        }
+    }
+
+    #[test]
+    fn analytic_walk_without_collectives_is_pure_compute() {
+        let mut p = Program::new("compute-only", Parallelism::Data, 1);
+        let k = KernelDesc::new("k", 1.0e9, 1.0e7);
+        for _ in 0..5 {
+            p.add_compute(k.clone(), TaskPhase::Forward, 0, vec![]);
+        }
+        let walk = p.analytic_walk(|_| 100, |_, _| panic!("no collectives"));
+        assert_eq!(walk.total_cycles, 500.0);
+        assert_eq!(walk.exposed_cycles, 0.0);
+        assert_eq!(walk.collective_bytes, 0);
+    }
+
+    #[test]
+    fn analytic_walk_serializes_the_fabric() {
+        // Two collectives issued back-to-back share the fabric: the
+        // second starts when the first drains.
+        let mut p = Program::new("two-ars", Parallelism::Data, 1);
+        let k = KernelDesc::new("k", 1.0, 1.0);
+        let c = p.add_compute(k.clone(), TaskPhase::Forward, 0, vec![]);
+        let a = p.add_collective(
+            CollectiveOp::AllReduce,
+            100,
+            TaskPhase::Backward,
+            0,
+            vec![c],
+        );
+        let b = p.add_collective(
+            CollectiveOp::AllReduce,
+            100,
+            TaskPhase::Backward,
+            0,
+            vec![c],
+        );
+        let _bar = p.add_barrier(TaskPhase::Backward, 0, vec![a, b]);
+        let walk = p.analytic_walk(|_| 10, |_, bytes| bytes as f64);
+        // 10 compute + 100 (first) + 100 (queued second) = 210.
+        assert_eq!(walk.total_cycles, 210.0);
+        assert_eq!(walk.exposed_cycles, 200.0);
     }
 
     #[test]
