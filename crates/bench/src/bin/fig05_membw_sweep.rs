@@ -8,6 +8,10 @@
 //! The sweep itself is a thin [`ace_sweep::Scenario`] (the same grid as
 //! `examples/scenarios/membw_sweep.toml`); this binary only does the
 //! figure-specific pivoting and commentary.
+//!
+//! `--trace PATH` additionally re-runs the paper's headline cell (ACE at
+//! 128 GB/s on the 16-NPU torus) with event recording on and writes a
+//! Chrome/Perfetto `trace_event` JSON.
 
 use ace_bench::{emit_tsv, header, subheader};
 use ace_net::{TopologySpec, TorusShape};
@@ -107,4 +111,26 @@ fn main() {
     println!();
     println!("Paper reference: baseline ≈450 GB/s and ACE ≈128 GB/s for 90% of an");
     println!("ideal ~300 GB/s, i.e. a ≈3.5x memory-bandwidth reduction.");
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--trace" {
+            let path = argv.next().expect("--trace needs a path");
+            write_trace(&path);
+            println!("wrote trace {path} (load at https://ui.perfetto.dev)");
+        }
+    }
+}
+
+/// Records the headline cell — ACE at 128 GB/s on the 16-NPU torus — and
+/// writes it as Chrome `trace_event` JSON.
+fn write_trace(path: &str) {
+    let shape: TopologySpec = TorusShape::new(4, 2, 2).expect("valid shape").into();
+    let (_, tracer) = ace_system::run_single_collective_traced(
+        shape,
+        EngineSpec::ace(128.0).to_engine_kind(),
+        ace_collectives::CollectiveOp::AllReduce,
+        PAYLOAD,
+    );
+    std::fs::write(path, ace_trace::chrome::to_chrome_json(&tracer)).expect("write trace");
 }

@@ -213,7 +213,14 @@ fn run() -> Result<(), String> {
         label: args.baseline_label.clone(),
         points_per_sec: pps,
     });
-    let json = perf_json::to_json(mode, args.threads, args.runs, &entries, baseline.as_ref());
+    let json = perf_json::to_json(
+        mode,
+        args.threads,
+        args.runs,
+        &perf_json::BuildInfo::capture(),
+        &entries,
+        baseline.as_ref(),
+    );
     std::fs::write(&args.out, &json).map_err(|e| format!("write {}: {e}", args.out))?;
     if !args.quiet {
         println!("wrote {}", args.out);

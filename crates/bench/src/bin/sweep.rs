@@ -12,10 +12,12 @@
 //! sweep scenario.toml --cache-file sweep.cache   # reuse results across processes
 //! ```
 
+use std::io::{IsTerminal, Write};
 use std::process::ExitCode;
 
 use ace_bench::{header, subheader};
-use ace_sweep::{persist, report, Fidelity, RunnerOptions, Scenario, SweepRunner};
+use ace_sweep::{persist, report, Fidelity, PointKind, RunnerOptions, Scenario, SweepRunner};
+use ace_trace::{chrome, RecordingTracer};
 
 struct Args {
     scenario_path: String,
@@ -25,10 +27,22 @@ struct Args {
     cache_file: Option<String>,
     fidelity: Option<Fidelity>,
     quiet: bool,
+    progress: Option<bool>,
+    trace: Option<String>,
+    attribution: bool,
 }
 
 const USAGE: &str = "usage: sweep <scenario.toml> [--threads N] [--csv PATH] [--json PATH] \
                      [--cache-file PATH] [--fidelity exact|analytic|hybrid] [--quiet]\n\
+                     \x20      [--progress | --no-progress] [--trace PATH] [--attribution]\n\
+                     \n\
+                     --progress renders a live `cells done/total, pts/s, ETA` line on\n\
+                     stderr (default: on when stderr is a terminal; --quiet or\n\
+                     --no-progress disables it). --trace re-runs the first grid cell\n\
+                     with event recording enabled and writes a Chrome/Perfetto\n\
+                     trace_event JSON (load it at https://ui.perfetto.dev or\n\
+                     chrome://tracing). --attribution appends the per-row bottleneck\n\
+                     decomposition columns (attr_*_cycles) to --csv/--json output.\n\
                      \n\
                      --fidelity (or the scenario key `fidelity`) picks the simulation\n\
                      tier: `exact` runs the event-driven executor for every cell (the\n\
@@ -56,6 +70,9 @@ fn parse_args() -> Result<Args, String> {
     let mut cache_file = None;
     let mut fidelity = None;
     let mut quiet = false;
+    let mut progress = None;
+    let mut trace = None;
+    let mut attribution = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -71,6 +88,10 @@ fn parse_args() -> Result<Args, String> {
                 fidelity = Some(v.parse::<Fidelity>()?);
             }
             "--quiet" => quiet = true,
+            "--progress" => progress = Some(true),
+            "--no-progress" => progress = Some(false),
+            "--trace" => trace = Some(argv.next().ok_or("--trace needs a path")?),
+            "--attribution" => attribution = true,
             "--help" | "-h" => {
                 // Requested help is not an error: usage on stdout, exit 0.
                 println!("{USAGE}");
@@ -95,7 +116,76 @@ fn parse_args() -> Result<Args, String> {
         cache_file,
         fidelity,
         quiet,
+        progress,
+        trace,
+        attribution,
     })
+}
+
+/// Re-runs the first grid cell with a [`RecordingTracer`] and renders the
+/// events as Chrome `trace_event` JSON. One representative cell keeps the
+/// file loadable; tracing the whole grid would interleave unrelated runs
+/// on the same tracks.
+fn trace_first_point(scenario: &Scenario) -> Result<String, String> {
+    let points = ace_sweep::expand(scenario);
+    let point = points.first().ok_or("empty grid: nothing to trace")?;
+    let tracer = match &point.kind {
+        PointKind::Collective {
+            engine,
+            op,
+            payload_bytes,
+        } => {
+            let (_, tracer) = ace_system::run_single_collective_traced(
+                point.topology,
+                engine.to_engine_kind(),
+                *op,
+                *payload_bytes,
+            );
+            tracer
+        }
+        PointKind::Training {
+            config,
+            workload,
+            iterations,
+            optimized_embedding,
+        } => {
+            let sim = ace_system::SystemBuilder::new()
+                .topology_spec(point.topology)
+                .config(*config)
+                .workload(workload.instantiate(point.topology.nodes()))
+                .iterations(*iterations)
+                .optimized_embedding(*optimized_embedding)
+                .build_traced(RecordingTracer::new())
+                .map_err(|e| format!("trace point: {e}"))?;
+            let (_, tracer) = sim.run_with_tracer();
+            tracer
+        }
+    };
+    if tracer.dropped() > 0 {
+        eprintln!(
+            "warning: trace arena overflowed, {} events dropped",
+            tracer.dropped()
+        );
+    }
+    Ok(chrome::to_chrome_json(&tracer))
+}
+
+/// The in-place progress line: `cells done/total, pts/s, ETA`. Rendered
+/// on stderr so piped stdout output stays clean; a trailing newline is
+/// emitted when a batch finishes.
+fn render_progress(start: std::time::Instant, done: usize, total: usize) {
+    let secs = start.elapsed().as_secs_f64();
+    let pps = done as f64 / secs.max(1e-9);
+    let eta = (total.saturating_sub(done)) as f64 / pps.max(1e-9);
+    let mut err = std::io::stderr().lock();
+    let _ = write!(
+        err,
+        "\rcells {done}/{total}, {pps:.1} pts/s, ETA {eta:.0}s   "
+    );
+    if done == total {
+        let _ = writeln!(err);
+    }
+    let _ = err.flush();
 }
 
 fn run() -> Result<(), String> {
@@ -131,12 +221,34 @@ fn run() -> Result<(), String> {
         }
         None => SweepRunner::new(),
     };
-    let outcome = runner.run(
+    // Progress defaults on only for interactive stderr; --quiet wins.
+    let progress_on = !args.quiet
+        && args
+            .progress
+            .unwrap_or_else(|| std::io::stderr().is_terminal());
+    let start = std::time::Instant::now();
+    let progress: &(dyn Fn(usize, usize) + Sync) = if progress_on {
+        &move |done, total| render_progress(start, done, total)
+    } else {
+        &|_, _| {}
+    };
+    let outcome = runner.run_with_progress(
         &scenario,
         RunnerOptions {
             threads: args.threads,
         },
+        progress,
     )?;
+    // An event scheduled in the past is clamped, not dropped — the run
+    // finishes, but its timing is suspect. Surface it instead of burying
+    // it in a CSV column nobody reads.
+    let clamped = outcome.total_past_schedules();
+    if clamped > 0 {
+        eprintln!(
+            "warning: {clamped} event(s) were scheduled in the past and clamped; \
+             affected rows carry nonzero past_schedules"
+        );
+    }
     if let Some(path) = &args.cache_file {
         persist::save_cache(runner.cache(), path)?;
         if !args.quiet {
@@ -190,16 +302,32 @@ fn run() -> Result<(), String> {
     }
 
     if let Some(path) = &args.csv {
-        std::fs::write(path, report::to_csv(&outcome)).map_err(|e| format!("write {path}: {e}"))?;
+        let csv = if args.attribution {
+            report::to_csv_with_attribution(&outcome)
+        } else {
+            report::to_csv(&outcome)
+        };
+        std::fs::write(path, csv).map_err(|e| format!("write {path}: {e}"))?;
         if !args.quiet {
             println!("wrote {path}");
         }
     }
     if let Some(path) = &args.json {
-        std::fs::write(path, report::to_json(&outcome))
-            .map_err(|e| format!("write {path}: {e}"))?;
+        let json = if args.attribution {
+            report::to_json_with_attribution(&outcome)
+        } else {
+            report::to_json(&outcome)
+        };
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
         if !args.quiet {
             println!("wrote {path}");
+        }
+    }
+    if let Some(path) = &args.trace {
+        std::fs::write(path, trace_first_point(&scenario)?)
+            .map_err(|e| format!("write {path}: {e}"))?;
+        if !args.quiet {
+            println!("wrote trace {path} (load at https://ui.perfetto.dev)");
         }
     }
     Ok(())

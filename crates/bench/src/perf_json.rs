@@ -31,6 +31,36 @@ impl fmt::Display for BenchMode {
     }
 }
 
+/// The toolchain fingerprint embedded in benchmark JSON. Perf numbers
+/// are only comparable between identical compilers and flags, so the
+/// emitter records both — a baseline produced by a different toolchain
+/// is visible in the file instead of silently skewing the gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// `rustc -V` of the toolchain (`"unknown"` when rustc is absent).
+    pub rustc: String,
+    /// The `RUSTFLAGS` the process ran under (empty when unset).
+    pub rustflags: String,
+}
+
+impl BuildInfo {
+    /// Captures the runtime toolchain: `rustc -V` output (trimmed;
+    /// `"unknown"` if rustc is not on `PATH`) plus the `RUSTFLAGS`
+    /// environment variable.
+    pub fn capture() -> BuildInfo {
+        let rustc = std::process::Command::new("rustc")
+            .arg("-V")
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        let rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+        BuildInfo { rustc, rustflags }
+    }
+}
+
 /// One timed scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
@@ -77,6 +107,7 @@ pub fn to_json(
     mode: BenchMode,
     threads: usize,
     runs: usize,
+    info: &BuildInfo,
     entries: &[BenchEntry],
     baseline: Option<&BenchBaseline>,
 ) -> String {
@@ -86,6 +117,11 @@ pub fn to_json(
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"runs\": {runs},\n"));
+    out.push_str(&format!("  \"rustc\": \"{}\",\n", json_escape(&info.rustc)));
+    out.push_str(&format!(
+        "  \"rustflags\": \"{}\",\n",
+        json_escape(&info.rustflags)
+    ));
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };
@@ -213,6 +249,13 @@ pub fn check_regression(
 mod tests {
     use super::*;
 
+    fn info() -> BuildInfo {
+        BuildInfo {
+            rustc: "rustc 1.80.0 (test)".into(),
+            rustflags: "-C target-cpu=native".into(),
+        }
+    }
+
     fn entries() -> Vec<BenchEntry> {
         vec![
             BenchEntry {
@@ -234,13 +277,31 @@ mod tests {
     fn smoke_mode_is_threaded_through() {
         // Regression lock for the `--smoke` label: the emitted mode must
         // be exactly what the caller passed, never a default.
-        let json = to_json(BenchMode::Smoke, 1, 1, &entries(), None);
+        let json = to_json(BenchMode::Smoke, 1, 1, &info(), &entries(), None);
         assert!(json.contains("\"mode\": \"smoke\""), "{json}");
         assert!(!json.contains("\"mode\": \"full\""), "{json}");
-        let json = to_json(BenchMode::Full, 2, 3, &entries(), None);
+        let json = to_json(BenchMode::Full, 2, 3, &info(), &entries(), None);
         assert!(json.contains("\"mode\": \"full\""), "{json}");
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"runs\": 3"));
+    }
+
+    #[test]
+    fn toolchain_fingerprint_is_recorded() {
+        let json = to_json(BenchMode::Smoke, 1, 1, &info(), &entries(), None);
+        assert!(
+            json.contains("\"rustc\": \"rustc 1.80.0 (test)\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"rustflags\": \"-C target-cpu=native\""),
+            "{json}"
+        );
+        // Captured info is always populated, even without rustc/RUSTFLAGS.
+        let captured = BuildInfo::capture();
+        assert!(!captured.rustc.is_empty());
+        // And the reader tolerates the new fields.
+        assert_eq!(read_entries(&json).unwrap().len(), 2);
     }
 
     #[test]
@@ -249,7 +310,7 @@ mod tests {
             label: Some("seed".into()),
             points_per_sec: 230.6,
         };
-        let json = to_json(BenchMode::Smoke, 1, 1, &entries(), Some(&b));
+        let json = to_json(BenchMode::Smoke, 1, 1, &info(), &entries(), Some(&b));
         assert!(json.contains("\"label\": \"seed\""));
         // 461.2 / 230.6 = 2.0.
         assert!(json.contains("\"speedup\": 2.000"), "{json}");
@@ -257,7 +318,7 @@ mod tests {
 
     #[test]
     fn emitter_and_reader_round_trip() {
-        let json = to_json(BenchMode::Smoke, 1, 1, &entries(), None);
+        let json = to_json(BenchMode::Smoke, 1, 1, &info(), &entries(), None);
         let read = read_entries(&json).unwrap();
         assert_eq!(read.len(), 2);
         assert_eq!(read[0].0, "fig09a-design-space-smoke");

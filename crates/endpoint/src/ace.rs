@@ -10,6 +10,7 @@
 use ace_engine::{AceConfig, AceState, DmaEngine};
 use ace_mem::{AfiBus, BusParams, EndpointMemory, MemoryParams};
 use ace_simcore::SimTime;
+use ace_trace::PipeBusy;
 
 use crate::traits::CollectiveEngine;
 
@@ -50,6 +51,8 @@ pub struct AceEndpoint {
     /// `log2(bus_width_bytes)` when the width is a power of two: lets the
     /// per-step FSM-cycle computation shift instead of divide.
     bus_width_shift: Option<u32>,
+    /// Per-pipe busy-cycle totals, accumulated from the grants above.
+    pipes: PipeBusy,
 }
 
 impl AceEndpoint {
@@ -67,6 +70,7 @@ impl AceEndpoint {
             tx_dma: DmaEngine::paper_default(),
             rx_dma: DmaEngine::paper_default(),
             bus_width_shift,
+            pipes: PipeBusy::default(),
         }
     }
 
@@ -102,6 +106,9 @@ impl CollectiveEngine for AceEndpoint {
         let mem = self.mem.comm_read(now, bytes);
         let dma = self.tx_dma.transfer(now, bytes);
         let bus = self.bus.transfer(now, bytes);
+        self.pipes.hbm += mem.service();
+        self.pipes.dma += dma.service();
+        self.pipes.bus += bus.service();
         mem.end.max(dma.end).max(bus.end)
     }
 
@@ -109,6 +116,7 @@ impl CollectiveEngine for AceEndpoint {
         let fsm = self.ace.fsm_dispatch(phase, now, self.fsm_cycles(bytes));
         // Read the message out of SRAM into the port buffer.
         let port = self.ace.sram_copy(now, bytes);
+        self.pipes.proc += fsm.service() + port.service();
         fsm.end.max(port.end)
     }
 
@@ -116,12 +124,14 @@ impl CollectiveEngine for AceEndpoint {
         let fsm = self.ace.fsm_dispatch(phase, now, self.fsm_cycles(bytes));
         // Two SRAM reads + ALU reduce; result streams to the port buffer.
         let red = self.ace.reduce(now, bytes);
+        self.pipes.proc += fsm.service() + red.service();
         fsm.end.max(red.end)
     }
 
     fn reduce_and_store(&mut self, now: SimTime, bytes: u64, phase: usize) -> SimTime {
         let fsm = self.ace.fsm_dispatch(phase, now, self.fsm_cycles(bytes));
         let red = self.ace.reduce(now, bytes);
+        self.pipes.proc += fsm.service() + red.service();
         fsm.end.max(red.end)
     }
 
@@ -130,6 +140,7 @@ impl CollectiveEngine for AceEndpoint {
         // the SRAM port (no bus crossing: ACE sits beside the AFI).
         let _ = phase;
         let port = self.ace.sram_copy(now, bytes);
+        self.pipes.proc += port.service();
         port.end
     }
 
@@ -140,6 +151,7 @@ impl CollectiveEngine for AceEndpoint {
         // chunk" (Section V).
         let fsm = self.ace.fsm_dispatch(phase, now, self.fsm_cycles(bytes));
         let port = self.ace.sram_copy(now, 2 * bytes);
+        self.pipes.proc += fsm.service() + port.service();
         fsm.end.max(port.end)
     }
 
@@ -148,6 +160,9 @@ impl CollectiveEngine for AceEndpoint {
         let dma = self.rx_dma.transfer(now, bytes);
         let bus = self.bus.transfer(now, bytes);
         let mem = self.mem.comm_write(now, bytes);
+        self.pipes.dma += dma.service();
+        self.pipes.bus += bus.service();
+        self.pipes.hbm += mem.service();
         dma.end.max(bus.end).max(mem.end)
     }
 
@@ -169,6 +184,10 @@ impl CollectiveEngine for AceEndpoint {
 
     fn mem_traffic_bytes(&self) -> u64 {
         self.mem.comm_bytes()
+    }
+
+    fn pipe_busy(&self) -> PipeBusy {
+        self.pipes
     }
 }
 
@@ -234,6 +253,19 @@ mod tests {
             ta < tb,
             "ACE step ({ta}) must beat the 128 GB/s baseline ({tb})"
         );
+    }
+
+    #[test]
+    fn pipe_busy_accumulates_per_pipe() {
+        let mut ep = endpoint();
+        assert_eq!(ep.pipe_busy(), ace_trace::PipeBusy::default());
+        ep.chunk_inject(SimTime::ZERO, 1 << 20);
+        let after_inject = ep.pipe_busy();
+        assert!(after_inject.hbm > 0 && after_inject.dma > 0 && after_inject.bus > 0);
+        assert_eq!(after_inject.proc, 0, "inject uses no ACE processing");
+        ep.reduce_and_send(SimTime::ZERO, 64 * 1024, 0);
+        assert!(ep.pipe_busy().proc > 0, "ring steps run on ACE pipes");
+        assert_eq!(ep.pipe_busy().hbm, after_inject.hbm, "no HBM in steps");
     }
 
     #[test]

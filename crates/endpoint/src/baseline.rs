@@ -11,6 +11,7 @@
 use ace_compute::SmDriveModel;
 use ace_mem::{AfiBus, BusParams, EndpointMemory, MemoryParams};
 use ace_simcore::{BandwidthServer, SimTime};
+use ace_trace::PipeBusy;
 
 use crate::traits::CollectiveEngine;
 
@@ -73,6 +74,8 @@ pub struct BaselineEngine {
     mem: EndpointMemory,
     bus: AfiBus,
     sm_drive: BandwidthServer,
+    /// Per-pipe busy-cycle totals, accumulated from the grants above.
+    pipes: PipeBusy,
 }
 
 impl BaselineEngine {
@@ -87,6 +90,7 @@ impl BaselineEngine {
             mem,
             bus,
             sm_drive,
+            pipes: PipeBusy::default(),
         }
     }
 
@@ -110,6 +114,9 @@ impl BaselineEngine {
         let mem = self.mem.comm_read(now, read_bytes);
         let drive = self.sm_drive.request(now, send_bytes);
         let bus = self.bus.transfer(now, send_bytes);
+        self.pipes.hbm += mem.service();
+        self.pipes.proc += drive.service();
+        self.pipes.bus += bus.service();
         mem.end.max(drive.end).max(bus.end)
     }
 }
@@ -138,6 +145,8 @@ impl CollectiveEngine for BaselineEngine {
         let rd = self.mem.comm_read(now, 2 * bytes);
         let wr = self.mem.comm_write(now, bytes);
         let drive = self.sm_drive.request(now, bytes);
+        self.pipes.hbm += rd.service() + wr.service();
+        self.pipes.proc += drive.service();
         rd.end.max(wr.end).max(drive.end)
     }
 
@@ -145,6 +154,8 @@ impl CollectiveEngine for BaselineEngine {
         // Arriving data crosses the bus and is written to HBM.
         let bus = self.bus.transfer(now, bytes);
         let g = self.mem.comm_write(now, bytes);
+        self.pipes.bus += bus.service();
+        self.pipes.hbm += g.service();
         bus.end.max(g.end)
     }
 
@@ -154,6 +165,7 @@ impl CollectiveEngine for BaselineEngine {
         // out (Section V) — one write plus one read, then drive + bus.
         let write = self.mem.comm_write(now, bytes);
         let out = self.outbound(now, bytes, bytes);
+        self.pipes.hbm += write.service();
         write.end.max(out)
     }
 
@@ -171,6 +183,10 @@ impl CollectiveEngine for BaselineEngine {
 
     fn mem_traffic_bytes(&self) -> u64 {
         self.mem.comm_bytes()
+    }
+
+    fn pipe_busy(&self) -> PipeBusy {
+        self.pipes
     }
 }
 
@@ -234,6 +250,16 @@ mod tests {
         let mut e = BaselineEngine::new(BaselineParams::comm_opt());
         e.store_and_forward(SimTime::ZERO, 1000, 0);
         assert_eq!(e.mem_traffic_bytes(), 2000);
+    }
+
+    #[test]
+    fn pipe_busy_accumulates_per_pipe() {
+        let mut e = BaselineEngine::new(BaselineParams::comp_opt());
+        assert_eq!(e.pipe_busy(), PipeBusy::default());
+        e.reduce_and_send(SimTime::ZERO, 1 << 20, 0);
+        let p = e.pipe_busy();
+        assert!(p.hbm > 0 && p.proc > 0 && p.bus > 0);
+        assert_eq!(p.dma, 0, "the SM-driven baseline has no DMA engines");
     }
 
     #[test]

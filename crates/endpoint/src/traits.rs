@@ -1,6 +1,7 @@
 //! The engine interface consumed by the collective executor.
 
 use ace_simcore::SimTime;
+use ace_trace::PipeBusy;
 
 /// The per-endpoint operations a collective's execution decomposes into.
 ///
@@ -64,6 +65,15 @@ pub trait CollectiveEngine {
     /// Bytes of HBM traffic this engine has generated (reads + writes),
     /// for the memory-bandwidth accounting behind Fig. 5.
     fn mem_traffic_bytes(&self) -> u64;
+
+    /// Integer busy-cycle totals per endpoint pipe (HBM, DMA, NPU-AFI
+    /// bus, processing), accumulated from the grants this engine's
+    /// servers hand out. Engines that model no contended pipes (the
+    /// ideal endpoint) report all-zero — the attribution report then
+    /// charges their communication share to `other`.
+    fn pipe_busy(&self) -> PipeBusy {
+        PipeBusy::default()
+    }
 }
 
 /// Forwarding impl so a boxed engine is itself an engine: generic
@@ -117,5 +127,9 @@ impl CollectiveEngine for Box<dyn CollectiveEngine> {
 
     fn mem_traffic_bytes(&self) -> u64 {
         (**self).mem_traffic_bytes()
+    }
+
+    fn pipe_busy(&self) -> PipeBusy {
+        (**self).pipe_busy()
     }
 }

@@ -218,6 +218,16 @@ impl Network {
         self.meter.window_end()
     }
 
+    /// Total busy cycles credited to the per-link [`BucketCursor`]
+    /// meters: the sum over every transmit grant of its integer
+    /// `end - start` wire occupancy, with no overlap merging. This is
+    /// the fabric-side ground truth the trace layer reconciles against —
+    /// a recording tracer that captures every transmit grant must sum to
+    /// exactly this value.
+    pub fn util_busy_total_cycles(&self) -> f64 {
+        self.util_series.total()
+    }
+
     /// Per-bucket fraction of links busy (Fig. 10's network-utilization
     /// metric: the share of links scheduling a flit in a cycle).
     pub fn utilization_series(&self) -> Vec<f64> {
@@ -313,6 +323,23 @@ mod tests {
             assert!((0.0..=1.0).contains(&u));
         }
         assert!(net.mean_utilization(net.window_end()) > 0.0);
+    }
+
+    #[test]
+    fn util_busy_total_matches_grant_sum() {
+        // The bucket-meter total is exactly the sum of the integer wire
+        // grants — the identity the trace conservation tests lean on.
+        let mut net = small_net();
+        let mut grant_sum = 0u64;
+        for node in 0..16 {
+            for port in Port::ALL {
+                for bytes in [4096u64, 64 * 1024, 1 << 20] {
+                    let out = net.transmit(SimTime::ZERO, NodeId(node), port, bytes);
+                    grant_sum += out.grant.service();
+                }
+            }
+        }
+        assert_eq!(net.util_busy_total_cycles(), grant_sum as f64);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     past_schedules: u64,
+    pops: u64,
 }
 
 /// Heap arity: the four children of a node occupy one 64-byte cache line
@@ -58,6 +59,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             past_schedules: 0,
+            pops: 0,
         }
     }
 
@@ -70,6 +72,13 @@ impl<E> EventQueue<E> {
     /// queue's current time — always zero in a correct simulation.
     pub fn past_schedules(&self) -> u64 {
         self.past_schedules
+    }
+
+    /// Total events delivered so far — the dispatch count
+    /// instrumentation uses for sampling cadence (e.g. a queue-depth
+    /// sample every N pops) without keeping its own counter.
+    pub fn pops(&self) -> u64 {
+        self.pops
     }
 
     /// Returns the time of the next pending event without popping it.
@@ -163,6 +172,7 @@ impl<E: Copy> EventQueue<E> {
         }
         let time = key_time(key);
         self.now = time;
+        self.pops += 1;
         Some((time, event))
     }
 }
@@ -266,5 +276,18 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pops_count_deliveries() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.pops(), 0);
+        q.schedule(SimTime::from_cycles(1), ());
+        q.schedule(SimTime::from_cycles(2), ());
+        q.pop();
+        assert_eq!(q.pops(), 1);
+        q.pop();
+        assert!(q.pop().is_none());
+        assert_eq!(q.pops(), 2, "empty pops do not count");
     }
 }

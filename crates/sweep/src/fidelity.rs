@@ -448,6 +448,7 @@ mod tests {
             compute_us: 0.0,
             exposed_comm_us: 0.0,
             past_schedules: 0,
+            attribution: ace_trace::Attribution::default(),
         }
     }
 

@@ -56,7 +56,9 @@ pub use ace_toml as toml;
 pub use fidelity::{Fidelity, Tier};
 pub use grid::{expand, grid_len, PointKind, RunPoint};
 pub use persist::{cache_from_str, cache_to_string, load_cache, save_cache, CACHE_HEADER};
-pub use report::{summarize, to_csv, to_json, AxisSummary};
+pub use report::{
+    summarize, to_csv, to_csv_with_attribution, to_json, to_json_with_attribution, AxisSummary,
+};
 pub use runner::{
     execute, execute_analytic, execute_tier, run_scenario, Cache, Metrics, RunResult,
     RunnerOptions, SweepOutcome, SweepRunner,

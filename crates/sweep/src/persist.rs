@@ -7,14 +7,16 @@
 //! deterministic, so a cached row is exactly what a fresh run would
 //! produce.
 //!
-//! Format (`v2`; the header also pins the simulator version that wrote
+//! Format (`v3`; the header also pins the simulator version that wrote
 //! the file — see [`CACHE_HEADER`]). The leading `fidelity` cell keys the
 //! row to its execution tier, so an α–β estimate can never be served
-//! where an event-driven result is expected:
+//! where an event-driven result is expected. The trailing seven cells
+//! are the bottleneck-attribution buckets (cycles); the attribution
+//! total is not stored — it always equals `completion_cycles`:
 //!
 //! ```text
-//! # ace-sweep-cache v2 sim-0.1.0
-//! fidelity,kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,op,payload_bytes,config,workload,iterations,optimized_embedding,time_us,completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,exposed_comm_us,past_schedules
+//! # ace-sweep-cache v3 sim-0.1.0
+//! fidelity,kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,op,payload_bytes,config,workload,iterations,optimized_embedding,time_us,completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,exposed_comm_us,past_schedules,attr_compute,attr_network,attr_hbm,attr_dma,attr_bus,attr_proc,attr_other
 //! exact,collective,4x2x2,ace,128,,4,16,all-reduce,67108864,,,,,12.3,15314,…
 //! analytic,training,4x2x2,,,,,,,,ACE,resnet50,2,0,…
 //! ```
@@ -39,13 +41,14 @@ use crate::scenario::{parse_op, EngineSpec, WorkloadSel};
 /// from a different simulator version is rejected instead of silently
 /// serving stale results. Bump the workspace version whenever a change
 /// alters simulation results.
-pub const CACHE_HEADER: &str = concat!("# ace-sweep-cache v2 sim-", env!("CARGO_PKG_VERSION"));
+pub const CACHE_HEADER: &str = concat!("# ace-sweep-cache v3 sim-", env!("CARGO_PKG_VERSION"));
 
 /// Column names of the cache file (documentation line 2 of the file).
 const COLUMNS: &str = "fidelity,kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,\
                        op,payload_bytes,config,workload,iterations,optimized_embedding,time_us,\
                        completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,\
-                       exposed_comm_us,past_schedules";
+                       exposed_comm_us,past_schedules,attr_compute,attr_network,attr_hbm,\
+                       attr_dma,attr_bus,attr_proc,attr_other";
 
 /// Serializes `cache` to the versioned file format, rows sorted for
 /// byte-identical output across runs.
@@ -179,7 +182,9 @@ fn point_cells(p: &RunPoint) -> Vec<String> {
     c
 }
 
-/// The metric cells (last 8 columns).
+/// The metric cells (last 15 columns). The attribution total is elided:
+/// it equals `completion_cycles` in every execution path, and the loader
+/// reconstructs it from there.
 fn metric_cells(m: &Metrics) -> Vec<String> {
     vec![
         format!("{}", m.time_us),
@@ -190,13 +195,20 @@ fn metric_cells(m: &Metrics) -> Vec<String> {
         format!("{}", m.compute_us),
         format!("{}", m.exposed_comm_us),
         m.past_schedules.to_string(),
+        m.attribution.compute_cycles.to_string(),
+        m.attribution.network_cycles.to_string(),
+        m.attribution.hbm_cycles.to_string(),
+        m.attribution.dma_cycles.to_string(),
+        m.attribution.bus_cycles.to_string(),
+        m.attribution.proc_cycles.to_string(),
+        m.attribution.other_cycles.to_string(),
     ]
 }
 
 fn parse_row(line: &str) -> Result<(Tier, RunPoint, Metrics), String> {
     let cells: Vec<&str> = line.split(',').collect();
-    if cells.len() != 22 {
-        return Err(format!("expected 22 cells, found {}", cells.len()));
+    if cells.len() != 29 {
+        return Err(format!("expected 29 cells, found {}", cells.len()));
     }
     let tier = cells[0].parse::<Tier>()?;
     let cells = &cells[1..];
@@ -234,15 +246,26 @@ fn parse_row(line: &str) -> Result<(Tier, RunPoint, Metrics), String> {
         },
         other => return Err(format!("unknown point kind '{other}'")),
     };
+    let completion_cycles = parse_int(cells[14], "completion_cycles")?;
     let metrics = Metrics {
         time_us: parse_f64(cells[13], "time_us")?,
-        completion_cycles: parse_int(cells[14], "completion_cycles")?,
+        completion_cycles,
         gbps_per_npu: parse_f64(cells[15], "gbps_per_npu")?,
         mem_traffic_bytes: parse_int(cells[16], "mem_traffic_bytes")?,
         network_bytes: parse_int(cells[17], "network_bytes")?,
         compute_us: parse_f64(cells[18], "compute_us")?,
         exposed_comm_us: parse_f64(cells[19], "exposed_comm_us")?,
         past_schedules: parse_int(cells[20], "past_schedules")?,
+        attribution: ace_trace::Attribution {
+            total_cycles: completion_cycles,
+            compute_cycles: parse_int(cells[21], "attr_compute")?,
+            network_cycles: parse_int(cells[22], "attr_network")?,
+            hbm_cycles: parse_int(cells[23], "attr_hbm")?,
+            dma_cycles: parse_int(cells[24], "attr_dma")?,
+            bus_cycles: parse_int(cells[25], "attr_bus")?,
+            proc_cycles: parse_int(cells[26], "attr_proc")?,
+            other_cycles: parse_int(cells[27], "attr_other")?,
+        },
     };
     Ok((tier, RunPoint { topology, kind }, metrics))
 }
@@ -397,6 +420,8 @@ mod tests {
         assert!(cache_from_str("# ace-sweep-cache v999\n").is_err());
         // The v1 (pre-fidelity) format is a different schema: rejected.
         assert!(cache_from_str("# ace-sweep-cache v1 sim-0.1.0\n").is_err());
+        // So is v2 (pre-attribution): fewer metric cells per row.
+        assert!(cache_from_str("# ace-sweep-cache v2 sim-0.1.0\n").is_err());
         // A cache written by a different simulator version must not be
         // served: results are only reproducible within one build.
         assert!(cache_from_str("# ace-sweep-cache v1 sim-0.0.0\n").is_err());

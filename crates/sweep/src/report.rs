@@ -37,6 +37,21 @@ pub const CSV_COLUMNS: [&str; 23] = [
     "speedup_vs_baseline",
 ];
 
+/// The optional bottleneck-attribution columns appended by
+/// [`to_csv_with_attribution`] / [`to_json_with_attribution`] (cycles;
+/// they sum to `completion_cycles` — the attribution total is not a
+/// column of its own). Kept out of [`CSV_COLUMNS`] so default output is
+/// byte-stable across releases.
+pub const ATTRIBUTION_COLUMNS: [&str; 7] = [
+    "attr_compute_cycles",
+    "attr_network_cycles",
+    "attr_hbm_cycles",
+    "attr_dma_cycles",
+    "attr_bus_cycles",
+    "attr_proc_cycles",
+    "attr_other_cycles",
+];
+
 /// Formats `bytes` with a binary-power suffix when exact (`64MB`),
 /// falling back to raw bytes.
 pub fn human_bytes(bytes: u64) -> String {
@@ -127,13 +142,46 @@ fn row_cells(r: &RunResult) -> Vec<String> {
     ]
 }
 
+/// The attribution cells of one row, in [`ATTRIBUTION_COLUMNS`] order.
+fn attribution_cells(r: &RunResult) -> Vec<String> {
+    let a = &r.metrics.attribution;
+    vec![
+        a.compute_cycles.to_string(),
+        a.network_cycles.to_string(),
+        a.hbm_cycles.to_string(),
+        a.dma_cycles.to_string(),
+        a.bus_cycles.to_string(),
+        a.proc_cycles.to_string(),
+        a.other_cycles.to_string(),
+    ]
+}
+
 /// Renders the outcome as CSV (header + one row per grid cell).
 pub fn to_csv(outcome: &SweepOutcome) -> String {
+    csv_impl(outcome, false)
+}
+
+/// [`to_csv`] plus the [`ATTRIBUTION_COLUMNS`]: each row's
+/// `completion_cycles` decomposed into compute / per-pipe-bound / other
+/// buckets. A separate emitter so default output stays byte-stable.
+pub fn to_csv_with_attribution(outcome: &SweepOutcome) -> String {
+    csv_impl(outcome, true)
+}
+
+fn csv_impl(outcome: &SweepOutcome, attribution: bool) -> String {
     let mut out = String::new();
     out.push_str(&CSV_COLUMNS.join(","));
+    if attribution {
+        out.push(',');
+        out.push_str(&ATTRIBUTION_COLUMNS.join(","));
+    }
     out.push('\n');
     for r in &outcome.results {
-        out.push_str(&row_cells(r).join(","));
+        let mut cells = row_cells(r);
+        if attribution {
+            cells.extend(attribution_cells(r));
+        }
+        out.push_str(&cells.join(","));
         out.push('\n');
     }
     out
@@ -171,6 +219,17 @@ fn json_num(v: f64) -> String {
 
 /// Renders the outcome (rows + per-axis summary) as JSON.
 pub fn to_json(outcome: &SweepOutcome) -> String {
+    json_impl(outcome, false)
+}
+
+/// [`to_json`] plus per-row attribution fields (see
+/// [`ATTRIBUTION_COLUMNS`]). A separate emitter so default output stays
+/// byte-stable.
+pub fn to_json_with_attribution(outcome: &SweepOutcome) -> String {
+    json_impl(outcome, true)
+}
+
+fn json_impl(outcome: &SweepOutcome, attribution: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
@@ -204,6 +263,11 @@ pub fn to_json(outcome: &SweepOutcome) -> String {
             } else if *name == "cache_hit" {
                 fields.push(format!("\"cache_hit\": {}", cell == "1"));
             } else {
+                fields.push(format!("\"{name}\": {cell}"));
+            }
+        }
+        if attribution {
+            for (name, cell) in ATTRIBUTION_COLUMNS.iter().zip(attribution_cells(r)) {
                 fields.push(format!("\"{name}\": {cell}"));
             }
         }
@@ -422,6 +486,36 @@ mod tests {
         }
         let table = summary_table(&sums);
         assert!(table.contains("engine"));
+    }
+
+    #[test]
+    fn attribution_emitters_extend_but_never_change_default_output() {
+        let out = outcome();
+        let csv = to_csv(&out);
+        let csv_a = to_csv_with_attribution(&out);
+        // Default output is untouched; the attribution variant appends
+        // exactly the extra columns to every line.
+        assert!(!csv.contains("attr_compute_cycles"));
+        assert!(csv_a.lines().next().unwrap().ends_with("attr_other_cycles"));
+        for (plain, ext) in csv.lines().zip(csv_a.lines()) {
+            assert!(ext.starts_with(plain), "attribution row diverged");
+            assert_eq!(
+                ext.split(',').count(),
+                CSV_COLUMNS.len() + ATTRIBUTION_COLUMNS.len()
+            );
+        }
+        // Buckets in each row sum to that row's completion_cycles.
+        for (r, line) in out.results.iter().zip(csv_a.lines().skip(1)) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let sum: u64 = cells[CSV_COLUMNS.len()..]
+                .iter()
+                .map(|c| c.parse::<u64>().unwrap())
+                .sum();
+            assert_eq!(sum, r.metrics.completion_cycles);
+        }
+        let json_a = to_json_with_attribution(&out);
+        assert!(json_a.contains("\"attr_network_cycles\":"));
+        assert!(!to_json(&out).contains("attr_network_cycles"));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::sync::Mutex;
 use ace_system::{
     analytic_collective_run, analytic_training_run, run_single_collective, SystemBuilder,
 };
+use ace_trace::Attribution;
 
 use crate::fidelity::{select_exact_cells, Fidelity, Tier};
 use crate::grid::{self, PointKind, RunPoint};
@@ -47,6 +48,11 @@ pub struct Metrics {
     /// sweeps can flag the invariant violation. Always zero for analytic
     /// rows (there is no event queue to violate).
     pub past_schedules: u64,
+    /// Bottleneck attribution: `completion_cycles` decomposed into
+    /// compute / per-pipe-bound / other buckets that sum exactly to the
+    /// total. Analytic rows charge their whole communication share to the
+    /// network bucket (the α–β model has no per-pipe decomposition).
+    pub attribution: Attribution,
 }
 
 /// One grid row with its metrics.
@@ -122,6 +128,13 @@ impl SweepOutcome {
     /// Rows carrying α–β estimates.
     pub fn analytic_rows(&self) -> usize {
         self.results.len() - self.exact_rows()
+    }
+
+    /// Sum of clamped past-scheduled events over every row — nonzero
+    /// means some run violated the event queue's monotonicity invariant
+    /// and its results are suspect. The sweep CLI warns on this.
+    pub fn total_past_schedules(&self) -> u64 {
+        self.results.iter().map(|r| r.metrics.past_schedules).sum()
     }
 }
 
@@ -241,11 +254,25 @@ impl SweepRunner {
     ///
     /// Returns the validation message if the scenario is inconsistent.
     pub fn run(&self, scenario: &Scenario, opts: RunnerOptions) -> Result<SweepOutcome, String> {
+        self.run_with_progress(scenario, opts, &|_, _| {})
+    }
+
+    /// [`run`](SweepRunner::run) with a live progress callback: after each
+    /// freshly executed cell the runner calls `progress(done, batch)`,
+    /// where `batch` is the size of the current execution batch (hybrid
+    /// sweeps run two batches: analytic triage, then exact re-simulation).
+    /// The callback may fire from worker threads; keep it cheap.
+    pub fn run_with_progress(
+        &self,
+        scenario: &Scenario,
+        opts: RunnerOptions,
+        progress: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<SweepOutcome, String> {
         scenario.validate()?;
         match scenario.fidelity {
-            Fidelity::Exact => self.run_tier(scenario, opts, Tier::Exact),
-            Fidelity::Analytic => self.run_tier(scenario, opts, Tier::Analytic),
-            Fidelity::Hybrid => self.run_hybrid(scenario, opts),
+            Fidelity::Exact => self.run_tier(scenario, opts, Tier::Exact, progress),
+            Fidelity::Analytic => self.run_tier(scenario, opts, Tier::Analytic, progress),
+            Fidelity::Hybrid => self.run_hybrid(scenario, opts, progress),
         }
     }
 
@@ -255,11 +282,12 @@ impl SweepRunner {
         scenario: &Scenario,
         opts: RunnerOptions,
         tier: Tier,
+        progress: &(dyn Fn(usize, usize) + Sync),
     ) -> Result<SweepOutcome, String> {
         let points = grid::expand(scenario);
         let baseline_points = baseline_points(scenario);
         let work = self.queue_work(points.iter().chain(baseline_points.iter()), tier);
-        self.execute_parallel(&work, opts, tier);
+        self.execute_parallel(&work, opts, tier, progress);
 
         let tiers = vec![tier; points.len()];
         let queued: HashSet<RunPoint> = work.iter().cloned().collect();
@@ -287,13 +315,18 @@ impl SweepRunner {
 
     /// Hybrid sweep: α–β triage over the whole grid, exact re-simulation
     /// of the analytic Pareto frontier + top-K % cells + the baseline.
-    fn run_hybrid(&self, scenario: &Scenario, opts: RunnerOptions) -> Result<SweepOutcome, String> {
+    fn run_hybrid(
+        &self,
+        scenario: &Scenario,
+        opts: RunnerOptions,
+        progress: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<SweepOutcome, String> {
         let points = grid::expand(scenario);
         let baseline_pts = baseline_points(scenario);
 
         // ---- Tier 1: analytic triage of every unique point. ----------
         let work_a = self.queue_work(points.iter().chain(baseline_pts.iter()), Tier::Analytic);
-        self.execute_parallel(&work_a, opts, Tier::Analytic);
+        self.execute_parallel(&work_a, opts, Tier::Analytic, progress);
 
         let triage: Vec<(RunPoint, Metrics)> = points
             .iter()
@@ -319,7 +352,7 @@ impl SweepRunner {
             .zip(&keep)
             .filter_map(|(p, &k)| k.then_some(p));
         let work_e = self.queue_work(selected.chain(baseline_pts.iter()), Tier::Exact);
-        self.execute_parallel(&work_e, opts, Tier::Exact);
+        self.execute_parallel(&work_e, opts, Tier::Exact, progress);
 
         // ---- Assemble: exact rows where selected, analytic elsewhere. -
         let queued_a: HashSet<RunPoint> = work_a.iter().cloned().collect();
@@ -411,8 +444,15 @@ impl SweepRunner {
     }
 
     /// Runs `work` on a scoped thread pool, storing metrics in the cache
-    /// under `tier`.
-    fn execute_parallel(&self, work: &[RunPoint], opts: RunnerOptions, tier: Tier) {
+    /// under `tier`. `progress(done, work.len())` fires once per completed
+    /// cell (from worker threads when the pool is multi-threaded).
+    fn execute_parallel(
+        &self,
+        work: &[RunPoint],
+        opts: RunnerOptions,
+        tier: Tier,
+        progress: &(dyn Fn(usize, usize) + Sync),
+    ) {
         if work.is_empty() {
             return;
         }
@@ -427,14 +467,16 @@ impl SweepRunner {
         .max(1);
 
         if threads == 1 {
-            for p in work {
+            for (i, p) in work.iter().enumerate() {
                 self.cache
                     .insert_tier(tier, p.clone(), execute_tier(p, tier));
+                progress(i + 1, work.len());
             }
             return;
         }
 
         let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Metrics>>> = work.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
             for _ in 0..threads {
@@ -445,6 +487,7 @@ impl SweepRunner {
                     }
                     let m = execute_tier(&work[i], tier);
                     *slots[i].lock().expect("slot lock") = Some(m);
+                    progress(done.fetch_add(1, Ordering::Relaxed) + 1, work.len());
                 });
             }
         });
@@ -492,6 +535,7 @@ pub fn execute(point: &RunPoint) -> Metrics {
                 compute_us: 0.0,
                 exposed_comm_us: 0.0,
                 past_schedules: r.past_schedules,
+                attribution: r.attribution,
             }
         }
         PointKind::Training {
@@ -519,6 +563,7 @@ pub fn execute(point: &RunPoint) -> Metrics {
                 compute_us: report.total_compute_us(),
                 exposed_comm_us: report.exposed_comm_us(),
                 past_schedules: report.past_schedules(),
+                attribution: report.attribution(),
             }
         }
     }
@@ -539,15 +584,21 @@ pub fn execute_analytic(point: &RunPoint) -> Metrics {
                 *op,
                 *payload_bytes,
             );
+            let total_u = r.cycles.round() as u64;
             Metrics {
                 time_us: r.cycles / freq.hz() * 1e6,
-                completion_cycles: r.cycles.round() as u64,
+                completion_cycles: total_u,
                 gbps_per_npu: r.achieved_gbps_per_npu,
                 mem_traffic_bytes: r.mem_traffic_bytes,
                 network_bytes: r.network_bytes,
                 compute_us: 0.0,
                 exposed_comm_us: 0.0,
                 past_schedules: 0,
+                attribution: Attribution {
+                    total_cycles: total_u,
+                    network_cycles: total_u,
+                    ..Attribution::default()
+                },
             }
         }
         PointKind::Training {
@@ -570,15 +621,23 @@ pub fn execute_analytic(point: &RunPoint) -> Metrics {
             } else {
                 0.0
             };
+            let total_u = r.total_cycles.round() as u64;
+            let compute_u = (r.compute_cycles.round() as u64).min(total_u);
             Metrics {
                 time_us: to_us(r.total_cycles),
-                completion_cycles: r.total_cycles.round() as u64,
+                completion_cycles: total_u,
                 gbps_per_npu: gbps,
                 mem_traffic_bytes: r.mem_traffic_bytes,
                 network_bytes: r.network_bytes,
                 compute_us: to_us(r.compute_cycles),
                 exposed_comm_us: to_us(r.exposed_cycles),
                 past_schedules: 0,
+                attribution: Attribution {
+                    total_cycles: total_u,
+                    compute_cycles: compute_u,
+                    network_cycles: total_u - compute_u,
+                    ..Attribution::default()
+                },
             }
         }
     }
@@ -871,6 +930,41 @@ mod tests {
                     hybrid.results[i].point
                 );
             }
+        }
+    }
+
+    #[test]
+    fn attribution_travels_through_the_sweep() {
+        for fidelity in [Fidelity::Exact, Fidelity::Analytic, Fidelity::Hybrid] {
+            let mut sc = tiny();
+            sc.fidelity = fidelity;
+            let out = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+            for r in &out.results {
+                let a = r.metrics.attribution;
+                assert!(a.conserves(), "{fidelity:?} {:?}: {a:?}", r.point);
+                assert_eq!(
+                    a.total_cycles, r.metrics.completion_cycles,
+                    "{fidelity:?} {:?}",
+                    r.point
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn progress_fires_once_per_executed_cell() {
+        use std::sync::atomic::AtomicUsize;
+        for threads in [1, 4] {
+            let sc = tiny();
+            let runner = SweepRunner::new();
+            let calls = AtomicUsize::new(0);
+            let out = runner
+                .run_with_progress(&sc, RunnerOptions { threads }, &|done, total| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    assert!(done >= 1 && done <= total);
+                })
+                .unwrap();
+            assert_eq!(calls.load(Ordering::Relaxed), out.executed);
         }
     }
 

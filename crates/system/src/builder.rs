@@ -235,6 +235,23 @@ impl SystemBuilder {
     /// parallelism overrides, and [`BuildError::InvalidProgram`] when a
     /// user program fails validation.
     pub fn build(self) -> Result<TrainingSim, BuildError> {
+        self.build_traced(ace_trace::NullTracer)
+    }
+
+    /// [`build`](SystemBuilder::build) with an instrumentation sink: the
+    /// returned simulator records dispatch/link/task events into `tracer`
+    /// (recover it via
+    /// [`run_with_tracer`](TrainingSim::run_with_tracer)). With the
+    /// default [`NullTracer`](ace_trace::NullTracer) every probe
+    /// monomorphizes to nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build`](SystemBuilder::build).
+    pub fn build_traced<T: ace_trace::Tracer>(
+        self,
+        tracer: T,
+    ) -> Result<TrainingSim<T>, BuildError> {
         let spec = match self.spec {
             Some(spec) => spec,
             None => TorusShape::new(self.l, self.v, self.h)
@@ -247,12 +264,13 @@ impl SystemBuilder {
             None => return Err(BuildError::MissingWorkload),
             Some(WorkSource::Program(program)) => {
                 program.validate().map_err(BuildError::InvalidProgram)?;
-                return Ok(TrainingSim::from_program(
+                return Ok(TrainingSim::from_program_with_tracer(
                     self.config,
                     program,
                     spec,
                     npu,
                     net,
+                    tracer,
                 ));
             }
             Some(WorkSource::Workload(w)) => w,
@@ -279,12 +297,13 @@ impl SystemBuilder {
         if self.optimized_embedding && workload.embedding().is_some() {
             program.optimize_embedding();
         }
-        Ok(TrainingSim::from_program(
+        Ok(TrainingSim::from_program_with_tracer(
             self.config,
             program,
             spec,
             npu,
             net,
+            tracer,
         ))
     }
 }

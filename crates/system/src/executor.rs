@@ -33,7 +33,8 @@ use std::collections::VecDeque;
 use ace_collectives::{CollectiveOp, CollectivePlan, Granularity, PhaseKind, PhaseLink, PhaseSpec};
 use ace_endpoint::CollectiveEngine;
 use ace_net::{LinkClass, Network, NetworkParams, NodeId, Port, Route, Topology, TopologySpec};
-use ace_simcore::{EventQueue, SimTime};
+use ace_simcore::{EventQueue, Grant, SimTime};
+use ace_trace::{NullTracer, PipeBusy, Tracer, Track};
 
 /// Identifies an issued collective within its executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,6 +78,12 @@ impl Default for ExecutorOptions {
 
 /// Default cap on globally in-flight ring chunks.
 const MAX_INFLIGHT_CHUNKS: usize = 128;
+/// Scheduler-lane track for trace events not tied to a node (chunk and
+/// phase spans, queue-depth and pipe counters).
+const TRACK_SIM: Track = Track { pid: 0, tid: 0 };
+/// Event-delivery cadence for queue-depth / pipe-occupancy samples when a
+/// recording tracer is attached: one sample every this many pops.
+const TRACE_SAMPLE_POPS: u64 = 256;
 /// Sentinel: node has not started any phase of a chunk.
 const NOT_STARTED: u16 = u16::MAX;
 /// Sentinel: chunk has no arena slot assigned.
@@ -262,7 +269,17 @@ struct Waiter {
 /// charges, which matters at tens of millions of events per run. The
 /// default `Box<dyn CollectiveEngine>` keeps runtime engine selection
 /// (training loops mixing configurations) working unchanged.
-pub struct CollectiveExecutor<E: CollectiveEngine = Box<dyn CollectiveEngine>> {
+///
+/// Also generic over the [`Tracer`]: the default [`NullTracer`]
+/// monomorphizes every trace hook to nothing (the perf gate verifies the
+/// default build stays on the seed's hot path), while
+/// [`ace_trace::RecordingTracer`] — attached via
+/// [`with_tracer`](CollectiveExecutor::with_tracer) — captures link busy
+/// spans, chunk/phase lifetimes and queue/pipe occupancy samples.
+pub struct CollectiveExecutor<
+    E: CollectiveEngine = Box<dyn CollectiveEngine>,
+    T: Tracer = NullTracer,
+> {
     spec: TopologySpec,
     nodes: usize,
     net: Network,
@@ -300,9 +317,10 @@ pub struct CollectiveExecutor<E: CollectiveEngine = Box<dyn CollectiveEngine>> {
     /// Scratch buffer for replaying buffered arrivals.
     replay_scratch: Vec<(u16, u16, SimTime)>,
     now: SimTime,
+    tracer: T,
 }
 
-impl<E: CollectiveEngine> std::fmt::Debug for CollectiveExecutor<E> {
+impl<E: CollectiveEngine, T: Tracer> std::fmt::Debug for CollectiveExecutor<E, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CollectiveExecutor")
             .field("topology", &self.spec)
@@ -378,6 +396,22 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
         options: ExecutorOptions,
         make_engine: impl Fn() -> E,
     ) -> CollectiveExecutor<E> {
+        CollectiveExecutor::with_tracer(topology, net_params, options, make_engine, NullTracer)
+    }
+}
+
+impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
+    /// Builds an executor with an attached [`Tracer`]. The default
+    /// constructors route here with [`NullTracer`]; instrumented runs pass
+    /// an [`ace_trace::RecordingTracer`] and read it back through
+    /// [`tracer`](CollectiveExecutor::tracer) after the run.
+    pub fn with_tracer(
+        topology: impl Into<TopologySpec>,
+        net_params: NetworkParams,
+        options: ExecutorOptions,
+        make_engine: impl Fn() -> E,
+        tracer: T,
+    ) -> CollectiveExecutor<E, T> {
         let spec = topology.into();
         let net = Network::new(spec, net_params);
         let topo = net.topology();
@@ -396,6 +430,16 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
                         NodeId(node)
                     });
                 }
+            }
+        }
+        let mut tracer = tracer;
+        if tracer.enabled() {
+            // Label the trace tracks: pid 0 is the scheduler/sim lane,
+            // pid 1 + n a per-node process whose tids are egress ports.
+            tracer.meta_process(0, "sim");
+            tracer.meta_thread(TRACK_SIM, "scheduler");
+            for n in 0..nodes {
+                tracer.meta_process(1 + n as u32, &format!("node {n}"));
             }
         }
         CollectiveExecutor {
@@ -418,6 +462,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
             a2a_routes: Vec::new(),
             replay_scratch: Vec::new(),
             now: SimTime::ZERO,
+            tracer,
         }
     }
 
@@ -439,6 +484,31 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
     /// Current simulation time (latest processed event).
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The attached tracer (read back recorded events after a run).
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Mutable access to the attached tracer (record caller-side events —
+    /// e.g. the training timeline's task spans — into the same arena).
+    pub fn tracer_mut(&mut self) -> &mut T {
+        &mut self.tracer
+    }
+
+    /// Consumes the executor and returns the tracer (export after a run).
+    pub fn into_tracer(self) -> T {
+        self.tracer
+    }
+
+    /// Integer busy-cycle totals per endpoint pipe, summed over every
+    /// node's engine — the weights the bottleneck-attribution report
+    /// apportions the communication share by.
+    pub fn pipe_busy_totals(&self) -> PipeBusy {
+        self.engines
+            .iter()
+            .fold(PipeBusy::default(), |acc, e| acc + e.pipe_busy())
     }
 
     /// Issues a collective of `op` with per-node `payload_bytes` at time
@@ -532,6 +602,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
             }
             let (time, ev) = self.queue.pop().expect("peeked");
             self.now = time;
+            self.trace_tick(time);
             self.handle(time, ev);
         }
         self.now = self.now.max(t);
@@ -550,6 +621,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
                 .pop()
                 .unwrap_or_else(|| panic!("executor deadlock waiting on collective {}", coll.0));
             self.now = time;
+            self.trace_tick(time);
             self.handle(time, ev);
         }
         self.colls[coll.0].completed_at.expect("completed")
@@ -559,9 +631,31 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
     pub fn run_to_idle(&mut self) -> SimTime {
         while let Some((time, ev)) = self.queue.pop() {
             self.now = time;
+            self.trace_tick(time);
             self.handle(time, ev);
         }
         self.now
+    }
+
+    /// Samples queue depth and node-0 pipe occupancy every
+    /// [`TRACE_SAMPLE_POPS`] event deliveries. With the [`NullTracer`]
+    /// `enabled()` is a constant `false` and the whole body folds away.
+    #[inline]
+    fn trace_tick(&mut self, now: SimTime) {
+        if self.tracer.enabled() && self.queue.pops().is_multiple_of(TRACE_SAMPLE_POPS) {
+            self.tracer.instant(TRACK_SIM, "dispatch", now);
+            self.tracer
+                .counter(TRACK_SIM, "queue_depth", now, self.queue.len() as f64);
+            let p = self.engines[0].pipe_busy();
+            self.tracer
+                .counter(TRACK_SIM, "pipe:hbm", now, p.hbm as f64);
+            self.tracer
+                .counter(TRACK_SIM, "pipe:dma", now, p.dma as f64);
+            self.tracer
+                .counter(TRACK_SIM, "pipe:bus", now, p.bus as f64);
+            self.tracer
+                .counter(TRACK_SIM, "pipe:proc", now, p.proc as f64);
+        }
     }
 
     /// ACE utilization (node 0) over `[0, horizon]`, when the engine
@@ -588,6 +682,27 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
     /// violation that `debug_assert` only catches in debug builds.
     pub fn past_schedules(&self) -> u64 {
         self.queue.past_schedules()
+    }
+
+    /// Records a link busy span from a transmit grant on the sending
+    /// node's per-port lane. The span's integer `[start, end)` service
+    /// window is exactly what the network's utilization meter credits, so
+    /// summing recorded `link:` spans reproduces
+    /// [`Network::util_busy_total_cycles`] — the reconciliation the trace
+    /// property tests enforce.
+    #[inline]
+    fn trace_link(&mut self, node: usize, port_idx: usize, grant: Grant) {
+        if self.tracer.enabled() {
+            self.tracer.span(
+                Track {
+                    pid: 1 + node as u32,
+                    tid: port_idx as u32,
+                },
+                &format!("link:n{node}:p{port_idx}"),
+                grant.start,
+                grant.end,
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -709,6 +824,10 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
             self.next_seq += 1;
             self.inflight += 1;
             let start = now.max(self.colls[cid].issued_at);
+            if self.tracer.enabled() {
+                self.tracer
+                    .begin(TRACK_SIM, "chunk", chunk_trace_id(cid, chunk), start);
+            }
             match self.colls[cid].kind {
                 CollKind::Ring => self.inject_ring_chunk(start, cid, chunk),
                 CollKind::AllToAll => self.inject_a2a_chunk(start, cid, chunk),
@@ -836,6 +955,12 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
     /// drain for phase `P`, otherwise send ring step 0.
     fn start_phase(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
         let n_phases = self.colls[cid].plan.phases().len() as u16;
+        // Phase lifetimes are traced from node 0's perspective: one
+        // async span per (collective, chunk, phase), not per node.
+        if self.tracer.enabled() && node == 0 && phase < n_phases {
+            self.tracer
+                .begin(TRACK_SIM, "phase", phase_trace_id(cid, chunk, phase), now);
+        }
         {
             let st = self.chunk_state_mut(cid, chunk);
             st.node_phase[node] = phase;
@@ -949,6 +1074,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
         let out = self
             .net
             .transmit(now, NodeId(node), Port::from_index(port_idx), bytes);
+        self.trace_link(node, port_idx, out.grant);
         self.queue.schedule(
             out.arrival,
             Ev::RingArrive {
@@ -1032,6 +1158,10 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
     }
 
     fn phase_done(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
+        if self.tracer.enabled() && node == 0 {
+            self.tracer
+                .end(TRACK_SIM, "phase", phase_trace_id(cid, chunk, phase), now);
+        }
         let next = phase + 1;
         self.request_phase(now, cid, chunk, node, next, phase);
     }
@@ -1059,6 +1189,10 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
         // the next chunk instead of reallocating.
         let slot = std::mem::replace(&mut self.colls[cid].chunk_slot[chunk], NO_SLOT);
         debug_assert_ne!(slot, NO_SLOT, "chunk completed twice");
+        if self.tracer.enabled() {
+            self.tracer
+                .end(TRACK_SIM, "chunk", chunk_trace_id(cid, chunk), now);
+        }
         self.free_slots.push(slot);
         self.colls[cid].done_chunks += 1;
         self.inflight -= 1;
@@ -1144,6 +1278,7 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
         let bytes = self.a2a_flow_bytes(cid, chunk, flow);
         let h = self.a2a_routes[flow][hop];
         let out = self.net.transmit(now, h.from, h.port, bytes);
+        self.trace_link(h.from.index(), h.port.index(), out.grant);
         self.queue.schedule(
             out.arrival,
             Ev::A2aHop {
@@ -1186,6 +1321,16 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
             }
         }
     }
+}
+
+/// Async-event id for a chunk's lifetime span.
+fn chunk_trace_id(cid: usize, chunk: usize) -> u64 {
+    ((cid as u64) << 32) | chunk as u64
+}
+
+/// Async-event id for one (collective, chunk, phase) lifetime span.
+fn phase_trace_id(cid: usize, chunk: usize, phase: u16) -> u64 {
+    ((cid as u64) << 40) | ((chunk as u64) << 16) | u64::from(phase)
 }
 
 /// Precomputes the per-phase event-handler constants for ring plans (an
@@ -1526,6 +1671,42 @@ mod tests {
         assert_eq!(util, busy as f64 / t.cycles() as f64);
         let base = executor(SystemConfig::BaselineCommOpt, shape442());
         assert!(base.ace_busy_cycles(SimTime::from_cycles(1)).is_none());
+    }
+
+    #[test]
+    fn recorded_link_spans_reconcile_with_the_network_meter() {
+        let params = NetworkParams::paper_default();
+        let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape442());
+        let weights = CollectiveExecutor::phase_weights(&plan, &params);
+        let mut ex = CollectiveExecutor::with_tracer(
+            shape442(),
+            params,
+            ExecutorOptions::default(),
+            move || SystemConfig::Ace.make_engine(&weights),
+            ace_trace::RecordingTracer::new(),
+        );
+        let h = ex.issue(CollectiveOp::AllReduce, 4 << 20, SimTime::ZERO);
+        ex.run_until_complete(h);
+        let tr = ex.tracer();
+        assert_eq!(tr.dropped(), 0, "trace overflowed its arena");
+        let recorded = tr.span_cycles_with_prefix("link:");
+        assert_eq!(
+            recorded as f64,
+            ex.network().util_busy_total_cycles(),
+            "link spans must reconcile with the fabric meter"
+        );
+        assert!(tr.count_with_prefix("chunk") > 0, "chunk spans recorded");
+        assert!(tr.count_with_prefix("phase") > 0, "phase spans recorded");
+    }
+
+    #[test]
+    fn pipe_busy_totals_sum_engine_counters() {
+        let mut ex = executor(SystemConfig::Ace, shape442());
+        assert_eq!(ex.pipe_busy_totals(), ace_trace::PipeBusy::default());
+        let h = ex.issue(CollectiveOp::AllReduce, 4 << 20, SimTime::ZERO);
+        ex.run_until_complete(h);
+        let p = ex.pipe_busy_totals();
+        assert!(p.hbm > 0 && p.dma > 0 && p.bus > 0 && p.proc > 0);
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub use analytic::{
     endpoint_model, AnalyticCollectiveReport, AnalyticTrainingReport,
 };
 pub use builder::{BuildError, SystemBuilder};
-pub use collective_run::{run_single_collective, CollectiveRunReport, EngineKind};
+pub use collective_run::{
+    run_single_collective, run_single_collective_traced, CollectiveRunReport, EngineKind,
+};
 pub use config::SystemConfig;
 pub use executor::{CollHandle, CollectiveExecutor, ExecutorOptions, SchedulingPolicy};
 pub use report::IterationReport;

@@ -3,6 +3,7 @@
 //! Fig. 10 and the ACE-busy figures of Fig. 9b.
 
 use ace_simcore::Frequency;
+use ace_trace::Attribution;
 
 /// The result of simulating two training iterations.
 #[derive(Debug, Clone)]
@@ -23,6 +24,7 @@ pub struct IterationReport {
     pub(crate) comm_mem_traffic_bytes: u64,
     pub(crate) network_bytes: u64,
     pub(crate) past_schedules: u64,
+    pub(crate) attribution: Attribution,
 }
 
 impl IterationReport {
@@ -125,6 +127,13 @@ impl IterationReport {
         self.past_schedules
     }
 
+    /// Bottleneck attribution: wall cycles decomposed into compute,
+    /// per-pipe-bound communication and `other` buckets that sum exactly
+    /// to [`total_cycles`](IterationReport::total_cycles).
+    pub fn attribution(&self) -> Attribution {
+        self.attribution
+    }
+
     /// Per-node HBM bytes consumed by communication.
     pub fn comm_mem_traffic_bytes(&self) -> u64 {
         self.comm_mem_traffic_bytes
@@ -184,6 +193,12 @@ mod tests {
             comm_mem_traffic_bytes: 1 << 20,
             network_bytes: 64 << 20,
             past_schedules: 0,
+            attribution: Attribution {
+                total_cycles: 1_245_000,
+                compute_cycles: 1_000_000,
+                network_cycles: 245_000,
+                ..Attribution::default()
+            },
         }
     }
 
@@ -208,6 +223,8 @@ mod tests {
         assert_eq!(r.ace_util_bwd(), Some(0.9));
         assert_eq!(r.ace_busy_cycles(), Some(230_000));
         assert_eq!(r.past_schedules(), 0);
+        assert!(r.attribution().conserves());
+        assert_eq!(r.attribution().total_cycles, r.total_cycles());
     }
 
     #[test]

@@ -19,22 +19,33 @@
 
 use ace_collectives::CollectiveOp;
 use ace_compute::{KernelDesc, NpuParams};
+use ace_endpoint::CollectiveEngine;
 use ace_net::{NetworkParams, TopologySpec};
 use ace_simcore::{SimTime, TimeSeries};
+use ace_trace::{Attribution, NullTracer, PipeWeights, Tracer, Track};
 use ace_workloads::{LoweringOptions, Parallelism, Program, TaskId, TaskKind, TaskPhase, Workload};
 
 use crate::config::SystemConfig;
-use crate::executor::{CollHandle, CollectiveExecutor};
+use crate::executor::{CollHandle, CollectiveExecutor, ExecutorOptions};
 use crate::report::IterationReport;
 
+/// Trace lane for the serial compute timeline's task spans (pid 0 is the
+/// scheduler/sim process; tid 0 is the executor's event lane).
+const TIMELINE_TRACK: Track = Track { pid: 0, tid: 1 };
+
 /// Simulates a training [`Program`] on one system configuration.
-pub struct TrainingSim {
+///
+/// Generic over the [`Tracer`] like the executor it drives: the default
+/// [`NullTracer`] compiles every task-span hook away, while
+/// [`from_program_with_tracer`](TrainingSim::from_program_with_tracer)
+/// attaches a recording tracer shared with the collective executor.
+pub struct TrainingSim<T: Tracer = NullTracer> {
     config: SystemConfig,
     program: Program,
     spec: TopologySpec,
     npu: NpuParams,
     net_params: NetworkParams,
-    exec: CollectiveExecutor,
+    exec: CollectiveExecutor<Box<dyn CollectiveEngine>, T>,
     // running state
     t: SimTime,
     compute_busy: u64,
@@ -42,7 +53,7 @@ pub struct TrainingSim {
     compute_series: TimeSeries,
 }
 
-impl std::fmt::Debug for TrainingSim {
+impl<T: Tracer> std::fmt::Debug for TrainingSim<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TrainingSim")
             .field("config", &self.config)
@@ -94,13 +105,41 @@ impl TrainingSim {
         npu: NpuParams,
         net_params: NetworkParams,
     ) -> TrainingSim {
+        TrainingSim::from_program_with_tracer(
+            config, program, topology, npu, net_params, NullTracer,
+        )
+    }
+}
+
+impl<T: Tracer> TrainingSim<T> {
+    /// [`from_program`](TrainingSim::from_program) with an attached
+    /// [`Tracer`]: the executor records link/chunk/phase events and the
+    /// training timeline adds one span per scheduled task (tagged with
+    /// phase, iteration and role) on its own lane.
+    pub fn from_program_with_tracer(
+        config: SystemConfig,
+        program: Program,
+        topology: impl Into<TopologySpec>,
+        npu: NpuParams,
+        net_params: NetworkParams,
+        tracer: T,
+    ) -> TrainingSim<T> {
         let spec = topology.into();
         let plan = ace_collectives::CollectivePlan::for_spec(CollectiveOp::AllReduce, spec);
         let weights = CollectiveExecutor::phase_weights(&plan, &net_params);
-        let exec = CollectiveExecutor::new(spec, net_params, {
-            let weights = weights.clone();
-            move || config.make_engine(&weights)
-        });
+        let mut exec = CollectiveExecutor::with_tracer(
+            spec,
+            net_params,
+            ExecutorOptions::default(),
+            {
+                let weights = weights.clone();
+                move || config.make_engine(&weights)
+            },
+            tracer,
+        );
+        if exec.tracer().enabled() {
+            exec.tracer_mut().meta_thread(TIMELINE_TRACK, "timeline");
+        }
         TrainingSim {
             config,
             program,
@@ -121,7 +160,13 @@ impl TrainingSim {
     }
 
     /// Executes the program's schedule and produces the report.
-    pub fn run(mut self) -> IterationReport {
+    pub fn run(self) -> IterationReport {
+        self.run_with_tracer().0
+    }
+
+    /// Executes the schedule and returns the report together with the
+    /// tracer (export the recorded events after the run).
+    pub fn run_with_tracer(mut self) -> (IterationReport, T) {
         let mut handles: Vec<Option<CollHandle>> = vec![None; self.program.task_slots()];
         // Fig. 9b forward/backward split: one (ace-busy, window) pair per
         // contiguous run of forward-phase timeline tasks.
@@ -137,8 +182,15 @@ impl TrainingSim {
                     // Non-blocking issue at the current timeline instant;
                     // schedule order fixes the executor's LIFO priority.
                     handles[id.index()] = Some(self.exec.issue(*op, *bytes, self.t));
+                    if self.exec.tracer().enabled() {
+                        let name = format!("issue:{}:i{}", task.role().short_name(), task.iter());
+                        let at = self.t;
+                        self.exec.tracer_mut().instant(TIMELINE_TRACK, &name, at);
+                    }
                 }
                 TaskKind::Compute(_) | TaskKind::Barrier => {
+                    let (t_begin, span_phase, span_role, span_iter) =
+                        (self.t, task.phase(), task.role(), task.iter());
                     // Forward-window bookkeeping keys on timeline tasks
                     // only: a collective issued for the *next* iteration
                     // during this backward pass must not open a window.
@@ -173,6 +225,20 @@ impl TrainingSim {
                     }
                     if let Some(kernel) = kernel {
                         self.run_kernel(&kernel);
+                    }
+                    // Task span covers the wait (exposed comm) plus the
+                    // kernel itself — the timeline's full occupancy.
+                    if self.exec.tracer().enabled() {
+                        let name = format!(
+                            "task:{}:{}:i{}",
+                            span_phase.short_name(),
+                            span_role.short_name(),
+                            span_iter
+                        );
+                        let end = self.t;
+                        self.exec
+                            .tracer_mut()
+                            .span(TIMELINE_TRACK, &name, t_begin, end);
                     }
                 }
             }
@@ -227,8 +293,20 @@ impl TrainingSim {
             None => (None, None),
         };
 
+        // Bottleneck attribution: the communication share (exposed comm,
+        // by the exact total = compute + exposed identity) is apportioned
+        // across the endpoint pipes and the fabric by their busy cycles.
+        let attribution = Attribution::attribute(
+            self.t.cycles(),
+            self.compute_busy,
+            &PipeWeights::from_pipes(
+                self.exec.pipe_busy_totals(),
+                self.exec.network().util_busy_total_cycles(),
+            ),
+        );
+
         let network_series = self.exec.network().utilization_series();
-        IterationReport {
+        let report = IterationReport {
             workload: self.program.name().to_string(),
             config: self.config.short_name().to_string(),
             nodes: self.spec.nodes(),
@@ -245,7 +323,9 @@ impl TrainingSim {
             comm_mem_traffic_bytes: self.exec.comm_mem_traffic_bytes(),
             network_bytes: self.exec.network().total_bytes(),
             past_schedules: self.exec.past_schedules(),
-        }
+            attribution,
+        };
+        (report, self.exec.into_tracer())
     }
 
     /// Advances the compute timeline by one kernel.
@@ -383,6 +463,42 @@ mod tests {
                 "{config}"
             );
         }
+    }
+
+    #[test]
+    fn attribution_conserves_for_training_runs() {
+        for config in SystemConfig::ALL {
+            let shape = TorusShape::new(2, 2, 1).unwrap();
+            let report = TrainingSim::new(config, two_kernel_workload(), shape, 2, false).run();
+            let a = report.attribution();
+            assert!(a.conserves(), "{config}: {a:?}");
+            assert_eq!(a.total_cycles, report.total_cycles(), "{config}");
+            assert_eq!(a.compute_cycles, report.compute_cycles(), "{config}");
+        }
+    }
+
+    #[test]
+    fn traced_training_records_task_spans() {
+        let w = two_kernel_workload();
+        let opts = LoweringOptions {
+            iterations: 1,
+            overlap: SystemConfig::Ace.overlaps(),
+        };
+        let program = Program::lower(&w, w.parallelism(), &opts);
+        let shape = TorusShape::new(2, 2, 1).unwrap();
+        let (report, tr) = TrainingSim::from_program_with_tracer(
+            SystemConfig::Ace,
+            program,
+            shape,
+            NpuParams::paper_default(),
+            NetworkParams::paper_default(),
+            ace_trace::RecordingTracer::new(),
+        )
+        .run_with_tracer();
+        assert!(report.total_cycles() > 0);
+        assert!(tr.count_with_prefix("task:") > 0, "timeline task spans");
+        assert!(tr.count_with_prefix("issue:") > 0, "collective issue marks");
+        assert!(tr.span_cycles_with_prefix("link:") > 0, "link busy spans");
     }
 
     #[test]

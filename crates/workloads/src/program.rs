@@ -86,6 +86,16 @@ pub enum TaskPhase {
     Backward,
 }
 
+impl TaskPhase {
+    /// Compact label for trace span names (`fwd` / `bwd`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            TaskPhase::Forward => "fwd",
+            TaskPhase::Backward => "bwd",
+        }
+    }
+}
+
 /// Structural tags graph transforms and analyses key on. Purely
 /// descriptive: the scheduler never branches on a role.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +139,26 @@ pub enum TaskRole {
     Sync,
     /// User-authored task with no structural meaning.
     Custom,
+}
+
+impl TaskRole {
+    /// Compact label for trace span names (layer indices are carried by
+    /// the span's iteration/phase context, not the role label).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            TaskRole::Forward { .. } => "forward",
+            TaskRole::InputGrad { .. } => "input-grad",
+            TaskRole::WeightGrad { .. } => "weight-grad",
+            TaskRole::GradCollective { .. } => "grad-coll",
+            TaskRole::FwdCollective { .. } => "fwd-coll",
+            TaskRole::EmbeddingLookup => "emb-lookup",
+            TaskRole::EmbeddingUpdate => "emb-update",
+            TaskRole::EmbeddingFwdA2a => "emb-fwd-a2a",
+            TaskRole::EmbeddingBwdA2a => "emb-bwd-a2a",
+            TaskRole::Sync => "sync",
+            TaskRole::Custom => "custom",
+        }
+    }
 }
 
 /// One node of the task graph.

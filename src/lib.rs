@@ -14,6 +14,9 @@
 //! This crate re-exports the whole workspace as a single façade:
 //!
 //! * [`simcore`] — discrete-event primitives (time, events, servers, stats)
+//! * [`trace`] — zero-cost instrumentation: the `Tracer` trait, the
+//!   recording arena behind `--trace`, the Chrome/Perfetto exporter and
+//!   the per-pipe bottleneck attribution report
 //! * [`net`] — accelerator fabrics behind one `Topology` abstraction:
 //!   tori of any dimension (the paper's 3D torus with XYZ routing),
 //!   central crossbars, and hierarchical scale-up/scale-out fabrics
@@ -58,4 +61,5 @@ pub use ace_simcore as simcore;
 pub use ace_sweep as sweep;
 pub use ace_system as system;
 pub use ace_toml as toml;
+pub use ace_trace as trace;
 pub use ace_workloads as workloads;
