@@ -1,0 +1,324 @@
+//! In-process event bus: typed broadcast events plus coalescing
+//! latest-generation-wins submission slots.
+//!
+//! The bus is the nervous system of the resident sweep service
+//! ([`crate::scheduler`], [`crate::service`]). It is a **broadcast +
+//! watch hybrid** built on std channels only:
+//!
+//! * **Broadcast** — every [`Subscription`] receives every published
+//!   [`BusEvent`] ([`EventBus::publish`] clones the event into each
+//!   subscriber's unbounded `mpsc` channel, so a slow or abandoned
+//!   subscriber never blocks a worker). Completion events
+//!   ([`BusEvent::CellCompleted`], [`BusEvent::JobFinished`]) drive both
+//!   the live CLI progress line and the daemon's streaming protocol.
+//! * **Watch / coalescing** — one latest-generation-wins slot per
+//!   scenario *name*: [`EventBus::begin_generation`] bumps the slot, and
+//!   workers consult [`EventBus::is_current`] before executing each
+//!   cell, so re-submitting an edited scenario supersedes the stale
+//!   generation instead of queueing behind it. Superseded jobs observe a
+//!   [`BusEvent::JobSuperseded`] event and stop.
+//!
+//! Subscribers that drop their [`Subscription`] are pruned lazily on the
+//! next publish.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::fidelity::{Fidelity, Tier};
+use crate::grid::RunPoint;
+use crate::runner::Metrics;
+use crate::scenario::SweepMode;
+
+/// A typed event broadcast on the [`EventBus`].
+///
+/// Events are self-describing (they carry the job id, scenario name, and
+/// — for cells — the full [`RunPoint`] and [`Metrics`], including the
+/// bottleneck [`ace_trace::Attribution`]), so a subscriber can render
+/// progress, stream protocol messages, or aggregate statistics without
+/// any side lookups.
+#[derive(Debug, Clone)]
+pub enum BusEvent {
+    /// A submitted scenario was validated and assigned a job id and a
+    /// coalescing generation.
+    JobAccepted {
+        /// Scheduler-assigned job id (monotonic per scheduler).
+        job: u64,
+        /// Scenario name — the coalescing key.
+        scenario: String,
+        /// Generation this submission owns; a later submission of the
+        /// same scenario name bumps it and supersedes this job.
+        generation: u64,
+        /// Sweep mode of the job.
+        mode: SweepMode,
+        /// Fidelity the job will run at.
+        fidelity: Fidelity,
+        /// Grid cells in the job (duplicates included).
+        cells: usize,
+    },
+    /// An execution batch was queued: `queued` unique cells will run in
+    /// `tier`, `cached` were already served by the cache. Fires even when
+    /// `queued` is zero, so fully-warm runs still render a progress line.
+    BatchStarted {
+        /// Owning job.
+        job: u64,
+        /// Execution tier of the batch.
+        tier: Tier,
+        /// Unique cells queued for execution.
+        queued: usize,
+        /// Unique cells already satisfied by the cache.
+        cached: usize,
+    },
+    /// A freshly executed cell completed. Carries the full metrics,
+    /// including the per-pipe bottleneck attribution.
+    CellCompleted {
+        /// Owning job.
+        job: u64,
+        /// Tier that executed the cell.
+        tier: Tier,
+        /// Completion ordinal within the batch (1-based; completion
+        /// order, not grid order, under a multi-worker pool).
+        index: usize,
+        /// Cells queued in the batch.
+        total: usize,
+        /// The executed grid cell.
+        point: RunPoint,
+        /// Simulated (or estimated) metrics, attribution included.
+        metrics: Metrics,
+    },
+    /// A cell's executor panicked; the owning job aborts.
+    CellFailed {
+        /// Owning job.
+        job: u64,
+        /// Tier the cell ran in.
+        tier: Tier,
+        /// Human-readable cell label.
+        label: String,
+        /// Panic payload rendered as text.
+        error: String,
+    },
+    /// The job was superseded by a newer generation of the same scenario
+    /// name (latest-generation-wins coalescing).
+    JobSuperseded {
+        /// The superseded job.
+        job: u64,
+        /// Scenario name.
+        scenario: String,
+        /// The stale generation the job held.
+        generation: u64,
+    },
+    /// The job ran to completion; its [`crate::SweepOutcome`] is
+    /// available to the submitter.
+    JobFinished {
+        /// The finished job.
+        job: u64,
+        /// Scenario name.
+        scenario: String,
+        /// Grid rows in the outcome.
+        points: usize,
+        /// Cells executed by the event-driven tier this run.
+        executed: usize,
+        /// Cells estimated by the α–β tier this run.
+        analytic_executed: usize,
+        /// Rows served from the cache.
+        cache_hits: usize,
+    },
+    /// Cache occupancy after a finished job — lets an observer watch the
+    /// resident cache grow across submissions.
+    CacheStats {
+        /// Total cached `(tier, point)` entries.
+        entries: usize,
+        /// Entries in the exact tier.
+        exact: usize,
+        /// Entries in the analytic tier.
+        analytic: usize,
+    },
+}
+
+impl BusEvent {
+    /// The job id the event belongs to, when it is job-scoped
+    /// ([`BusEvent::CacheStats`] is bus-global).
+    pub fn job(&self) -> Option<u64> {
+        match self {
+            BusEvent::JobAccepted { job, .. }
+            | BusEvent::BatchStarted { job, .. }
+            | BusEvent::CellCompleted { job, .. }
+            | BusEvent::CellFailed { job, .. }
+            | BusEvent::JobSuperseded { job, .. }
+            | BusEvent::JobFinished { job, .. } => Some(*job),
+            BusEvent::CacheStats { .. } => None,
+        }
+    }
+}
+
+/// A live subscription to an [`EventBus`]. Dropping it unsubscribes
+/// (lazily, on the bus's next publish).
+#[derive(Debug)]
+pub struct Subscription {
+    pub(crate) id: u64,
+    rx: Receiver<BusEvent>,
+}
+
+impl Subscription {
+    /// Blocks until the next event. `None` when the bus (and every
+    /// publisher) is gone.
+    pub fn recv(&self) -> Option<BusEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// [`recv`](Subscription::recv) with a timeout; `None` on timeout or
+    /// disconnection.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<BusEvent> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Drains any already-buffered events without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = BusEvent> + '_ {
+        self.rx.try_iter()
+    }
+}
+
+/// The broadcast + watch hybrid event bus (see the [module
+/// docs](self)).
+#[derive(Debug, Default)]
+pub struct EventBus {
+    subs: Mutex<Vec<(u64, Sender<BusEvent>)>>,
+    next_sub: AtomicU64,
+    generations: Mutex<HashMap<String, u64>>,
+}
+
+impl EventBus {
+    /// A bus with no subscribers and no generations.
+    pub fn new() -> EventBus {
+        EventBus::default()
+    }
+
+    /// Registers a new subscriber; it receives every event published
+    /// after this call.
+    pub fn subscribe(&self) -> Subscription {
+        let (tx, rx) = mpsc::channel();
+        let id = self.next_sub.fetch_add(1, Ordering::Relaxed);
+        self.subs.lock().expect("bus subs lock").push((id, tx));
+        Subscription { id, rx }
+    }
+
+    /// Broadcasts `event` to every live subscriber.
+    pub fn publish(&self, event: &BusEvent) {
+        self.publish_excluding(None, event);
+    }
+
+    /// Broadcasts `event` to every live subscriber except `except` — the
+    /// spelling a publisher uses for events it also handles locally, so
+    /// its own subscription does not echo them back.
+    pub fn publish_excluding(&self, except: Option<u64>, event: &BusEvent) {
+        let mut subs = self.subs.lock().expect("bus subs lock");
+        subs.retain(|(id, tx)| {
+            if Some(*id) == except {
+                return true;
+            }
+            tx.send(event.clone()).is_ok()
+        });
+    }
+
+    /// Number of live subscribers (stale ones are pruned on publish, so
+    /// this may briefly over-count).
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.lock().expect("bus subs lock").len()
+    }
+
+    /// Bumps the coalescing slot for `scenario` and returns the new
+    /// generation. Any job holding an older generation of the same name
+    /// is superseded: workers stop claiming its cells.
+    pub fn begin_generation(&self, scenario: &str) -> u64 {
+        let mut map = self.generations.lock().expect("bus generations lock");
+        let slot = map.entry(scenario.to_string()).or_insert(0);
+        *slot += 1;
+        *slot
+    }
+
+    /// The current generation of `scenario` (0 when never submitted).
+    pub fn current_generation(&self, scenario: &str) -> u64 {
+        self.generations
+            .lock()
+            .expect("bus generations lock")
+            .get(scenario)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether `generation` is still the latest for `scenario` — the
+    /// watch-style check workers make before executing each cell.
+    pub fn is_current(&self, scenario: &str, generation: u64) -> bool {
+        self.current_generation(scenario) == generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(entries: usize) -> BusEvent {
+        BusEvent::CacheStats {
+            entries,
+            exact: entries,
+            analytic: 0,
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_subscriber() {
+        let bus = EventBus::new();
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        bus.publish(&stats(7));
+        for sub in [&a, &b] {
+            match sub.recv() {
+                Some(BusEvent::CacheStats { entries, .. }) => assert_eq!(entries, 7),
+                other => panic!("expected CacheStats, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let bus = EventBus::new();
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        drop(a);
+        bus.publish(&stats(1));
+        assert_eq!(bus.subscriber_count(), 1);
+        assert!(matches!(b.recv(), Some(BusEvent::CacheStats { .. })));
+    }
+
+    #[test]
+    fn publish_excluding_skips_the_publisher() {
+        let bus = EventBus::new();
+        let me = bus.subscribe();
+        let other = bus.subscribe();
+        bus.publish_excluding(Some(me.id), &stats(2));
+        assert!(matches!(other.recv(), Some(BusEvent::CacheStats { .. })));
+        assert!(me.recv_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn generations_coalesce_latest_wins() {
+        let bus = EventBus::new();
+        assert_eq!(bus.current_generation("design-space"), 0);
+        let g1 = bus.begin_generation("design-space");
+        assert_eq!(g1, 1);
+        assert!(bus.is_current("design-space", g1));
+        let g2 = bus.begin_generation("design-space");
+        assert_eq!(g2, 2);
+        assert!(!bus.is_current("design-space", g1), "g1 must be stale");
+        assert!(bus.is_current("design-space", g2));
+        // Other scenario names hold independent slots.
+        let other = bus.begin_generation("membw");
+        assert_eq!(other, 1);
+        assert!(bus.is_current("design-space", g2));
+    }
+}

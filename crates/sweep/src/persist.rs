@@ -24,8 +24,22 @@
 //! Floats are written with Rust's shortest round-trip `Display`, so a
 //! load → save cycle is lossless. Rows are sorted by their serialized
 //! key: saving the same cache twice produces byte-identical files.
+//!
+//! Two services are layered on the same row format:
+//!
+//! * [`CacheFileLock`] — an `O_EXCL` advisory lock so two concurrent
+//!   `sweep --cache-file` processes cannot interleave saves (saves are
+//!   also atomic: temp file + rename).
+//! * [`Journal`] — the sweep daemon's append-only write-ahead log. Every
+//!   freshly executed cell is appended as a v3 row and flushed before its
+//!   completion event publishes; job lifecycle is tracked with `#pending`
+//!   / `#done` comment records, so the file stays loadable by plain
+//!   [`load_cache`] and a killed daemon resumes mid-grid on restart
+//!   ([`Journal::replay`] truncates a torn final line and returns both
+//!   the recovered cache and the jobs that never finished).
 
-use std::path::Path;
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
 
 use ace_net::TopologySpec;
 use ace_system::SystemConfig;
@@ -108,15 +122,24 @@ pub fn cache_from_str(text: &str) -> Result<Cache, String> {
     Ok(cache)
 }
 
-/// Saves `cache` to `path`.
+/// Saves `cache` to `path` atomically: the bytes land in a temp file in
+/// the same directory which is then renamed over `path`, so a concurrent
+/// reader (or a crash mid-save) never observes a truncated cache.
 ///
 /// # Errors
 ///
 /// Returns the I/O error message on failure.
 pub fn save_cache(cache: &Cache, path: impl AsRef<Path>) -> Result<(), String> {
     let path = path.as_ref();
-    std::fs::write(path, cache_to_string(cache))
-        .map_err(|e| format!("cannot write cache {}: {e}", path.display()))
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, cache_to_string(cache))
+        .map_err(|e| format!("cannot write cache {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot replace cache {}: {e}", path.display())
+    })
 }
 
 /// Loads a cache from `path`. A missing file yields an empty cache (the
@@ -132,6 +155,323 @@ pub fn load_cache(path: impl AsRef<Path>) -> Result<Cache, String> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Cache::new()),
         Err(e) => Err(format!("cannot read cache {}: {e}", path.display())),
     }
+}
+
+/// An `O_EXCL` advisory lock guarding a cache file: created with
+/// `create_new` (so acquisition is atomic), holding the owner's PID, and
+/// removed on drop. Two concurrent `sweep --cache-file` runs on the same
+/// path fail fast with an error naming the holder instead of silently
+/// interleaving saves.
+///
+/// A lock whose holder PID no longer exists (checked via `/proc` where
+/// available) is treated as stale and broken automatically — a crashed
+/// run must not wedge the cache forever.
+#[derive(Debug)]
+pub struct CacheFileLock {
+    path: PathBuf,
+}
+
+impl CacheFileLock {
+    /// Acquires the lock for `cache_path` (the lock file is
+    /// `<cache_path>.lock`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the holder PID when the lock is already
+    /// taken by a live process, or the I/O error on failure.
+    pub fn acquire(cache_path: impl AsRef<Path>) -> Result<CacheFileLock, String> {
+        let mut os = cache_path.as_ref().as_os_str().to_owned();
+        os.push(".lock");
+        let path = PathBuf::from(os);
+        for attempt in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", std::process::id());
+                    return Ok(CacheFileLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    if attempt == 0 {
+                        if let Some(pid) = holder {
+                            // Break a stale lock left by a dead process.
+                            if Path::new("/proc").is_dir()
+                                && !Path::new(&format!("/proc/{pid}")).exists()
+                            {
+                                let _ = std::fs::remove_file(&path);
+                                continue;
+                            }
+                        }
+                    }
+                    let holder = holder
+                        .map(|pid| format!("pid {pid}"))
+                        .unwrap_or_else(|| "unknown pid".to_string());
+                    return Err(format!(
+                        "cache file is locked by another sweep ({holder}); remove {} if that \
+                         process is gone",
+                        path.display()
+                    ));
+                }
+                Err(e) => return Err(format!("cannot create lock {}: {e}", path.display())),
+            }
+        }
+        unreachable!("second attempt either acquires or errors")
+    }
+
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for CacheFileLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Prefix of a journal record announcing a job that has started.
+const PENDING_PREFIX: &str = "#pending ";
+/// Prefix of a journal record announcing a job that finished cleanly.
+const DONE_PREFIX: &str = "#done ";
+
+/// A submitted job recovered from a journal that never logged `#done` —
+/// the daemon re-runs these on restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingJob {
+    /// Scenario name (the coalescing key).
+    pub name: String,
+    /// The scenario's TOML text as submitted.
+    pub toml: String,
+    /// Base directory relative `file:` workload references resolve
+    /// against, when the submission carried one.
+    pub base: Option<String>,
+}
+
+/// Everything recovered from a journal file: the cell results (as a
+/// warm [`Cache`]) and the jobs that never finished.
+#[derive(Debug)]
+pub struct JournalReplay {
+    /// Every journaled cell result.
+    pub cache: Cache,
+    /// Jobs with a `#pending` record but no matching `#done`, in
+    /// first-submission order (re-submissions update in place).
+    pub pending: Vec<PendingJob>,
+}
+
+/// The sweep daemon's append-only write-ahead log.
+///
+/// Rows reuse the v3 cache format; job lifecycle records are `#`-prefixed
+/// comments, so the whole file doubles as a loadable cache file. Appends
+/// are flushed per record — a SIGKILL between flushes loses at most the
+/// torn final line, which [`Journal::open`] truncates away on restart.
+#[derive(Debug)]
+pub struct Journal {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` for appending. An
+    /// existing journal must carry the current [`CACHE_HEADER`]; a torn
+    /// final line (no trailing newline) is truncated away.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file exists with a foreign header (a
+    /// journal written by a different simulator version cannot be
+    /// resumed) or on I/O failure.
+    pub fn open(path: impl AsRef<Path>) -> Result<Journal, String> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)
+            .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+        if text.is_empty() {
+            file.write_all(format!("{CACHE_HEADER}\n# {COLUMNS}\n").as_bytes())
+                .map_err(|e| format!("cannot initialize journal {}: {e}", path.display()))?;
+        } else {
+            let first = text.lines().next().unwrap_or("").trim();
+            if first != CACHE_HEADER {
+                return Err(format!(
+                    "journal {} has header '{first}' (expected '{CACHE_HEADER}'); \
+                     it cannot be resumed by this build — move it aside",
+                    path.display()
+                ));
+            }
+            if !text.ends_with('\n') {
+                // Torn tail from a kill mid-append: drop the fragment.
+                let keep = text.rfind('\n').map(|i| i + 1).unwrap_or(0) as u64;
+                file.set_len(keep)
+                    .map_err(|e| format!("cannot truncate journal {}: {e}", path.display()))?;
+                file.seek(std::io::SeekFrom::End(0))
+                    .map_err(|e| format!("cannot seek journal {}: {e}", path.display()))?;
+            }
+        }
+        file.flush()
+            .map_err(|e| format!("cannot flush journal {}: {e}", path.display()))?;
+        Ok(Journal { file, path })
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one cell result and flushes — the write-ahead step before
+    /// the cell's completion event publishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message on failure.
+    pub fn append_row(
+        &mut self,
+        tier: Tier,
+        point: &RunPoint,
+        metrics: &Metrics,
+    ) -> Result<(), String> {
+        let mut cells = vec![tier.to_string()];
+        cells.extend(point_cells(point));
+        cells.extend(metric_cells(metrics));
+        self.append_line(&cells.join(","))
+    }
+
+    /// Records that a job has been accepted and is about to run. Until a
+    /// matching [`append_done`](Journal::append_done) lands, a restart
+    /// will re-run it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message on failure.
+    pub fn append_pending(
+        &mut self,
+        name: &str,
+        toml: &str,
+        base: Option<&str>,
+    ) -> Result<(), String> {
+        use crate::protocol::json_escape;
+        let base = match base {
+            Some(b) => format!(",\"base\":\"{}\"", json_escape(b)),
+            None => String::new(),
+        };
+        self.append_line(&format!(
+            "{PENDING_PREFIX}{{\"name\":\"{}\",\"toml\":\"{}\"{base}}}",
+            json_escape(name),
+            json_escape(toml),
+        ))
+    }
+
+    /// Records that the named job finished (or was superseded) and needs
+    /// no resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message on failure.
+    pub fn append_done(&mut self, name: &str) -> Result<(), String> {
+        use crate::protocol::json_escape;
+        self.append_line(&format!(
+            "{DONE_PREFIX}{{\"name\":\"{}\"}}",
+            json_escape(name)
+        ))
+    }
+
+    fn append_line(&mut self, line: &str) -> Result<(), String> {
+        self.file
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| format!("cannot append to journal {}: {e}", self.path.display()))
+    }
+
+    /// Replays the journal at `path`: recovers every completed cell into
+    /// a cache and collects the jobs that never logged `#done`. A missing
+    /// file replays as empty; a torn final line is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a foreign header or a malformed (non-torn)
+    /// record.
+    pub fn replay(path: impl AsRef<Path>) -> Result<JournalReplay, String> {
+        let path = path.as_ref();
+        let mut text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(format!("cannot read journal {}: {e}", path.display())),
+        };
+        if !text.ends_with('\n') {
+            // Torn tail: only complete lines are replayed.
+            text.truncate(text.rfind('\n').map(|i| i + 1).unwrap_or(0));
+        }
+        let cache = Cache::new();
+        let mut pending: Vec<PendingJob> = Vec::new();
+        if text.is_empty() {
+            return Ok(JournalReplay { cache, pending });
+        }
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, first)) if first.trim() == CACHE_HEADER => {}
+            Some((_, first)) => {
+                return Err(format!(
+                    "journal {} has header '{first}' (expected '{CACHE_HEADER}')",
+                    path.display()
+                ))
+            }
+            None => return Ok(JournalReplay { cache, pending }),
+        }
+        for (no, line) in lines {
+            let line = line.trim();
+            if let Some(rec) = line.strip_prefix(PENDING_PREFIX) {
+                let job = parse_job_record(rec, true)
+                    .map_err(|e| format!("journal line {}: {e}", no + 1))?;
+                match pending.iter_mut().find(|p| p.name == job.name) {
+                    Some(slot) => *slot = job, // re-submission: latest wins
+                    None => pending.push(job),
+                }
+            } else if let Some(rec) = line.strip_prefix(DONE_PREFIX) {
+                let done = parse_job_record(rec, false)
+                    .map_err(|e| format!("journal line {}: {e}", no + 1))?;
+                pending.retain(|p| p.name != done.name);
+            } else if line.is_empty() || line.starts_with('#') {
+                continue;
+            } else {
+                let (tier, point, metrics) =
+                    parse_row(line).map_err(|e| format!("journal line {}: {e}", no + 1))?;
+                cache.insert_tier(tier, point, metrics);
+            }
+        }
+        Ok(JournalReplay { cache, pending })
+    }
+}
+
+/// Parses a `#pending`/`#done` record body. `#done` records carry only
+/// the name (`with_toml` = false).
+fn parse_job_record(rec: &str, with_toml: bool) -> Result<PendingJob, String> {
+    use crate::protocol::{parse_object, Value};
+    let map = parse_object(rec)?;
+    let name = map
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("record missing \"name\"")?
+        .to_string();
+    let toml = if with_toml {
+        map.get("toml")
+            .and_then(Value::as_str)
+            .ok_or("pending record missing \"toml\"")?
+            .to_string()
+    } else {
+        String::new()
+    };
+    let base = map.get("base").and_then(Value::as_str).map(str::to_string);
+    Ok(PendingJob { name, toml, base })
 }
 
 /// The point-identity cells (first 13 columns).
@@ -186,7 +526,7 @@ fn point_cells(p: &RunPoint) -> Vec<String> {
 /// it equals `completion_cycles` in every execution path, and the loader
 /// reconstructs it from there.
 fn metric_cells(m: &Metrics) -> Vec<String> {
-    vec![
+    let mut cells = vec![
         format!("{}", m.time_us),
         m.completion_cycles.to_string(),
         format!("{}", m.gbps_per_npu),
@@ -195,14 +535,9 @@ fn metric_cells(m: &Metrics) -> Vec<String> {
         format!("{}", m.compute_us),
         format!("{}", m.exposed_comm_us),
         m.past_schedules.to_string(),
-        m.attribution.compute_cycles.to_string(),
-        m.attribution.network_cycles.to_string(),
-        m.attribution.hbm_cycles.to_string(),
-        m.attribution.dma_cycles.to_string(),
-        m.attribution.bus_cycles.to_string(),
-        m.attribution.proc_cycles.to_string(),
-        m.attribution.other_cycles.to_string(),
-    ]
+    ];
+    cells.extend(m.attribution.buckets().iter().map(|(_, v)| v.to_string()));
+    cells
 }
 
 fn parse_row(line: &str) -> Result<(Tier, RunPoint, Metrics), String> {
@@ -449,6 +784,149 @@ mod tests {
         save_cache(runner.cache(), &path).unwrap();
         let loaded = load_cache(&path).unwrap();
         assert_eq!(loaded.len(), runner.cache().len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn saves_are_atomic_and_leave_no_temp_files() {
+        let dir = std::env::temp_dir().join("ace-sweep-atomic-save-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.csv");
+        let runner = SweepRunner::new();
+        runner
+            .run(&tiny_collective(), RunnerOptions { threads: 1 })
+            .unwrap();
+        save_cache(runner.cache(), &path).unwrap();
+        save_cache(runner.cache(), &path).unwrap(); // overwrite in place
+        assert_eq!(load_cache(&path).unwrap().len(), runner.cache().len());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cache_lock_excludes_and_names_the_holder() {
+        let dir = std::env::temp_dir().join("ace-sweep-lock-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.csv");
+        let lock = CacheFileLock::acquire(&path).unwrap();
+        assert!(lock.path().exists());
+        let err = CacheFileLock::acquire(&path).unwrap_err();
+        assert!(
+            err.contains(&format!("pid {}", std::process::id())),
+            "error must name the holder: {err}"
+        );
+        drop(lock);
+        // Released on drop: a second acquisition succeeds.
+        let again = CacheFileLock::acquire(&path).unwrap();
+        drop(again);
+        assert!(!dir.join("cache.csv.lock").exists());
+    }
+
+    #[test]
+    fn stale_locks_from_dead_processes_are_broken() {
+        if !std::path::Path::new("/proc").is_dir() {
+            return; // liveness probe needs procfs
+        }
+        let dir = std::env::temp_dir().join("ace-sweep-stale-lock-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.csv");
+        // Forge a lock held by a PID that cannot exist.
+        std::fs::write(dir.join("cache.csv.lock"), "4194304999\n").unwrap();
+        let lock = CacheFileLock::acquire(&path).expect("stale lock must be broken");
+        drop(lock);
+    }
+
+    #[test]
+    fn journal_round_trips_rows_and_job_records() {
+        let dir = std::env::temp_dir().join("ace-sweep-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.journal");
+        let _ = std::fs::remove_file(&path);
+
+        let runner = SweepRunner::new();
+        let sc = tiny_collective();
+        runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+
+        let mut journal = Journal::open(&path).unwrap();
+        journal
+            .append_pending("job-a", "name = \"job-a\"\n", None)
+            .unwrap();
+        for (t, p, m) in runner.cache().entries() {
+            journal.append_row(t, &p, &m).unwrap();
+        }
+        journal.append_done("job-a").unwrap();
+        journal
+            .append_pending("job-b", "name = \"job-b\"\n", Some("/tmp/x"))
+            .unwrap();
+        drop(journal);
+
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.cache.len(), runner.cache().len());
+        for (t, p, m) in runner.cache().entries() {
+            assert_eq!(replay.cache.get_tier(t, &p), Some(m));
+        }
+        // job-a completed; job-b is pending with its base directory.
+        assert_eq!(replay.pending.len(), 1);
+        assert_eq!(replay.pending[0].name, "job-b");
+        assert_eq!(replay.pending[0].base.as_deref(), Some("/tmp/x"));
+
+        // The journal is a valid cache file as-is.
+        let as_cache = load_cache(&path).unwrap();
+        assert_eq!(as_cache.len(), runner.cache().len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_truncates_torn_tails_and_resumes() {
+        let dir = std::env::temp_dir().join("ace-sweep-journal-torn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.journal");
+        let _ = std::fs::remove_file(&path);
+
+        let runner = SweepRunner::new();
+        runner
+            .run(&tiny_collective(), RunnerOptions { threads: 1 })
+            .unwrap();
+        let entries = runner.cache().entries();
+        let mut journal = Journal::open(&path).unwrap();
+        for (t, p, m) in &entries {
+            journal.append_row(*t, p, m).unwrap();
+        }
+        drop(journal);
+
+        // Simulate a SIGKILL mid-append: chop the file mid-row.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 7]).unwrap();
+
+        // Replay drops only the torn row.
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.cache.len(), entries.len() - 1);
+
+        // Re-opening truncates the fragment so appends stay well-formed.
+        let mut journal = Journal::open(&path).unwrap();
+        let (t, p, m) = &entries[entries.len() - 1];
+        journal.append_row(*t, p, m).unwrap();
+        drop(journal);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        let recovered = Journal::replay(&path).unwrap();
+        assert!(recovered.cache.len() >= entries.len() - 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_rejects_foreign_headers() {
+        let dir = std::env::temp_dir().join("ace-sweep-journal-header-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.journal");
+        std::fs::write(&path, "# ace-sweep-cache v1 sim-0.0.0\n").unwrap();
+        assert!(Journal::open(&path).is_err());
+        assert!(Journal::replay(&path).is_err());
         let _ = std::fs::remove_file(&path);
     }
 

@@ -142,18 +142,15 @@ fn row_cells(r: &RunResult) -> Vec<String> {
     ]
 }
 
-/// The attribution cells of one row, in [`ATTRIBUTION_COLUMNS`] order.
+/// The attribution cells of one row, in [`ATTRIBUTION_COLUMNS`] order
+/// (which is [`ace_trace::Attribution::buckets`] order by construction).
 fn attribution_cells(r: &RunResult) -> Vec<String> {
-    let a = &r.metrics.attribution;
-    vec![
-        a.compute_cycles.to_string(),
-        a.network_cycles.to_string(),
-        a.hbm_cycles.to_string(),
-        a.dma_cycles.to_string(),
-        a.bus_cycles.to_string(),
-        a.proc_cycles.to_string(),
-        a.other_cycles.to_string(),
-    ]
+    r.metrics
+        .attribution
+        .buckets()
+        .iter()
+        .map(|(_, v)| v.to_string())
+        .collect()
 }
 
 /// Renders the outcome as CSV (header + one row per grid cell).

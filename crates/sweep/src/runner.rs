@@ -1,18 +1,21 @@
-//! Parallel sweep execution.
+//! Sweep execution: the metric/result/outcome types, the per-point
+//! executors, and the one-shot [`SweepRunner`] frontend.
 //!
-//! [`SweepRunner::run`] expands a scenario, dedupes its grid against a
-//! [`Cache`] keyed on `(tier, point)`, executes the remaining unique
-//! points on a pool of scoped worker threads (work-stealing over a shared
-//! atomic index), and assembles results **in grid order** — so the output
-//! is byte-identical whether the sweep ran on one thread or sixteen.
+//! The batch machinery that used to live here — work queues, the worker
+//! pool, grid-order assembly — moved into the resident
+//! [`JobScheduler`]; [`SweepRunner`] is
+//! now a thin client that owns a private scheduler and adapts its
+//! [`BusEvent`] stream to a simple [`Progress`] callback. Results are
+//! assembled **in grid order** from the `(tier, point)` [`Cache`], so the
+//! output is byte-identical whether the sweep ran on one thread or
+//! sixteen, one-shot or through the daemon.
 //!
 //! The scenario's [`Fidelity`] picks the execution tier: `exact` runs the
 //! event-driven executor, `analytic` the closed-form α–β estimator, and
 //! `hybrid` triages the whole grid analytically before re-simulating only
 //! the Pareto frontier + top-K % cells exactly (see [`crate::fidelity`]).
 
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
 use std::sync::Mutex;
 
 use ace_system::{
@@ -20,9 +23,11 @@ use ace_system::{
 };
 use ace_trace::Attribution;
 
-use crate::fidelity::{select_exact_cells, Fidelity, Tier};
-use crate::grid::{self, PointKind, RunPoint};
-use crate::scenario::{BaselineSpec, Scenario, SweepMode};
+use crate::bus::BusEvent;
+use crate::fidelity::{Fidelity, Tier};
+use crate::grid::{PointKind, RunPoint};
+use crate::scenario::{Scenario, SweepMode};
+use crate::scheduler::JobScheduler;
 
 /// Simulation metrics of one run point. Collective points report zero
 /// compute/exposed time; training points report the full breakdown.
@@ -204,6 +209,14 @@ impl Cache {
         self.len() == 0
     }
 
+    /// `(total, exact, analytic)` entry counts — the figures carried by
+    /// [`BusEvent::CacheStats`] and the daemon's `stats` reply.
+    pub fn tier_counts(&self) -> (usize, usize, usize) {
+        let map = self.map.lock().expect("cache lock");
+        let exact = map.keys().filter(|(t, _)| *t == Tier::Exact).count();
+        (map.len(), exact, map.len() - exact)
+    }
+
     /// Snapshot of every cached `(tier, point, metrics)` triple, in
     /// unspecified order. The persistence layer sorts before writing.
     pub fn entries(&self) -> Vec<(Tier, RunPoint, Metrics)> {
@@ -223,10 +236,40 @@ pub struct RunnerOptions {
     pub threads: usize,
 }
 
-/// A sweep executor owning a [`Cache`] that persists across runs.
+/// Live progress of one execution batch, as reported to
+/// [`SweepRunner::run_with_progress`].
+///
+/// `total` counts every unique cell the batch wants — the freshly
+/// executed plus the cache-served — so a fully warm run still reports one
+/// terminal `done == total` state instead of a dangling `0/N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Cells accounted for so far: cache hits plus completed executions.
+    pub done: usize,
+    /// Unique cells the current batch wants (executed + cached). Hybrid
+    /// sweeps run two batches: analytic triage, then exact re-simulation.
+    pub total: usize,
+    /// Cells of the batch served by the cache without executing.
+    pub cached: usize,
+}
+
+impl Progress {
+    /// Cells actually executed so far in this batch.
+    pub fn executed(&self) -> usize {
+        self.done - self.cached
+    }
+
+    /// Whether the batch is complete.
+    pub fn finished(&self) -> bool {
+        self.done == self.total
+    }
+}
+
+/// A one-shot sweep frontend: a thin client of a private
+/// [`JobScheduler`] whose [`Cache`] persists across runs.
 #[derive(Debug, Default)]
 pub struct SweepRunner {
-    cache: Cache,
+    scheduler: JobScheduler,
 }
 
 impl SweepRunner {
@@ -239,12 +282,20 @@ impl SweepRunner {
     /// a [`--cache-file`](crate::persist) of an earlier process, so
     /// repeated sweeps across processes reuse results.
     pub fn with_cache(cache: Cache) -> SweepRunner {
-        SweepRunner { cache }
+        SweepRunner {
+            scheduler: JobScheduler::with_cache(cache),
+        }
     }
 
     /// The runner's cache.
     pub fn cache(&self) -> &Cache {
-        &self.cache
+        self.scheduler.cache()
+    }
+
+    /// The underlying scheduler — the full service interface (event bus,
+    /// journal, job tickets) behind this runner.
+    pub fn scheduler(&self) -> &JobScheduler {
+        &self.scheduler
     }
 
     /// Runs `scenario` at its configured [`Fidelity`] and returns results
@@ -254,250 +305,45 @@ impl SweepRunner {
     ///
     /// Returns the validation message if the scenario is inconsistent.
     pub fn run(&self, scenario: &Scenario, opts: RunnerOptions) -> Result<SweepOutcome, String> {
-        self.run_with_progress(scenario, opts, &|_, _| {})
+        self.run_with_progress(scenario, opts, &|_| {})
     }
 
-    /// [`run`](SweepRunner::run) with a live progress callback: after each
-    /// freshly executed cell the runner calls `progress(done, batch)`,
-    /// where `batch` is the size of the current execution batch (hybrid
-    /// sweeps run two batches: analytic triage, then exact re-simulation).
-    /// The callback may fire from worker threads; keep it cheap.
+    /// [`run`](SweepRunner::run) with a live progress callback: once when
+    /// each execution batch starts (cache hits pre-counted in
+    /// [`Progress::done`], so an all-cached batch immediately reports
+    /// `done == total`) and once per freshly executed cell.
     pub fn run_with_progress(
         &self,
         scenario: &Scenario,
         opts: RunnerOptions,
-        progress: &(dyn Fn(usize, usize) + Sync),
+        progress: &(dyn Fn(Progress) + Sync),
     ) -> Result<SweepOutcome, String> {
-        scenario.validate()?;
-        match scenario.fidelity {
-            Fidelity::Exact => self.run_tier(scenario, opts, Tier::Exact, progress),
-            Fidelity::Analytic => self.run_tier(scenario, opts, Tier::Analytic, progress),
-            Fidelity::Hybrid => self.run_hybrid(scenario, opts, progress),
-        }
-    }
-
-    /// Single-tier sweep: every grid cell through one execution tier.
-    fn run_tier(
-        &self,
-        scenario: &Scenario,
-        opts: RunnerOptions,
-        tier: Tier,
-        progress: &(dyn Fn(usize, usize) + Sync),
-    ) -> Result<SweepOutcome, String> {
-        let points = grid::expand(scenario);
-        let baseline_points = baseline_points(scenario);
-        let work = self.queue_work(points.iter().chain(baseline_points.iter()), tier);
-        self.execute_parallel(&work, opts, tier, progress);
-
-        let tiers = vec![tier; points.len()];
-        let queued: HashSet<RunPoint> = work.iter().cloned().collect();
-        let (results, cache_hits) = self.assemble(scenario, &points, &tiers, |t, p| {
-            t == tier && queued.contains(p)
-        });
-
-        let (executed, analytic_executed) = match tier {
-            Tier::Exact => (work.len(), 0),
-            Tier::Analytic => (0, work.len()),
-        };
-        Ok(SweepOutcome {
-            scenario: scenario.name.clone(),
-            mode: scenario.mode,
-            fidelity: match tier {
-                Tier::Exact => Fidelity::Exact,
-                Tier::Analytic => Fidelity::Analytic,
-            },
-            results,
-            executed,
-            analytic_executed,
-            cache_hits,
-        })
-    }
-
-    /// Hybrid sweep: α–β triage over the whole grid, exact re-simulation
-    /// of the analytic Pareto frontier + top-K % cells + the baseline.
-    fn run_hybrid(
-        &self,
-        scenario: &Scenario,
-        opts: RunnerOptions,
-        progress: &(dyn Fn(usize, usize) + Sync),
-    ) -> Result<SweepOutcome, String> {
-        let points = grid::expand(scenario);
-        let baseline_pts = baseline_points(scenario);
-
-        // ---- Tier 1: analytic triage of every unique point. ----------
-        let work_a = self.queue_work(points.iter().chain(baseline_pts.iter()), Tier::Analytic);
-        self.execute_parallel(&work_a, opts, Tier::Analytic, progress);
-
-        let triage: Vec<(RunPoint, Metrics)> = points
-            .iter()
-            .map(|p| {
-                let m = self
-                    .cache
-                    .get_tier(Tier::Analytic, p)
-                    .expect("triage covered the grid");
-                (p.clone(), m)
-            })
-            .collect();
-
-        // ---- Select the cells worth exact simulation. ----------------
-        let probe = |p: &RunPoint| execute_analytic(p).time_us;
-        let keep = select_exact_cells(&triage, scenario.hybrid_top_pct, &probe);
-        let tiers: Vec<Tier> = keep
-            .iter()
-            .map(|&k| if k { Tier::Exact } else { Tier::Analytic })
-            .collect();
-
-        let selected = points
-            .iter()
-            .zip(&keep)
-            .filter_map(|(p, &k)| k.then_some(p));
-        let work_e = self.queue_work(selected.chain(baseline_pts.iter()), Tier::Exact);
-        self.execute_parallel(&work_e, opts, Tier::Exact, progress);
-
-        // ---- Assemble: exact rows where selected, analytic elsewhere. -
-        let queued_a: HashSet<RunPoint> = work_a.iter().cloned().collect();
-        let queued_e: HashSet<RunPoint> = work_e.iter().cloned().collect();
-        let (results, cache_hits) = self.assemble(scenario, &points, &tiers, |t, p| match t {
-            Tier::Exact => queued_e.contains(p),
-            Tier::Analytic => queued_a.contains(p),
-        });
-
-        Ok(SweepOutcome {
-            scenario: scenario.name.clone(),
-            mode: scenario.mode,
-            fidelity: Fidelity::Hybrid,
-            results,
-            executed: work_e.len(),
-            analytic_executed: work_a.len(),
-            cache_hits,
-        })
-    }
-
-    /// The work list for one tier: every unique point of `wanted` not
-    /// already cached, in first-seen order (grid first, then any
-    /// baseline points outside the grid).
-    fn queue_work<'a>(
-        &self,
-        wanted: impl Iterator<Item = &'a RunPoint>,
-        tier: Tier,
-    ) -> Vec<RunPoint> {
-        let mut queued: HashSet<&RunPoint> = HashSet::new();
-        let mut work: Vec<RunPoint> = Vec::new();
-        for p in wanted {
-            if !self.cache.contains_tier(tier, p) && queued.insert(p) {
-                work.push(p.clone());
-            }
-        }
-        work
-    }
-
-    /// Assembles grid-order rows: each point's metrics from its tier's
-    /// cache, cache-hit bookkeeping (the first occurrence of a point
-    /// freshly executed this run is the one non-hit row), and baseline
-    /// speedups compared within each row's own tier — an analytic
-    /// estimate is never divided by an event-driven baseline.
-    fn assemble(
-        &self,
-        scenario: &Scenario,
-        points: &[RunPoint],
-        tiers: &[Tier],
-        freshly_executed: impl Fn(Tier, &RunPoint) -> bool,
-    ) -> (Vec<RunResult>, usize) {
-        let mut seen: HashSet<(Tier, &RunPoint)> = HashSet::new();
-        let mut cache_hits = 0usize;
-        let mut results: Vec<RunResult> = points
-            .iter()
-            .zip(tiers)
-            .map(|(p, &tier)| {
-                let metrics = self
-                    .cache
-                    .get_tier(tier, p)
-                    .expect("every grid point was executed in its tier");
-                let fresh = freshly_executed(tier, p) && seen.insert((tier, p));
-                let cache_hit = !fresh;
-                if cache_hit {
-                    cache_hits += 1;
-                }
-                RunResult {
-                    point: p.clone(),
-                    metrics,
-                    fidelity: tier,
-                    cache_hit,
-                    speedup_vs_baseline: None,
-                }
-            })
-            .collect();
-
-        if scenario.baseline.is_some() {
-            for r in &mut results {
-                let bp = baseline_point_for(scenario, &r.point);
-                let base = self
-                    .cache
-                    .get_tier(r.fidelity, &bp)
-                    .expect("baseline point was executed in the row's tier");
-                if r.metrics.time_us > 0.0 {
-                    r.speedup_vs_baseline = Some(base.time_us / r.metrics.time_us);
-                }
-            }
-        }
-        (results, cache_hits)
-    }
-
-    /// Runs `work` on a scoped thread pool, storing metrics in the cache
-    /// under `tier`. `progress(done, work.len())` fires once per completed
-    /// cell (from worker threads when the pool is multi-threaded).
-    fn execute_parallel(
-        &self,
-        work: &[RunPoint],
-        opts: RunnerOptions,
-        tier: Tier,
-        progress: &(dyn Fn(usize, usize) + Sync),
-    ) {
-        if work.is_empty() {
-            return;
-        }
-        let threads = if opts.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            opts.threads
-        }
-        .min(work.len())
-        .max(1);
-
-        if threads == 1 {
-            for (i, p) in work.iter().enumerate() {
-                self.cache
-                    .insert_tier(tier, p.clone(), execute_tier(p, tier));
-                progress(i + 1, work.len());
-            }
-            return;
-        }
-
-        let next = AtomicUsize::new(0);
-        let done = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Metrics>>> = work.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= work.len() {
-                        break;
-                    }
-                    let m = execute_tier(&work[i], tier);
-                    *slots[i].lock().expect("slot lock") = Some(m);
-                    progress(done.fetch_add(1, Ordering::Relaxed) + 1, work.len());
+        let mut cached = 0usize;
+        let mut total = 0usize;
+        let mut on_event = |ev: &BusEvent| match ev {
+            BusEvent::BatchStarted {
+                queued, cached: c, ..
+            } => {
+                cached = *c;
+                total = *queued + *c;
+                progress(Progress {
+                    done: cached,
+                    total,
+                    cached,
                 });
             }
-        });
-        for (p, slot) in work.iter().zip(slots) {
-            let m = slot
-                .into_inner()
-                .expect("slot lock")
-                .expect("worker filled slot");
-            self.cache.insert_tier(tier, p.clone(), m);
-        }
+            BusEvent::CellCompleted { index, .. } => {
+                progress(Progress {
+                    done: cached + *index,
+                    total,
+                    cached,
+                });
+            }
+            _ => {}
+        };
+        self.scheduler
+            .run_job(scenario, opts, &mut on_event)
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -643,93 +489,10 @@ pub fn execute_analytic(point: &RunPoint) -> Metrics {
     }
 }
 
-/// The baseline point a grid row is compared against: the row's
-/// coordinates with the engine/config swapped for the scenario baseline.
-fn baseline_point_for(scenario: &Scenario, point: &RunPoint) -> RunPoint {
-    match (scenario.baseline, &point.kind) {
-        (
-            Some(BaselineSpec::Engine(spec)),
-            PointKind::Collective {
-                op, payload_bytes, ..
-            },
-        ) => RunPoint {
-            topology: point.topology,
-            kind: PointKind::Collective {
-                engine: spec,
-                op: *op,
-                payload_bytes: *payload_bytes,
-            },
-        },
-        (
-            Some(BaselineSpec::Config(cfg)),
-            PointKind::Training {
-                workload,
-                iterations,
-                optimized_embedding,
-                ..
-            },
-        ) => RunPoint {
-            topology: point.topology,
-            kind: PointKind::Training {
-                config: cfg,
-                workload: workload.clone(),
-                iterations: *iterations,
-                optimized_embedding: *optimized_embedding,
-            },
-        },
-        _ => point.clone(),
-    }
-}
-
-/// All baseline points a scenario needs (one per cross-product of the
-/// non-config axes); empty when no baseline is named.
-fn baseline_points(scenario: &Scenario) -> Vec<RunPoint> {
-    let Some(baseline) = scenario.baseline else {
-        return Vec::new();
-    };
-    let mut out = Vec::new();
-    match (baseline, scenario.mode) {
-        (BaselineSpec::Engine(spec), SweepMode::Collective) => {
-            for &topology in &scenario.topologies {
-                for &op in &scenario.ops {
-                    for &payload_bytes in &scenario.payload_bytes {
-                        out.push(RunPoint {
-                            topology,
-                            kind: PointKind::Collective {
-                                engine: spec,
-                                op,
-                                payload_bytes,
-                            },
-                        });
-                    }
-                }
-            }
-        }
-        (BaselineSpec::Config(cfg), SweepMode::Training) => {
-            for &topology in &scenario.topologies {
-                for workload in &scenario.workloads {
-                    out.push(RunPoint {
-                        topology,
-                        kind: PointKind::Training {
-                            config: cfg,
-                            workload: workload.clone(),
-                            iterations: scenario.iterations,
-                            optimized_embedding: scenario.optimized_embedding,
-                        },
-                    });
-                }
-            }
-        }
-        // validate() rejects mismatched baseline kinds.
-        _ => {}
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{EngineFamily, EngineSpec};
+    use crate::scenario::{BaselineSpec, EngineFamily, EngineSpec};
     use ace_net::TopologySpec;
 
     /// A scenario small enough to simulate quickly in tests.
@@ -952,20 +715,45 @@ mod tests {
     }
 
     #[test]
-    fn progress_fires_once_per_executed_cell() {
-        use std::sync::atomic::AtomicUsize;
+    fn progress_counts_every_cell_and_terminates_at_total() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         for threads in [1, 4] {
             let sc = tiny();
             let runner = SweepRunner::new();
             let calls = AtomicUsize::new(0);
             let out = runner
-                .run_with_progress(&sc, RunnerOptions { threads }, &|done, total| {
+                .run_with_progress(&sc, RunnerOptions { threads }, &|p| {
                     calls.fetch_add(1, Ordering::Relaxed);
-                    assert!(done >= 1 && done <= total);
+                    assert!(p.done <= p.total);
+                    assert!(p.cached <= p.done);
                 })
                 .unwrap();
-            assert_eq!(calls.load(Ordering::Relaxed), out.executed);
+            // One batch-start call plus one call per executed cell.
+            assert_eq!(calls.load(Ordering::Relaxed), out.executed + 1);
         }
+    }
+
+    #[test]
+    fn warm_progress_reports_a_terminal_line() {
+        // The satellite fix: a fully cached run used to render `0/N` with
+        // no terminal callback at all. Now the batch-start call reports
+        // every cache hit and already satisfies `done == total`.
+        let sc = tiny();
+        let runner = SweepRunner::new();
+        runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let seen = Mutex::new(Vec::new());
+        let out = runner
+            .run_with_progress(&sc, RunnerOptions { threads: 1 }, &|p| {
+                seen.lock().unwrap().push(p);
+            })
+            .unwrap();
+        assert_eq!(out.executed, 0);
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 1, "warm batch fires exactly once");
+        assert!(seen[0].finished(), "warm progress must report 100%");
+        assert_eq!(seen[0].done, seen[0].total);
+        assert_eq!(seen[0].cached, 3, "unique cached cells are reported");
+        assert_eq!(seen[0].executed(), 0);
     }
 
     #[test]

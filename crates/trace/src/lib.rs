@@ -458,13 +458,24 @@ impl Attribution {
 
     /// The bucket sum (diagnostic counterpart of [`conserves`](Attribution::conserves)).
     pub fn bucket_sum(&self) -> u64 {
-        self.compute_cycles
-            + self.network_cycles
-            + self.hbm_cycles
-            + self.dma_cycles
-            + self.bus_cycles
-            + self.proc_cycles
-            + self.other_cycles
+        self.buckets().iter().map(|(_, v)| v).sum()
+    }
+
+    /// The seven buckets as `(name, cycles)` pairs in the canonical
+    /// column order (`compute`, `network`, `hbm`, `dma`, `bus`, `proc`,
+    /// `other`) — the single source of truth for every emitter that
+    /// serializes an attribution row (sweep CSV/JSON columns, cache-file
+    /// rows, bus events), so the orderings cannot drift apart.
+    pub fn buckets(&self) -> [(&'static str, u64); 7] {
+        [
+            ("compute", self.compute_cycles),
+            ("network", self.network_cycles),
+            ("hbm", self.hbm_cycles),
+            ("dma", self.dma_cycles),
+            ("bus", self.bus_cycles),
+            ("proc", self.proc_cycles),
+            ("other", self.other_cycles),
+        ]
     }
 }
 
