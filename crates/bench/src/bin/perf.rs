@@ -62,6 +62,32 @@ workloads = ["resnet50"]
 iterations = 1
 "#;
 
+/// Intra-simulation parallelism scalability: one exact all-reduce per
+/// torus size from 8 up to 625 nodes, run once serial and once with the
+/// event loop partitioned across 4 domain threads. The payload is
+/// exactly 8 MiB — the largest size whose chunks are all injected up
+/// front, which keeps the partitioned engine eligible for the whole run.
+const FIG11_SCALABILITY_TOML: &str = r#"
+name = "fig11-scalability"
+mode = "collective"
+topologies = ["2x2x2", "4x4x4", "5x5x25"]
+engines = ["ace"]
+ops = ["all-reduce"]
+payloads = ["8MB"]
+mem_gbps = [128]
+comm_sms = [6]
+"#;
+const SMOKE_FIG11_TOML: &str = r#"
+name = "fig11-scalability-smoke"
+mode = "collective"
+topologies = ["4x4x4"]
+engines = ["ace"]
+ops = ["all-reduce"]
+payloads = ["8MB"]
+mem_gbps = [128]
+comm_sms = [6]
+"#;
+
 struct Args {
     out: String,
     threads: usize,
@@ -141,7 +167,10 @@ fn parse_args() -> Result<Args, String> {
 /// Runs `scenario` `runs` times on a cold cache each time; returns the
 /// minimum-wall-time entry.
 fn bench_scenario(scenario: &Scenario, runs: usize, threads: usize) -> BenchEntry {
-    let opts = RunnerOptions { threads };
+    let opts = RunnerOptions {
+        threads,
+        ..Default::default()
+    };
     let mut best_ms = f64::INFINITY;
     let mut points = 0;
     for _ in 0..runs {
@@ -167,7 +196,10 @@ fn bench_scenario(scenario: &Scenario, runs: usize, threads: usize) -> BenchEntr
 /// summarized, and returned in grid order). Compare against the cold
 /// entry of the same scenario for the daemon's speedup.
 fn bench_scenario_warm(scenario: &Scenario, runs: usize, threads: usize) -> BenchEntry {
-    let opts = RunnerOptions { threads };
+    let opts = RunnerOptions {
+        threads,
+        ..Default::default()
+    };
     let runner = SweepRunner::new();
     runner.run(scenario, opts).expect("scenario is valid");
     let mut best_ms = f64::INFINITY;
@@ -186,6 +218,54 @@ fn bench_scenario_warm(scenario: &Scenario, runs: usize, threads: usize) -> Benc
         wall_ms: best_ms,
         points_per_sec: points as f64 / (best_ms / 1e3),
     }
+}
+
+/// Benchmarks the intra-simulation parallel engine: the same grid runs
+/// serial (`sim_threads = 1`) and with the event loop partitioned by
+/// topology domain, the CSV reports are asserted byte-identical (the
+/// partitioned engine is an exact replacement, not an approximation),
+/// and both wall times are recorded. The parallel entry's points/sec
+/// divided by the serial entry's is the intra-sim speedup; it is
+/// bounded by the number of cores the machine actually grants.
+fn bench_sim_threads_pair(
+    scenario: &Scenario,
+    runs: usize,
+    sim_threads: usize,
+) -> (BenchEntry, BenchEntry) {
+    let measure = |sim_threads: usize| -> (BenchEntry, String) {
+        let opts = RunnerOptions {
+            threads: 1,
+            sim_threads,
+        };
+        let mut best_ms = f64::INFINITY;
+        let mut points = 0;
+        let mut csv = String::new();
+        for _ in 0..runs {
+            let runner = SweepRunner::new();
+            let start = Instant::now();
+            let outcome = runner.run(scenario, opts).expect("scenario is valid");
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            points = outcome.results.len();
+            csv = ace_sweep::report::to_csv(&outcome);
+            best_ms = best_ms.min(ms);
+        }
+        let entry = BenchEntry {
+            scenario: scenario.name.clone(),
+            points,
+            wall_ms: best_ms,
+            points_per_sec: points as f64 / (best_ms / 1e3),
+        };
+        (entry, csv)
+    };
+    let (serial, serial_csv) = measure(1);
+    let (mut par, par_csv) = measure(sim_threads);
+    assert_eq!(
+        serial_csv, par_csv,
+        "partitioned engine diverged from serial on {}",
+        scenario.name
+    );
+    par.scenario = format!("{}-simthreads{sim_threads}", scenario.name);
+    (serial, par)
 }
 
 fn run() -> Result<(), String> {
@@ -235,6 +315,35 @@ fn run() -> Result<(), String> {
             );
         }
         entries.push(entry);
+    }
+
+    // Intra-sim parallelism scalability: serial vs 4 domain threads on
+    // the same grid, byte-identity asserted inside the helper. Full
+    // mode also times the smoke pair, for the same reason as above —
+    // refreshing the baseline file must never drop the gate's entries.
+    let mut fig11_tomls = vec![SMOKE_FIG11_TOML];
+    if !args.smoke {
+        fig11_tomls.insert(0, FIG11_SCALABILITY_TOML);
+    }
+    for toml in fig11_tomls {
+        let sc = Scenario::from_toml_str(toml).map_err(|e| e.to_string())?;
+        let (serial, par) = bench_sim_threads_pair(&sc, args.runs, 4);
+        if !args.quiet {
+            println!(
+                "{:<28} {:>5} points  {:>10.1} ms  {:>9.3} points/sec",
+                serial.scenario, serial.points, serial.wall_ms, serial.points_per_sec
+            );
+            println!(
+                "{:<28} {:>5} points  {:>10.1} ms  {:>9.3} points/sec ({:.2}x vs serial, byte-identical)",
+                par.scenario,
+                par.points,
+                par.wall_ms,
+                par.points_per_sec,
+                serial.wall_ms / par.wall_ms
+            );
+        }
+        entries.push(serial);
+        entries.push(par);
     }
 
     // Full mode also reports the daemon's warm-resubmission throughput on

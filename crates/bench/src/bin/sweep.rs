@@ -38,6 +38,7 @@ use ace_trace::{chrome, RecordingTracer};
 struct Args {
     scenario_path: String,
     threads: usize,
+    sim_threads: usize,
     csv: Option<String>,
     json: Option<String>,
     cache_file: Option<String>,
@@ -48,14 +49,22 @@ struct Args {
     attribution: bool,
 }
 
-const USAGE: &str = "usage: sweep <scenario.toml> [--threads N] [--csv PATH] [--json PATH] \
-                     [--cache-file PATH] [--fidelity exact|analytic|hybrid] [--quiet]\n\
+const USAGE: &str = "usage: sweep <scenario.toml> [--threads N] [--sim-threads N] [--csv PATH] \
+                     [--json PATH] [--cache-file PATH] [--fidelity exact|analytic|hybrid] [--quiet]\n\
                      \x20      [--progress | --no-progress] [--trace PATH] [--attribution]\n\
                      \x20      sweep serve [--socket PATH] [--journal PATH] [--threads N] \
-                     [--cache-file PATH] [--stdio]\n\
+                     [--sim-threads N] [--cache-file PATH] [--stdio]\n\
                      \x20      sweep submit <scenario.toml> [--socket PATH] [--csv PATH] \
                      [--threads N] [--fidelity F] [--inline]\n\
                      \x20      sweep ctl <stats|shutdown> [--socket PATH]\n\
+                     \n\
+                     --threads runs N whole grid cells concurrently (0 = machine\n\
+                     parallelism); --sim-threads partitions the event loop of each\n\
+                     *individual* exact simulation across N workers (domain\n\
+                     decomposition with conservative lookahead windows). Results are\n\
+                     byte-identical for every --sim-threads value, so cached cells and\n\
+                     reports never depend on it; use it to speed up grids of few large\n\
+                     fabrics where --threads alone cannot fill the machine.\n\
                      \n\
                      --progress renders a live `cells done/total, pts/s, ETA` line on\n\
                      stderr (default: on when stderr is a terminal; --quiet or\n\
@@ -95,6 +104,7 @@ const USAGE: &str = "usage: sweep <scenario.toml> [--threads N] [--csv PATH] [--
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut scenario_path = None;
     let mut threads = 0usize;
+    let mut sim_threads = 0usize;
     let mut csv = None;
     let mut json = None;
     let mut cache_file = None;
@@ -109,6 +119,12 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--threads" => {
                 let v = argv.next().ok_or("--threads needs a value")?;
                 threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+            }
+            "--sim-threads" => {
+                let v = argv.next().ok_or("--sim-threads needs a value")?;
+                sim_threads = v
+                    .parse()
+                    .map_err(|_| format!("bad sim-thread count '{v}'"))?;
             }
             "--csv" => csv = Some(argv.next().ok_or("--csv needs a path")?),
             "--json" => json = Some(argv.next().ok_or("--json needs a path")?),
@@ -141,6 +157,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(Args {
         scenario_path,
         threads,
+        sim_threads,
         csv,
         json,
         cache_file,
@@ -205,15 +222,32 @@ fn trace_first_point(scenario: &Scenario) -> Result<String, String> {
 /// newline is emitted when the batch completes — including fully warm
 /// batches, which arrive already at `done == total`.
 fn render_progress(start: std::time::Instant, p: Progress) {
-    let secs = start.elapsed().as_secs_f64();
-    let pps = p.executed() as f64 / secs.max(1e-9);
-    let eta = (p.total.saturating_sub(p.done)) as f64 / pps.max(1e-9);
     let mut err = std::io::stderr().lock();
-    let _ = write!(
-        err,
-        "\rcells {}/{} ({} cached), {pps:.1} pts/s, ETA {eta:.0}s   ",
-        p.done, p.total, p.cached
-    );
+    if p.executed() == 0 {
+        // Nothing simulated yet — either the batch just started or every
+        // cell was served from the cache. A rate over zero executed cells
+        // is meaningless (the old code divided by ~0 and printed an
+        // astronomical ETA on fully warm runs); show plain progress.
+        let pct = if p.total > 0 {
+            100.0 * p.done as f64 / p.total as f64
+        } else {
+            100.0
+        };
+        let _ = write!(
+            err,
+            "\rcells {}/{} ({} cached), {pct:.0}%   ",
+            p.done, p.total, p.cached
+        );
+    } else {
+        let secs = start.elapsed().as_secs_f64();
+        let pps = p.executed() as f64 / secs.max(1e-9);
+        let eta = (p.total.saturating_sub(p.done)) as f64 / pps;
+        let _ = write!(
+            err,
+            "\rcells {}/{} ({} cached), {pps:.1} pts/s, ETA {eta:.0}s   ",
+            p.done, p.total, p.cached
+        );
+    }
     if p.finished() {
         let _ = writeln!(err);
     }
@@ -273,6 +307,7 @@ fn run_oneshot(args: Args) -> Result<(), String> {
         &scenario,
         RunnerOptions {
             threads: args.threads,
+            sim_threads: args.sim_threads,
         },
         progress,
     )?;
@@ -379,6 +414,7 @@ struct ServeArgs {
     journal: Option<String>,
     cache_file: Option<String>,
     threads: usize,
+    sim_threads: usize,
     stdio: bool,
     quiet: bool,
 }
@@ -389,6 +425,7 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
         journal: None,
         cache_file: None,
         threads: 0,
+        sim_threads: 0,
         stdio: false,
         quiet: false,
     };
@@ -402,6 +439,12 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
             "--threads" => {
                 let v = argv.next().ok_or("--threads needs a value")?;
                 args.threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+            }
+            "--sim-threads" => {
+                let v = argv.next().ok_or("--sim-threads needs a value")?;
+                args.sim_threads = v
+                    .parse()
+                    .map_err(|_| format!("bad sim-thread count '{v}'"))?;
             }
             "--stdio" => args.stdio = true,
             "--quiet" => args.quiet = true,
@@ -431,6 +474,7 @@ fn default_socket(socket: &Option<String>, journal: &Option<String>) -> PathBuf 
 fn run_serve(args: ServeArgs) -> Result<(), String> {
     let mut service = SweepService::open(ServiceOptions {
         threads: args.threads,
+        sim_threads: args.sim_threads,
         journal: args.journal.as_ref().map(PathBuf::from),
     })?;
     if !args.quiet {

@@ -235,6 +235,7 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     let opts = RunnerOptions {
         threads: args.threads,
+        ..Default::default()
     };
     if !args.quiet {
         header("validate: analytic tier vs the event-driven executor");

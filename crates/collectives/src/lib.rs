@@ -39,9 +39,11 @@
 
 pub mod analytic;
 mod granularity;
+mod partition;
 mod plan;
 pub mod traffic;
 
 pub use analytic::{estimate_collective, estimate_on_spec, AnalyticEstimate, EndpointModel};
 pub use granularity::{split_even, Granularity};
+pub use partition::partition_bounds;
 pub use plan::{CollectiveOp, CollectivePlan, PhaseKind, PhaseLink, PhaseSpec};

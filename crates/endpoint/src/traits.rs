@@ -11,7 +11,11 @@ use ace_trace::PipeBusy;
 /// are charged by the network layer). The `phase` argument indexes the
 /// collective plan's phase so engines with per-phase resources (ACE's SRAM
 /// partitions and FSM groups) can route the request.
-pub trait CollectiveEngine {
+///
+/// Engines must be `Send`: the domain-partitioned executor moves disjoint
+/// per-node engine slices onto worker threads. (No engine is shared —
+/// `Sync` is not required.)
+pub trait CollectiveEngine: Send {
     /// One-time per-chunk setup before phase 0: the baseline does nothing
     /// (gradients already live in HBM); ACE runs the TX DMA into SRAM.
     /// Returns the time the chunk is ready to start its first phase.

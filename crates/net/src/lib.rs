@@ -41,7 +41,7 @@ mod topo;
 mod topology;
 
 pub use link::{Link, LinkClass, LinkParams, Port};
-pub use network::{HopOutcome, Network, NetworkParams};
+pub use network::{HopOutcome, NetShard, NetTx, Network, NetworkParams};
 pub use topo::{
     did_you_mean, DimInfo, Hierarchical, Switch, Topology, TopologySpec, Torus, MAX_TORUS_DIMS,
 };

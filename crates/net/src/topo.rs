@@ -389,6 +389,17 @@ pub trait Topology: Send + Sync + fmt::Debug {
     /// positive (`plus = true`) or negative direction.
     fn neighbor(&self, node: NodeId, dim: usize, plus: bool) -> NodeId;
 
+    /// The single node reachable through `node`'s egress `port`, or
+    /// `None` when the port has no link or the link fans out to more than
+    /// one destination (a crossbar uplink). Conservative-lookahead
+    /// partitioning uses this: a `None` port must be assumed to cross
+    /// partitions. The default claims fan-out everywhere; point-to-point
+    /// topologies override with the exact peer.
+    fn link_peer(&self, node: NodeId, port: Port) -> Option<NodeId> {
+        let _ = (node, port);
+        None
+    }
+
     /// The members of the ring through `node` along `dim`, starting at
     /// `node` and following the positive direction.
     fn ring_members(&self, node: NodeId, dim: usize) -> Vec<NodeId> {
@@ -521,6 +532,14 @@ impl Topology for Torus {
         let c = self.coord(node, dim);
         let next = if plus { (c + 1) % n } else { (c + n - 1) % n };
         self.with_coord(node, dim, next)
+    }
+
+    fn link_peer(&self, node: NodeId, port: Port) -> Option<NodeId> {
+        // Every torus link is point-to-point: port 2d goes to the
+        // positive ring neighbor along dimension d, port 2d+1 to the
+        // negative one.
+        self.port_class(port)?;
+        Some(self.neighbor(node, port.index() / 2, port.index().is_multiple_of(2)))
     }
 
     fn route(&self, src: NodeId, dst: NodeId) -> Route {
@@ -828,6 +847,20 @@ impl Topology for Hierarchical {
         }
     }
 
+    fn link_peer(&self, node: NodeId, port: Port) -> Option<NodeId> {
+        // The scale-out ring ports are point-to-point; the crossbar
+        // uplink (port 0) fans out across the whole domain and keeps the
+        // fan-out default.
+        self.port_class(port)?;
+        match port.index() {
+            1 | 2 => {
+                let ring_dim = scale_up_dim_count(self.su);
+                Some(self.neighbor(node, ring_dim, port.index() == 1))
+            }
+            _ => None,
+        }
+    }
+
     fn route(&self, src: NodeId, dst: NodeId) -> Route {
         let (us, os) = self.domain_local(src);
         let (ud, od) = self.domain_local(dst);
@@ -931,6 +964,42 @@ mod tests {
         assert!("switch:8@0".parse::<TopologySpec>().is_err());
         assert!("hier:0x4".parse::<TopologySpec>().is_err());
         assert!("hier:1x1".parse::<TopologySpec>().is_err());
+    }
+
+    #[test]
+    fn link_peer_is_exact_on_point_to_point_links() {
+        // Torus: every live port names its ring neighbor; dead ports
+        // (size-1 dimensions) have no peer.
+        let torus = Torus::new("4x1x2".parse::<TopologySpec>().unwrap());
+        for node in (0..torus.nodes()).map(NodeId) {
+            for (d, info) in torus.dims().iter().enumerate() {
+                let (want_plus, want_minus) = if info.len > 1 {
+                    (
+                        Some(torus.neighbor(node, d, true)),
+                        Some(torus.neighbor(node, d, false)),
+                    )
+                } else {
+                    (None, None)
+                };
+                assert_eq!(torus.link_peer(node, info.port_plus), want_plus);
+                assert_eq!(torus.link_peer(node, info.port_minus), want_minus);
+            }
+        }
+        // Switch: the uplink fans out across the crossbar — no peer.
+        let switch = "switch:8".parse::<TopologySpec>().unwrap().build();
+        assert_eq!(switch.link_peer(NodeId(3), Port::from_index(0)), None);
+        // Hierarchical: ring ports are exact, the crossbar uplink is not.
+        let hier = "hier:4x3".parse::<TopologySpec>().unwrap().build();
+        let ring_dim = hier.dims().len() - 1;
+        assert_eq!(hier.link_peer(NodeId(1), Port::from_index(0)), None);
+        assert_eq!(
+            hier.link_peer(NodeId(1), Port::from_index(1)),
+            Some(hier.neighbor(NodeId(1), ring_dim, true))
+        );
+        assert_eq!(
+            hier.link_peer(NodeId(1), Port::from_index(2)),
+            Some(hier.neighbor(NodeId(1), ring_dim, false))
+        );
     }
 
     #[test]

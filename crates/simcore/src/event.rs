@@ -53,11 +53,18 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at time zero.
     pub fn new() -> Self {
+        Self::with_now(SimTime::ZERO)
+    }
+
+    /// Creates an empty queue whose clock starts at `now` — the
+    /// constructor partitioned simulations use to fork per-partition
+    /// queues that agree with the parent clock.
+    pub fn with_now(now: SimTime) -> Self {
         EventQueue {
             keys: Vec::new(),
             events: Vec::new(),
             next_seq: 0,
-            now: SimTime::ZERO,
+            now,
             past_schedules: 0,
             pops: 0,
         }
@@ -95,6 +102,38 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.keys.is_empty()
     }
+
+    /// Advances the clock to `t` without delivering anything (no-op when
+    /// `t` is in the past). Used when re-joining partitioned queues: the
+    /// parent clock must catch up to the furthest partition before
+    /// absorbing its leftovers.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
+
+    /// Folds another queue's delivery counters (and clock) into this one,
+    /// so a simulation that temporarily fanned out over partitioned
+    /// queues reports the same `pops`/`past_schedules` totals as a serial
+    /// run.
+    pub fn absorb_counters(&mut self, other: &EventQueue<E>) {
+        self.pops += other.pops;
+        self.past_schedules += other.past_schedules;
+        self.now = self.now.max(other.now);
+    }
+
+    /// Removes and returns every pending entry as `(time, low-64 key,
+    /// event)` in unspecified order, leaving the clock and counters
+    /// untouched. Re-inserting an entry through
+    /// [`schedule_keyed`](EventQueue::schedule_keyed) with the returned
+    /// key reconstructs its exact ordering key.
+    pub fn drain_entries(&mut self) -> Vec<(SimTime, u64, E)> {
+        let keys = std::mem::take(&mut self.keys);
+        let events = std::mem::take(&mut self.events);
+        keys.into_iter()
+            .zip(events)
+            .map(|(k, e)| (key_time(k), k as u64, e))
+            .collect()
+    }
 }
 
 impl<E: Copy> EventQueue<E> {
@@ -106,13 +145,32 @@ impl<E: Copy> EventQueue<E> {
     /// [`past_schedules`](EventQueue::past_schedules) so release-mode
     /// sweeps can surface it in reports.
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.schedule_raw(at, seq, event);
+    }
+
+    /// Schedules `event` with an explicit low-64 tie-break key instead of
+    /// the insertion sequence number. Events at equal times then pop in
+    /// `key` order regardless of scheduling order, which is what lets a
+    /// domain-partitioned simulation reproduce the serial engine's event
+    /// order exactly: the key is derived from event *content*, so the
+    /// interleaving in which partitions scheduled them cannot matter.
+    ///
+    /// Callers mixing `schedule` and `schedule_keyed` on one queue are
+    /// responsible for keeping the key spaces orderable (the executor
+    /// keeps plain sequence keys below `2^60` and content keys above).
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, event: E) {
+        self.schedule_raw(at, key, event);
+    }
+
+    fn schedule_raw(&mut self, at: SimTime, low: u64, event: E) {
         debug_assert!(at >= self.now, "event scheduled in the past");
         if at < self.now {
             self.past_schedules += 1;
         }
         let time = at.max(self.now);
-        let key = (time.cycles() as u128) << 64 | self.next_seq as u128;
-        self.next_seq += 1;
+        let key = (time.cycles() as u128) << 64 | low as u128;
         // Hole-based sift-up: walk ancestors down into the hole and place
         // the new entry once, instead of swapping at every level.
         let mut hole = self.keys.len();
@@ -138,6 +196,13 @@ impl<E: Copy> EventQueue<E> {
 
     /// Pops the earliest event, advancing the queue's clock to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_keyed().map(|(t, _, e)| (t, e))
+    }
+
+    /// Pops the earliest event together with its low-64 ordering key (the
+    /// sequence number for [`schedule`](EventQueue::schedule), the caller
+    /// key for [`schedule_keyed`](EventQueue::schedule_keyed)).
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
         let key = *self.keys.first()?;
         let event = self.events[0];
         let last_key = self.keys.pop().expect("nonempty");
@@ -173,7 +238,7 @@ impl<E: Copy> EventQueue<E> {
         let time = key_time(key);
         self.now = time;
         self.pops += 1;
-        Some((time, event))
+        Some((time, key as u64, event))
     }
 }
 
@@ -276,6 +341,72 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn keyed_ties_pop_in_key_order_regardless_of_insertion() {
+        let t = SimTime::from_cycles(5);
+        // Two opposite insertion orders must deliver identically.
+        let mut a = EventQueue::new();
+        for k in [9u64, 3, 7, 1] {
+            a.schedule_keyed(t, k, k);
+        }
+        let mut b = EventQueue::new();
+        for k in [1u64, 7, 3, 9] {
+            b.schedule_keyed(t, k, k);
+        }
+        let drain = |q: &mut EventQueue<u64>| -> Vec<(u64, u64)> {
+            std::iter::from_fn(|| q.pop_keyed().map(|(_, k, e)| (k, e))).collect()
+        };
+        let da = drain(&mut a);
+        assert_eq!(da, drain(&mut b));
+        assert_eq!(da, vec![(1, 1), (3, 3), (7, 7), (9, 9)]);
+    }
+
+    #[test]
+    fn plain_and_keyed_schedules_coexist() {
+        // Plain sequence keys (small) beat content keys (large) at ties.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_cycles(5);
+        q.schedule_keyed(t, 1 << 60, "keyed");
+        q.schedule(t, "plain");
+        assert_eq!(q.pop().unwrap().1, "plain");
+        assert_eq!(q.pop().unwrap().1, "keyed");
+    }
+
+    #[test]
+    fn drain_entries_round_trips_through_schedule_keyed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_cycles(3), 30);
+        q.schedule_keyed(SimTime::from_cycles(1), 7, 10);
+        q.schedule_keyed(SimTime::from_cycles(2), 4, 20);
+        let entries = q.drain_entries();
+        assert!(q.is_empty());
+        assert_eq!(q.pops(), 0, "draining is not delivery");
+        let mut r = EventQueue::new();
+        for (at, key, ev) in entries {
+            r.schedule_keyed(at, key, ev);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| r.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn with_now_and_absorb_counters_rejoin_partitions() {
+        let mut main: EventQueue<()> = EventQueue::new();
+        main.schedule(SimTime::from_cycles(2), ());
+        main.pop();
+        let mut part: EventQueue<()> = EventQueue::with_now(main.now());
+        assert_eq!(part.now(), SimTime::from_cycles(2));
+        part.schedule(SimTime::from_cycles(9), ());
+        part.pop();
+        main.absorb_counters(&part);
+        assert_eq!(main.pops(), 2);
+        assert_eq!(main.now(), SimTime::from_cycles(9));
+        main.advance_to(SimTime::from_cycles(4));
+        assert_eq!(main.now(), SimTime::from_cycles(9), "advance never rewinds");
+        main.advance_to(SimTime::from_cycles(12));
+        assert_eq!(main.now(), SimTime::from_cycles(12));
     }
 
     #[test]

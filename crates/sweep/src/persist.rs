@@ -158,17 +158,75 @@ pub fn load_cache(path: impl AsRef<Path>) -> Result<Cache, String> {
 }
 
 /// An `O_EXCL` advisory lock guarding a cache file: created with
-/// `create_new` (so acquisition is atomic), holding the owner's PID, and
-/// removed on drop. Two concurrent `sweep --cache-file` runs on the same
-/// path fail fast with an error naming the holder instead of silently
-/// interleaving saves.
+/// `create_new` (so acquisition is atomic), holding the owner's identity,
+/// and removed on drop. Two concurrent `sweep --cache-file` runs on the
+/// same path fail fast with an error naming the holder instead of
+/// silently interleaving saves.
 ///
-/// A lock whose holder PID no longer exists (checked via `/proc` where
-/// available) is treated as stale and broken automatically — a crashed
+/// The lock records `pid start_time` — the kernel start time defuses PID
+/// reuse, where a dead holder's PID has been handed to an unrelated new
+/// process that would otherwise pin the lock forever. Liveness is probed
+/// via `/proc` where available; elsewhere a lock older than
+/// [`STALE_LOCK_MAX_AGE`] is presumed abandoned. Either way a provably
+/// (or plausibly) dead holder's lock is broken automatically — a crashed
 /// run must not wedge the cache forever.
 #[derive(Debug)]
 pub struct CacheFileLock {
     path: PathBuf,
+}
+
+/// How long a lock may sit unprobeable (no `/proc`) before it is
+/// presumed abandoned. Generous on purpose: breaking a live sweep's lock
+/// corrupts saves, while an abandoned lock only delays the next run.
+pub const STALE_LOCK_MAX_AGE: std::time::Duration = std::time::Duration::from_secs(24 * 60 * 60);
+
+/// Kernel start time of `pid` in clock ticks since boot (`/proc/<pid>/
+/// stat` field 22). `None` off Linux or when the process is gone.
+fn proc_start_time_of(proc_root: &Path, pid: u32) -> Option<u64> {
+    let text = std::fs::read_to_string(proc_root.join(pid.to_string()).join("stat")).ok()?;
+    parse_proc_start_time(&text)
+}
+
+/// Extracts field 22 (`starttime`) from `/proc/<pid>/stat` contents. The
+/// comm field (2) is an arbitrary process name that may itself contain
+/// spaces and parentheses, so fields are counted after the *last* `)`.
+fn parse_proc_start_time(stat: &str) -> Option<u64> {
+    let rest = stat.rsplit_once(')')?.1;
+    // After the comm field, `state` is overall field 3 → `starttime`
+    // (field 22) is the 20th remaining field.
+    rest.split_whitespace().nth(19)?.parse().ok()
+}
+
+/// Whether the lock at `path` with `contents` belongs to a holder that is
+/// provably (or, absent `/proc`, plausibly) gone. Exposed to tests so
+/// both probe paths are exercised regardless of the host platform.
+fn lock_is_stale(path: &Path, contents: &str, proc_root: Option<&Path>) -> bool {
+    let mut fields = contents.split_whitespace();
+    let Some(pid) = fields.next().and_then(|s| s.parse::<u32>().ok()) else {
+        // An unreadable holder record cannot be assessed; never break it.
+        return false;
+    };
+    let recorded_start = fields.next().and_then(|s| s.parse::<u64>().ok());
+    match proc_root {
+        Some(root) => match proc_start_time_of(root, pid) {
+            // No such process: the holder is dead.
+            None => !root.join(pid.to_string()).exists(),
+            Some(live_start) => match recorded_start {
+                // Start times disagree: the PID was reused by an
+                // unrelated process after the holder died.
+                Some(want) => want != live_start,
+                // Old single-line lock format: the PID exists, and
+                // without a recorded start time reuse cannot be proven.
+                None => false,
+            },
+        },
+        // No `/proc`: fall back to lock age.
+        None => std::fs::metadata(path)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age > STALE_LOCK_MAX_AGE),
+    }
 }
 
 impl CacheFileLock {
@@ -183,6 +241,8 @@ impl CacheFileLock {
         let mut os = cache_path.as_ref().as_os_str().to_owned();
         os.push(".lock");
         let path = PathBuf::from(os);
+        let proc_root = Path::new("/proc");
+        let proc_root = proc_root.is_dir().then_some(proc_root);
         for attempt in 0..2 {
             match std::fs::OpenOptions::new()
                 .write(true)
@@ -190,25 +250,27 @@ impl CacheFileLock {
                 .open(&path)
             {
                 Ok(mut f) => {
-                    let _ = writeln!(f, "{}", std::process::id());
+                    let pid = std::process::id();
+                    match proc_root.and_then(|root| proc_start_time_of(root, pid)) {
+                        Some(start) => {
+                            let _ = writeln!(f, "{pid} {start}");
+                        }
+                        None => {
+                            let _ = writeln!(f, "{pid}");
+                        }
+                    }
                     return Ok(CacheFileLock { path });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    let holder = std::fs::read_to_string(&path)
-                        .ok()
-                        .and_then(|s| s.trim().parse::<u32>().ok());
-                    if attempt == 0 {
-                        if let Some(pid) = holder {
-                            // Break a stale lock left by a dead process.
-                            if Path::new("/proc").is_dir()
-                                && !Path::new(&format!("/proc/{pid}")).exists()
-                            {
-                                let _ = std::fs::remove_file(&path);
-                                continue;
-                            }
-                        }
+                    let contents = std::fs::read_to_string(&path).unwrap_or_default();
+                    if attempt == 0 && lock_is_stale(&path, &contents, proc_root) {
+                        let _ = std::fs::remove_file(&path);
+                        continue;
                     }
-                    let holder = holder
+                    let holder = contents
+                        .split_whitespace()
+                        .next()
+                        .and_then(|s| s.parse::<u32>().ok())
                         .map(|pid| format!("pid {pid}"))
                         .unwrap_or_else(|| "unknown pid".to_string());
                     return Err(format!(
@@ -645,7 +707,15 @@ mod tests {
     fn cache_round_trips_byte_exactly() {
         let runner = SweepRunner::new();
         let sc = tiny_collective();
-        runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        runner
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         let text = cache_to_string(runner.cache());
         let reloaded = cache_from_str(&text).unwrap();
         assert_eq!(reloaded.len(), runner.cache().len());
@@ -668,7 +738,15 @@ mod tests {
         )];
         sc.iterations = 1;
         let runner = SweepRunner::new();
-        runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        runner
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         let text = cache_to_string(runner.cache());
         let reloaded = cache_from_str(&text).unwrap();
         for (t, p, m) in runner.cache().entries() {
@@ -682,12 +760,28 @@ mod tests {
         // run again; the second run simulates nothing.
         let first = SweepRunner::new();
         let sc = tiny_collective();
-        let out1 = first.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let out1 = first
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert!(out1.executed > 0);
         let text = cache_to_string(first.cache());
 
         let second = SweepRunner::with_cache(cache_from_str(&text).unwrap());
-        let out2 = second.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let out2 = second
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert_eq!(out2.executed, 0, "warm cache must serve every point");
         assert!(out2.results.iter().all(|r| r.cache_hit));
         for (a, b) in out1.results.iter().zip(&out2.results) {
@@ -712,7 +806,15 @@ mod tests {
         sc.engines = vec![EngineFamily::Ideal];
         sc.payload_bytes = vec![64 * 1024];
         let runner = SweepRunner::new();
-        let out = runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let out = runner
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         // Five same-size fabrics, five distinct simulations.
         assert_eq!(out.executed, 5);
         let times: std::collections::HashSet<u64> = out
@@ -745,7 +847,15 @@ mod tests {
         );
         // And a warm rerun of the full grid simulates nothing.
         let warm = SweepRunner::with_cache(reloaded);
-        let again = warm.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let again = warm
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert_eq!(again.executed, 0);
     }
 
@@ -779,7 +889,13 @@ mod tests {
         assert!(load_cache(&path).unwrap().is_empty());
         let runner = SweepRunner::new();
         runner
-            .run(&tiny_collective(), RunnerOptions { threads: 1 })
+            .run(
+                &tiny_collective(),
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         save_cache(runner.cache(), &path).unwrap();
         let loaded = load_cache(&path).unwrap();
@@ -794,7 +910,13 @@ mod tests {
         let path = dir.join("cache.csv");
         let runner = SweepRunner::new();
         runner
-            .run(&tiny_collective(), RunnerOptions { threads: 1 })
+            .run(
+                &tiny_collective(),
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         save_cache(runner.cache(), &path).unwrap();
         save_cache(runner.cache(), &path).unwrap(); // overwrite in place
@@ -842,6 +964,79 @@ mod tests {
     }
 
     #[test]
+    fn pid_reuse_is_detected_via_start_time() {
+        if !std::path::Path::new("/proc").is_dir() {
+            return; // liveness probe needs procfs
+        }
+        let dir = std::env::temp_dir().join("ace-sweep-pid-reuse-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.csv");
+        // Forge a lock from a "previous" holder whose PID has since been
+        // handed to this very process: the PID is alive but the recorded
+        // start time cannot match, so the lock must be treated as stale.
+        std::fs::write(
+            dir.join("cache.csv.lock"),
+            format!("{} 1\n", std::process::id()),
+        )
+        .unwrap();
+        let lock = CacheFileLock::acquire(&path).expect("reused-PID lock must be broken");
+        drop(lock);
+        // Whereas the same live PID with *no* recorded start time (the
+        // old lock format) cannot be proven reused, so it is respected.
+        std::fs::write(
+            dir.join("cache.csv.lock"),
+            format!("{}\n", std::process::id()),
+        )
+        .unwrap();
+        let err = CacheFileLock::acquire(&path).unwrap_err();
+        assert!(
+            err.contains(&format!("pid {}", std::process::id())),
+            "{err}"
+        );
+        std::fs::remove_file(dir.join("cache.csv.lock")).unwrap();
+    }
+
+    #[test]
+    fn lock_age_fallback_breaks_only_old_locks() {
+        // The portable path (no /proc): a fresh lock is respected, one
+        // older than STALE_LOCK_MAX_AGE is presumed abandoned.
+        let dir = std::env::temp_dir().join("ace-sweep-lock-age-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.csv.lock");
+        std::fs::write(&path, "12345 99\n").unwrap();
+        assert!(
+            !lock_is_stale(&path, "12345 99", None),
+            "a fresh lock must be respected without a liveness probe"
+        );
+        let old = std::time::SystemTime::now() - 2 * STALE_LOCK_MAX_AGE;
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_times(std::fs::FileTimes::new().set_modified(old))
+            .unwrap();
+        assert!(
+            lock_is_stale(&path, "12345 99", None),
+            "an ancient unprobeable lock must be presumed abandoned"
+        );
+        // Garbage holder records are never broken, regardless of age.
+        assert!(!lock_is_stale(&path, "not-a-pid", None));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn proc_stat_start_time_parses_hostile_comm_names() {
+        // comm (field 2) is attacker-ish: it may contain spaces and even
+        // `)` — fields must be counted after the LAST closing paren.
+        let stat = "123 (a b) c) S 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 42 99";
+        assert_eq!(parse_proc_start_time(stat), Some(42));
+        assert_eq!(parse_proc_start_time("garbage"), None);
+        assert_eq!(parse_proc_start_time("1 (short) S 0"), None);
+        // A real self-probe agrees with the recorded identity.
+        if std::path::Path::new("/proc").is_dir() {
+            let mine = proc_start_time_of(std::path::Path::new("/proc"), std::process::id());
+            assert!(mine.is_some(), "self start time must be readable");
+        }
+    }
+
+    #[test]
     fn journal_round_trips_rows_and_job_records() {
         let dir = std::env::temp_dir().join("ace-sweep-journal-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -850,7 +1045,15 @@ mod tests {
 
         let runner = SweepRunner::new();
         let sc = tiny_collective();
-        runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        runner
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
 
         let mut journal = Journal::open(&path).unwrap();
         journal
@@ -890,7 +1093,13 @@ mod tests {
 
         let runner = SweepRunner::new();
         runner
-            .run(&tiny_collective(), RunnerOptions { threads: 1 })
+            .run(
+                &tiny_collective(),
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let entries = runner.cache().entries();
         let mut journal = Journal::open(&path).unwrap();
@@ -933,12 +1142,33 @@ mod tests {
     #[test]
     fn warm_outcome_matches_cold_except_cache_flags() {
         let sc = tiny_collective();
-        let cold = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let cold = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let runner = SweepRunner::new();
-        let _ = runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let _ = runner
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         let text = cache_to_string(runner.cache());
         let warm = SweepRunner::with_cache(cache_from_str(&text).unwrap())
-            .run(&sc, RunnerOptions { threads: 1 })
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         assert_eq!(cold.results.len(), warm.results.len());
         for (c, w) in cold.results.iter().zip(&warm.results) {

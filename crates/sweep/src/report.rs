@@ -434,7 +434,14 @@ mod tests {
         sc.mem_gbps = vec![128.0, 450.0];
         sc.comm_sms = vec![6];
         sc.baseline = Some(BaselineSpec::Engine(EngineSpec::Ideal));
-        run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap()
+        run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -532,8 +539,22 @@ mod tests {
         sc.payload_bytes = vec![128 * 1024];
         sc.mem_gbps = vec![64.0, 128.0, 450.0];
         sc.comm_sms = vec![2, 6];
-        let serial = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
-        let parallel = run_scenario(&sc, RunnerOptions { threads: 8 }).unwrap();
+        let serial = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let parallel = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(to_csv(&serial), to_csv(&parallel));
         assert_eq!(to_json(&serial), to_json(&parallel));
     }

@@ -19,7 +19,8 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use ace_system::{
-    analytic_collective_run, analytic_training_run, run_single_collective, SystemBuilder,
+    analytic_collective_run, analytic_training_run, run_single_collective_with_options,
+    ExecutorOptions, SystemBuilder,
 };
 use ace_trace::Attribution;
 
@@ -234,6 +235,12 @@ impl Cache {
 pub struct RunnerOptions {
     /// Worker threads; `0` uses the machine's available parallelism.
     pub threads: usize,
+    /// Worker threads *inside each exact simulation* (the
+    /// domain-partitioned event loop); `0` or `1` runs the serial engine.
+    /// Results are byte-identical for every value — this knob trades
+    /// per-point wall-clock for grid-level parallelism, so it is *not*
+    /// part of the cache key.
+    pub sim_threads: usize,
 }
 
 /// Live progress of one execution batch, as reported to
@@ -355,22 +362,45 @@ pub fn run_scenario(scenario: &Scenario, opts: RunnerOptions) -> Result<SweepOut
 /// Executes one point in the given tier. Pure and deterministic within a
 /// tier: the same `(tier, point)` always produces the same metrics.
 pub fn execute_tier(point: &RunPoint, tier: Tier) -> Metrics {
+    execute_tier_with(point, tier, 1)
+}
+
+/// [`execute_tier`] with an intra-simulation thread count for the exact
+/// tier. `sim_threads` never changes the metrics (the parallel engine is
+/// byte-identical to the serial one), so both spellings share the same
+/// cache entries.
+pub fn execute_tier_with(point: &RunPoint, tier: Tier, sim_threads: usize) -> Metrics {
     match tier {
-        Tier::Exact => execute(point),
+        Tier::Exact => execute_with(point, sim_threads),
         Tier::Analytic => execute_analytic(point),
     }
 }
 
-/// Simulates one point with the event-driven executor.
+/// Simulates one point with the (serial) event-driven executor.
 pub fn execute(point: &RunPoint) -> Metrics {
+    execute_with(point, 1)
+}
+
+/// Simulates one point with the event-driven executor, partitioning its
+/// event loop across `sim_threads` workers (1 = serial).
+pub fn execute_with(point: &RunPoint, sim_threads: usize) -> Metrics {
+    let sim_threads = sim_threads.max(1);
     match &point.kind {
         PointKind::Collective {
             engine,
             op,
             payload_bytes,
         } => {
-            let r =
-                run_single_collective(point.topology, engine.to_engine_kind(), *op, *payload_bytes);
+            let r = run_single_collective_with_options(
+                point.topology,
+                engine.to_engine_kind(),
+                *op,
+                *payload_bytes,
+                ExecutorOptions {
+                    sim_threads,
+                    ..Default::default()
+                },
+            );
             let freq = ace_simcore::npu_frequency();
             Metrics {
                 time_us: r.completion.cycles() as f64 / freq.hz() * 1e6,
@@ -397,6 +427,7 @@ pub fn execute(point: &RunPoint) -> Metrics {
                 .workload(workload.instantiate(spec.nodes()))
                 .iterations(*iterations)
                 .optimized_embedding(*optimized_embedding)
+                .sim_threads(sim_threads)
                 .build()
                 .expect("expanded point is buildable")
                 .run();
@@ -468,7 +499,17 @@ pub fn execute_analytic(point: &RunPoint) -> Metrics {
                 0.0
             };
             let total_u = r.total_cycles.round() as u64;
-            let compute_u = (r.compute_cycles.round() as u64).min(total_u);
+            let compute_u = r.compute_cycles.round() as u64;
+            // An iteration is at least as long as its compute: the
+            // analytic model adds exposed communication on top of the
+            // compute span, never the other way around. A violation here
+            // is a modeling bug, not something to clamp away silently —
+            // the old `.min(total_u)` masked it and let reports claim a
+            // 100 %-compute iteration that still had network time.
+            debug_assert!(
+                compute_u <= total_u,
+                "analytic invariant violated: compute {compute_u} cycles > total {total_u} cycles"
+            );
             Metrics {
                 time_us: to_us(r.total_cycles),
                 completion_cycles: total_u,
@@ -481,7 +522,7 @@ pub fn execute_analytic(point: &RunPoint) -> Metrics {
                 attribution: Attribution {
                     total_cycles: total_u,
                     compute_cycles: compute_u,
-                    network_cycles: total_u - compute_u,
+                    network_cycles: total_u.saturating_sub(compute_u),
                     ..Attribution::default()
                 },
             }
@@ -509,7 +550,14 @@ mod tests {
     #[test]
     fn duplicates_collapse_into_cache_hits() {
         let sc = tiny();
-        let out = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let out = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // Grid: 2 engines x 2 mem = 4 rows; ideal's two cells are one
         // unique point, so 3 unique simulations and 1 cache hit.
         assert_eq!(out.results.len(), 4);
@@ -525,9 +573,25 @@ mod tests {
     fn second_run_is_fully_cached() {
         let sc = tiny();
         let runner = SweepRunner::new();
-        let first = runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let first = runner
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert_eq!(first.executed, 3);
-        let second = runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let second = runner
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert_eq!(second.executed, 0);
         assert_eq!(second.cache_hits, second.results.len());
         for (a, b) in first.results.iter().zip(&second.results) {
@@ -539,7 +603,14 @@ mod tests {
     fn baseline_speedups_are_attached() {
         let mut sc = tiny();
         sc.baseline = Some(BaselineSpec::Engine(EngineSpec::Ideal));
-        let out = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let out = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for r in &out.results {
             let s = r.speedup_vs_baseline.expect("speedup present");
             assert!(s > 0.0);
@@ -565,7 +636,14 @@ mod tests {
             sram_mb: 4,
             fsms: 16,
         }));
-        let out = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let out = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // 3 unique grid points + 1 baseline point.
         assert_eq!(out.executed, 4);
         assert!(out.results.iter().all(|r| r.speedup_vs_baseline.is_some()));
@@ -574,8 +652,22 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let sc = tiny();
-        let serial = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
-        let parallel = run_scenario(&sc, RunnerOptions { threads: 4 }).unwrap();
+        let serial = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let parallel = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(serial.results.len(), parallel.results.len());
         for (a, b) in serial.results.iter().zip(&parallel.results) {
             assert_eq!(a.point, b.point);
@@ -585,12 +677,123 @@ mod tests {
     }
 
     #[test]
+    fn sim_threads_reports_are_byte_identical() {
+        // The tentpole oracle at sweep level: CSV and JSON reports must
+        // be byte-identical whether each exact simulation ran serial or
+        // domain-partitioned, across all three topology families.
+        let render = |sim_threads: usize| {
+            let mut sc = tiny();
+            sc.topologies = vec![
+                TopologySpec::torus3(4, 2, 2).unwrap(),
+                TopologySpec::Switch {
+                    nodes: 8,
+                    gbps: None,
+                },
+                TopologySpec::Hierarchical {
+                    scale_up: 4,
+                    scale_out: 2,
+                },
+            ];
+            let out = run_scenario(
+                &sc,
+                RunnerOptions {
+                    threads: 2,
+                    sim_threads,
+                },
+            )
+            .unwrap();
+            (
+                crate::report::to_csv_with_attribution(&out),
+                crate::report::to_json_with_attribution(&out),
+            )
+        };
+        let baseline = render(1);
+        for sim_threads in [2, 4] {
+            assert_eq!(
+                render(sim_threads),
+                baseline,
+                "sim_threads={sim_threads} output diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_threads_training_is_byte_identical() {
+        let run = |sim_threads: usize| {
+            let mut sc = Scenario::training("t-simthreads");
+            sc.topologies = vec![TopologySpec::torus3(4, 2, 2).unwrap()];
+            sc.configs = vec![ace_system::SystemConfig::Ace];
+            sc.iterations = 1;
+            let out = run_scenario(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    sim_threads,
+                },
+            )
+            .unwrap();
+            crate::report::to_csv_with_attribution(&out)
+        };
+        let baseline = run(1);
+        for sim_threads in [2, 4] {
+            assert_eq!(run(sim_threads), baseline);
+        }
+    }
+
+    #[test]
+    fn scenario_sim_threads_key_is_an_execution_hint() {
+        // Parses, validates, and crucially does NOT change run points —
+        // the cache must serve the same rows regardless of sim_threads.
+        let sc = Scenario::from_toml_str(
+            "name = \"hint\"\ntopologies = [\"2x1x1\"]\nengines = [\"ideal\"]\n\
+             payloads = [\"256KB\"]\nsim_threads = 4\n",
+        )
+        .unwrap();
+        assert_eq!(sc.sim_threads, 4);
+        assert!(Scenario::from_toml_str("sim_threads = 0\n").is_err());
+        let mut serial = sc.clone();
+        serial.sim_threads = 1;
+        assert_eq!(crate::grid::expand(&sc), crate::grid::expand(&serial));
+
+        // Warm the cache at sim_threads=4, then read it back at 1: the
+        // second run must be fully cache-served.
+        let runner = SweepRunner::new();
+        let first = runner
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    sim_threads: 0,
+                },
+            )
+            .unwrap();
+        assert_eq!(first.executed, 1);
+        let second = runner
+            .run(
+                &serial,
+                RunnerOptions {
+                    threads: 1,
+                    sim_threads: 0,
+                },
+            )
+            .unwrap();
+        assert_eq!(second.executed, 0, "sim_threads must not split the cache");
+    }
+
+    #[test]
     fn training_points_execute() {
         let mut sc = Scenario::training("t");
         sc.topologies = vec![TopologySpec::torus3(2, 1, 1).unwrap()];
         sc.configs = vec![ace_system::SystemConfig::Ace];
         sc.iterations = 1;
-        let out = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let out = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(out.results.len(), 1);
         let m = out.results[0].metrics;
         assert!(m.time_us > 0.0);
@@ -601,7 +804,14 @@ mod tests {
     fn analytic_fidelity_runs_without_the_executor() {
         let mut sc = tiny();
         sc.fidelity = Fidelity::Analytic;
-        let out = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let out = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(out.fidelity, Fidelity::Analytic);
         assert_eq!(out.executed, 0);
         assert_eq!(out.analytic_executed, 3);
@@ -616,10 +826,26 @@ mod tests {
     fn analytic_and_exact_never_alias_in_the_cache() {
         let sc = tiny();
         let runner = SweepRunner::new();
-        let exact = runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let exact = runner
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         let mut sca = sc.clone();
         sca.fidelity = Fidelity::Analytic;
-        let analytic = runner.run(&sca, RunnerOptions { threads: 1 }).unwrap();
+        let analytic = runner
+            .run(
+                &sca,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         // Both tiers executed fresh — the exact rows did not satisfy the
         // analytic query or vice versa.
         assert_eq!(analytic.analytic_executed, 3);
@@ -650,10 +876,24 @@ mod tests {
             fsms: 16,
         }));
 
-        let exact = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+        let exact = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let mut sch = sc.clone();
         sch.fidelity = Fidelity::Hybrid;
-        let hybrid = run_scenario(&sch, RunnerOptions { threads: 2 }).unwrap();
+        let hybrid = run_scenario(
+            &sch,
+            RunnerOptions {
+                threads: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
 
         assert_eq!(hybrid.fidelity, Fidelity::Hybrid);
         assert_eq!(hybrid.results.len(), exact.results.len());
@@ -701,7 +941,14 @@ mod tests {
         for fidelity in [Fidelity::Exact, Fidelity::Analytic, Fidelity::Hybrid] {
             let mut sc = tiny();
             sc.fidelity = fidelity;
-            let out = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
+            let out = run_scenario(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             for r in &out.results {
                 let a = r.metrics.attribution;
                 assert!(a.conserves(), "{fidelity:?} {:?}: {a:?}", r.point);
@@ -722,11 +969,18 @@ mod tests {
             let runner = SweepRunner::new();
             let calls = AtomicUsize::new(0);
             let out = runner
-                .run_with_progress(&sc, RunnerOptions { threads }, &|p| {
-                    calls.fetch_add(1, Ordering::Relaxed);
-                    assert!(p.done <= p.total);
-                    assert!(p.cached <= p.done);
-                })
+                .run_with_progress(
+                    &sc,
+                    RunnerOptions {
+                        threads,
+                        ..Default::default()
+                    },
+                    &|p| {
+                        calls.fetch_add(1, Ordering::Relaxed);
+                        assert!(p.done <= p.total);
+                        assert!(p.cached <= p.done);
+                    },
+                )
                 .unwrap();
             // One batch-start call plus one call per executed cell.
             assert_eq!(calls.load(Ordering::Relaxed), out.executed + 1);
@@ -740,12 +994,27 @@ mod tests {
         // every cache hit and already satisfies `done == total`.
         let sc = tiny();
         let runner = SweepRunner::new();
-        runner.run(&sc, RunnerOptions { threads: 1 }).unwrap();
+        runner
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         let seen = Mutex::new(Vec::new());
         let out = runner
-            .run_with_progress(&sc, RunnerOptions { threads: 1 }, &|p| {
-                seen.lock().unwrap().push(p);
-            })
+            .run_with_progress(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+                &|p| {
+                    seen.lock().unwrap().push(p);
+                },
+            )
             .unwrap();
         assert_eq!(out.executed, 0);
         let seen = seen.into_inner().unwrap();
@@ -765,8 +1034,22 @@ mod tests {
         sc.mem_gbps = vec![64.0, 128.0];
         sc.sram_mb = vec![1, 4];
         sc.fidelity = Fidelity::Hybrid;
-        let a = run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap();
-        let b = run_scenario(&sc, RunnerOptions { threads: 4 }).unwrap();
+        let a = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(a.results.len(), b.results.len());
         for (x, y) in a.results.iter().zip(&b.results) {
             assert_eq!(x.point, y.point);

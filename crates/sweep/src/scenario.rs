@@ -524,6 +524,12 @@ pub struct Scenario {
     /// (by analytic time) re-simulated exactly, on top of the Pareto
     /// frontier. Default 10.
     pub hybrid_top_pct: f64,
+    /// Worker threads inside each exact simulation (the domain-
+    /// partitioned event loop); 1 = serial. An execution hint, not a
+    /// sweep axis: results are byte-identical for every value, so it is
+    /// deliberately excluded from run points and cache keys. Overridable
+    /// on the `sweep` CLI with `--sim-threads`.
+    pub sim_threads: usize,
 }
 
 impl Scenario {
@@ -552,6 +558,7 @@ impl Scenario {
             baseline: None,
             fidelity: Fidelity::Exact,
             hybrid_top_pct: 10.0,
+            sim_threads: 1,
         }
     }
 
@@ -576,6 +583,7 @@ impl Scenario {
             baseline: None,
             fidelity: Fidelity::Exact,
             hybrid_top_pct: 10.0,
+            sim_threads: 1,
         }
     }
 
@@ -614,7 +622,7 @@ impl Scenario {
 
         // Reject misspelled keys loudly: a typoed axis name silently
         // falling back to its default would run the wrong sweep.
-        const KNOWN_KEYS: [&str; 17] = [
+        const KNOWN_KEYS: [&str; 18] = [
             "name",
             "mode",
             "topologies",
@@ -632,6 +640,7 @@ impl Scenario {
             "baseline",
             "fidelity",
             "hybrid_top_pct",
+            "sim_threads",
         ];
         for key in doc.keys() {
             if !KNOWN_KEYS.contains(&key.as_str()) {
@@ -739,6 +748,13 @@ impl Scenario {
                 .as_f64()
                 .filter(|p| p.is_finite() && *p > 0.0 && *p <= 100.0)
                 .ok_or_else(|| invalid("'hybrid_top_pct' must be in (0, 100]".into()))?;
+        }
+        if let Some(v) = doc.get("sim_threads") {
+            sc.sim_threads = v
+                .as_i64()
+                .filter(|&i| (1..=1024).contains(&i))
+                .ok_or_else(|| invalid("'sim_threads' must be an integer in [1, 1024]".into()))?
+                as usize;
         }
         if let Some(v) = doc.get("baseline") {
             let table = v

@@ -46,7 +46,7 @@ use crate::fidelity::{select_exact_cells, Fidelity, Tier};
 use crate::grid::{self, RunPoint};
 use crate::persist::Journal;
 use crate::runner::{
-    execute_analytic, execute_tier, Cache, Metrics, RunResult, RunnerOptions, SweepOutcome,
+    execute_analytic, execute_tier_with, Cache, Metrics, RunResult, RunnerOptions, SweepOutcome,
 };
 use crate::scenario::{BaselineSpec, Scenario, SweepMode};
 
@@ -101,6 +101,8 @@ struct Batch {
     completed: usize,
     /// Concurrency cap for this batch's job.
     max_workers: usize,
+    /// Intra-simulation worker threads for exact cells (1 = serial).
+    sim_threads: usize,
     /// Superseded or failed: no further claims.
     cancelled: bool,
 }
@@ -260,12 +262,32 @@ impl JobScheduler {
                 cells: grid::grid_len(scenario),
             },
         );
+        // CLI/daemon options override the scenario's own hint; neither
+        // affects results (the parallel engine is byte-identical), only
+        // per-cell wall-clock.
+        let sim_threads = if opts.sim_threads > 0 {
+            opts.sim_threads
+        } else {
+            scenario.sim_threads.max(1)
+        };
         let outcome = match scenario.fidelity {
-            Fidelity::Exact => self.run_tier(ticket, Tier::Exact, max_workers, &sub, on_event),
-            Fidelity::Analytic => {
-                self.run_tier(ticket, Tier::Analytic, max_workers, &sub, on_event)
-            }
-            Fidelity::Hybrid => self.run_hybrid(ticket, max_workers, &sub, on_event),
+            Fidelity::Exact => self.run_tier(
+                ticket,
+                Tier::Exact,
+                max_workers,
+                sim_threads,
+                &sub,
+                on_event,
+            ),
+            Fidelity::Analytic => self.run_tier(
+                ticket,
+                Tier::Analytic,
+                max_workers,
+                sim_threads,
+                &sub,
+                on_event,
+            ),
+            Fidelity::Hybrid => self.run_hybrid(ticket, max_workers, sim_threads, &sub, on_event),
         }?;
         self.emit(
             &sub,
@@ -322,6 +344,7 @@ impl JobScheduler {
         ticket: &JobTicket,
         tier: Tier,
         max_workers: usize,
+        sim_threads: usize,
         sub: &Subscription,
         on_event: &mut dyn FnMut(&BusEvent),
     ) -> Result<SweepOutcome, JobError> {
@@ -329,7 +352,7 @@ impl JobScheduler {
         let points = grid::expand(scenario);
         let baseline_points = baseline_points(scenario);
         let work = self.queue_work(points.iter().chain(baseline_points.iter()), tier);
-        self.run_batch(ticket, tier, &work, max_workers, sub, on_event)?;
+        self.run_batch(ticket, tier, &work, max_workers, sim_threads, sub, on_event)?;
 
         let tiers = vec![tier; points.len()];
         let queued: HashSet<RunPoint> = work.iter().cloned().collect();
@@ -361,6 +384,7 @@ impl JobScheduler {
         &self,
         ticket: &JobTicket,
         max_workers: usize,
+        sim_threads: usize,
         sub: &Subscription,
         on_event: &mut dyn FnMut(&BusEvent),
     ) -> Result<SweepOutcome, JobError> {
@@ -370,7 +394,15 @@ impl JobScheduler {
 
         // ---- Tier 1: analytic triage of every unique point. ----------
         let work_a = self.queue_work(points.iter().chain(baseline_pts.iter()), Tier::Analytic);
-        self.run_batch(ticket, Tier::Analytic, &work_a, max_workers, sub, on_event)?;
+        self.run_batch(
+            ticket,
+            Tier::Analytic,
+            &work_a,
+            max_workers,
+            sim_threads,
+            sub,
+            on_event,
+        )?;
 
         let triage: Vec<(RunPoint, Metrics)> = points
             .iter()
@@ -397,7 +429,15 @@ impl JobScheduler {
             .zip(&keep)
             .filter_map(|(p, &k)| k.then_some(p));
         let work_e = self.queue_work(selected.chain(baseline_pts.iter()), Tier::Exact);
-        self.run_batch(ticket, Tier::Exact, &work_e, max_workers, sub, on_event)?;
+        self.run_batch(
+            ticket,
+            Tier::Exact,
+            &work_e,
+            max_workers,
+            sim_threads,
+            sub,
+            on_event,
+        )?;
 
         // ---- Assemble: exact rows where selected, analytic elsewhere. -
         let queued_a: HashSet<RunPoint> = work_a.iter().cloned().collect();
@@ -420,12 +460,14 @@ impl JobScheduler {
 
     /// Queues one batch on the pool and waits for its completion events,
     /// forwarding them (and the leading `BatchStarted`) to `on_event`.
+    #[allow(clippy::too_many_arguments)]
     fn run_batch(
         &self,
         ticket: &JobTicket,
         tier: Tier,
         work: &[RunPoint],
         max_workers: usize,
+        sim_threads: usize,
         sub: &Subscription,
         on_event: &mut dyn FnMut(&BusEvent),
     ) -> Result<(), JobError> {
@@ -466,6 +508,7 @@ impl JobScheduler {
                 in_flight: 0,
                 completed: 0,
                 max_workers,
+                sim_threads,
                 cancelled: false,
             });
         }
@@ -631,6 +674,7 @@ struct Claim {
     work: Arc<Vec<RunPoint>>,
     index: usize,
     total: usize,
+    sim_threads: usize,
 }
 
 /// The resident worker: claim a cell, execute it, store + journal the
@@ -676,6 +720,7 @@ fn worker_loop(shared: &Shared) {
                             work: Arc::clone(&b.work),
                             index,
                             total: b.work.len(),
+                            sim_threads: b.sim_threads,
                         });
                         break;
                     }
@@ -694,7 +739,9 @@ fn worker_loop(shared: &Shared) {
         };
 
         let point = &claim.work[claim.index];
-        let outcome = catch_unwind(AssertUnwindSafe(|| execute_tier(point, claim.tier)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute_tier_with(point, claim.tier, claim.sim_threads)
+        }));
         match outcome {
             Ok(metrics) => {
                 shared.cache.insert_tier(claim.tier, point.clone(), metrics);
@@ -857,7 +904,10 @@ mod tests {
     fn scheduler_outlives_jobs_and_keeps_the_cache_warm() {
         let sched = JobScheduler::new();
         let sc = tiny("resident");
-        let opts = RunnerOptions { threads: 2 };
+        let opts = RunnerOptions {
+            threads: 2,
+            ..Default::default()
+        };
         let first = sched.run_job(&sc, opts, &mut |_| {}).unwrap();
         assert_eq!(first.executed, 3);
         // Second submission of the same grid through the *same* resident
@@ -876,18 +926,27 @@ mod tests {
         let sc = tiny("events");
         let mut events: Vec<String> = Vec::new();
         let out = sched
-            .run_job(&sc, RunnerOptions { threads: 1 }, &mut |ev| {
-                events.push(match ev {
-                    BusEvent::JobAccepted { cells, .. } => format!("accepted:{cells}"),
-                    BusEvent::BatchStarted { queued, cached, .. } => {
-                        format!("batch:{queued}+{cached}")
-                    }
-                    BusEvent::CellCompleted { index, total, .. } => format!("cell:{index}/{total}"),
-                    BusEvent::JobFinished { executed, .. } => format!("finished:{executed}"),
-                    BusEvent::CacheStats { entries, .. } => format!("stats:{entries}"),
-                    other => format!("{other:?}"),
-                });
-            })
+            .run_job(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+                &mut |ev| {
+                    events.push(match ev {
+                        BusEvent::JobAccepted { cells, .. } => format!("accepted:{cells}"),
+                        BusEvent::BatchStarted { queued, cached, .. } => {
+                            format!("batch:{queued}+{cached}")
+                        }
+                        BusEvent::CellCompleted { index, total, .. } => {
+                            format!("cell:{index}/{total}")
+                        }
+                        BusEvent::JobFinished { executed, .. } => format!("finished:{executed}"),
+                        BusEvent::CacheStats { entries, .. } => format!("stats:{entries}"),
+                        other => format!("{other:?}"),
+                    });
+                },
+            )
             .unwrap();
         assert_eq!(out.executed, 3);
         assert_eq!(
@@ -910,7 +969,14 @@ mod tests {
         let observer = sched.bus().subscribe();
         let sc = tiny("observed");
         sched
-            .run_job(&sc, RunnerOptions { threads: 1 }, &mut |_| {})
+            .run_job(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+                &mut |_| {},
+            )
             .unwrap();
         let kinds: Vec<&'static str> = observer
             .try_iter()
@@ -939,12 +1005,26 @@ mod tests {
         // The stale ticket is refused even though its batches are empty
         // of queued work.
         let err = sched
-            .run_accepted(&stale, RunnerOptions { threads: 1 }, &mut |_| {})
+            .run_accepted(
+                &stale,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+                &mut |_| {},
+            )
             .unwrap_err();
         assert_eq!(err, JobError::Superseded);
         // The fresh ticket runs to completion.
         let out = sched
-            .run_accepted(&fresh, RunnerOptions { threads: 1 }, &mut |_| {})
+            .run_accepted(
+                &fresh,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+                &mut |_| {},
+            )
             .unwrap();
         assert_eq!(out.executed, 3);
     }

@@ -41,6 +41,10 @@ pub struct ServiceOptions {
     /// Default worker threads per job (`0` = machine parallelism);
     /// overridable per submission.
     pub threads: usize,
+    /// Worker threads inside each exact simulation (`0`/`1` = serial
+    /// engine). Byte-identical results either way; see
+    /// [`RunnerOptions::sim_threads`].
+    pub sim_threads: usize,
     /// Journal (write-ahead log) path; `None` disables checkpointing.
     pub journal: Option<PathBuf>,
 }
@@ -155,6 +159,7 @@ impl SweepService {
             .with_journal(|j| j.append_pending(&scenario.name, toml, base.and_then(Path::to_str)));
         let opts = RunnerOptions {
             threads: threads.unwrap_or(self.options.threads),
+            sim_threads: self.options.sim_threads,
         };
         let result = self.scheduler.run_accepted(&ticket, opts, on_event);
         match &result {
@@ -368,6 +373,7 @@ comm_sms = [6]
     fn service() -> SweepService {
         SweepService::open(ServiceOptions {
             threads: 1,
+            sim_threads: 0,
             journal: None,
         })
         .unwrap()
@@ -409,7 +415,14 @@ comm_sms = [6]
         let csv = map["csv"].as_str().unwrap();
         let sc = Scenario::from_toml_str(TINY_TOML).unwrap();
         let expected = crate::report::to_csv(
-            &crate::runner::run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap(),
+            &crate::runner::run_scenario(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
         );
         assert_eq!(csv, expected);
     }

@@ -59,6 +59,7 @@ fn protocol_round_trips_over_a_real_socketpair() {
     let service = Arc::new(
         SweepService::open(ServiceOptions {
             threads: 1,
+            sim_threads: 0,
             journal: None,
         })
         .unwrap(),
@@ -108,7 +109,16 @@ fn protocol_round_trips_over_a_real_socketpair() {
 
     // The streamed CSV is byte-identical to the one-shot CLI's output.
     let sc = Scenario::from_toml_str(TINY_TOML).unwrap();
-    let expected = report::to_csv(&run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap());
+    let expected = report::to_csv(
+        &run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
     assert_eq!(csv, expected);
 
     // Stats and shutdown answer in-band on the same connection.
@@ -132,6 +142,7 @@ fn a_killed_daemon_resumes_mid_grid_from_the_journal() {
     {
         let service = SweepService::open(ServiceOptions {
             threads: 1,
+            sim_threads: 0,
             journal: Some(full.clone()),
         })
         .unwrap();
@@ -170,6 +181,7 @@ fn a_killed_daemon_resumes_mid_grid_from_the_journal() {
     // journaled cell replays from cache, only the remainder executes.
     let mut service = SweepService::open(ServiceOptions {
         threads: 1,
+        sim_threads: 0,
         journal: Some(crashed.clone()),
     })
     .unwrap();
@@ -193,7 +205,16 @@ fn a_killed_daemon_resumes_mid_grid_from_the_journal() {
     // The resumed CSV matches a cold one-shot byte-for-byte, modulo the
     // cache_hit flags of the replayed cells.
     let sc = Scenario::from_toml_str(TINY_TOML).unwrap();
-    let cold = report::to_csv(&run_scenario(&sc, RunnerOptions { threads: 1 }).unwrap());
+    let cold = report::to_csv(
+        &run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
     assert_eq!(
         strip_cache_hit(&report::to_csv(outcome)),
         strip_cache_hit(&cold)
@@ -203,6 +224,7 @@ fn a_killed_daemon_resumes_mid_grid_from_the_journal() {
     // nothing pending and a fully warm cache.
     let service = SweepService::open(ServiceOptions {
         threads: 1,
+        sim_threads: 0,
         journal: Some(crashed),
     })
     .unwrap();
@@ -218,6 +240,7 @@ fn torn_journal_tail_is_dropped_on_resume() {
     {
         let service = SweepService::open(ServiceOptions {
             threads: 1,
+            sim_threads: 0,
             journal: Some(path.clone()),
         })
         .unwrap();
@@ -240,6 +263,7 @@ fn torn_journal_tail_is_dropped_on_resume() {
     // and the resume completes it without tripping on the partial line.
     let mut service = SweepService::open(ServiceOptions {
         threads: 1,
+        sim_threads: 0,
         journal: Some(path),
     })
     .unwrap();
@@ -252,6 +276,7 @@ fn torn_journal_tail_is_dropped_on_resume() {
 fn same_name_submissions_coalesce_to_the_latest_generation() {
     let service = SweepService::open(ServiceOptions {
         threads: 1,
+        sim_threads: 0,
         journal: None,
     })
     .unwrap();
@@ -267,14 +292,28 @@ fn same_name_submissions_coalesce_to_the_latest_generation() {
 
     let mut sink = |_: &BusEvent| {};
     let err = scheduler
-        .run_accepted(&stale, RunnerOptions { threads: 1 }, &mut sink)
+        .run_accepted(
+            &stale,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+            &mut sink,
+        )
         .unwrap_err();
     assert!(matches!(err, ace_sweep::JobError::Superseded));
     // Nothing of the stale generation executed.
     assert!(scheduler.cache().is_empty());
 
     let outcome = scheduler
-        .run_accepted(&fresh, RunnerOptions { threads: 1 }, &mut sink)
+        .run_accepted(
+            &fresh,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+            &mut sink,
+        )
         .unwrap();
     assert_eq!(outcome.executed, 3);
 

@@ -108,6 +108,7 @@ pub struct SystemBuilder {
     optimized_embedding: bool,
     npu_params: Option<NpuParams>,
     net_params: Option<NetworkParams>,
+    sim_threads: usize,
 }
 
 impl Default for SystemBuilder {
@@ -133,6 +134,7 @@ impl SystemBuilder {
             optimized_embedding: false,
             npu_params: None,
             net_params: None,
+            sim_threads: 1,
         }
     }
 
@@ -209,6 +211,16 @@ impl SystemBuilder {
         self
     }
 
+    /// Sets the number of worker threads the event loop of *this one
+    /// simulation* is partitioned across (default 1 = serial). Results
+    /// are byte-identical for every value; only wall-clock time changes.
+    /// Distinct from a sweep's grid-level `--threads`, which runs whole
+    /// simulations in parallel.
+    pub fn sim_threads(mut self, threads: usize) -> SystemBuilder {
+        self.sim_threads = threads.max(1);
+        self
+    }
+
     /// Sets the number of simulated iterations (default 2, as in the
     /// paper).
     pub fn iterations(mut self, iterations: u32) -> SystemBuilder {
@@ -260,16 +272,21 @@ impl SystemBuilder {
         };
         let npu = self.npu_params.unwrap_or_else(NpuParams::paper_default);
         let net = self.net_params.unwrap_or_else(NetworkParams::paper_default);
+        let exec_options = crate::executor::ExecutorOptions {
+            sim_threads: self.sim_threads,
+            ..Default::default()
+        };
         let workload = match self.source {
             None => return Err(BuildError::MissingWorkload),
             Some(WorkSource::Program(program)) => {
                 program.validate().map_err(BuildError::InvalidProgram)?;
-                return Ok(TrainingSim::from_program_with_tracer(
+                return Ok(TrainingSim::from_program_with_options(
                     self.config,
                     program,
                     spec,
                     npu,
                     net,
+                    exec_options,
                     tracer,
                 ));
             }
@@ -297,12 +314,13 @@ impl SystemBuilder {
         if self.optimized_embedding && workload.embedding().is_some() {
             program.optimize_embedding();
         }
-        Ok(TrainingSim::from_program_with_tracer(
+        Ok(TrainingSim::from_program_with_options(
             self.config,
             program,
             spec,
             npu,
             net,
+            exec_options,
             tracer,
         ))
     }

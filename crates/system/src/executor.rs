@@ -28,11 +28,19 @@
 //! ordered `VecDeque`s. `TryInject` events are coalesced so at most one
 //! is pending for any timestamp.
 
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex};
 
-use ace_collectives::{CollectiveOp, CollectivePlan, Granularity, PhaseKind, PhaseLink, PhaseSpec};
+use ace_collectives::{
+    partition_bounds, CollectiveOp, CollectivePlan, Granularity, PhaseKind, PhaseLink, PhaseSpec,
+};
 use ace_endpoint::CollectiveEngine;
-use ace_net::{LinkClass, Network, NetworkParams, NodeId, Port, Route, Topology, TopologySpec};
+use ace_net::{
+    LinkClass, NetShard, NetTx, Network, NetworkParams, NodeId, Port, Route, Topology, TopologySpec,
+};
 use ace_simcore::{EventQueue, Grant, SimTime};
 use ace_trace::{NullTracer, PipeBusy, Tracer, Track};
 
@@ -63,6 +71,12 @@ pub struct ExecutorOptions {
     pub bidirectional_rings: bool,
     /// Global cap on in-flight ring chunks.
     pub max_inflight_chunks: usize,
+    /// Worker threads for one exact simulation (`1` = serial). The event
+    /// loop is partitioned by topology domain and synchronized with
+    /// conservative lookahead windows; results are byte-identical to the
+    /// serial engine, so this is a wall-clock knob, not a model knob, and
+    /// it deliberately does not enter any sweep cache key.
+    pub sim_threads: usize,
 }
 
 impl Default for ExecutorOptions {
@@ -72,6 +86,7 @@ impl Default for ExecutorOptions {
             scheduling: SchedulingPolicy::Lifo,
             bidirectional_rings: true,
             max_inflight_chunks: MAX_INFLIGHT_CHUNKS,
+            sim_threads: 1,
         }
     }
 }
@@ -145,6 +160,287 @@ enum Ev {
         flow: u32,
         hop: u16,
     },
+}
+
+/// Content-derived tie-break key for an event: 64 bits packing the event's
+/// identity, with the event kind in the top 4 bits.
+///
+/// Events at equal times pop in key order regardless of the order they
+/// were scheduled in, which is what makes the domain-partitioned engine
+/// reproduce the serial engine exactly: the interleaving in which
+/// partitions emit events cannot leak into delivery order. `TryInject`
+/// never takes a content key — it keeps the queue's plain sequence keys,
+/// which stay below `2^60` and therefore sort before every content key at
+/// equal times.
+///
+/// Ring events pack `kind(4) | coll(12) | chunk(18) | node(13) | phase(4)
+/// | step(13)`; all-to-all events pack `kind(4) | coll(12) | chunk(18) |
+/// flow(24) | hop(6)`. Fields beyond their width are masked: aliased keys
+/// only soften tie-breaking between events that would have to collide on
+/// every other field, and the key stays a pure function of content either
+/// way. The node/flow widths are structural (≤ 8192 nodes for parallel
+/// runs) and asserted in debug builds.
+fn content_key(ev: &Ev) -> u64 {
+    #[inline]
+    fn ring(kind: u64, coll: u32, chunk: u32, node: u32, phase: u16, step: u16) -> u64 {
+        debug_assert!(
+            node < 1 << 13 && phase < 1 << 4 && step < 1 << 13,
+            "ring event field exceeds its content-key width"
+        );
+        kind << 60
+            | (coll as u64 & 0xfff) << 48
+            | (chunk as u64 & 0x3ffff) << 30
+            | (node as u64 & 0x1fff) << 17
+            | (phase as u64 & 0xf) << 13
+            | (step as u64 & 0x1fff)
+    }
+    #[inline]
+    fn a2a(kind: u64, coll: u32, chunk: u32, flow: u32, hop: u16) -> u64 {
+        debug_assert!(
+            flow < 1 << 24 && hop < 1 << 6,
+            "all-to-all event field exceeds its content-key width"
+        );
+        kind << 60
+            | (coll as u64 & 0xfff) << 48
+            | (chunk as u64 & 0x3ffff) << 30
+            | (flow as u64 & 0xff_ffff) << 6
+            | (hop as u64 & 0x3f)
+    }
+    match *ev {
+        Ev::TryInject => unreachable!("TryInject keeps plain sequence keys"),
+        Ev::StepZero {
+            coll,
+            chunk,
+            node,
+            phase,
+        } => ring(1, coll, chunk, node, phase, 0),
+        Ev::Send {
+            coll,
+            chunk,
+            node,
+            phase,
+            step,
+        } => ring(2, coll, chunk, node, phase, step),
+        Ev::RingArrive {
+            coll,
+            chunk,
+            node,
+            phase,
+            step,
+        } => ring(3, coll, chunk, node, phase, step),
+        Ev::PhaseDone {
+            coll,
+            chunk,
+            node,
+            phase,
+        } => ring(4, coll, chunk, node, phase, 0),
+        Ev::DrainDone { coll, chunk, node } => ring(5, coll, chunk, node, 0, 0),
+        Ev::A2aSend {
+            coll,
+            chunk,
+            flow,
+            hop,
+        } => a2a(6, coll, chunk, flow, hop),
+        Ev::A2aHop {
+            coll,
+            chunk,
+            flow,
+            hop,
+        } => a2a(7, coll, chunk, flow, hop),
+    }
+}
+
+/// Where the event handlers schedule follow-up events: the serial
+/// engine's global queue, or a partition's local queue plus
+/// cross-partition outboxes. `node` is the node that will process the
+/// event — its owning partition.
+trait EvSink {
+    fn emit(&mut self, at: SimTime, node: usize, ev: Ev);
+}
+
+impl EvSink for EventQueue<Ev> {
+    fn emit(&mut self, at: SimTime, _node: usize, ev: Ev) {
+        self.schedule_keyed(at, content_key(&ev), ev);
+    }
+}
+
+impl<S: EvSink + ?Sized> EvSink for &mut S {
+    fn emit(&mut self, at: SimTime, node: usize, ev: Ev) {
+        (**self).emit(at, node, ev);
+    }
+}
+
+/// Per-(slot, node) chunk execution rows as the handlers see them: the
+/// serial engine passes the whole arena, a partition worker passes its
+/// node range of every slot. Node indices are always global; partitioned
+/// implementations subtract their base.
+trait ChunkRows {
+    fn node_phase(&self, slot: usize, node: usize) -> u16;
+    fn set_node_phase(&mut self, slot: usize, node: usize, v: u16);
+    fn incr_arr(&mut self, slot: usize, node: usize);
+    fn reset_arr(&mut self, slot: usize, node: usize);
+    fn pending_push(&mut self, slot: usize, node: usize, item: (u16, u16, SimTime));
+    /// Moves the buffered arrivals for `phase` into `out`, preserving the
+    /// relative order of everything else.
+    fn pending_take(
+        &mut self,
+        slot: usize,
+        node: usize,
+        phase: u16,
+        out: &mut Vec<(u16, u16, SimTime)>,
+    );
+}
+
+impl ChunkRows for [ChunkState] {
+    fn node_phase(&self, slot: usize, node: usize) -> u16 {
+        self[slot].node_phase[node]
+    }
+
+    fn set_node_phase(&mut self, slot: usize, node: usize, v: u16) {
+        self[slot].node_phase[node] = v;
+    }
+
+    fn incr_arr(&mut self, slot: usize, node: usize) {
+        self[slot].arr_count[node] += 1;
+    }
+
+    fn reset_arr(&mut self, slot: usize, node: usize) {
+        self[slot].arr_count[node] = 0;
+    }
+
+    fn pending_push(&mut self, slot: usize, node: usize, item: (u16, u16, SimTime)) {
+        self[slot].pending[node].push(item);
+    }
+
+    fn pending_take(
+        &mut self,
+        slot: usize,
+        node: usize,
+        phase: u16,
+        out: &mut Vec<(u16, u16, SimTime)>,
+    ) {
+        take_phase(&mut self[slot].pending[node], phase, out);
+    }
+}
+
+impl<R: ChunkRows + ?Sized> ChunkRows for &mut R {
+    fn node_phase(&self, slot: usize, node: usize) -> u16 {
+        (**self).node_phase(slot, node)
+    }
+
+    fn set_node_phase(&mut self, slot: usize, node: usize, v: u16) {
+        (**self).set_node_phase(slot, node, v);
+    }
+
+    fn incr_arr(&mut self, slot: usize, node: usize) {
+        (**self).incr_arr(slot, node);
+    }
+
+    fn reset_arr(&mut self, slot: usize, node: usize) {
+        (**self).reset_arr(slot, node);
+    }
+
+    fn pending_push(&mut self, slot: usize, node: usize, item: (u16, u16, SimTime)) {
+        (**self).pending_push(slot, node, item);
+    }
+
+    fn pending_take(
+        &mut self,
+        slot: usize,
+        node: usize,
+        phase: u16,
+        out: &mut Vec<(u16, u16, SimTime)>,
+    ) {
+        (**self).pending_take(slot, node, phase, out);
+    }
+}
+
+/// Filters `pending` entries matching `phase` into `out` in order.
+fn take_phase(
+    pending: &mut Vec<(u16, u16, SimTime)>,
+    phase: u16,
+    out: &mut Vec<(u16, u16, SimTime)>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    pending.retain(|&(p, s, at)| {
+        if p == phase {
+            out.push((p, s, at));
+            false
+        } else {
+            true
+        }
+    });
+}
+
+/// One partition's slice of the arena: for every slot, the node rows of
+/// `[base, base + len)`, locally indexed. Built by carving the serial
+/// arena's vectors at stint entry and stitched back in partition order at
+/// stint exit.
+struct SlotRows {
+    base: usize,
+    node_phase: Vec<Vec<u16>>,
+    arr_count: Vec<Vec<u16>>,
+    pending: Vec<Vec<Vec<(u16, u16, SimTime)>>>,
+}
+
+impl ChunkRows for SlotRows {
+    fn node_phase(&self, slot: usize, node: usize) -> u16 {
+        self.node_phase[slot][node - self.base]
+    }
+
+    fn set_node_phase(&mut self, slot: usize, node: usize, v: u16) {
+        self.node_phase[slot][node - self.base] = v;
+    }
+
+    fn incr_arr(&mut self, slot: usize, node: usize) {
+        self.arr_count[slot][node - self.base] += 1;
+    }
+
+    fn reset_arr(&mut self, slot: usize, node: usize) {
+        self.arr_count[slot][node - self.base] = 0;
+    }
+
+    fn pending_push(&mut self, slot: usize, node: usize, item: (u16, u16, SimTime)) {
+        self.pending[slot][node - self.base].push(item);
+    }
+
+    fn pending_take(
+        &mut self,
+        slot: usize,
+        node: usize,
+        phase: u16,
+        out: &mut Vec<(u16, u16, SimTime)>,
+    ) {
+        take_phase(&mut self.pending[slot][node - self.base], phase, out);
+    }
+}
+
+/// Completion bookkeeping a handler reports instead of mutating the
+/// chunk's global counters directly. The per-chunk `nodes_done` /
+/// `flows_done` totals span partitions, so handlers — which may run on a
+/// partition worker — emit a notice and the owner of the global state
+/// (the serial loop, or the stint coordinator) applies it. Applying a
+/// window's notices sorted by `(at, key)` reproduces the serial pop
+/// order exactly.
+#[derive(Debug, Clone, Copy)]
+struct Notice {
+    at: SimTime,
+    /// Content key of the emitting event.
+    key: u64,
+    coll: u32,
+    chunk: u32,
+    kind: NoticeKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NoticeKind {
+    /// A node finished its terminal drain.
+    Drain,
+    /// An all-to-all flow landed at its destination; carries the chunk's
+    /// completion-time candidate (RX-DMA drain end).
+    A2aFinal { candidate: SimTime },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,6 +558,908 @@ struct Waiter {
     held_phase: u16,
 }
 
+/// The event-handler state machine, factored out of the executor so the
+/// same handler code runs in two homes: the serial loop (global queue,
+/// whole network, whole arena) and a partition worker (local queue +
+/// outboxes, network shard, arena slice). Everything the handlers can
+/// touch is per-node state owned by exactly one partition; the only
+/// global effects — chunk completion counting — leave through `notices`.
+struct ExecCtx<'a, E, S, N, R, TT> {
+    nodes: usize,
+    options: ExecutorOptions,
+    colls: &'a [Coll],
+    dim_nbrs: &'a [NodeId],
+    a2a_routes: &'a [Route],
+    engines: &'a mut [E],
+    admit_wait: &'a mut [Vec<VecDeque<(u64, Waiter)>>],
+    /// Global node id of `engines[0]` / `admit_wait[0]` (0 serially).
+    base: usize,
+    rows: R,
+    scratch: &'a mut Vec<(u16, u16, SimTime)>,
+    sink: S,
+    net: N,
+    notices: &'a mut Vec<Notice>,
+    tracer: &'a mut TT,
+}
+
+/// Arena slot of a live chunk.
+fn chunk_slot_of(coll: &Coll, chunk: usize) -> usize {
+    let slot = coll.chunk_slot[chunk];
+    debug_assert_ne!(slot, NO_SLOT, "chunk state accessed outside its lifetime");
+    slot as usize
+}
+
+/// Bytes a chunk occupies in the partition of `phase` (`P` = terminal).
+fn admit_bytes_of(coll: &Coll, chunk: usize, phase: u16) -> u64 {
+    coll.admit_cache[phase as usize * 2 + coll.short_idx(chunk)]
+}
+
+/// Per-node shard size moved in one ring step of `phase`.
+fn shard_bytes_of(coll: &Coll, chunk: usize, phase: u16) -> u64 {
+    coll.shard_cache[phase as usize * 2 + coll.short_idx(chunk)]
+}
+
+/// Bytes flow `flow` carries for `chunk`: the chunk's share of the
+/// per-destination slice, plus one remainder byte on the last chunk of
+/// the first `payload % nodes` destination offsets. Summed over a
+/// source's flows and its local slice this reproduces the original
+/// payload exactly (byte conservation).
+fn a2a_flow_bytes_of(coll: &Coll, nodes: usize, chunk: usize, flow: usize) -> u64 {
+    let off = (flow % (nodes - 1)) as u64;
+    let last = chunk + 1 == coll.chunk_sizes.len();
+    coll.chunk_sizes[chunk] + u64::from(last && off < coll.a2a_extra)
+}
+
+impl<E, S, N, R, TT> ExecCtx<'_, E, S, N, R, TT>
+where
+    E: CollectiveEngine,
+    S: EvSink,
+    N: NetTx,
+    R: ChunkRows,
+    TT: Tracer,
+{
+    fn engine(&mut self, node: usize) -> &mut E {
+        &mut self.engines[node - self.base]
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::TryInject => unreachable!("TryInject is handled by the executor's serial loop"),
+            Ev::StepZero {
+                coll,
+                chunk,
+                node,
+                phase,
+            } => {
+                self.step_zero(now, coll as usize, chunk as usize, node as usize, phase);
+            }
+            Ev::Send {
+                coll,
+                chunk,
+                node,
+                phase,
+                step,
+            } => {
+                self.ring_send(
+                    now,
+                    coll as usize,
+                    chunk as usize,
+                    node as usize,
+                    phase,
+                    step,
+                );
+            }
+            Ev::RingArrive {
+                coll,
+                chunk,
+                node,
+                phase,
+                step,
+            } => {
+                self.ring_arrive(
+                    now,
+                    coll as usize,
+                    chunk as usize,
+                    node as usize,
+                    phase,
+                    step,
+                );
+            }
+            Ev::PhaseDone {
+                coll,
+                chunk,
+                node,
+                phase,
+            } => {
+                self.phase_done(now, coll as usize, chunk as usize, node as usize, phase);
+            }
+            Ev::DrainDone { coll, chunk, node } => {
+                self.drain_done(now, coll as usize, chunk as usize, node as usize);
+            }
+            Ev::A2aSend {
+                coll,
+                chunk,
+                flow,
+                hop,
+            } => {
+                self.a2a_send(
+                    now,
+                    coll as usize,
+                    chunk as usize,
+                    flow as usize,
+                    hop as usize,
+                );
+            }
+            Ev::A2aHop {
+                coll,
+                chunk,
+                flow,
+                hop,
+            } => {
+                self.a2a_hop(
+                    now,
+                    coll as usize,
+                    chunk as usize,
+                    flow as usize,
+                    hop as usize,
+                );
+            }
+        }
+    }
+
+    /// Requests admission into `phase` for `(cid, chunk)` at `node`,
+    /// releasing `held_phase` on success. Queues a waiter on failure or
+    /// when earlier-sequence chunks are already waiting for the same
+    /// partition (strict global admission order; see `admit_wait`).
+    fn request_phase(
+        &mut self,
+        now: SimTime,
+        cid: usize,
+        chunk: usize,
+        node: usize,
+        phase: u16,
+        held_phase: u16,
+    ) {
+        let p = phase as usize;
+        let aw = &mut self.admit_wait[node - self.base];
+        if aw.len() <= p {
+            aw.resize_with(p + 1, VecDeque::new);
+        }
+        let bytes = admit_bytes_of(&self.colls[cid], chunk, phase);
+        if self.admit_wait[node - self.base][p].is_empty()
+            && self.engine(node).try_admit(p, bytes, now)
+        {
+            if held_phase != NOT_STARTED {
+                let held_bytes = admit_bytes_of(&self.colls[cid], chunk, held_phase);
+                self.engine(node)
+                    .release(held_phase as usize, held_bytes, now);
+                self.retry_waiters(now, node);
+            }
+            self.start_phase(now, cid, chunk, node, phase);
+        } else {
+            let seq = self.colls[cid].chunk_seq[chunk];
+            debug_assert_ne!(seq, u64::MAX, "chunk admitted before injection");
+            let w = Waiter {
+                coll: cid as u32,
+                chunk: chunk as u32,
+                held_phase,
+            };
+            let q = &mut self.admit_wait[node - self.base][p];
+            // Waiters almost always arrive in sequence order; fall back to
+            // a sorted insert for the cross-phase stragglers.
+            if q.back().is_none_or(|&(s, _)| s < seq) {
+                q.push_back((seq, w));
+            } else {
+                let pos = q.partition_point(|&(s, _)| s < seq);
+                q.insert(pos, (seq, w));
+            }
+        }
+    }
+
+    /// Retries queued admissions at `node` after a partition release.
+    ///
+    /// Per phase, waiters are admitted strictly in global sequence order,
+    /// stopping at the first that does not fit. A successful waiter
+    /// releases the partition it held, which can unblock waiters of
+    /// another phase — passes repeat until no progress is made.
+    fn retry_waiters(&mut self, now: SimTime, node: usize) {
+        let ln = node - self.base;
+        loop {
+            let mut progress = false;
+            for p in 0..self.admit_wait[ln].len() {
+                while let Some(&(_, w)) = self.admit_wait[ln][p].front() {
+                    let bytes =
+                        admit_bytes_of(&self.colls[w.coll as usize], w.chunk as usize, p as u16);
+                    if !self.engine(node).try_admit(p, bytes, now) {
+                        break;
+                    }
+                    self.admit_wait[ln][p].pop_front();
+                    if w.held_phase != NOT_STARTED {
+                        let held = admit_bytes_of(
+                            &self.colls[w.coll as usize],
+                            w.chunk as usize,
+                            w.held_phase,
+                        );
+                        self.engine(node).release(w.held_phase as usize, held, now);
+                    }
+                    progress = true;
+                    self.start_phase(now, w.coll as usize, w.chunk as usize, node, p as u16);
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Phase entry: run the TX DMA for phase 0, kick off the terminal
+    /// drain for phase `P`, otherwise send ring step 0.
+    fn start_phase(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
+        let n_phases = self.colls[cid].plan.phases().len() as u16;
+        // Phase lifetimes are traced from node 0's perspective: one
+        // async span per (collective, chunk, phase), not per node.
+        if self.tracer.enabled() && node == 0 && phase < n_phases {
+            self.tracer
+                .begin(TRACK_SIM, "phase", phase_trace_id(cid, chunk, phase), now);
+        }
+        let slot = chunk_slot_of(&self.colls[cid], chunk);
+        self.rows.set_node_phase(slot, node, phase);
+        self.rows.reset_arr(slot, node);
+        if phase == n_phases {
+            // Terminal drain: RX DMA back to HBM.
+            let bytes = admit_bytes_of(&self.colls[cid], chunk, phase);
+            let done = self.engine(node).chunk_complete(now, bytes);
+            self.sink.emit(
+                done.max(now),
+                node,
+                Ev::DrainDone {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    node: node as u32,
+                },
+            );
+            return;
+        }
+        if phase == 0 {
+            // TX DMA stages the chunk into the engine; the step-0 send
+            // fires when the data is resident.
+            let size = self.colls[cid].chunk_sizes[chunk];
+            let staged = self.engine(node).chunk_inject(now, size);
+            self.sink.emit(
+                staged.max(now),
+                node,
+                Ev::StepZero {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    node: node as u32,
+                    phase,
+                },
+            );
+        } else {
+            self.step_zero(now, cid, chunk, node, phase);
+        }
+        // Replay any arrivals buffered for this phase.
+        self.replay_pending(now, cid, chunk, node, phase);
+    }
+
+    /// Charges the step-0 fetch and schedules its transmission.
+    fn step_zero(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
+        let shard = shard_bytes_of(&self.colls[cid], chunk, phase);
+        let ready = self.engine(node).fetch_and_send(now, shard, phase as usize);
+        self.sink.emit(
+            ready.max(now),
+            node,
+            Ev::Send {
+                coll: cid as u32,
+                chunk: chunk as u32,
+                node: node as u32,
+                phase,
+                step: 0,
+            },
+        );
+    }
+
+    fn replay_pending(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
+        let mut scratch = std::mem::take(self.scratch);
+        scratch.clear();
+        let slot = chunk_slot_of(&self.colls[cid], chunk);
+        self.rows.pending_take(slot, node, phase, &mut scratch);
+        for &(p, s, at) in &scratch {
+            self.ring_arrive(now.max(at), cid, chunk, node, p, s);
+        }
+        scratch.clear();
+        *self.scratch = scratch;
+    }
+
+    /// Records a link busy span from a transmit grant on the sending
+    /// node's per-port lane. The span's integer `[start, end)` service
+    /// window is exactly what the network's utilization meter credits, so
+    /// summing recorded `link:` spans reproduces
+    /// [`Network::util_busy_total_cycles`] — the reconciliation the trace
+    /// property tests enforce.
+    #[inline]
+    fn trace_link(&mut self, node: usize, port_idx: usize, grant: Grant) {
+        if self.tracer.enabled() {
+            self.tracer.span(
+                Track {
+                    pid: 1 + node as u32,
+                    tid: port_idx as u32,
+                },
+                &format!("link:n{node}:p{port_idx}"),
+                grant.start,
+                grant.end,
+            );
+        }
+    }
+
+    /// Transmits a ring message for step `step` of `phase` from `node` to
+    /// its ring neighbor, scheduling the arrival event. Runs as the `Send`
+    /// event handler so link requests are issued in global time order.
+    fn ring_send(
+        &mut self,
+        now: SimTime,
+        cid: usize,
+        chunk: usize,
+        node: usize,
+        phase: u16,
+        step: u16,
+    ) {
+        let bytes = shard_bytes_of(&self.colls[cid], chunk, phase);
+        let hot = self.colls[cid].phase_hot[phase as usize];
+        // Bidirectional rings: alternate chunk parity across directions
+        // (unidirectional mode sends everything the + way — an ablation).
+        let plus = !self.options.bidirectional_rings || chunk.is_multiple_of(2);
+        let (port_idx, dir) = if plus {
+            (hot.port_idx_plus as usize, 0)
+        } else {
+            (hot.port_idx_minus as usize, 1)
+        };
+        let dst = self.dim_nbrs[(hot.dim as usize * 2 + dir) * self.nodes + node];
+        let out = self
+            .net
+            .transmit(now, NodeId(node), Port::from_index(port_idx), bytes);
+        self.trace_link(node, port_idx, out.grant);
+        self.sink.emit(
+            out.arrival,
+            dst.index(),
+            Ev::RingArrive {
+                coll: cid as u32,
+                chunk: chunk as u32,
+                node: dst.index() as u32,
+                phase,
+                step,
+            },
+        );
+    }
+
+    fn ring_arrive(
+        &mut self,
+        now: SimTime,
+        cid: usize,
+        chunk: usize,
+        node: usize,
+        phase: u16,
+        step: u16,
+    ) {
+        // Buffer arrivals for phases the node has not entered yet.
+        let slot = chunk_slot_of(&self.colls[cid], chunk);
+        let np = self.rows.node_phase(slot, node);
+        if np == NOT_STARTED || np < phase {
+            self.rows.pending_push(slot, node, (phase, step, now));
+            return;
+        }
+        debug_assert_eq!(np, phase, "arrival for a past phase");
+        self.rows.incr_arr(slot, node);
+        let hot = self.colls[cid].phase_hot[phase as usize];
+        let k = hot.ring_k;
+        let final_step = hot.final_step;
+        let shard = shard_bytes_of(&self.colls[cid], chunk, phase);
+        let engine = self.engine(node);
+        // The landing write and the processing of the step pipeline
+        // through independent resources; both are charged at the arrival
+        // time and the step completes when the slowest finishes.
+        let landed = engine.receive(now, shard, phase as usize);
+        let reduces = match hot.kind {
+            PhaseKind::ReduceScatter => true,
+            PhaseKind::AllGather => false,
+            PhaseKind::RingAllReduce => step <= k - 2,
+            PhaseKind::DirectAllToAll => false,
+        };
+        if step < final_step {
+            let ready = if reduces {
+                engine.reduce_and_send(now, shard, phase as usize)
+            } else {
+                engine.fetch_and_send(now, shard, phase as usize)
+            };
+            self.sink.emit(
+                ready.max(landed).max(now),
+                node,
+                Ev::Send {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    node: node as u32,
+                    phase,
+                    step: step + 1,
+                },
+            );
+        } else {
+            // Final arrival of the phase.
+            let done = if reduces {
+                engine.reduce_and_store(now, shard, phase as usize)
+            } else {
+                landed
+            };
+            self.sink.emit(
+                done.max(now),
+                node,
+                Ev::PhaseDone {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    node: node as u32,
+                    phase,
+                },
+            );
+        }
+    }
+
+    fn phase_done(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
+        if self.tracer.enabled() && node == 0 {
+            self.tracer
+                .end(TRACK_SIM, "phase", phase_trace_id(cid, chunk, phase), now);
+        }
+        let next = phase + 1;
+        self.request_phase(now, cid, chunk, node, next, phase);
+    }
+
+    fn drain_done(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize) {
+        let n_phases = self.colls[cid].plan.phases().len() as u16;
+        let terminal_bytes = admit_bytes_of(&self.colls[cid], chunk, n_phases);
+        self.engine(node)
+            .release(n_phases as usize, terminal_bytes, now);
+        self.retry_waiters(now, node);
+        let slot = chunk_slot_of(&self.colls[cid], chunk);
+        self.rows.set_node_phase(slot, node, n_phases + 1);
+        let ev = Ev::DrainDone {
+            coll: cid as u32,
+            chunk: chunk as u32,
+            node: node as u32,
+        };
+        self.notices.push(Notice {
+            at: now,
+            key: content_key(&ev),
+            coll: cid as u32,
+            chunk: chunk as u32,
+            kind: NoticeKind::Drain,
+        });
+    }
+
+    /// Transmits hop `hop` of an all-to-all flow at event time.
+    fn a2a_send(&mut self, now: SimTime, cid: usize, chunk: usize, flow: usize, hop: usize) {
+        let bytes = a2a_flow_bytes_of(&self.colls[cid], self.nodes, chunk, flow);
+        let routes = self.a2a_routes;
+        let h = routes[flow][hop];
+        let out = self.net.transmit(now, h.from, h.port, bytes);
+        self.trace_link(h.from.index(), h.port.index(), out.grant);
+        // The next event runs where the message lands: `h.to` starts the
+        // next hop (routes are contiguous) or is the final destination.
+        self.sink.emit(
+            out.arrival,
+            h.to.index(),
+            Ev::A2aHop {
+                coll: cid as u32,
+                chunk: chunk as u32,
+                flow: flow as u32,
+                hop: hop as u16 + 1,
+            },
+        );
+    }
+
+    fn a2a_hop(&mut self, now: SimTime, cid: usize, chunk: usize, flow: usize, hop: usize) {
+        let bytes = a2a_flow_bytes_of(&self.colls[cid], self.nodes, chunk, flow);
+        let routes = self.a2a_routes;
+        let route = &routes[flow];
+        if hop < route.len() {
+            // Intermediate endpoint: store-and-forward, then next hop.
+            let at = route[hop].from.index();
+            let ready = self.engine(at).store_and_forward(now, bytes, 0);
+            self.sink.emit(
+                ready.max(now),
+                at,
+                Ev::A2aSend {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    flow: flow as u32,
+                    hop: hop as u16,
+                },
+            );
+        } else {
+            // Final arrival at the destination.
+            let dst = route.last().expect("route nonempty").to.index();
+            let landed = self.engine(dst).receive(now, bytes, 0);
+            let done = self.engine(dst).chunk_complete(landed, bytes);
+            let ev = Ev::A2aHop {
+                coll: cid as u32,
+                chunk: chunk as u32,
+                flow: flow as u32,
+                hop: hop as u16,
+            };
+            self.notices.push(Notice {
+                at: now,
+                key: content_key(&ev),
+                coll: cid as u32,
+                chunk: chunk as u32,
+                kind: NoticeKind::A2aFinal {
+                    candidate: done.max(now),
+                },
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel stint machinery
+// ---------------------------------------------------------------------
+
+/// A cross-partition event in flight: `(arrival time, content key, event)`.
+type CrossMsg = (SimTime, u64, Ev);
+
+/// Event sink for a partition worker: events owned by this partition go
+/// straight into the local queue; events owned by another partition are
+/// staged in the per-destination outbox and delivered at the window
+/// barrier. The lookahead guarantees remote arrivals land at or beyond
+/// the window end, so late delivery never reorders anything.
+struct PartSink<'a> {
+    queue: &'a mut EventQueue<Ev>,
+    outbox: &'a mut [Vec<CrossMsg>],
+    node_part: &'a [u32],
+    me: usize,
+}
+
+impl EvSink for PartSink<'_> {
+    fn emit(&mut self, at: SimTime, node: usize, ev: Ev) {
+        let part = self.node_part[node] as usize;
+        if part == self.me {
+            self.queue.schedule_keyed(at, content_key(&ev), ev);
+        } else {
+            self.outbox[part].push((at, content_key(&ev), ev));
+        }
+    }
+}
+
+/// The node whose partition processes `ev` — the same node the handlers
+/// charge engine costs on.
+fn ev_owner(a2a_routes: &[Route], ev: &Ev) -> usize {
+    match ev {
+        Ev::StepZero { node, .. }
+        | Ev::Send { node, .. }
+        | Ev::RingArrive { node, .. }
+        | Ev::PhaseDone { node, .. }
+        | Ev::DrainDone { node, .. } => *node as usize,
+        Ev::A2aSend { flow, hop, .. } => a2a_routes[*flow as usize][*hop as usize].from.index(),
+        Ev::A2aHop { flow, hop, .. } => {
+            let route = &a2a_routes[*flow as usize];
+            let h = *hop as usize;
+            if h < route.len() {
+                route[h].from.index()
+            } else {
+                route.last().expect("route nonempty").to.index()
+            }
+        }
+        Ev::TryInject => unreachable!("TryInject cannot be pending during a parallel stint"),
+    }
+}
+
+/// Precomputed parallel-execution plan: contiguous domain partitions,
+/// the node → partition map, and the conservative lookahead (cycles)
+/// from the cheapest partition-crossing link.
+struct ParPlan {
+    bounds: Vec<(usize, usize)>,
+    node_part: Vec<u32>,
+    lookahead: u64,
+}
+
+/// Whether a fan-out (crossbar) link at `node` can reach another
+/// partition. On a hierarchical fabric the crossbar only spans the
+/// node's scale-up domain, so a partition that contains the whole domain
+/// contains all its crossbar traffic; any other fan-out link is assumed
+/// to reach everywhere.
+fn fanout_crosses(spec: &TopologySpec, node: usize, node_part: &[u32]) -> bool {
+    match *spec {
+        TopologySpec::Hierarchical { scale_up, .. } => {
+            let su = (scale_up as usize).max(1);
+            let lo = node - node % su;
+            let p = node_part[lo];
+            node_part[lo..lo + su].iter().any(|&q| q != p)
+        }
+        _ => true,
+    }
+}
+
+/// The conservative lookahead: the smallest propagation latency of any
+/// link whose traffic can cross a partition boundary. Every event a
+/// worker processes in a window `[w0, w1)` with `w1 <= min_next + L`
+/// produces remote arrivals at `>= t + L >= min_next + L >= w1`, so
+/// barrier-delivered messages never land inside a window already
+/// processed — the protocol's safety argument.
+fn lookahead_cycles(net: &Network, node_part: &[u32]) -> u64 {
+    let topo = net.topology();
+    let spec = topo.spec();
+    let mut min_lat = u64::MAX / 2;
+    for node in 0..topo.nodes() {
+        for p in 0..topo.ports_per_node() {
+            let port = Port::from_index(p);
+            let Some(link) = net.link(NodeId(node), port) else {
+                continue;
+            };
+            let crosses = match topo.link_peer(NodeId(node), port) {
+                Some(peer) => node_part[peer.index()] != node_part[node],
+                None => fanout_crosses(&spec, node, node_part),
+            };
+            if crosses {
+                min_lat = min_lat.min(link.params().latency_cycles);
+            }
+        }
+    }
+    min_lat
+}
+
+/// Builds the partition plan for `threads` workers over `net`'s
+/// topology, or `None` when partitioning cannot work: one thread, a
+/// sub-2-node fabric, no ring dimension to derive an alignment from, a
+/// single resulting partition, or zero-latency crossing links (no
+/// lookahead to hide the synchronization behind).
+fn partition_plan(net: &Network, threads: usize) -> Option<ParPlan> {
+    if threads <= 1 {
+        return None;
+    }
+    let topo = net.topology();
+    let nodes = topo.nodes();
+    if nodes < 2 {
+        return None;
+    }
+    let dims = topo.dims();
+    // Boundary stride: the node-id stride of the outermost ring
+    // dimension, so aligned boundaries are only crossed by that
+    // dimension's (slow, high-latency) links.
+    let outer = dims.iter().rposition(|d| d.len > 1)?;
+    let align: usize = dims[..outer].iter().map(|d| d.len).product();
+    let bounds = partition_bounds(nodes, threads, align.max(1));
+    if bounds.len() < 2 {
+        return None;
+    }
+    let mut node_part = vec![0u32; nodes];
+    for (i, &(lo, hi)) in bounds.iter().enumerate() {
+        node_part[lo..hi].fill(i as u32);
+    }
+    let lookahead = lookahead_cycles(net, &node_part);
+    if lookahead == 0 {
+        return None;
+    }
+    Some(ParPlan {
+        bounds,
+        node_part,
+        lookahead,
+    })
+}
+
+/// Splits `items` into per-partition mutable slices along `bounds`.
+fn split_by_bounds<'s, X>(items: &'s mut [X], bounds: &[(usize, usize)]) -> Vec<&'s mut [X]> {
+    let mut out = Vec::with_capacity(bounds.len());
+    let mut rest = items;
+    let mut covered = 0usize;
+    for &(lo, hi) in bounds {
+        debug_assert_eq!(lo, covered, "bounds must tile the items");
+        let (head, tail) = rest.split_at_mut(hi - lo);
+        out.push(head);
+        rest = tail;
+        covered = hi;
+    }
+    debug_assert!(rest.is_empty(), "bounds must cover every item");
+    out
+}
+
+/// End-of-window report a worker posts for the coordinator.
+#[derive(Default)]
+struct Report {
+    /// Earliest pending event after mailbox delivery (`None` = idle).
+    next: Option<SimTime>,
+    /// Completion notices emitted during the window.
+    notices: Vec<Notice>,
+}
+
+/// The coordinator's verdict for the next window.
+#[derive(Clone, Copy)]
+struct Cmd {
+    stop: bool,
+    /// Exclusive end of the next processing window.
+    window: SimTime,
+}
+
+/// State shared by every worker of one parallel stint.
+struct StintShared<'a> {
+    nodes: usize,
+    options: ExecutorOptions,
+    colls: &'a [Coll],
+    dim_nbrs: &'a [NodeId],
+    a2a_routes: &'a [Route],
+    node_part: &'a [u32],
+    lookahead: u64,
+    barrier: Barrier,
+    /// `mailboxes[dst][src]`: events bound for partition `dst`.
+    mailboxes: Vec<Vec<Mutex<Vec<CrossMsg>>>>,
+    reports: Vec<Mutex<Report>>,
+    cmd: Mutex<Cmd>,
+    /// Set when any worker's window panicked; the stint stops at the
+    /// next barrier and the payload is rethrown after merge.
+    poisoned: AtomicBool,
+}
+
+/// One partition's private stint state: its event queue, its node range
+/// of the engines / admission queues / arena rows, and its network
+/// shard.
+struct Worker<'w, E> {
+    me: usize,
+    base: usize,
+    queue: EventQueue<Ev>,
+    engines: &'w mut [E],
+    admit: &'w mut [Vec<VecDeque<(u64, Waiter)>>],
+    rows: SlotRows,
+    shard: NetShard<'w>,
+    outbox: Vec<Vec<CrossMsg>>,
+    scratch: Vec<(u16, u16, SimTime)>,
+    notices: Vec<Notice>,
+}
+
+/// Serializes cross-partition completion counting so it reproduces the
+/// serial order: each window's notices, gathered from every worker and
+/// sorted by `(time, content key)`, are applied to a snapshot of the
+/// per-slot counters exactly as the serial loop would have popped the
+/// emitting events.
+struct Coordinator {
+    nodes: usize,
+    /// Per-slot `(nodes_done, flows_done)` snapshot.
+    counts: Vec<(usize, usize)>,
+    flows_total: Vec<usize>,
+    /// Target chunks still incomplete; the stint stops at zero.
+    chunks_left: usize,
+    /// Completions in serial order: `(coll, chunk, completion time)`.
+    completions: Vec<(u32, u32, SimTime)>,
+    deadlocked: bool,
+    scratch: Vec<Notice>,
+}
+
+impl Coordinator {
+    /// One barrier round: fold in the window's notices, then decide
+    /// whether to stop or how far the next window extends.
+    fn step(&mut self, sh: &StintShared<'_>) {
+        self.scratch.clear();
+        let mut next: Option<SimTime> = None;
+        for r in &sh.reports {
+            let mut rep = r.lock().expect("report lock");
+            self.scratch.append(&mut rep.notices);
+            if let Some(t) = rep.next {
+                next = Some(next.map_or(t, |m| m.min(t)));
+            }
+        }
+        self.scratch.sort_by_key(|n| (n.at, n.key));
+        for n in &self.scratch {
+            let slot = chunk_slot_of(&sh.colls[n.coll as usize], n.chunk as usize);
+            let complete = match n.kind {
+                NoticeKind::Drain => {
+                    self.counts[slot].0 += 1;
+                    (self.counts[slot].0 == self.nodes).then_some(n.at)
+                }
+                NoticeKind::A2aFinal { candidate } => {
+                    self.counts[slot].1 += 1;
+                    (self.counts[slot].1 == self.flows_total[slot]).then_some(candidate)
+                }
+            };
+            if let Some(at) = complete {
+                self.completions.push((n.coll, n.chunk, at));
+                self.chunks_left -= 1;
+            }
+        }
+        let mut cmd = sh.cmd.lock().expect("cmd lock");
+        if self.chunks_left == 0 || sh.poisoned.load(Ordering::SeqCst) {
+            cmd.stop = true;
+        } else if let Some(t) = next {
+            cmd.window = SimTime::from_cycles(t.cycles().saturating_add(sh.lookahead));
+        } else {
+            // Every queue drained with chunks outstanding.
+            self.deadlocked = true;
+            cmd.stop = true;
+        }
+    }
+}
+
+/// Processes every event of `w`'s queue strictly before `window`.
+fn process_window<E: CollectiveEngine>(
+    sh: &StintShared<'_>,
+    w: &mut Worker<'_, E>,
+    window: SimTime,
+) {
+    let mut null_tracer = NullTracer;
+    while w.queue.peek_time().is_some_and(|t| t < window) {
+        let (now, _key, ev) = w.queue.pop_keyed().expect("peeked");
+        let mut ctx = ExecCtx {
+            nodes: sh.nodes,
+            options: sh.options,
+            colls: sh.colls,
+            dim_nbrs: sh.dim_nbrs,
+            a2a_routes: sh.a2a_routes,
+            engines: &mut *w.engines,
+            admit_wait: &mut *w.admit,
+            base: w.base,
+            rows: &mut w.rows,
+            scratch: &mut w.scratch,
+            sink: PartSink {
+                queue: &mut w.queue,
+                outbox: &mut w.outbox,
+                node_part: sh.node_part,
+                me: w.me,
+            },
+            net: &mut w.shard,
+            notices: &mut w.notices,
+            tracer: &mut null_tracer,
+        };
+        ctx.dispatch(now, ev);
+    }
+}
+
+/// One worker's stint loop. Per window: process local events, deliver
+/// outboxes, barrier, drain mailboxes, report, barrier, (worker 0 only)
+/// coordinate, barrier, re-read the command. A panic inside the window
+/// is caught so the other workers can reach the barriers; the payload is
+/// rethrown by the stint driver after state is merged back.
+fn stint_worker<'w, E: CollectiveEngine>(
+    sh: &StintShared<'_>,
+    mut w: Worker<'w, E>,
+    mut coordinator: Option<&mut Coordinator>,
+) -> (Worker<'w, E>, Option<Box<dyn Any + Send>>) {
+    let parts = sh.mailboxes.len();
+    let mut payload: Option<Box<dyn Any + Send>> = None;
+    loop {
+        let cmd = *sh.cmd.lock().expect("cmd lock");
+        if cmd.stop {
+            break;
+        }
+        if payload.is_none() && !sh.poisoned.load(Ordering::SeqCst) {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                process_window(sh, &mut w, cmd.window);
+            })) {
+                sh.poisoned.store(true, Ordering::SeqCst);
+                payload = Some(p);
+            }
+        }
+        for dst in 0..parts {
+            if dst != w.me && !w.outbox[dst].is_empty() {
+                sh.mailboxes[dst][w.me]
+                    .lock()
+                    .expect("mailbox lock")
+                    .append(&mut w.outbox[dst]);
+            }
+        }
+        sh.barrier.wait();
+        for src in 0..parts {
+            let mut mb = sh.mailboxes[w.me][src].lock().expect("mailbox lock");
+            for (at, key, ev) in mb.drain(..) {
+                w.queue.schedule_keyed(at, key, ev);
+            }
+        }
+        {
+            let mut rep = sh.reports[w.me].lock().expect("report lock");
+            rep.next = w.queue.peek_time();
+            rep.notices.append(&mut w.notices);
+        }
+        sh.barrier.wait();
+        if let Some(c) = coordinator.as_deref_mut() {
+            c.step(sh);
+        }
+        sh.barrier.wait();
+    }
+    (w, payload)
+}
+
 /// The executor: fabric + per-node engines + the event loop.
 ///
 /// Generic over the engine type: monomorphizing over a concrete engine
@@ -316,6 +1514,12 @@ pub struct CollectiveExecutor<
     a2a_routes: Vec<Route>,
     /// Scratch buffer for replaying buffered arrivals.
     replay_scratch: Vec<(u16, u16, SimTime)>,
+    /// Notices emitted by the serial dispatch path, applied right after
+    /// each event (reused buffer).
+    notice_scratch: Vec<Notice>,
+    /// Parallel-stint plan, present when `options.sim_threads > 1` and
+    /// the topology supports domain partitioning.
+    par: Option<ParPlan>,
     now: SimTime,
     tracer: T,
 }
@@ -442,6 +1646,7 @@ impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
                 tracer.meta_process(1 + n as u32, &format!("node {n}"));
             }
         }
+        let par = partition_plan(&net, options.sim_threads);
         CollectiveExecutor {
             spec,
             nodes,
@@ -461,6 +1666,8 @@ impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
             dim_nbrs,
             a2a_routes: Vec::new(),
             replay_scratch: Vec::new(),
+            notice_scratch: Vec::new(),
+            par,
             now: SimTime::ZERO,
             tracer,
         }
@@ -610,12 +1817,20 @@ impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
 
     /// Runs until `coll` completes; returns its completion time.
     ///
+    /// With `sim_threads > 1` (and a partitionable topology) the run
+    /// switches to parallel stints whenever only this collective is live
+    /// and fully injected; results are byte-identical to the serial loop.
+    ///
     /// # Panics
     ///
     /// Panics if the event queue drains without completing the collective
     /// (a deadlock — indicates an internal invariant violation).
     pub fn run_until_complete(&mut self, coll: CollHandle) -> SimTime {
         while !self.colls[coll.0].is_complete() {
+            if self.parallel_ok(coll.0) {
+                self.run_parallel_stint(coll.0);
+                continue;
+            }
             let (time, ev) = self
                 .queue
                 .pop()
@@ -625,6 +1840,202 @@ impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
             self.handle(time, ev);
         }
         self.colls[coll.0].completed_at.expect("completed")
+    }
+
+    /// Whether the next step of `run_until_complete(target)` can run as
+    /// a parallel stint. Chunk injection is global, serial-only work
+    /// (admission sequencing spans every node), so a stint requires
+    /// every chunk of every collective to be injected already and every
+    /// other collective to be complete: the only live events then belong
+    /// to `target`, and the stint can run it to completion without the
+    /// serial loop ever needing to interleave. Payloads larger than the
+    /// in-flight cap therefore run serially until their final injection
+    /// wave — a documented limitation. Tracing also pins the run to the
+    /// serial loop (trace records are ordered by global pop order).
+    fn parallel_ok(&self, target: usize) -> bool {
+        self.par.is_some()
+            && !self.tracer.enabled()
+            && self.inject_at.is_none()
+            && !self.queue.is_empty()
+            && self.colls.iter().enumerate().all(|(i, c)| {
+                c.next_chunk == c.chunk_sizes.len() && (i == target || c.is_complete())
+            })
+    }
+
+    /// Runs one parallel stint: forks the executor's state into domain
+    /// partitions, processes conservative-lookahead windows on worker
+    /// threads until `target` completes, and merges everything back.
+    ///
+    /// Byte identity with the serial loop: within a partition, events
+    /// pop in the same `(time, content key)` order the serial queue
+    /// would give them (per-node and per-link state only ever depend on
+    /// the owning partition's events); across partitions the only shared
+    /// effects are completion notices, which the coordinator applies
+    /// sorted by the emitting event's `(time, key)` — the serial pop
+    /// order — and chunk completions, replayed in that order afterwards.
+    fn run_parallel_stint(&mut self, target: usize) {
+        let plan = self.par.take().expect("parallel_ok requires a plan");
+        let parts = plan.bounds.len();
+        let nodes = self.nodes;
+        let chunks_left = self.colls[target].chunk_sizes.len() - self.colls[target].done_chunks;
+        debug_assert!(chunks_left > 0, "stint started on a complete collective");
+        let first = self.queue.peek_time().expect("parallel_ok requires events");
+        let mut coord = Coordinator {
+            nodes,
+            counts: self
+                .arena
+                .iter()
+                .map(|st| (st.nodes_done, st.flows_done))
+                .collect(),
+            flows_total: self.arena.iter().map(|st| st.flows_total).collect(),
+            chunks_left,
+            completions: Vec::new(),
+            deadlocked: false,
+            scratch: Vec::new(),
+        };
+        // Fork the global queue into per-partition queues routed by the
+        // event's owning node, preserving each entry's key.
+        let t0 = self.queue.now();
+        let mut queues: Vec<EventQueue<Ev>> =
+            (0..parts).map(|_| EventQueue::with_now(t0)).collect();
+        for (at, key, ev) in self.queue.drain_entries() {
+            let owner = ev_owner(&self.a2a_routes, &ev);
+            queues[plan.node_part[owner] as usize].schedule_keyed(at, key, ev);
+        }
+        // Carve every arena slot's node rows into per-partition SlotRows
+        // (split back-to-front so the split points stay valid).
+        let mut rows: Vec<SlotRows> = plan
+            .bounds
+            .iter()
+            .map(|&(lo, _)| SlotRows {
+                base: lo,
+                node_phase: Vec::with_capacity(self.arena.len()),
+                arr_count: Vec::with_capacity(self.arena.len()),
+                pending: Vec::with_capacity(self.arena.len()),
+            })
+            .collect();
+        for st in &mut self.arena {
+            debug_assert_eq!(st.node_phase.len(), nodes, "arena slot never reset");
+            for p in (1..parts).rev() {
+                let lo = plan.bounds[p].0;
+                rows[p].node_phase.push(st.node_phase.split_off(lo));
+                rows[p].arr_count.push(st.arr_count.split_off(lo));
+                rows[p].pending.push(st.pending.split_off(lo));
+            }
+            rows[0].node_phase.push(std::mem::take(&mut st.node_phase));
+            rows[0].arr_count.push(std::mem::take(&mut st.arr_count));
+            rows[0].pending.push(std::mem::take(&mut st.pending));
+        }
+        let sh = StintShared {
+            nodes,
+            options: self.options,
+            colls: &self.colls,
+            dim_nbrs: &self.dim_nbrs,
+            a2a_routes: &self.a2a_routes,
+            node_part: &plan.node_part,
+            lookahead: plan.lookahead,
+            barrier: Barrier::new(parts),
+            mailboxes: (0..parts)
+                .map(|_| (0..parts).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+            reports: (0..parts).map(|_| Mutex::new(Report::default())).collect(),
+            cmd: Mutex::new(Cmd {
+                stop: false,
+                window: SimTime::from_cycles(first.cycles().saturating_add(plan.lookahead)),
+            }),
+            poisoned: AtomicBool::new(false),
+        };
+        let mut engine_slices = split_by_bounds(&mut self.engines, &plan.bounds).into_iter();
+        let mut admit_slices = split_by_bounds(&mut self.admit_wait, &plan.bounds).into_iter();
+        let mut shards = self.net.shards(&plan.bounds).into_iter();
+        let mut rows_iter = rows.into_iter();
+        let mut workers = Vec::with_capacity(parts);
+        for (me, queue) in queues.into_iter().enumerate() {
+            workers.push(Worker {
+                me,
+                base: plan.bounds[me].0,
+                queue,
+                engines: engine_slices.next().expect("slice per partition"),
+                admit: admit_slices.next().expect("slice per partition"),
+                rows: rows_iter.next().expect("rows per partition"),
+                shard: shards.next().expect("shard per partition"),
+                outbox: (0..parts).map(|_| Vec::new()).collect(),
+                scratch: Vec::new(),
+                notices: Vec::new(),
+            });
+        }
+        // Worker 0 (plus the coordinator) runs on this thread; the rest
+        // get scoped threads. Results come back in partition order.
+        let mut workers = workers.into_iter();
+        let w0 = workers.next().expect("at least two partitions");
+        type StintResult<'a, E> = (Worker<'a, E>, Option<Box<dyn Any + Send>>);
+        let results: Vec<StintResult<'_, E>> = std::thread::scope(|s| {
+            let handles: Vec<_> = workers
+                .map(|w| {
+                    let shr = &sh;
+                    s.spawn(move || stint_worker(shr, w, None))
+                })
+                .collect();
+            let r0 = stint_worker(&sh, w0, Some(&mut coord));
+            std::iter::once(r0)
+                .chain(handles.into_iter().map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(p) => resume_unwind(p),
+                }))
+                .collect()
+        });
+        // Merge everything back (also on the error paths, so a caught
+        // panic propagates out of a structurally consistent executor).
+        let mut payload: Option<Box<dyn Any + Send>> = None;
+        let mut meters = Vec::with_capacity(parts);
+        let mut end = t0;
+        for (mut w, p) in results {
+            if payload.is_none() {
+                payload = p;
+            }
+            self.queue.absorb_counters(&w.queue);
+            end = end.max(w.queue.now());
+            let leftovers = w.queue.drain_entries();
+            debug_assert!(
+                leftovers.is_empty() || payload.is_some() || coord.deadlocked,
+                "stint completed with live events"
+            );
+            for (at, key, ev) in leftovers {
+                self.queue.schedule_keyed(at, key, ev);
+            }
+            for (slot, mut v) in w.rows.node_phase.into_iter().enumerate() {
+                self.arena[slot].node_phase.append(&mut v);
+            }
+            for (slot, mut v) in w.rows.arr_count.into_iter().enumerate() {
+                self.arena[slot].arr_count.append(&mut v);
+            }
+            for (slot, mut v) in w.rows.pending.into_iter().enumerate() {
+                self.arena[slot].pending.append(&mut v);
+            }
+            meters.push(w.shard.into_meters());
+        }
+        for (meter, series) in &meters {
+            self.net.merge_shard_meters(meter, series);
+        }
+        for (slot, &(nd, fd)) in coord.counts.iter().enumerate() {
+            self.arena[slot].nodes_done = nd;
+            self.arena[slot].flows_done = fd;
+        }
+        self.queue.advance_to(end);
+        self.now = self.now.max(end);
+        self.par = Some(plan);
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+        if coord.deadlocked {
+            panic!("executor deadlock waiting on collective {target}");
+        }
+        // Replay the completions in serial order: frees the slots, sets
+        // `completed_at`, and keeps the (no-op here) injection drain on
+        // its usual path.
+        for (cid, chunk, at) in coord.completions {
+            self.chunk_complete(at, cid as usize, chunk as usize);
+        }
     }
 
     /// Drains every pending event; returns the final event time.
@@ -684,115 +2095,70 @@ impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
         self.queue.past_schedules()
     }
 
-    /// Records a link busy span from a transmit grant on the sending
-    /// node's per-port lane. The span's integer `[start, end)` service
-    /// window is exactly what the network's utilization meter credits, so
-    /// summing recorded `link:` spans reproduces
-    /// [`Network::util_busy_total_cycles`] — the reconciliation the trace
-    /// property tests enforce.
-    #[inline]
-    fn trace_link(&mut self, node: usize, port_idx: usize, grant: Grant) {
-        if self.tracer.enabled() {
-            self.tracer.span(
-                Track {
-                    pid: 1 + node as u32,
-                    tid: port_idx as u32,
-                },
-                &format!("link:n{node}:p{port_idx}"),
-                grant.start,
-                grant.end,
-            );
-        }
-    }
-
     // ------------------------------------------------------------------
     // Event handling
     // ------------------------------------------------------------------
 
+    /// The handler context for the serial loop: global queue, whole
+    /// network, whole arena.
+    fn serial_ctx(
+        &mut self,
+    ) -> ExecCtx<'_, E, &mut EventQueue<Ev>, &mut Network, &mut [ChunkState], T> {
+        ExecCtx {
+            nodes: self.nodes,
+            options: self.options,
+            colls: &self.colls,
+            dim_nbrs: &self.dim_nbrs,
+            a2a_routes: &self.a2a_routes,
+            engines: &mut self.engines,
+            admit_wait: &mut self.admit_wait,
+            base: 0,
+            rows: self.arena.as_mut_slice(),
+            scratch: &mut self.replay_scratch,
+            sink: &mut self.queue,
+            net: &mut self.net,
+            notices: &mut self.notice_scratch,
+            tracer: &mut self.tracer,
+        }
+    }
+
     fn handle(&mut self, now: SimTime, ev: Ev) {
-        match ev {
-            Ev::TryInject => {
-                self.inject_at = None;
-                self.drain_lifo(now);
+        if matches!(ev, Ev::TryInject) {
+            self.inject_at = None;
+            self.drain_lifo(now);
+            return;
+        }
+        debug_assert!(self.notice_scratch.is_empty());
+        let mut ctx = self.serial_ctx();
+        ctx.dispatch(now, ev);
+        // A dispatch emits at most one notice; apply it immediately so
+        // the serial loop's completion bookkeeping happens at the same
+        // point it always did.
+        while let Some(n) = self.notice_scratch.pop() {
+            self.apply_notice(n);
+        }
+    }
+
+    /// Applies a completion notice to the chunk's cross-node counters,
+    /// completing the chunk when the last node / flow reports in.
+    fn apply_notice(&mut self, n: Notice) {
+        let cid = n.coll as usize;
+        let chunk = n.chunk as usize;
+        let slot = chunk_slot_of(&self.colls[cid], chunk);
+        match n.kind {
+            NoticeKind::Drain => {
+                let st = &mut self.arena[slot];
+                st.nodes_done += 1;
+                if st.nodes_done == self.nodes {
+                    self.chunk_complete(n.at, cid, chunk);
+                }
             }
-            Ev::StepZero {
-                coll,
-                chunk,
-                node,
-                phase,
-            } => {
-                self.step_zero(now, coll as usize, chunk as usize, node as usize, phase);
-            }
-            Ev::Send {
-                coll,
-                chunk,
-                node,
-                phase,
-                step,
-            } => {
-                self.ring_send(
-                    now,
-                    coll as usize,
-                    chunk as usize,
-                    node as usize,
-                    phase,
-                    step,
-                );
-            }
-            Ev::RingArrive {
-                coll,
-                chunk,
-                node,
-                phase,
-                step,
-            } => {
-                self.ring_arrive(
-                    now,
-                    coll as usize,
-                    chunk as usize,
-                    node as usize,
-                    phase,
-                    step,
-                );
-            }
-            Ev::PhaseDone {
-                coll,
-                chunk,
-                node,
-                phase,
-            } => {
-                self.phase_done(now, coll as usize, chunk as usize, node as usize, phase);
-            }
-            Ev::DrainDone { coll, chunk, node } => {
-                self.drain_done(now, coll as usize, chunk as usize, node as usize);
-            }
-            Ev::A2aSend {
-                coll,
-                chunk,
-                flow,
-                hop,
-            } => {
-                self.a2a_send(
-                    now,
-                    coll as usize,
-                    chunk as usize,
-                    flow as usize,
-                    hop as usize,
-                );
-            }
-            Ev::A2aHop {
-                coll,
-                chunk,
-                flow,
-                hop,
-            } => {
-                self.a2a_hop(
-                    now,
-                    coll as usize,
-                    chunk as usize,
-                    flow as usize,
-                    hop as usize,
-                );
+            NoticeKind::A2aFinal { candidate } => {
+                let st = &mut self.arena[slot];
+                st.flows_done += 1;
+                if st.flows_done == st.flows_total {
+                    self.chunk_complete(candidate, cid, chunk);
+                }
             }
         }
     }
@@ -862,325 +2228,15 @@ impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
         &mut self.arena[slot as usize]
     }
 
-    /// Bytes a chunk occupies in the partition of `phase` (`P` = terminal).
-    fn admit_bytes(&self, cid: usize, chunk: usize, phase: u16) -> u64 {
-        let coll = &self.colls[cid];
-        coll.admit_cache[phase as usize * 2 + coll.short_idx(chunk)]
-    }
-
     fn inject_ring_chunk(&mut self, now: SimTime, cid: usize, chunk: usize) {
         self.acquire_chunk_slot(cid, chunk);
-        for node in 0..self.nodes {
-            self.request_phase(now, cid, chunk, node, 0, NOT_STARTED);
+        let nodes = self.nodes;
+        let mut ctx = self.serial_ctx();
+        for node in 0..nodes {
+            ctx.request_phase(now, cid, chunk, node, 0, NOT_STARTED);
         }
-    }
-
-    /// Requests admission into `phase` for `(cid, chunk)` at `node`,
-    /// releasing `held_phase` on success. Queues a waiter on failure or
-    /// when earlier-sequence chunks are already waiting for the same
-    /// partition (strict global admission order; see `admit_wait`).
-    fn request_phase(
-        &mut self,
-        now: SimTime,
-        cid: usize,
-        chunk: usize,
-        node: usize,
-        phase: u16,
-        held_phase: u16,
-    ) {
-        let p = phase as usize;
-        if self.admit_wait[node].len() <= p {
-            self.admit_wait[node].resize_with(p + 1, VecDeque::new);
-        }
-        let bytes = self.admit_bytes(cid, chunk, phase);
-        if self.admit_wait[node][p].is_empty() && self.engines[node].try_admit(p, bytes, now) {
-            if held_phase != NOT_STARTED {
-                let held_bytes = self.admit_bytes(cid, chunk, held_phase);
-                self.engines[node].release(held_phase as usize, held_bytes, now);
-                self.retry_waiters(now, node);
-            }
-            self.start_phase(now, cid, chunk, node, phase);
-        } else {
-            let seq = self.colls[cid].chunk_seq[chunk];
-            debug_assert_ne!(seq, u64::MAX, "chunk admitted before injection");
-            let w = Waiter {
-                coll: cid as u32,
-                chunk: chunk as u32,
-                held_phase,
-            };
-            let q = &mut self.admit_wait[node][p];
-            // Waiters almost always arrive in sequence order; fall back to
-            // a sorted insert for the cross-phase stragglers.
-            if q.back().is_none_or(|&(s, _)| s < seq) {
-                q.push_back((seq, w));
-            } else {
-                let pos = q.partition_point(|&(s, _)| s < seq);
-                q.insert(pos, (seq, w));
-            }
-        }
-    }
-
-    /// Retries queued admissions at `node` after a partition release.
-    ///
-    /// Per phase, waiters are admitted strictly in global sequence order,
-    /// stopping at the first that does not fit. A successful waiter
-    /// releases the partition it held, which can unblock waiters of
-    /// another phase — passes repeat until no progress is made.
-    fn retry_waiters(&mut self, now: SimTime, node: usize) {
-        loop {
-            let mut progress = false;
-            for p in 0..self.admit_wait[node].len() {
-                while let Some(&(_, w)) = self.admit_wait[node][p].front() {
-                    let bytes = self.admit_bytes(w.coll as usize, w.chunk as usize, p as u16);
-                    if !self.engines[node].try_admit(p, bytes, now) {
-                        break;
-                    }
-                    self.admit_wait[node][p].pop_front();
-                    if w.held_phase != NOT_STARTED {
-                        let held =
-                            self.admit_bytes(w.coll as usize, w.chunk as usize, w.held_phase);
-                        self.engines[node].release(w.held_phase as usize, held, now);
-                    }
-                    progress = true;
-                    self.start_phase(now, w.coll as usize, w.chunk as usize, node, p as u16);
-                }
-            }
-            if !progress {
-                break;
-            }
-        }
-    }
-
-    /// Phase entry: run the TX DMA for phase 0, kick off the terminal
-    /// drain for phase `P`, otherwise send ring step 0.
-    fn start_phase(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
-        let n_phases = self.colls[cid].plan.phases().len() as u16;
-        // Phase lifetimes are traced from node 0's perspective: one
-        // async span per (collective, chunk, phase), not per node.
-        if self.tracer.enabled() && node == 0 && phase < n_phases {
-            self.tracer
-                .begin(TRACK_SIM, "phase", phase_trace_id(cid, chunk, phase), now);
-        }
-        {
-            let st = self.chunk_state_mut(cid, chunk);
-            st.node_phase[node] = phase;
-            st.arr_count[node] = 0;
-        }
-        if phase == n_phases {
-            // Terminal drain: RX DMA back to HBM.
-            let bytes = self.admit_bytes(cid, chunk, phase);
-            let done = self.engines[node].chunk_complete(now, bytes);
-            self.queue.schedule(
-                done.max(now),
-                Ev::DrainDone {
-                    coll: cid as u32,
-                    chunk: chunk as u32,
-                    node: node as u32,
-                },
-            );
-            return;
-        }
-        if phase == 0 {
-            // TX DMA stages the chunk into the engine; the step-0 send
-            // fires when the data is resident.
-            let size = self.colls[cid].chunk_sizes[chunk];
-            let staged = self.engines[node].chunk_inject(now, size);
-            self.queue.schedule(
-                staged.max(now),
-                Ev::StepZero {
-                    coll: cid as u32,
-                    chunk: chunk as u32,
-                    node: node as u32,
-                    phase,
-                },
-            );
-        } else {
-            self.step_zero(now, cid, chunk, node, phase);
-        }
-        // Replay any arrivals buffered for this phase.
-        self.replay_pending(now, cid, chunk, node, phase);
-    }
-
-    /// Charges the step-0 fetch and schedules its transmission.
-    fn step_zero(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
-        let shard = self.shard_bytes(cid, chunk, phase);
-        let ready = self.engines[node].fetch_and_send(now, shard, phase as usize);
-        self.queue.schedule(
-            ready.max(now),
-            Ev::Send {
-                coll: cid as u32,
-                chunk: chunk as u32,
-                node: node as u32,
-                phase,
-                step: 0,
-            },
-        );
-    }
-
-    fn replay_pending(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
-        let mut scratch = std::mem::take(&mut self.replay_scratch);
-        scratch.clear();
-        {
-            let st = self.chunk_state_mut(cid, chunk);
-            if st.pending[node].is_empty() {
-                self.replay_scratch = scratch;
-                return;
-            }
-            st.pending[node].retain(|&(p, s, at)| {
-                if p == phase {
-                    scratch.push((p, s, at));
-                    false
-                } else {
-                    true
-                }
-            });
-        }
-        for &(p, s, at) in &scratch {
-            self.ring_arrive(now.max(at), cid, chunk, node, p, s);
-        }
-        scratch.clear();
-        self.replay_scratch = scratch;
-    }
-
-    /// Per-node shard size moved in one ring step of `phase`.
-    fn shard_bytes(&self, cid: usize, chunk: usize, phase: u16) -> u64 {
-        let coll = &self.colls[cid];
-        coll.shard_cache[phase as usize * 2 + coll.short_idx(chunk)]
-    }
-
-    /// Transmits a ring message for step `step` of `phase` from `node` to
-    /// its ring neighbor, scheduling the arrival event. Runs as the `Send`
-    /// event handler so link requests are issued in global time order.
-    fn ring_send(
-        &mut self,
-        now: SimTime,
-        cid: usize,
-        chunk: usize,
-        node: usize,
-        phase: u16,
-        step: u16,
-    ) {
-        let bytes = self.shard_bytes(cid, chunk, phase);
-        let hot = self.colls[cid].phase_hot[phase as usize];
-        // Bidirectional rings: alternate chunk parity across directions
-        // (unidirectional mode sends everything the + way — an ablation).
-        let plus = !self.options.bidirectional_rings || chunk.is_multiple_of(2);
-        let (port_idx, dir) = if plus {
-            (hot.port_idx_plus as usize, 0)
-        } else {
-            (hot.port_idx_minus as usize, 1)
-        };
-        let dst = self.dim_nbrs[(hot.dim as usize * 2 + dir) * self.nodes + node];
-        let out = self
-            .net
-            .transmit(now, NodeId(node), Port::from_index(port_idx), bytes);
-        self.trace_link(node, port_idx, out.grant);
-        self.queue.schedule(
-            out.arrival,
-            Ev::RingArrive {
-                coll: cid as u32,
-                chunk: chunk as u32,
-                node: dst.index() as u32,
-                phase,
-                step,
-            },
-        );
-    }
-
-    fn ring_arrive(
-        &mut self,
-        now: SimTime,
-        cid: usize,
-        chunk: usize,
-        node: usize,
-        phase: u16,
-        step: u16,
-    ) {
-        // Buffer arrivals for phases the node has not entered yet.
-        {
-            let st = self.chunk_state_mut(cid, chunk);
-            let np = st.node_phase[node];
-            if np == NOT_STARTED || np < phase {
-                st.pending[node].push((phase, step, now));
-                return;
-            }
-            debug_assert_eq!(np, phase, "arrival for a past phase");
-            st.arr_count[node] += 1;
-        }
-        let hot = self.colls[cid].phase_hot[phase as usize];
-        let k = hot.ring_k;
-        let final_step = hot.final_step;
-        let shard = self.shard_bytes(cid, chunk, phase);
-        let engine = &mut self.engines[node];
-        // The landing write and the processing of the step pipeline
-        // through independent resources; both are charged at the arrival
-        // time and the step completes when the slowest finishes.
-        let landed = engine.receive(now, shard, phase as usize);
-        let reduces = match hot.kind {
-            PhaseKind::ReduceScatter => true,
-            PhaseKind::AllGather => false,
-            PhaseKind::RingAllReduce => step <= k - 2,
-            PhaseKind::DirectAllToAll => false,
-        };
-        if step < final_step {
-            let ready = if reduces {
-                engine.reduce_and_send(now, shard, phase as usize)
-            } else {
-                engine.fetch_and_send(now, shard, phase as usize)
-            };
-            self.queue.schedule(
-                ready.max(landed).max(now),
-                Ev::Send {
-                    coll: cid as u32,
-                    chunk: chunk as u32,
-                    node: node as u32,
-                    phase,
-                    step: step + 1,
-                },
-            );
-        } else {
-            // Final arrival of the phase.
-            let done = if reduces {
-                engine.reduce_and_store(now, shard, phase as usize)
-            } else {
-                landed
-            };
-            self.queue.schedule(
-                done.max(now),
-                Ev::PhaseDone {
-                    coll: cid as u32,
-                    chunk: chunk as u32,
-                    node: node as u32,
-                    phase,
-                },
-            );
-        }
-    }
-
-    fn phase_done(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
-        if self.tracer.enabled() && node == 0 {
-            self.tracer
-                .end(TRACK_SIM, "phase", phase_trace_id(cid, chunk, phase), now);
-        }
-        let next = phase + 1;
-        self.request_phase(now, cid, chunk, node, next, phase);
-    }
-
-    fn drain_done(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize) {
-        let n_phases = self.colls[cid].plan.phases().len() as u16;
-        let terminal_bytes = self.admit_bytes(cid, chunk, n_phases);
-        self.engines[node].release(n_phases as usize, terminal_bytes, now);
-        self.retry_waiters(now, node);
-        let all_done = {
-            let nodes = self.nodes;
-            let st = self.chunk_state_mut(cid, chunk);
-            st.node_phase[node] = n_phases + 1;
-            st.nodes_done += 1;
-            st.nodes_done == nodes
-        };
-        if all_done {
-            self.chunk_complete(now, cid, chunk);
-        }
+        // Injection never reaches a completion handler, so no notices.
+        debug_assert!(self.notice_scratch.is_empty());
     }
 
     fn chunk_complete(&mut self, now: SimTime, cid: usize, chunk: usize) {
@@ -1216,16 +2272,9 @@ impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
         (src, dst)
     }
 
-    /// Bytes flow `flow` carries for `chunk`: the chunk's share of the
-    /// per-destination slice, plus one remainder byte on the last chunk of
-    /// the first `payload % nodes` destination offsets. Summed over a
-    /// source's flows and its local slice this reproduces the original
-    /// payload exactly (byte conservation).
+    /// Bytes flow `flow` carries for `chunk` — see [`a2a_flow_bytes_of`].
     fn a2a_flow_bytes(&self, cid: usize, chunk: usize, flow: usize) -> u64 {
-        let coll = &self.colls[cid];
-        let off = (flow % (self.nodes - 1)) as u64;
-        let last = chunk + 1 == coll.chunk_sizes.len();
-        coll.chunk_sizes[chunk] + u64::from(last && off < coll.a2a_extra)
+        a2a_flow_bytes_of(&self.colls[cid], self.nodes, chunk, flow)
     }
 
     /// Builds the per-flow XYZ route table on first use.
@@ -1261,64 +2310,14 @@ impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
                 now
             };
             let ready = self.engines[src].fetch_and_send(now, bytes, 0).max(staged);
-            self.queue.schedule(
-                ready.max(now),
-                Ev::A2aSend {
-                    coll: cid as u32,
-                    chunk: chunk as u32,
-                    flow: flow as u32,
-                    hop: 0,
-                },
-            );
-        }
-    }
-
-    /// Transmits hop `hop` of an all-to-all flow at event time.
-    fn a2a_send(&mut self, now: SimTime, cid: usize, chunk: usize, flow: usize, hop: usize) {
-        let bytes = self.a2a_flow_bytes(cid, chunk, flow);
-        let h = self.a2a_routes[flow][hop];
-        let out = self.net.transmit(now, h.from, h.port, bytes);
-        self.trace_link(h.from.index(), h.port.index(), out.grant);
-        self.queue.schedule(
-            out.arrival,
-            Ev::A2aHop {
+            let ev = Ev::A2aSend {
                 coll: cid as u32,
                 chunk: chunk as u32,
                 flow: flow as u32,
-                hop: hop as u16 + 1,
-            },
-        );
-    }
-
-    fn a2a_hop(&mut self, now: SimTime, cid: usize, chunk: usize, flow: usize, hop: usize) {
-        let bytes = self.a2a_flow_bytes(cid, chunk, flow);
-        let route = &self.a2a_routes[flow];
-        if hop < route.len() {
-            // Intermediate endpoint: store-and-forward, then next hop.
-            let at = route[hop].from.index();
-            let ready = self.engines[at].store_and_forward(now, bytes, 0);
-            self.queue.schedule(
-                ready.max(now),
-                Ev::A2aSend {
-                    coll: cid as u32,
-                    chunk: chunk as u32,
-                    flow: flow as u32,
-                    hop: hop as u16,
-                },
-            );
-        } else {
-            // Final arrival at the destination.
-            let dst = route.last().expect("route nonempty").to.index();
-            let landed = self.engines[dst].receive(now, bytes, 0);
-            let done = self.engines[dst].chunk_complete(landed, bytes);
-            let finished = {
-                let st = self.chunk_state_mut(cid, chunk);
-                st.flows_done += 1;
-                st.flows_done == st.flows_total
+                hop: 0,
             };
-            if finished {
-                self.chunk_complete(done.max(now), cid, chunk);
-            }
+            self.queue
+                .schedule_keyed(ready.max(now), content_key(&ev), ev);
         }
     }
 }
@@ -1776,5 +2775,180 @@ mod tests {
         let base = run(1 << 20);
         let odd = run((1 << 20) + (n - 1));
         assert!(odd > base, "remainder bytes must reach the network");
+    }
+
+    /// Runs one collective to completion with `sim_threads = threads` and
+    /// returns an exact fingerprint of the simulation's observable state:
+    /// completion cycles, network bytes, link-busy integral (bit-exact),
+    /// endpoint memory traffic, and ACE engine-busy cycles. The parallel
+    /// engine is byte-identical to the serial one, so every component must
+    /// match the `threads = 1` run exactly.
+    fn par_fingerprint(
+        spec: TopologySpec,
+        op: CollectiveOp,
+        payload: u64,
+        threads: usize,
+    ) -> (u64, u64, u64, u64, u64) {
+        let params = NetworkParams::paper_default();
+        let plan = CollectivePlan::for_spec(op, spec);
+        let weights = CollectiveExecutor::phase_weights(&plan, &params);
+        let options = ExecutorOptions {
+            sim_threads: threads,
+            ..Default::default()
+        };
+        let config = SystemConfig::Ace;
+        let mut ex = CollectiveExecutor::with_options(spec, params, options, move || {
+            config.make_engine(&weights)
+        });
+        if threads > 1 {
+            assert!(
+                ex.par.is_some(),
+                "{spec:?} x{threads}: expected a partition plan"
+            );
+        }
+        let h = ex.issue(op, payload, SimTime::ZERO);
+        let t = ex.run_until_complete(h);
+        assert!(ex.is_complete(h));
+        assert_eq!(ex.past_schedules(), 0, "{spec:?} x{threads}: causality");
+        (
+            t.cycles(),
+            ex.network().total_bytes(),
+            ex.network().util_busy_total_cycles().to_bits(),
+            ex.comm_mem_traffic_bytes(),
+            ex.ace_busy_cycles(t).unwrap_or(0),
+        )
+    }
+
+    #[test]
+    fn parallel_all_reduce_matches_serial_on_torus() {
+        let spec: TopologySpec = shape442().into();
+        let serial = par_fingerprint(spec, CollectiveOp::AllReduce, 3 << 20, 1);
+        for threads in [2, 4] {
+            let par = par_fingerprint(spec, CollectiveOp::AllReduce, 3 << 20, threads);
+            assert_eq!(par, serial, "all-reduce diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_all_to_all_matches_serial_on_torus() {
+        let spec: TopologySpec = shape442().into();
+        let serial = par_fingerprint(spec, CollectiveOp::AllToAll, 3 << 20, 1);
+        for threads in [2, 4] {
+            let par = par_fingerprint(spec, CollectiveOp::AllToAll, 3 << 20, threads);
+            assert_eq!(par, serial, "all-to-all diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_switch_and_hierarchical() {
+        let specs = [
+            TopologySpec::Switch {
+                nodes: 8,
+                gbps: None,
+            },
+            TopologySpec::Hierarchical {
+                scale_up: 4,
+                scale_out: 3,
+            },
+        ];
+        for spec in specs {
+            for op in [CollectiveOp::AllReduce, CollectiveOp::AllToAll] {
+                let serial = par_fingerprint(spec, op, 2 << 20, 1);
+                for threads in [2, 4] {
+                    let par = par_fingerprint(spec, op, 2 << 20, threads);
+                    assert_eq!(par, serial, "{spec:?} {op:?} diverged at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_remainder_payload() {
+        // Odd payloads exercise the uneven chunk/shard splits; partition
+        // boundaries must not round remainder bytes differently.
+        let spec: TopologySpec = shape442().into();
+        let payload = (1 << 20) + 13;
+        let serial = par_fingerprint(spec, CollectiveOp::AllReduce, payload, 1);
+        assert_eq!(
+            par_fingerprint(spec, CollectiveOp::AllReduce, payload, 4),
+            serial
+        );
+    }
+
+    #[test]
+    fn oversubscribed_threads_match_serial() {
+        // More threads than nodes: partitions degenerate to one node each
+        // and every link crosses a boundary (narrowest possible windows).
+        let spec: TopologySpec = shape442().into();
+        let serial = par_fingerprint(spec, CollectiveOp::AllReduce, 1 << 20, 1);
+        assert_eq!(
+            par_fingerprint(spec, CollectiveOp::AllReduce, 1 << 20, 16),
+            serial
+        );
+    }
+
+    #[test]
+    fn partition_boundaries_conserve_bytes() {
+        // Property: for every shape x thread count, the parallel engine
+        // moves exactly the bytes the serial engine does — nothing lost or
+        // duplicated at partition boundaries, aligned or not.
+        for (x, y, z) in [(2usize, 2usize, 2usize), (4, 2, 2), (3, 3, 1), (5, 2, 1)] {
+            let spec: TopologySpec = TorusShape::new(x, y, z).unwrap().into();
+            let serial = par_fingerprint(spec, CollectiveOp::AllReduce, 1 << 20, 1);
+            for threads in [2, 3, 4] {
+                let par = par_fingerprint(spec, CollectiveOp::AllReduce, 1 << 20, threads);
+                assert_eq!(
+                    par.1, serial.1,
+                    "{x}x{y}x{z} x{threads}: bytes not conserved"
+                );
+                assert_eq!(par, serial, "{x}x{y}x{z} x{threads}: fingerprint diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_back_to_back_collectives_match_serial() {
+        let run = |threads: usize| {
+            let params = NetworkParams::paper_default();
+            let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape442());
+            let weights = CollectiveExecutor::phase_weights(&plan, &params);
+            let options = ExecutorOptions {
+                sim_threads: threads,
+                ..Default::default()
+            };
+            let mut ex = CollectiveExecutor::with_options(shape442(), params, options, move || {
+                SystemConfig::Ace.make_engine(&weights)
+            });
+            let h1 = ex.issue(CollectiveOp::AllReduce, 2 << 20, SimTime::ZERO);
+            let t1 = ex.run_until_complete(h1);
+            let h2 = ex.issue(CollectiveOp::AllToAll, 2 << 20, t1);
+            let t2 = ex.run_until_complete(h2);
+            (t1.cycles(), t2.cycles(), ex.network().total_bytes())
+        };
+        assert_eq!(run(4), run(1));
+    }
+
+    #[test]
+    fn concurrent_collectives_match_serial() {
+        // Two live collectives force the conservative serial fallback in
+        // the parallel engine; results still match exactly.
+        let run = |threads: usize| {
+            let params = NetworkParams::paper_default();
+            let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, shape442());
+            let weights = CollectiveExecutor::phase_weights(&plan, &params);
+            let options = ExecutorOptions {
+                sim_threads: threads,
+                ..Default::default()
+            };
+            let mut ex = CollectiveExecutor::with_options(shape442(), params, options, move || {
+                SystemConfig::Ace.make_engine(&weights)
+            });
+            let h1 = ex.issue(CollectiveOp::AllReduce, 1 << 20, SimTime::ZERO);
+            let h2 = ex.issue(CollectiveOp::AllToAll, 1 << 20, SimTime::ZERO);
+            let t1 = ex.run_until_complete(h1);
+            let t2 = ex.run_until_complete(h2);
+            (t1.cycles(), t2.cycles(), ex.network().total_bytes())
+        };
+        assert_eq!(run(4), run(1));
     }
 }

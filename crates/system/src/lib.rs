@@ -52,7 +52,8 @@ pub use analytic::{
 };
 pub use builder::{BuildError, SystemBuilder};
 pub use collective_run::{
-    run_single_collective, run_single_collective_traced, CollectiveRunReport, EngineKind,
+    run_single_collective, run_single_collective_traced, run_single_collective_with_options,
+    CollectiveRunReport, EngineKind,
 };
 pub use config::SystemConfig;
 pub use executor::{CollHandle, CollectiveExecutor, ExecutorOptions, SchedulingPolicy};

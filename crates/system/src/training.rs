@@ -124,13 +124,37 @@ impl<T: Tracer> TrainingSim<T> {
         net_params: NetworkParams,
         tracer: T,
     ) -> TrainingSim<T> {
+        Self::from_program_with_options(
+            config,
+            program,
+            topology,
+            npu,
+            net_params,
+            ExecutorOptions::default(),
+            tracer,
+        )
+    }
+
+    /// [`from_program_with_tracer`](TrainingSim::from_program_with_tracer)
+    /// with explicit [`ExecutorOptions`] — the route by which
+    /// `sim_threads` (intra-simulation parallelism) reaches the executor.
+    /// Results are byte-identical across `sim_threads` values.
+    pub fn from_program_with_options(
+        config: SystemConfig,
+        program: Program,
+        topology: impl Into<TopologySpec>,
+        npu: NpuParams,
+        net_params: NetworkParams,
+        options: ExecutorOptions,
+        tracer: T,
+    ) -> TrainingSim<T> {
         let spec = topology.into();
         let plan = ace_collectives::CollectivePlan::for_spec(CollectiveOp::AllReduce, spec);
         let weights = CollectiveExecutor::phase_weights(&plan, &net_params);
         let mut exec = CollectiveExecutor::with_tracer(
             spec,
             net_params,
-            ExecutorOptions::default(),
+            options,
             {
                 let weights = weights.clone();
                 move || config.make_engine(&weights)

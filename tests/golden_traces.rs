@@ -121,24 +121,52 @@ fn fig09a_smoke() -> Scenario {
 
 #[test]
 fn fig05_smoke_csv_matches_golden() {
-    let out = run_scenario(&fig05_smoke(), RunnerOptions { threads: 1 }).expect("valid scenario");
+    let out = run_scenario(
+        &fig05_smoke(),
+        RunnerOptions {
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .expect("valid scenario");
     check_golden("fig05_smoke.csv", &report::to_csv(&out));
 }
 
 #[test]
 fn fig06_smoke_csv_matches_golden() {
-    let out = run_scenario(&fig06_smoke(), RunnerOptions { threads: 1 }).expect("valid scenario");
+    let out = run_scenario(
+        &fig06_smoke(),
+        RunnerOptions {
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .expect("valid scenario");
     check_golden("fig06_smoke.csv", &report::to_csv(&out));
 }
 
 #[test]
 fn fig09a_smoke_csv_matches_golden() {
-    let out = run_scenario(&fig09a_smoke(), RunnerOptions { threads: 1 }).expect("valid scenario");
+    let out = run_scenario(
+        &fig09a_smoke(),
+        RunnerOptions {
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .expect("valid scenario");
     check_golden("fig09a_smoke.csv", &report::to_csv(&out));
 }
 
 #[test]
 fn fig09a_smoke_json_matches_golden() {
-    let out = run_scenario(&fig09a_smoke(), RunnerOptions { threads: 1 }).expect("valid scenario");
+    let out = run_scenario(
+        &fig09a_smoke(),
+        RunnerOptions {
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .expect("valid scenario");
     check_golden("fig09a_smoke.json", &report::to_json(&out));
 }
