@@ -99,7 +99,16 @@ const USAGE: &str = "usage: sweep <scenario.toml> [--threads N] [--sim-threads N
                      \"gnmt\", \"dlrm\", \"transformer\"), re-parallelized builtins\n\
                      (\"transformer@model\"), and custom TOML models\n\
                      (\"file:my_model.toml\", relative to the scenario file); see\n\
-                     examples/scenarios/custom_workload.toml.";
+                     examples/scenarios/custom_workload.toml.\n\
+                     \n\
+                     `mode = \"serving\"` scenarios sweep continuous-batching inference\n\
+                     serving instead of training iterations: `arrival_rates` (req/s),\n\
+                     `schedules` ([\"gpipe\", \"1f1b\"]) and `microbatches` are grid axes;\n\
+                     `arrival` (poisson | bursty:N | trace:file.txt), `stages`,\n\
+                     `requests`, `seed`, `prompt_tokens`, `decode_tokens` and\n\
+                     `token_budget` shape the request stream. Reports gain per-point\n\
+                     ttft_p50/p95/p99, e2e_p50/p95/p99 and goodput_rps columns; see\n\
+                     examples/scenarios/serving_sweep.toml.";
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut scenario_path = None;
@@ -204,6 +213,27 @@ fn trace_first_point(scenario: &Scenario) -> Result<String, String> {
                 .optimized_embedding(*optimized_embedding)
                 .build_traced(RecordingTracer::new())
                 .map_err(|e| format!("trace point: {e}"))?;
+            let (_, tracer) = sim.run_with_tracer();
+            tracer
+        }
+        PointKind::Serving {
+            config,
+            workload,
+            spec,
+        } => {
+            // One representative round: the cold-start prefill the
+            // serving loop would simulate first.
+            let program =
+                ace_serve::first_round_program(&workload.instantiate(point.topology.nodes()), spec)
+                    .map_err(|e| format!("trace point: {e}"))?;
+            let sim = ace_system::TrainingSim::from_program_with_tracer(
+                *config,
+                program,
+                point.topology,
+                ace_compute::NpuParams::paper_default(),
+                ace_net::NetworkParams::paper_default(),
+                RecordingTracer::new(),
+            );
             let (_, tracer) = sim.run_with_tracer();
             tracer
         }

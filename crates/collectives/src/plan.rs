@@ -17,6 +17,13 @@ pub enum CollectiveOp {
     /// Each node sends a distinct slice to every other node. Used for
     /// embedding exchange in recommendation models (DLRM).
     AllToAll,
+    /// Neighbor exchange: every node pushes its full payload one hop to
+    /// its successor along the outermost (scale-out) fabric dimension.
+    /// Models the stage-boundary point-to-point activation/gradient
+    /// transfers of pipeline-parallel schedules, where consecutive
+    /// pipeline stages are mapped to consecutive positions of the
+    /// slowest-changing dimension.
+    SendRecv,
 }
 
 impl fmt::Display for CollectiveOp {
@@ -26,6 +33,7 @@ impl fmt::Display for CollectiveOp {
             CollectiveOp::ReduceScatter => "reduce-scatter",
             CollectiveOp::AllGather => "all-gather",
             CollectiveOp::AllToAll => "all-to-all",
+            CollectiveOp::SendRecv => "send-recv",
         };
         f.write_str(s)
     }
@@ -48,14 +56,16 @@ impl std::str::FromStr for CollectiveOp {
             "reducescatter" => Ok(CollectiveOp::ReduceScatter),
             "allgather" => Ok(CollectiveOp::AllGather),
             "alltoall" => Ok(CollectiveOp::AllToAll),
+            "sendrecv" => Ok(CollectiveOp::SendRecv),
             other => {
                 // `other` is hyphen-stripped, so match against the
                 // normalized spellings and hint with the display name.
-                const OPS: [(&str, &str); 4] = [
+                const OPS: [(&str, &str); 5] = [
                     ("allreduce", "all-reduce"),
                     ("reducescatter", "reduce-scatter"),
                     ("allgather", "all-gather"),
                     ("alltoall", "all-to-all"),
+                    ("sendrecv", "send-recv"),
                 ];
                 let mut hint =
                     ace_toml::did_you_mean(other, &OPS.map(|(normalized, _)| normalized));
@@ -266,6 +276,27 @@ impl CollectivePlan {
                         inter_ports,
                     },
                     ring_size: topo.nodes(),
+                    input_fraction: 1.0,
+                }]
+            }
+            CollectiveOp::SendRecv => {
+                // One hop along the outermost populated dimension: a
+                // 2-participant all-gather exchange is a single ring step
+                // in which every node pushes its full payload to its
+                // successor — the stage-boundary transfer of a pipeline
+                // schedule mapped along the scale-out dimension.
+                let dims = topo.dims();
+                let dim = dims
+                    .iter()
+                    .rposition(|d| d.len > 1)
+                    .expect("send-recv needs a fabric with at least two nodes");
+                vec![PhaseSpec {
+                    kind: PhaseKind::AllGather,
+                    link: PhaseLink::Dim {
+                        index: dim as u8,
+                        class: dims[dim].class,
+                    },
+                    ring_size: 2,
                     input_fraction: 1.0,
                 }]
             }
@@ -503,6 +534,27 @@ mod tests {
         let plan = CollectivePlan::for_op(CollectiveOp::AllReduce, torus444());
         // (4-1) + 2(4-1) + 2(4-1) + (4-1) = 18.
         assert_eq!(plan.total_steps(), 18);
+    }
+
+    #[test]
+    fn send_recv_is_one_hop_on_the_outermost_dimension() {
+        let plan = CollectivePlan::for_op(CollectiveOp::SendRecv, torus444());
+        assert_eq!(plan.phases().len(), 1);
+        let p = plan.phases()[0];
+        assert_eq!(p.kind, PhaseKind::AllGather);
+        assert_eq!(p.ring_size, 2);
+        assert_eq!(p.dim_index(), Some(2), "outermost populated dimension");
+        assert_eq!(p.steps(), 1);
+        // The full payload crosses the wire exactly once per node.
+        assert!((plan.bytes_sent_per_node(1 << 20) - (1u64 << 20) as f64).abs() < 1.0);
+        // Inner-dimension-only fabric still finds a populated dimension.
+        let flat =
+            CollectivePlan::for_op(CollectiveOp::SendRecv, TorusShape::new(4, 1, 1).unwrap());
+        assert_eq!(flat.phases()[0].dim_index(), Some(0));
+        assert_eq!(
+            "send-recv".parse::<CollectiveOp>().unwrap(),
+            CollectiveOp::SendRecv
+        );
     }
 
     #[test]

@@ -86,7 +86,8 @@ pub enum BusEvent {
         /// The executed grid cell.
         point: RunPoint,
         /// Simulated (or estimated) metrics, attribution included.
-        metrics: Metrics,
+        /// Boxed to keep the event enum's variants close in size.
+        metrics: Box<Metrics>,
     },
     /// A cell's executor panicked; the owning job aborts.
     CellFailed {

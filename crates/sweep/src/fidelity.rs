@@ -129,6 +129,13 @@ fn selection_group(point: &RunPoint) -> (String, u8) {
             op, payload_bytes, ..
         } => (format!("{}|{op}|{payload_bytes}", point.topology), 0),
         PointKind::Training { workload, .. } => (format!("{}|{workload}", point.topology), 1),
+        PointKind::Serving { workload, spec, .. } => (
+            format!(
+                "{}|{workload}|{}|{}",
+                point.topology, spec.arrival, spec.rate_rps
+            ),
+            2,
+        ),
     }
 }
 
@@ -153,6 +160,9 @@ fn cost_axes(point: &RunPoint) -> Vec<f64> {
             } => vec![2.0, dma_mem_gbps, sram_mb as f64, fsms as f64],
         },
         PointKind::Training { .. } => vec![3.0],
+        // Schedules and microbatch counts are alternatives, not priced
+        // resources — like training configs, dominance reduces to time.
+        PointKind::Serving { .. } => vec![4.0],
     }
 }
 
@@ -449,6 +459,7 @@ mod tests {
             exposed_comm_us: 0.0,
             past_schedules: 0,
             attribution: ace_trace::Attribution::default(),
+            serving: crate::runner::ServingMetrics::default(),
         }
     }
 

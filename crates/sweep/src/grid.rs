@@ -14,6 +14,7 @@
 
 use ace_collectives::CollectiveOp;
 use ace_net::TopologySpec;
+use ace_serve::ServingSpec;
 use ace_system::SystemConfig;
 
 use crate::scenario::{EngineFamily, EngineSpec, Scenario, SweepMode, WorkloadSel};
@@ -52,6 +53,15 @@ pub enum PointKind {
         /// Fig. 12 embedding optimization.
         optimized_embedding: bool,
     },
+    /// A continuous-batching serving run.
+    Serving {
+        /// Table VI configuration.
+        config: SystemConfig,
+        /// Workload whose forward pass serves requests.
+        workload: WorkloadSel,
+        /// Full serving parameters (arrival process, schedule, budget).
+        spec: ServingSpec,
+    },
 }
 
 impl RunPoint {
@@ -73,6 +83,14 @@ impl RunPoint {
                 iterations,
                 ..
             } => format!("{} {config} {workload} x{iterations}", self.topology),
+            PointKind::Serving {
+                config,
+                workload,
+                spec,
+            } => format!(
+                "{} {config} {workload} {}@{}rps mb{}",
+                self.topology, spec.schedule, spec.rate_rps, spec.microbatches
+            ),
         }
     }
 }
@@ -127,6 +145,32 @@ pub fn expand(scenario: &Scenario) -> Vec<RunPoint> {
                 }
             }
         }
+        SweepMode::Serving => {
+            for &topology in &scenario.topologies {
+                for workload in &scenario.workloads {
+                    for &config in &scenario.configs {
+                        for &rate in &scenario.arrival_rates {
+                            for &schedule in &scenario.schedules {
+                                for &microbatches in &scenario.microbatches {
+                                    points.push(RunPoint {
+                                        topology,
+                                        kind: PointKind::Serving {
+                                            config,
+                                            workload: workload.clone(),
+                                            spec: scenario.serving_spec(
+                                                rate,
+                                                schedule,
+                                                microbatches,
+                                            ),
+                                        },
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
     points
 }
@@ -146,6 +190,14 @@ pub fn grid_len(scenario: &Scenario) -> usize {
         }
         SweepMode::Training => {
             scenario.topologies.len() * scenario.workloads.len() * scenario.configs.len()
+        }
+        SweepMode::Serving => {
+            scenario.topologies.len()
+                * scenario.workloads.len()
+                * scenario.configs.len()
+                * scenario.arrival_rates.len()
+                * scenario.schedules.len()
+                * scenario.microbatches.len()
         }
     }
 }

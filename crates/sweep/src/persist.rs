@@ -7,18 +7,22 @@
 //! deterministic, so a cached row is exactly what a fresh run would
 //! produce.
 //!
-//! Format (`v3`; the header also pins the simulator version that wrote
+//! Format (`v4`; the header also pins the simulator version that wrote
 //! the file — see [`CACHE_HEADER`]). The leading `fidelity` cell keys the
 //! row to its execution tier, so an α–β estimate can never be served
-//! where an event-driven result is expected. The trailing seven cells
-//! are the bottleneck-attribution buckets (cycles); the attribution
-//! total is not stored — it always equals `completion_cycles`:
+//! where an event-driven result is expected. Serving rows fold the whole
+//! [`ace_serve::ServingSpec`] into one `serving` cell (its `;`-joined
+//! cache-key spelling) and carry seven latency cells; the trailing seven
+//! cells are the bottleneck-attribution buckets (cycles); the
+//! attribution total is not stored — it always equals
+//! `completion_cycles`:
 //!
 //! ```text
-//! # ace-sweep-cache v3 sim-0.1.0
-//! fidelity,kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,op,payload_bytes,config,workload,iterations,optimized_embedding,time_us,completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,exposed_comm_us,past_schedules,attr_compute,attr_network,attr_hbm,attr_dma,attr_bus,attr_proc,attr_other
-//! exact,collective,4x2x2,ace,128,,4,16,all-reduce,67108864,,,,,12.3,15314,…
-//! analytic,training,4x2x2,,,,,,,,ACE,resnet50,2,0,…
+//! # ace-sweep-cache v4 sim-0.1.0
+//! fidelity,kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,op,payload_bytes,config,workload,iterations,optimized_embedding,serving,time_us,completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,exposed_comm_us,past_schedules,ttft_p50_us,ttft_p95_us,ttft_p99_us,e2e_p50_us,e2e_p95_us,e2e_p99_us,goodput_rps,attr_compute,attr_network,attr_hbm,attr_dma,attr_bus,attr_proc,attr_other
+//! exact,collective,4x2x2,ace,128,,4,16,all-reduce,67108864,,,,,,12.3,15314,…
+//! analytic,training,4x2x2,,,,,,,,ACE,resnet50,2,0,,…
+//! exact,serving,switch:16,,,,,,,,ACE,transformer,,,arrival=poisson;rate=500;…,…
 //! ```
 //!
 //! Floats are written with Rust's shortest round-trip `Display`, so a
@@ -55,14 +59,15 @@ use crate::scenario::{parse_op, EngineSpec, WorkloadSel};
 /// from a different simulator version is rejected instead of silently
 /// serving stale results. Bump the workspace version whenever a change
 /// alters simulation results.
-pub const CACHE_HEADER: &str = concat!("# ace-sweep-cache v3 sim-", env!("CARGO_PKG_VERSION"));
+pub const CACHE_HEADER: &str = concat!("# ace-sweep-cache v4 sim-", env!("CARGO_PKG_VERSION"));
 
 /// Column names of the cache file (documentation line 2 of the file).
 const COLUMNS: &str = "fidelity,kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,\
-                       op,payload_bytes,config,workload,iterations,optimized_embedding,time_us,\
-                       completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,\
-                       exposed_comm_us,past_schedules,attr_compute,attr_network,attr_hbm,\
-                       attr_dma,attr_bus,attr_proc,attr_other";
+                       op,payload_bytes,config,workload,iterations,optimized_embedding,serving,\
+                       time_us,completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,\
+                       compute_us,exposed_comm_us,past_schedules,ttft_p50_us,ttft_p95_us,\
+                       ttft_p99_us,e2e_p50_us,e2e_p95_us,e2e_p99_us,goodput_rps,attr_compute,\
+                       attr_network,attr_hbm,attr_dma,attr_bus,attr_proc,attr_other";
 
 /// Serializes `cache` to the versioned file format, rows sorted for
 /// byte-identical output across runs.
@@ -328,7 +333,7 @@ pub struct JournalReplay {
 
 /// The sweep daemon's append-only write-ahead log.
 ///
-/// Rows reuse the v3 cache format; job lifecycle records are `#`-prefixed
+/// Rows reuse the v4 cache format; job lifecycle records are `#`-prefixed
 /// comments, so the whole file doubles as a loadable cache file. Appends
 /// are flushed per record — a SIGKILL between flushes loses at most the
 /// torn final line, which [`Journal::open`] truncates away on restart.
@@ -536,9 +541,9 @@ fn parse_job_record(rec: &str, with_toml: bool) -> Result<PendingJob, String> {
     Ok(PendingJob { name, toml, base })
 }
 
-/// The point-identity cells (first 13 columns).
+/// The point-identity cells (first 14 columns).
 fn point_cells(p: &RunPoint) -> Vec<String> {
-    let mut c = vec![String::new(); 13];
+    let mut c = vec![String::new(); 14];
     c[1] = p.topology.to_string();
     match &p.kind {
         PointKind::Collective {
@@ -580,11 +585,21 @@ fn point_cells(p: &RunPoint) -> Vec<String> {
             c[11] = iterations.to_string();
             c[12] = if *optimized_embedding { "1" } else { "0" }.into();
         }
+        PointKind::Serving {
+            config,
+            workload,
+            spec,
+        } => {
+            c[0] = "serving".into();
+            c[9] = config.to_string();
+            c[10] = workload.to_string();
+            c[13] = spec.cache_key();
+        }
     }
     c
 }
 
-/// The metric cells (last 15 columns). The attribution total is elided:
+/// The metric cells (last 22 columns). The attribution total is elided:
 /// it equals `completion_cycles` in every execution path, and the loader
 /// reconstructs it from there.
 fn metric_cells(m: &Metrics) -> Vec<String> {
@@ -597,6 +612,13 @@ fn metric_cells(m: &Metrics) -> Vec<String> {
         format!("{}", m.compute_us),
         format!("{}", m.exposed_comm_us),
         m.past_schedules.to_string(),
+        format!("{}", m.serving.ttft_p50_us),
+        format!("{}", m.serving.ttft_p95_us),
+        format!("{}", m.serving.ttft_p99_us),
+        format!("{}", m.serving.e2e_p50_us),
+        format!("{}", m.serving.e2e_p95_us),
+        format!("{}", m.serving.e2e_p99_us),
+        format!("{}", m.serving.goodput_rps),
     ];
     cells.extend(m.attribution.buckets().iter().map(|(_, v)| v.to_string()));
     cells
@@ -604,8 +626,8 @@ fn metric_cells(m: &Metrics) -> Vec<String> {
 
 fn parse_row(line: &str) -> Result<(Tier, RunPoint, Metrics), String> {
     let cells: Vec<&str> = line.split(',').collect();
-    if cells.len() != 29 {
-        return Err(format!("expected 29 cells, found {}", cells.len()));
+    if cells.len() != 37 {
+        return Err(format!("expected 37 cells, found {}", cells.len()));
     }
     let tier = cells[0].parse::<Tier>()?;
     let cells = &cells[1..];
@@ -641,27 +663,41 @@ fn parse_row(line: &str) -> Result<(Tier, RunPoint, Metrics), String> {
                 other => return Err(format!("bad optimized_embedding '{other}'")),
             },
         },
+        "serving" => PointKind::Serving {
+            config: cells[9].parse::<SystemConfig>()?,
+            workload: WorkloadSel::from_cache_key(cells[10])?,
+            spec: ace_serve::ServingSpec::from_cache_key(cells[13])?,
+        },
         other => return Err(format!("unknown point kind '{other}'")),
     };
-    let completion_cycles = parse_int(cells[14], "completion_cycles")?;
+    let completion_cycles = parse_int(cells[15], "completion_cycles")?;
     let metrics = Metrics {
-        time_us: parse_f64(cells[13], "time_us")?,
+        time_us: parse_f64(cells[14], "time_us")?,
         completion_cycles,
-        gbps_per_npu: parse_f64(cells[15], "gbps_per_npu")?,
-        mem_traffic_bytes: parse_int(cells[16], "mem_traffic_bytes")?,
-        network_bytes: parse_int(cells[17], "network_bytes")?,
-        compute_us: parse_f64(cells[18], "compute_us")?,
-        exposed_comm_us: parse_f64(cells[19], "exposed_comm_us")?,
-        past_schedules: parse_int(cells[20], "past_schedules")?,
+        gbps_per_npu: parse_f64(cells[16], "gbps_per_npu")?,
+        mem_traffic_bytes: parse_int(cells[17], "mem_traffic_bytes")?,
+        network_bytes: parse_int(cells[18], "network_bytes")?,
+        compute_us: parse_f64(cells[19], "compute_us")?,
+        exposed_comm_us: parse_f64(cells[20], "exposed_comm_us")?,
+        past_schedules: parse_int(cells[21], "past_schedules")?,
+        serving: crate::runner::ServingMetrics {
+            ttft_p50_us: parse_f64(cells[22], "ttft_p50_us")?,
+            ttft_p95_us: parse_f64(cells[23], "ttft_p95_us")?,
+            ttft_p99_us: parse_f64(cells[24], "ttft_p99_us")?,
+            e2e_p50_us: parse_f64(cells[25], "e2e_p50_us")?,
+            e2e_p95_us: parse_f64(cells[26], "e2e_p95_us")?,
+            e2e_p99_us: parse_f64(cells[27], "e2e_p99_us")?,
+            goodput_rps: parse_f64(cells[28], "goodput_rps")?,
+        },
         attribution: ace_trace::Attribution {
             total_cycles: completion_cycles,
-            compute_cycles: parse_int(cells[21], "attr_compute")?,
-            network_cycles: parse_int(cells[22], "attr_network")?,
-            hbm_cycles: parse_int(cells[23], "attr_hbm")?,
-            dma_cycles: parse_int(cells[24], "attr_dma")?,
-            bus_cycles: parse_int(cells[25], "attr_bus")?,
-            proc_cycles: parse_int(cells[26], "attr_proc")?,
-            other_cycles: parse_int(cells[27], "attr_other")?,
+            compute_cycles: parse_int(cells[29], "attr_compute")?,
+            network_cycles: parse_int(cells[30], "attr_network")?,
+            hbm_cycles: parse_int(cells[31], "attr_hbm")?,
+            dma_cycles: parse_int(cells[32], "attr_dma")?,
+            bus_cycles: parse_int(cells[33], "attr_bus")?,
+            proc_cycles: parse_int(cells[34], "attr_proc")?,
+            other_cycles: parse_int(cells[35], "attr_other")?,
         },
     };
     Ok((tier, RunPoint { topology, kind }, metrics))
@@ -752,6 +788,40 @@ mod tests {
         for (t, p, m) in runner.cache().entries() {
             assert_eq!(reloaded.get_tier(t, &p), Some(m));
         }
+    }
+
+    #[test]
+    fn serving_points_round_trip() {
+        let mut sc = Scenario::serving("persist-serving");
+        sc.topologies = vec![TopologySpec::torus3(2, 1, 1).unwrap()];
+        sc.arrival_rates = vec![800.0];
+        sc.schedules = vec![
+            ace_workloads::PipeSchedule::GPipe,
+            ace_workloads::PipeSchedule::OneFOneB,
+        ];
+        sc.microbatches = vec![2];
+        sc.stages = 2;
+        sc.requests = 3;
+        sc.decode_tokens = 1;
+        sc.token_budget = 128;
+        let runner = SweepRunner::new();
+        runner
+            .run(
+                &sc,
+                RunnerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let text = cache_to_string(runner.cache());
+        let reloaded = cache_from_str(&text).unwrap();
+        for (t, p, m) in runner.cache().entries() {
+            // The serving latency f64s survive via shortest round-trip
+            // formatting, the spec via its cache key.
+            assert_eq!(reloaded.get_tier(t, &p), Some(m));
+        }
+        assert_eq!(cache_to_string(&reloaded), text);
     }
 
     #[test]
@@ -867,6 +937,19 @@ mod tests {
         assert!(cache_from_str("# ace-sweep-cache v1 sim-0.1.0\n").is_err());
         // So is v2 (pre-attribution): fewer metric cells per row.
         assert!(cache_from_str("# ace-sweep-cache v2 sim-0.1.0\n").is_err());
+        // And v3 (pre-serving): no serving spec column, 29-cell rows. The
+        // header alone must reject it even before any row is seen.
+        let v3_header = concat!("# ace-sweep-cache v3 sim-", env!("CARGO_PKG_VERSION"));
+        let e = cache_from_str(&format!("{v3_header}\n")).unwrap_err();
+        assert!(e.contains("v3"), "v3 rejection must name the header: {e}");
+        // A v3-shaped row under a forged v4 header still fails the cell
+        // count — stale narrow rows can never parse as v4.
+        let forged = format!(
+            "{CACHE_HEADER}\nexact,collective,2x1x1,ideal,,,,,all-reduce,1024,,,,,\
+             1,1,0,0,0,0,0,0,0,1,0,0,0,0,0\n"
+        );
+        let e = cache_from_str(&forged).unwrap_err();
+        assert!(e.contains("expected 37 cells"), "{e}");
         // A cache written by a different simulator version must not be
         // served: results are only reproducible within one build.
         assert!(cache_from_str("# ace-sweep-cache v1 sim-0.0.0\n").is_err());

@@ -9,9 +9,9 @@ use crate::grid::{PointKind, RunPoint};
 use crate::runner::{RunResult, SweepOutcome};
 use crate::scenario::EngineSpec;
 
-/// The fixed CSV column set (a superset across both sweep modes;
+/// The fixed CSV column set (a superset across the three sweep modes;
 /// inapplicable cells are empty).
-pub const CSV_COLUMNS: [&str; 23] = [
+pub const CSV_COLUMNS: [&str; 34] = [
     "topology",
     "nodes",
     "engine",
@@ -24,6 +24,10 @@ pub const CSV_COLUMNS: [&str; 23] = [
     "config",
     "workload",
     "iterations",
+    "arrival",
+    "arrival_rate",
+    "schedule",
+    "microbatches",
     "time_us",
     "completion_cycles",
     "gbps_per_npu",
@@ -31,6 +35,13 @@ pub const CSV_COLUMNS: [&str; 23] = [
     "network_bytes",
     "compute_us",
     "exposed_comm_us",
+    "ttft_p50_us",
+    "ttft_p95_us",
+    "ttft_p99_us",
+    "e2e_p50_us",
+    "e2e_p95_us",
+    "e2e_p99_us",
+    "goodput_rps",
     "past_schedules",
     "fidelity",
     "cache_hit",
@@ -75,6 +86,11 @@ fn row_cells(r: &RunResult) -> Vec<String> {
     let mut config = String::new();
     let mut workload = String::new();
     let mut iters = String::new();
+    let mut arrival = String::new();
+    let mut arrival_rate = String::new();
+    let mut schedule = String::new();
+    let mut microbatches = String::new();
+    let mut serving_cells = vec![String::new(); 7];
     match &r.point.kind {
         PointKind::Collective {
             engine: spec,
@@ -111,9 +127,34 @@ fn row_cells(r: &RunResult) -> Vec<String> {
             workload = w.to_string();
             iters = iterations.to_string();
         }
+        PointKind::Serving {
+            config: c,
+            workload: w,
+            spec,
+        } => {
+            config = c.to_string();
+            workload = w.to_string();
+            arrival = spec.arrival.to_string();
+            arrival_rate = format_f64(spec.rate_rps);
+            schedule = spec.schedule.to_string();
+            microbatches = spec.microbatches.to_string();
+            let s = &r.metrics.serving;
+            serving_cells = [
+                s.ttft_p50_us,
+                s.ttft_p95_us,
+                s.ttft_p99_us,
+                s.e2e_p50_us,
+                s.e2e_p95_us,
+                s.e2e_p99_us,
+                s.goodput_rps,
+            ]
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect();
+        }
     }
     let m = &r.metrics;
-    vec![
+    let mut cells = vec![
         r.point.topology.to_string(),
         r.point.topology.nodes().to_string(),
         engine,
@@ -126,6 +167,10 @@ fn row_cells(r: &RunResult) -> Vec<String> {
         config,
         workload,
         iters,
+        arrival,
+        arrival_rate,
+        schedule,
+        microbatches,
         format!("{:.3}", m.time_us),
         m.completion_cycles.to_string(),
         format!("{:.3}", m.gbps_per_npu),
@@ -133,13 +178,17 @@ fn row_cells(r: &RunResult) -> Vec<String> {
         m.network_bytes.to_string(),
         format!("{:.3}", m.compute_us),
         format!("{:.3}", m.exposed_comm_us),
+    ];
+    cells.extend(serving_cells);
+    cells.extend([
         m.past_schedules.to_string(),
         r.fidelity.to_string(),
         if r.cache_hit { "1" } else { "0" }.to_string(),
         r.speedup_vs_baseline
             .map(|s| format!("{s:.4}"))
             .unwrap_or_default(),
-    ]
+    ]);
+    cells
 }
 
 /// The attribution cells of one row, in [`ATTRIBUTION_COLUMNS`] order
@@ -253,7 +302,14 @@ fn json_impl(outcome: &SweepOutcome, attribution: bool) -> String {
             // Numeric columns emit bare numbers; the rest are strings.
             let is_string = matches!(
                 *name,
-                "topology" | "engine" | "op" | "config" | "workload" | "fidelity"
+                "topology"
+                    | "engine"
+                    | "op"
+                    | "config"
+                    | "workload"
+                    | "fidelity"
+                    | "arrival"
+                    | "schedule"
             );
             if is_string {
                 fields.push(format!("\"{name}\": \"{}\"", json_escape(cell)));
@@ -346,6 +402,17 @@ fn axis_values(point: &RunPoint) -> Vec<(&'static str, String)> {
         } => {
             v.push(("config", config.to_string()));
             v.push(("workload", workload.to_string()));
+        }
+        PointKind::Serving {
+            config,
+            workload,
+            spec,
+        } => {
+            v.push(("config", config.to_string()));
+            v.push(("workload", workload.to_string()));
+            v.push(("arrival_rate", format_f64(spec.rate_rps)));
+            v.push(("schedule", spec.schedule.to_string()));
+            v.push(("microbatches", spec.microbatches.to_string()));
         }
     }
     v

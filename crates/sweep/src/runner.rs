@@ -30,8 +30,33 @@ use crate::grid::{PointKind, RunPoint};
 use crate::scenario::{Scenario, SweepMode};
 use crate::scheduler::JobScheduler;
 
+/// Request-latency metrics of a serving run point. All-zero for
+/// collective and training rows, which have no request stream.
+///
+/// Percentiles are **exact order statistics** over the completed
+/// requests (no interpolation), converted to microseconds at the NPU
+/// clock — see [`ace_serve::ServingOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServingMetrics {
+    /// Median time-to-first-token, microseconds.
+    pub ttft_p50_us: f64,
+    /// 95th-percentile time-to-first-token, microseconds.
+    pub ttft_p95_us: f64,
+    /// 99th-percentile time-to-first-token, microseconds.
+    pub ttft_p99_us: f64,
+    /// Median end-to-end request latency, microseconds.
+    pub e2e_p50_us: f64,
+    /// 95th-percentile end-to-end request latency, microseconds.
+    pub e2e_p95_us: f64,
+    /// 99th-percentile end-to-end request latency, microseconds.
+    pub e2e_p99_us: f64,
+    /// Completed requests per second of simulated makespan.
+    pub goodput_rps: f64,
+}
+
 /// Simulation metrics of one run point. Collective points report zero
-/// compute/exposed time; training points report the full breakdown.
+/// compute/exposed time; training points report the full breakdown;
+/// serving points additionally fill [`Metrics::serving`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Metrics {
     /// End-to-end simulated time in microseconds — the primary metric
@@ -59,6 +84,9 @@ pub struct Metrics {
     /// total. Analytic rows charge their whole communication share to the
     /// network bucket (the α–β model has no per-pipe decomposition).
     pub attribution: Attribution,
+    /// Serving only: request-latency percentiles and goodput. All-zero
+    /// for collective and training rows.
+    pub serving: ServingMetrics,
 }
 
 /// One grid row with its metrics.
@@ -412,6 +440,7 @@ pub fn execute_with(point: &RunPoint, sim_threads: usize) -> Metrics {
                 exposed_comm_us: 0.0,
                 past_schedules: r.past_schedules,
                 attribution: r.attribution,
+                serving: ServingMetrics::default(),
             }
         }
         PointKind::Training {
@@ -441,8 +470,81 @@ pub fn execute_with(point: &RunPoint, sim_threads: usize) -> Metrics {
                 exposed_comm_us: report.exposed_comm_us(),
                 past_schedules: report.past_schedules(),
                 attribution: report.attribution(),
+                serving: ServingMetrics::default(),
             }
         }
+        PointKind::Serving {
+            config,
+            workload,
+            spec,
+        } => execute_serving(
+            point,
+            *config,
+            workload,
+            spec,
+            ace_serve::ServingTier::Exact,
+            sim_threads,
+        ),
+    }
+}
+
+/// Runs one serving point through [`ace_serve::simulate`] and folds its
+/// outcome into sweep [`Metrics`].
+fn execute_serving(
+    point: &RunPoint,
+    config: ace_system::SystemConfig,
+    workload: &crate::scenario::WorkloadSel,
+    spec: &ace_serve::ServingSpec,
+    tier: ace_serve::ServingTier,
+    sim_threads: usize,
+) -> Metrics {
+    let topo = point.topology;
+    let outcome = ace_serve::simulate(
+        config,
+        &workload.instantiate(topo.nodes()),
+        topo,
+        spec,
+        &ace_serve::ServingOptions { tier, sim_threads },
+    )
+    .expect("expanded serving point is simulable");
+    let freq = ace_simcore::npu_frequency();
+    let to_us = |cycles: u64| cycles as f64 / freq.hz() * 1e6;
+    let gbps = if outcome.makespan_cycles > 0 {
+        freq.gbps(
+            outcome.network_bytes as f64 / topo.nodes() as f64 / outcome.makespan_cycles as f64,
+        )
+    } else {
+        0.0
+    };
+    // Aggregate compute over overlapped rounds can exceed the wall-clock
+    // makespan under 1f1b injection; the attribution buckets clamp so the
+    // decomposition still sums exactly to the total.
+    let total = outcome.makespan_cycles;
+    let compute = outcome.compute_cycles.min(total);
+    Metrics {
+        time_us: outcome.makespan_us(),
+        completion_cycles: total,
+        gbps_per_npu: gbps,
+        mem_traffic_bytes: outcome.mem_traffic_bytes,
+        network_bytes: outcome.network_bytes,
+        compute_us: to_us(outcome.compute_cycles),
+        exposed_comm_us: to_us(outcome.exposed_cycles),
+        past_schedules: outcome.past_schedules,
+        attribution: Attribution {
+            total_cycles: total,
+            compute_cycles: compute,
+            network_cycles: total - compute,
+            ..Attribution::default()
+        },
+        serving: ServingMetrics {
+            ttft_p50_us: outcome.ttft_percentile_us(50.0),
+            ttft_p95_us: outcome.ttft_percentile_us(95.0),
+            ttft_p99_us: outcome.ttft_percentile_us(99.0),
+            e2e_p50_us: outcome.e2e_percentile_us(50.0),
+            e2e_p95_us: outcome.e2e_percentile_us(95.0),
+            e2e_p99_us: outcome.e2e_percentile_us(99.0),
+            goodput_rps: outcome.goodput_rps(),
+        },
     }
 }
 
@@ -476,6 +578,7 @@ pub fn execute_analytic(point: &RunPoint) -> Metrics {
                     network_cycles: total_u,
                     ..Attribution::default()
                 },
+                serving: ServingMetrics::default(),
             }
         }
         PointKind::Training {
@@ -525,8 +628,21 @@ pub fn execute_analytic(point: &RunPoint) -> Metrics {
                     network_cycles: total_u.saturating_sub(compute_u),
                     ..Attribution::default()
                 },
+                serving: ServingMetrics::default(),
             }
         }
+        PointKind::Serving {
+            config,
+            workload,
+            spec,
+        } => execute_serving(
+            point,
+            *config,
+            workload,
+            spec,
+            ace_serve::ServingTier::Analytic,
+            1,
+        ),
     }
 }
 
@@ -737,6 +853,60 @@ mod tests {
         let baseline = run(1);
         for sim_threads in [2, 4] {
             assert_eq!(run(sim_threads), baseline);
+        }
+    }
+
+    #[test]
+    fn serving_reports_are_deterministic() {
+        // The serving acceptance oracle at sweep level: latency
+        // percentiles are exact order statistics over a seeded arrival
+        // process, so CSV and JSON must be byte-identical across worker
+        // threads, across sim-thread domain counts, and across repeated
+        // runs of the same seed.
+        let scenario = || {
+            let mut sc = Scenario::serving("serving-determinism");
+            sc.topologies = vec![
+                TopologySpec::torus3(2, 1, 1).unwrap(),
+                TopologySpec::Switch {
+                    nodes: 4,
+                    gbps: None,
+                },
+            ];
+            sc.arrival_rates = vec![800.0];
+            sc.schedules = vec![
+                ace_workloads::PipeSchedule::GPipe,
+                ace_workloads::PipeSchedule::OneFOneB,
+            ];
+            sc.microbatches = vec![2];
+            sc.stages = 2;
+            sc.requests = 3;
+            sc.decode_tokens = 1;
+            sc.token_budget = 128;
+            sc
+        };
+        let render = |threads: usize, sim_threads: usize| {
+            let out = run_scenario(
+                &scenario(),
+                RunnerOptions {
+                    threads,
+                    sim_threads,
+                },
+            )
+            .unwrap();
+            (crate::report::to_csv(&out), crate::report::to_json(&out))
+        };
+        let baseline = render(1, 1);
+        assert!(baseline.0.contains("1f1b"), "schedule axis missing");
+        assert_eq!(render(4, 1), baseline, "worker threads changed rows");
+        assert_eq!(render(1, 2), baseline, "sim threads changed rows");
+        assert_eq!(render(1, 1), baseline, "same seed must replay exactly");
+        // The latency columns carry live data: every row has a non-zero
+        // ttft_p99_us (column index from the header, not hard-coded).
+        let header: Vec<&str> = baseline.0.lines().next().unwrap().split(',').collect();
+        let col = header.iter().position(|c| *c == "ttft_p99_us").unwrap();
+        for row in baseline.0.lines().skip(1) {
+            let v: f64 = row.split(',').nth(col).unwrap().parse().unwrap();
+            assert!(v > 0.0, "zero ttft_p99_us in {row}");
         }
     }
 

@@ -15,8 +15,9 @@ use std::sync::Arc;
 
 use ace_collectives::CollectiveOp;
 use ace_net::TopologySpec;
+use ace_serve::{ArrivalKind, ServingSpec};
 use ace_system::{EngineKind, SystemConfig};
-use ace_workloads::{BuiltinWorkload, Parallelism, Workload};
+use ace_workloads::{BuiltinWorkload, Parallelism, PipeSchedule, Workload};
 
 use crate::fidelity::Fidelity;
 use crate::toml::{self, Value};
@@ -30,6 +31,10 @@ pub enum SweepMode {
     /// A full training loop per point ([`ace_system::SystemBuilder`]):
     /// the Fig. 11 / Fig. 12 harness.
     Training,
+    /// A continuous-batching inference serving run per point
+    /// ([`ace_serve::simulate`]): open-loop arrivals, pipeline rounds,
+    /// TTFT/E2E latency percentiles.
+    Serving,
 }
 
 impl fmt::Display for SweepMode {
@@ -37,6 +42,7 @@ impl fmt::Display for SweepMode {
         match self {
             SweepMode::Collective => f.write_str("collective"),
             SweepMode::Training => f.write_str("training"),
+            SweepMode::Serving => f.write_str("serving"),
         }
     }
 }
@@ -513,6 +519,29 @@ pub struct Scenario {
     pub iterations: u32,
     /// Training mode: enable the Fig. 12 DLRM embedding optimization.
     pub optimized_embedding: bool,
+    /// Serving mode: mean arrival rates in requests/s — the load axis.
+    pub arrival_rates: Vec<f64>,
+    /// Serving mode: the arrival-process family (`poisson`,
+    /// `bursty:<n>`, or `trace:<path>` resolved next to the scenario).
+    pub arrival: ArrivalKind,
+    /// Serving mode: round-admission schedules to sweep (`gpipe` drains
+    /// each round before the next; `1f1b` injects when stage 0 frees).
+    pub schedules: Vec<PipeSchedule>,
+    /// Serving mode: microbatch counts to sweep.
+    pub microbatches: Vec<u32>,
+    /// Serving mode: pipeline stages the model is partitioned into.
+    pub stages: u32,
+    /// Serving mode: requests served per point.
+    pub requests: u32,
+    /// Serving mode: arrival-process seed.
+    pub seed: u64,
+    /// Serving mode: prompt length in tokens (one prefill = one forward
+    /// pass of the workload at this token count).
+    pub prompt_tokens: u32,
+    /// Serving mode: output tokens generated after the first.
+    pub decode_tokens: u32,
+    /// Serving mode: continuous-batching token budget per round.
+    pub token_budget: u32,
     /// Optional reference config for speedup columns and axis summaries.
     pub baseline: Option<BaselineSpec>,
     /// Simulation fidelity: `exact` (event-driven, the default),
@@ -555,6 +584,16 @@ impl Scenario {
             workloads: Vec::new(),
             iterations: 2,
             optimized_embedding: false,
+            arrival_rates: Vec::new(),
+            arrival: ArrivalKind::Poisson,
+            schedules: Vec::new(),
+            microbatches: Vec::new(),
+            stages: 4,
+            requests: 64,
+            seed: 1,
+            prompt_tokens: 128,
+            decode_tokens: 8,
+            token_budget: 512,
             baseline: None,
             fidelity: Fidelity::Exact,
             hybrid_top_pct: 10.0,
@@ -566,9 +605,7 @@ impl Scenario {
     /// callers fill in topologies and workloads.
     pub fn training(name: impl Into<String>) -> Scenario {
         Scenario {
-            name: name.into(),
             mode: SweepMode::Training,
-            topologies: vec![TopologySpec::torus3(4, 2, 2).expect("valid shape")],
             engines: Vec::new(),
             ops: Vec::new(),
             payload_bytes: Vec::new(),
@@ -578,12 +615,51 @@ impl Scenario {
             fsms: Vec::new(),
             configs: SystemConfig::ALL.to_vec(),
             workloads: vec![WorkloadSel::builtin(BuiltinWorkload::Resnet50)],
-            iterations: 2,
-            optimized_embedding: false,
-            baseline: None,
-            fidelity: Fidelity::Exact,
-            hybrid_top_pct: 10.0,
-            sim_threads: 1,
+            ..Scenario::collective(name)
+        }
+    }
+
+    /// An empty serving-mode scenario: ACE config, transformer workload,
+    /// one Poisson load level; callers fill in the load / schedule /
+    /// topology axes.
+    pub fn serving(name: impl Into<String>) -> Scenario {
+        Scenario {
+            mode: SweepMode::Serving,
+            engines: Vec::new(),
+            ops: Vec::new(),
+            payload_bytes: Vec::new(),
+            mem_gbps: Vec::new(),
+            comm_sms: Vec::new(),
+            sram_mb: Vec::new(),
+            fsms: Vec::new(),
+            configs: vec![SystemConfig::Ace],
+            workloads: vec![WorkloadSel::builtin(BuiltinWorkload::TransformerLm)],
+            arrival_rates: vec![500.0],
+            schedules: vec![PipeSchedule::GPipe],
+            microbatches: vec![8],
+            ..Scenario::collective(name)
+        }
+    }
+
+    /// Materializes the fixed serving parameters plus one grid cell's
+    /// (rate, schedule, microbatches) into a [`ServingSpec`].
+    pub fn serving_spec(
+        &self,
+        rate_rps: f64,
+        schedule: PipeSchedule,
+        microbatches: u32,
+    ) -> ServingSpec {
+        ServingSpec {
+            arrival: self.arrival.clone(),
+            rate_rps,
+            requests: self.requests,
+            seed: self.seed,
+            prompt_tokens: self.prompt_tokens,
+            decode_tokens: self.decode_tokens,
+            token_budget: self.token_budget,
+            stages: self.stages,
+            microbatches,
+            schedule,
         }
     }
 
@@ -622,7 +698,7 @@ impl Scenario {
 
         // Reject misspelled keys loudly: a typoed axis name silently
         // falling back to its default would run the wrong sweep.
-        const KNOWN_KEYS: [&str; 18] = [
+        const KNOWN_KEYS: [&str; 28] = [
             "name",
             "mode",
             "topologies",
@@ -637,6 +713,16 @@ impl Scenario {
             "workloads",
             "iterations",
             "optimized_embedding",
+            "arrival",
+            "arrival_rates",
+            "schedules",
+            "microbatches",
+            "stages",
+            "requests",
+            "seed",
+            "prompt_tokens",
+            "decode_tokens",
+            "token_budget",
             "baseline",
             "fidelity",
             "hybrid_top_pct",
@@ -644,8 +730,9 @@ impl Scenario {
         ];
         for key in doc.keys() {
             if !KNOWN_KEYS.contains(&key.as_str()) {
+                let hint = ace_toml::did_you_mean(key, &KNOWN_KEYS);
                 return Err(invalid(format!(
-                    "unknown key '{key}' (known keys: {})",
+                    "unknown key '{key}'{hint} (known keys: {})",
                     KNOWN_KEYS.join(", ")
                 )));
             }
@@ -662,9 +749,10 @@ impl Scenario {
             None => SweepMode::Collective,
             Some(Some("collective")) => SweepMode::Collective,
             Some(Some("training")) => SweepMode::Training,
+            Some(Some("serving")) => SweepMode::Serving,
             Some(other) => {
                 return Err(invalid(format!(
-                    "'mode' must be \"collective\" or \"training\", got {other:?}"
+                    "'mode' must be \"collective\", \"training\" or \"serving\", got {other:?}"
                 )))
             }
         };
@@ -672,6 +760,7 @@ impl Scenario {
         let mut sc = match mode {
             SweepMode::Collective => Scenario::collective(name),
             SweepMode::Training => Scenario::training(name),
+            SweepMode::Serving => Scenario::serving(name),
         };
 
         if let Some(v) = doc.get("topologies") {
@@ -735,6 +824,64 @@ impl Scenario {
             sc.optimized_embedding = v
                 .as_bool()
                 .ok_or_else(|| invalid("'optimized_embedding' must be a bool".into()))?;
+        }
+        if let Some(v) = doc.get("arrival") {
+            let s = v
+                .as_str()
+                .ok_or_else(|| invalid("'arrival' must be a string".into()))?;
+            sc.arrival = ArrivalKind::parse(s, base).map_err(invalid)?;
+        }
+        if let Some(v) = doc.get("arrival_rates") {
+            sc.arrival_rates = parse_list(v, "arrival_rates", |s, _| {
+                s.as_f64()
+                    .filter(|r| r.is_finite() && *r > 0.0)
+                    .ok_or_else(|| "expected a positive arrival rate in requests/s".to_string())
+            })?;
+        }
+        if let Some(v) = doc.get("schedules") {
+            sc.schedules = parse_list(v, "schedules", |s, _| {
+                s.as_str()
+                    .ok_or_else(|| "expected string".to_string())
+                    .and_then(|s| s.parse::<PipeSchedule>())
+            })?;
+        }
+        if let Some(v) = doc.get("microbatches") {
+            sc.microbatches =
+                parse_list(v, "microbatches", |s, _| parse_uint(s).map(|u| u as u32))?;
+        }
+        let serving_u32 = |key: &str, min: i64| -> Result<Option<u32>, ScenarioError> {
+            match doc.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_i64()
+                    .filter(|&i| i >= min && i <= i64::from(u32::MAX))
+                    .map(|i| Some(i as u32))
+                    .ok_or_else(|| {
+                        invalid(format!("'{key}' must be an integer of at least {min}"))
+                    }),
+            }
+        };
+        if let Some(v) = serving_u32("stages", 1)? {
+            sc.stages = v;
+        }
+        if let Some(v) = serving_u32("requests", 1)? {
+            sc.requests = v;
+        }
+        if let Some(v) = serving_u32("prompt_tokens", 1)? {
+            sc.prompt_tokens = v;
+        }
+        if let Some(v) = serving_u32("decode_tokens", 0)? {
+            sc.decode_tokens = v;
+        }
+        if let Some(v) = serving_u32("token_budget", 1)? {
+            sc.token_budget = v;
+        }
+        if let Some(v) = doc.get("seed") {
+            sc.seed = v
+                .as_i64()
+                .filter(|&i| i >= 0)
+                .ok_or_else(|| invalid("'seed' must be a non-negative integer".into()))?
+                as u64;
         }
         if let Some(v) = doc.get("fidelity") {
             sc.fidelity = v
@@ -830,6 +977,47 @@ impl Scenario {
                     return Err("training mode baseline must name a config, not an engine".into());
                 }
             }
+            SweepMode::Serving => {
+                if self.configs.is_empty() {
+                    return Err("serving mode requires a nonempty 'configs' axis".into());
+                }
+                if self.workloads.is_empty() {
+                    return Err("serving mode requires a nonempty 'workloads' axis".into());
+                }
+                for (i, w) in self.workloads.iter().enumerate() {
+                    w.check().map_err(|e| format!("workloads[{i}]: {e}"))?;
+                }
+                if self.arrival_rates.is_empty() {
+                    return Err("serving mode requires a nonempty 'arrival_rates' axis".into());
+                }
+                if let Some(r) = self
+                    .arrival_rates
+                    .iter()
+                    .find(|r| !r.is_finite() || **r <= 0.0)
+                {
+                    return Err(format!(
+                        "arrival_rates values must be positive and finite, got {r}"
+                    ));
+                }
+                if self.schedules.is_empty() {
+                    return Err("serving mode requires a nonempty 'schedules' axis".into());
+                }
+                if self.microbatches.is_empty() {
+                    return Err("serving mode requires a nonempty 'microbatches' axis".into());
+                }
+                // One representative spec exercises the scalar-field checks
+                // (budget >= prompt, positive stages, ...); the axis values
+                // only vary fields validate() accepts for any positive value.
+                self.serving_spec(
+                    self.arrival_rates[0],
+                    self.schedules[0],
+                    self.microbatches[0],
+                )
+                .validate()?;
+                if let Some(BaselineSpec::Engine(_)) = self.baseline {
+                    return Err("serving mode baseline must name a config, not an engine".into());
+                }
+            }
         }
         Ok(())
     }
@@ -916,12 +1104,14 @@ fn parse_baseline(
         }
     }
     match mode {
-        SweepMode::Training => {
+        SweepMode::Training | SweepMode::Serving => {
             let cfg = table
                 .get("config")
                 .and_then(|v| v.as_str())
                 .ok_or_else(|| {
-                    invalid("[baseline] needs config = \"<name>\" in training mode".into())
+                    invalid(format!(
+                        "[baseline] needs config = \"<name>\" in {mode} mode"
+                    ))
                 })?;
             Ok(BaselineSpec::Config(cfg.parse().map_err(invalid)?))
         }
@@ -1246,6 +1436,94 @@ mod tests {
             comm_sms: 7
         }));
         assert!(!set.contains(&EngineSpec::Ideal));
+    }
+
+    #[test]
+    fn serving_scenario_parses() {
+        let sc = Scenario::from_toml_str(
+            r#"
+            name = "serve"
+            mode = "serving"
+            topologies = ["4x4", "switch:16"]
+            configs = ["ace"]
+            workloads = ["transformer"]
+            arrival = "bursty:4"
+            arrival_rates = [250.0, 1000.0]
+            schedules = ["gpipe", "1f1b"]
+            microbatches = [4, 8]
+            stages = 4
+            requests = 16
+            seed = 7
+            prompt_tokens = 64
+            decode_tokens = 2
+            token_budget = 256
+
+            [baseline]
+            config = "ACE"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(sc.mode, SweepMode::Serving);
+        assert_eq!(sc.arrival, ArrivalKind::Bursty { burst: 4 });
+        assert_eq!(sc.arrival_rates, vec![250.0, 1000.0]);
+        assert_eq!(
+            sc.schedules,
+            vec![PipeSchedule::GPipe, PipeSchedule::OneFOneB]
+        );
+        assert_eq!(sc.microbatches, vec![4, 8]);
+        assert_eq!((sc.stages, sc.requests, sc.seed), (4, 16, 7));
+        assert_eq!((sc.prompt_tokens, sc.decode_tokens), (64, 2));
+        assert_eq!(sc.token_budget, 256);
+        assert_eq!(sc.baseline, Some(BaselineSpec::Config(SystemConfig::Ace)));
+        // 2 topologies x 1 config x 1 workload x 2 rates x 2 schedules x 2 mb.
+        assert_eq!(crate::grid::grid_len(&sc), 16);
+        let spec = sc.serving_spec(250.0, PipeSchedule::OneFOneB, 4);
+        assert_eq!(spec.requests, 16);
+        assert_eq!(spec.prompt_tokens, 64);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn serving_defaults_fill_unswept_axes() {
+        let sc = Scenario::from_toml_str("mode = \"serving\"\ntopologies = [\"4x4\"]\n").unwrap();
+        assert_eq!(sc.mode, SweepMode::Serving);
+        assert_eq!(sc.arrival, ArrivalKind::Poisson);
+        assert_eq!(sc.arrival_rates, vec![500.0]);
+        assert_eq!(sc.schedules, vec![PipeSchedule::GPipe]);
+        assert_eq!(sc.microbatches, vec![8]);
+        sc.validate().unwrap();
+    }
+
+    #[test]
+    fn misspelled_serving_keys_get_hints() {
+        // A typoed load axis silently running the default 500 rps would
+        // invalidate the whole latency study.
+        let e = Scenario::from_toml_str("mode = \"serving\"\narival_rates = [100.0]").unwrap_err();
+        assert!(
+            e.to_string().contains("did you mean 'arrival_rates'"),
+            "{e}"
+        );
+        let e = Scenario::from_toml_str("mode = \"serving\"\nmicrobatch = [4]").unwrap_err();
+        assert!(e.to_string().contains("did you mean 'microbatches'"), "{e}");
+        // Arrival-process hints survive the TOML layer.
+        let e = Scenario::from_toml_str("mode = \"serving\"\narrival = \"poison\"").unwrap_err();
+        assert!(e.to_string().contains("did you mean 'poisson'"), "{e}");
+        // Schedule hints come from the PipeSchedule parser.
+        let e = Scenario::from_toml_str("mode = \"serving\"\nschedules = [\"gpip\"]").unwrap_err();
+        assert!(e.to_string().contains("gpipe"), "{e}");
+    }
+
+    #[test]
+    fn serving_scenario_rejects_bad_values() {
+        assert!(Scenario::from_toml_str("mode = \"serving\"\narrival_rates = [0.0]").is_err());
+        assert!(Scenario::from_toml_str("mode = \"serving\"\narrival_rates = [-5.0]").is_err());
+        assert!(Scenario::from_toml_str("mode = \"serving\"\nstages = 0").is_err());
+        assert!(Scenario::from_toml_str("mode = \"serving\"\nrequests = 0").is_err());
+        assert!(Scenario::from_toml_str("mode = \"serving\"\ntoken_budget = 0").is_err());
+        // Serving baselines compare configs, not collective engines.
+        let e = Scenario::from_toml_str("mode = \"serving\"\n[baseline]\nengine = \"ideal\"")
+            .unwrap_err();
+        assert!(e.to_string().contains("config"), "{e}");
     }
 
     #[test]

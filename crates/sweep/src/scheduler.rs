@@ -766,7 +766,7 @@ fn worker_loop(shared: &Shared) {
                     index: completed,
                     total: claim.total,
                     point: point.clone(),
-                    metrics,
+                    metrics: Box::new(metrics),
                 });
             }
             Err(panic) => {

@@ -49,4 +49,4 @@ pub use program::{
     TaskRole,
 };
 pub use spec::{BuiltinWorkload, EmbeddingSpec, LayerSpec, WorkloadSpec};
-pub use workload::{EmbeddingStage, Parallelism, Workload};
+pub use workload::{EmbeddingStage, Parallelism, PipeSchedule, Workload};

@@ -38,7 +38,7 @@ use std::fmt;
 use ace_collectives::CollectiveOp;
 use ace_compute::KernelDesc;
 
-use crate::workload::{Parallelism, Workload};
+use crate::workload::{Parallelism, PipeSchedule, Workload};
 
 /// Identifies a task within its [`Program`]. Stable across graph
 /// transforms (removing a task from the schedule does not renumber the
@@ -169,6 +169,11 @@ pub struct Task {
     phase: TaskPhase,
     iter: u32,
     role: TaskRole,
+    /// Compute timeline (pipeline stage) the task runs on. Single-NPU
+    /// programs put everything on timeline 0; pipeline lowerings give
+    /// each stage its own timeline, and cross-timeline dependencies
+    /// become real waits (pipeline bubbles).
+    timeline: u32,
 }
 
 impl Task {
@@ -203,6 +208,12 @@ impl Task {
     /// barrier, as opposed to a non-blocking collective issue).
     pub fn is_timeline(&self) -> bool {
         !matches!(self.kind, TaskKind::Collective { .. })
+    }
+
+    /// The compute timeline (pipeline stage) the task runs on. A
+    /// collective's timeline is the stage that issues it.
+    pub fn timeline(&self) -> usize {
+        self.timeline as usize
     }
 }
 
@@ -260,6 +271,9 @@ pub struct Program {
     /// Execution order — a topological linearization of the dep DAG.
     schedule: Vec<TaskId>,
     carveout: Option<ComputeCarveout>,
+    /// Number of compute timelines (1 + the highest timeline index any
+    /// task was pushed on). Single-NPU programs have exactly one.
+    timelines: u32,
 }
 
 impl Program {
@@ -273,7 +287,13 @@ impl Program {
             tasks: Vec::new(),
             schedule: Vec::new(),
             carveout: None,
+            timelines: 1,
         }
+    }
+
+    /// Number of compute timelines (pipeline stages) in the program.
+    pub fn timelines(&self) -> usize {
+        self.timelines as usize
     }
 
     /// Program (workload) name, used in reports.
@@ -383,10 +403,70 @@ impl Program {
         self.push(TaskKind::Barrier, phase, iter, TaskRole::Sync, waits, true)
     }
 
-    /// Core task append. `chain` adds the previous timeline task as a
-    /// leading serialization dependency.
+    /// Appends a compute task on an explicit timeline (pipeline stage).
+    /// Chains after the previous timeline task *of that timeline*.
+    pub fn add_compute_on(
+        &mut self,
+        timeline: usize,
+        kernel: KernelDesc,
+        phase: TaskPhase,
+        iter: u32,
+        waits: Vec<TaskId>,
+    ) -> TaskId {
+        self.push_on(
+            timeline as u32,
+            TaskKind::Compute(kernel),
+            phase,
+            iter,
+            TaskRole::Custom,
+            waits,
+            true,
+        )
+    }
+
+    /// Appends a collective issued by the given timeline after `after`
+    /// completes.
+    pub fn add_collective_on(
+        &mut self,
+        timeline: usize,
+        op: CollectiveOp,
+        bytes: u64,
+        phase: TaskPhase,
+        iter: u32,
+        after: Vec<TaskId>,
+    ) -> TaskId {
+        self.push_on(
+            timeline as u32,
+            TaskKind::Collective { op, bytes },
+            phase,
+            iter,
+            TaskRole::Custom,
+            after,
+            false,
+        )
+    }
+
+    /// Core task append on timeline 0. `chain` adds the previous
+    /// timeline task as a leading serialization dependency.
     fn push(
         &mut self,
+        kind: TaskKind,
+        phase: TaskPhase,
+        iter: u32,
+        role: TaskRole,
+        deps: Vec<TaskId>,
+        chain: bool,
+    ) -> TaskId {
+        self.push_on(0, kind, phase, iter, role, deps, chain)
+    }
+
+    /// Core task append. `chain` adds the previous timeline task *of the
+    /// same timeline* as a leading serialization dependency (each
+    /// pipeline stage runs its kernels serially; stages run concurrently).
+    #[allow(clippy::too_many_arguments)]
+    fn push_on(
+        &mut self,
+        timeline: u32,
         kind: TaskKind,
         phase: TaskPhase,
         iter: u32,
@@ -395,7 +475,7 @@ impl Program {
         chain: bool,
     ) -> TaskId {
         if chain {
-            if let Some(prev) = self.last_timeline() {
+            if let Some(prev) = self.last_timeline_on(timeline) {
                 if !deps.contains(&prev) {
                     deps.insert(0, prev);
                 }
@@ -408,18 +488,29 @@ impl Program {
             phase,
             iter,
             role,
+            timeline,
         });
         self.schedule.push(id);
+        self.timelines = self.timelines.max(timeline + 1);
         id
+    }
+
+    /// The most recently scheduled timeline (compute/barrier) task of
+    /// the given timeline.
+    fn last_timeline_on(&self, timeline: u32) -> Option<TaskId> {
+        self.schedule
+            .iter()
+            .rev()
+            .find(|&&id| {
+                let t = &self.tasks[id.0];
+                t.is_timeline() && t.timeline == timeline
+            })
+            .copied()
     }
 
     /// The most recently scheduled timeline (compute/barrier) task.
     fn last_timeline(&self) -> Option<TaskId> {
-        self.schedule
-            .iter()
-            .rev()
-            .find(|&&id| self.tasks[id.0].is_timeline())
-            .copied()
+        self.last_timeline_on(0)
     }
 
     // ------------------------------------------------------------------
@@ -531,7 +622,23 @@ impl Program {
     ///   backward kernels. These exchanges sit on the critical path by
     ///   construction, in every configuration; there are no
     ///   weight-gradient collectives (weights are sharded).
+    /// * **Pipeline parallelism** — contiguous layer groups become
+    ///   stages, each on its own compute timeline; the mini-batch splits
+    ///   into microbatches whose per-stage kernels scale by `1/M`;
+    ///   stage boundaries exchange activations (forward) and gradients
+    ///   (backward) via one-hop [`CollectiveOp::SendRecv`] transfers
+    ///   sized from the boundary layer's comm bytes `/M`; the per-stage
+    ///   task order follows the GPipe or 1F1B schedule. Overlap has no
+    ///   effect (boundary transfers are blocking by nature).
     pub fn lower(workload: &Workload, parallelism: Parallelism, opts: &LoweringOptions) -> Program {
+        if let Parallelism::Pipeline {
+            stages,
+            microbatches,
+            schedule,
+        } = parallelism
+        {
+            return Self::lower_pipeline(workload, stages, microbatches, schedule, opts);
+        }
         let mut p = Program::new(workload.name(), parallelism, opts.iterations);
         let layers = workload.layers();
         let model = parallelism == Parallelism::Model;
@@ -739,6 +846,204 @@ impl Program {
         p
     }
 
+    /// Pipeline-parallel lowering (see [`Program::lower`]). Layers are
+    /// split into `stages` contiguous groups of (near-)equal count; each
+    /// microbatch runs one fused forward kernel and one fused backward
+    /// (input-grad + weight-grad) kernel per stage, scaled by `1/M`.
+    fn lower_pipeline(
+        workload: &Workload,
+        stages: u32,
+        microbatches: u32,
+        schedule: PipeSchedule,
+        opts: &LoweringOptions,
+    ) -> Program {
+        let s_n = (stages.max(2)) as usize;
+        let m_n = (microbatches.max(1)) as usize;
+        let layers = workload.layers();
+        assert!(
+            layers.len() >= s_n,
+            "workload '{}' has {} layers; cannot split into {s_n} pipeline stages",
+            workload.name(),
+            layers.len()
+        );
+        let mut p = Program::new(
+            workload.name(),
+            Parallelism::Pipeline {
+                stages,
+                microbatches,
+                schedule,
+            },
+            opts.iterations,
+        );
+        let cut = |s: usize| s * layers.len() / s_n;
+        let scale = 1.0 / m_n as f64;
+
+        // Per-stage fused microbatch kernels.
+        let mut fwd_kernels = Vec::with_capacity(s_n);
+        let mut bwd_kernels = Vec::with_capacity(s_n);
+        // Forward activation bytes crossing the s -> s+1 boundary per
+        // microbatch (the boundary layer's comm payload, microbatched);
+        // gradients cross back the same boundary in the backward pass.
+        let mut boundary_bytes = Vec::with_capacity(s_n.saturating_sub(1));
+        for s in 0..s_n {
+            let group = &layers[cut(s)..cut(s + 1)];
+            let (mut ff, mut fb, mut bf, mut bb) = (0.0, 0.0, 0.0, 0.0);
+            for l in group {
+                ff += l.fwd().flops();
+                fb += l.fwd().mem_bytes();
+                bf += l.input_grad().flops() + l.weight_grad().flops();
+                bb += l.input_grad().mem_bytes() + l.weight_grad().mem_bytes();
+            }
+            fwd_kernels.push(KernelDesc::new(
+                format!("stage{s}-fwd"),
+                ff * scale,
+                fb * scale,
+            ));
+            bwd_kernels.push(KernelDesc::new(
+                format!("stage{s}-bwd"),
+                bf * scale,
+                bb * scale,
+            ));
+            if s + 1 < s_n {
+                let boundary = &layers[cut(s + 1) - 1];
+                let bytes = boundary.comm().map(|c| c.bytes).unwrap_or(0);
+                boundary_bytes.push(bytes.div_ceil(m_n as u64).min(bytes));
+            }
+        }
+
+        /// One slot of a stage's schedule: which microbatch's forward or
+        /// backward pass to run next.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Item {
+            Fwd(usize),
+            Bwd(usize),
+        }
+        // Per-stage task order. GPipe: all forwards, then all backwards.
+        // 1F1B: `stages - 1 - s` warmup forwards, a one-forward-one-
+        // backward steady state, then the backward drain.
+        let order: Vec<Vec<Item>> = (0..s_n)
+            .map(|s| {
+                let mut o = Vec::with_capacity(2 * m_n);
+                match schedule {
+                    PipeSchedule::GPipe => {
+                        o.extend((0..m_n).map(Item::Fwd));
+                        o.extend((0..m_n).map(Item::Bwd));
+                    }
+                    PipeSchedule::OneFOneB => {
+                        let warm = (s_n - 1 - s).min(m_n);
+                        o.extend((0..warm).map(Item::Fwd));
+                        for m in warm..m_n {
+                            o.push(Item::Fwd(m));
+                            o.push(Item::Bwd(m - warm));
+                        }
+                        o.extend((m_n - warm..m_n).map(Item::Bwd));
+                    }
+                }
+                o
+            })
+            .collect();
+
+        for iter in 0..opts.iterations {
+            let mut fwd_id: Vec<Vec<Option<TaskId>>> = vec![vec![None; m_n]; s_n];
+            let mut bwd_id: Vec<Vec<Option<TaskId>>> = vec![vec![None; m_n]; s_n];
+            let mut fwd_xfer: Vec<Vec<Option<TaskId>>> = vec![vec![None; m_n]; s_n];
+            let mut bwd_xfer: Vec<Vec<Option<TaskId>>> = vec![vec![None; m_n]; s_n];
+            let mut next = vec![0usize; s_n];
+            // Breadth-first topological merge of the per-stage orders:
+            // each sweep emits at most one ready item per stage, lowest
+            // stage first, so the schedule interleaves stages roughly in
+            // time order while preserving each stage's exact sequence.
+            loop {
+                let mut progressed = false;
+                let mut done = true;
+                for s in 0..s_n {
+                    if next[s] >= order[s].len() {
+                        continue;
+                    }
+                    done = false;
+                    let item = order[s][next[s]];
+                    match item {
+                        Item::Fwd(m) => {
+                            if s > 0 && fwd_id[s - 1][m].is_none() {
+                                continue;
+                            }
+                            let mut waits = Vec::new();
+                            if s > 0 {
+                                waits.push(fwd_xfer[s - 1][m].or(fwd_id[s - 1][m]).unwrap());
+                            }
+                            let id = p.push_on(
+                                s as u32,
+                                TaskKind::Compute(fwd_kernels[s].clone()),
+                                TaskPhase::Forward,
+                                iter,
+                                TaskRole::Forward { layer: s },
+                                waits,
+                                true,
+                            );
+                            fwd_id[s][m] = Some(id);
+                            if s + 1 < s_n && boundary_bytes[s] > 0 {
+                                fwd_xfer[s][m] = Some(p.push_on(
+                                    s as u32,
+                                    TaskKind::Collective {
+                                        op: CollectiveOp::SendRecv,
+                                        bytes: boundary_bytes[s],
+                                    },
+                                    TaskPhase::Forward,
+                                    iter,
+                                    TaskRole::FwdCollective { layer: s },
+                                    vec![id],
+                                    false,
+                                ));
+                            }
+                        }
+                        Item::Bwd(m) => {
+                            if s + 1 < s_n && bwd_id[s + 1][m].is_none() {
+                                continue;
+                            }
+                            let mut waits = Vec::new();
+                            if s + 1 < s_n {
+                                waits.push(bwd_xfer[s + 1][m].or(bwd_id[s + 1][m]).unwrap());
+                            }
+                            let id = p.push_on(
+                                s as u32,
+                                TaskKind::Compute(bwd_kernels[s].clone()),
+                                TaskPhase::Backward,
+                                iter,
+                                TaskRole::InputGrad { layer: s },
+                                waits,
+                                true,
+                            );
+                            bwd_id[s][m] = Some(id);
+                            if s > 0 && boundary_bytes[s - 1] > 0 {
+                                bwd_xfer[s][m] = Some(p.push_on(
+                                    s as u32,
+                                    TaskKind::Collective {
+                                        op: CollectiveOp::SendRecv,
+                                        bytes: boundary_bytes[s - 1],
+                                    },
+                                    TaskPhase::Backward,
+                                    iter,
+                                    TaskRole::GradCollective { layer: s },
+                                    vec![id],
+                                    false,
+                                ));
+                            }
+                        }
+                    }
+                    next[s] += 1;
+                    progressed = true;
+                }
+                if done {
+                    break;
+                }
+                assert!(progressed, "pipeline schedule deadlocked");
+            }
+        }
+
+        debug_assert!(p.validate().is_ok(), "pipeline lowerings are valid");
+        p
+    }
+
     // ------------------------------------------------------------------
     // Transforms
     // ------------------------------------------------------------------
@@ -840,19 +1145,30 @@ impl Program {
     ///
     /// The walk therefore computes the critical path of the DAG under
     /// those durations, in one pass over the schedule.
+    ///
+    /// Multi-timeline programs (pipeline lowerings) walk one frontier
+    /// per timeline: cross-timeline dependencies become real waits —
+    /// pipeline bubbles. For those programs `compute_cycles` reports the
+    /// *per-stage mean* kernel time (total kernel cycles / timelines)
+    /// and `exposed_cycles` the remainder, preserving the
+    /// `total = compute + exposed` identity; the exposed fraction of a
+    /// communication-free uniform GPipe pipeline is then exactly the
+    /// textbook bubble fraction `(S-1)/(M+S-1)`.
     pub fn analytic_walk(
         &self,
         mut compute_cycles: impl FnMut(&KernelDesc) -> u64,
         mut collective_cycles: impl FnMut(CollectiveOp, u64) -> f64,
     ) -> AnalyticWalk {
+        let nt = self.timelines().max(1);
         let mut finish: Vec<f64> = vec![0.0; self.tasks.len()];
-        let mut t: f64 = 0.0; // compute-timeline frontier
+        let mut t: Vec<f64> = vec![0.0; nt]; // per-timeline compute frontiers
         let mut net_free: f64 = 0.0; // fabric single-server frontier
         let mut walk = AnalyticWalk::default();
         for (id, task) in self.iter_scheduled() {
+            let k = task.timeline();
             match task.kind() {
                 TaskKind::Collective { op, bytes } => {
-                    let start = t.max(net_free);
+                    let start = t[k].max(net_free);
                     let done = start + collective_cycles(*op, *bytes);
                     finish[id.index()] = done;
                     net_free = done;
@@ -861,27 +1177,35 @@ impl Program {
                 TaskKind::Compute(_) | TaskKind::Barrier => {
                     for &dep in task.deps() {
                         let done = finish[dep.index()];
-                        if done > t {
-                            walk.exposed_cycles += done - t;
-                            t = done;
+                        if done > t[k] {
+                            walk.exposed_cycles += done - t[k];
+                            t[k] = done;
                         }
                     }
                     if let TaskKind::Compute(kernel) = task.kind() {
                         let cycles = compute_cycles(kernel) as f64;
                         walk.compute_cycles += cycles;
-                        t += cycles;
+                        t[k] += cycles;
                     }
-                    finish[id.index()] = t;
+                    finish[id.index()] = t[k];
                 }
             }
         }
         // Drain outstanding collectives: the next iteration could not
         // start before they finish, so the tail stall is exposed.
-        if net_free > t {
-            walk.exposed_cycles += net_free - t;
-            t = net_free;
+        let mut end = t.iter().copied().fold(0.0_f64, f64::max);
+        if net_free > end {
+            walk.exposed_cycles += net_free - end;
+            end = net_free;
         }
-        walk.total_cycles = t;
+        walk.total_cycles = end;
+        if nt > 1 {
+            // Per-stage mean accounting (see doc comment above): the
+            // incremental stall tally mixes per-stage clocks, so rebuild
+            // the identity from the end-to-end time instead.
+            walk.compute_cycles /= nt as f64;
+            walk.exposed_cycles = (end - walk.compute_cycles).max(0.0);
+        }
         walk
     }
 }
@@ -1157,6 +1481,186 @@ mod tests {
         // 10 compute + 100 (first) + 100 (queued second) = 210.
         assert_eq!(walk.total_cycles, 210.0);
         assert_eq!(walk.exposed_cycles, 200.0);
+    }
+
+    fn uniform_pipeline_workload(layers: usize, comm: Option<crate::LayerComm>) -> Workload {
+        let table: Vec<crate::Layer> = (0..layers)
+            .map(|i| crate::Layer::from_fwd(format!("l{i}"), 8.0e3, 8.0e3, comm))
+            .collect();
+        Workload::data_parallel("uniform", table, 1)
+    }
+
+    #[test]
+    fn pipeline_lowerings_validate_and_partition_stages() {
+        for schedule in [PipeSchedule::GPipe, PipeSchedule::OneFOneB] {
+            let w = uniform_pipeline_workload(8, None);
+            let par = Parallelism::Pipeline {
+                stages: 4,
+                microbatches: 6,
+                schedule,
+            };
+            let p = Program::lower(&w, par, &LoweringOptions::default());
+            p.validate().unwrap();
+            assert_eq!(p.timelines(), 4);
+            // Per iteration: one fwd + one bwd kernel per (stage, microbatch).
+            assert_eq!(
+                count_role(&p, |r| matches!(r, TaskRole::Forward { .. })),
+                2 * 4 * 6
+            );
+            assert_eq!(
+                count_role(&p, |r| matches!(r, TaskRole::InputGrad { .. })),
+                2 * 4 * 6
+            );
+            // Zero-byte boundaries emit no transfer collectives.
+            assert_eq!(p.total_collective_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn pipeline_boundary_transfers_are_microbatched_send_recvs() {
+        let comm = crate::LayerComm {
+            op: CollectiveOp::AllReduce,
+            bytes: 96,
+        };
+        let w = uniform_pipeline_workload(4, Some(comm));
+        let par = Parallelism::Pipeline {
+            stages: 4,
+            microbatches: 3,
+            schedule: PipeSchedule::GPipe,
+        };
+        let p = Program::lower(
+            &w,
+            par,
+            &LoweringOptions {
+                iterations: 1,
+                overlap: true,
+            },
+        );
+        p.validate().unwrap();
+        let mut xfers = 0;
+        for (_, t) in p.iter_scheduled() {
+            if let TaskKind::Collective { op, bytes } = t.kind() {
+                assert_eq!(*op, CollectiveOp::SendRecv);
+                assert_eq!(*bytes, 32, "96-byte boundary split over 3 microbatches");
+                xfers += 1;
+            }
+        }
+        // 3 boundaries × 3 microbatches × (fwd activation + bwd gradient).
+        assert_eq!(xfers, 3 * 3 * 2);
+    }
+
+    #[test]
+    fn gpipe_bubble_fraction_matches_the_closed_form() {
+        // Uniform communication-free stages: exposed/total must equal
+        // (S-1)/(M+S-1) exactly under the analytic walk.
+        for (s, m) in [(2, 2), (4, 8), (3, 5), (6, 1)] {
+            let w = uniform_pipeline_workload(s as usize, None);
+            let par = Parallelism::Pipeline {
+                stages: s,
+                microbatches: m,
+                schedule: PipeSchedule::GPipe,
+            };
+            let p = Program::lower(
+                &w,
+                par,
+                &LoweringOptions {
+                    iterations: 1,
+                    overlap: true,
+                },
+            );
+            let walk = p.analytic_walk(|k| k.flops() as u64, |_, _| panic!("communication-free"));
+            let bubble = walk.exposed_cycles / walk.total_cycles;
+            let expect = (s as f64 - 1.0) / (m as f64 + s as f64 - 1.0);
+            assert!(
+                (bubble - expect).abs() < 1e-9,
+                "S={s} M={m}: bubble {bubble} != {expect}"
+            );
+            let sum = walk.compute_cycles + walk.exposed_cycles;
+            assert!((walk.total_cycles - sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_matches_gpipe_on_uniform_stages() {
+        // Same DAG, different per-stage order: end-to-end time is equal
+        // for uniform communication-free stages (both achieve the
+        // textbook (M+S-1)(tf+tb) pipeline latency).
+        let w = uniform_pipeline_workload(4, None);
+        let mk = |schedule| {
+            let p = Program::lower(
+                &w,
+                Parallelism::Pipeline {
+                    stages: 4,
+                    microbatches: 8,
+                    schedule,
+                },
+                &LoweringOptions {
+                    iterations: 1,
+                    overlap: true,
+                },
+            );
+            p.validate().unwrap();
+            p.analytic_walk(|k| k.flops() as u64, |_, _| 0.0)
+                .total_cycles
+        };
+        assert_eq!(mk(PipeSchedule::GPipe), mk(PipeSchedule::OneFOneB));
+    }
+
+    #[test]
+    fn one_f_one_b_is_never_slower_than_gpipe_on_random_draws() {
+        // 1F1B reorders each stage's work but never adds dependencies, so
+        // for any stage geometry and any (non-uniform) per-layer cost its
+        // end-to-end time is at most GPipe's. 50 seeded random draws of
+        // (layers, stages, microbatches, per-layer flops, boundary bytes).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            // splitmix64: deterministic, no external crates.
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for draw in 0..50 {
+            let stages = 2 + (next() % 5) as u32; // 2..=6
+            let layers = stages as usize + (next() % 8) as usize;
+            let microbatches = 1 + (next() % 12) as u32; // 1..=12
+            let table: Vec<crate::Layer> = (0..layers)
+                .map(|i| {
+                    let flops = 1.0e3 + (next() % 64_000) as f64;
+                    let comm = (next() % 2 == 0).then_some(crate::LayerComm {
+                        op: CollectiveOp::AllReduce,
+                        bytes: 64 + next() % 4096,
+                    });
+                    crate::Layer::from_fwd(format!("l{i}"), flops, flops, comm)
+                })
+                .collect();
+            let w = Workload::data_parallel("random-pipe", table, 1);
+            let walk = |schedule| {
+                let p = Program::lower(
+                    &w,
+                    Parallelism::Pipeline {
+                        stages,
+                        microbatches,
+                        schedule,
+                    },
+                    &LoweringOptions {
+                        iterations: 1,
+                        overlap: true,
+                    },
+                );
+                p.validate().unwrap();
+                p.analytic_walk(|k| k.flops() as u64, |_, bytes| bytes as f64 / 32.0)
+                    .total_cycles
+            };
+            let gpipe = walk(PipeSchedule::GPipe);
+            let one_f = walk(PipeSchedule::OneFOneB);
+            assert!(
+                one_f <= gpipe + 1e-6,
+                "draw {draw} (S={stages} M={microbatches} L={layers}): \
+                 1F1B {one_f} > GPipe {gpipe}"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,51 @@ use ace_compute::KernelDesc;
 
 use crate::layer::Layer;
 
+/// The per-stage execution order of a pipeline-parallel schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipeSchedule {
+    /// GPipe: every stage runs all forward microbatches, then all
+    /// backward microbatches (maximal activation memory, simple order).
+    GPipe,
+    /// 1F1B: each stage warms up with `stages - 1 - s` forwards, then
+    /// alternates one-forward-one-backward, then drains the remaining
+    /// backwards — the Megatron/PipeDream steady state.
+    OneFOneB,
+}
+
+impl PipeSchedule {
+    /// Spec-file name of the schedule.
+    pub fn name(self) -> &'static str {
+        match self {
+            PipeSchedule::GPipe => "gpipe",
+            PipeSchedule::OneFOneB => "1f1b",
+        }
+    }
+}
+
+impl fmt::Display for PipeSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PipeSchedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "gpipe" => Ok(PipeSchedule::GPipe),
+            "1f1b" | "onefoneb" => Ok(PipeSchedule::OneFOneB),
+            other => {
+                let hint = ace_toml::did_you_mean(other, &["gpipe", "1f1b"]);
+                Err(format!(
+                    "unknown pipeline schedule '{other}' (expected gpipe or 1f1b){hint}"
+                ))
+            }
+        }
+    }
+}
+
 /// How the model is split across NPUs (Section II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Parallelism {
@@ -19,15 +64,47 @@ pub enum Parallelism {
     /// pass and input gradients in the backward pass, both blocking; no
     /// weight-gradient collectives (weights are sharded).
     Model,
+    /// Pipeline parallelism: contiguous layer groups on consecutive
+    /// fabric positions, microbatched, with stage-boundary point-to-point
+    /// activation/gradient transfers and no weight-gradient collectives.
+    Pipeline {
+        /// Pipeline depth (contiguous layer groups).
+        stages: u32,
+        /// Microbatches per iteration (the mini-batch is split evenly).
+        microbatches: u32,
+        /// Per-stage execution order.
+        schedule: PipeSchedule,
+    },
 }
 
+/// Default pipeline depth for the bare `pipeline@<schedule>` spelling.
+pub const DEFAULT_PIPELINE_STAGES: u32 = 4;
+/// Default microbatch count for the bare `pipeline@<schedule>` spelling.
+pub const DEFAULT_PIPELINE_MICROBATCHES: u32 = 8;
+
 impl Parallelism {
-    /// Spec-file name of the strategy.
-    pub fn name(self) -> &'static str {
+    /// A pipeline strategy with the default depth/microbatch geometry.
+    pub fn pipeline(schedule: PipeSchedule) -> Parallelism {
+        Parallelism::Pipeline {
+            stages: DEFAULT_PIPELINE_STAGES,
+            microbatches: DEFAULT_PIPELINE_MICROBATCHES,
+            schedule,
+        }
+    }
+
+    /// Spec-file name of the strategy. Pipeline strategies spell their
+    /// full geometry (`pipeline@gpipe@4x8`) so the name round-trips
+    /// through [`std::str::FromStr`] and is a stable cache-key token.
+    pub fn name(self) -> String {
         match self {
-            Parallelism::Data => "data",
-            Parallelism::Hybrid => "hybrid",
-            Parallelism::Model => "model",
+            Parallelism::Data => "data".into(),
+            Parallelism::Hybrid => "hybrid".into(),
+            Parallelism::Model => "model".into(),
+            Parallelism::Pipeline {
+                stages,
+                microbatches,
+                schedule,
+            } => format!("pipeline@{}@{stages}x{microbatches}", schedule.name()),
         }
     }
 }
@@ -38,6 +115,15 @@ impl fmt::Display for Parallelism {
             Parallelism::Data => f.write_str("data-parallel"),
             Parallelism::Hybrid => f.write_str("hybrid-parallel"),
             Parallelism::Model => f.write_str("model-parallel"),
+            Parallelism::Pipeline {
+                stages,
+                microbatches,
+                schedule,
+            } => write!(
+                f,
+                "pipeline-parallel ({}, {stages} stages, {microbatches} microbatches)",
+                schedule.name()
+            ),
         }
     }
 }
@@ -47,16 +133,60 @@ impl std::str::FromStr for Parallelism {
 
     /// Parses the spec-file spelling (`data`, `hybrid`, `model`;
     /// `tensor` is accepted as a Megatron-familiar alias of `model`).
+    /// Pipeline strategies spell `pipeline@gpipe` / `pipeline@1f1b`,
+    /// optionally with an explicit geometry suffix
+    /// (`pipeline@1f1b@4x8` = 4 stages × 8 microbatches).
     /// Unknown spellings get a did-you-mean hint.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.trim().to_ascii_lowercase().as_str() {
+        let lower = s.trim().to_ascii_lowercase();
+        if let Some(rest) = lower.strip_prefix("pipeline@") {
+            let (sched, geometry) = match rest.split_once('@') {
+                None => (rest, None),
+                Some((sched, geom)) => (sched, Some(geom)),
+            };
+            let schedule = sched.parse::<PipeSchedule>()?;
+            let (stages, microbatches) = match geometry {
+                None => (DEFAULT_PIPELINE_STAGES, DEFAULT_PIPELINE_MICROBATCHES),
+                Some(geom) => {
+                    let (st, mb) = geom.split_once('x').ok_or_else(|| {
+                        format!(
+                            "bad pipeline geometry '{geom}' (expected \
+                             '<stages>x<microbatches>', e.g. '4x8')"
+                        )
+                    })?;
+                    let stages = st
+                        .parse::<u32>()
+                        .map_err(|_| format!("bad pipeline stage count '{st}'"))?;
+                    let microbatches = mb
+                        .parse::<u32>()
+                        .map_err(|_| format!("bad microbatch count '{mb}'"))?;
+                    (stages, microbatches)
+                }
+            };
+            if stages < 2 {
+                return Err(format!("a pipeline needs at least 2 stages, got {stages}"));
+            }
+            if microbatches == 0 {
+                return Err("a pipeline needs at least 1 microbatch".into());
+            }
+            return Ok(Parallelism::Pipeline {
+                stages,
+                microbatches,
+                schedule,
+            });
+        }
+        match lower.as_str() {
             "data" => Ok(Parallelism::Data),
             "hybrid" => Ok(Parallelism::Hybrid),
             "model" | "tensor" => Ok(Parallelism::Model),
             other => {
-                let hint = ace_toml::did_you_mean(other, &["data", "hybrid", "model"]);
+                let hint = ace_toml::did_you_mean(
+                    other,
+                    &["data", "hybrid", "model", "pipeline@gpipe", "pipeline@1f1b"],
+                );
                 Err(format!(
-                    "unknown parallelism '{other}' (expected data, hybrid, or model){hint}"
+                    "unknown parallelism '{other}' (expected data, hybrid, model, \
+                     pipeline@gpipe, or pipeline@1f1b){hint}"
                 ))
             }
         }
@@ -171,6 +301,16 @@ impl Workload {
                 "workload '{}' has no embedding stage; hybrid parallelism needs one",
                 self.name
             ));
+        }
+        if let Parallelism::Pipeline { stages, .. } = parallelism {
+            if (stages as usize) > self.layers.len() {
+                return Err(format!(
+                    "workload '{}' has {} layers; cannot split into {stages} \
+                     pipeline stages",
+                    self.name,
+                    self.layers.len()
+                ));
+            }
         }
         self.parallelism = parallelism;
         Ok(self)
