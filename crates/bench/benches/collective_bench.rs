@@ -8,7 +8,19 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use ace_collectives::CollectiveOp;
 use ace_net::TorusShape;
-use ace_system::{run_single_collective, EngineKind};
+use ace_system::{CollectiveRunReport, EngineKind, RunSpec};
+
+/// Pristine-fabric run; [`RunSpec::run`] cannot fail here.
+fn run_single_collective(
+    shape: TorusShape,
+    kind: EngineKind,
+    op: CollectiveOp,
+    payload_bytes: u64,
+) -> CollectiveRunReport {
+    RunSpec::new(shape, kind, op, payload_bytes)
+        .run()
+        .expect("pristine run cannot fail")
+}
 
 fn bench_all_reduce(c: &mut Criterion) {
     let shape = TorusShape::new(4, 2, 2).expect("valid shape");

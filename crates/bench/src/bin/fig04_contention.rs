@@ -11,7 +11,7 @@
 use ace_bench::{emit_tsv, header, subheader};
 use ace_collectives::CollectiveOp;
 use ace_net::TorusShape;
-use ace_system::{run_single_collective, EngineKind};
+use ace_system::{EngineKind, RunSpec};
 
 /// A contention scenario: what the concurrently running compute kernel
 /// leaves for the communication task.
@@ -70,7 +70,7 @@ fn main() {
 
     for &mb in &sizes_mb {
         subheader(&format!("{mb} MB all-reduce"));
-        let base = run_single_collective(
+        let base = RunSpec::new(
             shape,
             EngineKind::Baseline {
                 comm_mem_gbps: unloaded.comm_mem_gbps,
@@ -78,14 +78,16 @@ fn main() {
             },
             CollectiveOp::AllReduce,
             mb << 20,
-        );
+        )
+        .run()
+        .expect("pristine run cannot fail");
         println!(
             "{:>28}: {:>9.2} ms  (slowdown 1.00x)",
             unloaded.name,
             base.completion.cycles() as f64 / 1.245e9 * 1e3
         );
         for s in &scenarios {
-            let r = run_single_collective(
+            let r = RunSpec::new(
                 shape,
                 EngineKind::Baseline {
                     comm_mem_gbps: s.comm_mem_gbps,
@@ -93,7 +95,9 @@ fn main() {
                 },
                 CollectiveOp::AllReduce,
                 mb << 20,
-            );
+            )
+            .run()
+            .expect("pristine run cannot fail");
             let slowdown = r.completion.cycles() as f64 / base.completion.cycles() as f64;
             println!(
                 "{:>28}: {:>9.2} ms  (slowdown {slowdown:.2}x)",

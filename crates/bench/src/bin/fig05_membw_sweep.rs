@@ -126,11 +126,14 @@ fn main() {
 /// writes it as Chrome `trace_event` JSON.
 fn write_trace(path: &str) {
     let shape: TopologySpec = TorusShape::new(4, 2, 2).expect("valid shape").into();
-    let (_, tracer) = ace_system::run_single_collective_traced(
+    let (_, tracer) = ace_system::RunSpec::new(
         shape,
         EngineSpec::ace(128.0).to_engine_kind(),
         ace_collectives::CollectiveOp::AllReduce,
         PAYLOAD,
-    );
+    )
+    .traced()
+    .run_traced()
+    .expect("pristine run cannot fail");
     std::fs::write(path, ace_trace::chrome::to_chrome_json(&tracer)).expect("write trace");
 }

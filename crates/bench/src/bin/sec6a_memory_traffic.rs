@@ -5,7 +5,7 @@
 use ace_bench::{emit_tsv, header, subheader};
 use ace_collectives::{traffic, CollectiveOp, CollectivePlan};
 use ace_net::TorusShape;
-use ace_system::{run_single_collective, EngineKind};
+use ace_system::{EngineKind, RunSpec};
 
 fn main() {
     header("Section VI-A: endpoint memory traffic, baseline vs ACE");
@@ -41,7 +41,7 @@ fn main() {
 
     subheader("simulator cross-check (64 MB all-reduce, 4x4x4)");
     let shape = TorusShape::new(4, 4, 4).expect("valid shape");
-    let base = run_single_collective(
+    let base = RunSpec::new(
         shape,
         EngineKind::Baseline {
             comm_mem_gbps: 450.0,
@@ -49,15 +49,19 @@ fn main() {
         },
         CollectiveOp::AllReduce,
         payload,
-    );
-    let ace = run_single_collective(
+    )
+    .run()
+    .expect("pristine run cannot fail");
+    let ace = RunSpec::new(
         shape,
         EngineKind::Ace {
             dma_mem_gbps: 128.0,
         },
         CollectiveOp::AllReduce,
         payload,
-    );
+    )
+    .run()
+    .expect("pristine run cannot fail");
     println!(
         "measured per-node HBM traffic: baseline {:.1} MB, ACE {:.1} MB ({:.2}x less)",
         base.mem_traffic_bytes as f64 / 1e6,

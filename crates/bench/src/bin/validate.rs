@@ -28,6 +28,8 @@ use ace_sweep::{Fidelity, RunPoint, RunnerOptions, Scenario, SweepOutcome, Sweep
 const DESIGN_SPACE_TOML: &str = include_str!("../../../../examples/scenarios/design_space.toml");
 const TRAINING_SUITE_TOML: &str =
     include_str!("../../../../examples/scenarios/training_suite.toml");
+const FAULT_VALIDATION_TOML: &str =
+    include_str!("../../../../examples/scenarios/fault_validation.toml");
 
 struct Args {
     out: String,
@@ -243,6 +245,7 @@ fn run() -> Result<(), String> {
     let reports = vec![
         validate_scenario(DESIGN_SPACE_TOML, opts, args.quiet)?,
         validate_scenario(TRAINING_SUITE_TOML, opts, args.quiet)?,
+        validate_scenario(FAULT_VALIDATION_TOML, opts, args.quiet)?,
     ];
 
     std::fs::write(&args.out, to_json(&reports)).map_err(|e| format!("write {}: {e}", args.out))?;

@@ -34,7 +34,7 @@
 //! larger errors for deeply contended all-to-alls and tiny payloads
 //! (latency-dominated, below the model's chunk granularity).
 
-use ace_net::{LinkClass, LinkParams, NetworkParams, NodeId, Topology, TopologySpec};
+use ace_net::{FaultPlan, LinkClass, LinkParams, NetworkParams, NodeId, Topology, TopologySpec};
 
 use crate::granularity::Granularity;
 use crate::plan::{CollectivePlan, PhaseLink, PhaseSpec};
@@ -139,17 +139,56 @@ pub fn estimate_collective(
     payload_bytes: u64,
     endpoint: &EndpointModel,
 ) -> AnalyticEstimate {
+    estimate_inner(plan, net, payload_bytes, endpoint, None)
+}
+
+/// [`estimate_collective`] on a degraded fabric: each ring/exchange
+/// phase's wire rate is derated by its dimension's resolved
+/// [`FaultPlan`] slowdown (worst surviving-link load over bandwidth —
+/// detour congestion included), and global all-to-all phases by the
+/// fabric-wide worst-link slowdown. This mirrors, in α–β form, what the
+/// exact executor experiences on the same plan, so `hybrid` sweeps stay
+/// honest under faults (the `validate` tier checks the bound).
+pub fn estimate_collective_degraded(
+    plan: &CollectivePlan,
+    net: &NetworkParams,
+    payload_bytes: u64,
+    endpoint: &EndpointModel,
+    faults: &FaultPlan,
+) -> AnalyticEstimate {
+    estimate_inner(plan, net, payload_bytes, endpoint, Some(faults))
+}
+
+fn estimate_inner(
+    plan: &CollectivePlan,
+    net: &NetworkParams,
+    payload_bytes: u64,
+    endpoint: &EndpointModel,
+    faults: Option<&FaultPlan>,
+) -> AnalyticEstimate {
     let spec = plan.spec();
     let topo = spec.build();
     let payload = payload_bytes as f64;
     let gran = Granularity::paper_default();
     let message = gran.message_bytes as f64;
 
-    let loads: Vec<PhaseLoad> = plan
+    let mut loads: Vec<PhaseLoad> = plan
         .phases()
         .iter()
         .map(|p| phase_load(p, topo.as_ref(), net, payload))
         .collect();
+
+    // Degradation: derate each phase's wire rate by the fault plan's
+    // per-dimension (or fabric-global) slowdown before the bottleneck max.
+    if let Some(fp) = faults {
+        for (p, load) in plan.phases().iter().zip(loads.iter_mut()) {
+            let slow = match p.link {
+                PhaseLink::Dim { index, .. } => fp.dim_slowdown(index as usize),
+                PhaseLink::Global { .. } => fp.global_slowdown(),
+            };
+            load.link_bytes_per_cycle /= slow;
+        }
+    }
 
     // --- Per-link serialization ------------------------------------
     // Phases riding the same dimension (the torus all-reduce sandwich
@@ -165,7 +204,8 @@ pub fn estimate_collective(
                 per_dim_bytes[index as usize] += carried / load.link_bytes_per_cycle;
             }
             PhaseLink::Global { .. } => {
-                t_link = t_link.max(global_link_time(topo.as_ref(), net, load.sent_bytes));
+                let slow = faults.map_or(1.0, FaultPlan::global_slowdown);
+                t_link = t_link.max(global_link_time(topo.as_ref(), net, load.sent_bytes) * slow);
             }
         }
     }
@@ -534,6 +574,55 @@ mod tests {
         // fabric carries more than the injected bytes.
         let injected = 63.0 / 64.0 * (16 << 20) as f64;
         assert!(e.network_bytes_per_node > injected * 1.2);
+    }
+
+    #[test]
+    fn degraded_estimate_is_never_faster_than_pristine() {
+        let spec: TopologySpec = "4x4".parse().unwrap();
+        let plan = CollectivePlan::for_spec(CollectiveOp::AllReduce, spec);
+        let topo = spec.build();
+        let ep = ace(4, 16);
+        let base = estimate_collective(&plan, &net(), 64 << 20, &ep);
+        for faults in ["kill:1@seed:3", "kill:2@seed:3", "degrade:50:link:0-1"] {
+            let fp = FaultPlan::resolve(
+                topo.as_ref(),
+                &net(),
+                &faults.parse().unwrap(),
+                &ace_net::ContentionSpec::None,
+            )
+            .unwrap();
+            let degraded = estimate_collective_degraded(&plan, &net(), 64 << 20, &ep, &fp);
+            assert!(
+                degraded.cycles >= base.cycles,
+                "{faults}: degraded {} < pristine {}",
+                degraded.cycles,
+                base.cycles
+            );
+            // Byte loads are a property of the plan, not the fabric.
+            assert_eq!(degraded.network_bytes_per_node, base.network_bytes_per_node);
+        }
+        // A pristine fault plan reproduces the pristine estimate exactly.
+        let fp = FaultPlan::pristine(topo.as_ref(), &net());
+        let same = estimate_collective_degraded(&plan, &net(), 64 << 20, &ep, &fp);
+        assert_eq!(same.cycles, base.cycles);
+    }
+
+    #[test]
+    fn contention_slows_the_analytic_estimate() {
+        let spec: TopologySpec = "4x4".parse().unwrap();
+        let plan = CollectivePlan::for_spec(CollectiveOp::AllReduce, spec);
+        let topo = spec.build();
+        let base = estimate_collective(&plan, &net(), 64 << 20, &EndpointModel::Ideal);
+        let fp = FaultPlan::resolve(
+            topo.as_ref(),
+            &net(),
+            &ace_net::FaultSpec::none(),
+            &"uniform:20".parse().unwrap(),
+        )
+        .unwrap();
+        let slowed =
+            estimate_collective_degraded(&plan, &net(), 64 << 20, &EndpointModel::Ideal, &fp);
+        assert!(slowed.cycles > base.cycles);
     }
 
     #[test]

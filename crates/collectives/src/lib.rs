@@ -43,7 +43,10 @@ mod partition;
 mod plan;
 pub mod traffic;
 
-pub use analytic::{estimate_collective, estimate_on_spec, AnalyticEstimate, EndpointModel};
+pub use analytic::{
+    estimate_collective, estimate_collective_degraded, estimate_on_spec, AnalyticEstimate,
+    EndpointModel,
+};
 pub use granularity::{split_even, Granularity};
 pub use partition::partition_bounds;
 pub use plan::{CollectiveOp, CollectivePlan, PhaseKind, PhaseLink, PhaseSpec};

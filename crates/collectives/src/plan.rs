@@ -39,13 +39,26 @@ impl fmt::Display for CollectiveOp {
     }
 }
 
-impl std::str::FromStr for CollectiveOp {
-    type Err = String;
+impl ace_toml::Spelling for CollectiveOp {
+    const WHAT: &'static str = "op";
 
-    /// Parses a spec-file op name, tolerating hyphens/underscores
-    /// (`all-reduce`, `all_reduce`, `allreduce` all work). Unknown names
-    /// get a did-you-mean hint.
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
+    fn keywords() -> &'static [&'static str] {
+        &[
+            "all-reduce",
+            "reduce-scatter",
+            "all-gather",
+            "all-to-all",
+            "send-recv",
+        ]
+    }
+
+    fn spellings() -> &'static str {
+        "all-reduce, reduce-scatter, all-gather, all-to-all, send-recv"
+    }
+
+    /// Accepts hyphen/underscore/bare spellings (`all-reduce`,
+    /// `all_reduce`, `allreduce` all work).
+    fn parse_spelling(s: &str) -> Result<Self, ace_toml::SpellingError> {
         match s
             .trim()
             .to_ascii_lowercase()
@@ -57,28 +70,19 @@ impl std::str::FromStr for CollectiveOp {
             "allgather" => Ok(CollectiveOp::AllGather),
             "alltoall" => Ok(CollectiveOp::AllToAll),
             "sendrecv" => Ok(CollectiveOp::SendRecv),
-            other => {
-                // `other` is hyphen-stripped, so match against the
-                // normalized spellings and hint with the display name.
-                const OPS: [(&str, &str); 5] = [
-                    ("allreduce", "all-reduce"),
-                    ("reducescatter", "reduce-scatter"),
-                    ("allgather", "all-gather"),
-                    ("alltoall", "all-to-all"),
-                    ("sendrecv", "send-recv"),
-                ];
-                let mut hint =
-                    ace_toml::did_you_mean(other, &OPS.map(|(normalized, _)| normalized));
-                for (normalized, display) in OPS {
-                    hint = hint.replace(&format!("'{normalized}'"), &format!("'{display}'"));
-                }
-                let names: Vec<&str> = OPS.iter().map(|&(_, display)| display).collect();
-                Err(format!(
-                    "unknown op '{other}' (expected {}){hint}",
-                    names.join(", ")
-                ))
-            }
+            _ => Err(ace_toml::SpellingError::Unknown),
         }
+    }
+}
+
+impl std::str::FromStr for CollectiveOp {
+    type Err = String;
+
+    /// Parses a spec-file op name via the shared [`ace_toml::Spelling`]
+    /// trait; unknown names get a did-you-mean hint.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        use ace_toml::Spelling;
+        CollectiveOp::from_spelling(s)
     }
 }
 

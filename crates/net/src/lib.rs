@@ -35,14 +35,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod link;
 mod network;
 mod topo;
 mod topology;
 
+pub use fault::{ContentionSpec, FaultClause, FaultError, FaultPlan, FaultSpec, FaultTarget};
 pub use link::{Link, LinkClass, LinkParams, Port};
 pub use network::{HopOutcome, NetShard, NetTx, Network, NetworkParams};
 pub use topo::{
-    did_you_mean, DimInfo, Hierarchical, Switch, Topology, TopologySpec, Torus, MAX_TORUS_DIMS,
+    did_you_mean, unknown_spelling, DimInfo, Hierarchical, Spelling, SpellingError, Switch,
+    Topology, TopologySpec, Torus, MAX_TORUS_DIMS,
 };
 pub use topology::{Coord, Dim, Hop, NodeId, Route, ShapeError, TorusShape};

@@ -3,6 +3,7 @@
 
 use ace_simcore::{BucketCursor, Frequency, Grant, RateMeter, SimTime, TimeSeries};
 
+use crate::fault::FaultPlan;
 use crate::link::{Link, LinkClass, LinkParams, Port};
 use crate::topo::{Topology, TopologySpec};
 use crate::topology::{NodeId, Route};
@@ -345,6 +346,34 @@ impl Network {
         self.util_series.merge(series);
     }
 
+    /// Applies a resolved [`FaultPlan`]: killed egress links become
+    /// `None` (so any traffic still routed through them panics — a bug,
+    /// since routes are re-planned around kills), and degraded links are
+    /// rebuilt with their surviving bandwidth. Call once, right after
+    /// construction, before any traffic.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for node in 0..self.nodes {
+            for p in 0..self.ports_per_node {
+                let port = Port::from_index(p);
+                let idx = self.link_index(NodeId(node), port);
+                let Some(link) = self.links[idx].as_ref() else {
+                    continue;
+                };
+                if plan.is_killed(NodeId(node), port) {
+                    self.links[idx] = None;
+                    self.active_links -= 1;
+                    continue;
+                }
+                let scale = plan.link_scale(NodeId(node), port);
+                if scale < 1.0 {
+                    let mut params = *link.params();
+                    params.bandwidth_gbps *= scale;
+                    self.links[idx] = Some(Link::new(link.class(), params, self.params.freq));
+                }
+            }
+        }
+    }
+
     /// Mean link utilization over `[0, horizon]`.
     pub fn mean_utilization(&self, horizon: SimTime) -> f64 {
         if horizon.cycles() == 0 {
@@ -541,6 +570,51 @@ mod tests {
         let t = net.send_route(SimTime::ZERO, NodeId(2), &route, 4096);
         assert!(t.cycles() > 0);
         assert_eq!(net.total_bytes(), 4096);
+    }
+
+    #[test]
+    fn fault_plan_kills_and_degrades_links() {
+        use crate::fault::{ContentionSpec, FaultPlan};
+        let spec: TopologySpec = "4x4".parse().unwrap();
+        let topo = spec.build();
+        let plan = FaultPlan::resolve(
+            topo.as_ref(),
+            &NetworkParams::paper_default(),
+            &"kill:link:0-1+degrade:50:link:2-3".parse().unwrap(),
+            &ContentionSpec::None,
+        )
+        .unwrap();
+        let mut net = Network::new(spec, NetworkParams::paper_default());
+        let before = net.active_links();
+        net.apply_fault_plan(&plan);
+        // One cable = two directed links gone.
+        assert_eq!(net.active_links(), before - 2);
+        assert!(net.link(NodeId(0), Port::from_index(0)).is_none());
+        assert!(net.link(NodeId(1), Port::from_index(1)).is_none());
+        // The degraded cable keeps its links at half bandwidth.
+        let l = net.link(NodeId(2), Port::from_index(0)).unwrap();
+        assert!((l.params().bandwidth_gbps - 100.0).abs() < 1e-9);
+        // Untouched links stay pristine.
+        let l = net.link(NodeId(5), Port::from_index(0)).unwrap();
+        assert_eq!(l.params().bandwidth_gbps, 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ")]
+    fn transmit_on_killed_link_panics() {
+        use crate::fault::{ContentionSpec, FaultPlan};
+        let spec: TopologySpec = "4x4".parse().unwrap();
+        let topo = spec.build();
+        let plan = FaultPlan::resolve(
+            topo.as_ref(),
+            &NetworkParams::paper_default(),
+            &"kill:link:0-1".parse().unwrap(),
+            &ContentionSpec::None,
+        )
+        .unwrap();
+        let mut net = Network::new(spec, NetworkParams::paper_default());
+        net.apply_fault_plan(&plan);
+        net.transmit(SimTime::ZERO, NodeId(0), Port::from_index(0), 64);
     }
 
     #[test]

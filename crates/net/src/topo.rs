@@ -251,21 +251,21 @@ impl fmt::Display for TopologySpec {
 /// A `; did you mean '...'?` suffix for near-miss spellings — hoisted to
 /// the shared `ace-toml` spec toolkit (workload and scenario parsers use
 /// it too); re-exported here for the topology/system-config parsers.
-pub use ace_toml::did_you_mean;
+pub use ace_toml::{did_you_mean, unknown_spelling, Spelling, SpellingError};
 
-impl std::str::FromStr for TopologySpec {
-    type Err = String;
+impl Spelling for TopologySpec {
+    const WHAT: &'static str = "topology";
 
-    /// Parses the sweep-scenario spelling. Errors carry the full list of
-    /// valid spellings plus a did-you-mean hint for near-miss keywords.
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
+    fn keywords() -> &'static [&'static str] {
+        &["switch", "hier", "torus"]
+    }
+
+    fn spellings() -> &'static str {
+        TopologySpec::spellings()
+    }
+
+    fn parse_spelling(s: &str) -> Result<Self, SpellingError> {
         let s = s.trim();
-        let fail = |hint: String| {
-            format!(
-                "unknown topology '{s}': expected {}{hint}",
-                TopologySpec::spellings()
-            )
-        };
         if let Some((kw, rest)) = s.split_once(':') {
             let kw_l = kw.trim().to_ascii_lowercase();
             return match kw_l.as_str() {
@@ -274,38 +274,46 @@ impl std::str::FromStr for TopologySpec {
                         Some((n, g)) => (n, Some(g)),
                         None => (rest, None),
                     };
-                    let nodes: usize = n
-                        .trim()
-                        .parse()
-                        .map_err(|_| format!("switch topology '{s}': bad node count '{n}'"))?;
+                    let nodes: usize = n.trim().parse().map_err(|_| {
+                        SpellingError::invalid(format!(
+                            "switch topology '{s}': bad node count '{n}'"
+                        ))
+                    })?;
                     let spec = match gbps {
                         None => TopologySpec::switch(nodes),
                         Some(g) => {
                             let g: u32 = g.trim().parse().map_err(|_| {
-                                format!("switch topology '{s}': bad bandwidth '{g}'")
+                                SpellingError::invalid(format!(
+                                    "switch topology '{s}': bad bandwidth '{g}'"
+                                ))
                             })?;
                             TopologySpec::switch_with_gbps(nodes, g)
                         }
                     };
-                    spec.map_err(|e| format!("switch topology '{s}': {e}"))
+                    spec.map_err(|e| SpellingError::invalid(format!("switch topology '{s}': {e}")))
                 }
                 "hier" | "hierarchical" => {
-                    let (u, o) = rest
-                        .split_once(['x', 'X'])
-                        .ok_or_else(|| format!("hierarchical topology '{s}' must be hier:UxO"))?;
+                    let (u, o) = rest.split_once(['x', 'X']).ok_or_else(|| {
+                        SpellingError::invalid(format!(
+                            "hierarchical topology '{s}' must be hier:UxO"
+                        ))
+                    })?;
                     let parse = |d: &str| {
-                        d.trim()
-                            .parse::<usize>()
-                            .map_err(|_| format!("hierarchical topology '{s}': bad size '{d}'"))
+                        d.trim().parse::<usize>().map_err(|_| {
+                            SpellingError::invalid(format!(
+                                "hierarchical topology '{s}': bad size '{d}'"
+                            ))
+                        })
                     };
-                    TopologySpec::hierarchical(parse(u)?, parse(o)?)
-                        .map_err(|e| format!("hierarchical topology '{s}': {e}"))
+                    TopologySpec::hierarchical(parse(u)?, parse(o)?).map_err(|e| {
+                        SpellingError::invalid(format!("hierarchical topology '{s}': {e}"))
+                    })
                 }
-                "torus" => rest.parse::<TopologySpec>().and_then(|t| match t {
+                "torus" => TopologySpec::parse_spelling(rest).and_then(|t| match t {
                     TopologySpec::Torus { .. } => Ok(t),
-                    _ => Err(fail(String::new())),
+                    _ => Err(SpellingError::Unknown),
                 }),
-                other => Err(fail(did_you_mean(other, &["switch", "hier", "torus"]))),
+                _ => Err(SpellingError::Unknown),
             };
         }
         // No keyword: a bare torus dimension list.
@@ -314,18 +322,22 @@ impl std::str::FromStr for TopologySpec {
         for d in &parts {
             match d.trim().parse::<usize>() {
                 Ok(l) => lens.push(l),
-                Err(_) => {
-                    return Err(fail(did_you_mean(
-                        s.split([':', 'x', 'X', '@'])
-                            .next()
-                            .unwrap_or(s)
-                            .trim_end_matches(|c: char| c.is_ascii_digit()),
-                        &["switch", "hier"],
-                    )))
-                }
+                Err(_) => return Err(SpellingError::Unknown),
             }
         }
-        TopologySpec::torus(&lens).map_err(|e| format!("torus topology '{s}': {e}"))
+        TopologySpec::torus(&lens)
+            .map_err(|e| SpellingError::invalid(format!("torus topology '{s}': {e}")))
+    }
+}
+
+impl std::str::FromStr for TopologySpec {
+    type Err = String;
+
+    /// Parses the sweep-scenario spelling via the shared
+    /// [`Spelling`] trait: errors carry the full list of valid
+    /// spellings plus a did-you-mean hint for near-miss keywords.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TopologySpec::from_spelling(s)
     }
 }
 
@@ -398,6 +410,16 @@ pub trait Topology: Send + Sync + fmt::Debug {
     fn link_peer(&self, node: NodeId, port: Port) -> Option<NodeId> {
         let _ = (node, port);
         None
+    }
+
+    /// Every node reachable through `node`'s egress `port` when the port
+    /// is a fan-out (crossbar) uplink, in ascending id order. Empty for
+    /// point-to-point ports (use [`link_peer`](Topology::link_peer)) and
+    /// dead ports. Fault resolution walks this adjacency to re-route
+    /// around killed links and to prove the surviving fabric connected.
+    fn fanout_peers(&self, node: NodeId, port: Port) -> Vec<NodeId> {
+        let _ = (node, port);
+        Vec::new()
     }
 
     /// The members of the ring through `node` along `dim`, starting at
@@ -701,6 +723,13 @@ impl Topology for Switch {
         }
     }
 
+    fn fanout_peers(&self, node: NodeId, port: Port) -> Vec<NodeId> {
+        if port.index() != 0 {
+            return Vec::new();
+        }
+        (0..self.n).map(NodeId).filter(|&p| p != node).collect()
+    }
+
     fn route(&self, src: NodeId, dst: NodeId) -> Route {
         if src == dst {
             return Vec::new();
@@ -859,6 +888,17 @@ impl Topology for Hierarchical {
             }
             _ => None,
         }
+    }
+
+    fn fanout_peers(&self, node: NodeId, port: Port) -> Vec<NodeId> {
+        if port.index() != 0 || self.su <= 1 {
+            return Vec::new();
+        }
+        let (_, o) = self.domain_local(node);
+        (0..self.su)
+            .map(|u| NodeId(u + self.su * o))
+            .filter(|&p| p != node)
+            .collect()
     }
 
     fn route(&self, src: NodeId, dst: NodeId) -> Route {

@@ -157,21 +157,7 @@ impl ArrivalKind {
         match s {
             "poisson" => Ok(ArrivalKind::Poisson),
             "bursty" => Ok(ArrivalKind::Bursty { burst: 4 }),
-            other => {
-                let hint = if other.starts_with("pois") || other.starts_with("poss") {
-                    "; did you mean 'poisson'?"
-                } else if other.starts_with("burst") {
-                    "; did you mean 'bursty:<n>'?"
-                } else if other.starts_with("trace") || other.starts_with("file") {
-                    "; did you mean 'trace:<path>'?"
-                } else {
-                    ""
-                };
-                Err(format!(
-                    "unknown arrival process '{other}' \
-                     (poisson | bursty:<n> | trace:<path>){hint}"
-                ))
-            }
+            other => Err(ace_net::unknown_spelling::<ArrivalKind>(other)),
         }
     }
 
@@ -312,6 +298,26 @@ impl fmt::Display for ArrivalKind {
             ArrivalKind::Bursty { burst } => write!(f, "bursty:{burst}"),
             ArrivalKind::Trace(t) => write!(f, "trace:{}", t.path),
         }
+    }
+}
+
+impl ace_net::Spelling for ArrivalKind {
+    const WHAT: &'static str = "arrival process";
+
+    fn keywords() -> &'static [&'static str] {
+        &["poisson", "bursty", "trace"]
+    }
+
+    fn spellings() -> &'static str {
+        "poisson | bursty:<n> | trace:<path>"
+    }
+
+    /// [`ArrivalKind::parse`] minus the base-path parameter (trace files
+    /// resolve relative to the working directory). The unknown-keyword
+    /// arm of `parse` already uses [`ace_net::unknown_spelling`], so both
+    /// routes word errors identically.
+    fn parse_spelling(s: &str) -> Result<ArrivalKind, ace_net::SpellingError> {
+        ArrivalKind::parse(s, None).map_err(ace_net::SpellingError::Invalid)
     }
 }
 

@@ -60,6 +60,7 @@ mod spec;
 
 pub use arrival::{ArrivalKind, SplitMix64, TraceRef};
 pub use sim::{
-    first_round_program, simulate, RequestRecord, ServingOptions, ServingOutcome, ServingTier,
+    first_round_program, simulate, simulate_with_conditions, RequestRecord, ServingOptions,
+    ServingOutcome, ServingTier,
 };
 pub use spec::ServingSpec;

@@ -16,7 +16,9 @@ use std::collections::{HashMap, VecDeque};
 use ace_collectives::CollectiveOp;
 use ace_compute::{KernelDesc, NpuParams};
 use ace_net::{NetworkParams, TopologySpec};
-use ace_system::{analytic_program_run, ExecutorOptions, SystemConfig, TrainingSim};
+use ace_system::{
+    analytic_program_run_with_conditions, ExecutorOptions, RunConditions, SystemConfig, TrainingSim,
+};
 use ace_trace::NullTracer;
 use ace_workloads::{Parallelism, PipeSchedule, Program, TaskPhase, Workload};
 
@@ -305,6 +307,31 @@ pub fn simulate(
     spec: &ServingSpec,
     opts: &ServingOptions,
 ) -> Result<ServingOutcome, String> {
+    simulate_with_conditions(
+        config,
+        workload,
+        topology,
+        spec,
+        opts,
+        &RunConditions::default(),
+    )
+}
+
+/// [`simulate`] under explicit [`RunConditions`]: every round program
+/// runs on the degraded fabric (faults resolved once, stragglers applied
+/// per round program), so the outcome's TTFT/e2e percentiles answer
+/// "does this topology hold its latency target with k failed links".
+/// Conditions are part of a run's identity — they are a separate
+/// parameter, not a [`ServingOptions`] knob, because options must never
+/// change results.
+pub fn simulate_with_conditions(
+    config: SystemConfig,
+    workload: &Workload,
+    topology: impl Into<TopologySpec>,
+    spec: &ServingSpec,
+    opts: &ServingOptions,
+    conditions: &RunConditions,
+) -> Result<ServingOutcome, String> {
     spec.validate()?;
     let topology = topology.into();
     let freq = ace_simcore::npu_frequency();
@@ -343,49 +370,55 @@ pub fn simulate(
     }
     let mut memo: HashMap<u64, RoundCost> = HashMap::new();
     let mut simulated = 0u32;
-    let mut run_round = |tokens: u64| -> RoundCost {
-        let cached = memo.entry(tokens).or_insert_with(|| {
-            simulated += 1;
-            let program = model.round_program(spec, tokens);
-            debug_assert!(program.validate().is_ok());
-            match opts.tier {
-                ServingTier::Exact => {
-                    let report = TrainingSim::from_program_with_options(
-                        config,
-                        program,
-                        topology,
-                        NpuParams::paper_default(),
-                        NetworkParams::paper_default(),
-                        ExecutorOptions {
-                            sim_threads: opts.sim_threads.max(1),
-                            ..Default::default()
-                        },
-                        NullTracer,
-                    )
-                    .run();
-                    RoundCost {
-                        cycles: report.total_cycles().max(1),
-                        compute: report.compute_cycles(),
-                        exposed: report.exposed_comm_cycles(),
-                        mem_traffic: report.comm_mem_traffic_bytes(),
-                        network: report.network_bytes(),
-                        past: report.past_schedules(),
-                    }
-                }
-                ServingTier::Analytic => {
-                    let est = analytic_program_run(config, &program, topology);
-                    RoundCost {
-                        cycles: (est.total_cycles.round() as u64).max(1),
-                        compute: est.compute_cycles.round() as u64,
-                        exposed: est.exposed_cycles.round() as u64,
-                        mem_traffic: est.mem_traffic_bytes,
-                        network: est.network_bytes,
-                        past: 0,
-                    }
+    let mut run_round = |tokens: u64| -> Result<RoundCost, String> {
+        if let Some(cached) = memo.get(&tokens) {
+            return Ok(*cached);
+        }
+        simulated += 1;
+        let program = model.round_program(spec, tokens);
+        debug_assert!(program.validate().is_ok());
+        let cost = match opts.tier {
+            ServingTier::Exact => {
+                let report = TrainingSim::from_program_with_conditions(
+                    config,
+                    program,
+                    topology,
+                    NpuParams::paper_default(),
+                    NetworkParams::paper_default(),
+                    ExecutorOptions {
+                        sim_threads: opts.sim_threads.max(1),
+                        ..Default::default()
+                    },
+                    conditions,
+                    NullTracer,
+                )
+                .map_err(|e| e.to_string())?
+                .run();
+                RoundCost {
+                    cycles: report.total_cycles().max(1),
+                    compute: report.compute_cycles(),
+                    exposed: report.exposed_comm_cycles(),
+                    mem_traffic: report.comm_mem_traffic_bytes(),
+                    network: report.network_bytes(),
+                    past: report.past_schedules(),
                 }
             }
-        });
-        *cached
+            ServingTier::Analytic => {
+                let est =
+                    analytic_program_run_with_conditions(config, &program, topology, conditions)
+                        .map_err(|e| e.to_string())?;
+                RoundCost {
+                    cycles: (est.total_cycles.round() as u64).max(1),
+                    compute: est.compute_cycles.round() as u64,
+                    exposed: est.exposed_cycles.round() as u64,
+                    mem_traffic: est.mem_traffic_bytes,
+                    network: est.network_bytes,
+                    past: 0,
+                }
+            }
+        };
+        memo.insert(tokens, cost);
+        Ok(cost)
     };
 
     // 1F1B steady-state injection: a draining round holds stage 0 for
@@ -434,7 +467,7 @@ pub fn simulate(
         }
         debug_assert!(tokens > 0, "rounds always carry at least one token");
 
-        let cost = run_round(tokens);
+        let cost = run_round(tokens)?;
         outcome.compute_cycles += cost.compute;
         outcome.exposed_cycles += cost.exposed;
         outcome.mem_traffic_bytes += cost.mem_traffic;

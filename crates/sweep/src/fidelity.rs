@@ -190,6 +190,7 @@ fn probe_points(dominator: &RunPoint, dominated: &RunPoint) -> Vec<RunPoint> {
     let mut push = |engine: EngineSpec| {
         probes.push(RunPoint {
             topology: dominator.topology,
+            conditions: dominator.conditions.clone(),
             kind: PointKind::Collective {
                 engine,
                 op: *op,
@@ -436,6 +437,7 @@ mod tests {
     fn ace_point(sram: u64, fsms: usize) -> RunPoint {
         RunPoint {
             topology: TopologySpec::torus3(4, 2, 2).unwrap(),
+            conditions: ace_system::RunConditions::default(),
             kind: PointKind::Collective {
                 engine: EngineSpec::Ace {
                     dma_mem_gbps: 128.0,

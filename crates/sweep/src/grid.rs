@@ -15,7 +15,8 @@
 use ace_collectives::CollectiveOp;
 use ace_net::TopologySpec;
 use ace_serve::ServingSpec;
-use ace_system::SystemConfig;
+use ace_system::{RunConditions, SystemConfig};
+use ace_workloads::StragglerSpec;
 
 use crate::scenario::{EngineFamily, EngineSpec, Scenario, SweepMode, WorkloadSel};
 
@@ -26,6 +27,11 @@ use crate::scenario::{EngineFamily, EngineSpec, Scenario, SweepMode, WorkloadSel
 pub struct RunPoint {
     /// The fabric the point simulates.
     pub topology: TopologySpec,
+    /// Fault / contention / straggler conditions applied to the run.
+    /// Part of the point's identity: the same coordinates under
+    /// different conditions are different cells (and different cache
+    /// rows).
+    pub conditions: RunConditions,
     /// Mode-specific coordinates.
     pub kind: PointKind,
 }
@@ -66,7 +72,16 @@ pub enum PointKind {
 
 impl RunPoint {
     /// A short human-readable label: `4x2x2 ace[dma=128,sram=4MB,fsms=16] all-reduce 64MB`.
+    /// Non-pristine conditions are appended in brackets.
     pub fn label(&self) -> String {
+        let mut label = self.base_label();
+        if !self.conditions.is_pristine() {
+            label.push_str(&format!(" [{}]", self.conditions));
+        }
+        label
+    }
+
+    fn base_label(&self) -> String {
         match &self.kind {
             PointKind::Collective {
                 engine,
@@ -99,6 +114,7 @@ impl RunPoint {
 /// from dropped knobs included). The scenario must be
 /// [valid](Scenario::validate).
 pub fn expand(scenario: &Scenario) -> Vec<RunPoint> {
+    let conditions = conditions_product(scenario);
     let mut points = Vec::with_capacity(grid_len(scenario));
     match scenario.mode {
         SweepMode::Collective => {
@@ -111,14 +127,17 @@ pub fn expand(scenario: &Scenario) -> Vec<RunPoint> {
                                     for &sram in &scenario.sram_mb {
                                         for &fsms in &scenario.fsms {
                                             let engine = resolve(family, mem, sms, sram, fsms);
-                                            points.push(RunPoint {
-                                                topology,
-                                                kind: PointKind::Collective {
-                                                    engine,
-                                                    op,
-                                                    payload_bytes,
-                                                },
-                                            });
+                                            for conditions in &conditions {
+                                                points.push(RunPoint {
+                                                    topology,
+                                                    conditions: conditions.clone(),
+                                                    kind: PointKind::Collective {
+                                                        engine,
+                                                        op,
+                                                        payload_bytes,
+                                                    },
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -132,15 +151,18 @@ pub fn expand(scenario: &Scenario) -> Vec<RunPoint> {
             for &topology in &scenario.topologies {
                 for workload in &scenario.workloads {
                     for &config in &scenario.configs {
-                        points.push(RunPoint {
-                            topology,
-                            kind: PointKind::Training {
-                                config,
-                                workload: workload.clone(),
-                                iterations: scenario.iterations,
-                                optimized_embedding: scenario.optimized_embedding,
-                            },
-                        });
+                        for conditions in &conditions {
+                            points.push(RunPoint {
+                                topology,
+                                conditions: conditions.clone(),
+                                kind: PointKind::Training {
+                                    config,
+                                    workload: workload.clone(),
+                                    iterations: scenario.iterations,
+                                    optimized_embedding: scenario.optimized_embedding,
+                                },
+                            });
+                        }
                     }
                 }
             }
@@ -152,18 +174,21 @@ pub fn expand(scenario: &Scenario) -> Vec<RunPoint> {
                         for &rate in &scenario.arrival_rates {
                             for &schedule in &scenario.schedules {
                                 for &microbatches in &scenario.microbatches {
-                                    points.push(RunPoint {
-                                        topology,
-                                        kind: PointKind::Serving {
-                                            config,
-                                            workload: workload.clone(),
-                                            spec: scenario.serving_spec(
-                                                rate,
-                                                schedule,
-                                                microbatches,
-                                            ),
-                                        },
-                                    });
+                                    for conditions in &conditions {
+                                        points.push(RunPoint {
+                                            topology,
+                                            conditions: conditions.clone(),
+                                            kind: PointKind::Serving {
+                                                config,
+                                                workload: workload.clone(),
+                                                spec: scenario.serving_spec(
+                                                    rate,
+                                                    schedule,
+                                                    microbatches,
+                                                ),
+                                            },
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -175,8 +200,36 @@ pub fn expand(scenario: &Scenario) -> Vec<RunPoint> {
     points
 }
 
+/// The fault × contention × straggler product, innermost in the
+/// expansion order. Collective points have no compute tasks, so the
+/// straggler axis is pinned to `det` there — like an engine family
+/// dropping a knob, this produces duplicate cells that the runner's
+/// cache collapses, keeping the grid size the exact axis product.
+pub(crate) fn conditions_product(scenario: &Scenario) -> Vec<RunConditions> {
+    let mut out = Vec::with_capacity(
+        scenario.faults.len() * scenario.contention.len() * scenario.stragglers.len(),
+    );
+    for faults in &scenario.faults {
+        for contention in &scenario.contention {
+            for straggler in &scenario.stragglers {
+                let straggler = match scenario.mode {
+                    SweepMode::Collective => StragglerSpec::default(),
+                    SweepMode::Training | SweepMode::Serving => *straggler,
+                };
+                out.push(RunConditions {
+                    faults: faults.clone(),
+                    contention: *contention,
+                    straggler,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// The size of the raw cartesian grid (including duplicate cells).
 pub fn grid_len(scenario: &Scenario) -> usize {
+    let conditions = scenario.faults.len() * scenario.contention.len() * scenario.stragglers.len();
     match scenario.mode {
         SweepMode::Collective => {
             scenario.topologies.len()
@@ -187,9 +240,13 @@ pub fn grid_len(scenario: &Scenario) -> usize {
                 * scenario.comm_sms.len()
                 * scenario.sram_mb.len()
                 * scenario.fsms.len()
+                * conditions
         }
         SweepMode::Training => {
-            scenario.topologies.len() * scenario.workloads.len() * scenario.configs.len()
+            scenario.topologies.len()
+                * scenario.workloads.len()
+                * scenario.configs.len()
+                * conditions
         }
         SweepMode::Serving => {
             scenario.topologies.len()
@@ -198,6 +255,7 @@ pub fn grid_len(scenario: &Scenario) -> usize {
                 * scenario.arrival_rates.len()
                 * scenario.schedules.len()
                 * scenario.microbatches.len()
+                * conditions
         }
     }
 }
@@ -288,6 +346,39 @@ mod tests {
         // Unique count: per topology 1 ideal + 3 baseline + 3 ace = 7.
         let unique: std::collections::HashSet<_> = points.iter().collect();
         assert_eq!(unique.len(), 14);
+    }
+
+    #[test]
+    fn conditions_expand_innermost_and_collective_pins_straggler() {
+        let mut sc = fig05_like();
+        sc.faults = vec!["none".parse().unwrap(), "kill:1@seed:42".parse().unwrap()];
+        sc.stragglers = vec!["det".parse().unwrap(), "lognormal:0.2".parse().unwrap()];
+        let points = expand(&sc);
+        // 18 base cells x 2 faults x 1 contention x 2 stragglers.
+        assert_eq!(points.len(), 72);
+        assert_eq!(points.len(), grid_len(&sc));
+        // Conditions are innermost; collective mode pins the straggler
+        // axis to det, so adjacent straggler cells are duplicates.
+        assert_eq!(points[0], points[1]);
+        assert_ne!(points[0], points[2]);
+        assert!(points[0].conditions.is_pristine());
+        assert!(points[0].label().ends_with("64MB"), "{}", points[0].label());
+        assert!(
+            points[2].label().contains("kill:1"),
+            "{}",
+            points[2].label()
+        );
+    }
+
+    #[test]
+    fn training_keeps_the_straggler_axis() {
+        let mut sc = Scenario::training("jitter");
+        sc.stragglers = vec!["det".parse().unwrap(), "lognormal:0.2".parse().unwrap()];
+        let points = expand(&sc);
+        // 1 topology x 1 workload x 5 configs x 2 stragglers, all unique.
+        assert_eq!(points.len(), 10);
+        let unique: std::collections::HashSet<_> = points.iter().collect();
+        assert_eq!(unique.len(), 10);
     }
 
     #[test]

@@ -7,21 +7,23 @@
 //! deterministic, so a cached row is exactly what a fresh run would
 //! produce.
 //!
-//! Format (`v4`; the header also pins the simulator version that wrote
+//! Format (`v5`; the header also pins the simulator version that wrote
 //! the file — see [`CACHE_HEADER`]). The leading `fidelity` cell keys the
 //! row to its execution tier, so an α–β estimate can never be served
-//! where an event-driven result is expected. Serving rows fold the whole
-//! [`ace_serve::ServingSpec`] into one `serving` cell (its `;`-joined
-//! cache-key spelling) and carry seven latency cells; the trailing seven
-//! cells are the bottleneck-attribution buckets (cycles); the
-//! attribution total is not stored — it always equals
-//! `completion_cycles`:
+//! where an event-driven result is expected. The `faults` / `contention`
+//! / `straggler` cells carry the run-condition spellings — part of the
+//! point's identity, so a degraded-fabric row can never be served for a
+//! pristine query. Serving rows fold the whole [`ace_serve::ServingSpec`]
+//! into one `serving` cell (its `;`-joined cache-key spelling) and carry
+//! seven latency cells; the trailing seven cells are the
+//! bottleneck-attribution buckets (cycles); the attribution total is not
+//! stored — it always equals `completion_cycles`:
 //!
 //! ```text
-//! # ace-sweep-cache v4 sim-0.1.0
-//! fidelity,kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,op,payload_bytes,config,workload,iterations,optimized_embedding,serving,time_us,completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,exposed_comm_us,past_schedules,ttft_p50_us,ttft_p95_us,ttft_p99_us,e2e_p50_us,e2e_p95_us,e2e_p99_us,goodput_rps,attr_compute,attr_network,attr_hbm,attr_dma,attr_bus,attr_proc,attr_other
-//! exact,collective,4x2x2,ace,128,,4,16,all-reduce,67108864,,,,,,12.3,15314,…
-//! analytic,training,4x2x2,,,,,,,,ACE,resnet50,2,0,,…
+//! # ace-sweep-cache v5 sim-0.1.0
+//! fidelity,kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,op,payload_bytes,config,workload,iterations,optimized_embedding,serving,faults,contention,straggler,time_us,completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,compute_us,exposed_comm_us,past_schedules,ttft_p50_us,ttft_p95_us,ttft_p99_us,e2e_p50_us,e2e_p95_us,e2e_p99_us,goodput_rps,attr_compute,attr_network,attr_hbm,attr_dma,attr_bus,attr_proc,attr_other
+//! exact,collective,4x2x2,ace,128,,4,16,all-reduce,67108864,,,,,,none,none,det,12.3,15314,…
+//! analytic,training,4x2x2,,,,,,,,ACE,resnet50,2,0,,kill:1@seed:42,none,det,…
 //! exact,serving,switch:16,,,,,,,,ACE,transformer,,,arrival=poisson;rate=500;…,…
 //! ```
 //!
@@ -46,7 +48,7 @@ use std::io::{Read, Seek, Write};
 use std::path::{Path, PathBuf};
 
 use ace_net::TopologySpec;
-use ace_system::SystemConfig;
+use ace_system::{RunConditions, SystemConfig};
 
 use crate::fidelity::Tier;
 use crate::grid::{PointKind, RunPoint};
@@ -59,11 +61,12 @@ use crate::scenario::{parse_op, EngineSpec, WorkloadSel};
 /// from a different simulator version is rejected instead of silently
 /// serving stale results. Bump the workspace version whenever a change
 /// alters simulation results.
-pub const CACHE_HEADER: &str = concat!("# ace-sweep-cache v4 sim-", env!("CARGO_PKG_VERSION"));
+pub const CACHE_HEADER: &str = concat!("# ace-sweep-cache v5 sim-", env!("CARGO_PKG_VERSION"));
 
 /// Column names of the cache file (documentation line 2 of the file).
 const COLUMNS: &str = "fidelity,kind,topology,engine,mem_gbps,comm_sms,sram_mb,fsms,\
                        op,payload_bytes,config,workload,iterations,optimized_embedding,serving,\
+                       faults,contention,straggler,\
                        time_us,completion_cycles,gbps_per_npu,mem_traffic_bytes,network_bytes,\
                        compute_us,exposed_comm_us,past_schedules,ttft_p50_us,ttft_p95_us,\
                        ttft_p99_us,e2e_p50_us,e2e_p95_us,e2e_p99_us,goodput_rps,attr_compute,\
@@ -333,7 +336,7 @@ pub struct JournalReplay {
 
 /// The sweep daemon's append-only write-ahead log.
 ///
-/// Rows reuse the v4 cache format; job lifecycle records are `#`-prefixed
+/// Rows reuse the v5 cache format; job lifecycle records are `#`-prefixed
 /// comments, so the whole file doubles as a loadable cache file. Appends
 /// are flushed per record — a SIGKILL between flushes loses at most the
 /// torn final line, which [`Journal::open`] truncates away on restart.
@@ -541,10 +544,13 @@ fn parse_job_record(rec: &str, with_toml: bool) -> Result<PendingJob, String> {
     Ok(PendingJob { name, toml, base })
 }
 
-/// The point-identity cells (first 14 columns).
+/// The point-identity cells (first 17 columns).
 fn point_cells(p: &RunPoint) -> Vec<String> {
-    let mut c = vec![String::new(); 14];
+    let mut c = vec![String::new(); 17];
     c[1] = p.topology.to_string();
+    c[14] = p.conditions.faults.to_string();
+    c[15] = p.conditions.contention.to_string();
+    c[16] = p.conditions.straggler.to_string();
     match &p.kind {
         PointKind::Collective {
             engine,
@@ -626,8 +632,8 @@ fn metric_cells(m: &Metrics) -> Vec<String> {
 
 fn parse_row(line: &str) -> Result<(Tier, RunPoint, Metrics), String> {
     let cells: Vec<&str> = line.split(',').collect();
-    if cells.len() != 37 {
-        return Err(format!("expected 37 cells, found {}", cells.len()));
+    if cells.len() != 40 {
+        return Err(format!("expected 40 cells, found {}", cells.len()));
     }
     let tier = cells[0].parse::<Tier>()?;
     let cells = &cells[1..];
@@ -670,37 +676,50 @@ fn parse_row(line: &str) -> Result<(Tier, RunPoint, Metrics), String> {
         },
         other => return Err(format!("unknown point kind '{other}'")),
     };
-    let completion_cycles = parse_int(cells[15], "completion_cycles")?;
+    let conditions = RunConditions {
+        faults: cells[14].parse().map_err(|e| format!("faults: {e}"))?,
+        contention: cells[15].parse().map_err(|e| format!("contention: {e}"))?,
+        straggler: cells[16].parse().map_err(|e| format!("straggler: {e}"))?,
+    };
+    let completion_cycles = parse_int(cells[18], "completion_cycles")?;
     let metrics = Metrics {
-        time_us: parse_f64(cells[14], "time_us")?,
+        time_us: parse_f64(cells[17], "time_us")?,
         completion_cycles,
-        gbps_per_npu: parse_f64(cells[16], "gbps_per_npu")?,
-        mem_traffic_bytes: parse_int(cells[17], "mem_traffic_bytes")?,
-        network_bytes: parse_int(cells[18], "network_bytes")?,
-        compute_us: parse_f64(cells[19], "compute_us")?,
-        exposed_comm_us: parse_f64(cells[20], "exposed_comm_us")?,
-        past_schedules: parse_int(cells[21], "past_schedules")?,
+        gbps_per_npu: parse_f64(cells[19], "gbps_per_npu")?,
+        mem_traffic_bytes: parse_int(cells[20], "mem_traffic_bytes")?,
+        network_bytes: parse_int(cells[21], "network_bytes")?,
+        compute_us: parse_f64(cells[22], "compute_us")?,
+        exposed_comm_us: parse_f64(cells[23], "exposed_comm_us")?,
+        past_schedules: parse_int(cells[24], "past_schedules")?,
         serving: crate::runner::ServingMetrics {
-            ttft_p50_us: parse_f64(cells[22], "ttft_p50_us")?,
-            ttft_p95_us: parse_f64(cells[23], "ttft_p95_us")?,
-            ttft_p99_us: parse_f64(cells[24], "ttft_p99_us")?,
-            e2e_p50_us: parse_f64(cells[25], "e2e_p50_us")?,
-            e2e_p95_us: parse_f64(cells[26], "e2e_p95_us")?,
-            e2e_p99_us: parse_f64(cells[27], "e2e_p99_us")?,
-            goodput_rps: parse_f64(cells[28], "goodput_rps")?,
+            ttft_p50_us: parse_f64(cells[25], "ttft_p50_us")?,
+            ttft_p95_us: parse_f64(cells[26], "ttft_p95_us")?,
+            ttft_p99_us: parse_f64(cells[27], "ttft_p99_us")?,
+            e2e_p50_us: parse_f64(cells[28], "e2e_p50_us")?,
+            e2e_p95_us: parse_f64(cells[29], "e2e_p95_us")?,
+            e2e_p99_us: parse_f64(cells[30], "e2e_p99_us")?,
+            goodput_rps: parse_f64(cells[31], "goodput_rps")?,
         },
         attribution: ace_trace::Attribution {
             total_cycles: completion_cycles,
-            compute_cycles: parse_int(cells[29], "attr_compute")?,
-            network_cycles: parse_int(cells[30], "attr_network")?,
-            hbm_cycles: parse_int(cells[31], "attr_hbm")?,
-            dma_cycles: parse_int(cells[32], "attr_dma")?,
-            bus_cycles: parse_int(cells[33], "attr_bus")?,
-            proc_cycles: parse_int(cells[34], "attr_proc")?,
-            other_cycles: parse_int(cells[35], "attr_other")?,
+            compute_cycles: parse_int(cells[32], "attr_compute")?,
+            network_cycles: parse_int(cells[33], "attr_network")?,
+            hbm_cycles: parse_int(cells[34], "attr_hbm")?,
+            dma_cycles: parse_int(cells[35], "attr_dma")?,
+            bus_cycles: parse_int(cells[36], "attr_bus")?,
+            proc_cycles: parse_int(cells[37], "attr_proc")?,
+            other_cycles: parse_int(cells[38], "attr_other")?,
         },
     };
-    Ok((tier, RunPoint { topology, kind }, metrics))
+    Ok((
+        tier,
+        RunPoint {
+            topology,
+            conditions,
+            kind,
+        },
+        metrics,
+    ))
 }
 
 fn parse_topology(s: &str) -> Result<TopologySpec, String> {
@@ -942,14 +961,19 @@ mod tests {
         let v3_header = concat!("# ace-sweep-cache v3 sim-", env!("CARGO_PKG_VERSION"));
         let e = cache_from_str(&format!("{v3_header}\n")).unwrap_err();
         assert!(e.contains("v3"), "v3 rejection must name the header: {e}");
-        // A v3-shaped row under a forged v4 header still fails the cell
-        // count — stale narrow rows can never parse as v4.
+        // And v4 (pre-fault-conditions): no faults/contention/straggler
+        // identity cells — a degraded row could alias a pristine one.
+        let v4_header = concat!("# ace-sweep-cache v4 sim-", env!("CARGO_PKG_VERSION"));
+        let e = cache_from_str(&format!("{v4_header}\n")).unwrap_err();
+        assert!(e.contains("v4"), "v4 rejection must name the header: {e}");
+        // A v4-shaped row under a forged v5 header still fails the cell
+        // count — stale narrow rows can never parse as v5.
         let forged = format!(
             "{CACHE_HEADER}\nexact,collective,2x1x1,ideal,,,,,all-reduce,1024,,,,,\
-             1,1,0,0,0,0,0,0,0,1,0,0,0,0,0\n"
+             1,1,0,0,0,0,0,0,0,1,0,0,0,0,0,0,0,0,0,0,0,0\n"
         );
         let e = cache_from_str(&forged).unwrap_err();
-        assert!(e.contains("expected 37 cells"), "{e}");
+        assert!(e.contains("expected 40 cells"), "{e}");
         // A cache written by a different simulator version must not be
         // served: results are only reproducible within one build.
         assert!(cache_from_str("# ace-sweep-cache v1 sim-0.0.0\n").is_err());

@@ -8,10 +8,11 @@
 use crate::grid::{PointKind, RunPoint};
 use crate::runner::{RunResult, SweepOutcome};
 use crate::scenario::EngineSpec;
+use ace_net::NetworkParams;
 
 /// The fixed CSV column set (a superset across the three sweep modes;
 /// inapplicable cells are empty).
-pub const CSV_COLUMNS: [&str; 34] = [
+pub const CSV_COLUMNS: [&str; 39] = [
     "topology",
     "nodes",
     "engine",
@@ -28,6 +29,11 @@ pub const CSV_COLUMNS: [&str; 34] = [
     "arrival_rate",
     "schedule",
     "microbatches",
+    "faults",
+    "contention",
+    "straggler",
+    "failed_links",
+    "degradation_pct",
     "time_us",
     "completion_cycles",
     "gbps_per_npu",
@@ -153,6 +159,21 @@ fn row_cells(r: &RunResult) -> Vec<String> {
             .collect();
         }
     }
+    // `failed_links` / `degradation_pct` come from re-resolving the fault
+    // plan against the row's topology — cheap, and spares RunResult a
+    // field that only reports care about. Pristine rows short-circuit.
+    let (failed_links, degradation_pct) = if r.point.conditions.is_pristine() {
+        (0, 0.0)
+    } else {
+        match r
+            .point
+            .conditions
+            .resolve(r.point.topology, &NetworkParams::paper_default())
+        {
+            Ok(plan) => (plan.failed_links(), plan.degradation_pct()),
+            Err(_) => (0, 0.0),
+        }
+    };
     let m = &r.metrics;
     let mut cells = vec![
         r.point.topology.to_string(),
@@ -171,6 +192,11 @@ fn row_cells(r: &RunResult) -> Vec<String> {
         arrival_rate,
         schedule,
         microbatches,
+        r.point.conditions.faults.to_string(),
+        r.point.conditions.contention.to_string(),
+        r.point.conditions.straggler.to_string(),
+        failed_links.to_string(),
+        format!("{degradation_pct:.3}"),
         format!("{:.3}", m.time_us),
         m.completion_cycles.to_string(),
         format!("{:.3}", m.gbps_per_npu),
@@ -310,6 +336,9 @@ fn json_impl(outcome: &SweepOutcome, attribution: bool) -> String {
                     | "fidelity"
                     | "arrival"
                     | "schedule"
+                    | "faults"
+                    | "contention"
+                    | "straggler"
             );
             if is_string {
                 fields.push(format!("\"{name}\": \"{}\"", json_escape(cell)));
@@ -371,6 +400,9 @@ pub struct AxisSummary {
 /// The (axis, value) coordinates a point contributes to.
 fn axis_values(point: &RunPoint) -> Vec<(&'static str, String)> {
     let mut v = vec![("topology", point.topology.to_string())];
+    v.push(("faults", point.conditions.faults.to_string()));
+    v.push(("contention", point.conditions.contention.to_string()));
+    v.push(("straggler", point.conditions.straggler.to_string()));
     match &point.kind {
         PointKind::Collective {
             engine,
@@ -587,6 +619,42 @@ mod tests {
         let json_a = to_json_with_attribution(&out);
         assert!(json_a.contains("\"attr_network_cycles\":"));
         assert!(!to_json(&out).contains("attr_network_cycles"));
+    }
+
+    #[test]
+    fn fault_columns_report_failed_links_and_degradation() {
+        let mut sc = Scenario::collective("fault-report");
+        sc.topologies = vec![TopologySpec::torus3(4, 4, 1).unwrap()];
+        sc.engines = vec![EngineFamily::Ideal];
+        sc.payload_bytes = vec![128 * 1024];
+        sc.faults = vec!["none".parse().unwrap(), "kill:1@seed:42".parse().unwrap()];
+        let out = run_scenario(
+            &sc,
+            RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let csv = to_csv(&out);
+        let lines: Vec<&str> = csv.lines().collect();
+        let header: Vec<&str> = lines[0].split(',').collect();
+        let fl = header.iter().position(|c| *c == "failed_links").unwrap();
+        let dp = header.iter().position(|c| *c == "degradation_pct").unwrap();
+        let fa = header.iter().position(|c| *c == "faults").unwrap();
+        let pristine: Vec<&str> = lines[1].split(',').collect();
+        let degraded: Vec<&str> = lines[2].split(',').collect();
+        assert_eq!(pristine[fa], "none");
+        assert_eq!(pristine[fl], "0");
+        assert_eq!(pristine[dp], "0.000");
+        assert_eq!(degraded[fa], "kill:1@seed:42");
+        assert_eq!(degraded[fl], "1");
+        assert!(degraded[dp].parse::<f64>().unwrap() > 0.0);
+        // Degraded rows must not be slower to *parse* than run: the JSON
+        // view carries the same identity fields as strings.
+        let json = to_json(&out);
+        assert!(json.contains("\"faults\": \"kill:1@seed:42\""));
+        assert!(json.contains("\"failed_links\": 1"));
     }
 
     #[test]

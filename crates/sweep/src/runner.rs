@@ -19,8 +19,8 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use ace_system::{
-    analytic_collective_run, analytic_training_run, run_single_collective_with_options,
-    ExecutorOptions, SystemBuilder,
+    analytic_collective_run_with_conditions, analytic_training_run_with_conditions,
+    ExecutorOptions, RunSpec, SystemBuilder,
 };
 use ace_trace::Attribution;
 
@@ -419,16 +419,14 @@ pub fn execute_with(point: &RunPoint, sim_threads: usize) -> Metrics {
             op,
             payload_bytes,
         } => {
-            let r = run_single_collective_with_options(
-                point.topology,
-                engine.to_engine_kind(),
-                *op,
-                *payload_bytes,
-                ExecutorOptions {
+            let r = RunSpec::new(point.topology, engine.to_engine_kind(), *op, *payload_bytes)
+                .options(ExecutorOptions {
                     sim_threads,
                     ..Default::default()
-                },
-            );
+                })
+                .conditions(point.conditions.clone())
+                .run()
+                .expect("expanded point conditions are resolvable");
             let freq = ace_simcore::npu_frequency();
             Metrics {
                 time_us: r.completion.cycles() as f64 / freq.hz() * 1e6,
@@ -457,6 +455,7 @@ pub fn execute_with(point: &RunPoint, sim_threads: usize) -> Metrics {
                 .iterations(*iterations)
                 .optimized_embedding(*optimized_embedding)
                 .sim_threads(sim_threads)
+                .conditions(point.conditions.clone())
                 .build()
                 .expect("expanded point is buildable")
                 .run();
@@ -499,12 +498,13 @@ fn execute_serving(
     sim_threads: usize,
 ) -> Metrics {
     let topo = point.topology;
-    let outcome = ace_serve::simulate(
+    let outcome = ace_serve::simulate_with_conditions(
         config,
         &workload.instantiate(topo.nodes()),
         topo,
         spec,
         &ace_serve::ServingOptions { tier, sim_threads },
+        &point.conditions,
     )
     .expect("expanded serving point is simulable");
     let freq = ace_simcore::npu_frequency();
@@ -557,12 +557,14 @@ pub fn execute_analytic(point: &RunPoint) -> Metrics {
             op,
             payload_bytes,
         } => {
-            let r = analytic_collective_run(
+            let r = analytic_collective_run_with_conditions(
                 point.topology,
                 engine.to_engine_kind(),
                 *op,
                 *payload_bytes,
-            );
+                &point.conditions,
+            )
+            .expect("expanded point conditions are resolvable");
             let total_u = r.cycles.round() as u64;
             Metrics {
                 time_us: r.cycles / freq.hz() * 1e6,
@@ -588,13 +590,15 @@ pub fn execute_analytic(point: &RunPoint) -> Metrics {
             optimized_embedding,
         } => {
             let spec = point.topology;
-            let r = analytic_training_run(
+            let r = analytic_training_run_with_conditions(
                 *config,
                 workload.instantiate(spec.nodes()),
                 spec,
                 *iterations,
                 *optimized_embedding,
-            );
+                &point.conditions,
+            )
+            .expect("expanded point conditions are resolvable");
             let to_us = |cycles: f64| cycles / freq.hz() * 1e6;
             let gbps = if r.total_cycles > 0.0 {
                 freq.gbps(r.network_bytes as f64 / spec.nodes() as f64 / r.total_cycles)

@@ -14,10 +14,10 @@ use std::path::Path;
 use std::sync::Arc;
 
 use ace_collectives::CollectiveOp;
-use ace_net::TopologySpec;
+use ace_net::{ContentionSpec, FaultSpec, TopologySpec};
 use ace_serve::{ArrivalKind, ServingSpec};
 use ace_system::{EngineKind, SystemConfig};
-use ace_workloads::{BuiltinWorkload, Parallelism, PipeSchedule, Workload};
+use ace_workloads::{BuiltinWorkload, Parallelism, PipeSchedule, StragglerSpec, Workload};
 
 use crate::fidelity::Fidelity;
 use crate::toml::{self, Value};
@@ -72,18 +72,32 @@ impl EngineFamily {
     }
 }
 
+impl ace_toml::Spelling for EngineFamily {
+    const WHAT: &'static str = "engine";
+
+    fn keywords() -> &'static [&'static str] {
+        &["ideal", "baseline", "ace"]
+    }
+
+    fn spellings() -> &'static str {
+        "ideal, baseline, or ace"
+    }
+
+    fn parse_spelling(s: &str) -> Result<Self, ace_toml::SpellingError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ideal" => Ok(EngineFamily::Ideal),
+            "baseline" => Ok(EngineFamily::Baseline),
+            "ace" => Ok(EngineFamily::Ace),
+            _ => Err(ace_toml::SpellingError::Unknown),
+        }
+    }
+}
+
 impl std::str::FromStr for EngineFamily {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
-            "ideal" => Ok(EngineFamily::Ideal),
-            "baseline" => Ok(EngineFamily::Baseline),
-            "ace" => Ok(EngineFamily::Ace),
-            other => Err(format!(
-                "unknown engine '{other}' (expected ideal, baseline, or ace)"
-            )),
-        }
+        ace_toml::Spelling::from_spelling(s)
     }
 }
 
@@ -542,6 +556,19 @@ pub struct Scenario {
     pub decode_tokens: u32,
     /// Serving mode: continuous-batching token budget per round.
     pub token_budget: u32,
+    /// Fault-injection axis: link/node kill and degradation scenarios
+    /// applied to the fabric (`"none"`, `"kill:2@seed:42"`,
+    /// `"degrade:50:kill:1"`, ...). Defaults to the single pristine
+    /// scenario.
+    pub faults: Vec<FaultSpec>,
+    /// Contention axis: background traffic stealing link bandwidth
+    /// (`"none"`, `"uniform:8"`, `"hotspot:3@16"`). Defaults to none.
+    pub contention: Vec<ContentionSpec>,
+    /// Straggler axis: compute-time jitter distributions applied to
+    /// training/serving programs (`"det"`, `"lognormal:0.2"`,
+    /// `"lognormal:0.2@seed:7"`). Collective mode has no compute tasks,
+    /// so the axis is pinned to `det` there. Defaults to deterministic.
+    pub stragglers: Vec<StragglerSpec>,
     /// Optional reference config for speedup columns and axis summaries.
     pub baseline: Option<BaselineSpec>,
     /// Simulation fidelity: `exact` (event-driven, the default),
@@ -594,6 +621,9 @@ impl Scenario {
             prompt_tokens: 128,
             decode_tokens: 8,
             token_budget: 512,
+            faults: vec![FaultSpec::default()],
+            contention: vec![ContentionSpec::default()],
+            stragglers: vec![StragglerSpec::default()],
             baseline: None,
             fidelity: Fidelity::Exact,
             hybrid_top_pct: 10.0,
@@ -698,7 +728,7 @@ impl Scenario {
 
         // Reject misspelled keys loudly: a typoed axis name silently
         // falling back to its default would run the wrong sweep.
-        const KNOWN_KEYS: [&str; 28] = [
+        const KNOWN_KEYS: [&str; 31] = [
             "name",
             "mode",
             "topologies",
@@ -723,6 +753,9 @@ impl Scenario {
             "prompt_tokens",
             "decode_tokens",
             "token_budget",
+            "faults",
+            "contention",
+            "stragglers",
             "baseline",
             "fidelity",
             "hybrid_top_pct",
@@ -876,6 +909,27 @@ impl Scenario {
         if let Some(v) = serving_u32("token_budget", 1)? {
             sc.token_budget = v;
         }
+        if let Some(v) = doc.get("faults") {
+            sc.faults = parse_list(v, "faults", |s, _| {
+                s.as_str()
+                    .ok_or_else(|| "expected string".to_string())
+                    .and_then(|s| s.parse::<FaultSpec>())
+            })?;
+        }
+        if let Some(v) = doc.get("contention") {
+            sc.contention = parse_list(v, "contention", |s, _| {
+                s.as_str()
+                    .ok_or_else(|| "expected string".to_string())
+                    .and_then(|s| s.parse::<ContentionSpec>())
+            })?;
+        }
+        if let Some(v) = doc.get("stragglers") {
+            sc.stragglers = parse_list(v, "stragglers", |s, _| {
+                s.as_str()
+                    .ok_or_else(|| "expected string".to_string())
+                    .and_then(|s| s.parse::<StragglerSpec>())
+            })?;
+        }
         if let Some(v) = doc.get("seed") {
             sc.seed = v
                 .as_i64()
@@ -918,6 +972,17 @@ impl Scenario {
     pub fn validate(&self) -> Result<(), String> {
         if self.topologies.is_empty() {
             return Err("at least one topology is required".into());
+        }
+        for (axis, empty) in [
+            ("faults", self.faults.is_empty()),
+            ("contention", self.contention.is_empty()),
+            ("stragglers", self.stragglers.is_empty()),
+        ] {
+            if empty {
+                return Err(format!(
+                    "the '{axis}' axis must not be empty (use [\"none\"] / [\"det\"] for pristine)"
+                ));
+            }
         }
         if !self.hybrid_top_pct.is_finite()
             || self.hybrid_top_pct <= 0.0
@@ -1524,6 +1589,41 @@ mod tests {
         let e = Scenario::from_toml_str("mode = \"serving\"\n[baseline]\nengine = \"ideal\"")
             .unwrap_err();
         assert!(e.to_string().contains("config"), "{e}");
+    }
+
+    #[test]
+    fn fault_axes_parse_and_default() {
+        let sc = Scenario::from_toml_str(
+            "topologies = [\"4x2x2\"]\nfaults = [\"none\", \"kill:1@seed:42\"]\n\
+             contention = [\"uniform:8\"]\n",
+        )
+        .unwrap();
+        assert_eq!(sc.faults.len(), 2);
+        assert_eq!(sc.faults[0], FaultSpec::default());
+        assert!(sc.faults[0].is_none());
+        assert_eq!(sc.contention, vec!["uniform:8".parse().unwrap()]);
+        // Unswept axes default to the single pristine entry.
+        assert_eq!(sc.stragglers, vec![StragglerSpec::default()]);
+        // Round-trip: the Display spelling re-parses to the same spec.
+        let spelled = sc.faults[1].to_string();
+        assert_eq!(spelled.parse::<FaultSpec>().unwrap(), sc.faults[1]);
+    }
+
+    #[test]
+    fn bad_fault_axes_are_rejected_with_their_key() {
+        let e = Scenario::from_toml_str("faults = [\"kill\"]").unwrap_err();
+        assert!(e.to_string().contains("faults[0]"), "{e}");
+        let e = Scenario::from_toml_str("stragglers = [\"lognormal\"]").unwrap_err();
+        assert!(e.to_string().contains("stragglers[0]"), "{e}");
+        let e = Scenario::from_toml_str("contention = [\"hotspot\"]").unwrap_err();
+        assert!(e.to_string().contains("contention[0]"), "{e}");
+        // A typoed axis name gets the did-you-mean treatment.
+        let e = Scenario::from_toml_str("fault = [\"none\"]").unwrap_err();
+        assert!(e.to_string().contains("did you mean 'faults'"), "{e}");
+        // Programmatically emptied axes fail validation cleanly.
+        let mut sc = Scenario::collective("bad");
+        sc.faults = Vec::new();
+        assert!(sc.validate().is_err());
     }
 
     #[test]

@@ -812,6 +812,7 @@ fn baseline_point_for(scenario: &Scenario, point: &RunPoint) -> RunPoint {
             },
         ) => RunPoint {
             topology: point.topology,
+            conditions: point.conditions.clone(),
             kind: crate::grid::PointKind::Collective {
                 engine: spec,
                 op: *op,
@@ -828,6 +829,7 @@ fn baseline_point_for(scenario: &Scenario, point: &RunPoint) -> RunPoint {
             },
         ) => RunPoint {
             topology: point.topology,
+            conditions: point.conditions.clone(),
             kind: crate::grid::PointKind::Training {
                 config: cfg,
                 workload: workload.clone(),
@@ -846,19 +848,25 @@ fn baseline_points(scenario: &Scenario) -> Vec<RunPoint> {
         return Vec::new();
     };
     let mut out = Vec::new();
+    // Speedups compare engines/configs under identical run conditions, so
+    // every conditions cell needs its own baseline point.
+    let conditions = crate::grid::conditions_product(scenario);
     match (baseline, scenario.mode) {
         (BaselineSpec::Engine(spec), SweepMode::Collective) => {
             for &topology in &scenario.topologies {
                 for &op in &scenario.ops {
                     for &payload_bytes in &scenario.payload_bytes {
-                        out.push(RunPoint {
-                            topology,
-                            kind: crate::grid::PointKind::Collective {
-                                engine: spec,
-                                op,
-                                payload_bytes,
-                            },
-                        });
+                        for conditions in &conditions {
+                            out.push(RunPoint {
+                                topology,
+                                conditions: conditions.clone(),
+                                kind: crate::grid::PointKind::Collective {
+                                    engine: spec,
+                                    op,
+                                    payload_bytes,
+                                },
+                            });
+                        }
                     }
                 }
             }
@@ -866,15 +874,18 @@ fn baseline_points(scenario: &Scenario) -> Vec<RunPoint> {
         (BaselineSpec::Config(cfg), SweepMode::Training) => {
             for &topology in &scenario.topologies {
                 for workload in &scenario.workloads {
-                    out.push(RunPoint {
-                        topology,
-                        kind: crate::grid::PointKind::Training {
-                            config: cfg,
-                            workload: workload.clone(),
-                            iterations: scenario.iterations,
-                            optimized_embedding: scenario.optimized_embedding,
-                        },
-                    });
+                    for conditions in &conditions {
+                        out.push(RunPoint {
+                            topology,
+                            conditions: conditions.clone(),
+                            kind: crate::grid::PointKind::Training {
+                                config: cfg,
+                                workload: workload.clone(),
+                                iterations: scenario.iterations,
+                                optimized_embedding: scenario.optimized_embedding,
+                            },
+                        });
+                    }
                 }
             }
         }

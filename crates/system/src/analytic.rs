@@ -14,16 +14,19 @@
 //! over the Fig. 9a grid and the training suite and checks the error
 //! table into `BENCH_analytic.json`.
 
-use ace_collectives::analytic::{estimate_collective, AnalyticEstimate, EndpointModel};
+use ace_collectives::analytic::{
+    estimate_collective, estimate_collective_degraded, AnalyticEstimate, EndpointModel,
+};
 use ace_collectives::{CollectiveOp, CollectivePlan};
 use ace_compute::{NpuParams, SmDriveModel};
 use ace_engine::AceConfig;
 use ace_mem::{BusParams, MemoryParams};
-use ace_net::{NetworkParams, TopologySpec};
+use ace_net::{FaultPlan, NetworkParams, TopologySpec};
 use ace_workloads::{AnalyticWalk, LoweringOptions, Program, Workload};
 
 use crate::collective_run::EngineKind;
 use crate::config::SystemConfig;
+use crate::run::{RunConditions, RunError};
 
 /// Derives the α–β endpoint constants for a collective-mode engine.
 ///
@@ -124,6 +127,33 @@ pub fn analytic_collective_run(
     report_from_estimate(&est, spec, &net)
 }
 
+/// [`analytic_collective_run`] under explicit [`RunConditions`]: each
+/// phase's wire rate is derated by the resolved [`FaultPlan`]'s slowdown
+/// (worst surviving-link load, detour congestion included). Stragglers
+/// do not apply — a standalone collective has no compute tasks.
+pub fn analytic_collective_run_with_conditions(
+    topology: impl Into<TopologySpec>,
+    engine: EngineKind,
+    op: CollectiveOp,
+    payload_bytes: u64,
+    conditions: &RunConditions,
+) -> Result<AnalyticCollectiveReport, RunError> {
+    let spec = topology.into();
+    if conditions.is_pristine() {
+        return Ok(analytic_collective_run(spec, engine, op, payload_bytes));
+    }
+    let net = NetworkParams::paper_default();
+    let fault = conditions.resolve(spec, &net)?;
+    let plan = CollectivePlan::for_spec(op, spec);
+    let model = endpoint_model(engine);
+    let est = if fault.is_pristine() {
+        estimate_collective(&plan, &net, payload_bytes, &model)
+    } else {
+        estimate_collective_degraded(&plan, &net, payload_bytes, &model, &fault)
+    };
+    Ok(report_from_estimate(&est, spec, &net))
+}
+
 fn report_from_estimate(
     est: &AnalyticEstimate,
     spec: TopologySpec,
@@ -179,6 +209,33 @@ pub fn analytic_training_run(
     analytic_program_run(config, &program, spec)
 }
 
+/// [`analytic_training_run`] under explicit [`RunConditions`]: the same
+/// lowering, then the conditions-aware program walk.
+///
+/// # Errors
+///
+/// [`RunError::Fault`] when the fault scenario cannot be applied to the
+/// topology (disconnection, no such link, ...).
+pub fn analytic_training_run_with_conditions(
+    config: SystemConfig,
+    workload: Workload,
+    topology: impl Into<TopologySpec>,
+    iterations: u32,
+    optimized_embedding: bool,
+    conditions: &RunConditions,
+) -> Result<AnalyticTrainingReport, RunError> {
+    let spec = topology.into();
+    let opts = LoweringOptions {
+        iterations,
+        overlap: config.overlaps(),
+    };
+    let mut program = Program::lower(&workload, workload.parallelism(), &opts);
+    if optimized_embedding {
+        program.optimize_embedding();
+    }
+    analytic_program_run_with_conditions(config, &program, spec, conditions)
+}
+
 /// Analytic estimate of an already-lowered program (the critical-path
 /// scheduler behind [`analytic_training_run`]).
 pub fn analytic_program_run(
@@ -186,7 +243,43 @@ pub fn analytic_program_run(
     program: &Program,
     topology: impl Into<TopologySpec>,
 ) -> AnalyticTrainingReport {
+    analytic_program_walk(config, program, topology.into(), None)
+}
+
+/// [`analytic_program_run`] under explicit [`RunConditions`]: collective
+/// durations are derated by the resolved [`FaultPlan`] and the straggler
+/// distribution stretches the program's compute kernels exactly as the
+/// exact tier does, so `validate` can compare the tiers point-for-point
+/// on degraded fabrics.
+pub fn analytic_program_run_with_conditions(
+    config: SystemConfig,
+    program: &Program,
+    topology: impl Into<TopologySpec>,
+    conditions: &RunConditions,
+) -> Result<AnalyticTrainingReport, RunError> {
     let spec = topology.into();
+    if conditions.is_pristine() {
+        return Ok(analytic_program_walk(config, program, spec, None));
+    }
+    let net = NetworkParams::paper_default();
+    let fault = conditions.resolve(spec, &net)?;
+    let mut program = program.clone();
+    program.apply_stragglers(&conditions.straggler);
+    let fault = (!fault.is_pristine()).then_some(fault);
+    Ok(analytic_program_walk(
+        config,
+        &program,
+        spec,
+        fault.as_ref(),
+    ))
+}
+
+fn analytic_program_walk(
+    config: SystemConfig,
+    program: &Program,
+    spec: TopologySpec,
+    fault: Option<&FaultPlan>,
+) -> AnalyticTrainingReport {
     let net = NetworkParams::paper_default();
     let npu = NpuParams::paper_default();
     let model = config_endpoint_model(config);
@@ -211,7 +304,10 @@ pub fn analytic_program_run(
         |op, bytes| {
             let est = *memo.entry((op, bytes)).or_insert_with(|| {
                 let plan = CollectivePlan::for_spec(op, spec);
-                estimate_collective(&plan, &net, bytes, &model)
+                match fault {
+                    Some(fp) => estimate_collective_degraded(&plan, &net, bytes, &model, fp),
+                    None => estimate_collective(&plan, &net, bytes, &model),
+                }
             });
             mem_traffic += est.mem_traffic_bytes_per_node;
             network += est.network_bytes_per_node * spec.nodes() as f64;
@@ -230,7 +326,7 @@ pub fn analytic_program_run(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run_single_collective;
+    use crate::RunSpec;
     use ace_net::TorusShape;
 
     const MB64: u64 = 64 << 20;
@@ -290,8 +386,10 @@ mod tests {
                 sram_mb: sram,
                 fsms,
             };
-            let exact =
-                run_single_collective(shape, engine, CollectiveOp::AllReduce, MB64).completion;
+            let exact = RunSpec::new(shape, engine, CollectiveOp::AllReduce, MB64)
+                .run()
+                .expect("pristine run cannot fail")
+                .completion;
             let analytic =
                 analytic_collective_run(shape, engine, CollectiveOp::AllReduce, MB64).cycles;
             let err = (analytic - exact.cycles() as f64).abs() / exact.cycles() as f64;

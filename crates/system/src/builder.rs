@@ -7,6 +7,7 @@ use ace_net::{NetworkParams, TopologySpec, TorusShape};
 use ace_workloads::{LoweringOptions, Parallelism, Program, Workload, WorkloadSpec};
 
 use crate::config::SystemConfig;
+use crate::run::RunConditions;
 use crate::training::TrainingSim;
 
 /// Errors from [`SystemBuilder::build`].
@@ -20,6 +21,10 @@ pub enum BuildError {
     InvalidWorkload(String),
     /// A user-supplied program failed [`Program::validate`].
     InvalidProgram(String),
+    /// The [`RunConditions`] could not be realized on the topology —
+    /// e.g. the fault spec disconnects the fabric or contention
+    /// saturates a link.
+    InvalidConditions(String),
 }
 
 impl fmt::Display for BuildError {
@@ -29,6 +34,7 @@ impl fmt::Display for BuildError {
             BuildError::InvalidShape(s) => write!(f, "invalid torus shape: {s}"),
             BuildError::InvalidWorkload(s) => write!(f, "invalid workload: {s}"),
             BuildError::InvalidProgram(s) => write!(f, "invalid program: {s}"),
+            BuildError::InvalidConditions(s) => write!(f, "invalid run conditions: {s}"),
         }
     }
 }
@@ -109,6 +115,7 @@ pub struct SystemBuilder {
     npu_params: Option<NpuParams>,
     net_params: Option<NetworkParams>,
     sim_threads: usize,
+    conditions: RunConditions,
 }
 
 impl Default for SystemBuilder {
@@ -135,6 +142,7 @@ impl SystemBuilder {
             npu_params: None,
             net_params: None,
             sim_threads: 1,
+            conditions: RunConditions::default(),
         }
     }
 
@@ -221,6 +229,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Sets the fault/contention/straggler [`RunConditions`] the
+    /// simulation runs under (default: pristine). A spec that cannot be
+    /// realized on the topology — e.g. a fault that disconnects the
+    /// fabric — is a [`BuildError::InvalidConditions`], never a hang.
+    pub fn conditions(mut self, conditions: RunConditions) -> SystemBuilder {
+        self.conditions = conditions;
+        self
+    }
+
     /// Sets the number of simulated iterations (default 2, as in the
     /// paper).
     pub fn iterations(mut self, iterations: u32) -> SystemBuilder {
@@ -280,15 +297,17 @@ impl SystemBuilder {
             None => return Err(BuildError::MissingWorkload),
             Some(WorkSource::Program(program)) => {
                 program.validate().map_err(BuildError::InvalidProgram)?;
-                return Ok(TrainingSim::from_program_with_options(
+                return TrainingSim::from_program_with_conditions(
                     self.config,
                     program,
                     spec,
                     npu,
                     net,
                     exec_options,
+                    &self.conditions,
                     tracer,
-                ));
+                )
+                .map_err(|e| BuildError::InvalidConditions(e.to_string()));
             }
             Some(WorkSource::Workload(w)) => w,
             Some(WorkSource::Spec(s)) => {
@@ -314,15 +333,17 @@ impl SystemBuilder {
         if self.optimized_embedding && workload.embedding().is_some() {
             program.optimize_embedding();
         }
-        Ok(TrainingSim::from_program_with_options(
+        TrainingSim::from_program_with_conditions(
             self.config,
             program,
             spec,
             npu,
             net,
             exec_options,
+            &self.conditions,
             tracer,
-        ))
+        )
+        .map_err(|e| BuildError::InvalidConditions(e.to_string()))
     }
 }
 

@@ -104,27 +104,35 @@ impl fmt::Display for SystemConfig {
     }
 }
 
+impl ace_net::Spelling for SystemConfig {
+    const WHAT: &'static str = "system config";
+
+    fn keywords() -> &'static [&'static str] {
+        &["NoOverlap", "CommOpt", "CompOpt", "ACE", "Ideal"]
+    }
+
+    fn spellings() -> &'static str {
+        "one of NoOverlap, CommOpt, CompOpt, ACE, Ideal (case-insensitive)"
+    }
+
+    fn parse_spelling(s: &str) -> Result<Self, ace_net::SpellingError> {
+        let lower = s.trim().to_ascii_lowercase();
+        SystemConfig::ALL
+            .into_iter()
+            .find(|c| c.short_name().to_ascii_lowercase() == lower)
+            .ok_or(ace_net::SpellingError::Unknown)
+    }
+}
+
 impl std::str::FromStr for SystemConfig {
     type Err = String;
 
     /// Parses a configuration from its [`short_name`](SystemConfig::short_name)
-    /// (case-insensitive), as used by sweep scenario files. Unknown names
-    /// list every valid spelling and suggest the closest one, so a typo
-    /// in a TOML scenario surfaces as an actionable message instead of an
-    /// opaque failure.
+    /// (case-insensitive), as used by sweep scenario files. Error wording
+    /// (the valid-spelling list and the did-you-mean hint) comes from the
+    /// shared [`ace_net::Spelling`] formatter.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let lower = s.to_ascii_lowercase();
-        SystemConfig::ALL
-            .into_iter()
-            .find(|c| c.short_name().to_ascii_lowercase() == lower)
-            .ok_or_else(|| {
-                let names: Vec<&str> = SystemConfig::ALL.iter().map(|c| c.short_name()).collect();
-                let hint = ace_net::did_you_mean(s, &names);
-                format!(
-                    "unknown system config '{s}' (expected one of {}){hint}",
-                    names.join(", ")
-                )
-            })
+        ace_net::Spelling::from_spelling(s)
     }
 }
 

@@ -39,7 +39,8 @@ use ace_collectives::{
 };
 use ace_endpoint::CollectiveEngine;
 use ace_net::{
-    LinkClass, NetShard, NetTx, Network, NetworkParams, NodeId, Port, Route, Topology, TopologySpec,
+    FaultPlan, Hop, LinkClass, NetShard, NetTx, Network, NetworkParams, NodeId, Port, Route,
+    Topology, TopologySpec,
 };
 use ace_simcore::{EventQueue, Grant, SimTime};
 use ace_trace::{NullTracer, PipeBusy, Tracer, Track};
@@ -160,6 +161,28 @@ enum Ev {
         flow: u32,
         hop: u16,
     },
+    /// A detoured ring message is ready to transmit hop `hop` of its
+    /// fault-plan route. `node` is the detour origin (the sender whose
+    /// direct ring link is killed); the route itself lives in the fault
+    /// plan keyed by `(dim, direction, node)`.
+    DetourSend {
+        coll: u32,
+        chunk: u32,
+        node: u32,
+        phase: u16,
+        step: u16,
+        hop: u16,
+    },
+    /// A detoured ring message landed at the start of hop `hop`:
+    /// store-and-forward at the intermediate endpoint, then send on.
+    DetourHop {
+        coll: u32,
+        chunk: u32,
+        node: u32,
+        phase: u16,
+        step: u16,
+        hop: u16,
+    },
 }
 
 /// Content-derived tie-break key for an event: 64 bits packing the event's
@@ -247,6 +270,40 @@ fn content_key(ev: &Ev) -> u64 {
             flow,
             hop,
         } => a2a(7, coll, chunk, flow, hop),
+        // Detour events fold the hop into the step bits (step in the low
+        // 9, hop in the next 4). Detours only exist on faulted fabrics,
+        // which always run serially, so the softened tie-breaking from
+        // masking is harmless — the key stays a pure function of content.
+        Ev::DetourSend {
+            coll,
+            chunk,
+            node,
+            phase,
+            step,
+            hop,
+        } => ring(
+            8,
+            coll,
+            chunk,
+            node,
+            phase,
+            (step & 0x1ff) | ((hop & 0xf) << 9),
+        ),
+        Ev::DetourHop {
+            coll,
+            chunk,
+            node,
+            phase,
+            step,
+            hop,
+        } => ring(
+            9,
+            coll,
+            chunk,
+            node,
+            phase,
+            (step & 0x1ff) | ((hop & 0xf) << 9),
+        ),
     }
 }
 
@@ -277,6 +334,7 @@ impl<S: EvSink + ?Sized> EvSink for &mut S {
 trait ChunkRows {
     fn node_phase(&self, slot: usize, node: usize) -> u16;
     fn set_node_phase(&mut self, slot: usize, node: usize, v: u16);
+    fn arr(&self, slot: usize, node: usize) -> u16;
     fn incr_arr(&mut self, slot: usize, node: usize);
     fn reset_arr(&mut self, slot: usize, node: usize);
     fn pending_push(&mut self, slot: usize, node: usize, item: (u16, u16, SimTime));
@@ -298,6 +356,10 @@ impl ChunkRows for [ChunkState] {
 
     fn set_node_phase(&mut self, slot: usize, node: usize, v: u16) {
         self[slot].node_phase[node] = v;
+    }
+
+    fn arr(&self, slot: usize, node: usize) -> u16 {
+        self[slot].arr_count[node]
     }
 
     fn incr_arr(&mut self, slot: usize, node: usize) {
@@ -330,6 +392,10 @@ impl<R: ChunkRows + ?Sized> ChunkRows for &mut R {
 
     fn set_node_phase(&mut self, slot: usize, node: usize, v: u16) {
         (**self).set_node_phase(slot, node, v);
+    }
+
+    fn arr(&self, slot: usize, node: usize) -> u16 {
+        (**self).arr(slot, node)
     }
 
     fn incr_arr(&mut self, slot: usize, node: usize) {
@@ -392,6 +458,10 @@ impl ChunkRows for SlotRows {
 
     fn set_node_phase(&mut self, slot: usize, node: usize, v: u16) {
         self.node_phase[slot][node - self.base] = v;
+    }
+
+    fn arr(&self, slot: usize, node: usize) -> u16 {
+        self.arr_count[slot][node - self.base]
     }
 
     fn incr_arr(&mut self, slot: usize, node: usize) {
@@ -570,6 +640,11 @@ struct ExecCtx<'a, E, S, N, R, TT> {
     colls: &'a [Coll],
     dim_nbrs: &'a [NodeId],
     a2a_routes: &'a [Route],
+    /// The degradation plan, when the fabric is faulted: ring sends whose
+    /// direct link is killed consult its detour routes. `None` on
+    /// pristine fabrics and always `None` in parallel stints (faulted
+    /// runs are pinned to the serial loop).
+    fault: Option<&'a FaultPlan>,
     engines: &'a mut [E],
     admit_wait: &'a mut [Vec<VecDeque<(u64, Waiter)>>],
     /// Global node id of `engines[0]` / `admit_wait[0]` (0 serially).
@@ -701,6 +776,42 @@ where
                     coll as usize,
                     chunk as usize,
                     flow as usize,
+                    hop as usize,
+                );
+            }
+            Ev::DetourSend {
+                coll,
+                chunk,
+                node,
+                phase,
+                step,
+                hop,
+            } => {
+                self.detour_send(
+                    now,
+                    coll as usize,
+                    chunk as usize,
+                    node as usize,
+                    phase,
+                    step,
+                    hop as usize,
+                );
+            }
+            Ev::DetourHop {
+                coll,
+                chunk,
+                node,
+                phase,
+                step,
+                hop,
+            } => {
+                self.detour_hop(
+                    now,
+                    coll as usize,
+                    chunk as usize,
+                    node as usize,
+                    phase,
+                    step,
                     hop as usize,
                 );
             }
@@ -915,6 +1026,18 @@ where
             (hot.port_idx_minus as usize, 1)
         };
         let dst = self.dim_nbrs[(hot.dim as usize * 2 + dir) * self.nodes + node];
+        // On a faulted fabric the direct ring link may be killed: the
+        // fault plan then carries a BFS detour route to the same ring
+        // neighbor, and the message travels it hop by hop instead.
+        if let Some(fp) = self.fault {
+            if fp
+                .ring_detour(hot.dim as usize, plus, NodeId(node))
+                .is_some()
+            {
+                self.detour_send(now, cid, chunk, node, phase, step, 0);
+                return;
+            }
+        }
         let out = self
             .net
             .transmit(now, NodeId(node), Port::from_index(port_idx), bytes);
@@ -928,6 +1051,107 @@ where
                 node: dst.index() as u32,
                 phase,
                 step,
+            },
+        );
+    }
+
+    /// The fault-plan detour route for a ring send from `node` (the hop
+    /// at `hop` plus whether it is the last), looked up by the sending
+    /// chunk's ring direction.
+    fn detour_hop_at(
+        &self,
+        cid: usize,
+        chunk: usize,
+        node: usize,
+        phase: u16,
+        hop: usize,
+    ) -> (Hop, bool) {
+        let hot = self.colls[cid].phase_hot[phase as usize];
+        let plus = !self.options.bidirectional_rings || chunk.is_multiple_of(2);
+        let route = self
+            .fault
+            .expect("detour events only exist on faulted fabrics")
+            .ring_detour(hot.dim as usize, plus, NodeId(node))
+            .expect("detour event for an intact ring link");
+        (route[hop], hop + 1 == route.len())
+    }
+
+    /// Transmits hop `hop` of a detoured ring message. The final hop
+    /// lands as an ordinary `RingArrive` at the ring neighbor, so the
+    /// receiving state machine cannot tell a detour from a direct send.
+    #[allow(clippy::too_many_arguments)]
+    fn detour_send(
+        &mut self,
+        now: SimTime,
+        cid: usize,
+        chunk: usize,
+        node: usize,
+        phase: u16,
+        step: u16,
+        hop: usize,
+    ) {
+        let bytes = shard_bytes_of(&self.colls[cid], chunk, phase);
+        let (h, last) = self.detour_hop_at(cid, chunk, node, phase, hop);
+        let out = self.net.transmit(now, h.from, h.port, bytes);
+        self.trace_link(h.from.index(), h.port.index(), out.grant);
+        if last {
+            self.sink.emit(
+                out.arrival,
+                h.to.index(),
+                Ev::RingArrive {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    node: h.to.index() as u32,
+                    phase,
+                    step,
+                },
+            );
+        } else {
+            self.sink.emit(
+                out.arrival,
+                h.to.index(),
+                Ev::DetourHop {
+                    coll: cid as u32,
+                    chunk: chunk as u32,
+                    node: node as u32,
+                    phase,
+                    step,
+                    hop: hop as u16 + 1,
+                },
+            );
+        }
+    }
+
+    /// A detoured ring message landed at an intermediate endpoint:
+    /// charge the store-and-forward cost there, then transmit the next
+    /// hop.
+    #[allow(clippy::too_many_arguments)]
+    fn detour_hop(
+        &mut self,
+        now: SimTime,
+        cid: usize,
+        chunk: usize,
+        node: usize,
+        phase: u16,
+        step: u16,
+        hop: usize,
+    ) {
+        let bytes = shard_bytes_of(&self.colls[cid], chunk, phase);
+        let (h, _) = self.detour_hop_at(cid, chunk, node, phase, hop);
+        let at = h.from.index();
+        let ready = self
+            .engine(at)
+            .store_and_forward(now, bytes, phase as usize);
+        self.sink.emit(
+            ready.max(now),
+            at,
+            Ev::DetourSend {
+                coll: cid as u32,
+                chunk: chunk as u32,
+                node: node as u32,
+                phase,
+                step,
+                hop: hop as u16,
             },
         );
     }
@@ -949,6 +1173,18 @@ where
             return;
         }
         debug_assert_eq!(np, phase, "arrival for a past phase");
+        // Steps of one phase normally land in order (sends are chained
+        // and links are FIFO), but a fault-plan detour's intermediate
+        // store-and-forward can grant a later step an earlier finish on
+        // a multi-lane engine. Hold a future step until its
+        // predecessors have been consumed; the trailing replay below
+        // drains it as soon as the gap closes.
+        let expected = self.rows.arr(slot, node);
+        if step > expected {
+            self.rows.pending_push(slot, node, (phase, step, now));
+            return;
+        }
+        debug_assert_eq!(step, expected, "duplicate ring arrival");
         self.rows.incr_arr(slot, node);
         let hot = self.colls[cid].phase_hot[phase as usize];
         let k = hot.ring_k;
@@ -1000,6 +1236,9 @@ where
                 },
             );
         }
+        // A reordered successor step may be waiting on the one just
+        // consumed (no-op on the pristine fast path: pending is empty).
+        self.replay_pending(now, cid, chunk, node, phase);
     }
 
     fn phase_done(&mut self, now: SimTime, cid: usize, chunk: usize, node: usize, phase: u16) {
@@ -1144,6 +1383,9 @@ fn ev_owner(a2a_routes: &[Route], ev: &Ev) -> usize {
             } else {
                 route.last().expect("route nonempty").to.index()
             }
+        }
+        Ev::DetourSend { .. } | Ev::DetourHop { .. } => {
+            unreachable!("detour events only exist on faulted (serial-only) runs")
         }
         Ev::TryInject => unreachable!("TryInject cannot be pending during a parallel stint"),
     }
@@ -1387,6 +1629,8 @@ fn process_window<E: CollectiveEngine>(
             colls: sh.colls,
             dim_nbrs: sh.dim_nbrs,
             a2a_routes: sh.a2a_routes,
+            // Faulted fabrics never reach a parallel stint.
+            fault: None,
             engines: &mut *w.engines,
             admit_wait: &mut *w.admit,
             base: w.base,
@@ -1520,6 +1764,11 @@ pub struct CollectiveExecutor<
     /// Parallel-stint plan, present when `options.sim_threads > 1` and
     /// the topology supports domain partitioning.
     par: Option<ParPlan>,
+    /// Degradation plan for a faulted fabric: ring sends consult its
+    /// detour routes, all-to-all routes are re-planned around kills, and
+    /// parallel stints are disabled (`par` stays `None`) so the serial
+    /// loop owns every faulted event.
+    fault: Option<FaultPlan>,
     now: SimTime,
     tracer: T,
 }
@@ -1602,6 +1851,30 @@ impl<E: CollectiveEngine> CollectiveExecutor<E> {
     ) -> CollectiveExecutor<E> {
         CollectiveExecutor::with_tracer(topology, net_params, options, make_engine, NullTracer)
     }
+
+    /// Builds an executor over a degraded fabric: killed links are
+    /// removed from the network (ring sends take the plan's detour
+    /// routes, all-to-all routes are re-planned around the kills) and
+    /// degraded links run at their reduced bandwidth. A pristine plan
+    /// builds the ordinary executor. Faulted fabrics always run on the
+    /// serial loop — `sim_threads > 1` falls back rather than hanging on
+    /// a partition the faults disconnected.
+    pub fn with_fault_plan(
+        topology: impl Into<TopologySpec>,
+        net_params: NetworkParams,
+        options: ExecutorOptions,
+        faults: &FaultPlan,
+        make_engine: impl Fn() -> E,
+    ) -> CollectiveExecutor<E> {
+        CollectiveExecutor::with_tracer_and_faults(
+            topology,
+            net_params,
+            options,
+            faults,
+            make_engine,
+            NullTracer,
+        )
+    }
 }
 
 impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
@@ -1616,8 +1889,49 @@ impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
         make_engine: impl Fn() -> E,
         tracer: T,
     ) -> CollectiveExecutor<E, T> {
-        let spec = topology.into();
-        let net = Network::new(spec, net_params);
+        Self::build(
+            topology.into(),
+            net_params,
+            options,
+            None,
+            make_engine,
+            tracer,
+        )
+    }
+
+    /// [`with_fault_plan`](CollectiveExecutor::with_fault_plan) with an
+    /// attached tracer.
+    pub fn with_tracer_and_faults(
+        topology: impl Into<TopologySpec>,
+        net_params: NetworkParams,
+        options: ExecutorOptions,
+        faults: &FaultPlan,
+        make_engine: impl Fn() -> E,
+        tracer: T,
+    ) -> CollectiveExecutor<E, T> {
+        let fault = (!faults.is_pristine()).then(|| faults.clone());
+        Self::build(
+            topology.into(),
+            net_params,
+            options,
+            fault,
+            make_engine,
+            tracer,
+        )
+    }
+
+    fn build(
+        spec: TopologySpec,
+        net_params: NetworkParams,
+        options: ExecutorOptions,
+        fault: Option<FaultPlan>,
+        make_engine: impl Fn() -> E,
+        tracer: T,
+    ) -> CollectiveExecutor<E, T> {
+        let mut net = Network::new(spec, net_params);
+        if let Some(fp) = &fault {
+            net.apply_fault_plan(fp);
+        }
         let topo = net.topology();
         let nodes = topo.nodes();
         let engines = (0..nodes).map(|_| make_engine()).collect();
@@ -1646,7 +1960,14 @@ impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
                 tracer.meta_process(1 + n as u32, &format!("node {n}"));
             }
         }
-        let par = partition_plan(&net, options.sim_threads);
+        // A faulted fabric pins the run to the serial loop: domain
+        // partitions assume the topology's pristine link structure, and
+        // detour traffic crosses partitions the plan knows nothing about.
+        let par = if fault.is_some() {
+            None
+        } else {
+            partition_plan(&net, options.sim_threads)
+        };
         CollectiveExecutor {
             spec,
             nodes,
@@ -1668,9 +1989,15 @@ impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
             replay_scratch: Vec::new(),
             notice_scratch: Vec::new(),
             par,
+            fault,
             now: SimTime::ZERO,
             tracer,
         }
+    }
+
+    /// The fault plan this executor was degraded with, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// The fabric's topology identity.
@@ -2110,6 +2437,7 @@ impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
             colls: &self.colls,
             dim_nbrs: &self.dim_nbrs,
             a2a_routes: &self.a2a_routes,
+            fault: self.fault.as_ref(),
             engines: &mut self.engines,
             admit_wait: &mut self.admit_wait,
             base: 0,
@@ -2286,7 +2614,15 @@ impl<E: CollectiveEngine, T: Tracer> CollectiveExecutor<E, T> {
         let routes: Vec<Route> = (0..n * (n - 1))
             .map(|flow| {
                 let (src, dst) = self.a2a_flow_endpoints(flow);
-                self.net.topology().route(NodeId(src), NodeId(dst))
+                match &self.fault {
+                    // Killed links force the flow onto a BFS route around
+                    // them; resolve() proved the fabric stays connected,
+                    // so the detour always exists.
+                    Some(fp) if fp.has_kills() => fp
+                        .route_around(self.net.topology(), NodeId(src), NodeId(dst))
+                        .expect("fault plan resolved on a connected fabric"),
+                    _ => self.net.topology().route(NodeId(src), NodeId(dst)),
+                }
             })
             .collect();
         self.a2a_routes = routes;

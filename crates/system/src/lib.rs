@@ -15,8 +15,10 @@
 //!   passes that block on the previous iteration's all-reduces, backward
 //!   passes that emit LIFO-scheduled collectives, DLRM's blocking
 //!   all-to-alls, and exposed-communication accounting.
-//! * [`run_single_collective`] — the standalone harness behind Fig. 5 and
-//!   Fig. 6.
+//! * [`RunSpec`] / [`TrainSpec`] — builder-style entry points for
+//!   standalone collectives (the harness behind Fig. 5 and Fig. 6) and
+//!   training runs, with optional fault/contention/straggler
+//!   [`RunConditions`].
 //!
 //! # Example
 //!
@@ -44,13 +46,17 @@ mod collective_run;
 mod config;
 mod executor;
 mod report;
+mod run;
 mod training;
 
 pub use analytic::{
-    analytic_collective_run, analytic_program_run, analytic_training_run, config_endpoint_model,
-    endpoint_model, AnalyticCollectiveReport, AnalyticTrainingReport,
+    analytic_collective_run, analytic_collective_run_with_conditions, analytic_program_run,
+    analytic_program_run_with_conditions, analytic_training_run,
+    analytic_training_run_with_conditions, config_endpoint_model, endpoint_model,
+    AnalyticCollectiveReport, AnalyticTrainingReport,
 };
 pub use builder::{BuildError, SystemBuilder};
+#[allow(deprecated)]
 pub use collective_run::{
     run_single_collective, run_single_collective_traced, run_single_collective_with_options,
     CollectiveRunReport, EngineKind,
@@ -58,4 +64,5 @@ pub use collective_run::{
 pub use config::SystemConfig;
 pub use executor::{CollHandle, CollectiveExecutor, ExecutorOptions, SchedulingPolicy};
 pub use report::IterationReport;
+pub use run::{RunConditions, RunError, RunSpec, TrainSpec};
 pub use training::TrainingSim;

@@ -20,7 +20,7 @@
 use ace_collectives::CollectiveOp;
 use ace_compute::{KernelDesc, NpuParams};
 use ace_endpoint::CollectiveEngine;
-use ace_net::{NetworkParams, TopologySpec};
+use ace_net::{FaultPlan, NetworkParams, TopologySpec};
 use ace_simcore::{SimTime, TimeSeries};
 use ace_trace::{Attribution, NullTracer, PipeWeights, Tracer, Track};
 use ace_workloads::{LoweringOptions, Parallelism, Program, TaskId, TaskKind, TaskPhase, Workload};
@@ -28,6 +28,7 @@ use ace_workloads::{LoweringOptions, Parallelism, Program, TaskId, TaskKind, Tas
 use crate::config::SystemConfig;
 use crate::executor::{CollHandle, CollectiveExecutor, ExecutorOptions};
 use crate::report::IterationReport;
+use crate::run::{RunConditions, RunError};
 
 /// Trace lane for the serial compute timeline's task spans (pid 0 is the
 /// scheduler/sim process; tid 0 is the executor's event lane).
@@ -124,13 +125,14 @@ impl<T: Tracer> TrainingSim<T> {
         net_params: NetworkParams,
         tracer: T,
     ) -> TrainingSim<T> {
-        Self::from_program_with_options(
+        Self::construct(
             config,
             program,
-            topology,
+            topology.into(),
             npu,
             net_params,
             ExecutorOptions::default(),
+            None,
             tracer,
         )
     }
@@ -139,6 +141,7 @@ impl<T: Tracer> TrainingSim<T> {
     /// with explicit [`ExecutorOptions`] — the route by which
     /// `sim_threads` (intra-simulation parallelism) reaches the executor.
     /// Results are byte-identical across `sim_threads` values.
+    #[deprecated(note = "use `TrainSpec::new(config, program, topology).options(...).build()`")]
     pub fn from_program_with_options(
         config: SystemConfig,
         program: Program,
@@ -148,19 +151,77 @@ impl<T: Tracer> TrainingSim<T> {
         options: ExecutorOptions,
         tracer: T,
     ) -> TrainingSim<T> {
-        let spec = topology.into();
-        let plan = ace_collectives::CollectivePlan::for_spec(CollectiveOp::AllReduce, spec);
-        let weights = CollectiveExecutor::phase_weights(&plan, &net_params);
-        let mut exec = CollectiveExecutor::with_tracer(
-            spec,
+        Self::construct(
+            config,
+            program,
+            topology.into(),
+            npu,
             net_params,
             options,
-            {
-                let weights = weights.clone();
-                move || config.make_engine(&weights)
-            },
+            None,
             tracer,
-        );
+        )
+    }
+
+    /// [`from_program_with_options`](TrainingSim::from_program_with_options)
+    /// under explicit [`RunConditions`]: the fault/contention spec is
+    /// resolved against the topology up front (so a disconnected fabric
+    /// is a typed [`RunError`], never a hang), the straggler
+    /// distribution is applied to the program's compute tasks, and the
+    /// executor runs serially on a faulted fabric.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_program_with_conditions(
+        config: SystemConfig,
+        mut program: Program,
+        topology: impl Into<TopologySpec>,
+        npu: NpuParams,
+        net_params: NetworkParams,
+        options: ExecutorOptions,
+        conditions: &RunConditions,
+        tracer: T,
+    ) -> Result<TrainingSim<T>, RunError> {
+        let spec = topology.into();
+        let fault = if conditions.is_pristine() {
+            None
+        } else {
+            program.apply_stragglers(&conditions.straggler);
+            let plan = conditions.resolve(spec, &net_params)?;
+            (!plan.is_pristine()).then_some(plan)
+        };
+        Ok(Self::construct(
+            config, program, spec, npu, net_params, options, fault, tracer,
+        ))
+    }
+
+    /// Shared constructor body behind every public entry point.
+    #[allow(clippy::too_many_arguments)]
+    fn construct(
+        config: SystemConfig,
+        program: Program,
+        spec: TopologySpec,
+        npu: NpuParams,
+        net_params: NetworkParams,
+        options: ExecutorOptions,
+        fault: Option<FaultPlan>,
+        tracer: T,
+    ) -> TrainingSim<T> {
+        let plan = ace_collectives::CollectivePlan::for_spec(CollectiveOp::AllReduce, spec);
+        let weights = CollectiveExecutor::phase_weights(&plan, &net_params);
+        let make_engine = {
+            let weights = weights.clone();
+            move || config.make_engine(&weights)
+        };
+        let mut exec = match &fault {
+            Some(fp) => CollectiveExecutor::with_tracer_and_faults(
+                spec,
+                net_params,
+                options,
+                fp,
+                make_engine,
+                tracer,
+            ),
+            None => CollectiveExecutor::with_tracer(spec, net_params, options, make_engine, tracer),
+        };
         if exec.tracer().enabled() {
             exec.tracer_mut().meta_thread(TIMELINE_TRACK, "timeline");
         }

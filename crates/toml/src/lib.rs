@@ -447,6 +447,81 @@ pub fn did_you_mean(word: &str, candidates: &[&str]) -> String {
         .unwrap_or_default()
 }
 
+/// How a [`Spelling`] parse failed, before the shared error formatting
+/// is applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpellingError {
+    /// The leading keyword was not recognized at all. The shared
+    /// formatter lists the expected spellings and attaches a
+    /// did-you-mean hint against [`Spelling::keywords`].
+    Unknown,
+    /// The keyword was recognized but its arguments are malformed; the
+    /// message is shown verbatim.
+    Invalid(String),
+}
+
+impl SpellingError {
+    /// Shorthand for [`SpellingError::Invalid`] from any displayable.
+    pub fn invalid(msg: impl fmt::Display) -> SpellingError {
+        SpellingError::Invalid(msg.to_string())
+    }
+}
+
+/// A type with a closed textual spelling grammar — topology specs,
+/// system configs, workload selectors, fault and contention specs, and
+/// the other scenario-key vocabularies.
+///
+/// Implementors provide only the *recognition* logic
+/// ([`parse_spelling`](Spelling::parse_spelling)); the error wording —
+/// the `unknown <what> '<input>' (expected ...)` shape and the
+/// [`did_you_mean`] typo hint — comes from the provided
+/// [`from_spelling`](Spelling::from_spelling), so every parser in the
+/// workspace reports failures identically.
+pub trait Spelling: Sized {
+    /// What the grammar names, for error messages (e.g. `"topology"`).
+    const WHAT: &'static str;
+
+    /// The recognizable leading keywords, for did-you-mean hints.
+    fn keywords() -> &'static [&'static str];
+
+    /// A human-readable summary of the accepted spellings, shown after
+    /// `expected` in unknown-keyword errors.
+    fn spellings() -> &'static str;
+
+    /// Recognizes one spelling. Return [`SpellingError::Unknown`] when
+    /// the keyword itself is foreign (the caller formats the hint), and
+    /// [`SpellingError::Invalid`] with a complete message when the
+    /// keyword matched but the arguments did not.
+    fn parse_spelling(s: &str) -> Result<Self, SpellingError>;
+
+    /// Parses with the unified error formatting. `FromStr`
+    /// implementations delegate here.
+    fn from_spelling(s: &str) -> Result<Self, String> {
+        match Self::parse_spelling(s) {
+            Ok(v) => Ok(v),
+            Err(SpellingError::Invalid(msg)) => Err(msg),
+            Err(SpellingError::Unknown) => Err(unknown_spelling::<Self>(s)),
+        }
+    }
+}
+
+/// The `unknown <what> '<input>' (expected ...)` message, with the
+/// [`did_you_mean`] hint, that [`Spelling::from_spelling`] attaches to
+/// [`SpellingError::Unknown`]. Exposed for parsers that take extra
+/// parameters (e.g. a base path) and so cannot route every call through
+/// `from_spelling` but still want identical error wording.
+pub fn unknown_spelling<T: Spelling>(s: &str) -> String {
+    let word = s.trim();
+    let keyword = word.split([':', '@', '=']).next().unwrap_or(word).trim();
+    format!(
+        "unknown {} '{}' (expected {}){}",
+        T::WHAT,
+        word,
+        T::spellings(),
+        did_you_mean(keyword, T::keywords())
+    )
+}
+
 /// Parses a byte count: a plain integer, or a string with a `KB`/`MB`/`GB`
 /// binary-power suffix (e.g. `"64MB"`).
 pub fn parse_bytes(v: &Value) -> Result<u64, String> {
@@ -602,6 +677,47 @@ mod tests {
         assert!(parse("[[l]]\na = 1\na = 2\n").is_err());
         // Same key in *different* entries is fine.
         assert!(parse("[[l]]\na = 1\n[[l]]\na = 2\n").is_ok());
+    }
+
+    #[test]
+    fn spelling_trait_formats_errors_uniformly() {
+        #[derive(Debug, PartialEq)]
+        enum Mode {
+            Fast(u32),
+            Slow,
+        }
+        impl Spelling for Mode {
+            const WHAT: &'static str = "mode";
+            fn keywords() -> &'static [&'static str] {
+                &["fast", "slow"]
+            }
+            fn spellings() -> &'static str {
+                "fast:N or slow"
+            }
+            fn parse_spelling(s: &str) -> Result<Mode, SpellingError> {
+                let s = s.trim();
+                if s == "slow" {
+                    return Ok(Mode::Slow);
+                }
+                if let Some(arg) = s.strip_prefix("fast:") {
+                    return arg
+                        .parse()
+                        .map(Mode::Fast)
+                        .map_err(|_| SpellingError::invalid(format!("bad fast count '{arg}'")));
+                }
+                Err(SpellingError::Unknown)
+            }
+        }
+        assert_eq!(Mode::from_spelling("slow"), Ok(Mode::Slow));
+        assert_eq!(Mode::from_spelling("fast:3"), Ok(Mode::Fast(3)));
+        let e = Mode::from_spelling("fsat:3").unwrap_err();
+        assert!(
+            e.starts_with("unknown mode 'fsat:3' (expected fast:N or slow)"),
+            "{e}"
+        );
+        assert!(e.contains("did you mean 'fast'?"), "{e}");
+        let e = Mode::from_spelling("fast:x").unwrap_err();
+        assert_eq!(e, "bad fast count 'x'");
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod layer;
 pub mod program;
 mod resnet;
 mod spec;
+mod straggler;
 mod transformer;
 mod workload;
 
@@ -49,4 +50,5 @@ pub use program::{
     TaskRole,
 };
 pub use spec::{BuiltinWorkload, EmbeddingSpec, LayerSpec, WorkloadSpec};
+pub use straggler::StragglerSpec;
 pub use workload::{EmbeddingStage, Parallelism, PipeSchedule, Workload};

@@ -1098,6 +1098,29 @@ impl Program {
         debug_assert!(self.validate().is_ok(), "transformed programs stay valid");
     }
 
+    /// Stretches every compute kernel by its straggler multiplier (see
+    /// [`StragglerSpec`](crate::StragglerSpec)): flops and HBM bytes
+    /// scale together, so the kernel's roofline time stretches by
+    /// exactly the multiplier whichever side bounds it. A pure graph
+    /// transform keyed on stable task ids — the exact and analytic
+    /// tiers consume the same stretched program, and the result is
+    /// independent of thread count and schedule order. `det` is a no-op.
+    pub fn apply_stragglers(&mut self, spec: &crate::StragglerSpec) {
+        if spec.is_det() {
+            return;
+        }
+        for (id, task) in self.tasks.iter_mut().enumerate() {
+            if let TaskKind::Compute(kernel) = &mut task.kind {
+                let m = spec.multiplier(id);
+                *kernel = KernelDesc::new(
+                    kernel.name().to_string(),
+                    kernel.flops() * m,
+                    kernel.mem_bytes() * m,
+                );
+            }
+        }
+    }
+
     /// Removes `id` from the schedule, splicing its dependencies into
     /// every dependent (so serialization chains stay intact).
     fn remove_task(&mut self, id: TaskId) {
@@ -1229,6 +1252,50 @@ mod tests {
 
     fn count_role(p: &Program, pred: impl Fn(TaskRole) -> bool) -> usize {
         p.iter_scheduled().filter(|(_, t)| pred(t.role())).count()
+    }
+
+    #[test]
+    fn stragglers_stretch_compute_deterministically() {
+        let w = Workload::resnet50();
+        let opts = LoweringOptions {
+            iterations: 2,
+            overlap: true,
+        };
+        let base = Program::lower(&w, Parallelism::Data, &opts);
+        let spec: crate::StragglerSpec = "lognormal:0.3@seed:5".parse().unwrap();
+        let mut a = base.clone();
+        a.apply_stragglers(&spec);
+        a.validate().unwrap();
+        let mut b = base.clone();
+        b.apply_stragglers(&spec);
+        let mut stretched = 0usize;
+        for (id, task) in base.iter_scheduled() {
+            match (task.kind(), a.task(id).kind(), b.task(id).kind()) {
+                (TaskKind::Compute(orig), TaskKind::Compute(ka), TaskKind::Compute(kb)) => {
+                    // Same seed ⇒ bit-identical stretch; flops and bytes
+                    // scale by the same multiplier.
+                    assert_eq!(ka.flops(), kb.flops());
+                    let m = ka.flops() / orig.flops();
+                    assert!((ka.mem_bytes() / orig.mem_bytes() - m).abs() < 1e-12);
+                    if m != 1.0 {
+                        stretched += 1;
+                    }
+                }
+                (TaskKind::Compute(_), _, _) => panic!("kind changed under stragglers"),
+                _ => {}
+            }
+        }
+        assert!(stretched > 0, "some kernel must stretch");
+        // det leaves the program untouched.
+        let mut c = base.clone();
+        c.apply_stragglers(&crate::StragglerSpec::Det);
+        for (id, task) in base.iter_scheduled() {
+            if let (TaskKind::Compute(orig), TaskKind::Compute(kc)) =
+                (task.kind(), c.task(id).kind())
+            {
+                assert_eq!(orig.flops(), kc.flops());
+            }
+        }
     }
 
     #[test]

@@ -83,12 +83,20 @@ impl BuiltinWorkload {
     }
 }
 
-impl std::str::FromStr for BuiltinWorkload {
-    type Err = String;
+impl ace_toml::Spelling for BuiltinWorkload {
+    const WHAT: &'static str = "workload";
 
-    /// Parses a spec-file workload name, tolerating hyphens/underscores.
-    /// Unknown names get a did-you-mean hint.
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
+    fn keywords() -> &'static [&'static str] {
+        &["resnet50", "gnmt", "dlrm", "transformer"]
+    }
+
+    fn spellings() -> &'static str {
+        "resnet50, gnmt, dlrm, transformer"
+    }
+
+    /// Accepts hyphen/underscore-tolerant spellings plus familiar
+    /// aliases (`resnet`, `megatron`).
+    fn parse_spelling(s: &str) -> Result<Self, ace_toml::SpellingError> {
         match s
             .trim()
             .to_ascii_lowercase()
@@ -99,15 +107,20 @@ impl std::str::FromStr for BuiltinWorkload {
             "gnmt" => Ok(BuiltinWorkload::Gnmt),
             "dlrm" => Ok(BuiltinWorkload::Dlrm),
             "transformer" | "transformerlm" | "megatron" => Ok(BuiltinWorkload::TransformerLm),
-            other => {
-                let names: Vec<&str> = BuiltinWorkload::ALL.iter().map(|w| w.name()).collect();
-                let hint = did_you_mean(other, &names);
-                Err(format!(
-                    "unknown workload '{other}' (expected {}){hint}",
-                    names.join(", ")
-                ))
-            }
+            _ => Err(ace_toml::SpellingError::Unknown),
         }
+    }
+}
+
+impl std::str::FromStr for BuiltinWorkload {
+    type Err = String;
+
+    /// Parses a spec-file workload name via the shared
+    /// [`ace_toml::Spelling`] trait; unknown names get a did-you-mean
+    /// hint.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        use ace_toml::Spelling;
+        BuiltinWorkload::from_spelling(s)
     }
 }
 

@@ -34,20 +34,32 @@ impl fmt::Display for PipeSchedule {
     }
 }
 
+impl ace_toml::Spelling for PipeSchedule {
+    const WHAT: &'static str = "pipeline schedule";
+
+    fn keywords() -> &'static [&'static str] {
+        &["gpipe", "1f1b"]
+    }
+
+    fn spellings() -> &'static str {
+        "gpipe or 1f1b"
+    }
+
+    fn parse_spelling(s: &str) -> Result<Self, ace_toml::SpellingError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "gpipe" => Ok(PipeSchedule::GPipe),
+            "1f1b" | "onefoneb" => Ok(PipeSchedule::OneFOneB),
+            _ => Err(ace_toml::SpellingError::Unknown),
+        }
+    }
+}
+
 impl std::str::FromStr for PipeSchedule {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.trim().to_ascii_lowercase().as_str() {
-            "gpipe" => Ok(PipeSchedule::GPipe),
-            "1f1b" | "onefoneb" => Ok(PipeSchedule::OneFOneB),
-            other => {
-                let hint = ace_toml::did_you_mean(other, &["gpipe", "1f1b"]);
-                Err(format!(
-                    "unknown pipeline schedule '{other}' (expected gpipe or 1f1b){hint}"
-                ))
-            }
-        }
+        use ace_toml::Spelling;
+        PipeSchedule::from_spelling(s)
     }
 }
 
@@ -128,46 +140,60 @@ impl fmt::Display for Parallelism {
     }
 }
 
-impl std::str::FromStr for Parallelism {
-    type Err = String;
+impl ace_toml::Spelling for Parallelism {
+    const WHAT: &'static str = "parallelism";
+
+    fn keywords() -> &'static [&'static str] {
+        &["data", "hybrid", "model", "pipeline@gpipe", "pipeline@1f1b"]
+    }
+
+    fn spellings() -> &'static str {
+        "data, hybrid, model, pipeline@gpipe, or pipeline@1f1b"
+    }
 
     /// Parses the spec-file spelling (`data`, `hybrid`, `model`;
     /// `tensor` is accepted as a Megatron-familiar alias of `model`).
     /// Pipeline strategies spell `pipeline@gpipe` / `pipeline@1f1b`,
     /// optionally with an explicit geometry suffix
     /// (`pipeline@1f1b@4x8` = 4 stages × 8 microbatches).
-    /// Unknown spellings get a did-you-mean hint.
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
+    fn parse_spelling(s: &str) -> Result<Self, ace_toml::SpellingError> {
+        use ace_toml::SpellingError;
         let lower = s.trim().to_ascii_lowercase();
         if let Some(rest) = lower.strip_prefix("pipeline@") {
             let (sched, geometry) = match rest.split_once('@') {
                 None => (rest, None),
                 Some((sched, geom)) => (sched, Some(geom)),
             };
-            let schedule = sched.parse::<PipeSchedule>()?;
+            let schedule = sched
+                .parse::<PipeSchedule>()
+                .map_err(SpellingError::Invalid)?;
             let (stages, microbatches) = match geometry {
                 None => (DEFAULT_PIPELINE_STAGES, DEFAULT_PIPELINE_MICROBATCHES),
                 Some(geom) => {
                     let (st, mb) = geom.split_once('x').ok_or_else(|| {
-                        format!(
+                        SpellingError::invalid(format!(
                             "bad pipeline geometry '{geom}' (expected \
                              '<stages>x<microbatches>', e.g. '4x8')"
-                        )
+                        ))
                     })?;
-                    let stages = st
-                        .parse::<u32>()
-                        .map_err(|_| format!("bad pipeline stage count '{st}'"))?;
-                    let microbatches = mb
-                        .parse::<u32>()
-                        .map_err(|_| format!("bad microbatch count '{mb}'"))?;
+                    let stages = st.parse::<u32>().map_err(|_| {
+                        SpellingError::invalid(format!("bad pipeline stage count '{st}'"))
+                    })?;
+                    let microbatches = mb.parse::<u32>().map_err(|_| {
+                        SpellingError::invalid(format!("bad microbatch count '{mb}'"))
+                    })?;
                     (stages, microbatches)
                 }
             };
             if stages < 2 {
-                return Err(format!("a pipeline needs at least 2 stages, got {stages}"));
+                return Err(SpellingError::invalid(format!(
+                    "a pipeline needs at least 2 stages, got {stages}"
+                )));
             }
             if microbatches == 0 {
-                return Err("a pipeline needs at least 1 microbatch".into());
+                return Err(SpellingError::invalid(
+                    "a pipeline needs at least 1 microbatch".to_string(),
+                ));
             }
             return Ok(Parallelism::Pipeline {
                 stages,
@@ -179,17 +205,17 @@ impl std::str::FromStr for Parallelism {
             "data" => Ok(Parallelism::Data),
             "hybrid" => Ok(Parallelism::Hybrid),
             "model" | "tensor" => Ok(Parallelism::Model),
-            other => {
-                let hint = ace_toml::did_you_mean(
-                    other,
-                    &["data", "hybrid", "model", "pipeline@gpipe", "pipeline@1f1b"],
-                );
-                Err(format!(
-                    "unknown parallelism '{other}' (expected data, hybrid, model, \
-                     pipeline@gpipe, or pipeline@1f1b){hint}"
-                ))
-            }
+            _ => Err(SpellingError::Unknown),
         }
+    }
+}
+
+impl std::str::FromStr for Parallelism {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        use ace_toml::Spelling;
+        Parallelism::from_spelling(s)
     }
 }
 

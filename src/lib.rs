@@ -28,8 +28,12 @@
 //! * [`workloads`] — the task-graph workload IR (`Program`), the
 //!   builtin ResNet-50 / GNMT / DLRM / Transformer-LM layer models, and
 //!   TOML-loadable custom `WorkloadSpec`s
-//! * [`system`] — the graph-scheduler training simulator and the five
-//!   system configurations from Table VI
+//! * [`serve`] — continuous-batching inference serving with open-loop
+//!   arrivals and exact-order-statistic latency percentiles
+//! * [`system`] — the graph-scheduler training simulator, the five
+//!   system configurations from Table VI, and the [`system::RunSpec`] /
+//!   [`system::TrainSpec`] run entry points with first-class fault,
+//!   contention, and straggler conditions
 //! * [`sweep`] — declarative scenario specs and the parallel design-space
 //!   sweep engine behind the `sweep` CLI
 //! * [`toml`] — the std-only TOML-subset parser those specs share
@@ -57,6 +61,7 @@ pub use ace_endpoint as endpoint;
 pub use ace_engine as engine;
 pub use ace_mem as mem;
 pub use ace_net as net;
+pub use ace_serve as serve;
 pub use ace_simcore as simcore;
 pub use ace_sweep as sweep;
 pub use ace_system as system;

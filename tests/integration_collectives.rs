@@ -4,8 +4,21 @@
 
 use ace_platform::collectives::CollectiveOp;
 use ace_platform::net::TorusShape;
-use ace_platform::system::{run_single_collective, EngineKind, SystemBuilder, SystemConfig};
+use ace_platform::system::{CollectiveRunReport, EngineKind, RunSpec, SystemBuilder, SystemConfig};
 use ace_platform::workloads::Workload;
+
+/// All collectives here run on pristine fabrics, where [`RunSpec::run`]
+/// cannot fail.
+fn run_collective(
+    shape: TorusShape,
+    kind: EngineKind,
+    op: CollectiveOp,
+    payload_bytes: u64,
+) -> CollectiveRunReport {
+    RunSpec::new(shape, kind, op, payload_bytes)
+        .run()
+        .expect("pristine run cannot fail")
+}
 
 #[test]
 fn two_node_torus_all_reduce_works() {
@@ -21,7 +34,7 @@ fn two_node_torus_all_reduce_works() {
             comm_sms: 6,
         },
     ] {
-        let r = run_single_collective(shape, kind, CollectiveOp::AllReduce, 1 << 20);
+        let r = run_collective(shape, kind, CollectiveOp::AllReduce, 1 << 20);
         assert!(r.completion.cycles() > 0, "{kind:?}");
         assert!(r.network_bytes > 0);
     }
@@ -31,13 +44,13 @@ fn two_node_torus_all_reduce_works() {
 fn single_package_ring_uses_only_intra_links() {
     // 8 NPUs on one package: only the fast 200 GB/s links exist, so
     // throughput should far exceed the inter-package-limited tori.
-    let flat = run_single_collective(
+    let flat = run_collective(
         TorusShape::new(8, 1, 1).expect("valid shape"),
         EngineKind::Ideal,
         CollectiveOp::AllReduce,
         16 << 20,
     );
-    let torus = run_single_collective(
+    let torus = run_collective(
         TorusShape::new(4, 2, 2).expect("valid shape"),
         EngineKind::Ideal,
         CollectiveOp::AllReduce,
@@ -54,7 +67,7 @@ fn single_package_ring_uses_only_intra_links() {
 #[test]
 fn all_to_all_scales_with_node_count() {
     // Direct all-to-all crosses more links and hops on larger tori.
-    let small = run_single_collective(
+    let small = run_collective(
         TorusShape::new(4, 2, 2).expect("valid shape"),
         EngineKind::Ace {
             dma_mem_gbps: 128.0,
@@ -62,7 +75,7 @@ fn all_to_all_scales_with_node_count() {
         CollectiveOp::AllToAll,
         4 << 20,
     );
-    let large = run_single_collective(
+    let large = run_collective(
         TorusShape::new(4, 4, 4).expect("valid shape"),
         EngineKind::Ace {
             dma_mem_gbps: 128.0,
@@ -86,7 +99,7 @@ fn achieved_bandwidth_is_within_physical_limits() {
             comm_sms: 80,
         },
     ] {
-        let r = run_single_collective(
+        let r = run_collective(
             TorusShape::new(4, 2, 2).expect("valid shape"),
             kind,
             CollectiveOp::AllReduce,

@@ -20,7 +20,7 @@ use ace_platform::simcore::SimTime;
 use ace_platform::sweep::scenario::EngineSpec;
 use ace_platform::sweep::{execute_tier, PointKind, RunPoint, Tier};
 use ace_platform::system::{
-    run_single_collective_traced, CollectiveExecutor, ExecutorOptions, SystemBuilder, SystemConfig,
+    CollectiveExecutor, ExecutorOptions, RunConditions, RunSpec, SystemBuilder, SystemConfig,
 };
 use ace_platform::trace::chrome::{to_chrome_json, validate_chrome_trace};
 use ace_platform::trace::RecordingTracer;
@@ -117,6 +117,7 @@ fn attribution_conserves_across_random_points_and_tiers() {
         };
         points.push(RunPoint {
             topology: *rng.pick(&small_specs()),
+            conditions: RunConditions::default(),
             kind: PointKind::Collective {
                 engine,
                 op: *rng.pick(&[CollectiveOp::AllReduce, CollectiveOp::AllToAll]),
@@ -145,7 +146,7 @@ fn traced_collective_exports_valid_chrome_json() {
     let mut rng = Rng::new(0x7ace_0003);
     for _ in 0..4 {
         let spec = *rng.pick(&small_specs());
-        let (report, tracer) = run_single_collective_traced(
+        let (report, tracer) = RunSpec::new(
             spec,
             ace_platform::system::EngineKind::AceDse {
                 dma_mem_gbps: 128.0,
@@ -154,7 +155,10 @@ fn traced_collective_exports_valid_chrome_json() {
             },
             CollectiveOp::AllReduce,
             rng.range(128, 1025) * 1024,
-        );
+        )
+        .traced()
+        .run_traced()
+        .expect("pristine run cannot fail");
         assert!(report.attribution.conserves());
         let json = to_chrome_json(&tracer);
         let events = validate_chrome_trace(&json).expect("collective trace must validate");
